@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 10 (Appendix A.1): cost-model validation by
+exhaustive enumeration of layer and data partitionings."""
+
+import pytest
+
+from repro.experiments.costmodel_validation import (
+    format_costmodel_validation,
+    run_costmodel_validation,
+)
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_fig10_costmodel_enumeration(benchmark, once):
+    result = once(benchmark, run_costmodel_validation)
+    print("\n" + format_costmodel_validation(result))
+
+    # The cost model's optimum must coincide with the enumerated optimum for
+    # both the layer and the data partitioning sweeps (the paper's headline
+    # finding for Appendix A.1).
+    assert result.layer_optimum_coincides
+    assert result.data_optimum_coincides
+
+    # The estimated times must track the measured ones: the end-to-end time is
+    # minimised where the straggling and non-straggling parts are balanced.
+    best = min(result.layer_sweep, key=lambda p: p.actual_end_to_end)
+    imbalance = abs(best.estimated_straggler_time - best.estimated_normal_time)
+    worst = max(result.layer_sweep, key=lambda p: p.actual_end_to_end)
+    worst_imbalance = abs(
+        worst.estimated_straggler_time - worst.estimated_normal_time
+    )
+    assert imbalance < worst_imbalance

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 11 (Appendix B.7): Theorem 2 ranking of the
+grouping possibilities after isolating a heavy straggler."""
+
+import pytest
+
+from repro.experiments.grouping_validation import (
+    format_grouping_validation,
+    run_grouping_validation,
+)
+
+
+@pytest.mark.benchmark(group="figure11")
+def test_fig11_theorem2_validation(benchmark, once):
+    result = once(benchmark, run_grouping_validation, "110b")
+    print("\n" + format_grouping_validation(result))
+
+    # Appendix B.7: splitting the 7 remaining GPUs into {4, 2, 1} admits six
+    # possibilities.
+    assert len(result.candidates) == 6
+
+    # The Theorem 2 estimator must correlate with the simulated times: the
+    # candidate it ranks best must simulate no worse than the one it ranks
+    # worst, and the overall best simulated candidate must be within a few
+    # percent of what the estimator picks.
+    estimates = [c.estimated_relative_time for c in result.candidates]
+    simulated = [c.simulated_step_time for c in result.candidates]
+    best_by_estimate = min(range(6), key=lambda i: estimates[i])
+    worst_by_estimate = max(range(6), key=lambda i: estimates[i])
+    assert simulated[best_by_estimate] <= simulated[worst_by_estimate] + 1e-9
+    assert simulated[best_by_estimate] <= min(simulated) * 1.05

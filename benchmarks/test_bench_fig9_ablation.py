@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 9: ablation of the four non-uniform
+partitioning dimensions on the 110B model."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablation import format_ablation, run_ablation
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_fig9_partitioning_ablation(benchmark, once):
+    result = once(benchmark, run_ablation, "110b")
+    print("\n" + format_ablation(result))
+
+    for row in result.rows:
+        # Every added non-uniform dimension must help (or at least not hurt)
+        # compared to uniform Megatron, and the full planner must be close to
+        # the best variant.
+        assert row.layer_data <= row.megatron * 1.01
+        assert row.full <= row.layer_data * 1.10
+        assert row.full <= row.megatron
+        assert not math.isinf(row.full)
+        # The full planner lands reasonably close to the theoretic optimum.
+        assert row.gap(row.full) < 0.35
+
+    # The paper's key observation: once the stragglers spread over multiple
+    # nodes the upper-level (device+stage) non-uniformity matters — the full
+    # planner must not lose to the lower-level-only variant there.
+    by_name = {row.scenario: row for row in result.rows}
+    multi = by_name["three-nodes"]
+    assert multi.full <= multi.layer_data * 1.05

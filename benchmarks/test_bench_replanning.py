@@ -1,0 +1,25 @@
+"""Ablation benchmark (§5.3): asynchronous vs synchronous re-planning vs the
+restart-based alternative, measured as accumulated training downtime."""
+
+import pytest
+
+from repro.experiments.replanning import format_replanning, run_replanning_ablation
+
+
+@pytest.mark.benchmark(group="replanning")
+def test_replanning_overhead_ablation(benchmark, once):
+    result = once(benchmark, run_replanning_ablation, "32b")
+    print("\n" + format_replanning(result))
+
+    asynchronous = result.variant("async re-planning")
+    synchronous = result.variant("sync re-planning")
+    restart = result.variant("restart-based (Megatron w/ Restart)")
+
+    # Asynchronous re-planning hides the planning latency, so it stalls
+    # training strictly less than synchronous re-planning...
+    assert asynchronous.total_downtime < synchronous.total_downtime
+    # ...and both are orders of magnitude cheaper than restarting, which pays
+    # checkpoint save/load plus framework re-initialisation every time.
+    assert restart.total_downtime > 10 * synchronous.total_downtime
+    # Migration downtime stays in the seconds range across the whole trace.
+    assert asynchronous.total_downtime < 60.0

@@ -1,0 +1,36 @@
+"""Benchmark regenerating Table 2 / Figure 7: end-to-end step times.
+
+For every model the harness drives Malleus, Megatron-LM and DeepSpeed (with
+and without restarts) through the Normal/S1-S6 trace and prints the same
+rows the paper's Table 2 reports: per-situation step times, theoretic
+optimum, MFU in the straggler-free case and the geometric-mean improvement
+of Malleus over every baseline.
+"""
+
+import pytest
+
+from repro.experiments.end_to_end import format_end_to_end, run_end_to_end
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("model_name", ["32b", "70b", "110b"])
+def test_table2_end_to_end(benchmark, once, model_name):
+    result = once(benchmark, run_end_to_end, model_name)
+    print("\n" + format_end_to_end(result))
+
+    # Shape checks mirroring the paper's headline claims.
+    normal = result.step_times["Malleus"]["Normal"]
+    for situation in result.situations:
+        if situation == "Normal":
+            continue
+        # Malleus never degrades by more than ~1.6x even in the worst
+        # situation (the paper reports at most 1.34x on hardware).
+        assert result.step_times["Malleus"][situation] < 1.8 * normal
+        # and it beats both no-restart baselines in every straggler situation.
+        assert result.improvement("Megatron-LM", situation) > 1.2
+        assert result.improvement("DeepSpeed", situation) > 1.2
+
+    assert result.average_improvement("Megatron-LM") > 1.5
+    assert result.average_improvement("DeepSpeed") > 1.5
+    # Restart-based baselines are better than no-restart ones but still lose.
+    assert result.average_improvement("Megatron-LM w/ Restart") > 1.0

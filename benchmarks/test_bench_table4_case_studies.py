@@ -1,0 +1,38 @@
+"""Benchmark regenerating Table 4: case studies of discovered plans."""
+
+import pytest
+
+from repro.experiments.case_studies import format_case_study, run_case_study
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("which", ["110b-s4", "32b-s5"])
+def test_table4_case_study(benchmark, once, which):
+    result = once(benchmark, run_case_study, which)
+    print("\n" + format_case_study(result))
+
+    plan = result.plan
+    plan.validate()
+    assert sum(result.micro_batches) == 64
+
+    if which == "110b-s4":
+        # The paper's plan isolates the per-node stragglers into small groups
+        # and balances pipelines with different stage counts; structurally we
+        # expect non-uniform TP degrees and a small layer share on stragglers.
+        tp_degrees = {tp for sizes in result.group_sizes() for tp in sizes}
+        assert len(tp_degrees) > 1
+        assert result.straggler_layer_share() < 0.25
+    else:
+        # 32B under S5: the level-1 node keeps training with reduced work.
+        level1_active = [g for g in range(8) if g in plan.active_gpus]
+        assert level1_active
+        slow_data = sum(
+            p.num_micro_batches for p in plan.pipelines
+            if any(g in p.gpu_ids for g in range(8))
+        )
+        fast_data = sum(
+            p.num_micro_batches for p in plan.pipelines
+            if not any(g in p.gpu_ids for g in range(8))
+        )
+        if fast_data:
+            assert slow_data < fast_data

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Tables 6 and 7 (Appendix A.3): the tuned parallel
+configurations the restart-based baselines need after excluding nodes."""
+
+import pytest
+
+from repro.experiments.restart_configs import (
+    format_restart_configs,
+    run_restart_configs,
+)
+
+
+@pytest.mark.benchmark(group="tables6_7")
+@pytest.mark.parametrize("model_name", ["32b", "70b", "110b"])
+def test_tables6_7_restart_configs(benchmark, once, model_name):
+    result = once(benchmark, run_restart_configs, model_name)
+    print("\n" + format_restart_configs(result))
+
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row.megatron is not None, f"no Megatron config for {row.scenario}"
+        assert row.deepspeed is not None, f"no DeepSpeed config for {row.scenario}"
+        assert row.megatron.dp * row.megatron.tp * row.megatron.pp == \
+            row.surviving_gpus
+        assert row.deepspeed.dp * row.deepspeed.sp == row.surviving_gpus
+
+    if model_name == "32b":
+        normal = result.rows[0].megatron
+        # Appendix A.3: DP2 TP4 PP4 is the best full-cluster configuration.
+        assert (normal.dp, normal.tp, normal.pp) == (2, 4, 4)
+    else:
+        normal = result.rows[0].megatron
+        # 70B/110B train on 64 GPUs with TP8 pipelines in the paper.
+        assert normal.tp == 8

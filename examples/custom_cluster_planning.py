@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Planning for a custom model and a custom (smaller) cluster.
+
+The library is not tied to the paper's three workloads: this example defines
+a 13B-parameter model, a 16-GPU cluster with 48 GB GPUs, and a messy
+straggler situation, then compares the plans Malleus produces for different
+maximum TP degrees and shows the memory head-room of the chosen plan.
+
+Run with ``python examples/custom_cluster_planning.py``.
+"""
+
+from repro import (
+    ExecutionSimulator,
+    MalleusCostModel,
+    MalleusPlanner,
+    TrainingTask,
+    TransformerModelSpec,
+    make_cluster,
+)
+from repro.simulator import plan_memory_report
+
+
+def main() -> None:
+    model = TransformerModelSpec(
+        name="custom-13b",
+        num_layers=40,
+        hidden_size=5120,
+        ffn_hidden_size=13824,
+        num_attention_heads=40,
+        num_kv_heads=40,
+        vocab_size=32000,
+        seq_length=4096,
+    )
+    task = TrainingTask(model=model, global_batch_size=32, micro_batch_size=1)
+    cluster = make_cluster(num_nodes=2, gpus_per_node=8, memory_gib=48.0,
+                           peak_tflops=312.0, name="two-node-cluster")
+    cost_model = MalleusCostModel(model, cluster)
+    simulator = ExecutionSimulator(cost_model)
+
+    print(model.describe())
+    print(f"cluster: {cluster.num_nodes} nodes x {cluster.gpus_per_node} GPUs, "
+          f"48 GiB each\n")
+
+    # A messy situation: two stragglers of different severity on node 0 and a
+    # mild one on node 1.
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates[0] = 4.0
+    rates[3] = 1.8
+    rates[9] = 1.3
+
+    print("per-TP-degree candidates (DP fixed to 2):")
+    for tp_limit in (1, 2, 4, 8):
+        planner = MalleusPlanner(task, cluster, cost_model,
+                                 tp_candidates=(tp_limit,))
+        result = planner.plan(rates, dp=2)
+        if not result.feasible:
+            print(f"  TP<= {tp_limit}: infeasible (memory)")
+            continue
+        simulated = simulator.simulate_step(
+            result.plan, rates, check_memory=False
+        ).step_time
+        print(f"  TP<= {tp_limit}: estimated {result.estimated_step_time:6.2f}s, "
+              f"simulated {simulated:6.2f}s, "
+              f"removed GPUs {result.plan.removed_gpus}")
+
+    print("\nfull planner (all TP candidates, free DP):")
+    planner = MalleusPlanner(task, cluster, cost_model)
+    result = planner.plan(rates)
+    print(result.plan.describe())
+
+    report = plan_memory_report(result.plan, cost_model)
+    print(f"\nper-GPU memory of the chosen plan: "
+          f"peak {report.peak_bytes / 1024 ** 3:.1f} GiB "
+          f"(capacity 48 GiB, fits: {report.fits})")
+    print(f"planning time: {result.breakdown.total:.2f}s "
+          f"({result.breakdown.as_dict()})")
+
+
+if __name__ == "__main__":
+    main()

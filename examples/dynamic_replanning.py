@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Dynamic re-planning and model migration (§5) in action.
+
+This example drives the Malleus runtime step by step instead of through a
+pre-baked trace: a straggler appears, intensifies, and finally recovers,
+while a second GPU fails outright.  After every event the example shows what
+the profiler detected, what the planner decided, how much model state had to
+be migrated and how long the adjustment stalled training.
+
+Run with ``python examples/dynamic_replanning.py``.
+"""
+
+from repro import MalleusCostModel, MalleusSystem, paper_cluster, paper_task
+from repro.cluster import ClusterState
+from repro.parallel import estimate_migration_time, plan_migration
+
+
+def describe(system: MalleusSystem, label: str, state: ClusterState) -> None:
+    plan = system.current_plan
+    step = system.step_time(state)
+    shape = ", ".join(
+        f"p{p.pipeline_index}:{p.pp_degree} stages/m={p.num_micro_batches}"
+        for p in plan.pipelines
+    )
+    print(f"  [{label}] step={step:6.2f}s  dp={plan.dp_degree}  {shape}  "
+          f"removed={plan.removed_gpus}")
+
+
+def main() -> None:
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+    cost_model = MalleusCostModel(task.model, cluster)
+    system = MalleusSystem(task, cluster, cost_model)
+
+    state = ClusterState(cluster=cluster)
+    system.setup(state)
+    print("initial plan (no stragglers):")
+    describe(system, "normal", state)
+
+    events = [
+        ("GPU 0 becomes a level-1 straggler (x=2.6)", {0: 2.6}),
+        ("GPU 0 worsens to level-3 (x=5.42)", {0: 5.42}),
+        ("a second straggler appears on node 1 (x=3.8)", {0: 5.42, 8: 3.8}),
+        ("GPU 0 recovers, GPU 8 keeps straggling", {8: 3.8}),
+        ("all GPUs healthy again", {}),
+    ]
+
+    for description, stragglers in events:
+        print(f"\nevent: {description}")
+        state = ClusterState(cluster=cluster)
+        for gpu, rate in stragglers.items():
+            state.set_rate(gpu, rate)
+        old_plan = system.current_plan
+        adjustment = system.on_situation_change(state)
+        print(f"  profiler/planner reaction: {adjustment.kind} "
+              f"(downtime {adjustment.downtime:.1f}s, planning "
+              f"{adjustment.planning_time:.1f}s "
+              f"{'overlapped with training' if adjustment.overlapped else ''})")
+        if adjustment.kind == "migrate":
+            migration = plan_migration(
+                old_plan, system.current_plan, cluster,
+                layer_param_bytes=task.model.layer_param_bytes(),
+                layer_optimizer_bytes=task.model.params_per_layer() * 12.0,
+            )
+            print(f"  migration: {migration.num_transfers} transfers, "
+                  f"{migration.total_bytes / 1e9:.1f} GB moved, "
+                  f"~{estimate_migration_time(migration, cluster):.1f}s")
+        describe(system, "after", state)
+
+    print("\nGPU 3 fails hard (communication timeout):")
+    state = ClusterState(cluster=cluster)
+    state.fail(3)
+    adjustment = system.on_situation_change(state)
+    print(f"  reaction: {adjustment.kind} (downtime {adjustment.downtime:.1f}s "
+          f"- checkpoint reload, failed GPU excluded)")
+    describe(system, "after failure", state)
+
+
+if __name__ == "__main__":
+    main()

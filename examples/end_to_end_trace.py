@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""End-to-end trace (Figure 7 style): Malleus vs the baselines.
+
+Runs Malleus, Megatron-LM and DeepSpeed (without restarts) through the
+paper's six straggler situations (Normal -> S1 -> ... -> S6 -> Normal) on
+the 32B workload and prints the per-situation step times, the adjustments
+each framework performed, and the speed-ups of Malleus.
+
+Run with ``python examples/end_to_end_trace.py [model]`` where ``model`` is
+``32b`` (default), ``70b`` or ``110b``.
+"""
+
+import sys
+
+from repro import (
+    DeepSpeedBaseline,
+    MalleusSystem,
+    MegatronBaseline,
+    paper_trace,
+    run_trace,
+    theoretic_optimal_step_time,
+)
+from repro.experiments import paper_workload
+
+
+def main(model_name: str = "32b") -> None:
+    workload = paper_workload(model_name)
+    trace = paper_trace(workload.cluster)
+
+    frameworks = [
+        MalleusSystem(workload.task, workload.cluster, workload.cost_model),
+        MegatronBaseline(workload.task, workload.cluster, workload.cost_model),
+        DeepSpeedBaseline(workload.task, workload.cluster, workload.cost_model),
+    ]
+
+    results = {}
+    for framework in frameworks:
+        print(f"running {framework.name} through the trace ...")
+        results[framework.name] = run_trace(framework, trace)
+
+    malleus = results["Malleus"]
+    normal_time = malleus.step_time("Normal")
+
+    header = (f"{'situation':<12}" + "".join(f"{name:>16}" for name in results)
+              + f"{'theor. opt.':>14}{'best speedup':>14}")
+    print("\n" + header)
+    print("-" * len(header))
+    for situation in trace.situations:
+        name = situation.name
+        row = f"{name:<12}"
+        for framework_name, result in results.items():
+            row += f"{result.step_time(name):>15.1f}s"
+        state = situation.as_state(workload.cluster)
+        optimum = theoretic_optimal_step_time(normal_time, state)
+        malleus_time = malleus.step_time(name)
+        best_baseline = max(
+            result.step_time(name) for fname, result in results.items()
+            if fname != "Malleus"
+        )
+        row += f"{optimum:>13.1f}s{best_baseline / malleus_time:>13.2f}x"
+        print(row)
+
+    print("\nadjustments performed by Malleus:")
+    for situation_result in malleus.situations:
+        adj = situation_result.adjustment
+        print(f"  {situation_result.situation:<12} {adj.kind:<8} "
+              f"downtime {adj.downtime:5.1f}s  "
+              f"(planning {adj.planning_time:5.1f}s, "
+              f"{'overlapped' if adj.overlapped else 'blocking'})")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "32b")

@@ -1,0 +1,84 @@
+"""repro — reproduction of Malleus (SIGMOD 2025).
+
+Malleus is a straggler-resilient hybrid parallel training framework for
+large-scale models.  This package reproduces the full system in pure
+Python: the per-GPU straggling-rate model, the bi-level parallelization
+planning algorithm (non-uniform partitioning of devices, stages, layers and
+data), the malleable executor with ZeRO-1 sharding and on-the-fly model
+migration, the baselines the paper compares against, and the benchmark
+harness regenerating every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import MalleusPlanner, MalleusCostModel, paper_task, paper_cluster
+
+    task = paper_task("32b")
+    cluster = paper_cluster(num_gpus=32)
+    planner = MalleusPlanner(task, cluster)
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates[0] = 5.42                      # one level-3 straggler
+    result = planner.plan(rates, dp=2)
+    print(result.plan.describe())
+"""
+
+from .baselines import (
+    DeepSpeedBaseline,
+    DeepSpeedRestartBaseline,
+    MegatronBaseline,
+    MegatronRestartBaseline,
+    OobleckBaseline,
+)
+from .cluster import (
+    Cluster,
+    ClusterState,
+    Profiler,
+    StragglerSpec,
+    StragglerTrace,
+    make_cluster,
+    paper_cluster,
+    paper_trace,
+)
+from .core import (
+    CostModelConfig,
+    MalleusCostModel,
+    MalleusPlanner,
+    PlanningResult,
+)
+from .models import TrainingTask, TransformerModelSpec, get_model, paper_task
+from .parallel import ParallelizationPlan, TPGroup, uniform_megatron_plan
+from .runtime import MalleusSystem
+from .simulator import ExecutionSimulator, run_trace, theoretic_optimal_step_time
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterState",
+    "CostModelConfig",
+    "DeepSpeedBaseline",
+    "DeepSpeedRestartBaseline",
+    "ExecutionSimulator",
+    "MalleusCostModel",
+    "MalleusPlanner",
+    "MalleusSystem",
+    "MegatronBaseline",
+    "MegatronRestartBaseline",
+    "OobleckBaseline",
+    "ParallelizationPlan",
+    "PlanningResult",
+    "Profiler",
+    "StragglerSpec",
+    "StragglerTrace",
+    "TPGroup",
+    "TrainingTask",
+    "TransformerModelSpec",
+    "get_model",
+    "make_cluster",
+    "paper_cluster",
+    "paper_task",
+    "paper_trace",
+    "run_trace",
+    "theoretic_optimal_step_time",
+    "uniform_megatron_plan",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Baseline training frameworks the paper compares against."""
+
+from .config_search import (
+    ACTIVATION_CHECKPOINT_MEMORY,
+    ACTIVATION_CHECKPOINT_OVERHEAD,
+    DeepSpeedConfig,
+    MegatronConfig,
+    search_deepspeed_config,
+    search_megatron_config,
+)
+from .deepspeed import (
+    DeepSpeedBaseline,
+    DeepSpeedRestartBaseline,
+    deepspeed_memory_fits,
+    deepspeed_step_time,
+)
+from .megatron import (
+    MegatronBaseline,
+    MegatronRestartBaseline,
+    build_megatron_plan,
+)
+from .oobleck import OOBLECK_MIGRATION_TIME, OOBLECK_OVERHEAD, OobleckBaseline
+
+__all__ = [
+    "ACTIVATION_CHECKPOINT_MEMORY",
+    "ACTIVATION_CHECKPOINT_OVERHEAD",
+    "DeepSpeedBaseline",
+    "DeepSpeedConfig",
+    "DeepSpeedRestartBaseline",
+    "MegatronBaseline",
+    "MegatronConfig",
+    "MegatronRestartBaseline",
+    "OOBLECK_MIGRATION_TIME",
+    "OOBLECK_OVERHEAD",
+    "OobleckBaseline",
+    "build_megatron_plan",
+    "deepspeed_memory_fits",
+    "deepspeed_step_time",
+    "search_deepspeed_config",
+    "search_megatron_config",
+]

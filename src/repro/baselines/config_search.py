@@ -1,0 +1,221 @@
+"""Manual parallel-configuration search for the restart-based baselines.
+
+When Megatron-LM or DeepSpeed restart after excluding straggling nodes, an
+engineer must hand-tune the parallel configuration (DP/TP/PP/SP degrees,
+micro-batch size, activation checkpointing) for the surviving GPU count
+(Appendix A.3, Tables 6 and 7).  This module automates that search: it
+enumerates the feasible configurations, discards the ones that exceed GPU
+memory and returns the fastest according to the execution simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..cluster.topology import GIB, Cluster
+from ..core.costmodel import CostModelConfig, MalleusCostModel
+from ..models.spec import TrainingTask
+from ..parallel.plan import ParallelizationPlan, uniform_megatron_plan
+from ..simulator.executor import ExecutionSimulator
+from ..simulator.memory import plan_memory_report
+
+#: Compute-time multiplier when full activation checkpointing is enabled
+#: (every layer's forward pass is recomputed during the backward pass).
+ACTIVATION_CHECKPOINT_OVERHEAD = 4.0 / 3.0
+
+#: Fraction of activation memory kept when activation checkpointing is on.
+ACTIVATION_CHECKPOINT_MEMORY = 0.12
+
+
+@dataclass
+class MegatronConfig:
+    """A uniform 3D-parallel configuration."""
+
+    dp: int
+    tp: int
+    pp: int
+    micro_batch_size: int = 1
+    activation_checkpointing: bool = False
+    first_stage_layers: Optional[int] = None
+    step_time: float = math.inf
+
+    def label(self) -> str:
+        """Compact label like ``DP2TP8PP4, mbs1`` (Tables 6/7 style)."""
+        text = f"DP{self.dp}TP{self.tp}PP{self.pp}"
+        if self.activation_checkpointing:
+            text += "+AC"
+        text += f", mbs{self.micro_batch_size}"
+        return text
+
+
+@dataclass
+class DeepSpeedConfig:
+    """A ZeRO-3 / FSDP configuration with Ulysses sequence parallelism."""
+
+    dp: int
+    sp: int
+    micro_batch_size: int = 1
+    activation_checkpointing: bool = True
+    step_time: float = math.inf
+
+    def label(self) -> str:
+        """Compact label like ``DP32SP2+AC, mbs2``."""
+        text = f"DP{self.dp}SP{self.sp}"
+        if self.activation_checkpointing:
+            text += "+AC"
+        text += f", mbs{self.micro_batch_size}"
+        return text
+
+
+def _layer_split_options(num_layers: int, pp: int) -> List[Optional[int]]:
+    """First-stage layer counts to try (None means an even split)."""
+    if pp <= 1 or num_layers % pp == 0:
+        return [None]
+    options: List[Optional[int]] = []
+    # Mirror the paper's manual fix: give the first stage fewer layers so the
+    # remaining stages split evenly.
+    for first in range(1, num_layers // pp + 1):
+        remaining = num_layers - first
+        if remaining % (pp - 1) == 0:
+            options.append(first)
+    return options or [None]
+
+
+def megatron_cost_model(task: TrainingTask, cluster: Cluster,
+                        base: Optional[MalleusCostModel] = None) -> MalleusCostModel:
+    """Cost model with Megatron-LM memory semantics.
+
+    Megatron-LM (without the distributed optimizer) replicates the optimizer
+    states inside every data-parallel replica, unlike Malleus's ZeRO-1
+    sharding.  This is what forces the paper's Megatron configurations to
+    use deeper pipelines (DP2 TP4 PP4 for the 32B model, DP2 TP8 PP4 for the
+    70B/110B models).
+    """
+    config = CostModelConfig(**vars(base.config)) if base is not None \
+        else CostModelConfig()
+    config.zero1_optimizer_sharding = False
+    # Megatron-LM's mixed-precision recipe keeps fp32 main gradients, and its
+    # contiguous gradient buckets / all-reduce staging buffers plus allocator
+    # fragmentation consume a few extra GiB per GPU.
+    config.grad_bytes_per_param = 4.0
+    config.reserved_memory_bytes = 8.0 * GIB
+    return MalleusCostModel(task.model, cluster, config)
+
+
+def search_megatron_config(
+    task: TrainingTask,
+    cluster: Cluster,
+    cost_model: Optional[MalleusCostModel] = None,
+    tp_candidates: Sequence[int] = (1, 2, 4, 8),
+    mbs_candidates: Sequence[int] = (1, 2, 4),
+) -> Optional[MegatronConfig]:
+    """Find the fastest memory-feasible uniform 3D-parallel configuration."""
+    cost_model = megatron_cost_model(task, cluster, cost_model)
+    simulator = ExecutionSimulator(cost_model)
+    num_gpus = cluster.num_gpus
+    num_layers = task.model.num_layers
+    best: Optional[MegatronConfig] = None
+
+    for tp in tp_candidates:
+        if tp > cluster.gpus_per_node or num_gpus % tp != 0:
+            continue
+        for pp in range(1, num_gpus // tp + 1):
+            if (num_gpus // tp) % pp != 0:
+                continue
+            dp = num_gpus // (tp * pp)
+            if task.global_batch_size % dp != 0:
+                continue
+            for mbs in mbs_candidates:
+                if (task.global_batch_size // dp) % mbs != 0:
+                    continue
+                for ac in (False, True):
+                    for first in _layer_split_options(num_layers, pp):
+                        try:
+                            plan = uniform_megatron_plan(
+                                cluster.gpu_ids(), dp, tp, pp, num_layers,
+                                task.global_batch_size, mbs,
+                                first_stage_layers=first,
+                            )
+                        except ValueError:
+                            continue
+                        step_time = _megatron_step_time(
+                            plan, cost_model, simulator, ac
+                        )
+                        if math.isinf(step_time):
+                            continue
+                        if best is None or step_time < best.step_time:
+                            best = MegatronConfig(
+                                dp=dp, tp=tp, pp=pp, micro_batch_size=mbs,
+                                activation_checkpointing=ac,
+                                first_stage_layers=first, step_time=step_time,
+                            )
+    return best
+
+
+def _megatron_step_time(plan: ParallelizationPlan,
+                        cost_model: MalleusCostModel,
+                        simulator: ExecutionSimulator,
+                        activation_checkpointing: bool) -> float:
+    """Step time of a uniform plan, accounting for activation checkpointing."""
+    report = plan_memory_report(plan, cost_model)
+    if activation_checkpointing:
+        # Re-evaluate memory with shrunk activations.
+        original = cost_model.config.activation_fudge
+        cost_model.config.activation_fudge = original * ACTIVATION_CHECKPOINT_MEMORY
+        try:
+            report = plan_memory_report(plan, cost_model)
+        finally:
+            cost_model.config.activation_fudge = original
+    if not report.fits:
+        return math.inf
+    step = simulator.simulate_step(plan, rates=None, check_memory=False)
+    time = step.step_time
+    if activation_checkpointing:
+        time *= ACTIVATION_CHECKPOINT_OVERHEAD
+    return time
+
+
+def search_deepspeed_config(
+    task: TrainingTask,
+    cluster: Cluster,
+    cost_model: Optional[MalleusCostModel] = None,
+    sp_candidates: Sequence[int] = (1, 2, 4, 8),
+    mbs_candidates: Sequence[int] = (1, 2, 4, 6, 8),
+) -> Optional[DeepSpeedConfig]:
+    """Find the fastest memory-feasible ZeRO-3 configuration.
+
+    The DeepSpeed baseline shards all model states across every GPU; memory
+    feasibility therefore depends mostly on the activation footprint, which
+    the micro-batch size, the sequence-parallel degree and activation
+    checkpointing control.
+    """
+    from .deepspeed import deepspeed_step_time, deepspeed_memory_fits
+
+    cost_model = cost_model or MalleusCostModel(task.model, cluster)
+    num_gpus = cluster.num_gpus
+    best: Optional[DeepSpeedConfig] = None
+    for sp in sp_candidates:
+        if num_gpus % sp != 0:
+            continue
+        dp = num_gpus // sp
+        # When the global batch does not divide evenly across the DP groups the
+        # paper slightly grows the batch (the blue-highlighted DP entries of
+        # Table 7); the per-GPU workload model already averages over GPUs, so
+        # non-divisible configurations are simply allowed here.
+        for mbs in mbs_candidates:
+            for ac in (True, False):
+                config = DeepSpeedConfig(
+                    dp=dp, sp=sp, micro_batch_size=mbs,
+                    activation_checkpointing=ac,
+                )
+                if not deepspeed_memory_fits(task, cluster, cost_model, config):
+                    continue
+                step_time = deepspeed_step_time(
+                    task, cluster, cost_model, config, rates=None
+                )
+                if best is None or step_time < best.step_time:
+                    config.step_time = step_time
+                    best = config
+    return best

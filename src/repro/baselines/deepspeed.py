@@ -1,0 +1,252 @@
+"""DeepSpeed-style ZeRO-3 / Fully-Sharded-Data-Parallel baseline (§7.1).
+
+DeepSpeed with the ZeRO-3 optimizer scatters every layer's parameters,
+gradients and optimizer states across *all* GPUs and must all-gather the
+parameters of each layer during both the forward and the backward pass.
+That makes every layer a globally synchronous operation, so a single
+straggling GPU slows down the whole cluster — which is exactly why the
+paper finds DeepSpeed more straggler-sensitive than hybrid parallel.
+
+The baseline is modelled analytically:
+
+* per-GPU compute time: the GPU's share of the step FLOPs divided by its
+  achieved throughput, multiplied by the slowest straggling rate in the
+  cluster (global per-layer synchronisation);
+* communication: two parameter all-gathers plus one gradient reduce-scatter
+  per layer across all GPUs over the inter-node interconnect;
+* optional activation checkpointing multiplies compute by 4/3 and shrinks
+  the activation footprint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cluster.stragglers import ClusterState
+from ..cluster.topology import Cluster
+from ..core.costmodel import MalleusCostModel
+from ..models.spec import TrainingTask
+from ..simulator.comm import allgather_time, reduce_scatter_time
+from ..simulator.executor import STEP_OVERHEAD
+from ..simulator.restart import RestartCostConfig, restart_time
+from ..simulator.session import Adjustment
+from .config_search import (
+    ACTIVATION_CHECKPOINT_MEMORY,
+    ACTIVATION_CHECKPOINT_OVERHEAD,
+    DeepSpeedConfig,
+    search_deepspeed_config,
+)
+
+#: ZeRO-3 achieves higher kernel efficiency than hybrid parallel (no pipeline
+#: bubbles) but pays a fixed per-layer synchronisation overhead.
+DEEPSPEED_EFFICIENCY_BONUS = 1.12
+
+#: Fraction of the parameter all-gather / gradient reduce-scatter traffic that
+#: DeepSpeed manages to overlap with computation (prefetching the next layer).
+DEEPSPEED_COMM_OVERLAP = 0.7
+
+
+def _global_collective_bandwidth(cluster: Cluster) -> float:
+    """Effective per-GPU bandwidth of a cluster-wide collective.
+
+    A collective spanning all GPUs crosses every node's NIC, which is shared
+    by the node's GPUs; the effective per-rank bandwidth is therefore the
+    (full-duplex) inter-node bandwidth divided by half the GPUs per node,
+    reflecting the hierarchical intra-node-then-inter-node algorithms ZeRO-3
+    uses for its collectives.
+    """
+    if cluster.num_nodes <= 1:
+        return cluster.nodes[0].intra_node_bandwidth
+    return cluster.inter_node_bandwidth / max(1.0, cluster.gpus_per_node / 2.0)
+
+
+def deepspeed_memory_fits(task: TrainingTask, cluster: Cluster,
+                          cost_model: MalleusCostModel,
+                          config: DeepSpeedConfig) -> bool:
+    """Check whether a ZeRO-3 configuration fits in GPU memory."""
+    model = task.model
+    num_gpus = cluster.num_gpus
+    per_param = (
+        cost_model.config.bytes_per_param
+        + cost_model.config.grad_bytes_per_param
+        + cost_model.config.optimizer_bytes_per_param
+    )
+    # All model states are sharded across every GPU (ZeRO-3).
+    state_bytes = model.total_params() * per_param / num_gpus
+    # A few layers' parameters are materialised (all-gathered) at a time for
+    # prefetch overlap, plus gradient reduce buckets of the same size.
+    materialised = 4.0 * model.layer_param_bytes()
+    # FSDP/ZeRO-3 keeps full (unsharded) activations and suffers from
+    # allocator fragmentation; a 15% overhead reflects that.
+    activation_per_layer = 1.15 * model.layer_activation_bytes(
+        config.micro_batch_size
+    )
+    activation_per_layer /= config.sp
+    if config.activation_checkpointing:
+        activation_per_layer *= ACTIVATION_CHECKPOINT_MEMORY
+    activations = activation_per_layer * model.num_layers
+    logits = model.lm_head_activation_bytes(config.micro_batch_size) / config.sp
+    total = state_bytes + materialised + activations + logits \
+        + cost_model.config.reserved_memory_bytes
+    capacity = min(cluster.memory_capacity(g) for g in cluster.gpu_ids())
+    return total <= capacity
+
+
+def deepspeed_step_time(task: TrainingTask, cluster: Cluster,
+                        cost_model: MalleusCostModel,
+                        config: DeepSpeedConfig,
+                        rates: Optional[Dict[int, float]] = None) -> float:
+    """Per-step time of the ZeRO-3 baseline under the given straggling rates."""
+    model = task.model
+    num_gpus = cluster.num_gpus
+    rates = rates or {}
+    worst_rate = max((rates.get(g, 1.0) for g in cluster.gpu_ids()), default=1.0)
+    if math.isinf(worst_rate):
+        return math.inf
+
+    gpu = next(cluster.iter_gpus())
+    achieved = gpu.peak_flops * cost_model.config.compute_efficiency \
+        * DEEPSPEED_EFFICIENCY_BONUS
+    tokens_per_gpu = task.global_batch_size * model.seq_length / num_gpus
+    compute = model.training_flops_per_token() * tokens_per_gpu / achieved
+    if config.activation_checkpointing:
+        compute *= ACTIVATION_CHECKPOINT_OVERHEAD
+    # Every layer is globally synchronous, so the slowest GPU paces the step.
+    compute *= worst_rate
+
+    bandwidth = _global_collective_bandwidth(cluster)
+    layer_params_bytes = model.layer_param_bytes()
+    per_layer_comm = 2.0 * allgather_time(layer_params_bytes, num_gpus, bandwidth)
+    per_layer_comm += reduce_scatter_time(layer_params_bytes, num_gpus, bandwidth)
+    comm = per_layer_comm * model.num_layers
+    comm += 2.0 * allgather_time(
+        model.embedding_params() * 2.0, num_gpus, bandwidth
+    )
+    # Parameter prefetching overlaps most of the communication with compute;
+    # only the non-overlapped remainder is exposed.
+    exposed_comm = max(0.0, comm - DEEPSPEED_COMM_OVERLAP * compute)
+    return compute + exposed_comm + STEP_OVERHEAD
+
+
+@dataclass
+class DeepSpeedBaseline:
+    """DeepSpeed (ZeRO-3) without restarts: it simply rides out stragglers."""
+
+    task: TrainingTask
+    cluster: Cluster
+    cost_model: Optional[MalleusCostModel] = None
+    config: Optional[DeepSpeedConfig] = None
+    name: str = "DeepSpeed"
+
+    def __post_init__(self) -> None:
+        self.cost_model = self.cost_model or MalleusCostModel(
+            self.task.model, self.cluster
+        )
+
+    def setup(self, state: ClusterState) -> None:
+        """Tune the configuration once, for the straggler-free cluster."""
+        if self.config is None:
+            self.config = search_deepspeed_config(
+                self.task, self.cluster, self.cost_model
+            )
+        if self.config is None:
+            raise RuntimeError("no feasible DeepSpeed configuration found")
+
+    def on_situation_change(self, state: ClusterState) -> Adjustment:
+        """DeepSpeed does not react to stragglers."""
+        return Adjustment(kind="none", description="ZeRO-3 keeps training")
+
+    def step_time(self, state: ClusterState) -> float:
+        """Step time under the current straggling rates."""
+        assert self.config is not None
+        return deepspeed_step_time(
+            self.task, self.cluster, self.cost_model, self.config,
+            state.rate_map(),
+        )
+
+
+@dataclass
+class DeepSpeedRestartBaseline:
+    """DeepSpeed w/ Restart: excludes straggling nodes and restarts training."""
+
+    task: TrainingTask
+    cluster: Cluster
+    cost_model: Optional[MalleusCostModel] = None
+    restart_config: RestartCostConfig = None  # type: ignore[assignment]
+    straggler_threshold: float = 1.05
+    name: str = "DeepSpeed w/ Restart"
+
+    def __post_init__(self) -> None:
+        self.cost_model = self.cost_model or MalleusCostModel(
+            self.task.model, self.cluster
+        )
+        if self.restart_config is None:
+            # ZeRO checkpoints are sharded and therefore saved/loaded in
+            # parallel, which is why the paper measures cheaper restarts for
+            # DeepSpeed than for Megatron-LM.
+            self.restart_config = RestartCostConfig(
+                checkpoint_bandwidth=12.0e9, framework_init_time=60.0,
+            )
+        self._active_cluster: Cluster = self.cluster
+        self._config: Optional[DeepSpeedConfig] = None
+        self._excluded_nodes: frozenset = frozenset()
+
+    # ------------------------------------------------------------------
+    def _straggling_nodes(self, state: ClusterState) -> frozenset:
+        """Nodes containing at least one straggler (node-granular removal)."""
+        nodes = set()
+        for gpu_id, rate in state.rates.items():
+            if rate > self.straggler_threshold:
+                nodes.add(state.cluster.gpu(gpu_id).node_id)
+        return frozenset(nodes)
+
+    def _retune(self) -> None:
+        """Re-run the manual configuration search on the active cluster."""
+        cost_model = MalleusCostModel(
+            self.task.model, self._active_cluster, self.cost_model.config
+        )
+        self._config = search_deepspeed_config(
+            self.task, self._active_cluster, cost_model
+        )
+        if self._config is None:
+            raise RuntimeError("no feasible DeepSpeed configuration after restart")
+        self._active_cost_model = cost_model
+
+    def setup(self, state: ClusterState) -> None:
+        """Initial configuration on the full cluster."""
+        self._active_cluster = self.cluster
+        self._excluded_nodes = frozenset()
+        self._active_cost_model = self.cost_model
+        self._retune()
+
+    def on_situation_change(self, state: ClusterState) -> Adjustment:
+        """Remove (or re-add) whole nodes and restart when the set changes."""
+        excluded = self._straggling_nodes(state)
+        if excluded == self._excluded_nodes:
+            return Adjustment(kind="none")
+        keep = [
+            gpu.gpu_id for gpu in self.cluster.iter_gpus()
+            if gpu.node_id not in excluded
+        ]
+        self._active_cluster = self.cluster.subset(keep) if excluded else self.cluster
+        self._excluded_nodes = excluded
+        self._retune()
+        downtime = restart_time(self.task.model, self._active_cluster,
+                                self.restart_config)
+        return Adjustment(
+            kind="restart", downtime=downtime,
+            description=f"excluded nodes {sorted(excluded)}",
+        )
+
+    def step_time(self, state: ClusterState) -> float:
+        """Step time on the surviving nodes (no stragglers remain on them)."""
+        assert self._config is not None
+        rates = {
+            g: state.rates.get(g, 1.0) for g in self._active_cluster.gpu_ids()
+        }
+        return deepspeed_step_time(
+            self.task, self._active_cluster, self._active_cost_model,
+            self._config, rates,
+        )

@@ -1,0 +1,176 @@
+"""Megatron-LM-style uniform 3D-parallel baseline (§7.1).
+
+Megatron-LM combines DP, TP (with sequence parallelism) and PP but
+partitions devices, stages, layers and data *uniformly*.  Under stragglers
+the slow GPU drags down its TP group, hence its pipeline stage, hence its
+pipeline, and the data-parallel gradient synchronisation finally makes every
+other pipeline wait too.  The baseline therefore keeps a fixed uniform plan
+and simply simulates it under the current straggling rates.
+
+The "w/ Restart" variant excludes every node that contains a straggler,
+re-tunes the parallel configuration for the surviving GPU count (the manual
+effort of Appendix A.3) and pays the checkpoint-save / re-init /
+checkpoint-load restart cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.stragglers import ClusterState
+from ..cluster.topology import Cluster
+from ..core.costmodel import MalleusCostModel
+from ..models.spec import TrainingTask
+from ..parallel.plan import ParallelizationPlan, uniform_megatron_plan
+from ..simulator.executor import ExecutionSimulator
+from ..simulator.restart import RestartCostConfig, restart_time
+from ..simulator.session import Adjustment
+from .config_search import (
+    ACTIVATION_CHECKPOINT_OVERHEAD,
+    MegatronConfig,
+    search_megatron_config,
+)
+
+
+def build_megatron_plan(config: MegatronConfig, task: TrainingTask,
+                        cluster: Cluster) -> ParallelizationPlan:
+    """Materialise a uniform plan from a Megatron configuration."""
+    return uniform_megatron_plan(
+        cluster.gpu_ids(), config.dp, config.tp, config.pp,
+        task.model.num_layers, task.global_batch_size,
+        config.micro_batch_size, first_stage_layers=config.first_stage_layers,
+    )
+
+
+@dataclass
+class MegatronBaseline:
+    """Megatron-LM without restarts: a fixed uniform plan rides out stragglers."""
+
+    task: TrainingTask
+    cluster: Cluster
+    cost_model: Optional[MalleusCostModel] = None
+    config: Optional[MegatronConfig] = None
+    name: str = "Megatron-LM"
+
+    def __post_init__(self) -> None:
+        self.cost_model = self.cost_model or MalleusCostModel(
+            self.task.model, self.cluster
+        )
+        self.simulator = ExecutionSimulator(self.cost_model)
+        self.plan: Optional[ParallelizationPlan] = None
+
+    def setup(self, state: ClusterState) -> None:
+        """Tune the configuration once for the straggler-free cluster."""
+        if self.config is None:
+            self.config = search_megatron_config(
+                self.task, self.cluster, self.cost_model
+            )
+        if self.config is None:
+            raise RuntimeError("no feasible Megatron configuration found")
+        self.plan = build_megatron_plan(self.config, self.task, self.cluster)
+
+    def on_situation_change(self, state: ClusterState) -> Adjustment:
+        """Megatron-LM does not react to stragglers."""
+        return Adjustment(kind="none", description="uniform plan kept")
+
+    def step_time(self, state: ClusterState) -> float:
+        """Simulated step time of the uniform plan under the given rates."""
+        assert self.plan is not None and self.config is not None
+        result = self.simulator.simulate_step(
+            self.plan, state.rate_map(), check_memory=False
+        )
+        time = result.step_time
+        if self.config.activation_checkpointing:
+            time *= ACTIVATION_CHECKPOINT_OVERHEAD
+        return time
+
+
+@dataclass
+class MegatronRestartBaseline:
+    """Megatron-LM w/ Restart: node-granular exclusion plus full restarts."""
+
+    task: TrainingTask
+    cluster: Cluster
+    cost_model: Optional[MalleusCostModel] = None
+    restart_config: RestartCostConfig = None  # type: ignore[assignment]
+    straggler_threshold: float = 1.05
+    name: str = "Megatron-LM w/ Restart"
+
+    def __post_init__(self) -> None:
+        self.cost_model = self.cost_model or MalleusCostModel(
+            self.task.model, self.cluster
+        )
+        if self.restart_config is None:
+            self.restart_config = RestartCostConfig()
+        self._active_cluster: Cluster = self.cluster
+        self._active_cost_model = self.cost_model
+        self._config: Optional[MegatronConfig] = None
+        self._plan: Optional[ParallelizationPlan] = None
+        self._excluded_nodes: frozenset = frozenset()
+
+    # ------------------------------------------------------------------
+    def _straggling_nodes(self, state: ClusterState) -> frozenset:
+        """Nodes containing at least one straggler."""
+        nodes = set()
+        for gpu_id, rate in state.rates.items():
+            if rate > self.straggler_threshold:
+                nodes.add(state.cluster.gpu(gpu_id).node_id)
+        return frozenset(nodes)
+
+    def _retune(self) -> None:
+        """Manual configuration search on the currently active cluster."""
+        cost_model = MalleusCostModel(
+            self.task.model, self._active_cluster, self.cost_model.config
+        )
+        config = search_megatron_config(self.task, self._active_cluster, cost_model)
+        if config is None:
+            raise RuntimeError("no feasible Megatron configuration after restart")
+        self._config = config
+        self._active_cost_model = cost_model
+        self._plan = build_megatron_plan(config, self.task, self._active_cluster)
+        self._simulator = ExecutionSimulator(cost_model)
+
+    def setup(self, state: ClusterState) -> None:
+        """Initial configuration on the full cluster."""
+        self._active_cluster = self.cluster
+        self._excluded_nodes = frozenset()
+        self._retune()
+
+    def on_situation_change(self, state: ClusterState) -> Adjustment:
+        """Exclude/re-include whole nodes and restart when the set changes."""
+        excluded = self._straggling_nodes(state)
+        if excluded == self._excluded_nodes:
+            return Adjustment(kind="none")
+        keep = [
+            gpu.gpu_id for gpu in self.cluster.iter_gpus()
+            if gpu.node_id not in excluded
+        ]
+        self._active_cluster = self.cluster.subset(keep) if excluded else self.cluster
+        self._excluded_nodes = excluded
+        self._retune()
+        downtime = restart_time(self.task.model, self._active_cluster,
+                                self.restart_config)
+        return Adjustment(
+            kind="restart", downtime=downtime,
+            description=f"excluded nodes {sorted(excluded)}",
+        )
+
+    def step_time(self, state: ClusterState) -> float:
+        """Step time on the surviving nodes."""
+        assert self._plan is not None and self._config is not None
+        rates = {
+            g: state.rates.get(g, 1.0) for g in self._active_cluster.gpu_ids()
+        }
+        result = self._simulator.simulate_step(self._plan, rates,
+                                               check_memory=False)
+        time = result.step_time
+        if self._config.activation_checkpointing:
+            time *= ACTIVATION_CHECKPOINT_OVERHEAD
+        return time
+
+    @property
+    def current_config(self) -> Optional[MegatronConfig]:
+        """The currently active configuration (for the Tables 6/7 harness)."""
+        return self._config

@@ -1,0 +1,141 @@
+"""Oobleck-style fault-tolerant training baseline (§7.2, Figure 8).
+
+Oobleck (SOSP'23) provides fault tolerance through *pipeline templates*: a
+small set of pre-computed pipeline configurations it can switch between when
+GPUs fail.  The paper repurposes it for stragglers by treating straggling
+GPUs as faulty, and observes two costs:
+
+* a constant efficiency overhead even without stragglers (Oobleck constrains
+  the parallelization so that templates remain reachable), measured at
+  1.82x of Malleus in the straggler-free case;
+* limited adaptability: only transitions covered by the pre-computed
+  templates can be handled by live migration (~2-8 s); every other
+  transition falls back to a full restart (~330-370 s).
+
+The baseline models both effects.  Templates are pre-computed for up to
+``max_template_exclusions`` simultaneously excluded GPUs; a transition is
+migratable only when both the previous and the new situation lie within the
+template coverage, which reproduces the migrate/restart pattern of Figure 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.stragglers import ClusterState
+from ..cluster.topology import Cluster
+from ..core.costmodel import MalleusCostModel
+from ..core.planner import MalleusPlanner
+from ..models.spec import TrainingTask
+from ..simulator.executor import ExecutionSimulator
+from ..simulator.restart import RestartCostConfig, restart_time
+from ..simulator.session import Adjustment
+
+#: Efficiency penalty of Oobleck's fault-tolerance-constrained parallelization
+#: relative to an efficiency-optimal plan (Figure 8: 21.1 s vs 11.6 s normal).
+OOBLECK_OVERHEAD = 1.82
+
+#: Live migration cost when a template transition exists (Figure 8: 7.3-7.9 s).
+OOBLECK_MIGRATION_TIME = 7.6
+
+
+@dataclass
+class OobleckBaseline:
+    """Fault-tolerant baseline that excludes stragglers via pipeline templates."""
+
+    task: TrainingTask
+    cluster: Cluster
+    cost_model: Optional[MalleusCostModel] = None
+    max_template_exclusions: int = 2
+    overhead: float = OOBLECK_OVERHEAD
+    migration_time: float = OOBLECK_MIGRATION_TIME
+    restart_config: RestartCostConfig = None  # type: ignore[assignment]
+    straggler_threshold: float = 1.05
+    name: str = "Oobleck"
+
+    def __post_init__(self) -> None:
+        self.cost_model = self.cost_model or MalleusCostModel(
+            self.task.model, self.cluster
+        )
+        if self.restart_config is None:
+            self.restart_config = RestartCostConfig(
+                checkpoint_bandwidth=4.0e9, framework_init_time=110.0,
+            )
+        self.simulator = ExecutionSimulator(self.cost_model)
+        # Oobleck excludes stragglers entirely, so its achievable plan is the
+        # straggler-free-optimal plan on the remaining GPUs; we reuse the
+        # Malleus planner (with splitting disabled) to obtain it and then
+        # apply the fault-tolerance overhead factor.
+        self.planner = MalleusPlanner(
+            self.task, self.cluster, self.cost_model, enable_splitting=False
+        )
+        self._plan = None
+        self._excluded: frozenset = frozenset()
+        self._dp: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _excluded_gpus(self, state: ClusterState) -> frozenset:
+        """GPUs Oobleck treats as faulty (all stragglers)."""
+        return frozenset(
+            g for g, r in state.rates.items() if r > self.straggler_threshold
+        )
+
+    def _replan(self, excluded: frozenset) -> None:
+        """Compute the template plan that excludes the given GPUs."""
+        rates = {
+            g: (math.inf if g in excluded else 1.0)
+            for g in self.cluster.gpu_ids()
+        }
+        result = self.planner.plan(rates, dp=self._dp)
+        if (not result.feasible or result.plan is None) and self._dp is not None:
+            # No template with the original DP degree exists for this set of
+            # exclusions; fall back to a template with a different DP degree.
+            result = self.planner.plan(rates)
+        if not result.feasible or result.plan is None:
+            raise RuntimeError("Oobleck could not build a pipeline template")
+        if self._dp is None:
+            self._dp = result.plan.dp_degree
+        self._plan = result.plan
+
+    def setup(self, state: ClusterState) -> None:
+        """Initial template on the straggler-free cluster."""
+        self._excluded = self._excluded_gpus(state)
+        self._replan(self._excluded)
+
+    def within_templates(self, excluded: frozenset) -> bool:
+        """Whether a set of exclusions is covered by the pre-computed templates."""
+        return len(excluded) <= self.max_template_exclusions
+
+    def on_situation_change(self, state: ClusterState) -> Adjustment:
+        """Migrate when a template transition exists, otherwise restart."""
+        excluded = self._excluded_gpus(state)
+        if excluded == self._excluded:
+            return Adjustment(kind="none")
+        migratable = self.within_templates(excluded) and \
+            self.within_templates(self._excluded)
+        self._excluded = excluded
+        self._replan(excluded)
+        if migratable:
+            return Adjustment(
+                kind="migrate", downtime=self.migration_time,
+                description=f"template switch excluding {sorted(excluded)}",
+            )
+        downtime = restart_time(self.task.model, self.cluster, self.restart_config)
+        return Adjustment(
+            kind="restart", downtime=downtime,
+            description=f"no template for excluding {sorted(excluded)}",
+        )
+
+    def step_time(self, state: ClusterState) -> float:
+        """Step time of the current template plan (stragglers excluded)."""
+        assert self._plan is not None
+        rates = {
+            g: (1.0 if g in self._excluded else state.rates.get(g, 1.0))
+            for g in self.cluster.gpu_ids()
+        }
+        # Excluded GPUs do not participate; healthy rates apply to the rest.
+        result = self.simulator.simulate_step(self._plan, rates,
+                                              check_memory=False)
+        return result.step_time * self.overhead

@@ -1,0 +1,51 @@
+"""Cluster substrate: topology, straggler state, traces and the profiler."""
+
+from .profiler import Profiler, ProfilerConfig, ProfilerReport
+from .stragglers import (
+    FAILED_RATE,
+    LEVEL_TO_RATE,
+    NORMAL_RATE,
+    ClusterState,
+    StragglerSpec,
+    rate_for_level,
+    state_from_levels,
+    state_from_rates,
+)
+from .topology import GB, GIB, Cluster, GPUDevice, Node, make_cluster, paper_cluster
+from .trace import (
+    StragglerSituation,
+    StragglerTrace,
+    ablation_situations,
+    case_study_situation,
+    normal_situation,
+    paper_situation,
+    paper_trace,
+)
+
+__all__ = [
+    "GB",
+    "GIB",
+    "Cluster",
+    "ClusterState",
+    "FAILED_RATE",
+    "GPUDevice",
+    "LEVEL_TO_RATE",
+    "NORMAL_RATE",
+    "Node",
+    "Profiler",
+    "ProfilerConfig",
+    "ProfilerReport",
+    "StragglerSituation",
+    "StragglerSpec",
+    "StragglerTrace",
+    "ablation_situations",
+    "case_study_situation",
+    "make_cluster",
+    "normal_situation",
+    "paper_cluster",
+    "paper_situation",
+    "paper_trace",
+    "rate_for_level",
+    "state_from_levels",
+    "state_from_rates",
+]

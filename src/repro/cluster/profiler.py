@@ -1,0 +1,172 @@
+"""The Malleus profiler (§3.2 and §5.2).
+
+The real system times CUDA events on every GPU, derives per-GPU straggling
+rates, keeps benchmarking GPUs that were removed from training (standby
+devices), and notifies the planner whenever any rate changes by more than
+5% between consecutive iterations.  In this reproduction the "hardware" is
+a :class:`~repro.cluster.stragglers.ClusterState`, so the profiler observes
+the true rates plus optional measurement noise, and implements exactly the
+same detection/notification logic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .stragglers import ClusterState, NORMAL_RATE
+from .topology import Cluster
+
+
+@dataclass
+class ProfilerConfig:
+    """Tunables of the profiler.
+
+    ``shift_threshold`` is the relative change that triggers a re-planning
+    notification (5% in the paper).  ``measurement_noise`` adds multiplicative
+    jitter to the observed rates to exercise the detection logic under
+    realistic conditions.  ``standby_benchmark_interval`` controls how often
+    removed GPUs are micro-benchmarked (§5.2, elastic scaling).
+    ``failure_timeout_rate`` is the observed rate above which a GPU is treated
+    as failed (communication-call timeout in the real system).
+    """
+
+    shift_threshold: float = 0.05
+    measurement_noise: float = 0.0
+    standby_benchmark_interval: int = 1
+    failure_timeout_rate: float = 1.0e6
+    seed: int = 0
+
+
+@dataclass
+class ProfilerReport:
+    """What the profiler hands to the planner after an iteration."""
+
+    iteration: int
+    rates: Dict[int, float]
+    changed: bool
+    max_relative_change: float
+    stragglers: Dict[int, float]
+    failed: List[int]
+
+
+class Profiler:
+    """Measures per-GPU straggling rates and detects shifts.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster being monitored.
+    config:
+        Detection thresholds and noise settings.
+    """
+
+    def __init__(self, cluster: Cluster, config: Optional[ProfilerConfig] = None):
+        self.cluster = cluster
+        self.config = config or ProfilerConfig()
+        self._rng = random.Random(self.config.seed)
+        self._last_observed: Dict[int, float] = {
+            gpu_id: NORMAL_RATE for gpu_id in cluster.gpu_ids()
+        }
+        self._standby: Dict[int, float] = {}
+        self._iteration = 0
+        self._listeners: List[Callable[[ProfilerReport], None]] = []
+
+    # ------------------------------------------------------------------
+    # Listener registration (the planner subscribes here)
+    # ------------------------------------------------------------------
+    def add_listener(self, callback: Callable[[ProfilerReport], None]) -> None:
+        """Register a callback invoked whenever a shift is detected."""
+        self._listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # Standby (removed) device management
+    # ------------------------------------------------------------------
+    def mark_standby(self, gpu_ids) -> None:
+        """Record GPUs that the current plan removed from training."""
+        for gpu_id in gpu_ids:
+            self._standby[gpu_id] = self._last_observed.get(gpu_id, NORMAL_RATE)
+
+    def unmark_standby(self, gpu_ids) -> None:
+        """Remove GPUs from the standby set (they rejoined training)."""
+        for gpu_id in gpu_ids:
+            self._standby.pop(gpu_id, None)
+
+    @property
+    def standby_gpus(self) -> List[int]:
+        """GPUs currently kept out of training but still benchmarked."""
+        return sorted(self._standby)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def _observe_rate(self, true_rate: float) -> float:
+        """Apply measurement noise to a true straggling rate."""
+        if math.isinf(true_rate):
+            return true_rate
+        noise = self.config.measurement_noise
+        if noise <= 0.0:
+            return true_rate
+        jitter = 1.0 + self._rng.uniform(-noise, noise)
+        return max(1.0, true_rate * jitter)
+
+    def measure(self, state: ClusterState) -> ProfilerReport:
+        """Measure one iteration and return (and broadcast) a report.
+
+        GPUs in the standby set are only re-measured every
+        ``standby_benchmark_interval`` iterations, mimicking the periodic
+        micro-benchmarks of §5.2.
+        """
+        self._iteration += 1
+        observed: Dict[int, float] = {}
+        for gpu_id in self.cluster.gpu_ids():
+            true_rate = state.rate(gpu_id)
+            if gpu_id in self._standby:
+                refresh = (self._iteration % self.config.standby_benchmark_interval == 0)
+                if refresh:
+                    value = self._observe_rate(true_rate)
+                    self._standby[gpu_id] = value
+                observed[gpu_id] = self._standby[gpu_id]
+            else:
+                observed[gpu_id] = self._observe_rate(true_rate)
+
+        worst_change = 0.0
+        for gpu_id, rate in observed.items():
+            old = self._last_observed.get(gpu_id, NORMAL_RATE)
+            if math.isinf(rate) or math.isinf(old):
+                if rate != old:
+                    worst_change = math.inf
+                continue
+            worst_change = max(worst_change, abs(rate - old) / max(old, 1.0))
+
+        changed = worst_change > self.config.shift_threshold
+        stragglers = {
+            gpu_id: rate
+            for gpu_id, rate in observed.items()
+            if rate > 1.0 + self.config.shift_threshold
+        }
+        failed = [
+            gpu_id
+            for gpu_id, rate in observed.items()
+            if math.isinf(rate) or rate >= self.config.failure_timeout_rate
+        ]
+        report = ProfilerReport(
+            iteration=self._iteration,
+            rates=dict(observed),
+            changed=changed,
+            max_relative_change=worst_change,
+            stragglers=stragglers,
+            failed=failed,
+        )
+        self._last_observed = observed
+        if changed:
+            for listener in self._listeners:
+                listener(report)
+        return report
+
+    @property
+    def last_rates(self) -> Dict[int, float]:
+        """The most recently observed gpu-id -> rate mapping."""
+        return dict(self._last_observed)

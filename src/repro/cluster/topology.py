@@ -1,0 +1,221 @@
+"""Cluster topology model: GPUs, nodes and interconnects.
+
+The paper's testbed is 8 servers with 8 x A800 (80 GB) GPUs each, NVLink
+(400 GB/s) inside a node and InfiniBand (200 GB/s) across nodes.  We model
+the cluster as plain data so the planner, the cost model and the
+discrete-event simulator can all consume it.  Nothing here assumes NVIDIA
+hardware; the numbers are just bandwidth/compute/memory scalars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+GIB = 1024.0 ** 3
+GB = 1.0e9
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """A single accelerator.
+
+    ``peak_tflops`` is the dense bf16 peak used to convert FLOPs into time
+    and to compute MFU.  ``memory_bytes`` is the usable device memory
+    (before the reserved gap for NCCL/CUDA contexts, which the memory cost
+    model subtracts separately).
+    """
+
+    gpu_id: int
+    node_id: int
+    local_rank: int
+    memory_bytes: float = 80.0 * GIB
+    peak_tflops: float = 312.0
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak throughput in FLOP/s."""
+        return self.peak_tflops * 1.0e12
+
+
+@dataclass(frozen=True)
+class Node:
+    """A server holding several GPUs connected by a fast intra-node link."""
+
+    node_id: int
+    gpus: tuple
+    intra_node_bandwidth: float = 400.0 * GB
+
+    @property
+    def num_gpus(self) -> int:
+        """Number of GPUs on this node."""
+        return len(self.gpus)
+
+    def gpu_ids(self) -> List[int]:
+        """Global ids of the GPUs on this node."""
+        return [gpu.gpu_id for gpu in self.gpus]
+
+
+@dataclass
+class Cluster:
+    """A collection of nodes plus the inter-node interconnect."""
+
+    nodes: List[Node]
+    inter_node_bandwidth: float = 200.0 * GB
+    name: str = "cluster"
+    _gpu_index: Dict[int, GPUDevice] = field(default_factory=dict, repr=False)
+    _node_index: Dict[int, Node] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+        self._gpu_index = {}
+        self._node_index = {}
+        for node in self.nodes:
+            if node.node_id in self._node_index:
+                raise ValueError(f"duplicate node id {node.node_id}")
+            self._node_index[node.node_id] = node
+            for gpu in node.gpus:
+                if gpu.gpu_id in self._gpu_index:
+                    raise ValueError(f"duplicate gpu id {gpu.gpu_id}")
+                self._gpu_index[gpu.gpu_id] = gpu
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the cluster."""
+        return len(self.nodes)
+
+    @property
+    def num_gpus(self) -> int:
+        """Total number of GPUs in the cluster."""
+        return len(self._gpu_index)
+
+    @property
+    def gpus_per_node(self) -> int:
+        """GPUs per node (assumes a homogeneous layout)."""
+        return self.nodes[0].num_gpus
+
+    def gpu(self, gpu_id: int) -> GPUDevice:
+        """Return the GPU with the given global id."""
+        try:
+            return self._gpu_index[gpu_id]
+        except KeyError:
+            raise KeyError(f"gpu id {gpu_id} not in cluster") from None
+
+    def gpu_ids(self) -> List[int]:
+        """All GPU ids, sorted."""
+        return sorted(self._gpu_index)
+
+    def iter_gpus(self) -> Iterator[GPUDevice]:
+        """Iterate over all GPUs in id order."""
+        for gpu_id in self.gpu_ids():
+            yield self._gpu_index[gpu_id]
+
+    def node_of(self, gpu_id: int) -> Node:
+        """Return the node hosting ``gpu_id``."""
+        return self._node_index[self.gpu(gpu_id).node_id]
+
+    def same_node(self, gpu_ids: Iterable[int]) -> bool:
+        """True when all given GPUs live on the same node."""
+        node_ids = {self.gpu(g).node_id for g in gpu_ids}
+        return len(node_ids) <= 1
+
+    def bandwidth_between(self, gpu_a: int, gpu_b: int) -> float:
+        """Point-to-point bandwidth (bytes/s) between two GPUs."""
+        a, b = self.gpu(gpu_a), self.gpu(gpu_b)
+        if a.node_id == b.node_id:
+            return self._node_index[a.node_id].intra_node_bandwidth
+        return self.inter_node_bandwidth
+
+    def group_bandwidth(self, gpu_ids: Sequence[int]) -> float:
+        """Bottleneck collective bandwidth of a GPU group."""
+        ids = list(gpu_ids)
+        if len(ids) <= 1:
+            return self.node_of(ids[0]).intra_node_bandwidth if ids \
+                else self.inter_node_bandwidth
+        if self.same_node(ids):
+            return self.node_of(ids[0]).intra_node_bandwidth
+        return self.inter_node_bandwidth
+
+    def memory_capacity(self, gpu_id: int) -> float:
+        """Usable memory (bytes) of a GPU."""
+        return self.gpu(gpu_id).memory_bytes
+
+    def subset(self, gpu_ids: Sequence[int], name: Optional[str] = None) -> "Cluster":
+        """Build a new cluster view containing only the given GPUs.
+
+        Used by the restart-based baselines, which remove entire nodes and
+        re-launch training on the survivors.
+        """
+        keep = set(gpu_ids)
+        new_nodes: List[Node] = []
+        for node in self.nodes:
+            kept = tuple(g for g in node.gpus if g.gpu_id in keep)
+            if kept:
+                new_nodes.append(
+                    Node(
+                        node_id=node.node_id,
+                        gpus=kept,
+                        intra_node_bandwidth=node.intra_node_bandwidth,
+                    )
+                )
+        if not new_nodes:
+            raise ValueError("subset would produce an empty cluster")
+        return Cluster(
+            nodes=new_nodes,
+            inter_node_bandwidth=self.inter_node_bandwidth,
+            name=name or f"{self.name}-subset",
+        )
+
+
+def make_cluster(
+    num_nodes: int = 8,
+    gpus_per_node: int = 8,
+    memory_gib: float = 80.0,
+    peak_tflops: float = 312.0,
+    intra_node_bandwidth: float = 400.0 * GB,
+    inter_node_bandwidth: float = 200.0 * GB,
+    name: str = "a800-cluster",
+) -> Cluster:
+    """Build a homogeneous cluster like the paper's 8x8 A800 testbed.
+
+    GPU ids are assigned node-major: GPU ``i`` lives on node ``i //
+    gpus_per_node`` with local rank ``i % gpus_per_node``, matching the
+    ``x0 .. x63`` naming used by the paper's case studies (Table 4).
+    """
+    if num_nodes <= 0 or gpus_per_node <= 0:
+        raise ValueError("num_nodes and gpus_per_node must be positive")
+    nodes: List[Node] = []
+    for node_id in range(num_nodes):
+        gpus = tuple(
+            GPUDevice(
+                gpu_id=node_id * gpus_per_node + local,
+                node_id=node_id,
+                local_rank=local,
+                memory_bytes=memory_gib * GIB,
+                peak_tflops=peak_tflops,
+            )
+            for local in range(gpus_per_node)
+        )
+        nodes.append(
+            Node(
+                node_id=node_id,
+                gpus=gpus,
+                intra_node_bandwidth=intra_node_bandwidth,
+            )
+        )
+    return Cluster(
+        nodes=nodes,
+        inter_node_bandwidth=inter_node_bandwidth,
+        name=name,
+    )
+
+
+def paper_cluster(num_gpus: int = 64) -> Cluster:
+    """The evaluation cluster: ``num_gpus`` A800s in 8-GPU nodes."""
+    if num_gpus % 8 != 0:
+        raise ValueError("paper clusters use 8-GPU nodes")
+    return make_cluster(num_nodes=num_gpus // 8, gpus_per_node=8)

@@ -1,0 +1,190 @@
+"""Dynamic straggler traces.
+
+The end-to-end evaluation (Figure 7 / Table 2) runs each framework through a
+trace of six straggler situations S1..S6 (plus the straggler-free "Normal"
+situation at both ends).  A trace is an ordered list of situations, each
+being a set of straggler specs held for a number of training iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .stragglers import ClusterState, StragglerSpec
+from .topology import Cluster
+
+
+@dataclass
+class StragglerSituation:
+    """A named straggler situation, e.g. S3 = one level-1 + one level-3."""
+
+    name: str
+    stragglers: List[StragglerSpec] = field(default_factory=list)
+    duration_steps: int = 100
+
+    def apply_to(self, state: ClusterState) -> None:
+        """Overwrite ``state`` with this situation (healthy elsewhere)."""
+        state.apply(self.stragglers, reset=True)
+
+    def as_state(self, cluster: Cluster) -> ClusterState:
+        """Materialise this situation as a fresh :class:`ClusterState`."""
+        state = ClusterState(cluster=cluster)
+        self.apply_to(state)
+        return state
+
+    def rate_map(self, cluster: Cluster) -> Dict[int, float]:
+        """GPU id -> rate mapping for this situation."""
+        return self.as_state(cluster).rate_map()
+
+    @property
+    def num_stragglers(self) -> int:
+        """How many GPUs are straggling in this situation."""
+        return len(self.stragglers)
+
+
+@dataclass
+class StragglerTrace:
+    """An ordered sequence of straggler situations."""
+
+    cluster: Cluster
+    situations: List[StragglerSituation] = field(default_factory=list)
+    name: str = "trace"
+
+    def __iter__(self):
+        return iter(self.situations)
+
+    def __len__(self) -> int:
+        return len(self.situations)
+
+    def situation(self, name: str) -> StragglerSituation:
+        """Look up a situation by name."""
+        for situation in self.situations:
+            if situation.name == name:
+                return situation
+        raise KeyError(f"no situation named '{name}' in trace '{self.name}'")
+
+    def names(self) -> List[str]:
+        """Names of the situations in order."""
+        return [s.name for s in self.situations]
+
+    def transitions(self) -> List[tuple]:
+        """Consecutive (from, to) situation pairs, e.g. ('Normal', 'S1')."""
+        pairs = []
+        for prev, cur in zip(self.situations, self.situations[1:]):
+            pairs.append((prev.name, cur.name))
+        return pairs
+
+
+# ----------------------------------------------------------------------
+# The paper's evaluation trace
+# ----------------------------------------------------------------------
+def normal_situation(duration_steps: int = 100) -> StragglerSituation:
+    """The straggler-free situation."""
+    return StragglerSituation(name="Normal", stragglers=[], duration_steps=duration_steps)
+
+
+def paper_situation(name: str, cluster: Cluster,
+                    duration_steps: int = 100) -> StragglerSituation:
+    """Build one of the paper's S1..S6 situations for a given cluster.
+
+    GPU placement follows the paper's convention: GPU-granular stragglers
+    live on distinct nodes (the first GPU of nodes 0, 1, 2, ...), and
+    node-granular situations straggle all eight GPUs of node 0.
+
+    * S1: one level-1 straggler.
+    * S2: one level-3 straggler.
+    * S3: one level-1 and one level-3 straggler on different nodes.
+    * S4: level-1, level-2 and level-3 stragglers on three different nodes.
+    * S5: eight level-1 stragglers on one node and a level-2 on another.
+    * S6: eight level-1 stragglers on one node.
+    """
+    gpus_per_node = cluster.gpus_per_node
+    first_gpu_of = lambda node: node * gpus_per_node  # noqa: E731
+
+    def spec(node: int, level: int, local: int = 0) -> StragglerSpec:
+        return StragglerSpec(gpu_id=first_gpu_of(node) + local, level=level)
+
+    key = name.upper()
+    if key == "NORMAL":
+        return normal_situation(duration_steps)
+    if key == "S1":
+        stragglers = [spec(0, 1)]
+    elif key == "S2":
+        stragglers = [spec(0, 3)]
+    elif key == "S3":
+        stragglers = [spec(0, 1), spec(1, 3)]
+    elif key == "S4":
+        stragglers = [spec(0, 1), spec(1, 2), spec(2, 3)]
+    elif key == "S5":
+        stragglers = [spec(0, 1, local) for local in range(gpus_per_node)]
+        stragglers.append(spec(1, 2))
+    elif key == "S6":
+        stragglers = [spec(0, 1, local) for local in range(gpus_per_node)]
+    else:
+        raise KeyError(f"unknown paper situation '{name}'")
+    return StragglerSituation(name=key, stragglers=stragglers,
+                              duration_steps=duration_steps)
+
+
+def paper_trace(cluster: Cluster, duration_steps: int = 100,
+                include_trailing_normal: bool = True) -> StragglerTrace:
+    """The Figure 7 trace: Normal -> S1 -> ... -> S6 (-> Normal)."""
+    names = ["Normal", "S1", "S2", "S3", "S4", "S5", "S6"]
+    if include_trailing_normal:
+        names.append("Normal")
+    situations = [paper_situation(n, cluster, duration_steps) for n in names]
+    # Keep the two "Normal" entries distinguishable for reporting.
+    if include_trailing_normal:
+        situations[-1] = StragglerSituation(
+            name="Normal(end)", stragglers=[], duration_steps=duration_steps
+        )
+    return StragglerTrace(cluster=cluster, situations=situations, name="paper-trace")
+
+
+def ablation_situations(cluster: Cluster) -> Dict[str, StragglerSituation]:
+    """The Figure 9 ablation situations (level-1/3/8 on 1, 2 or 3 nodes).
+
+    Rates reported in the figure: x = 2.57, 5.42 and 12.53.
+    """
+    gpn = cluster.gpus_per_node
+
+    def spec(gpu_id: int, rate: float) -> StragglerSpec:
+        return StragglerSpec(gpu_id=gpu_id, rate=rate)
+
+    return {
+        "one-node": StragglerSituation(
+            name="one-node",
+            stragglers=[spec(0, 2.57), spec(2, 5.42), spec(4, 12.53)],
+        ),
+        "two-nodes": StragglerSituation(
+            name="two-nodes",
+            stragglers=[spec(0, 2.57), spec(2, 5.42), spec(gpn, 12.53)],
+        ),
+        "three-nodes": StragglerSituation(
+            name="three-nodes",
+            stragglers=[spec(0, 2.57), spec(gpn, 5.42), spec(2 * gpn, 12.53)],
+        ),
+    }
+
+
+def case_study_situation(which: str, cluster: Cluster) -> StragglerSituation:
+    """The Table 4 case-study situations.
+
+    * ``"110b-s4"``: x0 = 5.42, x8 = 3.75, x16 = 2.57 (three nodes).
+    * ``"32b-s5"``: x0..x7 = 2.62 (whole node 0), x8 = 3.8.
+    """
+    gpn = cluster.gpus_per_node
+    key = which.lower()
+    if key == "110b-s4":
+        stragglers = [
+            StragglerSpec(gpu_id=0, rate=5.42),
+            StragglerSpec(gpu_id=gpn, rate=3.75),
+            StragglerSpec(gpu_id=2 * gpn, rate=2.57),
+        ]
+    elif key == "32b-s5":
+        stragglers = [StragglerSpec(gpu_id=i, rate=2.62) for i in range(gpn)]
+        stragglers.append(StragglerSpec(gpu_id=gpn, rate=3.8))
+    else:
+        raise KeyError(f"unknown case study '{which}'")
+    return StragglerSituation(name=key, stragglers=stragglers)

@@ -1,0 +1,65 @@
+"""Core Malleus contribution: the cost model and the bi-level planner."""
+
+from .assignment import (
+    LayerAssignmentResult,
+    LowerLevelResult,
+    assign_data,
+    assign_layers,
+    build_plan,
+    solve_lower_level,
+)
+from .costmodel import DEFAULT_RESERVED_MEMORY, CostModelConfig, MalleusCostModel
+from .grouping import (
+    GroupingResult,
+    enumerate_consecutive_groupings,
+    even_partition,
+    group_gpus,
+    group_rate,
+    harmonic_throughput,
+    power_of_two_decomposition,
+    split_node_groups,
+)
+from .orchestration import (
+    OrchestrationResult,
+    classify_groups,
+    divide_pipelines,
+    orchestrate,
+    order_pipeline_groups,
+)
+from .planner import (
+    CandidateRecord,
+    MalleusPlanner,
+    PlanningResult,
+    PlanningTimeBreakdown,
+    default_planner,
+)
+
+__all__ = [
+    "CandidateRecord",
+    "CostModelConfig",
+    "DEFAULT_RESERVED_MEMORY",
+    "GroupingResult",
+    "LayerAssignmentResult",
+    "LowerLevelResult",
+    "MalleusCostModel",
+    "MalleusPlanner",
+    "OrchestrationResult",
+    "PlanningResult",
+    "PlanningTimeBreakdown",
+    "assign_data",
+    "assign_layers",
+    "build_plan",
+    "classify_groups",
+    "default_planner",
+    "divide_pipelines",
+    "enumerate_consecutive_groupings",
+    "even_partition",
+    "group_gpus",
+    "group_rate",
+    "harmonic_throughput",
+    "orchestrate",
+    "order_pipeline_groups",
+    "power_of_two_decomposition",
+    "solve_lower_level",
+    "split_node_groups",
+]

@@ -1,0 +1,255 @@
+"""Lower-level problem: joint layer and training-data assignment (§4.2).
+
+Given the pipelines (ordered lists of TP groups) produced by the upper
+level, the lower-level problem (Eq. 1) decouples into:
+
+* Eq. 2 — ``DP`` independent layer-assignment ILPs, one per pipeline:
+  minimise ``max_j y_{i,j} * l_{i,j}`` subject to the layers summing to
+  ``L`` and the per-stage memory constraint;
+* Eq. 3 — one data-assignment ILP: minimise
+  ``max_i o_i * m_i * tau(b)`` subject to ``sum_i m_i * b = B``.
+
+Stages that receive zero layers are dropped from their pipeline and their
+GPUs are removed from training (kept on standby); pipelines that receive
+zero micro-batches are removed entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..parallel.plan import (
+    ParallelizationPlan,
+    PipelinePlan,
+    PipelineStage,
+    TPGroup,
+)
+from ..solvers.minmax import solve_minmax_assignment
+from .costmodel import MalleusCostModel
+from .grouping import group_rate
+
+
+@dataclass
+class LayerAssignmentResult:
+    """Solution of Eq. 2 for one pipeline."""
+
+    layers: List[int]
+    bottleneck: float  # o_i = max_j y_{i,j} * l_{i,j}
+    feasible: bool
+    caps: List[int] = field(default_factory=list)
+
+
+@dataclass
+class LowerLevelResult:
+    """Solution of the full lower-level problem for one orchestration."""
+
+    plan: Optional[ParallelizationPlan]
+    micro_batch_size: int
+    estimated_step_time: float
+    feasible: bool
+    per_pipeline_bottleneck: List[float] = field(default_factory=list)
+    micro_batches: List[int] = field(default_factory=list)
+
+
+def assign_layers(
+    pipeline_groups: Sequence[TPGroup],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    num_layers: int,
+    micro_batch_size: int,
+    dp_degree: int,
+) -> LayerAssignmentResult:
+    """Solve Eq. 2 for one pipeline (ordered stages)."""
+    pp = len(pipeline_groups)
+    if pp == 0:
+        return LayerAssignmentResult(layers=[], bottleneck=math.inf, feasible=False)
+    weights = [
+        group_rate(group, rates, cost_model, micro_batch_size)
+        for group in pipeline_groups
+    ]
+    caps = [
+        cost_model.max_layers_for_stage(
+            group.gpu_ids, pp, stage_index, micro_batch_size, dp_degree
+        )
+        for stage_index, group in enumerate(pipeline_groups, start=1)
+    ]
+    solution = solve_minmax_assignment(weights, num_layers, caps=caps)
+    return LayerAssignmentResult(
+        layers=list(solution.values),
+        bottleneck=solution.objective,
+        feasible=solution.feasible,
+        caps=caps,
+    )
+
+
+def assign_data(
+    bottlenecks: Sequence[float],
+    total_micro_batches: int,
+) -> Tuple[List[int], float]:
+    """Solve Eq. 3: distribute micro-batches across pipelines.
+
+    ``bottlenecks`` are the per-pipeline optimal values ``o_i`` of Eq. 2.
+    Returns the per-pipeline micro-batch counts and ``max_i o_i * m_i``.
+    """
+    weights = [b if b > 0 else 1e-12 for b in bottlenecks]
+    solution = solve_minmax_assignment(weights, total_micro_batches)
+    if not solution.feasible:
+        return [0] * len(bottlenecks), math.inf
+    return list(solution.values), solution.objective
+
+
+def solve_lower_level(
+    pipelines_groups: Sequence[Sequence[TPGroup]],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    num_layers: int,
+    global_batch_size: int,
+    micro_batch_candidates: Optional[Sequence[int]] = None,
+    all_gpu_ids: Optional[Sequence[int]] = None,
+) -> LowerLevelResult:
+    """Solve the lower-level problem, enumerating the micro-batch size.
+
+    The micro-batch size ``b`` is enumerated over the divisors of the global
+    batch size (smallest first) until every candidate becomes memory
+    infeasible, exactly as §4.2 prescribes; the best feasible candidate is
+    returned.
+    """
+    dp = len(pipelines_groups)
+    if dp == 0:
+        return LowerLevelResult(
+            plan=None, micro_batch_size=0, estimated_step_time=math.inf,
+            feasible=False,
+        )
+    if micro_batch_candidates is None:
+        micro_batch_candidates = [
+            b for b in range(1, global_batch_size + 1)
+            if global_batch_size % b == 0
+        ]
+
+    best: Optional[LowerLevelResult] = None
+    for b in micro_batch_candidates:
+        layer_results = [
+            assign_layers(groups, rates, cost_model, num_layers, b, dp)
+            for groups in pipelines_groups
+        ]
+        if any(not result.feasible for result in layer_results):
+            # Larger micro-batches only increase memory pressure; stop once
+            # the smallest infeasible b is reached, matching the paper.
+            if best is not None:
+                break
+            continue
+        bottlenecks = [result.bottleneck for result in layer_results]
+        total_micro_batches = global_batch_size // b
+        micro_batches, data_objective = assign_data(bottlenecks, total_micro_batches)
+        if math.isinf(data_objective):
+            continue
+        # The ILPs optimise the simplified objective max_i o_i * m_i (as in the
+        # paper); candidates are then *ranked* with the exact 1F1B expression
+        # (m_i - 1) * o_i + sum_j y_ij * l_ij, which penalises needlessly deep
+        # pipelines whose warm-up/cool-down bubbles the simplification hides.
+        step_time = 0.0
+        for groups, result, m_i in zip(pipelines_groups, layer_results,
+                                       micro_batches):
+            if m_i <= 0:
+                continue
+            warm_up = sum(
+                group_rate(group, rates, cost_model, b) * layers
+                for group, layers in zip(groups, result.layers)
+                if layers > 0
+            )
+            pipeline_time = (m_i - 1) * result.bottleneck + warm_up
+            step_time = max(step_time, pipeline_time)
+        step_time *= cost_model.tau(b)
+        if best is None or step_time < best.estimated_step_time - 1e-12:
+            plan = build_plan(
+                pipelines_groups, layer_results, micro_batches, rates,
+                cost_model, b, num_layers, global_batch_size, all_gpu_ids,
+            )
+            best = LowerLevelResult(
+                plan=plan,
+                micro_batch_size=b,
+                estimated_step_time=step_time,
+                feasible=True,
+                per_pipeline_bottleneck=bottlenecks,
+                micro_batches=micro_batches,
+            )
+    if best is None:
+        return LowerLevelResult(
+            plan=None, micro_batch_size=0, estimated_step_time=math.inf,
+            feasible=False,
+        )
+    return best
+
+
+def build_plan(
+    pipelines_groups: Sequence[Sequence[TPGroup]],
+    layer_results: Sequence[LayerAssignmentResult],
+    micro_batches: Sequence[int],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    micro_batch_size: int,
+    num_layers: int,
+    global_batch_size: int,
+    all_gpu_ids: Optional[Sequence[int]] = None,
+) -> ParallelizationPlan:
+    """Materialise a :class:`ParallelizationPlan` from the ILP solutions.
+
+    Stages assigned zero layers are dropped (their GPUs are removed from
+    training), and pipelines assigned zero micro-batches are dropped too.
+    The removed GPUs are recorded so the runtime keeps them on standby.
+    """
+    pipelines: List[PipelinePlan] = []
+    active_gpus: set = set()
+    kept_index = 0
+    for groups, layer_result, m_i in zip(pipelines_groups, layer_results,
+                                         micro_batches):
+        if m_i <= 0:
+            continue
+        stages: List[PipelineStage] = []
+        stage_index = 1
+        for group, layers in zip(groups, layer_result.layers):
+            if layers <= 0:
+                continue
+            stages.append(
+                PipelineStage(
+                    group=group,
+                    num_layers=layers,
+                    stage_index=stage_index,
+                    group_rate=group_rate(group, rates, cost_model,
+                                          micro_batch_size),
+                )
+            )
+            stage_index += 1
+        if not stages:
+            continue
+        pipelines.append(
+            PipelinePlan(
+                stages=stages,
+                num_micro_batches=m_i,
+                pipeline_index=kept_index,
+            )
+        )
+        kept_index += 1
+        for stage in stages:
+            active_gpus.update(stage.gpu_ids)
+
+    if all_gpu_ids is None:
+        candidate_gpus: set = set()
+        for groups in pipelines_groups:
+            for group in groups:
+                candidate_gpus.update(group.gpu_ids)
+    else:
+        candidate_gpus = set(all_gpu_ids)
+    removed = sorted(candidate_gpus - active_gpus)
+
+    plan = ParallelizationPlan(
+        pipelines=pipelines,
+        micro_batch_size=micro_batch_size,
+        num_layers=num_layers,
+        global_batch_size=global_batch_size,
+        removed_gpus=removed,
+    )
+    plan.validate()
+    return plan

@@ -1,0 +1,294 @@
+"""Profiled cost model for training time and memory (§4.2, Appendix B.4).
+
+The Malleus planner never runs the model; it consumes a handful of profiled
+coefficients:
+
+* ``tau(b)`` — forward+backward time of one transformer layer for a
+  micro-batch of ``b`` sequences on a *reference* (TP degree 1, straggling
+  rate 1) group;
+* ``rho(n)`` — efficiency-degradation coefficient of an ``n``-GPU TP group,
+  ``rho_n = zeta_n / max_n' zeta_n'`` (so ``rho_1 = 1`` and larger groups
+  get smaller coefficients);
+* group straggling rate ``y = rho_n * max(x_k)``;
+* memory coefficients ``mu_{i,j}(b)``, ``nu_{i,j}(b)`` and capacities
+  ``C_{i,j}`` that bound the layers a stage can host.
+
+In the real system these coefficients are profiled on hardware; here they
+are derived analytically from the model architecture and the cluster
+description, with a single calibration knob (``compute_efficiency``) that
+plays the role of achieved-vs-peak FLOPs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..cluster.topology import GIB, Cluster
+from ..models.spec import TransformerModelSpec
+
+#: Reserved memory gap for NCCL / CUDA contexts (Appendix B.4 uses 4096 MiB).
+DEFAULT_RESERVED_MEMORY = 4.0 * GIB
+
+
+@dataclass
+class CostModelConfig:
+    """Calibration knobs of the analytic cost model.
+
+    ``compute_efficiency`` is the fraction of peak FLOPs a healthy GPU
+    achieves inside a hybrid-parallel step (the paper reports 44-53% MFU for
+    Megatron/Malleus, which includes pipeline bubbles; the per-layer kernel
+    efficiency is higher).  ``tp_comm_overhead`` scales the analytic
+    tensor-parallel all-reduce time to account for kernel launch and
+    synchronisation overheads.  ``bytes_per_param`` / ``grad_bytes_per_param``
+    / ``optimizer_bytes_per_param`` follow mixed-precision training with an
+    Adam optimizer (bf16 weights + bf16 grads + fp32 master/momentum/variance).
+    """
+
+    compute_efficiency: float = 0.56
+    tp_comm_overhead: float = 1.25
+    bytes_per_param: float = 2.0
+    grad_bytes_per_param: float = 2.0
+    optimizer_bytes_per_param: float = 12.0
+    activation_fudge: float = 1.0
+    fwd_bwd_activation_extra: float = 0.15
+    reserved_memory_bytes: float = DEFAULT_RESERVED_MEMORY
+    zero1_optimizer_sharding: bool = True
+
+
+class MalleusCostModel:
+    """Analytic substitute for the paper's profiler-derived cost model.
+
+    Parameters
+    ----------
+    model:
+        Architecture of the model being trained.
+    cluster:
+        The cluster (supplies peak FLOPs, memory and bandwidths).
+    config:
+        Calibration knobs; the defaults roughly reproduce the paper's
+        straggler-free step times on A800-class hardware.
+    """
+
+    def __init__(self, model: TransformerModelSpec, cluster: Cluster,
+                 config: Optional[CostModelConfig] = None):
+        self.model = model
+        self.cluster = cluster
+        self.config = config or CostModelConfig()
+        self._zeta_cache: Dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # Time model
+    # ------------------------------------------------------------------
+    def _reference_gpu_flops(self) -> float:
+        """Achieved FLOP/s of one healthy GPU."""
+        gpu = next(self.cluster.iter_gpus())
+        return gpu.peak_flops * self.config.compute_efficiency
+
+    def tp_allreduce_time(self, n: int, micro_batch_size: int,
+                          gpu_ids: Optional[Sequence[int]] = None) -> float:
+        """Per-layer tensor-parallel communication time for an ``n``-GPU group.
+
+        Each transformer layer performs two all-reduces in the forward pass
+        and two in the backward pass (attention output and MLP output), each
+        carrying ``b * s * h`` bf16 activations.
+        """
+        if n <= 1:
+            return 0.0
+        volume = (
+            2.0 * self.model.seq_length * micro_batch_size * self.model.hidden_size
+        )
+        if gpu_ids:
+            bandwidth = self.cluster.group_bandwidth(gpu_ids)
+        else:
+            bandwidth = self.cluster.nodes[0].intra_node_bandwidth
+        ring_factor = 2.0 * (n - 1) / n
+        per_allreduce = ring_factor * volume / bandwidth
+        return 4.0 * per_allreduce * self.config.tp_comm_overhead
+
+    def zeta(self, n: int, micro_batch_size: int) -> float:
+        """Per-layer fwd+bwd time of an ``n``-GPU healthy TP group (``zeta_n``)."""
+        if n <= 0:
+            raise ValueError("TP degree must be positive")
+        key = (n, micro_batch_size)
+        if key in self._zeta_cache:
+            return self._zeta_cache[key]
+        tokens = micro_batch_size * self.model.seq_length
+        flops = self.model.training_flops_per_layer(tokens)
+        compute = flops / (n * self._reference_gpu_flops())
+        comm = self.tp_allreduce_time(n, micro_batch_size)
+        value = compute + comm
+        self._zeta_cache[key] = value
+        return value
+
+    def rho(self, n: int, micro_batch_size: int = 1,
+            candidate_sizes: Iterable[int] = (1, 2, 4, 8)) -> float:
+        """Efficiency-degradation coefficient ``rho_n = zeta_n / max zeta``."""
+        sizes = sorted(set(candidate_sizes) | {n})
+        reference = max(self.zeta(size, micro_batch_size) for size in sizes)
+        return self.zeta(n, micro_batch_size) / reference
+
+    def tau(self, micro_batch_size: int) -> float:
+        """Per-layer fwd+bwd time of the reference (TP=1, healthy) group."""
+        return self.zeta(1, micro_batch_size)
+
+    def group_straggling_rate(self, gpu_rates: Sequence[float],
+                              micro_batch_size: int = 1) -> float:
+        """Group straggling rate ``y = rho_n * max(x_k)`` (§4.2)."""
+        rates = list(gpu_rates)
+        if not rates:
+            raise ValueError("a TP group needs at least one GPU")
+        worst = max(rates)
+        if math.isinf(worst):
+            return math.inf
+        return self.rho(len(rates), micro_batch_size) * worst
+
+    def stage_time(self, group_rate: float, num_layers: int,
+                   micro_batch_size: int) -> float:
+        """Per-micro-batch time of a stage: ``t = y * l * tau(b)``."""
+        if num_layers == 0:
+            return 0.0
+        return group_rate * num_layers * self.tau(micro_batch_size)
+
+    def pipeline_time(self, stage_times: Sequence[float], num_micro_batches: int,
+                      exact: bool = False) -> float:
+        """1F1B pipeline time for one step of a single pipeline.
+
+        ``exact=False`` uses the planner's simplification
+        ``T ≈ m * max_j t_j``; ``exact=True`` uses the full
+        ``(m - 1) * max_j t_j + sum_j t_j`` expression with warm-up and
+        cool-down phases.
+        """
+        if not stage_times:
+            return 0.0
+        bottleneck = max(stage_times)
+        if num_micro_batches <= 0:
+            return 0.0
+        if exact:
+            return (num_micro_batches - 1) * bottleneck + sum(stage_times)
+        return num_micro_batches * bottleneck
+
+    # ------------------------------------------------------------------
+    # Memory model (Appendix B.4), everything normalised to TP degree 1
+    # ------------------------------------------------------------------
+    def layer_state_bytes(self, dp_degree: int = 1) -> float:
+        """Model-state bytes of one layer at TP=1 (``s_1`` in B.4)."""
+        params = self.model.params_per_layer()
+        per_param = self.config.bytes_per_param + self.config.grad_bytes_per_param
+        optimizer = self.config.optimizer_bytes_per_param
+        if self.config.zero1_optimizer_sharding and dp_degree > 1:
+            optimizer /= dp_degree
+        return params * (per_param + optimizer)
+
+    def embedding_state_bytes(self, dp_degree: int = 1) -> float:
+        """Model-state bytes of the embedding table at TP=1."""
+        params = self.model.embedding_params()
+        per_param = self.config.bytes_per_param + self.config.grad_bytes_per_param
+        optimizer = self.config.optimizer_bytes_per_param
+        if self.config.zero1_optimizer_sharding and dp_degree > 1:
+            optimizer /= dp_degree
+        return params * (per_param + optimizer)
+
+    def lm_head_state_bytes(self, dp_degree: int = 1) -> float:
+        """Model-state bytes of the LM head (plus final norm) at TP=1."""
+        params = self.model.lm_head_params() + self.model.hidden_size
+        per_param = self.config.bytes_per_param + self.config.grad_bytes_per_param
+        optimizer = self.config.optimizer_bytes_per_param
+        if self.config.zero1_optimizer_sharding and dp_degree > 1:
+            optimizer /= dp_degree
+        return params * (per_param + optimizer)
+
+    def act_forward_bytes(self, micro_batch_size: int) -> float:
+        """Forward activation bytes of one layer at TP=1 (``a_f`` in B.4)."""
+        return self.config.activation_fudge * \
+            self.model.layer_activation_bytes(micro_batch_size)
+
+    def act_fwd_bwd_bytes(self, micro_batch_size: int) -> float:
+        """Peak fwd+bwd activation bytes of one layer at TP=1 (``a_{f+b}``)."""
+        return self.act_forward_bytes(micro_batch_size) * \
+            (1.0 + self.config.fwd_bwd_activation_extra)
+
+    def mu(self, pp_degree: int, stage_index: int, micro_batch_size: int,
+           dp_degree: int = 1) -> float:
+        """Per-layer memory coefficient ``mu_{i,j}(b)`` for a 1F1B stage.
+
+        ``stage_index`` is 1-based, matching the paper.  Stage ``j`` keeps
+        ``PP_i - j`` in-flight forward activations plus the activations of
+        the micro-batch currently in fwd+bwd, plus the layer's model states.
+        """
+        if not 1 <= stage_index <= pp_degree:
+            raise ValueError("stage_index must be in [1, pp_degree]")
+        in_flight = pp_degree - stage_index
+        activations = micro_batch_size * (
+            self.act_forward_bytes(1) * in_flight + self.act_fwd_bwd_bytes(1)
+        )
+        return activations + self.layer_state_bytes(dp_degree)
+
+    def nu(self, pp_degree: int, stage_index: int, micro_batch_size: int,
+           dp_degree: int = 1) -> float:
+        """Stage-constant memory ``nu_{i,j}(b)`` (embedding / LM-head extras)."""
+        if not 1 <= stage_index <= pp_degree:
+            raise ValueError("stage_index must be in [1, pp_degree]")
+        extra = 0.0
+        if stage_index == 1:
+            in_flight = pp_degree - 1
+            embed_act = self.model.embedding_activation_bytes(1)
+            extra += micro_batch_size * embed_act * (in_flight + 1)
+            extra += self.embedding_state_bytes(dp_degree)
+        if stage_index == pp_degree:
+            extra += micro_batch_size * self.model.lm_head_activation_bytes(1)
+            extra += self.lm_head_state_bytes(dp_degree)
+        return extra
+
+    def group_capacity(self, gpu_ids: Sequence[int]) -> float:
+        """Memory capacity ``C_{i,j}`` of a TP group, normalised to TP=1.
+
+        ``C = k * (min_X C_X - G)``: the group shards every tensor across its
+        ``k`` GPUs, so from the TP=1 perspective the capacity scales with
+        ``k``; the slowest-memory GPU bounds the group and a reserved gap
+        ``G`` is subtracted for communication/runtime buffers.
+        """
+        ids = list(gpu_ids)
+        if not ids:
+            raise ValueError("a TP group needs at least one GPU")
+        min_capacity = min(self.cluster.memory_capacity(g) for g in ids)
+        usable = min_capacity - self.config.reserved_memory_bytes
+        if usable <= 0:
+            return 0.0
+        return len(ids) * usable
+
+    def max_layers_for_stage(self, gpu_ids: Sequence[int], pp_degree: int,
+                             stage_index: int, micro_batch_size: int,
+                             dp_degree: int = 1) -> int:
+        """Largest layer count a stage can host without exceeding memory."""
+        capacity = self.group_capacity(gpu_ids)
+        mu = self.mu(pp_degree, stage_index, micro_batch_size, dp_degree)
+        nu = self.nu(pp_degree, stage_index, micro_batch_size, dp_degree)
+        if capacity <= nu:
+            return 0
+        return int(math.floor((capacity - nu) / mu + 1e-9))
+
+    def stage_memory_bytes(self, gpu_ids: Sequence[int], num_layers: int,
+                           pp_degree: int, stage_index: int,
+                           micro_batch_size: int, dp_degree: int = 1) -> float:
+        """Memory used by a stage (normalised to TP=1), ``l*mu + nu``."""
+        mu = self.mu(pp_degree, stage_index, micro_batch_size, dp_degree)
+        nu = self.nu(pp_degree, stage_index, micro_batch_size, dp_degree)
+        return num_layers * mu + nu
+
+    # ------------------------------------------------------------------
+    # Whole-model helpers
+    # ------------------------------------------------------------------
+    def model_flops_per_step(self, global_batch_size: int) -> float:
+        """Training FLOPs of one step (for MFU reporting)."""
+        tokens = global_batch_size * self.model.seq_length
+        return self.model.training_flops_per_token() * tokens
+
+    def mfu(self, step_time: float, global_batch_size: int, num_gpus: int) -> float:
+        """Model FLOPs Utilization achieved by a measured step time."""
+        if step_time <= 0 or num_gpus <= 0:
+            return 0.0
+        gpu = next(self.cluster.iter_gpus())
+        achieved = self.model_flops_per_step(global_batch_size) / step_time
+        return achieved / (num_gpus * gpu.peak_flops)

@@ -1,0 +1,240 @@
+"""GPU grouping: Theorem 1 even partitioning and Theorem 2 group splitting.
+
+This is the first half of the upper-level problem (§4.3.1).  For every
+candidate TP degree in ``{1, 2, 4, 8}``:
+
+1. within each node, GPUs are sorted by straggling rate and chunked into
+   equal-size groups (Theorem 1: grouping similar GPUs together minimises
+   mutual delays);
+2. heavy stragglers are considered for isolation one by one (descending
+   rate).  Isolating a straggler from an 8-GPU group leaves 7 GPUs that are
+   re-grouped into power-of-two-sized consecutive groups; the candidate
+   re-groupings are ranked with the Theorem 2 estimator
+   ``T ∝ 1 / Σ_groups 1/y`` and the split is kept only if it improves the
+   estimate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.topology import Cluster
+from ..parallel.plan import TPGroup
+from .costmodel import MalleusCostModel
+
+
+@dataclass
+class GroupingResult:
+    """The TP groups produced for one candidate TP degree."""
+
+    tp_limit: int
+    groups: List[TPGroup] = field(default_factory=list)
+    isolated_gpus: List[int] = field(default_factory=list)
+    harmonic_throughput: float = 0.0
+
+    def group_sizes(self) -> List[int]:
+        """Sizes of all groups."""
+        return [group.size for group in self.groups]
+
+    def num_groups(self) -> int:
+        """Number of TP groups."""
+        return len(self.groups)
+
+
+# ----------------------------------------------------------------------
+# Theorem 1: even partitioning within a node
+# ----------------------------------------------------------------------
+def even_partition(gpu_ids: Sequence[int], rates: Dict[int, float],
+                   group_size: int) -> List[TPGroup]:
+    """Partition a node's GPUs into equal-size groups per Theorem 1.
+
+    GPUs are sorted by descending straggling rate and chunked, so similar
+    GPUs end up together and the slow ones do not drag down fast groups.
+    """
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    ids = sorted(gpu_ids, key=lambda g: (-rates[g], g))
+    if len(ids) % group_size != 0:
+        raise ValueError(
+            f"{len(ids)} GPUs cannot be evenly split into groups of {group_size}"
+        )
+    groups = []
+    for start in range(0, len(ids), group_size):
+        groups.append(TPGroup(gpu_ids=tuple(ids[start:start + group_size])))
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Theorem 2: harmonic-throughput estimation
+# ----------------------------------------------------------------------
+def group_rate(group: TPGroup, rates: Dict[int, float],
+               cost_model: MalleusCostModel, micro_batch_size: int = 1) -> float:
+    """Group straggling rate ``y = rho_n * max(x)``."""
+    return cost_model.group_straggling_rate(
+        [rates[g] for g in group.gpu_ids], micro_batch_size
+    )
+
+
+def harmonic_throughput(groups: Sequence[TPGroup], rates: Dict[int, float],
+                        cost_model: MalleusCostModel,
+                        micro_batch_size: int = 1) -> float:
+    """Theorem 2 estimator: relaxed training time is ``∝ 1 / Σ 1/y``.
+
+    Larger is better.  Groups containing failed GPUs (infinite rate)
+    contribute zero throughput.
+    """
+    total = 0.0
+    for group in groups:
+        y = group_rate(group, rates, cost_model, micro_batch_size)
+        if math.isinf(y) or y <= 0:
+            continue
+        total += 1.0 / y
+    return total
+
+
+# ----------------------------------------------------------------------
+# Group splitting around heavy stragglers
+# ----------------------------------------------------------------------
+def power_of_two_decomposition(n: int, max_part: int) -> List[int]:
+    """Greedy binary decomposition of ``n`` into power-of-two parts.
+
+    E.g. 7 with ``max_part=8`` gives ``[4, 2, 1]``; this is the multiset of
+    group sizes the paper re-groups the remaining GPUs into after isolating
+    a heavy straggler (Appendix B.7).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    parts: List[int] = []
+    remaining = n
+    part = 1
+    while part * 2 <= max_part:
+        part *= 2
+    while remaining > 0:
+        while part > remaining:
+            part //= 2
+        parts.append(part)
+        remaining -= part
+    return parts
+
+
+def enumerate_consecutive_groupings(gpu_ids: Sequence[int],
+                                    rates: Dict[int, float],
+                                    sizes: Sequence[int]) -> List[List[TPGroup]]:
+    """All consecutive groupings of sorted GPUs for a multiset of sizes.
+
+    Proposition 4 (Appendix B.7) shows an optimal grouping always consists
+    of consecutive runs of the rate-sorted GPUs, so it suffices to enumerate
+    the distinct orderings of the size multiset (at most 6 for sizes
+    ``{1, 2, 4}``).
+    """
+    ids = sorted(gpu_ids, key=lambda g: (-rates[g], g))
+    if sum(sizes) != len(ids):
+        raise ValueError("sizes must sum to the number of GPUs")
+    results: List[List[TPGroup]] = []
+    for arrangement in sorted(set(itertools.permutations(sizes))):
+        groups: List[TPGroup] = []
+        cursor = 0
+        for size in arrangement:
+            groups.append(TPGroup(gpu_ids=tuple(ids[cursor:cursor + size])))
+            cursor += size
+        results.append(groups)
+    return results
+
+
+def split_node_groups(
+    node_gpu_ids: Sequence[int],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    tp_limit: int,
+    micro_batch_size: int = 1,
+    straggler_threshold: float = 1.05,
+) -> Tuple[List[TPGroup], List[int]]:
+    """Group one node's GPUs for a TP limit, isolating heavy stragglers.
+
+    Returns the node's groups and the list of GPUs isolated into singleton
+    groups (which remain part of the returned groups; the planner may later
+    assign them zero layers and thereby remove them from training).
+    """
+    group_size = min(tp_limit, len(node_gpu_ids))
+    base_groups = even_partition(node_gpu_ids, rates, group_size)
+    if group_size == 1:
+        return base_groups, []
+
+    current_groups = base_groups
+    isolated: List[int] = []
+    stragglers = sorted(
+        (g for g in node_gpu_ids if rates[g] > straggler_threshold),
+        key=lambda g: -rates[g],
+    )
+    for straggler in stragglers:
+        if straggler in isolated:
+            continue
+        remaining = [
+            g for g in node_gpu_ids if g not in isolated and g != straggler
+        ]
+        candidate_isolated = isolated + [straggler]
+        best_candidate: Optional[List[TPGroup]] = None
+        best_score = harmonic_throughput(
+            current_groups, rates, cost_model, micro_batch_size
+        )
+        sizes = power_of_two_decomposition(len(remaining), group_size)
+        singleton_groups = [TPGroup(gpu_ids=(g,)) for g in candidate_isolated]
+        if remaining:
+            candidates = enumerate_consecutive_groupings(remaining, rates, sizes)
+        else:
+            candidates = [[]]
+        for regrouping in candidates:
+            groups = singleton_groups + regrouping
+            score = harmonic_throughput(groups, rates, cost_model, micro_batch_size)
+            if score > best_score + 1e-12:
+                best_score = score
+                best_candidate = groups
+        if best_candidate is not None:
+            current_groups = best_candidate
+            isolated = candidate_isolated
+    return current_groups, isolated
+
+
+def group_gpus(
+    cluster: Cluster,
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    tp_limit: int,
+    micro_batch_size: int = 1,
+    straggler_threshold: float = 1.05,
+    enable_splitting: bool = True,
+) -> GroupingResult:
+    """Run the full GPU-grouping process for one candidate TP degree.
+
+    TP groups never span nodes (TP communication needs intra-node bandwidth),
+    so each node is partitioned independently and the per-node results are
+    concatenated.
+    """
+    if tp_limit not in (1, 2, 4, 8) and tp_limit > 0:
+        # Non-standard TP degrees are allowed but must divide the node size.
+        pass
+    groups: List[TPGroup] = []
+    isolated: List[int] = []
+    for node in cluster.nodes:
+        node_gpu_ids = node.gpu_ids()
+        if enable_splitting:
+            node_groups, node_isolated = split_node_groups(
+                node_gpu_ids, rates, cost_model, tp_limit,
+                micro_batch_size, straggler_threshold,
+            )
+        else:
+            group_size = min(tp_limit, len(node_gpu_ids))
+            node_groups = even_partition(node_gpu_ids, rates, group_size)
+            node_isolated = []
+        groups.extend(node_groups)
+        isolated.extend(node_isolated)
+    throughput = harmonic_throughput(groups, rates, cost_model, micro_batch_size)
+    return GroupingResult(
+        tp_limit=tp_limit,
+        groups=groups,
+        isolated_gpus=sorted(isolated),
+        harmonic_throughput=throughput,
+    )

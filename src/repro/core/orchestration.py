@@ -1,0 +1,260 @@
+"""Pipeline orchestration: division (Eq. 4) and group ordering (Theorem 3).
+
+Second half of the upper-level problem (§4.3.2).  Given the TP groups of a
+grouping result and a target DP degree, we must decide (i) which groups form
+which pipeline and (ii) the order of the groups within each pipeline.
+
+* **Pipeline division** treats all majority-rate groups as interchangeable
+  "fast" groups and the rest as "slow" groups, and solves the relaxed MINLP
+  of Eq. 4 with :func:`repro.solvers.division.solve_pipeline_division`.
+* **Group ordering** bundles the groups of a pipeline by TP degree, sorts
+  every bundle by descending straggling rate (Theorem 3: faster groups go to
+  later stages because early stages must keep more in-flight activations),
+  and enumerates the orderings of the bundles (at most 4! = 24), evaluating
+  each with the lower-level layer ILP.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..parallel.plan import TPGroup
+from ..solvers.division import DivisionProblem, solve_pipeline_division
+from .assignment import assign_layers
+from .costmodel import MalleusCostModel
+from .grouping import group_rate
+
+
+@dataclass
+class OrchestrationResult:
+    """Pipelines (ordered group lists) produced for one grouping result."""
+
+    pipelines: List[List[TPGroup]] = field(default_factory=list)
+    dp_degree: int = 0
+    division_objective: float = math.inf
+    feasible: bool = True
+
+
+# ----------------------------------------------------------------------
+# Pipeline division
+# ----------------------------------------------------------------------
+def classify_groups(
+    groups: Sequence[TPGroup],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    micro_batch_size: int = 1,
+    tolerance: float = 0.02,
+) -> Tuple[List[TPGroup], float, List[Tuple[TPGroup, float]]]:
+    """Split groups into majority-rate "fast" groups and individual "slow" ones.
+
+    The majority rate is the most common group straggling rate (within a
+    relative ``tolerance``); the paper leverages the fact that most GPUs are
+    healthy so most groups share the same rate.
+    """
+    rated = [
+        (group, group_rate(group, rates, cost_model, micro_batch_size))
+        for group in groups
+    ]
+    finite = [(g, y) for g, y in rated if not math.isinf(y)]
+    if not finite:
+        return [], 1.0, [(g, y) for g, y in rated]
+    # Find the modal rate by clustering within the tolerance.
+    clusters: List[List[Tuple[TPGroup, float]]] = []
+    for group, y in sorted(finite, key=lambda item: item[1]):
+        placed = False
+        for cluster in clusters:
+            if abs(y - cluster[0][1]) <= tolerance * cluster[0][1]:
+                cluster.append((group, y))
+                placed = True
+                break
+        if not placed:
+            clusters.append([(group, y)])
+    majority = max(clusters, key=len)
+    fast_groups = [g for g, _ in majority]
+    fast_rate = sum(y for _, y in majority) / len(majority)
+    slow = [
+        (g, y) for g, y in rated
+        if g not in fast_groups
+    ]
+    return fast_groups, fast_rate, slow
+
+
+def divide_pipelines(
+    groups: Sequence[TPGroup],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    dp_degree: int,
+    total_micro_batches: int,
+    micro_batch_size: int = 1,
+    min_groups_per_pipeline: int = 1,
+) -> OrchestrationResult:
+    """Assign TP groups to ``dp_degree`` pipelines by solving Eq. 4."""
+    usable = [
+        group for group in groups
+        if not math.isinf(group_rate(group, rates, cost_model, micro_batch_size))
+    ]
+    if len(usable) < dp_degree * min_groups_per_pipeline:
+        return OrchestrationResult(dp_degree=dp_degree, feasible=False)
+
+    fast_groups, fast_rate, slow = classify_groups(
+        usable, rates, cost_model, micro_batch_size
+    )
+    slow_rates = [y for _, y in slow]
+    problem = DivisionProblem(
+        num_pipelines=dp_degree,
+        total_micro_batches=total_micro_batches,
+        fast_group_count=len(fast_groups),
+        fast_group_rate=fast_rate if fast_groups else 1.0,
+        slow_group_rates=slow_rates,
+        min_groups_per_pipeline=min_groups_per_pipeline,
+    )
+    solution = solve_pipeline_division(problem)
+
+    # Map the abstract division back onto concrete TPGroup objects.
+    fast_pool = sorted(fast_groups, key=lambda g: (-g.size, g.gpu_ids))
+    slow_pool: Dict[float, List[TPGroup]] = {}
+    for group, y in slow:
+        slow_pool.setdefault(round(y, 9), []).append(group)
+
+    pipelines: List[List[TPGroup]] = []
+    cursor = 0
+    for i in range(dp_degree):
+        pipeline: List[TPGroup] = []
+        count = solution.fast_groups[i]
+        pipeline.extend(fast_pool[cursor:cursor + count])
+        cursor += count
+        for y in solution.slow_groups[i]:
+            key = round(y, 9)
+            bucket = slow_pool.get(key)
+            if not bucket:
+                # Floating-point mismatch: fall back to the nearest bucket.
+                key = min(slow_pool, key=lambda k: abs(k - y)) if slow_pool else None
+                bucket = slow_pool.get(key) if key is not None else None
+            if bucket:
+                pipeline.append(bucket.pop())
+        pipelines.append(pipeline)
+
+    return OrchestrationResult(
+        pipelines=pipelines,
+        dp_degree=dp_degree,
+        division_objective=solution.objective,
+        feasible=all(len(p) >= min_groups_per_pipeline for p in pipelines),
+    )
+
+
+# ----------------------------------------------------------------------
+# Group ordering within a pipeline (Theorem 3 + bundle enumeration)
+# ----------------------------------------------------------------------
+def order_pipeline_groups(
+    pipeline_groups: Sequence[TPGroup],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    num_layers: int,
+    micro_batch_size: int,
+    dp_degree: int,
+) -> List[TPGroup]:
+    """Order the groups of one pipeline into pipeline stages.
+
+    Groups are bundled by TP degree; within a bundle they are sorted by
+    descending straggling rate (Theorem 3).  When several bundle sizes exist
+    the bundle order is enumerated (at most 4! possibilities since TP degrees
+    are restricted to {1, 2, 4, 8}) and each ordering is scored with the
+    layer-assignment ILP; the best-scoring ordering wins.
+    """
+    groups = list(pipeline_groups)
+    if len(groups) <= 1:
+        return groups
+
+    bundles: Dict[int, List[TPGroup]] = {}
+    for group in groups:
+        bundles.setdefault(group.size, []).append(group)
+    for size in bundles:
+        bundles[size].sort(
+            key=lambda g: -group_rate(g, rates, cost_model, micro_batch_size)
+        )
+
+    if len(bundles) == 1:
+        # Theorem 3 applies directly: descending straggling rate.
+        return bundles[next(iter(bundles))]
+
+    best_order: Optional[List[TPGroup]] = None
+    best_score = math.inf
+    for permutation in itertools.permutations(sorted(bundles)):
+        ordered: List[TPGroup] = []
+        for size in permutation:
+            ordered.extend(bundles[size])
+        result = assign_layers(
+            ordered, rates, cost_model, num_layers, micro_batch_size, dp_degree
+        )
+        if not result.feasible:
+            continue
+        if result.bottleneck < best_score - 1e-12:
+            best_score = result.bottleneck
+            best_order = ordered
+    if best_order is None:
+        # No ordering is memory-feasible; return the Theorem 3 default and let
+        # the lower level report infeasibility.
+        default: List[TPGroup] = []
+        for size in sorted(bundles, reverse=True):
+            default.extend(bundles[size])
+        return default
+    return best_order
+
+
+def orchestrate(
+    groups: Sequence[TPGroup],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    dp_degree: int,
+    num_layers: int,
+    global_batch_size: int,
+    micro_batch_size: int = 1,
+    max_min_groups_retries: int = 4,
+) -> OrchestrationResult:
+    """Full pipeline orchestration: division followed by group ordering.
+
+    If the lower level later finds a division infeasible (a pipeline cannot
+    hold all layers in memory), the caller can retry with a larger
+    ``min_groups_per_pipeline``; this helper already retries a few times by
+    growing the minimum when the division itself is structurally infeasible.
+    """
+    total_micro_batches = max(1, global_batch_size // micro_batch_size)
+    last: Optional[OrchestrationResult] = None
+    for min_groups in range(1, max_min_groups_retries + 1):
+        if len(groups) < dp_degree * min_groups:
+            break
+        result = divide_pipelines(
+            groups, rates, cost_model, dp_degree, total_micro_batches,
+            micro_batch_size, min_groups_per_pipeline=min_groups,
+        )
+        if not result.feasible:
+            last = result
+            continue
+        ordered = [
+            order_pipeline_groups(
+                pipeline, rates, cost_model, num_layers, micro_batch_size,
+                dp_degree,
+            )
+            for pipeline in result.pipelines
+        ]
+        result.pipelines = ordered
+        # Quick feasibility probe: every pipeline must be able to host L layers.
+        feasible = True
+        for pipeline in ordered:
+            probe = assign_layers(
+                pipeline, rates, cost_model, num_layers, micro_batch_size,
+                dp_degree,
+            )
+            if not probe.feasible:
+                feasible = False
+                break
+        if feasible:
+            return result
+        last = result
+    if last is None:
+        return OrchestrationResult(dp_degree=dp_degree, feasible=False)
+    last.feasible = False
+    return last

@@ -1,0 +1,271 @@
+"""The Malleus parallelization planner (§4).
+
+The planner turns the profiler's per-GPU straggling rates into a complete
+parallelization plan by solving the bi-level optimization problem:
+
+* **upper level** — for each candidate maximum TP degree in ``{1, 2, 4, 8}``
+  the GPUs are grouped (Theorem 1 + splitting guided by Theorem 2) and the
+  groups are orchestrated into ``DP`` pipelines (division MINLP Eq. 4,
+  ordering by Theorem 3);
+* **lower level** — for each candidate orchestration the layers and the
+  training data are assigned by the ILPs of Eq. 2 and Eq. 3.
+
+The best candidate (smallest estimated step time) wins.  The planner also
+records a per-phase time breakdown, which reproduces the scalability study
+of Appendix A.2 (Table 5).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cluster.topology import Cluster
+from ..models.spec import TrainingTask
+from ..parallel.plan import ParallelizationPlan, TPGroup
+from .assignment import LowerLevelResult, assign_layers, solve_lower_level
+from .costmodel import CostModelConfig, MalleusCostModel
+from .grouping import GroupingResult, group_gpus
+from .orchestration import divide_pipelines, order_pipeline_groups
+
+
+@dataclass
+class PlanningTimeBreakdown:
+    """Wall-clock seconds spent in each planning phase (Table 5)."""
+
+    grouping: float = 0.0
+    division: float = 0.0
+    ordering: float = 0.0
+    assignment: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total planning time."""
+        return self.grouping + self.division + self.ordering + self.assignment
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view used by the experiment harness."""
+        return {
+            "grouping": self.grouping,
+            "division": self.division,
+            "ordering": self.ordering,
+            "assignment": self.assignment,
+            "total": self.total,
+        }
+
+
+@dataclass
+class CandidateRecord:
+    """Diagnostic record of one (tp_limit, dp) candidate."""
+
+    tp_limit: int
+    dp_degree: int
+    estimated_step_time: float
+    feasible: bool
+    num_groups: int = 0
+    isolated_gpus: List[int] = field(default_factory=list)
+
+
+@dataclass
+class PlanningResult:
+    """Output of one planner invocation."""
+
+    plan: Optional[ParallelizationPlan]
+    estimated_step_time: float
+    breakdown: PlanningTimeBreakdown
+    candidates: List[CandidateRecord] = field(default_factory=list)
+    feasible: bool = True
+
+    def best_candidate(self) -> Optional[CandidateRecord]:
+        """The winning candidate record, if any."""
+        feasible = [c for c in self.candidates if c.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda c: c.estimated_step_time)
+
+
+class MalleusPlanner:
+    """Deduces parallelization plans from straggling rates.
+
+    Parameters
+    ----------
+    task:
+        The training workload (model + global batch size).
+    cluster:
+        The cluster topology.
+    cost_model:
+        Optional pre-built cost model (a default one is created otherwise).
+    tp_candidates:
+        Candidate maximum TP degrees (the paper uses ``{1, 2, 4, 8}``).
+    dp_candidates:
+        Candidate DP degrees; when ``None`` powers of two up to the number
+        of nodes are tried (the paper keeps DP fixed across re-planning, so
+        re-planning calls normally pass an explicit ``dp``).
+    """
+
+    def __init__(
+        self,
+        task: TrainingTask,
+        cluster: Cluster,
+        cost_model: Optional[MalleusCostModel] = None,
+        tp_candidates: Sequence[int] = (1, 2, 4, 8),
+        dp_candidates: Optional[Sequence[int]] = None,
+        straggler_threshold: float = 1.05,
+        enable_splitting: bool = True,
+    ):
+        self.task = task
+        self.cluster = cluster
+        self.cost_model = cost_model or MalleusCostModel(task.model, cluster)
+        self.tp_candidates = tuple(
+            tp for tp in tp_candidates if tp <= cluster.gpus_per_node
+        )
+        self.dp_candidates = tuple(dp_candidates) if dp_candidates else None
+        self.straggler_threshold = straggler_threshold
+        self.enable_splitting = enable_splitting
+
+    # ------------------------------------------------------------------
+    #: Largest DP degree the planner enumerates when none is pinned.  Very
+    #: large DP degrees force every pipeline to hold the whole model with a
+    #: handful of GPUs and are never competitive for the paper's workloads.
+    MAX_DEFAULT_DP = 8
+
+    def _default_dp_candidates(self, num_groups: int) -> List[int]:
+        """Powers of two that could serve as the DP degree."""
+        candidates = []
+        dp = 1
+        while dp <= min(num_groups, self.MAX_DEFAULT_DP):
+            candidates.append(dp)
+            dp *= 2
+        return candidates
+
+    def plan(
+        self,
+        rates: Dict[int, float],
+        dp: Optional[int] = None,
+        micro_batch_candidates: Optional[Sequence[int]] = None,
+    ) -> PlanningResult:
+        """Deduce the best parallelization plan for the given rates.
+
+        ``dp`` pins the DP degree (used during re-planning to keep the
+        number of model replicas unchanged, footnote 2 of the paper).
+        """
+        breakdown = PlanningTimeBreakdown()
+        candidates: List[CandidateRecord] = []
+        best_plan: Optional[ParallelizationPlan] = None
+        best_time = math.inf
+        model = self.task.model
+        all_gpu_ids = self.cluster.gpu_ids()
+
+        for tp_limit in self.tp_candidates:
+            start = time.perf_counter()
+            grouping = group_gpus(
+                self.cluster, rates, self.cost_model, tp_limit,
+                micro_batch_size=self.task.micro_batch_size,
+                straggler_threshold=self.straggler_threshold,
+                enable_splitting=self.enable_splitting,
+            )
+            breakdown.grouping += time.perf_counter() - start
+
+            if dp is not None:
+                dp_list: Iterable[int] = [dp]
+            elif self.dp_candidates is not None:
+                dp_list = self.dp_candidates
+            else:
+                dp_list = self._default_dp_candidates(grouping.num_groups())
+
+            for dp_degree in dp_list:
+                candidate = self._evaluate_candidate(
+                    grouping, rates, dp_degree, breakdown,
+                    micro_batch_candidates, all_gpu_ids,
+                )
+                candidates.append(candidate[0])
+                result = candidate[1]
+                if result is not None and result.feasible and \
+                        result.estimated_step_time < best_time - 1e-12:
+                    best_time = result.estimated_step_time
+                    best_plan = result.plan
+
+        feasible = best_plan is not None
+        if best_plan is not None:
+            best_plan.estimated_step_time = best_time
+        return PlanningResult(
+            plan=best_plan,
+            estimated_step_time=best_time,
+            breakdown=breakdown,
+            candidates=candidates,
+            feasible=feasible,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_candidate(
+        self,
+        grouping: GroupingResult,
+        rates: Dict[int, float],
+        dp_degree: int,
+        breakdown: PlanningTimeBreakdown,
+        micro_batch_candidates: Optional[Sequence[int]],
+        all_gpu_ids: Sequence[int],
+    ) -> Tuple[CandidateRecord, Optional[LowerLevelResult]]:
+        """Evaluate one (grouping, DP) candidate end to end."""
+        task = self.task
+        record = CandidateRecord(
+            tp_limit=grouping.tp_limit,
+            dp_degree=dp_degree,
+            estimated_step_time=math.inf,
+            feasible=False,
+            num_groups=grouping.num_groups(),
+            isolated_gpus=list(grouping.isolated_gpus),
+        )
+        if grouping.num_groups() < dp_degree:
+            return record, None
+
+        best_result: Optional[LowerLevelResult] = None
+        total_micro_batches = task.global_batch_size // task.micro_batch_size
+        for min_groups in range(1, 5):
+            if grouping.num_groups() < dp_degree * min_groups:
+                break
+            start = time.perf_counter()
+            division = divide_pipelines(
+                grouping.groups, rates, self.cost_model, dp_degree,
+                total_micro_batches, task.micro_batch_size,
+                min_groups_per_pipeline=min_groups,
+            )
+            breakdown.division += time.perf_counter() - start
+            if not division.feasible:
+                continue
+
+            start = time.perf_counter()
+            ordered_pipelines = [
+                order_pipeline_groups(
+                    pipeline, rates, self.cost_model, task.model.num_layers,
+                    task.micro_batch_size, dp_degree,
+                )
+                for pipeline in division.pipelines
+            ]
+            breakdown.ordering += time.perf_counter() - start
+
+            start = time.perf_counter()
+            result = solve_lower_level(
+                ordered_pipelines, rates, self.cost_model,
+                task.model.num_layers, task.global_batch_size,
+                micro_batch_candidates, all_gpu_ids,
+            )
+            breakdown.assignment += time.perf_counter() - start
+            if result.feasible:
+                best_result = result
+                break
+
+        if best_result is None or not best_result.feasible:
+            return record, None
+        record.feasible = True
+        record.estimated_step_time = best_result.estimated_step_time
+        return record, best_result
+
+
+def default_planner(task: TrainingTask, cluster: Cluster,
+                    config: Optional[CostModelConfig] = None) -> MalleusPlanner:
+    """Convenience constructor with a default cost model."""
+    cost_model = MalleusCostModel(task.model, cluster, config)
+    return MalleusPlanner(task=task, cluster=cluster, cost_model=cost_model)

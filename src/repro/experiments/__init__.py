@@ -1,0 +1,93 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+| Paper artefact | Module |
+|----------------|--------|
+| Table 2 / Figure 7 (end-to-end)        | :mod:`repro.experiments.end_to_end` |
+| Table 3 (optimality, cost-model error) | :mod:`repro.experiments.optimality` |
+| Figure 8 (Oobleck comparison)          | :mod:`repro.experiments.oobleck_compare` |
+| Table 4 (case studies)                 | :mod:`repro.experiments.case_studies` |
+| Figure 9 (partitioning ablation)       | :mod:`repro.experiments.ablation` |
+| Figure 10 (cost-model enumeration)     | :mod:`repro.experiments.costmodel_validation` |
+| Table 5 (planning scalability)         | :mod:`repro.experiments.planning_scalability` |
+| Tables 6/7 (restart configurations)    | :mod:`repro.experiments.restart_configs` |
+| Figure 11 (Theorem 2 validation)       | :mod:`repro.experiments.grouping_validation` |
+| §5.3 re-planning overlap (extra)       | :mod:`repro.experiments.replanning` |
+"""
+
+from .ablation import AblationResult, format_ablation, run_ablation
+from .case_studies import CaseStudyResult, format_case_study, run_case_study
+from .common import (
+    PAPER_GPU_COUNTS,
+    PAPER_SITUATIONS,
+    Workload,
+    format_table,
+    geometric_mean,
+    paper_workload,
+)
+from .costmodel_validation import (
+    CostModelValidationResult,
+    format_costmodel_validation,
+    run_costmodel_validation,
+)
+from .end_to_end import EndToEndResult, format_end_to_end, run_end_to_end
+from .grouping_validation import (
+    GroupingValidationResult,
+    format_grouping_validation,
+    run_grouping_validation,
+)
+from .oobleck_compare import (
+    OobleckComparisonResult,
+    format_oobleck_comparison,
+    run_oobleck_comparison,
+)
+from .optimality import OptimalityResult, format_optimality, run_optimality
+from .planning_scalability import (
+    PlanningScalabilityResult,
+    format_planning_scalability,
+    run_planning_scalability,
+)
+from .replanning import ReplanningResult, format_replanning, run_replanning_ablation
+from .restart_configs import (
+    RestartConfigResult,
+    format_restart_configs,
+    run_restart_configs,
+)
+
+__all__ = [
+    "AblationResult",
+    "CaseStudyResult",
+    "CostModelValidationResult",
+    "EndToEndResult",
+    "GroupingValidationResult",
+    "OobleckComparisonResult",
+    "OptimalityResult",
+    "PAPER_GPU_COUNTS",
+    "PAPER_SITUATIONS",
+    "PlanningScalabilityResult",
+    "ReplanningResult",
+    "RestartConfigResult",
+    "Workload",
+    "format_ablation",
+    "format_case_study",
+    "format_costmodel_validation",
+    "format_end_to_end",
+    "format_grouping_validation",
+    "format_oobleck_comparison",
+    "format_optimality",
+    "format_planning_scalability",
+    "format_replanning",
+    "format_restart_configs",
+    "format_table",
+    "geometric_mean",
+    "paper_workload",
+    "run_ablation",
+    "run_case_study",
+    "run_costmodel_validation",
+    "run_end_to_end",
+    "run_grouping_validation",
+    "run_oobleck_comparison",
+    "run_optimality",
+    "run_planning_scalability",
+    "run_replanning_ablation",
+    "run_restart_configs",
+]

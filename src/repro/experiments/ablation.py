@@ -1,0 +1,222 @@
+"""Ablation of the four non-uniform partitioning dimensions: Figure 9.
+
+Figure 9 evaluates the 110B model with three stragglers (rates 2.57, 5.42
+and 12.53) spread over one, two or three nodes, and enables the non-uniform
+partitioning dimensions one by one:
+
+* Megatron-LM (everything uniform);
+* non-uniform **layers** only;
+* non-uniform **layers + data**;
+* non-uniform **layers + data + devices** (group splitting);
+* non-uniform **layers + data + devices + stages** (the full Malleus);
+* the theoretic optimum.
+
+The reproduction mirrors that by progressively unlocking planner features:
+
+* *layer-only*: the uniform Megatron grouping and pipelines are kept, the
+  layer ILP runs per pipeline, but the data assignment stays uniform;
+* *layer+data*: the full lower-level problem on the uniform upper level;
+* *+device*: GPU grouping with straggler isolation (Theorem 2 splitting);
+* *+stage*: the full bi-level planner with non-uniform pipeline division.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines.config_search import search_megatron_config
+from ..baselines.megatron import build_megatron_plan
+from ..cluster.stragglers import ClusterState, StragglerSpec
+from ..cluster.trace import ablation_situations
+from ..core.assignment import assign_layers, solve_lower_level
+from ..core.grouping import group_gpus
+from ..core.orchestration import order_pipeline_groups
+from ..core.planner import MalleusPlanner
+from ..parallel.plan import TPGroup
+from ..simulator.executor import ExecutionSimulator
+from ..simulator.session import theoretic_optimal_step_time
+from .common import Workload, format_table, paper_workload
+
+
+@dataclass
+class AblationRow:
+    """Step times for one straggler placement under each planner variant."""
+
+    scenario: str
+    straggler_rates: Dict[int, float]
+    megatron: float
+    layer_only: float
+    layer_data: float
+    layer_data_device: float
+    full: float
+    theoretic_optimum: float
+
+    def gap(self, value: float) -> float:
+        """``1 - T_opt / T_actual`` as reported under each Figure 9 bar."""
+        if value <= 0 or math.isinf(value):
+            return float("nan")
+        return 1.0 - self.theoretic_optimum / value
+
+
+@dataclass
+class AblationResult:
+    """All Figure 9 scenarios."""
+
+    model: str
+    rows: List[AblationRow]
+
+
+def _uniform_pipelines(workload: Workload) -> List[List[TPGroup]]:
+    """The uniform Megatron-style pipelines (groups in order), as TP groups."""
+    config = search_megatron_config(workload.task, workload.cluster,
+                                    workload.cost_model)
+    if config is None:
+        raise RuntimeError("no feasible Megatron configuration")
+    plan = build_megatron_plan(config, workload.task, workload.cluster)
+    return [
+        [stage.group for stage in pipeline.stages]
+        for pipeline in plan.pipelines
+    ], plan
+
+
+def run_ablation(model_name: str = "110b") -> AblationResult:
+    """Run the Figure 9 ablation for one model."""
+    workload = paper_workload(model_name)
+    simulator = ExecutionSimulator(workload.cost_model)
+    task = workload.task
+    scenarios = ablation_situations(workload.cluster)
+
+    uniform_pipelines, uniform_plan = _uniform_pipelines(workload)
+    normal_rates = {g: 1.0 for g in workload.cluster.gpu_ids()}
+    normal_time = simulator.simulate_step(
+        uniform_plan, normal_rates, check_memory=False
+    ).step_time
+
+    rows: List[AblationRow] = []
+    for name, situation in scenarios.items():
+        state = situation.as_state(workload.cluster)
+        rates = state.rate_map()
+
+        megatron_time = simulator.simulate_step(
+            uniform_plan, rates, check_memory=False
+        ).step_time
+
+        layer_only_time = _layer_only_time(workload, uniform_pipelines, rates,
+                                           simulator)
+        layer_data = solve_lower_level(
+            uniform_pipelines, rates, workload.cost_model,
+            task.model.num_layers, task.global_batch_size,
+            all_gpu_ids=workload.cluster.gpu_ids(),
+        )
+        layer_data_time = _simulate(layer_data.plan, rates, simulator)
+
+        device_time = _device_level_time(workload, rates, simulator,
+                                         uniform_plan.dp_degree)
+
+        planner = MalleusPlanner(task, workload.cluster, workload.cost_model)
+        full = planner.plan(rates)
+        full_time = _simulate(full.plan, rates, simulator)
+
+        optimum = theoretic_optimal_step_time(normal_time, state)
+        rows.append(
+            AblationRow(
+                scenario=name,
+                straggler_rates={g: r for g, r in rates.items() if r > 1.0},
+                megatron=megatron_time,
+                layer_only=layer_only_time,
+                layer_data=layer_data_time,
+                layer_data_device=device_time,
+                full=full_time,
+                theoretic_optimum=optimum,
+            )
+        )
+    return AblationResult(model=model_name, rows=rows)
+
+
+def _simulate(plan, rates, simulator) -> float:
+    """Simulated step time of a plan (inf when no plan is available)."""
+    if plan is None:
+        return math.inf
+    return simulator.simulate_step(plan, rates, check_memory=False).step_time
+
+
+def _layer_only_time(workload: Workload, uniform_pipelines, rates,
+                     simulator) -> float:
+    """Non-uniform layers, uniform data: solve Eq. 2 only."""
+    from ..core.assignment import LayerAssignmentResult, build_plan
+
+    task = workload.task
+    dp = len(uniform_pipelines)
+    layer_results = [
+        assign_layers(groups, rates, workload.cost_model,
+                      task.model.num_layers, task.micro_batch_size, dp)
+        for groups in uniform_pipelines
+    ]
+    if any(not r.feasible for r in layer_results):
+        return math.inf
+    uniform_micro_batches = [task.num_micro_batches // dp] * dp
+    plan = build_plan(
+        uniform_pipelines, layer_results, uniform_micro_batches, rates,
+        workload.cost_model, task.micro_batch_size, task.model.num_layers,
+        task.global_batch_size, workload.cluster.gpu_ids(),
+    )
+    return _simulate(plan, rates, simulator)
+
+
+def _device_level_time(workload: Workload, rates, simulator, dp) -> float:
+    """Non-uniform layers + data + devices, but uniform stage counts.
+
+    Groups are built with straggler isolation enabled; pipelines are formed
+    by dealing the groups round-robin (every pipeline keeps the same number
+    of groups), and the lower-level problem runs on top.
+    """
+    task = workload.task
+    cost_model = workload.cost_model
+    best = math.inf
+    for tp_limit in (1, 2, 4, 8):
+        grouping = group_gpus(workload.cluster, rates, cost_model, tp_limit)
+        groups = sorted(
+            grouping.groups,
+            key=lambda g: -cost_model.group_straggling_rate(
+                [rates[x] for x in g.gpu_ids], task.micro_batch_size
+            ),
+        )
+        if len(groups) < dp:
+            continue
+        pipelines: List[List[TPGroup]] = [[] for _ in range(dp)]
+        for index, group in enumerate(groups):
+            pipelines[index % dp].append(group)
+        ordered = [
+            order_pipeline_groups(p, rates, cost_model, task.model.num_layers,
+                                  task.micro_batch_size, dp)
+            for p in pipelines
+        ]
+        result = solve_lower_level(
+            ordered, rates, cost_model, task.model.num_layers,
+            task.global_batch_size, all_gpu_ids=workload.cluster.gpu_ids(),
+        )
+        if result.feasible:
+            best = min(best, _simulate(result.plan, rates, simulator))
+    return best
+
+
+def format_ablation(result: AblationResult) -> str:
+    """Render the Figure 9 bars."""
+    headers = ["Scenario", "Megatron", "w/ Layer", "w/ Layer+Data",
+               "w/ +Device", "w/ +Stage (full)", "Theoretic Opt."]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.scenario,
+            f"{row.megatron:.1f} ({row.gap(row.megatron):+.0%})",
+            f"{row.layer_only:.1f} ({row.gap(row.layer_only):+.0%})",
+            f"{row.layer_data:.1f} ({row.gap(row.layer_data):+.0%})",
+            f"{row.layer_data_device:.1f} ({row.gap(row.layer_data_device):+.0%})",
+            f"{row.full:.1f} ({row.gap(row.full):+.0%})",
+            f"{row.theoretic_optimum:.1f}",
+        ])
+    return format_table(headers, rows,
+                        title=f"Figure 9 ({result.model}): non-uniform "
+                              f"partitioning ablation (gap to optimum)")

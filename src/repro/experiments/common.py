@@ -1,0 +1,86 @@
+"""Shared helpers for the experiment harness.
+
+Every experiment module exposes a ``run_*`` function returning a plain
+dataclass (so tests can assert on the numbers) plus a ``format_*`` function
+that renders the same rows/series the paper reports.  Benchmarks under
+``benchmarks/`` simply call the ``run_*`` functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.stragglers import ClusterState
+from ..cluster.topology import Cluster, paper_cluster
+from ..core.costmodel import CostModelConfig, MalleusCostModel
+from ..models.presets import paper_task
+from ..models.spec import TrainingTask
+
+#: GPU counts used by the paper per model size.
+PAPER_GPU_COUNTS = {"32b": 32, "70b": 64, "110b": 64}
+
+#: Situation names of the Figure 7 / Table 2 trace (excluding the final Normal).
+PAPER_SITUATIONS = ["Normal", "S1", "S2", "S3", "S4", "S5", "S6"]
+
+
+@dataclass
+class Workload:
+    """A (model, cluster, cost model) bundle used by most experiments."""
+
+    name: str
+    task: TrainingTask
+    cluster: Cluster
+    cost_model: MalleusCostModel
+
+    @property
+    def num_gpus(self) -> int:
+        """Number of GPUs the workload trains on."""
+        return self.cluster.num_gpus
+
+
+def paper_workload(model_name: str,
+                   cost_config: Optional[CostModelConfig] = None,
+                   global_batch_size: int = 64) -> Workload:
+    """Build the evaluation workload for one of the paper's models."""
+    key = model_name.lower().replace("llama2-", "")
+    if key not in PAPER_GPU_COUNTS:
+        raise KeyError(f"unknown paper workload '{model_name}'")
+    task = paper_task(key, global_batch_size=global_batch_size)
+    cluster = paper_cluster(PAPER_GPU_COUNTS[key])
+    cost_model = MalleusCostModel(task.model, cluster, cost_config)
+    return Workload(name=key, task=task, cluster=cluster, cost_model=cost_model)
+
+
+def normal_state(cluster: Cluster) -> ClusterState:
+    """A straggler-free cluster state."""
+    return ClusterState(cluster=cluster)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a simple fixed-width text table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's 'Avg. Improv.' metric)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))

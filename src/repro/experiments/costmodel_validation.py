@@ -1,0 +1,228 @@
+"""Cost-model validation by exhaustive enumeration: Figure 10 (Appendix A.1).
+
+The paper fixes a DP4 x TP2 x PP2 hybrid-parallel strategy for the 32B model
+with sequence length 1K, global batch size 512 and micro-batch size 1, adds
+one level-1 straggler, and then *enumerates* the layers assigned to the
+straggling stage (the partner stage receives the rest) and, given the best
+layer split, the micro-batches assigned to the straggling pipeline.  For
+every enumerated point it compares the cost model's estimate with the
+measured time, and checks that the cost-model optimum coincides with the
+enumerated optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster.stragglers import ClusterState
+from ..cluster.topology import paper_cluster
+from ..core.costmodel import MalleusCostModel
+from ..core.grouping import group_rate
+from ..models.presets import get_model
+from ..models.spec import TrainingTask
+from ..parallel.plan import (
+    ParallelizationPlan,
+    PipelinePlan,
+    PipelineStage,
+    TPGroup,
+)
+from ..simulator.executor import ExecutionSimulator
+from .common import format_table
+
+
+@dataclass
+class EnumerationPoint:
+    """One enumerated layer or data split."""
+
+    value: int  # layers (or micro-batches) given to the straggling stage/pipeline
+    estimated_straggler_time: float
+    actual_straggler_time: float
+    estimated_normal_time: float
+    actual_normal_time: float
+    actual_end_to_end: float
+
+
+@dataclass
+class CostModelValidationResult:
+    """Figure 10 data: the two enumeration sweeps."""
+
+    layer_sweep: List[EnumerationPoint]
+    data_sweep: List[EnumerationPoint]
+    estimated_best_layers: int
+    actual_best_layers: int
+    estimated_best_micro_batches: int
+    actual_best_micro_batches: int
+
+    @property
+    def layer_optimum_coincides(self) -> bool:
+        """Whether the cost model picked the enumerated-best layer split."""
+        return self.estimated_best_layers == self.actual_best_layers
+
+    @property
+    def data_optimum_coincides(self) -> bool:
+        """Whether the cost model picked the enumerated-best data split."""
+        return self.estimated_best_micro_batches == self.actual_best_micro_batches
+
+
+def _build_fixed_plan(cluster, num_layers: int, straggler_layers: int,
+                      straggler_micro_batches: int, normal_micro_batches: List[int],
+                      micro_batch_size: int, global_batch_size: int,
+                      dp: int, tp: int, pp: int) -> ParallelizationPlan:
+    """DP4 x TP2 x PP2 plan with a custom split for the straggling pipeline."""
+    gpu_ids = cluster.gpu_ids()
+    pipelines: List[PipelinePlan] = []
+    cursor = 0
+    for i in range(dp):
+        stages: List[PipelineStage] = []
+        for j in range(pp):
+            group = TPGroup(gpu_ids=tuple(gpu_ids[cursor:cursor + tp]))
+            cursor += tp
+            if i == 0:
+                layers = straggler_layers if j == 0 else num_layers - straggler_layers
+            else:
+                layers = num_layers // pp
+            stages.append(PipelineStage(group=group, num_layers=layers,
+                                        stage_index=j + 1))
+        m_i = straggler_micro_batches if i == 0 else normal_micro_batches[i - 1]
+        pipelines.append(PipelinePlan(stages=stages, num_micro_batches=m_i,
+                                      pipeline_index=i))
+    return ParallelizationPlan(
+        pipelines=pipelines,
+        micro_batch_size=micro_batch_size,
+        num_layers=num_layers,
+        global_batch_size=global_batch_size,
+    )
+
+
+def run_costmodel_validation(
+    straggler_rate: float = 2.6,
+    dp: int = 4, tp: int = 2, pp: int = 2,
+    seq_length: int = 1024,
+    global_batch_size: int = 512,
+    layer_step: int = 3,
+    data_step: int = 6,
+) -> CostModelValidationResult:
+    """Run the Figure 10 enumeration experiment."""
+    model = get_model("32b", seq_length=seq_length)
+    cluster = paper_cluster(num_gpus=dp * tp * pp * 2)  # 16 GPUs in 2 nodes
+    cluster = paper_cluster(num_gpus=max(8, dp * tp * pp))
+    task = TrainingTask(model=model, global_batch_size=global_batch_size,
+                        micro_batch_size=1)
+    cost_model = MalleusCostModel(model, cluster)
+    simulator = ExecutionSimulator(cost_model)
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates[0] = straggler_rate  # the straggler sits in pipeline 0, stage 0
+
+    num_layers = model.num_layers
+    micro_batches_total = global_batch_size
+    even_mb = micro_batches_total // dp
+
+    # ------------------------------------------------------------------
+    # Sweep 1: layers assigned to the straggling stage.
+    # ------------------------------------------------------------------
+    layer_sweep: List[EnumerationPoint] = []
+    straggler_group_rate = cost_model.group_straggling_rate(
+        [straggler_rate, 1.0][:tp] if tp > 1 else [straggler_rate], 1
+    )
+    normal_group_rate = cost_model.group_straggling_rate([1.0] * tp, 1)
+    tau = cost_model.tau(1)
+    for layers in range(layer_step, num_layers // 2 + 1, layer_step):
+        plan = _build_fixed_plan(cluster, num_layers, layers, even_mb,
+                                 [even_mb] * (dp - 1), 1, global_batch_size,
+                                 dp, tp, pp)
+        result = simulator.simulate_step(plan, rates, check_memory=False)
+        schedule = result.schedules[0]
+        est_straggler = straggler_group_rate * layers * tau * even_mb
+        est_normal = normal_group_rate * (num_layers - layers) * tau * even_mb
+        layer_sweep.append(
+            EnumerationPoint(
+                value=layers,
+                estimated_straggler_time=est_straggler,
+                actual_straggler_time=schedule.stage_finish_times[0],
+                estimated_normal_time=est_normal,
+                actual_normal_time=schedule.makespan,
+                actual_end_to_end=result.step_time,
+            )
+        )
+
+    best_actual_layers = min(layer_sweep, key=lambda p: p.actual_end_to_end).value
+    best_estimated_layers = min(
+        layer_sweep,
+        key=lambda p: max(p.estimated_straggler_time, p.estimated_normal_time),
+    ).value
+
+    # ------------------------------------------------------------------
+    # Sweep 2: micro-batches assigned to the straggling pipeline, with the
+    # estimated-best layer split fixed.
+    # ------------------------------------------------------------------
+    data_sweep: List[EnumerationPoint] = []
+    layers = best_estimated_layers
+    straggler_pipeline_bottleneck = max(
+        straggler_group_rate * layers,
+        normal_group_rate * (num_layers - layers),
+    )
+    for m in range(data_step, micro_batches_total // dp * 2, data_step):
+        remaining = micro_batches_total - m
+        base, extra = divmod(remaining, dp - 1)
+        others = [base + (1 if i < extra else 0) for i in range(dp - 1)]
+        plan = _build_fixed_plan(cluster, num_layers, layers, m, others, 1,
+                                 global_batch_size, dp, tp, pp)
+        result = simulator.simulate_step(plan, rates, check_memory=False)
+        est_straggler = straggler_pipeline_bottleneck * tau * m
+        est_normal = normal_group_rate * (num_layers // pp) * tau * max(others)
+        data_sweep.append(
+            EnumerationPoint(
+                value=m,
+                estimated_straggler_time=est_straggler,
+                actual_straggler_time=result.pipeline_times[0],
+                estimated_normal_time=est_normal,
+                actual_normal_time=max(result.pipeline_times[1:]),
+                actual_end_to_end=result.step_time,
+            )
+        )
+    best_actual_mb = min(data_sweep, key=lambda p: p.actual_end_to_end).value
+    best_estimated_mb = min(
+        data_sweep,
+        key=lambda p: max(p.estimated_straggler_time, p.estimated_normal_time),
+    ).value
+
+    return CostModelValidationResult(
+        layer_sweep=layer_sweep,
+        data_sweep=data_sweep,
+        estimated_best_layers=best_estimated_layers,
+        actual_best_layers=best_actual_layers,
+        estimated_best_micro_batches=best_estimated_mb,
+        actual_best_micro_batches=best_actual_mb,
+    )
+
+
+def format_costmodel_validation(result: CostModelValidationResult) -> str:
+    """Render the Figure 10 sweeps."""
+    headers = ["Straggler layers", "Est. straggler", "Est. normal",
+               "Actual normal", "Actual end-to-end"]
+    rows = [
+        [p.value, f"{p.estimated_straggler_time:.1f}",
+         f"{p.estimated_normal_time:.1f}", f"{p.actual_normal_time:.1f}",
+         f"{p.actual_end_to_end:.1f}"]
+        for p in result.layer_sweep
+    ]
+    part1 = format_table(headers, rows,
+                         title="Figure 10 (left): layer enumeration")
+    headers2 = ["Straggler micro-batches", "Est. straggler", "Est. normal",
+                "Actual straggler", "Actual end-to-end"]
+    rows2 = [
+        [p.value, f"{p.estimated_straggler_time:.1f}",
+         f"{p.estimated_normal_time:.1f}", f"{p.actual_straggler_time:.1f}",
+         f"{p.actual_end_to_end:.1f}"]
+        for p in result.data_sweep
+    ]
+    part2 = format_table(headers2, rows2,
+                         title="Figure 10 (right): data enumeration")
+    summary = (
+        f"layer optimum: estimated {result.estimated_best_layers}, "
+        f"actual {result.actual_best_layers}; "
+        f"data optimum: estimated {result.estimated_best_micro_batches}, "
+        f"actual {result.actual_best_micro_batches}"
+    )
+    return "\n\n".join([part1, part2, summary])

@@ -1,0 +1,156 @@
+"""End-to-end evaluation: Table 2 and Figure 7.
+
+For every model (32B/70B/110B) the paper runs Malleus, Megatron-LM and
+DeepSpeed (each with and without restarts) through the trace
+Normal -> S1 -> ... -> S6 -> Normal and reports the average step time per
+situation, the speed-up of Malleus over every baseline, the MFU in the
+straggler-free case, and the theoretic optimum.  This module regenerates
+those rows with the simulated substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.deepspeed import DeepSpeedBaseline, DeepSpeedRestartBaseline
+from ..baselines.megatron import MegatronBaseline, MegatronRestartBaseline
+from ..baselines.oobleck import OobleckBaseline
+from ..cluster.trace import paper_trace
+from ..runtime.malleus import MalleusSystem
+from ..simulator.session import (
+    TraceRunResult,
+    run_trace,
+    theoretic_optimal_step_time,
+)
+from .common import (
+    PAPER_SITUATIONS,
+    Workload,
+    format_table,
+    geometric_mean,
+    paper_workload,
+)
+
+
+@dataclass
+class EndToEndResult:
+    """Table 2-style result for one model."""
+
+    model: str
+    situations: List[str]
+    step_times: Dict[str, Dict[str, float]]  # framework -> situation -> seconds
+    theoretic_optimum: Dict[str, float]
+    mfu: Dict[str, float]
+    adjustments: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    downtimes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def improvement(self, baseline: str, situation: str) -> float:
+        """Speed-up of Malleus over a baseline in one situation."""
+        malleus = self.step_times["Malleus"][situation]
+        other = self.step_times[baseline][situation]
+        if malleus <= 0:
+            return float("inf")
+        return other / malleus
+
+    def average_improvement(self, baseline: str,
+                            situations: Optional[Sequence[str]] = None) -> float:
+        """Geometric-mean speed-up over the straggler situations (Table 2)."""
+        situations = situations or [s for s in self.situations if s != "Normal"]
+        return geometric_mean(
+            [self.improvement(baseline, s) for s in situations]
+        )
+
+
+def _framework_zoo(workload: Workload, include_oobleck: bool = False):
+    """Instantiate the frameworks compared in Table 2."""
+    task, cluster, cm = workload.task, workload.cluster, workload.cost_model
+    frameworks = [
+        MalleusSystem(task, cluster, cm),
+        MegatronBaseline(task, cluster, cm),
+        DeepSpeedBaseline(task, cluster, cm),
+        MegatronRestartBaseline(task, cluster, cm),
+        DeepSpeedRestartBaseline(task, cluster, cm),
+    ]
+    if include_oobleck:
+        frameworks.append(OobleckBaseline(task, cluster, cm))
+    return frameworks
+
+
+def run_end_to_end(model_name: str = "32b",
+                   situations: Optional[Sequence[str]] = None,
+                   include_oobleck: bool = False,
+                   steps_per_situation: int = 100) -> EndToEndResult:
+    """Run the Table 2 / Figure 7 experiment for one model."""
+    workload = paper_workload(model_name)
+    situations = list(situations or PAPER_SITUATIONS)
+    trace = paper_trace(workload.cluster, duration_steps=steps_per_situation,
+                        include_trailing_normal=False)
+    keep = [s for s in trace.situations if s.name in situations]
+    trace.situations = keep
+
+    step_times: Dict[str, Dict[str, float]] = {}
+    adjustments: Dict[str, Dict[str, str]] = {}
+    downtimes: Dict[str, Dict[str, float]] = {}
+    mfu: Dict[str, float] = {}
+    results: Dict[str, TraceRunResult] = {}
+
+    for framework in _framework_zoo(workload, include_oobleck):
+        run = run_trace(framework, trace)
+        results[framework.name] = run
+        step_times[framework.name] = run.as_dict()
+        adjustments[framework.name] = {
+            s.situation: s.adjustment.kind for s in run.situations
+        }
+        downtimes[framework.name] = {
+            s.situation: s.adjustment.downtime for s in run.situations
+        }
+        normal_time = run.as_dict().get("Normal")
+        if normal_time:
+            mfu[framework.name] = workload.cost_model.mfu(
+                normal_time, workload.task.global_batch_size, workload.num_gpus
+            )
+
+    malleus_normal = step_times["Malleus"]["Normal"]
+    optimum = {}
+    for situation in trace.situations:
+        state = situation.as_state(workload.cluster)
+        optimum[situation.name] = theoretic_optimal_step_time(
+            malleus_normal, state
+        )
+
+    return EndToEndResult(
+        model=model_name,
+        situations=[s.name for s in trace.situations],
+        step_times=step_times,
+        theoretic_optimum=optimum,
+        mfu=mfu,
+        adjustments=adjustments,
+        downtimes=downtimes,
+    )
+
+
+def format_end_to_end(result: EndToEndResult) -> str:
+    """Render the Table 2 rows for one model."""
+    headers = ["Framework"] + result.situations + ["Avg. Improv."]
+    rows: List[List[object]] = []
+    for framework, per_situation in result.step_times.items():
+        row: List[object] = [framework]
+        for situation in result.situations:
+            value = per_situation.get(situation, float("nan"))
+            row.append(f"{value:.1f}")
+        if framework == "Malleus":
+            row.append("-")
+        else:
+            row.append(f"{result.average_improvement(framework):.2f}x")
+        rows.append(row)
+    opt_row: List[object] = ["Theoretic Opt."]
+    for situation in result.situations:
+        opt_row.append(f"{result.theoretic_optimum[situation]:.1f}")
+    opt_row.append("-")
+    rows.append(opt_row)
+    title = (
+        f"Table 2 ({result.model}): averaged running time per step (seconds); "
+        f"MFU (normal): "
+        + ", ".join(f"{k}={v:.1%}" for k, v in sorted(result.mfu.items()))
+    )
+    return format_table(headers, rows, title=title)

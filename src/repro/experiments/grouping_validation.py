@@ -1,0 +1,150 @@
+"""Theorem 2 validation: Figure 11 (Appendix B.7).
+
+When a heavy straggler is isolated from an 8-GPU group, the remaining 7 GPUs
+can be re-grouped into groups of 4, 2 and 1 in six different ways; the
+planner ranks them with the Theorem 2 estimator (``T ∝ 1 / Σ 1/y``) instead
+of solving the full problem for each.  Figure 11 evaluates the three
+grouping possibilities of Figure 5 on the 110B model (stragglers with rates
+2.57, 5.42 and 12.53 inside one node) and shows that the estimator's ranking
+agrees with the end-to-end measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.assignment import solve_lower_level
+from ..core.grouping import (
+    enumerate_consecutive_groupings,
+    group_rate,
+    harmonic_throughput,
+    power_of_two_decomposition,
+)
+from ..core.orchestration import order_pipeline_groups
+from ..core.planner import MalleusPlanner
+from ..parallel.plan import TPGroup
+from ..simulator.executor import ExecutionSimulator
+from .common import Workload, format_table, paper_workload
+
+
+@dataclass
+class GroupingCandidate:
+    """One grouping possibility of the straggling node."""
+
+    label: str
+    group_sizes: List[int]
+    estimated_relative_time: float
+    simulated_step_time: float
+
+
+@dataclass
+class GroupingValidationResult:
+    """Figure 11 data."""
+
+    model: str
+    straggler_rates: Dict[int, float]
+    candidates: List[GroupingCandidate]
+
+    def ranking_agrees(self) -> bool:
+        """Whether the Theorem 2 ranking matches the simulated ranking."""
+        by_estimate = sorted(self.candidates,
+                             key=lambda c: c.estimated_relative_time)
+        by_simulation = sorted(self.candidates,
+                               key=lambda c: c.simulated_step_time)
+        return by_estimate[0].label == by_simulation[0].label
+
+
+def run_grouping_validation(model_name: str = "110b",
+                            straggler_rates: Sequence[float] = (2.57, 5.42, 12.53),
+                            dp_degree: int = 2) -> GroupingValidationResult:
+    """Run the Figure 11 experiment.
+
+    The heaviest straggler is isolated; the remaining 7 GPUs of the node are
+    re-grouped according to each enumerated possibility, the rest of the
+    cluster keeps its even TP-8 grouping, and the lower-level problem plus
+    the execution simulator evaluate every possibility end to end.
+    """
+    workload = paper_workload(model_name)
+    cluster, cost_model, task = (workload.cluster, workload.cost_model,
+                                 workload.task)
+    simulator = ExecutionSimulator(cost_model)
+
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates[0], rates[2], rates[4] = straggler_rates
+
+    node0 = cluster.nodes[0].gpu_ids()
+    heavy = max(node0, key=lambda g: rates[g])
+    remaining = [g for g in node0 if g != heavy]
+    sizes = power_of_two_decomposition(len(remaining), 8)
+    candidates = enumerate_consecutive_groupings(remaining, rates, sizes)
+
+    other_groups: List[TPGroup] = []
+    for node in cluster.nodes[1:]:
+        ids = node.gpu_ids()
+        other_groups.append(TPGroup(gpu_ids=tuple(ids)))
+
+    results: List[GroupingCandidate] = []
+    for index, regrouping in enumerate(candidates, start=1):
+        node_groups = [TPGroup(gpu_ids=(heavy,))] + regrouping
+        all_groups = node_groups + other_groups
+        throughput = harmonic_throughput(all_groups, rates, cost_model)
+        estimated_relative = 1.0 / throughput if throughput > 0 else float("inf")
+
+        # Deal the groups into pipelines (slowest groups spread out), order
+        # them, and solve the lower-level problem to evaluate end to end.
+        ordered_by_rate = sorted(
+            all_groups,
+            key=lambda g: -group_rate(g, rates, cost_model, task.micro_batch_size),
+        )
+        pipelines: List[List[TPGroup]] = [[] for _ in range(dp_degree)]
+        for position, group in enumerate(ordered_by_rate):
+            pipelines[position % dp_degree].append(group)
+        ordered = [
+            order_pipeline_groups(p, rates, cost_model, task.model.num_layers,
+                                  task.micro_batch_size, dp_degree)
+            for p in pipelines
+        ]
+        lower = solve_lower_level(
+            ordered, rates, cost_model, task.model.num_layers,
+            task.global_batch_size, all_gpu_ids=cluster.gpu_ids(),
+        )
+        simulated = float("inf")
+        if lower.feasible and lower.plan is not None:
+            simulated = simulator.simulate_step(
+                lower.plan, rates, check_memory=False
+            ).step_time
+        results.append(
+            GroupingCandidate(
+                label=f"possibility-{index}",
+                group_sizes=[g.size for g in node_groups],
+                estimated_relative_time=estimated_relative,
+                simulated_step_time=simulated,
+            )
+        )
+    return GroupingValidationResult(
+        model=model_name,
+        straggler_rates={g: r for g, r in rates.items() if r > 1.0},
+        candidates=results,
+    )
+
+
+def format_grouping_validation(result: GroupingValidationResult) -> str:
+    """Render the Figure 11 bars."""
+    headers = ["Grouping", "Node-0 group sizes", "Theorem-2 estimate (rel.)",
+               "Simulated step (s)"]
+    rows = []
+    best_estimate = min(c.estimated_relative_time for c in result.candidates)
+    for candidate in result.candidates:
+        rows.append([
+            candidate.label,
+            "+".join(map(str, candidate.group_sizes)),
+            f"{candidate.estimated_relative_time / best_estimate:.3f}",
+            f"{candidate.simulated_step_time:.2f}",
+        ])
+    agree = "yes" if result.ranking_agrees() else "no"
+    return format_table(
+        headers, rows,
+        title=f"Figure 11 ({result.model}): Theorem 2 vs simulation "
+              f"(ranking agrees: {agree})",
+    )

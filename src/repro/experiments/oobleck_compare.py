@@ -1,0 +1,107 @@
+"""Comparison with the fault-tolerant baseline Oobleck: Figure 8.
+
+The paper runs the 32B model through the same six-situation trace with
+Oobleck treating stragglers as faulty GPUs.  Figure 8 reports, for every
+situation, the per-step time of Oobleck vs Malleus (Oobleck is 1.82-2.49x
+slower) and, for every transition, whether Oobleck could migrate (a few
+seconds) or had to restart (hundreds of seconds), next to Malleus's
+migration cost (1.5-3.9 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.oobleck import OobleckBaseline
+from ..cluster.trace import paper_trace
+from ..runtime.malleus import MalleusSystem
+from ..simulator.session import run_trace
+from .common import Workload, format_table, paper_workload
+
+
+@dataclass
+class OobleckComparisonRow:
+    """Per-situation comparison between Oobleck and Malleus."""
+
+    situation: str
+    oobleck_step_time: float
+    malleus_step_time: float
+    oobleck_adjustment: str
+    oobleck_downtime: float
+    malleus_adjustment: str
+    malleus_downtime: float
+
+    @property
+    def slowdown(self) -> float:
+        """How much slower Oobleck trains than Malleus."""
+        if self.malleus_step_time <= 0:
+            return float("inf")
+        return self.oobleck_step_time / self.malleus_step_time
+
+
+@dataclass
+class OobleckComparisonResult:
+    """Figure 8 data."""
+
+    model: str
+    rows: List[OobleckComparisonRow]
+
+    def restart_transitions(self) -> List[str]:
+        """Situations Oobleck entered through a full restart."""
+        return [row.situation for row in self.rows
+                if row.oobleck_adjustment == "restart"]
+
+    def migrate_transitions(self) -> List[str]:
+        """Situations Oobleck entered through template migration."""
+        return [row.situation for row in self.rows
+                if row.oobleck_adjustment == "migrate"]
+
+
+def run_oobleck_comparison(model_name: str = "32b",
+                           steps_per_situation: int = 100,
+                           include_trailing_normal: bool = True
+                           ) -> OobleckComparisonResult:
+    """Run the Figure 8 experiment."""
+    workload = paper_workload(model_name)
+    trace = paper_trace(workload.cluster, duration_steps=steps_per_situation,
+                        include_trailing_normal=include_trailing_normal)
+
+    malleus = MalleusSystem(workload.task, workload.cluster, workload.cost_model)
+    oobleck = OobleckBaseline(workload.task, workload.cluster, workload.cost_model)
+    malleus_run = run_trace(malleus, trace)
+    oobleck_run = run_trace(oobleck, trace)
+
+    rows: List[OobleckComparisonRow] = []
+    for m_res, o_res in zip(malleus_run.situations, oobleck_run.situations):
+        rows.append(
+            OobleckComparisonRow(
+                situation=m_res.situation,
+                oobleck_step_time=o_res.avg_step_time,
+                malleus_step_time=m_res.avg_step_time,
+                oobleck_adjustment=o_res.adjustment.kind,
+                oobleck_downtime=o_res.adjustment.downtime,
+                malleus_adjustment=m_res.adjustment.kind,
+                malleus_downtime=m_res.adjustment.downtime,
+            )
+        )
+    return OobleckComparisonResult(model=model_name, rows=rows)
+
+
+def format_oobleck_comparison(result: OobleckComparisonResult) -> str:
+    """Render the Figure 8 series."""
+    headers = ["Situation", "Oobleck (s)", "Malleus (s)", "Slowdown",
+               "Oobleck adj.", "Oobleck cost (s)", "Malleus cost (s)"]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.situation,
+            f"{row.oobleck_step_time:.1f}",
+            f"{row.malleus_step_time:.1f}",
+            f"{row.slowdown:.2f}x",
+            row.oobleck_adjustment,
+            f"{row.oobleck_downtime:.1f}",
+            f"{row.malleus_downtime:.1f}",
+        ])
+    return format_table(headers, rows,
+                        title=f"Figure 8 ({result.model}): Oobleck vs Malleus")

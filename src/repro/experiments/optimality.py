@@ -1,0 +1,116 @@
+"""Optimality and cost-model accuracy: Table 3.
+
+Table 3 compares three ratios for every model and straggler situation:
+
+* ``R_actual`` — measured step time with stragglers divided by the
+  straggler-free step time;
+* ``R_opt`` — the theoretic optimum of that ratio,
+  ``N / ((N - n) + sum 1/x_i)``;
+* ``R_est`` — the ratio predicted by the planner's cost model (the solution
+  value of Eq. 1).
+
+The paper reports ``1 - R_opt/R_actual`` within 10% everywhere and the
+cost-model error ``1 - R_est/R_actual`` within 6.3%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.trace import paper_situation
+from ..runtime.malleus import MalleusSystem
+from ..simulator.session import theoretic_optimal_step_time
+from .common import PAPER_SITUATIONS, format_table, paper_workload
+
+
+@dataclass
+class OptimalityRow:
+    """One (model, situation) row of Table 3."""
+
+    model: str
+    situation: str
+    r_actual: float
+    r_opt: float
+    r_est: float
+
+    @property
+    def optimality_gap(self) -> float:
+        """``1 - R_opt / R_actual`` (distance from the theoretic optimum)."""
+        return 1.0 - self.r_opt / self.r_actual
+
+    @property
+    def estimation_error(self) -> float:
+        """``1 - R_est / R_actual`` (cost-model error)."""
+        return 1.0 - self.r_est / self.r_actual
+
+
+@dataclass
+class OptimalityResult:
+    """All Table 3 rows for one model."""
+
+    model: str
+    rows: List[OptimalityRow]
+
+    def worst_optimality_gap(self) -> float:
+        """Largest distance from the theoretic optimum."""
+        return max(abs(row.optimality_gap) for row in self.rows)
+
+    def worst_estimation_error(self) -> float:
+        """Largest cost-model error."""
+        return max(abs(row.estimation_error) for row in self.rows)
+
+
+def run_optimality(model_name: str = "32b",
+                   situations: Optional[Sequence[str]] = None) -> OptimalityResult:
+    """Run the Table 3 experiment for one model."""
+    workload = paper_workload(model_name)
+    situations = [s for s in (situations or PAPER_SITUATIONS) if s != "Normal"]
+
+    system = MalleusSystem(workload.task, workload.cluster, workload.cost_model)
+    normal_state = paper_situation("Normal", workload.cluster).as_state(
+        workload.cluster
+    )
+    system.setup(normal_state)
+    normal_time = system.step_time(normal_state)
+    normal_estimate = system.estimated_step_time(normal_state.rate_map())
+
+    rows: List[OptimalityRow] = []
+    for name in situations:
+        state = paper_situation(name, workload.cluster).as_state(workload.cluster)
+        system.on_situation_change(state)
+        actual = system.step_time(state)
+        estimated = system.estimated_step_time(state.rate_map())
+        optimum = theoretic_optimal_step_time(normal_time, state)
+        rows.append(
+            OptimalityRow(
+                model=model_name,
+                situation=name,
+                r_actual=actual / normal_time,
+                r_opt=optimum / normal_time,
+                r_est=estimated / normal_estimate
+                if normal_estimate > 0 else float("nan"),
+            )
+        )
+    # Reset to normal between runs is not needed: the Malleus system adapts to
+    # each situation independently via re-planning.
+    return OptimalityResult(model=model_name, rows=rows)
+
+
+def format_optimality(result: OptimalityResult) -> str:
+    """Render the Table 3 rows for one model."""
+    headers = ["Situation", "R_actual", "R_opt", "1-R_opt/R_actual",
+               "R_est", "1-R_est/R_actual"]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.situation,
+            f"{row.r_actual:.2f}",
+            f"{row.r_opt:.2f}",
+            f"{row.optimality_gap:+.2%}",
+            f"{row.r_est:.2f}",
+            f"{row.estimation_error:+.2%}",
+        ])
+    return format_table(headers, rows,
+                        title=f"Table 3 ({result.model}): optimality and "
+                              f"cost-model accuracy")

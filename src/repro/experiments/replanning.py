@@ -1,0 +1,103 @@
+"""Re-planning overhead ablation (§5.3).
+
+The paper's asynchronous re-planning mechanism overlaps the 10-30 s of
+planning with training so that only the 1-5 s model migration stalls the
+job.  This experiment quantifies that design choice: it runs Malleus through
+the straggler trace twice — once with asynchronous re-planning (the default)
+and once with synchronous re-planning (training halts while the planner
+runs) — and compares the accumulated adjustment downtime, alongside the
+restart-based alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..baselines.megatron import MegatronRestartBaseline
+from ..cluster.trace import paper_trace
+from ..runtime.malleus import MalleusSystem
+from ..simulator.session import run_trace
+from .common import format_table, paper_workload
+
+
+@dataclass
+class ReplanningVariant:
+    """Downtime accounting of one adaptation strategy."""
+
+    name: str
+    total_downtime: float
+    per_situation_downtime: Dict[str, float]
+    total_planning_time: float
+
+
+@dataclass
+class ReplanningResult:
+    """Comparison of asynchronous vs synchronous re-planning vs restarting."""
+
+    model: str
+    variants: List[ReplanningVariant]
+
+    def variant(self, name: str) -> ReplanningVariant:
+        """Look up one variant."""
+        for variant in self.variants:
+            if variant.name == name:
+                return variant
+        raise KeyError(name)
+
+
+def run_replanning_ablation(model_name: str = "32b",
+                            steps_per_situation: int = 100) -> ReplanningResult:
+    """Run the re-planning overhead ablation."""
+    variants: List[ReplanningVariant] = []
+    for name, kwargs in [
+        ("async re-planning", {"async_replanning": True}),
+        ("sync re-planning", {"async_replanning": False}),
+    ]:
+        workload = paper_workload(model_name)
+        system = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model, **kwargs)
+        trace = paper_trace(workload.cluster, duration_steps=steps_per_situation)
+        run = run_trace(system, trace)
+        variants.append(
+            ReplanningVariant(
+                name=name,
+                total_downtime=sum(
+                    s.adjustment.downtime for s in run.situations
+                ),
+                per_situation_downtime={
+                    s.situation: s.adjustment.downtime for s in run.situations
+                },
+                total_planning_time=sum(
+                    s.adjustment.planning_time for s in run.situations
+                ),
+            )
+        )
+
+    workload = paper_workload(model_name)
+    restart = MegatronRestartBaseline(workload.task, workload.cluster,
+                                      workload.cost_model)
+    trace = paper_trace(workload.cluster, duration_steps=steps_per_situation)
+    run = run_trace(restart, trace)
+    variants.append(
+        ReplanningVariant(
+            name="restart-based (Megatron w/ Restart)",
+            total_downtime=sum(s.adjustment.downtime for s in run.situations),
+            per_situation_downtime={
+                s.situation: s.adjustment.downtime for s in run.situations
+            },
+            total_planning_time=0.0,
+        )
+    )
+    return ReplanningResult(model=model_name, variants=variants)
+
+
+def format_replanning(result: ReplanningResult) -> str:
+    """Render the re-planning ablation."""
+    headers = ["Strategy", "Total downtime (s)", "Total planning time (s)"]
+    rows = [
+        [v.name, f"{v.total_downtime:.1f}", f"{v.total_planning_time:.1f}"]
+        for v in result.variants
+    ]
+    return format_table(headers, rows,
+                        title=f"Re-planning overhead ({result.model})")

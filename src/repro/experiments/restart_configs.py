@@ -1,0 +1,107 @@
+"""Manually tuned restart configurations: Tables 6 and 7 (Appendix A.3).
+
+When the restart-based baselines exclude straggling nodes they must re-tune
+the parallel configuration for the surviving GPU count.  Tables 6 and 7 list
+the configurations the paper's authors found by hand for Megatron-LM and
+DeepSpeed; this module regenerates them with the automated configuration
+search, for every node-removal scenario of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines.config_search import (
+    DeepSpeedConfig,
+    MegatronConfig,
+    search_deepspeed_config,
+    search_megatron_config,
+)
+from .common import format_table, paper_workload
+
+#: Scenario name -> number of whole nodes removed (the paper's grouping of
+#: situations by how many nodes contain stragglers).
+NODE_REMOVAL_SCENARIOS = {
+    "Normal": 0,
+    "S1/S2/S6 (remove 1 node)": 1,
+    "S3/S5 (remove 2 nodes)": 2,
+    "S4 (remove 3 nodes)": 3,
+}
+
+
+@dataclass
+class RestartConfigRow:
+    """Best configurations for one model under one node-removal scenario."""
+
+    model: str
+    scenario: str
+    surviving_gpus: int
+    megatron: Optional[MegatronConfig]
+    deepspeed: Optional[DeepSpeedConfig]
+
+
+@dataclass
+class RestartConfigResult:
+    """Tables 6 and 7 data for one model."""
+
+    model: str
+    rows: List[RestartConfigRow]
+
+    def megatron_labels(self) -> Dict[str, str]:
+        """Scenario -> Megatron configuration label (Table 6)."""
+        return {
+            row.scenario: row.megatron.label() if row.megatron else "infeasible"
+            for row in self.rows
+        }
+
+    def deepspeed_labels(self) -> Dict[str, str]:
+        """Scenario -> DeepSpeed configuration label (Table 7)."""
+        return {
+            row.scenario: row.deepspeed.label() if row.deepspeed else "infeasible"
+            for row in self.rows
+        }
+
+
+def run_restart_configs(model_name: str = "32b") -> RestartConfigResult:
+    """Run the Tables 6/7 configuration search for one model."""
+    workload = paper_workload(model_name)
+    cluster = workload.cluster
+    rows: List[RestartConfigRow] = []
+    for scenario, removed_nodes in NODE_REMOVAL_SCENARIOS.items():
+        keep = [
+            gpu.gpu_id for gpu in cluster.iter_gpus()
+            if gpu.node_id >= removed_nodes
+        ]
+        if not keep:
+            continue
+        sub_cluster = cluster.subset(keep, name=f"{cluster.name}-minus-{removed_nodes}")
+        megatron = search_megatron_config(workload.task, sub_cluster)
+        deepspeed = search_deepspeed_config(workload.task, sub_cluster)
+        rows.append(
+            RestartConfigRow(
+                model=model_name,
+                scenario=scenario,
+                surviving_gpus=len(keep),
+                megatron=megatron,
+                deepspeed=deepspeed,
+            )
+        )
+    return RestartConfigResult(model=model_name, rows=rows)
+
+
+def format_restart_configs(result: RestartConfigResult) -> str:
+    """Render the Tables 6/7 rows for one model."""
+    headers = ["Scenario", "GPUs", "Megatron-LM w/ Restart", "DeepSpeed w/ Restart"]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.scenario,
+            row.surviving_gpus,
+            row.megatron.label() if row.megatron else "infeasible",
+            row.deepspeed.label() if row.deepspeed else "infeasible",
+        ])
+    return format_table(
+        headers, rows,
+        title=f"Tables 6/7 ({result.model}): tuned restart configurations",
+    )

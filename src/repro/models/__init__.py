@@ -1,0 +1,24 @@
+"""Model specifications (architecture shapes, FLOPs and memory estimates)."""
+
+from .presets import (
+    DEFAULT_SEQ_LENGTH,
+    DEFAULT_VOCAB_SIZE,
+    get_model,
+    llama2_32b,
+    llama2_70b,
+    llama2_110b,
+    paper_task,
+)
+from .spec import TrainingTask, TransformerModelSpec
+
+__all__ = [
+    "DEFAULT_SEQ_LENGTH",
+    "DEFAULT_VOCAB_SIZE",
+    "TransformerModelSpec",
+    "TrainingTask",
+    "get_model",
+    "llama2_32b",
+    "llama2_70b",
+    "llama2_110b",
+    "paper_task",
+]

@@ -1,0 +1,87 @@
+"""Preset model configurations matching the paper's evaluation workloads.
+
+The paper trains three LLaMA-2-architecture models with 32B, 70B and 110B
+parameters, context length 4K and a global batch size of 64 sequences
+(256K tokens per step).  The 32B model has 60 transformer layers (Appendix
+A.1 enumerates layer splits out of 60) and the 70B/110B models have 80
+layers (Appendix A.3 mentions partitioning "the 80 total layers").
+"""
+
+from __future__ import annotations
+
+from .spec import TrainingTask, TransformerModelSpec
+
+DEFAULT_SEQ_LENGTH = 4096
+DEFAULT_VOCAB_SIZE = 32000
+
+
+def llama2_32b(seq_length: int = DEFAULT_SEQ_LENGTH) -> TransformerModelSpec:
+    """The 32B-parameter model trained on 32 GPUs in the paper."""
+    return TransformerModelSpec(
+        name="llama2-32b",
+        num_layers=60,
+        hidden_size=6656,
+        ffn_hidden_size=17920,
+        num_attention_heads=52,
+        num_kv_heads=52,
+        vocab_size=DEFAULT_VOCAB_SIZE,
+        seq_length=seq_length,
+    )
+
+
+def llama2_70b(seq_length: int = DEFAULT_SEQ_LENGTH) -> TransformerModelSpec:
+    """The 70B-parameter model (LLaMA-2 70B shape) trained on 64 GPUs."""
+    return TransformerModelSpec(
+        name="llama2-70b",
+        num_layers=80,
+        hidden_size=8192,
+        ffn_hidden_size=28672,
+        num_attention_heads=64,
+        num_kv_heads=8,
+        vocab_size=DEFAULT_VOCAB_SIZE,
+        seq_length=seq_length,
+    )
+
+
+def llama2_110b(seq_length: int = DEFAULT_SEQ_LENGTH) -> TransformerModelSpec:
+    """The 110B-parameter model trained on 64 GPUs in the paper."""
+    return TransformerModelSpec(
+        name="llama2-110b",
+        num_layers=80,
+        hidden_size=10240,
+        ffn_hidden_size=35840,
+        num_attention_heads=80,
+        num_kv_heads=8,
+        vocab_size=DEFAULT_VOCAB_SIZE,
+        seq_length=seq_length,
+    )
+
+
+_PRESETS = {
+    "32b": llama2_32b,
+    "70b": llama2_70b,
+    "110b": llama2_110b,
+    "llama2-32b": llama2_32b,
+    "llama2-70b": llama2_70b,
+    "llama2-110b": llama2_110b,
+}
+
+
+def get_model(name: str, seq_length: int = DEFAULT_SEQ_LENGTH) -> TransformerModelSpec:
+    """Look up a preset model by name (e.g. ``"32b"`` or ``"llama2-70b"``)."""
+    key = name.lower()
+    if key not in _PRESETS:
+        raise KeyError(
+            f"unknown model preset '{name}'; available: {sorted(set(_PRESETS))}"
+        )
+    return _PRESETS[key](seq_length=seq_length)
+
+
+def paper_task(name: str, global_batch_size: int = 64,
+               seq_length: int = DEFAULT_SEQ_LENGTH) -> TrainingTask:
+    """Build the training task used in the paper's evaluation for ``name``."""
+    return TrainingTask(
+        model=get_model(name, seq_length=seq_length),
+        global_batch_size=global_batch_size,
+        micro_batch_size=1,
+    )

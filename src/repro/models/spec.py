@@ -1,0 +1,208 @@
+"""Transformer model specifications used throughout the reproduction.
+
+The paper evaluates three LLaMA-2-architecture models (32B, 70B and 110B
+parameters).  The planner and the execution simulator never touch real
+weights; they only need the *shape* of the model: the number of identical
+transformer layers, the hidden sizes that determine per-layer FLOPs and
+memory, and the embedding/LM-head sizes that make the first and last
+pipeline stages slightly non-uniform (Appendix B.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TransformerModelSpec:
+    """Architecture description of a decoder-only transformer.
+
+    Attributes mirror the quantities the Malleus cost model needs: the
+    number of identical layers ``num_layers`` (``L`` in the paper), the
+    hidden dimension, the feed-forward dimension (SwiGLU uses three
+    projection matrices), attention head counts (grouped-query attention
+    is supported through ``num_kv_heads``), vocabulary size and the
+    training sequence length.
+    """
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    ffn_hidden_size: int
+    num_attention_heads: int
+    num_kv_heads: int
+    vocab_size: int
+    seq_length: int
+    tie_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.hidden_size <= 0 or self.ffn_hidden_size <= 0:
+            raise ValueError("hidden sizes must be positive")
+        if self.num_attention_heads <= 0 or self.num_kv_heads <= 0:
+            raise ValueError("head counts must be positive")
+        if self.num_attention_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                "num_attention_heads must be a multiple of num_kv_heads"
+            )
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_attention_heads")
+        if self.seq_length <= 0:
+            raise ValueError("seq_length must be positive")
+
+    # ------------------------------------------------------------------
+    # Parameter counts
+    # ------------------------------------------------------------------
+    @property
+    def head_dim(self) -> int:
+        """Dimension of one attention head."""
+        return self.hidden_size // self.num_attention_heads
+
+    @property
+    def kv_hidden_size(self) -> int:
+        """Total width of the key/value projections (GQA-aware)."""
+        return self.num_kv_heads * self.head_dim
+
+    def attention_params_per_layer(self) -> int:
+        """Parameters of one attention block (Q, K, V and output proj)."""
+        h = self.hidden_size
+        kv = self.kv_hidden_size
+        return h * h + 2 * h * kv + h * h
+
+    def ffn_params_per_layer(self) -> int:
+        """Parameters of one SwiGLU feed-forward block (gate, up, down)."""
+        return 3 * self.hidden_size * self.ffn_hidden_size
+
+    def norm_params_per_layer(self) -> int:
+        """Parameters of the two RMSNorm blocks of a layer."""
+        return 2 * self.hidden_size
+
+    def params_per_layer(self) -> int:
+        """Parameters of one identical transformer layer."""
+        return (
+            self.attention_params_per_layer()
+            + self.ffn_params_per_layer()
+            + self.norm_params_per_layer()
+        )
+
+    def embedding_params(self) -> int:
+        """Parameters of the input embedding table."""
+        return self.vocab_size * self.hidden_size
+
+    def lm_head_params(self) -> int:
+        """Parameters of the output projection (0 if tied to embeddings)."""
+        if self.tie_embeddings:
+            return 0
+        return self.vocab_size * self.hidden_size
+
+    def total_params(self) -> int:
+        """Total parameter count of the full model."""
+        return (
+            self.num_layers * self.params_per_layer()
+            + self.embedding_params()
+            + self.lm_head_params()
+            + self.hidden_size  # final norm
+        )
+
+    # ------------------------------------------------------------------
+    # FLOPs
+    # ------------------------------------------------------------------
+    def flops_per_token_per_layer(self) -> float:
+        """Forward-pass FLOPs of one layer for one token.
+
+        Uses the standard 2 FLOPs per multiply-accumulate convention and
+        includes the quadratic attention term so that the Model FLOPs
+        Utilization reported by the benchmark harness matches the way the
+        paper computes MFU.
+        """
+        h = self.hidden_size
+        kv = self.kv_hidden_size
+        s = self.seq_length
+        matmul = 2 * (h * h + 2 * h * kv + h * h)  # q, k, v, out projections
+        matmul += 2 * 3 * h * self.ffn_hidden_size  # SwiGLU
+        attention = 2 * 2 * s * h  # QK^T and attn*V, averaged per token
+        return float(matmul + attention)
+
+    def flops_per_token(self) -> float:
+        """Forward-pass FLOPs of the whole model for one token."""
+        layer = self.flops_per_token_per_layer() * self.num_layers
+        head = 2 * self.hidden_size * self.vocab_size
+        return layer + head
+
+    def training_flops_per_token(self) -> float:
+        """Forward + backward FLOPs per token (backward costs 2x forward)."""
+        return 3.0 * self.flops_per_token()
+
+    def training_flops_per_layer(self, num_tokens: int) -> float:
+        """Forward + backward FLOPs of a single layer for ``num_tokens``."""
+        return 3.0 * self.flops_per_token_per_layer() * num_tokens
+
+    # ------------------------------------------------------------------
+    # Memory (bytes), before any parallel sharding
+    # ------------------------------------------------------------------
+    def layer_param_bytes(self, bytes_per_param: int = 2) -> float:
+        """Bytes of the parameters of one layer (default bf16)."""
+        return float(self.params_per_layer() * bytes_per_param)
+
+    def layer_activation_bytes(self, micro_batch_size: int) -> float:
+        """Activation bytes stored for the backward pass of one layer.
+
+        A widely used estimate for a transformer layer with selective
+        recomputation disabled is roughly ``34 * s * b * h`` bytes in bf16
+        (attention scores excluded thanks to FlashAttention).
+        """
+        return 34.0 * self.seq_length * micro_batch_size * self.hidden_size
+
+    def embedding_activation_bytes(self, micro_batch_size: int) -> float:
+        """Activation bytes of the embedding lookup for one micro-batch."""
+        return 2.0 * self.seq_length * micro_batch_size * self.hidden_size
+
+    def lm_head_activation_bytes(self, micro_batch_size: int) -> float:
+        """Activation bytes of the LM head (logits) for one micro-batch."""
+        # Logits in fp32 dominate: s * b * vocab * 4 bytes.
+        return 4.0 * self.seq_length * micro_batch_size * self.vocab_size
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        billions = self.total_params() / 1e9
+        return (
+            f"{self.name}: {billions:.1f}B params, {self.num_layers} layers, "
+            f"hidden {self.hidden_size}, seq {self.seq_length}"
+        )
+
+
+@dataclass
+class TrainingTask:
+    """A training workload: a model plus batching hyper-parameters.
+
+    ``global_batch_size`` is ``B`` in the paper (number of sequences per
+    step) and stays fixed regardless of the straggler situation; Malleus is
+    lossless by construction.  ``micro_batch_size`` is the default ``b``
+    used when the planner does not enumerate it.
+    """
+
+    model: TransformerModelSpec
+    global_batch_size: int = 64
+    micro_batch_size: int = 1
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.global_batch_size <= 0:
+            raise ValueError("global_batch_size must be positive")
+        if self.micro_batch_size <= 0:
+            raise ValueError("micro_batch_size must be positive")
+        if self.global_batch_size % self.micro_batch_size != 0:
+            raise ValueError(
+                "global_batch_size must be divisible by micro_batch_size"
+            )
+
+    @property
+    def num_micro_batches(self) -> int:
+        """Total number of micro-batches per training step."""
+        return self.global_batch_size // self.micro_batch_size
+
+    @property
+    def tokens_per_step(self) -> int:
+        """Number of tokens consumed per training step."""
+        return self.global_batch_size * self.model.seq_length

@@ -1,0 +1,47 @@
+"""Parallelization plan structures, ZeRO-1 sharding and model migration."""
+
+from .migration import (
+    BATCH_LATENCY,
+    DEFAULT_LAYER_PACK,
+    MigrationPlan,
+    Transfer,
+    estimate_migration_time,
+    plan_migration,
+)
+from .plan import (
+    ParallelizationPlan,
+    PipelinePlan,
+    PipelineStage,
+    TPGroup,
+    uniform_megatron_plan,
+)
+from .sharding import (
+    ShardSlice,
+    communication_call_order,
+    gpu_slice_counts,
+    gradient_sync_groups,
+    optimizer_ownership,
+    parameter_ownership,
+    validate_sharding,
+)
+
+__all__ = [
+    "BATCH_LATENCY",
+    "DEFAULT_LAYER_PACK",
+    "MigrationPlan",
+    "ParallelizationPlan",
+    "PipelinePlan",
+    "PipelineStage",
+    "ShardSlice",
+    "TPGroup",
+    "Transfer",
+    "communication_call_order",
+    "estimate_migration_time",
+    "gpu_slice_counts",
+    "gradient_sync_groups",
+    "optimizer_ownership",
+    "parameter_ownership",
+    "plan_migration",
+    "uniform_megatron_plan",
+    "validate_sharding",
+]

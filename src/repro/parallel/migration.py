@@ -1,0 +1,221 @@
+"""On-the-fly model-state migration between parallelization plans (§5.1).
+
+When the planner produces a new plan, every GPU may need different layer
+parameters and optimizer-state slices than it currently holds.  Malleus
+locates, for every slice required by the new plan, a source GPU that holds
+it under the old plan, fuses the transfers into batched send/recv calls and
+packs several layers (4 by default) per batch to saturate the network.
+
+This module computes the migration plan (who sends what to whom) and an
+analytic estimate of the migration time from the cluster's bandwidths.  The
+simulator charges this time once per plan adjustment, which reproduces the
+~1-5 s migration overhead the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.topology import Cluster
+from .plan import ParallelizationPlan
+from .sharding import optimizer_ownership, parameter_ownership
+
+Interval = Tuple[float, float]
+
+#: Number of layers fused into one batched send/recv (paper default).
+DEFAULT_LAYER_PACK = 4
+
+#: Per-batched-send-recv launch latency (seconds).
+BATCH_LATENCY = 0.005
+
+
+@dataclass
+class Transfer:
+    """A single point-to-point transfer of part of a layer's state."""
+
+    layer_index: int
+    src_gpu: int
+    dst_gpu: int
+    num_bytes: float
+    kind: str  # "param" or "optimizer"
+
+
+@dataclass
+class MigrationPlan:
+    """All transfers needed to move from one plan to another."""
+
+    transfers: List[Transfer] = field(default_factory=list)
+    layer_pack: int = DEFAULT_LAYER_PACK
+
+    @property
+    def total_bytes(self) -> float:
+        """Total migrated volume in bytes."""
+        return sum(t.num_bytes for t in self.transfers)
+
+    @property
+    def num_transfers(self) -> int:
+        """Number of individual transfers before fusing."""
+        return len(self.transfers)
+
+    def bytes_by_pair(self) -> Dict[Tuple[int, int], float]:
+        """Aggregate volume per (src, dst) GPU pair (the fused batches)."""
+        pairs: Dict[Tuple[int, int], float] = {}
+        for transfer in self.transfers:
+            key = (transfer.src_gpu, transfer.dst_gpu)
+            pairs[key] = pairs.get(key, 0.0) + transfer.num_bytes
+        return pairs
+
+    def bytes_sent_per_gpu(self) -> Dict[int, float]:
+        """Outgoing volume per GPU."""
+        out: Dict[int, float] = {}
+        for transfer in self.transfers:
+            out[transfer.src_gpu] = out.get(transfer.src_gpu, 0.0) + transfer.num_bytes
+        return out
+
+    def bytes_received_per_gpu(self) -> Dict[int, float]:
+        """Incoming volume per GPU."""
+        incoming: Dict[int, float] = {}
+        for transfer in self.transfers:
+            incoming[transfer.dst_gpu] = (
+                incoming.get(transfer.dst_gpu, 0.0) + transfer.num_bytes
+            )
+        return incoming
+
+
+# ----------------------------------------------------------------------
+# Interval helpers
+# ----------------------------------------------------------------------
+def _overlap(a: Interval, b: Interval) -> float:
+    """Length of the overlap between two [start, end) intervals."""
+    return max(0.0, min(a[1], b[1]) - max(a[0], b[0]))
+
+
+def _interval_minus(needed: Interval, held: Sequence[Interval]) -> List[Interval]:
+    """Portions of ``needed`` not covered by any interval in ``held``."""
+    segments = [needed]
+    for h in sorted(held):
+        next_segments: List[Interval] = []
+        for seg in segments:
+            overlap = _overlap(seg, h)
+            if overlap <= 1e-12:
+                next_segments.append(seg)
+                continue
+            if seg[0] < h[0]:
+                next_segments.append((seg[0], min(seg[1], h[0])))
+            if seg[1] > h[1]:
+                next_segments.append((max(seg[0], h[1]), seg[1]))
+        segments = [s for s in next_segments if s[1] - s[0] > 1e-12]
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Migration planning
+# ----------------------------------------------------------------------
+def _pick_source(cluster: Cluster, dst_gpu: int, candidates: Sequence[int]) -> int:
+    """Prefer a source on the same node as the destination."""
+    same_node = [
+        g for g in candidates
+        if cluster.gpu(g).node_id == cluster.gpu(dst_gpu).node_id
+    ]
+    pool = same_node or list(candidates)
+    return min(pool)
+
+
+def plan_migration(
+    old_plan: ParallelizationPlan,
+    new_plan: ParallelizationPlan,
+    cluster: Cluster,
+    layer_param_bytes: float,
+    layer_optimizer_bytes: float,
+    layer_pack: int = DEFAULT_LAYER_PACK,
+) -> MigrationPlan:
+    """Compute the transfers needed to realise ``new_plan`` from ``old_plan``.
+
+    Parameters
+    ----------
+    layer_param_bytes:
+        Bytes of the bf16 parameters (+gradients are re-computed, not moved)
+        of one full layer.
+    layer_optimizer_bytes:
+        Bytes of the fp32 optimizer states of one full layer.
+    """
+    if old_plan.num_layers != new_plan.num_layers:
+        raise ValueError("plans describe different models")
+    plan = MigrationPlan(layer_pack=layer_pack)
+    num_layers = new_plan.num_layers
+
+    for layer in range(num_layers):
+        old_params = parameter_ownership(old_plan, layer)
+        new_params = parameter_ownership(new_plan, layer)
+        # Parameter replicas: any old holder of the needed interval can serve.
+        for dst_gpu, needed_intervals in new_params.items():
+            held = old_params.get(dst_gpu, [])
+            for needed in needed_intervals:
+                for missing in _interval_minus(needed, held):
+                    length = missing[1] - missing[0]
+                    candidates = [
+                        g for g, intervals in old_params.items()
+                        if any(_overlap(missing, i) > 1e-12 for i in intervals)
+                    ]
+                    if not candidates:
+                        continue  # freshly materialised (e.g. from checkpoint)
+                    src = _pick_source(cluster, dst_gpu, candidates)
+                    plan.transfers.append(
+                        Transfer(
+                            layer_index=layer,
+                            src_gpu=src,
+                            dst_gpu=dst_gpu,
+                            num_bytes=length * layer_param_bytes,
+                            kind="param",
+                        )
+                    )
+
+        # Optimizer slices: unique old owner -> unique new owner.
+        old_slices = optimizer_ownership(old_plan, layer)
+        new_slices = optimizer_ownership(new_plan, layer)
+        for new_slice in new_slices:
+            needed = new_slice.fraction
+            for old_slice in old_slices:
+                overlap = _overlap(needed, old_slice.fraction)
+                if overlap <= 1e-12:
+                    continue
+                if old_slice.owner_gpu == new_slice.owner_gpu:
+                    continue
+                plan.transfers.append(
+                    Transfer(
+                        layer_index=layer,
+                        src_gpu=old_slice.owner_gpu,
+                        dst_gpu=new_slice.owner_gpu,
+                        num_bytes=overlap * layer_optimizer_bytes,
+                        kind="optimizer",
+                    )
+                )
+    return plan
+
+
+def estimate_migration_time(plan: MigrationPlan, cluster: Cluster,
+                            num_layers: Optional[int] = None) -> float:
+    """Analytic migration time of a computed migration plan.
+
+    Transfers between a (src, dst) pair are fused into batched send/recv
+    calls packing ``layer_pack`` layers each; all pairs proceed in parallel,
+    so the migration time is bounded by the most loaded GPU link plus the
+    per-batch launch latency.
+    """
+    if not plan.transfers:
+        return 0.0
+    sent = plan.bytes_sent_per_gpu()
+    received = plan.bytes_received_per_gpu()
+    worst_time = 0.0
+    for gpu_id in set(sent) | set(received):
+        volume = max(sent.get(gpu_id, 0.0), received.get(gpu_id, 0.0))
+        # Conservatively assume cross-node bandwidth for the bottleneck link.
+        bandwidth = cluster.inter_node_bandwidth
+        worst_time = max(worst_time, volume / bandwidth)
+    layers_touched = num_layers
+    if layers_touched is None:
+        layers_touched = len({t.layer_index for t in plan.transfers})
+    num_batches = math.ceil(max(1, layers_touched) / max(1, plan.layer_pack))
+    return worst_time + num_batches * BATCH_LATENCY

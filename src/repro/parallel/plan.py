@@ -1,0 +1,315 @@
+"""Parallelization plan data structures (§3.1 and §4.1).
+
+A plan fully describes how a training step is executed:
+
+* **GPU grouping** — which GPUs form which tensor-parallel (TP) groups;
+* **pipeline orchestration** — which TP groups form which pipeline and in
+  which order (each group is one pipeline stage);
+* **layer assignment** — how many of the ``L`` model layers every stage
+  hosts (non-uniform, possibly zero which removes the group from training);
+* **data assignment** — how many micro-batches every pipeline processes.
+
+All four partitionings are allowed to be non-uniform, which is the central
+idea of Malleus (Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TPGroup:
+    """A tensor-parallel group: an ordered tuple of GPU ids on one node."""
+
+    gpu_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.gpu_ids:
+            raise ValueError("a TP group needs at least one GPU")
+        if len(set(self.gpu_ids)) != len(self.gpu_ids):
+            raise ValueError("duplicate GPU ids within a TP group")
+
+    @property
+    def size(self) -> int:
+        """TP degree of the group."""
+        return len(self.gpu_ids)
+
+    def max_rate(self, rates: Dict[int, float]) -> float:
+        """Worst straggling rate inside the group (TP is synchronous)."""
+        return max(rates[g] for g in self.gpu_ids)
+
+    def __iter__(self):
+        return iter(self.gpu_ids)
+
+
+@dataclass
+class PipelineStage:
+    """One pipeline stage: a TP group plus its layer assignment."""
+
+    group: TPGroup
+    num_layers: int
+    stage_index: int
+    group_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 0:
+            raise ValueError("num_layers must be non-negative")
+        if self.stage_index < 1:
+            raise ValueError("stage_index is 1-based")
+
+    @property
+    def tp_degree(self) -> int:
+        """TP degree of this stage."""
+        return self.group.size
+
+    @property
+    def gpu_ids(self) -> Tuple[int, ...]:
+        """GPU ids serving this stage."""
+        return self.group.gpu_ids
+
+
+@dataclass
+class PipelinePlan:
+    """One training pipeline: an ordered list of stages plus its data share."""
+
+    stages: List[PipelineStage]
+    num_micro_batches: int
+    pipeline_index: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a pipeline needs at least one stage")
+        if self.num_micro_batches < 0:
+            raise ValueError("num_micro_batches must be non-negative")
+
+    @property
+    def pp_degree(self) -> int:
+        """Number of stages in the pipeline."""
+        return len(self.stages)
+
+    @property
+    def total_layers(self) -> int:
+        """Layers hosted by this pipeline (must equal the model's L)."""
+        return sum(stage.num_layers for stage in self.stages)
+
+    @property
+    def gpu_ids(self) -> List[int]:
+        """All GPU ids participating in this pipeline."""
+        ids: List[int] = []
+        for stage in self.stages:
+            ids.extend(stage.gpu_ids)
+        return ids
+
+    def layer_ranges(self) -> List[Tuple[int, int]]:
+        """Half-open global layer index ranges per stage."""
+        ranges = []
+        start = 0
+        for stage in self.stages:
+            ranges.append((start, start + stage.num_layers))
+            start += stage.num_layers
+        return ranges
+
+    def stage_of_layer(self, layer_index: int) -> PipelineStage:
+        """Return the stage hosting a global layer index."""
+        for stage, (start, end) in zip(self.stages, self.layer_ranges()):
+            if start <= layer_index < end:
+                return stage
+        raise KeyError(f"layer {layer_index} not hosted by pipeline "
+                       f"{self.pipeline_index}")
+
+    def tp_degree_of_layer(self, layer_index: int) -> int:
+        """TP degree used for a given layer in this pipeline."""
+        return self.stage_of_layer(layer_index).tp_degree
+
+    def layer_assignment(self) -> List[int]:
+        """Per-stage layer counts ``l_{i,j}``."""
+        return [stage.num_layers for stage in self.stages]
+
+
+@dataclass
+class ParallelizationPlan:
+    """A complete Malleus parallelization plan.
+
+    ``removed_gpus`` are devices intentionally left out of training (heavy
+    stragglers isolated with zero layers, §4.2/§5.2); they stay on standby
+    and are periodically re-benchmarked.
+    """
+
+    pipelines: List[PipelinePlan]
+    micro_batch_size: int
+    num_layers: int
+    global_batch_size: int
+    removed_gpus: List[int] = field(default_factory=list)
+    estimated_step_time: float = math.nan
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def dp_degree(self) -> int:
+        """Number of pipelines (the data-parallel degree)."""
+        return len(self.pipelines)
+
+    @property
+    def active_gpus(self) -> List[int]:
+        """GPU ids that actually participate in training."""
+        ids: List[int] = []
+        for pipeline in self.pipelines:
+            ids.extend(pipeline.gpu_ids)
+        return sorted(ids)
+
+    @property
+    def num_active_gpus(self) -> int:
+        """Number of GPUs participating in training."""
+        return len(self.active_gpus)
+
+    def micro_batches(self) -> List[int]:
+        """Per-pipeline micro-batch counts ``m_i``."""
+        return [p.num_micro_batches for p in self.pipelines]
+
+    def max_tp_degree_of_layer(self, layer_index: int) -> int:
+        """``TP_max`` across pipelines for one layer (used by ZeRO-1 sharding)."""
+        return max(p.tp_degree_of_layer(layer_index) for p in self.pipelines)
+
+    def stage_shape(self) -> List[List[Tuple[int, int]]]:
+        """Per-pipeline list of (tp_degree, num_layers) tuples."""
+        return [
+            [(stage.tp_degree, stage.num_layers) for stage in pipeline.stages]
+            for pipeline in self.pipelines
+        ]
+
+    def describe(self) -> str:
+        """Compact human-readable description of the plan."""
+        lines = [
+            f"plan: dp={self.dp_degree}, b={self.micro_batch_size}, "
+            f"B={self.global_batch_size}, removed={self.removed_gpus}"
+        ]
+        for pipeline in self.pipelines:
+            stages = ", ".join(
+                f"tp{stage.tp_degree}xl{stage.num_layers}"
+                for stage in pipeline.stages
+            )
+            lines.append(
+                f"  pipeline {pipeline.pipeline_index}: m={pipeline.num_micro_batches} "
+                f"[{stages}]"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the plan violates a structural invariant."""
+        if not self.pipelines:
+            raise ValueError("a plan needs at least one pipeline")
+        seen: set = set()
+        for pipeline in self.pipelines:
+            if pipeline.total_layers != self.num_layers:
+                raise ValueError(
+                    f"pipeline {pipeline.pipeline_index} hosts "
+                    f"{pipeline.total_layers} layers, expected {self.num_layers}"
+                )
+            for gpu_id in pipeline.gpu_ids:
+                if gpu_id in seen:
+                    raise ValueError(f"gpu {gpu_id} appears in two pipelines")
+                seen.add(gpu_id)
+        for gpu_id in self.removed_gpus:
+            if gpu_id in seen:
+                raise ValueError(f"gpu {gpu_id} is both active and removed")
+        total_data = sum(p.num_micro_batches for p in self.pipelines)
+        expected = self.global_batch_size // self.micro_batch_size
+        if self.global_batch_size % self.micro_batch_size != 0:
+            raise ValueError("global batch size not divisible by micro-batch size")
+        if total_data != expected:
+            raise ValueError(
+                f"micro-batches sum to {total_data}, expected {expected}"
+            )
+
+    def is_valid(self) -> bool:
+        """Boolean validation wrapper."""
+        try:
+            self.validate()
+        except ValueError:
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def uniform_megatron_plan(
+    gpu_ids: Sequence[int],
+    dp: int,
+    tp: int,
+    pp: int,
+    num_layers: int,
+    global_batch_size: int,
+    micro_batch_size: int = 1,
+    first_stage_layers: Optional[int] = None,
+) -> ParallelizationPlan:
+    """Build a uniform Megatron-LM-style 3D-parallel plan.
+
+    GPUs are assigned TP-major, then PP, then DP, matching Megatron's rank
+    ordering.  ``first_stage_layers`` supports the manual adjustment the
+    paper mentions (Appendix A.3) when ``num_layers`` is not divisible by
+    ``pp``; the remaining layers are distributed evenly over the other
+    stages (which then must divide evenly).
+    """
+    ids = list(gpu_ids)
+    if dp * tp * pp != len(ids):
+        raise ValueError(
+            f"dp*tp*pp = {dp * tp * pp} does not match {len(ids)} GPUs"
+        )
+    if global_batch_size % (dp * micro_batch_size) != 0:
+        raise ValueError("global batch size must divide evenly across pipelines")
+
+    if first_stage_layers is None:
+        if num_layers % pp != 0:
+            raise ValueError(
+                "num_layers not divisible by pp; pass first_stage_layers"
+            )
+        layer_split = [num_layers // pp] * pp
+    else:
+        remaining = num_layers - first_stage_layers
+        if pp == 1:
+            layer_split = [num_layers]
+        else:
+            if remaining % (pp - 1) != 0:
+                raise ValueError("remaining layers must divide across later stages")
+            layer_split = [first_stage_layers] + [remaining // (pp - 1)] * (pp - 1)
+
+    micro_batches_per_pipeline = global_batch_size // (dp * micro_batch_size)
+    pipelines: List[PipelinePlan] = []
+    cursor = 0
+    for pipeline_index in range(dp):
+        stages: List[PipelineStage] = []
+        for stage_index in range(pp):
+            group = TPGroup(gpu_ids=tuple(ids[cursor:cursor + tp]))
+            cursor += tp
+            stages.append(
+                PipelineStage(
+                    group=group,
+                    num_layers=layer_split[stage_index],
+                    stage_index=stage_index + 1,
+                )
+            )
+        pipelines.append(
+            PipelinePlan(
+                stages=stages,
+                num_micro_batches=micro_batches_per_pipeline,
+                pipeline_index=pipeline_index,
+            )
+        )
+    plan = ParallelizationPlan(
+        pipelines=pipelines,
+        micro_batch_size=micro_batch_size,
+        num_layers=num_layers,
+        global_batch_size=global_batch_size,
+        metadata={"style": "megatron", "dp": dp, "tp": tp, "pp": pp},
+    )
+    plan.validate()
+    return plan

@@ -1,0 +1,175 @@
+"""Non-uniform ZeRO-1 model-state sharding (§5.1, Figure 6).
+
+Hybrid parallel training with the ZeRO-1 optimizer shards the optimizer
+states of every layer across ``DP x TP`` GPUs.  Malleus generalises this to
+pipelines whose TP degrees differ: for a layer whose TP degree in pipeline
+``i`` is ``TP_i`` and ``TP_max = max_i TP_i``, the optimizer states are cut
+into ``DP x TP_max`` slices and each GPU of pipeline ``i`` owns
+``TP_max / TP_i`` of them.  GPUs owning several slices participate in
+several reduce-scatter / all-gather calls, whose ordering must be globally
+consistent to avoid deadlocks.
+
+Two ownership views are produced:
+
+* :func:`parameter_ownership` — the bf16 parameters (and gradients) of a
+  layer, replicated per pipeline and sharded across the stage's TP group;
+* :func:`optimizer_ownership` — the fp32 optimizer states, sharded globally
+  into ``DP x TP_max`` unique slices.
+
+Both views express ownership as fractional intervals of the layer's state,
+which is what the migration planner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .plan import ParallelizationPlan
+
+Interval = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """One optimizer-state slice of one layer."""
+
+    layer_index: int
+    dp_index: int
+    column: int
+    owner_gpu: int
+    fraction: Interval
+
+
+def _stage_group_for_layer(plan: ParallelizationPlan, pipeline_index: int,
+                           layer_index: int):
+    """TP group serving ``layer_index`` in pipeline ``pipeline_index``."""
+    pipeline = plan.pipelines[pipeline_index]
+    return pipeline.stage_of_layer(layer_index).group
+
+
+def parameter_ownership(plan: ParallelizationPlan,
+                        layer_index: int) -> Dict[int, List[Interval]]:
+    """Fractional parameter intervals held by each GPU for one layer.
+
+    Every pipeline holds a full replica of the layer's parameters, sharded
+    evenly across the TP group of the stage hosting the layer, so the
+    returned intervals cover [0, 1) once *per pipeline*.
+    """
+    ownership: Dict[int, List[Interval]] = {}
+    for pipeline in plan.pipelines:
+        group = pipeline.stage_of_layer(layer_index).group
+        k = group.size
+        for rank, gpu_id in enumerate(group.gpu_ids):
+            interval = (rank / k, (rank + 1) / k)
+            ownership.setdefault(gpu_id, []).append(interval)
+    return ownership
+
+
+def optimizer_ownership(plan: ParallelizationPlan,
+                        layer_index: int) -> List[ShardSlice]:
+    """ZeRO-1 slice assignment of one layer's optimizer states.
+
+    The layer is cut into ``DP x TP_max`` equal slices.  Slice ``(i, c)``
+    (pipeline ``i``, column ``c`` within ``TP_max``) is owned by the GPU of
+    pipeline ``i`` whose TP shard covers column ``c``.
+    """
+    dp = plan.dp_degree
+    tp_max = plan.max_tp_degree_of_layer(layer_index)
+    slices: List[ShardSlice] = []
+    for dp_index, pipeline in enumerate(plan.pipelines):
+        group = pipeline.stage_of_layer(layer_index).group
+        tp_i = group.size
+        if tp_max % tp_i != 0:
+            raise ValueError(
+                f"TP_max={tp_max} is not divisible by TP_i={tp_i} "
+                f"for layer {layer_index}"
+            )
+        span = tp_max // tp_i
+        for rank, gpu_id in enumerate(group.gpu_ids):
+            for offset in range(span):
+                column = rank * span + offset
+                start = (dp_index * tp_max + column) / (dp * tp_max)
+                end = (dp_index * tp_max + column + 1) / (dp * tp_max)
+                slices.append(
+                    ShardSlice(
+                        layer_index=layer_index,
+                        dp_index=dp_index,
+                        column=column,
+                        owner_gpu=gpu_id,
+                        fraction=(start, end),
+                    )
+                )
+    return slices
+
+
+def gradient_sync_groups(plan: ParallelizationPlan,
+                         layer_index: int) -> List[List[int]]:
+    """Reduce-scatter groups for one layer's gradient synchronisation.
+
+    Column ``c`` of the ``TP_max``-wide sharding is synchronised across the
+    GPUs owning that column in every pipeline.  The groups are returned in
+    ascending column order, which is the deadlock-free call ordering the
+    executor uses (§5.1): every GPU issues its collectives in this global
+    order, so GPUs that participate in several groups never wait on each
+    other cyclically.
+    """
+    tp_max = plan.max_tp_degree_of_layer(layer_index)
+    groups: List[List[int]] = []
+    for column in range(tp_max):
+        members: List[int] = []
+        for pipeline in plan.pipelines:
+            group = pipeline.stage_of_layer(layer_index).group
+            span = tp_max // group.size
+            rank = column // span
+            members.append(group.gpu_ids[rank])
+        groups.append(members)
+    return groups
+
+
+def communication_call_order(plan: ParallelizationPlan,
+                             layer_indices: Sequence[int]) -> List[Tuple[int, int]]:
+    """Global (layer, column) ordering of gradient-sync collectives.
+
+    Calls are ordered layer-major then column-major; because every GPU that
+    participates in multiple calls observes the same total order, no cyclic
+    wait (deadlock) can occur.
+    """
+    order: List[Tuple[int, int]] = []
+    for layer_index in layer_indices:
+        tp_max = plan.max_tp_degree_of_layer(layer_index)
+        for column in range(tp_max):
+            order.append((layer_index, column))
+    return order
+
+
+def gpu_slice_counts(plan: ParallelizationPlan, layer_index: int) -> Dict[int, int]:
+    """Number of optimizer slices each GPU owns for one layer.
+
+    GPUs in pipelines with smaller TP degrees own more than one slice and
+    therefore invoke several reduce-scatter / all-gather calls (§5.1).
+    """
+    counts: Dict[int, int] = {}
+    for shard in optimizer_ownership(plan, layer_index):
+        counts[shard.owner_gpu] = counts.get(shard.owner_gpu, 0) + 1
+    return counts
+
+
+def validate_sharding(plan: ParallelizationPlan, layer_index: int) -> None:
+    """Check that the slice assignment covers the layer exactly once."""
+    slices = optimizer_ownership(plan, layer_index)
+    dp = plan.dp_degree
+    tp_max = plan.max_tp_degree_of_layer(layer_index)
+    expected = dp * tp_max
+    if len(slices) != expected:
+        raise ValueError(
+            f"layer {layer_index}: expected {expected} slices, got {len(slices)}"
+        )
+    covered = sorted(shard.fraction for shard in slices)
+    cursor = 0.0
+    for start, end in covered:
+        if abs(start - cursor) > 1e-9:
+            raise ValueError(f"layer {layer_index}: gap or overlap at {start}")
+        cursor = end
+    if abs(cursor - 1.0) > 1e-9:
+        raise ValueError(f"layer {layer_index}: coverage ends at {cursor}, not 1.0")

@@ -1,0 +1,5 @@
+"""The Malleus runtime system (profiler + planner + malleable executor)."""
+
+from .malleus import MalleusSystem, ReplanEvent
+
+__all__ = ["MalleusSystem", "ReplanEvent"]

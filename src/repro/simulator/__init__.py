@@ -1,0 +1,68 @@
+"""Execution simulator: pipelines, communication, memory, restarts, traces."""
+
+from .comm import (
+    COLLECTIVE_LATENCY,
+    P2P_LATENCY,
+    ActivationMessage,
+    allgather_time,
+    allreduce_time,
+    p2p_time,
+    reduce_scatter_time,
+)
+from .executor import STEP_OVERHEAD, ExecutionSimulator, StepResult
+from .memory import MemoryReport, plan_memory_report
+from .pipeline import (
+    FORWARD_FRACTION,
+    PipelineScheduleResult,
+    StageWork,
+    analytic_1f1b_time,
+    simulate_1f1b,
+    split_fwd_bwd,
+)
+from .restart import (
+    RestartCostConfig,
+    checkpoint_bytes,
+    checkpoint_load_time,
+    checkpoint_save_time,
+    restart_time,
+)
+from .session import (
+    Adjustment,
+    SituationResult,
+    TraceRunResult,
+    TrainingFramework,
+    run_trace,
+    theoretic_optimal_step_time,
+)
+
+__all__ = [
+    "ActivationMessage",
+    "Adjustment",
+    "COLLECTIVE_LATENCY",
+    "ExecutionSimulator",
+    "FORWARD_FRACTION",
+    "MemoryReport",
+    "P2P_LATENCY",
+    "PipelineScheduleResult",
+    "RestartCostConfig",
+    "STEP_OVERHEAD",
+    "SituationResult",
+    "StageWork",
+    "StepResult",
+    "TraceRunResult",
+    "TrainingFramework",
+    "allgather_time",
+    "allreduce_time",
+    "analytic_1f1b_time",
+    "checkpoint_bytes",
+    "checkpoint_load_time",
+    "checkpoint_save_time",
+    "p2p_time",
+    "plan_memory_report",
+    "reduce_scatter_time",
+    "restart_time",
+    "run_trace",
+    "simulate_1f1b",
+    "split_fwd_bwd",
+    "theoretic_optimal_step_time",
+]

@@ -1,0 +1,64 @@
+"""Analytic communication time models.
+
+All collectives use the standard ring-algorithm cost model: an all-reduce of
+``V`` bytes over ``n`` devices costs ``2 (n-1)/n * V / bw``, reduce-scatter
+and all-gather each cost ``(n-1)/n * V / bw``, and a point-to-point send of
+``V`` bytes costs ``V / bw`` plus a small latency term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Per-collective launch latency in seconds (kernel launch + NCCL overhead).
+COLLECTIVE_LATENCY = 20.0e-6
+
+#: Per point-to-point message latency in seconds.
+P2P_LATENCY = 10.0e-6
+
+
+def allreduce_time(volume_bytes: float, num_devices: int, bandwidth: float) -> float:
+    """Ring all-reduce time of ``volume_bytes`` over ``num_devices``."""
+    if num_devices <= 1 or volume_bytes <= 0:
+        return 0.0
+    factor = 2.0 * (num_devices - 1) / num_devices
+    return factor * volume_bytes / bandwidth + COLLECTIVE_LATENCY
+
+
+def reduce_scatter_time(volume_bytes: float, num_devices: int,
+                        bandwidth: float) -> float:
+    """Ring reduce-scatter time of ``volume_bytes`` over ``num_devices``."""
+    if num_devices <= 1 or volume_bytes <= 0:
+        return 0.0
+    factor = (num_devices - 1) / num_devices
+    return factor * volume_bytes / bandwidth + COLLECTIVE_LATENCY
+
+
+def allgather_time(volume_bytes: float, num_devices: int, bandwidth: float) -> float:
+    """Ring all-gather time of ``volume_bytes`` over ``num_devices``."""
+    return reduce_scatter_time(volume_bytes, num_devices, bandwidth)
+
+
+def p2p_time(volume_bytes: float, bandwidth: float) -> float:
+    """Point-to-point transfer time of ``volume_bytes``."""
+    if volume_bytes <= 0:
+        return 0.0
+    return volume_bytes / bandwidth + P2P_LATENCY
+
+
+@dataclass(frozen=True)
+class ActivationMessage:
+    """The activation tensor exchanged between adjacent pipeline stages."""
+
+    micro_batch_size: int
+    seq_length: int
+    hidden_size: int
+    bytes_per_element: float = 2.0
+
+    @property
+    def num_bytes(self) -> float:
+        """Size of the message in bytes."""
+        return (
+            self.micro_batch_size * self.seq_length * self.hidden_size
+            * self.bytes_per_element
+        )

@@ -1,0 +1,180 @@
+"""Step-time simulation of a parallelization plan under straggling rates.
+
+This is the reproduction's substitute for the Hetu executor: given a plan,
+the per-GPU straggling rates and the cluster, it simulates one training
+step — the 1F1B pipeline schedule of every pipeline (with point-to-point
+activation transfers), the ZeRO-1 gradient reduce-scatter / parameter
+all-gather across pipelines, and the optimizer step — and returns the step
+time plus diagnostic details.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.topology import Cluster
+from ..core.costmodel import MalleusCostModel
+from ..parallel.plan import ParallelizationPlan, PipelinePlan
+from .comm import ActivationMessage, allgather_time, p2p_time, reduce_scatter_time
+from .memory import MemoryReport, plan_memory_report
+from .pipeline import PipelineScheduleResult, StageWork, simulate_1f1b
+
+#: Fixed per-step overhead (data loading, optimizer housekeeping), seconds.
+STEP_OVERHEAD = 0.05
+
+
+@dataclass
+class StepResult:
+    """Outcome of simulating one training step."""
+
+    step_time: float
+    pipeline_times: List[float] = field(default_factory=list)
+    grad_sync_time: float = 0.0
+    memory: Optional[MemoryReport] = None
+    schedules: List[PipelineScheduleResult] = field(default_factory=list)
+
+    @property
+    def slowest_pipeline(self) -> int:
+        """Index of the slowest pipeline."""
+        if not self.pipeline_times:
+            return -1
+        return max(range(len(self.pipeline_times)),
+                   key=lambda i: self.pipeline_times[i])
+
+
+class ExecutionSimulator:
+    """Simulates training steps of arbitrary (non-uniform) plans."""
+
+    def __init__(self, cost_model: MalleusCostModel,
+                 step_overhead: float = STEP_OVERHEAD):
+        self.cost_model = cost_model
+        self.cluster: Cluster = cost_model.cluster
+        self.model = cost_model.model
+        self.step_overhead = step_overhead
+
+    # ------------------------------------------------------------------
+    def stage_work(self, pipeline: PipelinePlan, stage_index: int,
+                   rates: Dict[int, float],
+                   micro_batch_size: int) -> StageWork:
+        """Per-micro-batch work of one stage under the given rates."""
+        stage = pipeline.stages[stage_index]
+        group_rates = [rates.get(g, 1.0) for g in stage.gpu_ids]
+        y = self.cost_model.group_straggling_rate(group_rates, micro_batch_size)
+        total = self.cost_model.stage_time(y, stage.num_layers, micro_batch_size)
+        forward = total / 3.0
+        backward = total - forward
+
+        message = ActivationMessage(
+            micro_batch_size=micro_batch_size,
+            seq_length=self.model.seq_length,
+            hidden_size=self.model.hidden_size,
+        )
+        if stage_index + 1 < pipeline.pp_degree:
+            next_stage = pipeline.stages[stage_index + 1]
+            bandwidth = self.cluster.bandwidth_between(
+                stage.gpu_ids[0], next_stage.gpu_ids[0]
+            )
+            send_forward = p2p_time(message.num_bytes, bandwidth)
+        else:
+            send_forward = 0.0
+        if stage_index > 0:
+            prev_stage = pipeline.stages[stage_index - 1]
+            bandwidth = self.cluster.bandwidth_between(
+                stage.gpu_ids[0], prev_stage.gpu_ids[0]
+            )
+            send_backward = p2p_time(message.num_bytes, bandwidth)
+        else:
+            send_backward = 0.0
+        return StageWork(
+            forward_time=forward,
+            backward_time=backward,
+            send_forward_time=send_forward,
+            send_backward_time=send_backward,
+        )
+
+    def pipeline_time(self, pipeline: PipelinePlan, rates: Dict[int, float],
+                      micro_batch_size: int) -> PipelineScheduleResult:
+        """Simulate one pipeline's 1F1B schedule for one step."""
+        work = [
+            self.stage_work(pipeline, idx, rates, micro_batch_size)
+            for idx in range(pipeline.pp_degree)
+        ]
+        return simulate_1f1b(work, pipeline.num_micro_batches)
+
+    def gradient_sync_time(self, plan: ParallelizationPlan,
+                           rates: Dict[int, float]) -> float:
+        """ZeRO-1 gradient reduce-scatter + parameter all-gather time.
+
+        Every layer's gradients are reduce-scattered across the GPUs holding
+        that layer in the different pipelines, and the updated parameters are
+        all-gathered back.  The bottleneck is the GPU holding the most bytes;
+        the synchronisation spans nodes, so the inter-node bandwidth applies.
+        The volume per GPU is approximated from the layers it hosts divided
+        by its TP degree.
+        """
+        if plan.dp_degree <= 1:
+            return 0.0
+        bytes_per_layer = self.model.layer_param_bytes()
+        worst = 0.0
+        for pipeline in plan.pipelines:
+            for stage in pipeline.stages:
+                per_gpu_bytes = stage.num_layers * bytes_per_layer / stage.tp_degree
+                worst = max(worst, per_gpu_bytes)
+        bandwidth = self.cluster.inter_node_bandwidth
+        dp = plan.dp_degree
+        reduce = reduce_scatter_time(worst, dp, bandwidth)
+        gather = allgather_time(worst, dp, bandwidth)
+        return reduce + gather
+
+    # ------------------------------------------------------------------
+    def simulate_step(self, plan: ParallelizationPlan,
+                      rates: Optional[Dict[int, float]] = None,
+                      check_memory: bool = True) -> StepResult:
+        """Simulate one training step of ``plan`` under ``rates``."""
+        rates = rates or {}
+        full_rates = {g: rates.get(g, 1.0) for g in self.cluster.gpu_ids()}
+        for gpu_id, rate in full_rates.items():
+            if math.isinf(rate) and gpu_id in plan.active_gpus:
+                return StepResult(step_time=math.inf)
+
+        schedules = [
+            self.pipeline_time(pipeline, full_rates, plan.micro_batch_size)
+            for pipeline in plan.pipelines
+        ]
+        pipeline_times = [schedule.makespan for schedule in schedules]
+        grad_sync = self.gradient_sync_time(plan, full_rates)
+        step_time = (max(pipeline_times) if pipeline_times else 0.0) \
+            + grad_sync + self.step_overhead
+        memory = plan_memory_report(plan, self.cost_model) if check_memory else None
+        if memory is not None and not memory.fits:
+            step_time = math.inf
+        return StepResult(
+            step_time=step_time,
+            pipeline_times=pipeline_times,
+            grad_sync_time=grad_sync,
+            memory=memory,
+            schedules=schedules,
+        )
+
+    def estimate_step_time(self, plan: ParallelizationPlan,
+                           rates: Optional[Dict[int, float]] = None) -> float:
+        """Planner-style estimate ``max_i m_i * max_j t_{i,j}`` for comparison."""
+        rates = rates or {}
+        full_rates = {g: rates.get(g, 1.0) for g in self.cluster.gpu_ids()}
+        worst = 0.0
+        for pipeline in plan.pipelines:
+            stage_times = []
+            for stage in pipeline.stages:
+                group_rates = [full_rates.get(g, 1.0) for g in stage.gpu_ids]
+                y = self.cost_model.group_straggling_rate(
+                    group_rates, plan.micro_batch_size
+                )
+                stage_times.append(
+                    self.cost_model.stage_time(y, stage.num_layers,
+                                               plan.micro_batch_size)
+                )
+            if stage_times:
+                worst = max(worst, pipeline.num_micro_batches * max(stage_times))
+        return worst

@@ -1,0 +1,62 @@
+"""Per-GPU memory accounting for a parallelization plan.
+
+Memory usage follows the cost model of Appendix B.4 but is reported per GPU
+(the cost model normalises everything to TP degree 1 and scales the group
+capacity instead).  The executor uses this to reject plans that would run
+out of memory and the test-suite uses it to check that the planner's memory
+constraint is an over-approximation of the executor's accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.costmodel import MalleusCostModel
+from ..parallel.plan import ParallelizationPlan
+
+
+@dataclass
+class MemoryReport:
+    """Per-GPU memory usage of one plan."""
+
+    per_gpu_bytes: Dict[int, float] = field(default_factory=dict)
+    per_gpu_capacity: Dict[int, float] = field(default_factory=dict)
+    oom_gpus: List[int] = field(default_factory=list)
+
+    @property
+    def peak_bytes(self) -> float:
+        """Largest per-GPU memory usage."""
+        return max(self.per_gpu_bytes.values(), default=0.0)
+
+    @property
+    def fits(self) -> bool:
+        """True when no GPU exceeds its capacity."""
+        return not self.oom_gpus
+
+
+def plan_memory_report(plan: ParallelizationPlan,
+                       cost_model: MalleusCostModel) -> MemoryReport:
+    """Compute per-GPU memory usage of a plan.
+
+    Each GPU's usage is the TP=1-normalised stage memory (``l * mu + nu``)
+    divided by the stage's TP degree, plus the reserved runtime gap.
+    """
+    report = MemoryReport()
+    dp = plan.dp_degree
+    reserved = cost_model.config.reserved_memory_bytes
+    for pipeline in plan.pipelines:
+        pp = pipeline.pp_degree
+        for stage in pipeline.stages:
+            stage_bytes = cost_model.stage_memory_bytes(
+                stage.gpu_ids, stage.num_layers, pp, stage.stage_index,
+                plan.micro_batch_size, dp,
+            )
+            per_gpu = stage_bytes / stage.tp_degree + reserved
+            for gpu_id in stage.gpu_ids:
+                report.per_gpu_bytes[gpu_id] = per_gpu
+                capacity = cost_model.cluster.memory_capacity(gpu_id)
+                report.per_gpu_capacity[gpu_id] = capacity
+                if per_gpu > capacity:
+                    report.oom_gpus.append(gpu_id)
+    return report

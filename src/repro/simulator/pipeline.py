@@ -1,0 +1,168 @@
+"""Discrete-event simulation of the 1F1B pipeline schedule.
+
+The planner's cost model approximates the time of a pipeline as
+``m * max_j t_j`` (§4.2); the executor, however, runs the real 1F1B
+schedule with warm-up and cool-down phases and point-to-point transfers
+between stages.  This module simulates that schedule exactly so that the
+"actual" step times reported by the benchmark harness differ from the
+planner's estimates in the same way the paper's Table 3 does.
+
+Each stage executes its operations strictly in the 1F1B order:
+
+* ``P - j`` warm-up forward passes for stage ``j`` (1-based),
+* a steady phase alternating one forward and one backward pass,
+* a cool-down phase draining the remaining backward passes.
+
+A forward (backward) pass of micro-batch ``k`` on stage ``j`` can only start
+once the corresponding pass of stage ``j-1`` (``j+1``) has finished and the
+activation (gradient) message has arrived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Fraction of a layer's fwd+bwd time spent in the forward pass.
+FORWARD_FRACTION = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class StageWork:
+    """Per-micro-batch work of one pipeline stage."""
+
+    forward_time: float
+    backward_time: float
+    send_forward_time: float = 0.0
+    send_backward_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Forward plus backward compute time."""
+        return self.forward_time + self.backward_time
+
+
+@dataclass
+class PipelineScheduleResult:
+    """Outcome of simulating one pipeline for one training step."""
+
+    makespan: float
+    stage_finish_times: List[float]
+    bubble_time: float
+    num_micro_batches: int
+
+
+def split_fwd_bwd(total_time: float) -> Tuple[float, float]:
+    """Split a per-micro-batch stage time into forward and backward parts."""
+    forward = total_time * FORWARD_FRACTION
+    return forward, total_time - forward
+
+
+def _build_op_sequence(num_stages: int, stage_index: int,
+                       num_micro_batches: int) -> List[Tuple[str, int]]:
+    """1F1B operation order of one stage (1-based ``stage_index``)."""
+    warmup = min(num_micro_batches, num_stages - stage_index)
+    ops: List[Tuple[str, int]] = []
+    for mb in range(1, warmup + 1):
+        ops.append(("F", mb))
+    next_fwd = warmup + 1
+    next_bwd = 1
+    while next_fwd <= num_micro_batches:
+        ops.append(("F", next_fwd))
+        ops.append(("B", next_bwd))
+        next_fwd += 1
+        next_bwd += 1
+    while next_bwd <= num_micro_batches:
+        ops.append(("B", next_bwd))
+        next_bwd += 1
+    return ops
+
+
+def simulate_1f1b(stage_work: Sequence[StageWork],
+                  num_micro_batches: int) -> PipelineScheduleResult:
+    """Simulate the 1F1B schedule and return the pipeline makespan.
+
+    Parameters
+    ----------
+    stage_work:
+        Per-stage forward/backward/communication times (stage 1 first).
+    num_micro_batches:
+        Number of micro-batches the pipeline processes this step.
+    """
+    num_stages = len(stage_work)
+    if num_stages == 0 or num_micro_batches <= 0:
+        return PipelineScheduleResult(
+            makespan=0.0, stage_finish_times=[], bubble_time=0.0,
+            num_micro_batches=num_micro_batches,
+        )
+
+    sequences = [
+        _build_op_sequence(num_stages, j, num_micro_batches)
+        for j in range(1, num_stages + 1)
+    ]
+    progress = [0] * num_stages
+    stage_time = [0.0] * num_stages
+    fwd_done: Dict[Tuple[int, int], float] = {}
+    bwd_done: Dict[Tuple[int, int], float] = {}
+
+    total_ops = sum(len(seq) for seq in sequences)
+    scheduled = 0
+    while scheduled < total_ops:
+        advanced = False
+        for stage in range(num_stages):
+            while progress[stage] < len(sequences[stage]):
+                kind, mb = sequences[stage][progress[stage]]
+                if kind == "F":
+                    if stage == 0:
+                        dep_ready = 0.0
+                    else:
+                        key = (stage - 1, mb)
+                        if key not in fwd_done:
+                            break
+                        dep_ready = fwd_done[key] + \
+                            stage_work[stage - 1].send_forward_time
+                    start = max(stage_time[stage], dep_ready)
+                    finish = start + stage_work[stage].forward_time
+                    fwd_done[(stage, mb)] = finish
+                else:
+                    if stage == num_stages - 1:
+                        key = (stage, mb)
+                        if key not in fwd_done:
+                            break
+                        dep_ready = fwd_done[key]
+                    else:
+                        key = (stage + 1, mb)
+                        if key not in bwd_done:
+                            break
+                        dep_ready = bwd_done[key] + \
+                            stage_work[stage + 1].send_backward_time
+                    start = max(stage_time[stage], dep_ready)
+                    finish = start + stage_work[stage].backward_time
+                    bwd_done[(stage, mb)] = finish
+                stage_time[stage] = finish
+                progress[stage] += 1
+                scheduled += 1
+                advanced = True
+        if not advanced:
+            raise RuntimeError("1F1B simulation deadlocked (invalid schedule)")
+
+    makespan = max(stage_time)
+    busy = [
+        (work.forward_time + work.backward_time) * num_micro_batches
+        for work in stage_work
+    ]
+    bubble = makespan - max(busy) if busy else 0.0
+    return PipelineScheduleResult(
+        makespan=makespan,
+        stage_finish_times=list(stage_time),
+        bubble_time=max(0.0, bubble),
+        num_micro_batches=num_micro_batches,
+    )
+
+
+def analytic_1f1b_time(stage_times: Sequence[float],
+                       num_micro_batches: int) -> float:
+    """Closed-form 1F1B estimate ``(m - 1) * max_j t_j + sum_j t_j``."""
+    if not stage_times or num_micro_batches <= 0:
+        return 0.0
+    return (num_micro_batches - 1) * max(stage_times) + sum(stage_times)

@@ -1,0 +1,68 @@
+"""Restart and checkpoint cost models.
+
+The restart-based baselines (Megatron-LM w/ Restart, DeepSpeed w/ Restart,
+and Oobleck's fall-back path) must save a checkpoint, tear down the job,
+re-initialise the framework on the surviving nodes (resource allocation,
+communication-group construction, compilation warm-up) and reload the
+checkpoint.  The paper measures 199-442 s for Megatron-LM and 115-232 s for
+DeepSpeed; this module reproduces those magnitudes analytically from the
+model size, the storage/network bandwidth and a fixed initialisation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.topology import Cluster
+from ..models.spec import TransformerModelSpec
+
+
+@dataclass
+class RestartCostConfig:
+    """Knobs of the restart cost model.
+
+    ``checkpoint_bandwidth`` is the aggregate bandwidth to the shared
+    checkpoint store (bytes/s); ``framework_init_time`` covers process
+    launch, NCCL communicator construction and warm-up; ``scheduling_time``
+    covers draining the old job and acquiring the new allocation.
+    """
+
+    checkpoint_bandwidth: float = 5.0e9
+    framework_init_time: float = 90.0
+    scheduling_time: float = 30.0
+    optimizer_bytes_per_param: float = 12.0
+    param_bytes_per_param: float = 2.0
+
+
+def checkpoint_bytes(model: TransformerModelSpec,
+                     config: RestartCostConfig) -> float:
+    """Size of a full training checkpoint (params + optimizer states)."""
+    per_param = config.param_bytes_per_param + config.optimizer_bytes_per_param
+    return model.total_params() * per_param
+
+
+def checkpoint_save_time(model: TransformerModelSpec,
+                         config: RestartCostConfig) -> float:
+    """Time to persist the checkpoint to the shared store."""
+    return checkpoint_bytes(model, config) / config.checkpoint_bandwidth
+
+
+def checkpoint_load_time(model: TransformerModelSpec,
+                         config: RestartCostConfig) -> float:
+    """Time to load the checkpoint back onto the new allocation."""
+    return checkpoint_bytes(model, config) / config.checkpoint_bandwidth
+
+
+def restart_time(model: TransformerModelSpec, cluster: Cluster,
+                 config: RestartCostConfig = RestartCostConfig(),
+                 save_checkpoint: bool = True) -> float:
+    """Full restart cost: save + scheduling + init + load.
+
+    ``save_checkpoint=False`` models recovery from an existing (periodic)
+    checkpoint, e.g. after a hard failure where the live states are lost.
+    """
+    total = config.scheduling_time + config.framework_init_time
+    total += checkpoint_load_time(model, config)
+    if save_checkpoint:
+        total += checkpoint_save_time(model, config)
+    return total

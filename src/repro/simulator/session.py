@@ -1,0 +1,135 @@
+"""Trace-driven training session simulation.
+
+The end-to-end evaluation (Figure 7 / Table 2) runs each framework through
+a trace of straggler situations.  :func:`run_trace` drives an arbitrary
+framework (Malleus or one of the baselines) through a
+:class:`~repro.cluster.trace.StragglerTrace`, letting it react to every
+situation change (re-plan + migrate, restart, or do nothing) and measuring
+the resulting per-step times and adjustment overheads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from ..cluster.stragglers import ClusterState
+from ..cluster.trace import StragglerSituation, StragglerTrace
+
+
+@dataclass
+class Adjustment:
+    """How a framework reacted to a situation change."""
+
+    kind: str = "none"  # "none", "migrate", "restart", "replan"
+    downtime: float = 0.0  # seconds of stalled training caused by the reaction
+    planning_time: float = 0.0  # planning time (overlapped for Malleus)
+    overlapped: bool = False
+    description: str = ""
+
+
+class TrainingFramework(Protocol):
+    """Interface every simulated training framework implements."""
+
+    name: str
+
+    def setup(self, state: ClusterState) -> None:
+        """Initialise the framework for the first (usually normal) situation."""
+
+    def on_situation_change(self, state: ClusterState) -> Adjustment:
+        """React to a new straggler situation; return the incurred adjustment."""
+
+    def step_time(self, state: ClusterState) -> float:
+        """Per-step training time under the current plan and the given state."""
+
+
+@dataclass
+class SituationResult:
+    """Per-situation outcome of a trace run."""
+
+    situation: str
+    avg_step_time: float
+    num_steps: int
+    adjustment: Adjustment
+    wall_clock_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Training time plus adjustment downtime for this situation."""
+        return self.avg_step_time * self.num_steps + self.adjustment.downtime
+
+
+@dataclass
+class TraceRunResult:
+    """Outcome of running one framework through a full trace."""
+
+    framework: str
+    situations: List[SituationResult] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end wall-clock time of the trace."""
+        return sum(result.total_time for result in self.situations)
+
+    def step_time(self, situation: str) -> float:
+        """Average step time measured in one situation."""
+        for result in self.situations:
+            if result.situation == situation:
+                return result.avg_step_time
+        raise KeyError(f"situation '{situation}' not in results")
+
+    def as_dict(self) -> Dict[str, float]:
+        """Situation -> average step time mapping."""
+        return {result.situation: result.avg_step_time for result in self.situations}
+
+
+def run_trace(
+    framework: TrainingFramework,
+    trace: StragglerTrace,
+    steps_per_situation: Optional[int] = None,
+) -> TraceRunResult:
+    """Run a framework through a straggler trace.
+
+    The first situation initialises the framework (``setup``); every later
+    situation first lets the framework react (``on_situation_change``) and
+    then measures its steady-state step time.
+    """
+    result = TraceRunResult(framework=framework.name)
+    for index, situation in enumerate(trace.situations):
+        state = situation.as_state(trace.cluster)
+        if index == 0:
+            framework.setup(state)
+            adjustment = Adjustment(kind="setup")
+        else:
+            adjustment = framework.on_situation_change(state)
+        step_time = framework.step_time(state)
+        num_steps = steps_per_situation or situation.duration_steps
+        result.situations.append(
+            SituationResult(
+                situation=situation.name,
+                avg_step_time=step_time,
+                num_steps=num_steps,
+                adjustment=adjustment,
+                wall_clock_time=step_time * num_steps + adjustment.downtime,
+            )
+        )
+    return result
+
+
+def theoretic_optimal_step_time(normal_step_time: float,
+                                state: ClusterState) -> float:
+    """Theoretic optimum ``T_normal * N / ((N - n) + sum 1/x_i)`` (§7.2).
+
+    Assumes hardware capability is inversely proportional to the straggling
+    rate; failed GPUs contribute zero capability.
+    """
+    num_gpus = state.cluster.num_gpus
+    capability = 0.0
+    for rate in state.rates.values():
+        if math.isinf(rate):
+            continue
+        capability += 1.0 / rate
+    if capability <= 0:
+        return math.inf
+    return normal_step_time * num_gpus / capability

@@ -1,0 +1,24 @@
+"""Optimization solvers used by the parallelization planner.
+
+The paper relies on PuLP (ILP, Eq. 2/3) and Pyomo (MINLP, Eq. 4).  This
+package replaces them with exact, dependency-free solvers that exploit the
+min-max structure of the problems.
+"""
+
+from .division import (
+    DivisionProblem,
+    DivisionSolution,
+    brute_force_division,
+    solve_pipeline_division,
+)
+from .minmax import MinMaxSolution, brute_force_minmax, solve_minmax_assignment
+
+__all__ = [
+    "DivisionProblem",
+    "DivisionSolution",
+    "MinMaxSolution",
+    "brute_force_division",
+    "brute_force_minmax",
+    "solve_minmax_assignment",
+    "solve_pipeline_division",
+]

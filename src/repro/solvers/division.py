@@ -1,0 +1,413 @@
+"""Pipeline-division solver for the upper-level MINLP (Eq. 4).
+
+Given the TP groups produced by GPU grouping, the pipeline-orchestration
+step must decide which groups form which training pipeline.  Under the
+relaxations of Appendix B.6 the problem becomes::
+
+    minimize   max_i  m_i * tau(b) / s_i
+    subject to sum_i m_i = B / b                 (micro-batches, integer)
+               s_i = h_i / y_hat + sum_k q_{i,k} / y_k
+               sum_i h_i = number of fast groups (integer)
+               every slow group k assigned to exactly one pipeline (q binary)
+
+where "fast" groups share the majority straggling rate ``y_hat`` and "slow"
+groups have individual rates ``y_k``.  The paper solves this with Pyomo; we
+exploit the structure instead:
+
+* slow groups are assigned by symmetry-reduced enumeration (identical rates
+  are interchangeable and pipelines are interchangeable before fast groups
+  are allocated), with a greedy + local-search fallback when the enumeration
+  would explode;
+* for a fixed slow-group assignment the fast groups are distributed by
+  harmonic water-filling (equalising the pipeline speeds) followed by a
+  local search, and the micro-batches by the exact min-max solver.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .minmax import solve_minmax_assignment
+
+
+@dataclass
+class DivisionProblem:
+    """Input of the pipeline-division problem."""
+
+    num_pipelines: int
+    total_micro_batches: int
+    fast_group_count: int
+    fast_group_rate: float
+    slow_group_rates: List[float] = field(default_factory=list)
+    min_groups_per_pipeline: int = 1
+    max_groups_per_pipeline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_pipelines <= 0:
+            raise ValueError("num_pipelines must be positive")
+        if self.total_micro_batches <= 0:
+            raise ValueError("total_micro_batches must be positive")
+        if self.fast_group_count < 0:
+            raise ValueError("fast_group_count must be non-negative")
+        if self.fast_group_count and self.fast_group_rate <= 0:
+            raise ValueError("fast_group_rate must be positive")
+        if any(rate <= 0 for rate in self.slow_group_rates):
+            raise ValueError("slow group rates must be positive")
+        total_groups = self.fast_group_count + len(self.slow_group_rates)
+        if total_groups < self.num_pipelines * self.min_groups_per_pipeline:
+            raise ValueError(
+                "not enough groups to populate every pipeline"
+            )
+
+
+@dataclass
+class DivisionSolution:
+    """Result of the pipeline-division problem.
+
+    ``fast_groups[i]`` is the number of majority-rate groups in pipeline
+    ``i``; ``slow_groups[i]`` lists the straggling rates of the slow groups
+    assigned to pipeline ``i``; ``micro_batches[i]`` is ``m_i``.
+    """
+
+    fast_groups: List[int]
+    slow_groups: List[List[float]]
+    micro_batches: List[int]
+    objective: float
+    candidates_evaluated: int = 0
+    used_fallback: bool = False
+
+    def pipeline_speed(self, index: int, fast_rate: float) -> float:
+        """Harmonic speed ``s_i`` of one pipeline."""
+        speed = self.fast_groups[index] / fast_rate if fast_rate > 0 else 0.0
+        speed += sum(1.0 / rate for rate in self.slow_groups[index])
+        return speed
+
+
+# ----------------------------------------------------------------------
+# Fast-group water-filling for a fixed slow assignment
+# ----------------------------------------------------------------------
+def _waterfill_fast_groups(problem: DivisionProblem,
+                           slow_assignment: Sequence[Sequence[float]]) -> List[int]:
+    """Distribute the fast groups so pipeline speeds are as equal as possible."""
+    dp = problem.num_pipelines
+    fast = problem.fast_group_count
+    fast_rate = problem.fast_group_rate
+    base_speed = [sum(1.0 / r for r in slow_assignment[i]) for i in range(dp)]
+    counts = [0] * dp
+
+    # Honour the minimum group count first.
+    for i in range(dp):
+        need = problem.min_groups_per_pipeline - len(slow_assignment[i])
+        if need > 0:
+            counts[i] = need
+    if sum(counts) > fast:
+        return []  # infeasible for this slow assignment
+
+    remaining = fast - sum(counts)
+    # Greedy water-filling: repeatedly give a fast group to the slowest pipeline.
+    for _ in range(remaining):
+        speeds = [base_speed[i] + counts[i] / fast_rate for i in range(dp)]
+        idx = min(range(dp), key=lambda i: (speeds[i], counts[i]))
+        if problem.max_groups_per_pipeline is not None:
+            # Respect the per-pipeline group cap if one is given.
+            tried = sorted(range(dp), key=lambda i: (speeds[i], counts[i]))
+            placed = False
+            for candidate in tried:
+                if counts[candidate] + len(slow_assignment[candidate]) \
+                        < problem.max_groups_per_pipeline:
+                    counts[candidate] += 1
+                    placed = True
+                    break
+            if not placed:
+                return []
+        else:
+            counts[idx] += 1
+    return counts
+
+
+def _evaluate(problem: DivisionProblem,
+              slow_assignment: Sequence[Sequence[float]],
+              fast_counts: Sequence[int]) -> Tuple[float, List[int]]:
+    """Objective value and micro-batch split for a full division."""
+    dp = problem.num_pipelines
+    speeds = []
+    for i in range(dp):
+        speed = 0.0
+        if problem.fast_group_rate > 0:
+            speed += fast_counts[i] / problem.fast_group_rate
+        speed += sum(1.0 / r for r in slow_assignment[i])
+        speeds.append(speed)
+    if any(speed <= 0 for speed in speeds):
+        return math.inf, [0] * dp
+    weights = [1.0 / speed for speed in speeds]
+    solution = solve_minmax_assignment(weights, problem.total_micro_batches)
+    if not solution.feasible:
+        return math.inf, [0] * dp
+    return solution.objective, solution.values
+
+
+def _cheap_score(problem: DivisionProblem,
+                 slow_assignment: Sequence[Sequence[float]],
+                 fast_counts: Sequence[int]) -> float:
+    """Fast proxy for the division objective (largest-remainder rounding).
+
+    Micro-batches are split proportionally to the pipeline speeds and rounded
+    with the largest-remainder method; the returned value is the resulting
+    ``max_i m_i / s_i``.  The exact min-max solver is only run on the
+    top-scoring candidates.
+    """
+    dp = problem.num_pipelines
+    speeds = []
+    for i in range(dp):
+        speed = 0.0
+        if problem.fast_group_rate > 0:
+            speed += fast_counts[i] / problem.fast_group_rate
+        speed += sum(1.0 / r for r in slow_assignment[i])
+        if speed <= 0:
+            return math.inf
+        speeds.append(speed)
+    total_speed = sum(speeds)
+    total = problem.total_micro_batches
+    shares = [total * s / total_speed for s in speeds]
+    floors = [int(math.floor(share)) for share in shares]
+    remainder = total - sum(floors)
+    order = sorted(range(dp), key=lambda i: shares[i] - floors[i], reverse=True)
+    for i in order[:remainder]:
+        floors[i] += 1
+    return max(m / s for m, s in zip(floors, speeds))
+
+
+def _local_search_fast(problem: DivisionProblem,
+                       slow_assignment: Sequence[Sequence[float]],
+                       fast_counts: List[int]) -> Tuple[float, List[int], List[int]]:
+    """Improve the fast-group allocation by single-group moves."""
+    best_obj, best_mb = _evaluate(problem, slow_assignment, fast_counts)
+    best_counts = list(fast_counts)
+    improved = True
+    while improved:
+        improved = False
+        for src in range(problem.num_pipelines):
+            for dst in range(problem.num_pipelines):
+                if src == dst:
+                    continue
+                counts = list(best_counts)
+                if counts[src] + len(slow_assignment[src]) - 1 \
+                        < problem.min_groups_per_pipeline:
+                    continue
+                if counts[src] == 0:
+                    continue
+                if problem.max_groups_per_pipeline is not None and \
+                        counts[dst] + len(slow_assignment[dst]) + 1 \
+                        > problem.max_groups_per_pipeline:
+                    continue
+                counts[src] -= 1
+                counts[dst] += 1
+                obj, mb = _evaluate(problem, slow_assignment, counts)
+                if obj < best_obj - 1e-12:
+                    best_obj, best_mb, best_counts = obj, mb, counts
+                    improved = True
+    return best_obj, best_counts, best_mb
+
+
+# ----------------------------------------------------------------------
+# Slow-group assignment enumeration
+# ----------------------------------------------------------------------
+def _enumerate_slow_assignments(rates: Sequence[float], dp: int,
+                                limit: int) -> Tuple[List[List[List[float]]], bool]:
+    """Enumerate symmetry-reduced assignments of slow groups to pipelines.
+
+    Returns the list of assignments (each a per-pipeline list of rates) and a
+    flag telling whether the enumeration was truncated at ``limit``.
+    """
+    assignments: List[List[List[float]]] = []
+    seen = set()
+    truncated = False
+    rates = sorted(rates, reverse=True)
+
+    def canonical(buckets: List[List[float]]) -> tuple:
+        return tuple(sorted(tuple(sorted(b)) for b in buckets))
+
+    def recurse(idx: int, buckets: List[List[float]]) -> bool:
+        nonlocal truncated
+        if len(assignments) >= limit:
+            truncated = True
+            return False
+        if idx == len(rates):
+            key = canonical(buckets)
+            if key not in seen:
+                seen.add(key)
+                assignments.append([list(b) for b in buckets])
+            return True
+        # Symmetry reduction: only place into buckets whose content differs,
+        # or into the first empty bucket.
+        used_signatures = set()
+        for b in range(dp):
+            signature = tuple(sorted(buckets[b]))
+            if signature in used_signatures:
+                continue
+            used_signatures.add(signature)
+            buckets[b].append(rates[idx])
+            if not recurse(idx + 1, buckets):
+                buckets[b].pop()
+                return False
+            buckets[b].pop()
+        return True
+
+    recurse(0, [[] for _ in range(dp)])
+    return assignments, truncated
+
+
+def _greedy_slow_assignment(rates: Sequence[float], dp: int) -> List[List[float]]:
+    """LPT-style greedy: put each slow group on the pipeline with the least
+    accumulated harmonic speed contribution (so slow groups spread out)."""
+    buckets: List[List[float]] = [[] for _ in range(dp)]
+    loads = [0.0] * dp
+    for rate in sorted(rates, reverse=True):
+        idx = min(range(dp), key=lambda i: (loads[i], len(buckets[i])))
+        buckets[idx].append(rate)
+        loads[idx] += 1.0 / rate
+    return buckets
+
+
+def _local_search_slow(problem: DivisionProblem,
+                       slow_assignment: List[List[float]],
+                       fast_counts: List[int]) -> List[List[float]]:
+    """Improve a slow-group assignment by single-group moves (cheap score)."""
+    dp = problem.num_pipelines
+    buckets = [list(b) for b in slow_assignment]
+    best = _cheap_score(problem, buckets, fast_counts)
+    improved = True
+    while improved:
+        improved = False
+        for src in range(dp):
+            for idx in range(len(buckets[src])):
+                rate = buckets[src][idx]
+                for dst in range(dp):
+                    if dst == src:
+                        continue
+                    candidate = [list(b) for b in buckets]
+                    candidate[src].pop(idx)
+                    candidate[dst].append(rate)
+                    counts = _waterfill_fast_groups(problem, candidate)
+                    if not counts and problem.fast_group_count > 0:
+                        continue
+                    if problem.fast_group_count == 0:
+                        counts = [0] * dp
+                    score = _cheap_score(problem, candidate, counts)
+                    if score < best - 1e-12:
+                        buckets, best = candidate, score
+                        improved = True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+    return buckets
+
+
+def solve_pipeline_division(problem: DivisionProblem,
+                            enumeration_limit: int = 2000,
+                            refine_top_k: int = 4) -> DivisionSolution:
+    """Solve the pipeline-division MINLP.
+
+    The solver enumerates symmetry-reduced slow-group assignments (falling
+    back to a greedy assignment plus local search when there are too many),
+    scores every candidate cheaply by harmonic water-filling of the fast
+    groups, and refines the ``refine_top_k`` best candidates with a local
+    search that moves individual fast groups between pipelines; micro-batches
+    are assigned by the exact min-max solver throughout.
+    """
+    dp = problem.num_pipelines
+    if len(problem.slow_group_rates) > 24:
+        # At cluster scales with dozens of slow groups even the truncated
+        # enumeration spends most of its time walking the search tree; the
+        # greedy + local-search fallback is both faster and equally good
+        # there (the groups are dominated by a handful of distinct rates).
+        assignments, truncated = [], True
+    else:
+        assignments, truncated = _enumerate_slow_assignments(
+            problem.slow_group_rates, dp, enumeration_limit
+        )
+    used_fallback = False
+    if truncated:
+        greedy = _greedy_slow_assignment(problem.slow_group_rates, dp)
+        counts = _waterfill_fast_groups(problem, greedy)
+        if counts or problem.fast_group_count == 0:
+            greedy = _local_search_slow(
+                problem, greedy, counts or [0] * dp
+            )
+        assignments = [greedy]
+        used_fallback = True
+
+    # First pass: cheap evaluation (water-filling only) of every candidate.
+    scored = []
+    evaluated = 0
+    for slow_assignment in assignments:
+        fast_counts = _waterfill_fast_groups(problem, slow_assignment)
+        if not fast_counts and problem.fast_group_count > 0:
+            continue
+        if problem.fast_group_count == 0:
+            fast_counts = [0] * dp
+            if any(len(b) < problem.min_groups_per_pipeline for b in slow_assignment):
+                continue
+        obj = _cheap_score(problem, slow_assignment, fast_counts)
+        evaluated += 1
+        if math.isinf(obj):
+            continue
+        scored.append((obj, slow_assignment, list(fast_counts)))
+
+    # Second pass: refine only the most promising candidates with local search
+    # (moving individual fast groups between pipelines).
+    scored.sort(key=lambda item: item[0])
+    best: Optional[DivisionSolution] = None
+    for _, slow_assignment, fast_counts in scored[:refine_top_k]:
+        obj, fast_counts, micro_batches = _local_search_fast(
+            problem, slow_assignment, fast_counts
+        )
+        if math.isinf(obj):
+            continue
+        if best is None or obj < best.objective - 1e-12:
+            best = DivisionSolution(
+                fast_groups=list(fast_counts),
+                slow_groups=[list(b) for b in slow_assignment],
+                micro_batches=list(micro_batches),
+                objective=obj,
+                candidates_evaluated=evaluated,
+                used_fallback=used_fallback,
+            )
+    if best is None:
+        raise ValueError("pipeline division is infeasible for the given problem")
+    best.candidates_evaluated = evaluated
+    return best
+
+
+def brute_force_division(problem: DivisionProblem) -> float:
+    """Reference exhaustive solver for tiny instances (used in tests)."""
+    dp = problem.num_pipelines
+    best = math.inf
+    slow = problem.slow_group_rates
+    fast = problem.fast_group_count
+
+    fast_splits = [
+        split for split in itertools.product(range(fast + 1), repeat=dp)
+        if sum(split) == fast
+    ]
+    slow_assignments = list(itertools.product(range(dp), repeat=len(slow)))
+    for slow_choice in slow_assignments:
+        buckets: List[List[float]] = [[] for _ in range(dp)]
+        for rate, pipeline in zip(slow, slow_choice):
+            buckets[pipeline].append(rate)
+        for split in fast_splits:
+            if any(split[i] + len(buckets[i]) < problem.min_groups_per_pipeline
+                   for i in range(dp)):
+                continue
+            if problem.max_groups_per_pipeline is not None and any(
+                    split[i] + len(buckets[i]) > problem.max_groups_per_pipeline
+                    for i in range(dp)):
+                continue
+            obj, _ = _evaluate(problem, buckets, list(split))
+            best = min(best, obj)
+    return best

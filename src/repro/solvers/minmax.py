@@ -1,0 +1,240 @@
+"""Exact solvers for the paper's min-max integer programs (Eq. 2 and Eq. 3).
+
+Both the layer-assignment problem (Eq. 2) and the data-assignment problem
+(Eq. 3) have the same structure::
+
+    minimize   max_j  w_j * v_j
+    subject to sum_j v_j = TOTAL
+               0 <= v_j <= cap_j,  v_j integer
+
+where ``w_j`` are positive weights (group straggling rates, or per-pipeline
+optimal stage costs) and ``cap_j`` are optional upper bounds coming from the
+memory constraint.  The paper solves these with PuLP; because the structure
+is a pure min-max with a single coupling constraint, an exact parametric
+search is both simpler and faster:
+
+* for a candidate objective value ``T`` the assignment is feasible iff
+  ``sum_j min(floor(T / w_j), cap_j) >= TOTAL``;
+* the optimal ``T`` is of the form ``w_j * k`` for some integer ``k``, so a
+  binary search over the sorted candidate values finds the exact optimum.
+
+The returned assignment is the lexicographically "balanced" one: each
+variable gets the largest value allowed by the optimal ``T``, and the excess
+is trimmed from the most expensive (largest ``w_j``) variables first, which
+keeps every variable's individual cost no larger than the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class MinMaxSolution:
+    """Result of a min-max assignment problem."""
+
+    values: List[int]
+    objective: float
+    feasible: bool
+
+
+def _max_assignable(weights: Sequence[float], caps: Sequence[float],
+                    bound: float) -> List[int]:
+    """Largest per-variable values whose cost stays within ``bound``."""
+    values = []
+    for weight, cap in zip(weights, caps):
+        if weight <= 0:
+            raise ValueError("weights must be positive")
+        allowed = math.floor(bound / weight + 1e-9)
+        if not math.isinf(cap):
+            allowed = min(allowed, int(cap))
+        values.append(max(0, allowed))
+    return values
+
+
+def solve_minmax_assignment(
+    weights: Sequence[float],
+    total: int,
+    caps: Optional[Sequence[float]] = None,
+    min_values: Optional[Sequence[int]] = None,
+) -> MinMaxSolution:
+    """Solve ``min max_j w_j v_j  s.t.  sum v_j = total, 0 <= v_j <= cap_j``.
+
+    Parameters
+    ----------
+    weights:
+        Positive per-variable unit costs (``y_{i,j}`` or ``o_i`` in the paper).
+        Variables with infinite weight can only receive 0.
+    total:
+        The total amount to distribute (``L`` layers or ``B/b`` micro-batches).
+    caps:
+        Optional per-variable upper bounds (memory-derived layer caps).
+    min_values:
+        Optional per-variable lower bounds (e.g. force at least one layer per
+        stage when a stage may not be empty).
+
+    Returns
+    -------
+    MinMaxSolution
+        ``values`` sums to ``total`` when feasible; ``objective`` is the
+        minimal possible value of ``max_j w_j v_j``.
+    """
+    n = len(weights)
+    if n == 0:
+        return MinMaxSolution(values=[], objective=0.0, feasible=total == 0)
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    caps = list(caps) if caps is not None else [math.inf] * n
+    mins = list(min_values) if min_values is not None else [0] * n
+    if len(caps) != n or len(mins) != n:
+        raise ValueError("caps/min_values must match the number of weights")
+
+    finite_weights: List[float] = []
+    for weight, cap, low in zip(weights, caps, mins):
+        if low < 0:
+            raise ValueError("min_values must be non-negative")
+        if not math.isinf(cap) and cap < low:
+            return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)
+        if math.isinf(weight):
+            if low > 0:
+                return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                      feasible=False)
+            continue
+        finite_weights.append(weight)
+
+    # Effective capacity: infinite-weight variables can only take their minimum
+    # (which must be zero, checked above).
+    eff_caps = []
+    for weight, cap in zip(weights, caps):
+        if math.isinf(weight):
+            eff_caps.append(0.0)
+        else:
+            eff_caps.append(cap)
+
+    max_total = 0.0
+    for cap in eff_caps:
+        max_total += cap
+        if math.isinf(max_total):
+            break
+    if max_total < total:
+        return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)
+    if total == 0:
+        if any(m > 0 for m in mins):
+            # All-zero is forced by total == 0 but minimums require more.
+            return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)
+        return MinMaxSolution(values=[0] * n, objective=0.0, feasible=True)
+
+    # Candidate objective values are w_j * k for k in [1, total]; binary search
+    # over k per weight is equivalent to a binary search on the sorted union.
+    lo, hi = 0.0, max(w for w in weights if not math.isinf(w)) * total
+
+    def feasible_for(bound: float) -> bool:
+        values = _max_assignable(weights, eff_caps, bound)
+        if any(v < m for v, m in zip(values, mins)):
+            return False
+        return sum(values) >= total
+
+    if not feasible_for(hi):
+        return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)
+
+    # Binary search on the continuous bound, then snap to the exact discrete
+    # optimum (the bound only matters through floor(bound / w_j)).
+    for _ in range(64):
+        mid = (lo + hi) / 2.0
+        if feasible_for(mid):
+            hi = mid
+        else:
+            lo = mid
+
+    # Snap: the achieved objective is determined by the actual assignment.
+    values = _max_assignable(weights, eff_caps, hi)
+    values = _trim_to_total(values, weights, mins, total)
+    objective = max(
+        (w * v for w, v in zip(weights, values) if v > 0), default=0.0
+    )
+
+    # The objective of the final integral assignment can be slightly below the
+    # searched bound; re-verify optimality by trying to beat it.
+    improved = True
+    while improved:
+        improved = False
+        tighter = objective * (1.0 - 1e-12)
+        if tighter <= 0:
+            break
+        if feasible_for(tighter - 1e-9):
+            candidate = _max_assignable(weights, eff_caps, tighter - 1e-9)
+            candidate = _trim_to_total(candidate, weights, mins, total)
+            cand_obj = max(
+                (w * v for w, v in zip(weights, candidate) if v > 0), default=0.0
+            )
+            if cand_obj < objective - 1e-12:
+                values, objective = candidate, cand_obj
+                improved = True
+    return MinMaxSolution(values=values, objective=objective, feasible=True)
+
+
+def _trim_to_total(values: List[int], weights: Sequence[float],
+                   mins: Sequence[int], total: int) -> List[int]:
+    """Reduce an over-full assignment down to exactly ``total``.
+
+    Excess units are removed from the variables whose *current* cost
+    (``w_j * v_j``) is largest, which never increases the max and keeps the
+    assignment balanced.  Lower bounds are respected.
+    """
+    values = list(values)
+    excess = sum(values) - total
+    if excess < 0:
+        raise ValueError("assignment does not cover the total")
+    while excess > 0:
+        # Pick the variable with the largest current cost that can still shrink.
+        best_idx, best_cost = -1, -1.0
+        for idx, (weight, value) in enumerate(zip(weights, values)):
+            if value <= mins[idx]:
+                continue
+            cost = weight * value if not math.isinf(weight) else math.inf
+            if cost > best_cost:
+                best_cost, best_idx = cost, idx
+        if best_idx < 0:
+            raise RuntimeError("cannot trim assignment to the requested total")
+        shrink = min(excess, values[best_idx] - mins[best_idx], 1)
+        values[best_idx] -= shrink
+        excess -= shrink
+    return values
+
+
+def brute_force_minmax(
+    weights: Sequence[float],
+    total: int,
+    caps: Optional[Sequence[float]] = None,
+) -> float:
+    """Reference exhaustive solver used by the test-suite (tiny inputs only)."""
+    n = len(weights)
+    caps = list(caps) if caps is not None else [math.inf] * n
+    best = math.inf
+
+    def recurse(idx: int, remaining: int, current_max: float) -> None:
+        nonlocal best
+        if current_max >= best:
+            return
+        if idx == n - 1:
+            cap = caps[idx]
+            if not math.isinf(cap) and remaining > cap:
+                return
+            if math.isinf(weights[idx]) and remaining > 0:
+                return
+            cost = weights[idx] * remaining if remaining > 0 else 0.0
+            best = min(best, max(current_max, cost))
+            return
+        upper = remaining if math.isinf(caps[idx]) else min(remaining, int(caps[idx]))
+        if math.isinf(weights[idx]):
+            upper = 0
+        for value in range(upper + 1):
+            cost = weights[idx] * value if value > 0 else 0.0
+            recurse(idx + 1, remaining - value, max(current_max, cost))
+
+    if n == 0:
+        return 0.0 if total == 0 else math.inf
+    recurse(0, total, 0.0)
+    return best

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test-suite.
+
+Most unit tests use a deliberately small workload (a toy transformer on a
+two-node cluster) so that planning and simulation run in milliseconds; the
+integration tests and benchmarks use the paper's real workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.stragglers import ClusterState
+from repro.cluster.topology import make_cluster, paper_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.core.planner import MalleusPlanner
+from repro.models.presets import paper_task
+from repro.models.spec import TrainingTask, TransformerModelSpec
+
+
+def tiny_model(num_layers: int = 8, seq_length: int = 512) -> TransformerModelSpec:
+    """A small transformer used by fast unit tests."""
+    return TransformerModelSpec(
+        name="tiny",
+        num_layers=num_layers,
+        hidden_size=1024,
+        ffn_hidden_size=2816,
+        num_attention_heads=16,
+        num_kv_heads=16,
+        vocab_size=32000,
+        seq_length=seq_length,
+    )
+
+
+@pytest.fixture
+def tiny_task() -> TrainingTask:
+    """Training task for the tiny model (global batch 32)."""
+    return TrainingTask(model=tiny_model(), global_batch_size=32,
+                        micro_batch_size=1)
+
+
+@pytest.fixture
+def tiny_cluster():
+    """Two nodes of eight small GPUs each."""
+    return make_cluster(num_nodes=2, gpus_per_node=8, memory_gib=16.0,
+                        peak_tflops=100.0, name="tiny-cluster")
+
+
+@pytest.fixture
+def tiny_cost_model(tiny_task, tiny_cluster) -> MalleusCostModel:
+    """Cost model for the tiny workload."""
+    return MalleusCostModel(tiny_task.model, tiny_cluster)
+
+
+@pytest.fixture
+def tiny_planner(tiny_task, tiny_cluster, tiny_cost_model) -> MalleusPlanner:
+    """Planner for the tiny workload."""
+    return MalleusPlanner(tiny_task, tiny_cluster, tiny_cost_model)
+
+
+@pytest.fixture
+def tiny_state(tiny_cluster) -> ClusterState:
+    """Straggler-free state of the tiny cluster."""
+    return ClusterState(cluster=tiny_cluster)
+
+
+@pytest.fixture
+def healthy_rates(tiny_cluster):
+    """gpu-id -> 1.0 mapping for the tiny cluster."""
+    return {g: 1.0 for g in tiny_cluster.gpu_ids()}
+
+
+@pytest.fixture(scope="session")
+def paper_32b_workload():
+    """The 32B / 32-GPU paper workload (shared across integration tests)."""
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+    cost_model = MalleusCostModel(task.model, cluster)
+    return task, cluster, cost_model

@@ -1,0 +1,198 @@
+"""Tests for the lower-level problem: layer (Eq. 2) and data (Eq. 3) assignment."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+from repro.core.assignment import (
+    assign_data,
+    assign_layers,
+    build_plan,
+    solve_lower_level,
+)
+from repro.core.costmodel import MalleusCostModel
+from repro.core.grouping import group_rate
+from repro.models.presets import llama2_32b
+from repro.parallel.plan import TPGroup
+
+
+@pytest.fixture
+def cost_model():
+    return MalleusCostModel(llama2_32b(), paper_cluster(32))
+
+
+def tp4_groups(start: int, count: int):
+    """Consecutive TP-4 groups starting at GPU ``start``."""
+    return [
+        TPGroup(gpu_ids=tuple(range(start + 4 * i, start + 4 * i + 4)))
+        for i in range(count)
+    ]
+
+
+class TestAssignLayers:
+    def test_healthy_pipeline_splits_evenly(self, cost_model):
+        groups = tp4_groups(0, 4)
+        rates = {g: 1.0 for g in range(32)}
+        result = assign_layers(groups, rates, cost_model, 60, 1, dp_degree=2)
+        assert result.feasible
+        assert sum(result.layers) == 60
+        assert max(result.layers) - min(result.layers) <= 1
+
+    def test_straggling_stage_receives_fewer_layers(self, cost_model):
+        groups = tp4_groups(0, 4)
+        rates = {g: 1.0 for g in range(32)}
+        rates[0] = 5.42
+        result = assign_layers(groups, rates, cost_model, 60, 1, dp_degree=2)
+        straggler_stage = result.layers[0]
+        healthy_stages = result.layers[1:]
+        assert straggler_stage < min(healthy_stages)
+        assert sum(result.layers) == 60
+
+    def test_bottleneck_matches_assignment(self, cost_model):
+        groups = tp4_groups(0, 4)
+        rates = {g: 1.0 for g in range(32)}
+        rates[0] = 2.6
+        result = assign_layers(groups, rates, cost_model, 60, 1, dp_degree=2)
+        costs = [
+            group_rate(group, rates, cost_model) * layers
+            for group, layers in zip(groups, result.layers) if layers > 0
+        ]
+        assert max(costs) == pytest.approx(result.bottleneck)
+
+    def test_memory_caps_respected(self, cost_model):
+        groups = tp4_groups(0, 4)
+        rates = {g: 1.0 for g in range(32)}
+        result = assign_layers(groups, rates, cost_model, 60, 1, dp_degree=2)
+        for stage_index, (layers, cap) in enumerate(zip(result.layers,
+                                                        result.caps), start=1):
+            assert layers <= cap
+
+    def test_extremely_heavy_straggler_can_get_zero_layers(self, cost_model):
+        groups = [TPGroup(gpu_ids=(0,))] + tp4_groups(4, 4)
+        rates = {g: 1.0 for g in range(32)}
+        rates[0] = 1000.0
+        result = assign_layers(groups, rates, cost_model, 60, 1, dp_degree=2)
+        assert result.feasible
+        assert result.layers[0] == 0
+
+    def test_empty_pipeline_infeasible(self, cost_model):
+        result = assign_layers([], {}, cost_model, 60, 1, dp_degree=2)
+        assert not result.feasible
+
+    def test_single_small_group_cannot_hold_whole_model(self, cost_model):
+        groups = [TPGroup(gpu_ids=(0,))]
+        rates = {0: 1.0}
+        result = assign_layers(groups, rates, cost_model, 60, 1, dp_degree=2)
+        assert not result.feasible
+
+
+class TestAssignData:
+    def test_equal_pipelines_split_evenly(self):
+        micro_batches, objective = assign_data([1.0, 1.0], 64)
+        assert micro_batches == [32, 32]
+        assert objective == pytest.approx(32.0)
+
+    def test_slower_pipeline_gets_less_data(self):
+        micro_batches, _ = assign_data([2.0, 1.0], 63)
+        assert micro_batches[0] < micro_batches[1]
+        assert sum(micro_batches) == 63
+
+    def test_proportionality_roughly_inverse_to_bottleneck(self):
+        micro_batches, _ = assign_data([3.0, 1.0], 64)
+        assert micro_batches[0] <= 17
+        assert micro_batches[1] >= 47
+
+    def test_zero_bottleneck_handled(self):
+        micro_batches, objective = assign_data([0.0, 1.0], 10)
+        assert sum(micro_batches) == 10
+        assert objective >= 0.0
+
+
+class TestSolveLowerLevel:
+    def test_two_healthy_pipelines(self, cost_model):
+        pipelines = [tp4_groups(0, 4), tp4_groups(16, 4)]
+        rates = {g: 1.0 for g in range(32)}
+        result = solve_lower_level(pipelines, rates, cost_model, 60, 64)
+        assert result.feasible
+        assert result.micro_batch_size == 1
+        assert result.plan is not None
+        result.plan.validate()
+        assert result.plan.dp_degree == 2
+        assert sum(result.plan.micro_batches()) == 64
+
+    def test_straggling_pipeline_gets_less_data(self, cost_model):
+        pipelines = [tp4_groups(0, 4), tp4_groups(16, 4)]
+        rates = {g: 1.0 for g in range(32)}
+        rates[0] = 2.6
+        result = solve_lower_level(pipelines, rates, cost_model, 60, 64)
+        assert result.feasible
+        m = result.plan.micro_batches()
+        assert m[0] < m[1]
+
+    def test_estimated_time_increases_with_straggler(self, cost_model):
+        pipelines = [tp4_groups(0, 4), tp4_groups(16, 4)]
+        healthy = {g: 1.0 for g in range(32)}
+        straggling = dict(healthy)
+        straggling[0] = 5.42
+        base = solve_lower_level(pipelines, healthy, cost_model, 60, 64)
+        slow = solve_lower_level(pipelines, straggling, cost_model, 60, 64)
+        assert slow.estimated_step_time > base.estimated_step_time
+
+    def test_no_pipelines_is_infeasible(self, cost_model):
+        result = solve_lower_level([], {}, cost_model, 60, 64)
+        assert not result.feasible
+        assert math.isinf(result.estimated_step_time)
+
+    def test_micro_batch_candidates_respected(self, cost_model):
+        pipelines = [tp4_groups(0, 4), tp4_groups(16, 4)]
+        rates = {g: 1.0 for g in range(32)}
+        result = solve_lower_level(pipelines, rates, cost_model, 60, 64,
+                                   micro_batch_candidates=[2])
+        assert result.feasible
+        assert result.micro_batch_size == 2
+        assert sum(result.plan.micro_batches()) == 32
+
+    def test_removed_gpus_tracked(self, cost_model):
+        # A singleton group with an extreme straggler gets zero layers and its
+        # GPU must show up in removed_gpus.
+        pipelines = [
+            [TPGroup(gpu_ids=(0,))] + tp4_groups(4, 3),
+            tp4_groups(16, 4),
+        ]
+        rates = {g: 1.0 for g in range(32)}
+        rates[0] = 1000.0
+        result = solve_lower_level(pipelines, rates, cost_model, 60, 64,
+                                   all_gpu_ids=range(32))
+        assert result.feasible
+        assert 0 in result.plan.removed_gpus
+        assert 0 not in result.plan.active_gpus
+
+
+class TestBuildPlan:
+    def test_zero_layer_stages_dropped(self, cost_model):
+        groups = [tp4_groups(0, 4), tp4_groups(16, 4)]
+        rates = {g: 1.0 for g in range(32)}
+        layer_results = [
+            assign_layers(g, rates, cost_model, 60, 1, 2) for g in groups
+        ]
+        # Force a zero-layer stage in pipeline 0.
+        layer_results[0].layers[0] = 0
+        layer_results[0].layers[1] += 0  # keep as-is; adjust sum below
+        layer_results[0].layers[3] += 60 - sum(layer_results[0].layers)
+        plan = build_plan(groups, layer_results, [32, 32], rates, cost_model,
+                          1, 60, 64, all_gpu_ids=range(32))
+        assert plan.pipelines[0].pp_degree == 3
+        assert set(range(0, 4)).issubset(set(plan.removed_gpus))
+
+    def test_zero_data_pipeline_dropped(self, cost_model):
+        groups = [tp4_groups(0, 4), tp4_groups(16, 4)]
+        rates = {g: 1.0 for g in range(32)}
+        layer_results = [
+            assign_layers(g, rates, cost_model, 60, 1, 2) for g in groups
+        ]
+        plan = build_plan(groups, layer_results, [0, 64], rates, cost_model,
+                          1, 60, 64, all_gpu_ids=range(32))
+        assert plan.dp_degree == 1
+        assert set(range(0, 16)).issubset(set(plan.removed_gpus))
+        plan.validate()

@@ -1,0 +1,250 @@
+"""Tests for the baseline frameworks (Megatron-LM, DeepSpeed, Oobleck)."""
+
+import math
+
+import pytest
+
+from repro.baselines.config_search import (
+    DeepSpeedConfig,
+    MegatronConfig,
+    search_deepspeed_config,
+    search_megatron_config,
+)
+from repro.baselines.deepspeed import (
+    DeepSpeedBaseline,
+    DeepSpeedRestartBaseline,
+    deepspeed_step_time,
+)
+from repro.baselines.megatron import MegatronBaseline, MegatronRestartBaseline
+from repro.baselines.oobleck import OobleckBaseline
+from repro.cluster.stragglers import ClusterState, state_from_rates
+from repro.cluster.topology import paper_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.models.presets import paper_task
+
+
+@pytest.fixture(scope="module")
+def workload():
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+    return task, cluster, MalleusCostModel(task.model, cluster)
+
+
+@pytest.fixture(scope="module")
+def megatron(workload):
+    task, cluster, cm = workload
+    baseline = MegatronBaseline(task, cluster, cm)
+    baseline.setup(ClusterState(cluster=cluster))
+    return baseline
+
+
+@pytest.fixture(scope="module")
+def deepspeed(workload):
+    task, cluster, cm = workload
+    baseline = DeepSpeedBaseline(task, cluster, cm)
+    baseline.setup(ClusterState(cluster=cluster))
+    return baseline
+
+
+class TestConfigSearch:
+    def test_megatron_32b_matches_paper_config(self, workload):
+        task, cluster, cm = workload
+        config = search_megatron_config(task, cluster, cm)
+        assert config is not None
+        # Appendix A.3: the 32B model's best configuration is DP2 TP4 PP4.
+        assert (config.dp, config.tp, config.pp) == (2, 4, 4)
+        assert config.micro_batch_size == 1
+
+    def test_megatron_config_label(self):
+        config = MegatronConfig(dp=2, tp=4, pp=4, micro_batch_size=1)
+        assert config.label() == "DP2TP4PP4, mbs1"
+        config_ac = MegatronConfig(dp=2, tp=8, pp=4, micro_batch_size=2,
+                                   activation_checkpointing=True)
+        assert config_ac.label() == "DP2TP8PP4+AC, mbs2"
+
+    def test_deepspeed_config_found(self, workload):
+        task, cluster, cm = workload
+        config = search_deepspeed_config(task, cluster, cm)
+        assert config is not None
+        assert config.dp * config.sp == cluster.num_gpus
+
+    def test_deepspeed_config_label(self):
+        config = DeepSpeedConfig(dp=16, sp=2, micro_batch_size=4,
+                                 activation_checkpointing=True)
+        assert config.label() == "DP16SP2+AC, mbs4"
+
+    def test_restart_search_on_smaller_cluster(self, workload):
+        task, cluster, _ = workload
+        survivors = cluster.subset(
+            [g for g in cluster.gpu_ids() if cluster.gpu(g).node_id != 0]
+        )
+        config = search_megatron_config(task, survivors)
+        assert config is not None
+        assert config.dp * config.tp * config.pp == survivors.num_gpus
+
+
+class TestMegatronBaseline:
+    def test_normal_step_time_close_to_paper(self, megatron, workload):
+        _, cluster, _ = workload
+        time = megatron.step_time(ClusterState(cluster=cluster))
+        assert 9.0 < time < 15.0  # paper: 11.6 s
+
+    def test_straggler_causes_large_slowdown(self, megatron, workload):
+        _, cluster, _ = workload
+        normal = megatron.step_time(ClusterState(cluster=cluster))
+        slow = megatron.step_time(state_from_rates(cluster, {0: 5.42}))
+        assert slow > 2.5 * normal
+
+    def test_does_not_react_to_stragglers(self, megatron, workload):
+        _, cluster, _ = workload
+        adjustment = megatron.on_situation_change(
+            state_from_rates(cluster, {0: 5.42})
+        )
+        assert adjustment.kind == "none"
+        assert adjustment.downtime == 0.0
+
+
+class TestDeepSpeedBaseline:
+    def test_normal_step_time_reasonable(self, deepspeed, workload):
+        _, cluster, _ = workload
+        time = deepspeed.step_time(ClusterState(cluster=cluster))
+        assert 5.0 < time < 25.0
+
+    def test_slowdown_follows_worst_straggler(self, deepspeed, workload):
+        # ZeRO-3 is globally synchronous per layer, so the whole step scales
+        # roughly with the worst straggling rate.
+        _, cluster, _ = workload
+        normal = deepspeed.step_time(ClusterState(cluster=cluster))
+        slow = deepspeed.step_time(state_from_rates(cluster, {0: 5.42}))
+        assert slow > 3.0 * normal
+
+    def test_more_sensitive_than_megatron_relative(self, deepspeed, megatron,
+                                                   workload):
+        """§7.2: DeepSpeed degrades at least as much as hybrid parallel."""
+        _, cluster, _ = workload
+        state = state_from_rates(cluster, {0: 5.42})
+        normal = ClusterState(cluster=cluster)
+        ds_ratio = deepspeed.step_time(state) / deepspeed.step_time(normal)
+        mega_ratio = megatron.step_time(state) / megatron.step_time(normal)
+        assert ds_ratio >= 0.9 * mega_ratio
+
+    def test_failed_gpu_blocks_training(self, deepspeed, workload):
+        _, cluster, _ = workload
+        state = ClusterState(cluster=cluster)
+        state.fail(0)
+        assert math.isinf(deepspeed.step_time(state))
+
+    def test_step_time_function_requires_config(self, workload):
+        task, cluster, cm = workload
+        config = DeepSpeedConfig(dp=32, sp=1, micro_batch_size=1,
+                                 activation_checkpointing=False)
+        time = deepspeed_step_time(task, cluster, cm, config)
+        assert time > 0
+
+
+class TestRestartBaselines:
+    def test_megatron_restart_excludes_straggling_node(self, workload):
+        task, cluster, cm = workload
+        baseline = MegatronRestartBaseline(task, cluster, cm)
+        baseline.setup(ClusterState(cluster=cluster))
+        adjustment = baseline.on_situation_change(
+            state_from_rates(cluster, {0: 5.42})
+        )
+        assert adjustment.kind == "restart"
+        assert adjustment.downtime > 60.0
+        assert baseline._active_cluster.num_gpus == 24
+
+    def test_megatron_restart_step_time_unaffected_by_excluded_straggler(
+            self, workload):
+        task, cluster, cm = workload
+        baseline = MegatronRestartBaseline(task, cluster, cm)
+        normal = ClusterState(cluster=cluster)
+        baseline.setup(normal)
+        base_time = baseline.step_time(normal)
+        state = state_from_rates(cluster, {0: 5.42})
+        baseline.on_situation_change(state)
+        with_straggler = baseline.step_time(state)
+        # The straggler was excluded, so the step time only grows because
+        # fewer GPUs remain, not by the straggling rate itself.
+        assert with_straggler < 2.0 * base_time
+
+    def test_megatron_restart_only_on_set_change(self, workload):
+        task, cluster, cm = workload
+        baseline = MegatronRestartBaseline(task, cluster, cm)
+        baseline.setup(ClusterState(cluster=cluster))
+        state = state_from_rates(cluster, {0: 5.42})
+        first = baseline.on_situation_change(state)
+        second = baseline.on_situation_change(state)
+        assert first.kind == "restart"
+        assert second.kind == "none"
+
+    def test_megatron_restart_rejoins_recovered_node(self, workload):
+        task, cluster, cm = workload
+        baseline = MegatronRestartBaseline(task, cluster, cm)
+        baseline.setup(ClusterState(cluster=cluster))
+        baseline.on_situation_change(state_from_rates(cluster, {0: 5.42}))
+        adjustment = baseline.on_situation_change(ClusterState(cluster=cluster))
+        assert adjustment.kind == "restart"
+        assert baseline._active_cluster.num_gpus == 32
+
+    def test_deepspeed_restart_behaviour(self, workload):
+        task, cluster, cm = workload
+        baseline = DeepSpeedRestartBaseline(task, cluster, cm)
+        baseline.setup(ClusterState(cluster=cluster))
+        adjustment = baseline.on_situation_change(
+            state_from_rates(cluster, {0: 5.42})
+        )
+        assert adjustment.kind == "restart"
+        assert baseline._active_cluster.num_gpus == 24
+        # DeepSpeed restarts are cheaper than Megatron's (sharded checkpoints).
+        mega = MegatronRestartBaseline(task, cluster, cm)
+        mega.setup(ClusterState(cluster=cluster))
+        mega_adjustment = mega.on_situation_change(
+            state_from_rates(cluster, {0: 5.42})
+        )
+        assert adjustment.downtime < mega_adjustment.downtime
+
+
+class TestOobleck:
+    def test_constant_overhead_even_without_stragglers(self, workload):
+        task, cluster, cm = workload
+        oobleck = OobleckBaseline(task, cluster, cm)
+        normal = ClusterState(cluster=cluster)
+        oobleck.setup(normal)
+        megatron = MegatronBaseline(task, cluster, cm)
+        megatron.setup(normal)
+        assert oobleck.step_time(normal) > 1.4 * megatron.step_time(normal)
+
+    def test_template_transition_migrates(self, workload):
+        task, cluster, cm = workload
+        oobleck = OobleckBaseline(task, cluster, cm)
+        oobleck.setup(ClusterState(cluster=cluster))
+        adjustment = oobleck.on_situation_change(
+            state_from_rates(cluster, {0: 2.6})
+        )
+        assert adjustment.kind == "migrate"
+        assert adjustment.downtime < 30.0
+
+    def test_out_of_template_transition_restarts(self, workload):
+        task, cluster, cm = workload
+        oobleck = OobleckBaseline(task, cluster, cm)
+        oobleck.setup(ClusterState(cluster=cluster))
+        many = {g: 2.62 for g in range(8)}
+        adjustment = oobleck.on_situation_change(state_from_rates(cluster, many))
+        assert adjustment.kind == "restart"
+        assert adjustment.downtime > 60.0
+
+    def test_no_change_no_action(self, workload):
+        task, cluster, cm = workload
+        oobleck = OobleckBaseline(task, cluster, cm)
+        state = state_from_rates(cluster, {0: 2.6})
+        oobleck.setup(state)
+        assert oobleck.on_situation_change(state).kind == "none"
+
+    def test_stragglers_excluded_from_training(self, workload):
+        task, cluster, cm = workload
+        oobleck = OobleckBaseline(task, cluster, cm)
+        oobleck.setup(ClusterState(cluster=cluster))
+        state = state_from_rates(cluster, {0: 5.42})
+        oobleck.on_situation_change(state)
+        assert 0 not in oobleck._plan.active_gpus

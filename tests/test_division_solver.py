@@ -1,0 +1,189 @@
+"""Tests for the pipeline-division MINLP solver (Eq. 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.division import (
+    DivisionProblem,
+    brute_force_division,
+    solve_pipeline_division,
+)
+
+
+def make_problem(**kwargs) -> DivisionProblem:
+    defaults = dict(
+        num_pipelines=2,
+        total_micro_batches=16,
+        fast_group_count=4,
+        fast_group_rate=0.3,
+        slow_group_rates=[],
+        min_groups_per_pipeline=1,
+    )
+    defaults.update(kwargs)
+    return DivisionProblem(**defaults)
+
+
+class TestValidation:
+    def test_requires_positive_pipelines(self):
+        with pytest.raises(ValueError):
+            make_problem(num_pipelines=0)
+
+    def test_requires_positive_micro_batches(self):
+        with pytest.raises(ValueError):
+            make_problem(total_micro_batches=0)
+
+    def test_requires_enough_groups(self):
+        with pytest.raises(ValueError):
+            make_problem(num_pipelines=4, fast_group_count=1,
+                         slow_group_rates=[])
+
+    def test_rejects_nonpositive_slow_rates(self):
+        with pytest.raises(ValueError):
+            make_problem(slow_group_rates=[0.0])
+
+
+class TestHomogeneous:
+    def test_all_fast_groups_split_evenly(self):
+        problem = make_problem(num_pipelines=2, fast_group_count=4,
+                               total_micro_batches=16)
+        solution = solve_pipeline_division(problem)
+        assert sorted(solution.fast_groups) == [2, 2]
+        assert sorted(solution.micro_batches) == [8, 8]
+
+    def test_micro_batches_sum_to_total(self):
+        problem = make_problem(num_pipelines=3, fast_group_count=6,
+                               total_micro_batches=17)
+        solution = solve_pipeline_division(problem)
+        assert sum(solution.micro_batches) == 17
+
+    def test_every_pipeline_gets_a_group(self):
+        problem = make_problem(num_pipelines=4, fast_group_count=4,
+                               total_micro_batches=8)
+        solution = solve_pipeline_division(problem)
+        assert all(count >= 1 for count in solution.fast_groups)
+
+
+class TestWithSlowGroups:
+    def test_slow_group_pipeline_receives_less_data(self):
+        # One very slow group plus fast groups: the pipeline that hosts the
+        # slow group should not receive more micro-batches than the others.
+        problem = make_problem(
+            num_pipelines=2, fast_group_count=3, fast_group_rate=0.3,
+            slow_group_rates=[3.0], total_micro_batches=20,
+        )
+        solution = solve_pipeline_division(problem)
+        slow_pipeline = next(
+            i for i, groups in enumerate(solution.slow_groups) if groups
+        )
+        fast_pipeline = 1 - slow_pipeline
+        assert solution.micro_batches[slow_pipeline] <= \
+            solution.micro_batches[fast_pipeline]
+
+    def test_slow_groups_spread_across_pipelines(self):
+        problem = make_problem(
+            num_pipelines=2, fast_group_count=2, fast_group_rate=0.3,
+            slow_group_rates=[2.0, 2.0], total_micro_batches=12,
+        )
+        solution = solve_pipeline_division(problem)
+        assert all(len(groups) == 1 for groups in solution.slow_groups)
+
+    def test_all_slow_no_fast(self):
+        problem = make_problem(
+            num_pipelines=2, fast_group_count=0, fast_group_rate=1.0,
+            slow_group_rates=[1.0, 2.0, 3.0, 4.0], total_micro_batches=10,
+        )
+        solution = solve_pipeline_division(problem)
+        assert sum(len(groups) for groups in solution.slow_groups) == 4
+        assert sum(solution.micro_batches) == 10
+
+    def test_pipeline_speed_helper(self):
+        problem = make_problem(
+            num_pipelines=2, fast_group_count=2, fast_group_rate=0.5,
+            slow_group_rates=[2.0], total_micro_batches=10,
+        )
+        solution = solve_pipeline_division(problem)
+        for index in range(2):
+            speed = solution.pipeline_speed(index, 0.5)
+            expected = solution.fast_groups[index] / 0.5 + sum(
+                1.0 / rate for rate in solution.slow_groups[index]
+            )
+            assert speed == pytest.approx(expected)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("dp,fast,slow,total", [
+        (2, 3, [2.0], 10),
+        (2, 2, [2.0, 4.0], 12),
+        (3, 4, [3.0], 9),
+        (2, 0, [1.0, 2.0, 3.0], 8),
+        (2, 4, [], 7),
+    ])
+    def test_matches_exhaustive_optimum(self, dp, fast, slow, total):
+        problem = make_problem(
+            num_pipelines=dp, fast_group_count=fast, fast_group_rate=0.4,
+            slow_group_rates=slow, total_micro_batches=total,
+        )
+        solution = solve_pipeline_division(problem)
+        reference = brute_force_division(problem)
+        assert solution.objective == pytest.approx(reference, rel=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        dp=st.integers(min_value=1, max_value=3),
+        fast=st.integers(min_value=0, max_value=4),
+        slow=st.lists(st.floats(min_value=1.0, max_value=6.0),
+                      min_size=0, max_size=3),
+        total=st.integers(min_value=1, max_value=12),
+    )
+    def test_property_never_worse_than_brute_force(self, dp, fast, slow, total):
+        if fast + len(slow) < dp:
+            return  # not enough groups to populate every pipeline
+        problem = make_problem(
+            num_pipelines=dp, fast_group_count=fast, fast_group_rate=0.4,
+            slow_group_rates=slow, total_micro_batches=total,
+        )
+        solution = solve_pipeline_division(problem)
+        reference = brute_force_division(problem)
+        # The heuristic refinement must never beat the true optimum and should
+        # stay within a small factor of it.
+        assert solution.objective >= reference - 1e-9
+        if not math.isinf(reference) and reference > 0:
+            assert solution.objective <= reference * 1.5 + 1e-9
+
+    def test_micro_batches_consistent_with_objective(self):
+        problem = make_problem(
+            num_pipelines=2, fast_group_count=3, fast_group_rate=0.4,
+            slow_group_rates=[2.5], total_micro_batches=15,
+        )
+        solution = solve_pipeline_division(problem)
+        worst = 0.0
+        for index in range(2):
+            speed = solution.pipeline_speed(index, 0.4)
+            worst = max(worst, solution.micro_batches[index] / speed)
+        assert worst == pytest.approx(solution.objective, rel=1e-9)
+
+
+class TestFallback:
+    def test_large_instance_uses_fallback(self):
+        problem = make_problem(
+            num_pipelines=6, fast_group_count=20, fast_group_rate=0.3,
+            slow_group_rates=[1.5 + 0.1 * i for i in range(14)],
+            total_micro_batches=64,
+        )
+        solution = solve_pipeline_division(problem, enumeration_limit=50)
+        assert solution.used_fallback
+        assert sum(solution.micro_batches) == 64
+        assert sum(solution.fast_groups) == 20
+        assert sum(len(groups) for groups in solution.slow_groups) == 14
+
+    def test_fallback_quality_close_to_enumeration(self):
+        problem = make_problem(
+            num_pipelines=3, fast_group_count=5, fast_group_rate=0.3,
+            slow_group_rates=[2.0, 3.0, 4.0], total_micro_batches=24,
+        )
+        enumerated = solve_pipeline_division(problem, enumeration_limit=10000)
+        fallback = solve_pipeline_division(problem, enumeration_limit=1)
+        assert fallback.objective <= enumerated.objective * 1.25 + 1e-9

@@ -1,0 +1,229 @@
+"""Tests for GPU grouping: Theorem 1, group splitting and Theorem 2."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import make_cluster, paper_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.core.grouping import (
+    enumerate_consecutive_groupings,
+    even_partition,
+    group_gpus,
+    group_rate,
+    harmonic_throughput,
+    power_of_two_decomposition,
+    split_node_groups,
+)
+from repro.models.presets import llama2_32b
+from repro.parallel.plan import TPGroup
+
+
+@pytest.fixture
+def cost_model():
+    return MalleusCostModel(llama2_32b(), paper_cluster(32))
+
+
+class TestEvenPartition:
+    def test_groups_similar_gpus_together(self, cost_model):
+        rates = {0: 5.0, 1: 1.0, 2: 4.0, 3: 1.0, 4: 1.0, 5: 1.0, 6: 1.0, 7: 1.0}
+        groups = even_partition(range(8), rates, 2)
+        # The two stragglers (rates 5 and 4) must share the first group.
+        assert set(groups[0].gpu_ids) == {0, 2}
+
+    def test_group_count_and_sizes(self):
+        rates = {g: 1.0 for g in range(8)}
+        groups = even_partition(range(8), rates, 4)
+        assert len(groups) == 2
+        assert all(group.size == 4 for group in groups)
+
+    def test_indivisible_size_rejected(self):
+        rates = {g: 1.0 for g in range(6)}
+        with pytest.raises(ValueError):
+            even_partition(range(6), rates, 4)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            even_partition(range(4), {g: 1.0 for g in range(4)}, 0)
+
+    def test_theorem1_optimal_among_all_partitions(self, cost_model):
+        """Theorem 1: sorted-consecutive grouping maximises Σ 1/y.
+
+        Verified exhaustively for 6 GPUs split into 3 groups of 2.
+        """
+        rates = {0: 3.7, 1: 1.0, 2: 2.2, 3: 1.4, 4: 1.0, 5: 5.1}
+        theorem1 = even_partition(range(6), rates, 2)
+        best = harmonic_throughput(theorem1, rates, cost_model)
+        gpus = list(range(6))
+        for permutation in itertools.permutations(gpus):
+            groups = [
+                TPGroup(gpu_ids=tuple(permutation[i:i + 2]))
+                for i in range(0, 6, 2)
+            ]
+            other = harmonic_throughput(groups, rates, cost_model)
+            assert best >= other - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(rates=st.lists(st.floats(min_value=1.0, max_value=10.0),
+                          min_size=4, max_size=4))
+    def test_property_theorem1_beats_random_pairings(self, rates):
+        cost_model = MalleusCostModel(llama2_32b(), paper_cluster(32))
+        rate_map = dict(enumerate(rates))
+        theorem1 = even_partition(range(4), rate_map, 2)
+        best = harmonic_throughput(theorem1, rate_map, cost_model)
+        for permutation in itertools.permutations(range(4)):
+            groups = [
+                TPGroup(gpu_ids=tuple(permutation[0:2])),
+                TPGroup(gpu_ids=tuple(permutation[2:4])),
+            ]
+            assert best >= harmonic_throughput(groups, rate_map, cost_model) - 1e-12
+
+
+class TestPowerOfTwoDecomposition:
+    @pytest.mark.parametrize("n,max_part,expected", [
+        (7, 8, [4, 2, 1]),
+        (7, 4, [4, 2, 1]),
+        (7, 2, [2, 2, 2, 1]),
+        (6, 8, [4, 2]),
+        (5, 8, [4, 1]),
+        (8, 8, [8]),
+        (8, 4, [4, 4]),
+        (1, 8, [1]),
+        (0, 8, []),
+    ])
+    def test_decompositions(self, n, max_part, expected):
+        assert power_of_two_decomposition(n, max_part) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            power_of_two_decomposition(-1, 8)
+
+    def test_parts_sum_to_n(self):
+        for n in range(0, 17):
+            assert sum(power_of_two_decomposition(n, 8)) == n
+
+
+class TestConsecutiveGroupings:
+    def test_seven_gpus_give_six_possibilities(self):
+        """Appendix B.7: splitting 7 GPUs into {1, 2, 4} has 6 arrangements."""
+        rates = {g: 1.0 + 0.1 * g for g in range(7)}
+        groupings = enumerate_consecutive_groupings(range(7), rates, [4, 2, 1])
+        assert len(groupings) == 6
+
+    def test_groupings_cover_all_gpus(self):
+        rates = {g: float(g + 1) for g in range(7)}
+        for grouping in enumerate_consecutive_groupings(range(7), rates, [4, 2, 1]):
+            covered = sorted(g for group in grouping for g in group.gpu_ids)
+            assert covered == list(range(7))
+
+    def test_groups_are_consecutive_in_rate_order(self):
+        rates = {0: 9.0, 1: 5.0, 2: 4.0, 3: 3.0, 4: 2.5, 5: 2.0, 6: 1.0}
+        order = sorted(range(7), key=lambda g: -rates[g])
+        for grouping in enumerate_consecutive_groupings(range(7), rates, [4, 2, 1]):
+            flat = [g for group in grouping for g in group.gpu_ids]
+            assert flat == order
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_consecutive_groupings(range(5), {g: 1.0 for g in range(5)},
+                                            [4, 2, 1])
+
+
+class TestGroupSplitting:
+    def test_heavy_straggler_gets_isolated(self, cost_model):
+        rates = {g: 1.0 for g in range(8)}
+        rates[0] = 12.53  # a level-8 straggler
+        groups, isolated = split_node_groups(range(8), rates, cost_model, 8)
+        assert isolated == [0]
+        assert any(group.gpu_ids == (0,) for group in groups)
+
+    def test_isolation_improves_harmonic_throughput(self, cost_model):
+        rates = {g: 1.0 for g in range(8)}
+        rates[0] = 12.53
+        without_split = even_partition(range(8), rates, 8)
+        with_split, _ = split_node_groups(range(8), rates, cost_model, 8)
+        assert harmonic_throughput(with_split, rates, cost_model) > \
+            harmonic_throughput(without_split, rates, cost_model)
+
+    def test_below_threshold_gpus_are_not_isolated(self, cost_model):
+        rates = {g: 1.0 for g in range(8)}
+        rates[0] = 1.03  # below the 5% straggler threshold
+        groups, isolated = split_node_groups(range(8), rates, cost_model, 8)
+        assert isolated == []
+        assert len(groups) == 1
+
+    def test_isolation_only_when_theorem2_improves(self, cost_model):
+        rates = {g: 1.0 for g in range(8)}
+        rates[0] = 1.15
+        without = even_partition(range(8), rates, 8)
+        groups, isolated = split_node_groups(range(8), rates, cost_model, 8)
+        if isolated:
+            # Whenever the algorithm isolates, the Theorem 2 estimate must
+            # have improved compared to the unsplit grouping.
+            assert harmonic_throughput(groups, rates, cost_model) > \
+                harmonic_throughput(without, rates, cost_model)
+        else:
+            assert groups == without
+
+    def test_healthy_node_stays_whole(self, cost_model):
+        rates = {g: 1.0 for g in range(8)}
+        groups, isolated = split_node_groups(range(8), rates, cost_model, 8)
+        assert isolated == []
+        assert [group.size for group in groups] == [8]
+
+    def test_tp1_never_splits(self, cost_model):
+        rates = {g: 1.0 for g in range(8)}
+        rates[3] = 12.53
+        groups, isolated = split_node_groups(range(8), rates, cost_model, 1)
+        assert isolated == []
+        assert all(group.size == 1 for group in groups)
+
+    def test_all_gpus_remain_covered_after_splitting(self, cost_model):
+        rates = {g: 1.0 for g in range(8)}
+        rates[0] = 12.53
+        rates[1] = 5.42
+        groups, _ = split_node_groups(range(8), rates, cost_model, 8)
+        covered = sorted(g for group in groups for g in group.gpu_ids)
+        assert covered == list(range(8))
+
+
+class TestGroupGpus:
+    def test_groups_never_span_nodes(self, cost_model):
+        cluster = paper_cluster(32)
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        result = group_gpus(cluster, rates, cost_model, 8)
+        for group in result.groups:
+            assert cluster.same_node(group.gpu_ids)
+
+    def test_group_count_for_each_tp_limit(self, cost_model):
+        cluster = paper_cluster(32)
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        for tp_limit, expected in [(1, 32), (2, 16), (4, 8), (8, 4)]:
+            result = group_gpus(cluster, rates, cost_model, tp_limit)
+            assert result.num_groups() == expected
+
+    def test_splitting_disabled(self, cost_model):
+        cluster = paper_cluster(32)
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        rates[0] = 12.53
+        result = group_gpus(cluster, rates, cost_model, 8,
+                            enable_splitting=False)
+        assert result.isolated_gpus == []
+        assert all(group.size == 8 for group in result.groups)
+
+    def test_harmonic_throughput_recorded(self, cost_model):
+        cluster = paper_cluster(32)
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        result = group_gpus(cluster, rates, cost_model, 4)
+        assert result.harmonic_throughput == pytest.approx(
+            harmonic_throughput(result.groups, rates, cost_model)
+        )
+
+    def test_group_rate_helper(self, cost_model):
+        group = TPGroup(gpu_ids=(0, 1, 2, 3))
+        rates = {0: 2.6, 1: 1.0, 2: 1.0, 3: 1.0}
+        assert group_rate(group, rates, cost_model) == pytest.approx(
+            cost_model.rho(4) * 2.6
+        )

@@ -1,0 +1,117 @@
+"""Integration tests: the full Malleus pipeline against the paper's claims.
+
+These run the complete loop (profiler -> planner -> migration -> execution
+simulation) on the 32B / 32-GPU workload and check the qualitative claims of
+the evaluation: Malleus stays close to the theoretic optimum, beats the
+baselines under stragglers, is comparable at normal, and adapts on the fly
+instead of restarting.
+"""
+
+import pytest
+
+from repro.baselines.megatron import MegatronBaseline
+from repro.cluster.stragglers import ClusterState
+from repro.cluster.trace import paper_situation, paper_trace
+from repro.runtime.malleus import MalleusSystem
+from repro.simulator.session import run_trace, theoretic_optimal_step_time
+
+
+@pytest.fixture(scope="module")
+def malleus_trace_result(paper_32b_workload):
+    task, cluster, cost_model = paper_32b_workload
+    system = MalleusSystem(task, cluster, cost_model)
+    trace = paper_trace(cluster)
+    return run_trace(system, trace), system
+
+
+@pytest.fixture(scope="module")
+def megatron_trace_result(paper_32b_workload):
+    task, cluster, cost_model = paper_32b_workload
+    baseline = MegatronBaseline(task, cluster, cost_model)
+    trace = paper_trace(cluster)
+    return run_trace(baseline, trace)
+
+
+class TestMalleusTrace:
+    def test_all_situations_have_finite_step_times(self, malleus_trace_result):
+        result, _ = malleus_trace_result
+        assert all(r.avg_step_time < float("inf") for r in result.situations)
+
+    def test_stays_within_25pct_of_theoretic_optimum(self, malleus_trace_result,
+                                                     paper_32b_workload):
+        # The paper reports <= 10% on hardware; the analytic substrate adds a
+        # few points of pipeline-bubble slack, so we assert a looser 25%.
+        result, _ = malleus_trace_result
+        _, cluster, _ = paper_32b_workload
+        normal_time = result.step_time("Normal")
+        for situation in result.situations:
+            if situation.situation.startswith("Normal"):
+                continue
+            state = paper_situation(situation.situation, cluster).as_state(cluster)
+            optimum = theoretic_optimal_step_time(normal_time, state)
+            assert situation.avg_step_time <= optimum * 1.25
+
+    def test_mild_straggler_degrades_step_time_by_less_than_40pct(
+            self, malleus_trace_result):
+        # The paper's S1 degradation for Malleus is 1.05-1.16x.
+        result, _ = malleus_trace_result
+        assert result.step_time("S1") <= 1.4 * result.step_time("Normal")
+
+    def test_returns_to_normal_performance_after_trace(self, malleus_trace_result):
+        result, _ = malleus_trace_result
+        assert result.step_time("Normal(end)") == pytest.approx(
+            result.step_time("Normal"), rel=0.10
+        )
+
+    def test_adjustments_are_migrations_not_restarts(self, malleus_trace_result):
+        result, _ = malleus_trace_result
+        kinds = {r.adjustment.kind for r in result.situations}
+        assert "restart" not in kinds
+
+    def test_migration_downtime_is_seconds_not_minutes(self, malleus_trace_result):
+        result, _ = malleus_trace_result
+        for situation in result.situations:
+            assert situation.adjustment.downtime < 30.0
+
+    def test_planning_time_within_one_training_step(self, malleus_trace_result):
+        # §5.3: asynchronous re-planning is effective because planning finishes
+        # within about one training step.
+        result, system = malleus_trace_result
+        normal_time = result.step_time("Normal")
+        for event in system.replan_events:
+            assert event.planning_time < 3.0 * normal_time
+
+
+class TestMalleusVsMegatron:
+    def test_comparable_when_no_stragglers(self, malleus_trace_result,
+                                           megatron_trace_result):
+        malleus, _ = malleus_trace_result
+        ratio = megatron_trace_result.step_time("Normal") / \
+            malleus.step_time("Normal")
+        assert 0.8 < ratio < 1.3
+
+    @pytest.mark.parametrize("situation", ["S1", "S2", "S3", "S4", "S5", "S6"])
+    def test_outperforms_megatron_under_stragglers(self, malleus_trace_result,
+                                                   megatron_trace_result,
+                                                   situation):
+        malleus, _ = malleus_trace_result
+        improvement = megatron_trace_result.step_time(situation) / \
+            malleus.step_time(situation)
+        assert improvement > 1.3
+
+    def test_average_improvement_in_paper_range(self, malleus_trace_result,
+                                                megatron_trace_result):
+        # Paper: 2.63x geometric-mean speed-up over Megatron-LM w/o restart
+        # for the 32B model; we accept anything clearly above 1.5x.
+        malleus, _ = malleus_trace_result
+        ratios = []
+        for situation in ["S1", "S2", "S3", "S4", "S5", "S6"]:
+            ratios.append(
+                megatron_trace_result.step_time(situation)
+                / malleus.step_time(situation)
+            )
+        geometric_mean = 1.0
+        for ratio in ratios:
+            geometric_mean *= ratio
+        geometric_mean **= 1.0 / len(ratios)
+        assert geometric_mean > 1.5

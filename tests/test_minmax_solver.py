@@ -1,0 +1,150 @@
+"""Tests for the exact min-max assignment solver (Eq. 2 / Eq. 3 substrate)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.minmax import (
+    brute_force_minmax,
+    solve_minmax_assignment,
+)
+
+
+class TestBasicCases:
+    def test_uniform_weights_split_evenly(self):
+        solution = solve_minmax_assignment([1.0, 1.0, 1.0, 1.0], 8)
+        assert solution.feasible
+        assert sum(solution.values) == 8
+        assert solution.objective == pytest.approx(2.0)
+
+    def test_uneven_weights_balance_cost(self):
+        solution = solve_minmax_assignment([1.0, 2.0], 9)
+        assert sum(solution.values) == 9
+        # Optimal: 6 units on the cheap variable, 3 on the expensive one.
+        assert solution.objective == pytest.approx(6.0)
+
+    def test_single_variable(self):
+        solution = solve_minmax_assignment([3.0], 5)
+        assert solution.values == [5]
+        assert solution.objective == pytest.approx(15.0)
+
+    def test_zero_total(self):
+        solution = solve_minmax_assignment([1.0, 2.0], 0)
+        assert solution.feasible
+        assert solution.values == [0, 0]
+        assert solution.objective == 0.0
+
+    def test_empty_problem(self):
+        solution = solve_minmax_assignment([], 0)
+        assert solution.feasible
+
+    def test_caps_respected(self):
+        solution = solve_minmax_assignment([1.0, 1.0], 10, caps=[3, 10])
+        assert solution.values[0] <= 3
+        assert sum(solution.values) == 10
+        assert solution.objective == pytest.approx(7.0)
+
+    def test_infeasible_when_caps_too_small(self):
+        solution = solve_minmax_assignment([1.0, 1.0], 10, caps=[3, 3])
+        assert not solution.feasible
+        assert math.isinf(solution.objective)
+
+    def test_infinite_weight_gets_zero(self):
+        solution = solve_minmax_assignment([math.inf, 1.0], 5)
+        assert solution.values[0] == 0
+        assert solution.values[1] == 5
+
+    def test_all_infinite_is_infeasible(self):
+        solution = solve_minmax_assignment([math.inf, math.inf], 1)
+        assert not solution.feasible
+
+    def test_min_values_enforced(self):
+        solution = solve_minmax_assignment([1.0, 1.0, 1.0], 6,
+                                           min_values=[2, 0, 0])
+        assert solution.values[0] >= 2
+        assert sum(solution.values) == 6
+
+    def test_min_values_above_caps_infeasible(self):
+        solution = solve_minmax_assignment([1.0], 5, caps=[3], min_values=[4])
+        assert not solution.feasible
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            solve_minmax_assignment([1.0], -1)
+
+    def test_mismatched_caps_rejected(self):
+        with pytest.raises(ValueError):
+            solve_minmax_assignment([1.0, 1.0], 3, caps=[1])
+
+    def test_heavy_straggler_weight_receives_little_work(self):
+        # A 10x slower variable should get roughly 10x fewer units.
+        solution = solve_minmax_assignment([10.0, 1.0], 22)
+        assert solution.values[0] <= 2
+        assert solution.values[1] >= 20
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("weights,total,caps", [
+        ([1.0, 2.0, 3.0], 7, None),
+        ([2.5, 2.5, 1.0], 9, None),
+        ([1.0, 1.5, 2.0, 5.0], 11, None),
+        ([1.0, 2.0], 6, [2, 10]),
+        ([3.0, 1.0, 1.0], 10, [10, 4, 4]),
+        ([5.42, 2.6, 1.0, 1.0], 12, None),
+    ])
+    def test_matches_exhaustive_optimum(self, weights, total, caps):
+        solution = solve_minmax_assignment(weights, total, caps=caps)
+        reference = brute_force_minmax(weights, total, caps=caps)
+        assert solution.objective == pytest.approx(reference)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.lists(st.floats(min_value=0.2, max_value=10.0),
+                         min_size=1, max_size=4),
+        total=st.integers(min_value=0, max_value=12),
+    )
+    def test_property_matches_brute_force(self, weights, total):
+        solution = solve_minmax_assignment(weights, total)
+        reference = brute_force_minmax(weights, total)
+        if math.isinf(reference):
+            assert not solution.feasible
+        else:
+            assert solution.objective == pytest.approx(reference, rel=1e-6)
+            assert sum(solution.values) == total
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.lists(st.floats(min_value=0.2, max_value=10.0),
+                         min_size=2, max_size=4),
+        total=st.integers(min_value=1, max_value=30),
+    )
+    def test_property_assignment_is_consistent(self, weights, total):
+        solution = solve_minmax_assignment(weights, total)
+        assert solution.feasible
+        assert sum(solution.values) == total
+        assert all(value >= 0 for value in solution.values)
+        achieved = max(
+            (w * v for w, v in zip(weights, solution.values) if v > 0),
+            default=0.0,
+        )
+        assert achieved == pytest.approx(solution.objective, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        weights=st.lists(st.floats(min_value=0.5, max_value=5.0),
+                         min_size=2, max_size=4),
+        total=st.integers(min_value=1, max_value=10),
+        caps=st.lists(st.integers(min_value=0, max_value=6),
+                      min_size=2, max_size=4),
+    )
+    def test_property_caps(self, weights, total, caps):
+        caps = (caps + [6] * len(weights))[:len(weights)]
+        solution = solve_minmax_assignment(weights, total, caps=caps)
+        reference = brute_force_minmax(weights, total, caps=caps)
+        if math.isinf(reference):
+            assert not solution.feasible
+        else:
+            assert solution.objective == pytest.approx(reference, rel=1e-6)
+            assert all(v <= c for v, c in zip(solution.values, caps))

@@ -1,0 +1,151 @@
+"""Tests for model specifications, parameter counts, FLOPs and memory."""
+
+import pytest
+
+from repro.models.presets import (
+    get_model,
+    llama2_32b,
+    llama2_70b,
+    llama2_110b,
+    paper_task,
+)
+from repro.models.spec import TrainingTask, TransformerModelSpec
+
+
+class TestTransformerModelSpec:
+    def test_total_params_matches_advertised_size_32b(self):
+        model = llama2_32b()
+        assert 30e9 < model.total_params() < 36e9
+
+    def test_total_params_matches_advertised_size_70b(self):
+        model = llama2_70b()
+        assert 66e9 < model.total_params() < 74e9
+
+    def test_total_params_matches_advertised_size_110b(self):
+        model = llama2_110b()
+        assert 100e9 < model.total_params() < 120e9
+
+    def test_layer_counts_match_paper(self):
+        assert llama2_32b().num_layers == 60
+        assert llama2_70b().num_layers == 80
+        assert llama2_110b().num_layers == 80
+
+    def test_params_per_layer_composition(self):
+        model = llama2_32b()
+        per_layer = model.params_per_layer()
+        assert per_layer == (
+            model.attention_params_per_layer()
+            + model.ffn_params_per_layer()
+            + model.norm_params_per_layer()
+        )
+
+    def test_gqa_reduces_attention_params(self):
+        full = llama2_70b()
+        mha = TransformerModelSpec(
+            name="mha", num_layers=full.num_layers,
+            hidden_size=full.hidden_size,
+            ffn_hidden_size=full.ffn_hidden_size,
+            num_attention_heads=full.num_attention_heads,
+            num_kv_heads=full.num_attention_heads,
+            vocab_size=full.vocab_size, seq_length=full.seq_length,
+        )
+        assert full.attention_params_per_layer() < mha.attention_params_per_layer()
+
+    def test_flops_scale_with_hidden_size(self):
+        small = llama2_32b()
+        large = llama2_110b()
+        assert large.flops_per_token_per_layer() > small.flops_per_token_per_layer()
+
+    def test_training_flops_are_three_times_forward(self):
+        model = llama2_32b()
+        assert model.training_flops_per_token() == pytest.approx(
+            3.0 * model.flops_per_token()
+        )
+
+    def test_activation_bytes_scale_linearly_with_micro_batch(self):
+        model = llama2_32b()
+        assert model.layer_activation_bytes(4) == pytest.approx(
+            4.0 * model.layer_activation_bytes(1)
+        )
+
+    def test_tied_embeddings_drop_lm_head_params(self):
+        base = llama2_32b()
+        tied = TransformerModelSpec(
+            name="tied", num_layers=base.num_layers,
+            hidden_size=base.hidden_size,
+            ffn_hidden_size=base.ffn_hidden_size,
+            num_attention_heads=base.num_attention_heads,
+            num_kv_heads=base.num_kv_heads,
+            vocab_size=base.vocab_size, seq_length=base.seq_length,
+            tie_embeddings=True,
+        )
+        assert tied.lm_head_params() == 0
+        assert tied.total_params() < base.total_params()
+
+    def test_invalid_head_division_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerModelSpec(
+                name="bad", num_layers=2, hidden_size=1000,
+                ffn_hidden_size=4000, num_attention_heads=7, num_kv_heads=7,
+                vocab_size=1000, seq_length=128,
+            )
+
+    def test_invalid_kv_heads_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerModelSpec(
+                name="bad", num_layers=2, hidden_size=1024,
+                ffn_hidden_size=4096, num_attention_heads=16, num_kv_heads=5,
+                vocab_size=1000, seq_length=128,
+            )
+
+    def test_nonpositive_layers_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerModelSpec(
+                name="bad", num_layers=0, hidden_size=1024,
+                ffn_hidden_size=4096, num_attention_heads=16, num_kv_heads=16,
+                vocab_size=1000, seq_length=128,
+            )
+
+    def test_describe_mentions_name_and_layers(self):
+        text = llama2_32b().describe()
+        assert "llama2-32b" in text
+        assert "60 layers" in text
+
+
+class TestPresets:
+    def test_get_model_accepts_aliases(self):
+        assert get_model("32b").name == get_model("llama2-32b").name
+
+    def test_get_model_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            get_model("9000b")
+
+    def test_custom_sequence_length(self):
+        model = get_model("32b", seq_length=1024)
+        assert model.seq_length == 1024
+
+    def test_paper_task_defaults(self):
+        task = paper_task("70b")
+        assert task.global_batch_size == 64
+        assert task.micro_batch_size == 1
+        assert task.model.num_layers == 80
+
+    def test_paper_task_tokens_per_step(self):
+        task = paper_task("32b")
+        # 64 sequences x 4K context = 256K tokens per step, as in §7.1.
+        assert task.tokens_per_step == 64 * 4096
+
+
+class TestTrainingTask:
+    def test_num_micro_batches(self):
+        task = paper_task("32b")
+        assert task.num_micro_batches == 64
+
+    def test_batch_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            TrainingTask(model=llama2_32b(), global_batch_size=10,
+                         micro_batch_size=3)
+
+    def test_nonpositive_batch_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingTask(model=llama2_32b(), global_batch_size=0)

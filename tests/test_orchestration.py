@@ -1,0 +1,157 @@
+"""Tests for pipeline orchestration: division (Eq. 4) and ordering (Theorem 3)."""
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.core.grouping import group_gpus, group_rate
+from repro.core.orchestration import (
+    classify_groups,
+    divide_pipelines,
+    orchestrate,
+    order_pipeline_groups,
+)
+from repro.models.presets import llama2_32b
+from repro.parallel.plan import TPGroup
+
+
+@pytest.fixture
+def cost_model():
+    return MalleusCostModel(llama2_32b(), paper_cluster(32))
+
+
+@pytest.fixture
+def cluster():
+    return paper_cluster(32)
+
+
+class TestClassifyGroups:
+    def test_majority_is_fast(self, cost_model, cluster):
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        rates[0] = 5.42
+        grouping = group_gpus(cluster, rates, cost_model, 4)
+        fast, fast_rate, slow = classify_groups(grouping.groups, rates, cost_model)
+        assert len(fast) > len(slow)
+        assert all(y > fast_rate for _, y in slow) or all(
+            y < fast_rate for _, y in slow
+        ) or slow  # slow groups differ from the majority rate
+
+    def test_all_equal_groups_have_no_slow(self, cost_model, cluster):
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        grouping = group_gpus(cluster, rates, cost_model, 4)
+        fast, _, slow = classify_groups(grouping.groups, rates, cost_model)
+        assert len(fast) == 8
+        assert slow == []
+
+    def test_straggler_groups_marked_slow(self, cost_model, cluster):
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        rates[0] = 5.42
+        grouping = group_gpus(cluster, rates, cost_model, 4,
+                              enable_splitting=False)
+        _, _, slow = classify_groups(grouping.groups, rates, cost_model)
+        slow_gpus = {g for group, _ in slow for g in group.gpu_ids}
+        assert 0 in slow_gpus
+
+
+class TestDividePipelines:
+    def test_healthy_groups_split_evenly(self, cost_model, cluster):
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        grouping = group_gpus(cluster, rates, cost_model, 4)
+        result = divide_pipelines(grouping.groups, rates, cost_model, 2, 64)
+        assert result.feasible
+        assert len(result.pipelines) == 2
+        assert [len(p) for p in result.pipelines] == [4, 4]
+
+    def test_every_group_used_exactly_once(self, cost_model, cluster):
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        rates[0] = 2.6
+        grouping = group_gpus(cluster, rates, cost_model, 4)
+        result = divide_pipelines(grouping.groups, rates, cost_model, 2, 64)
+        used = [g for pipeline in result.pipelines for g in pipeline]
+        all_gpus = sorted(gpu for group in used for gpu in group.gpu_ids)
+        assert all_gpus == cluster.gpu_ids()
+
+    def test_infeasible_when_too_few_groups(self, cost_model, cluster):
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        grouping = group_gpus(cluster, rates, cost_model, 8)
+        result = divide_pipelines(grouping.groups, rates, cost_model, 8, 64)
+        assert not result.feasible
+
+    def test_failed_gpus_excluded(self, cost_model, cluster):
+        import math
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        rates[0] = math.inf
+        grouping = group_gpus(cluster, rates, cost_model, 1)
+        result = divide_pipelines(grouping.groups, rates, cost_model, 2, 64)
+        used_gpus = {
+            gpu for pipeline in result.pipelines for group in pipeline
+            for gpu in group.gpu_ids
+        }
+        assert 0 not in used_gpus
+
+
+class TestOrderPipelineGroups:
+    def test_equal_size_groups_sorted_by_rate_descending(self, cost_model):
+        groups = [
+            TPGroup(gpu_ids=(0, 1, 2, 3)),
+            TPGroup(gpu_ids=(4, 5, 6, 7)),
+            TPGroup(gpu_ids=(8, 9, 10, 11)),
+        ]
+        rates = {g: 1.0 for g in range(12)}
+        rates[4] = 2.6  # middle group is the straggler
+        ordered = order_pipeline_groups(groups, rates, cost_model, 60, 1, 2)
+        ordered_rates = [group_rate(g, rates, cost_model) for g in ordered]
+        assert ordered_rates == sorted(ordered_rates, reverse=True)
+        assert 4 in ordered[0].gpu_ids
+
+    def test_single_group_unchanged(self, cost_model):
+        groups = [TPGroup(gpu_ids=(0, 1, 2, 3))]
+        rates = {g: 1.0 for g in range(4)}
+        assert order_pipeline_groups(groups, rates, cost_model, 60, 1, 1) == groups
+
+    def test_mixed_sizes_keep_all_groups(self, cost_model):
+        groups = [
+            TPGroup(gpu_ids=(0,)),
+            TPGroup(gpu_ids=(1, 2)),
+            TPGroup(gpu_ids=(4, 5, 6, 7)),
+            TPGroup(gpu_ids=(8, 9, 10, 11)),
+        ]
+        rates = {g: 1.0 for g in range(12)}
+        rates[0] = 3.8
+        ordered = order_pipeline_groups(groups, rates, cost_model, 60, 1, 2)
+        assert sorted(g.gpu_ids for g in ordered) == sorted(g.gpu_ids for g in groups)
+
+    def test_bundles_stay_contiguous(self, cost_model):
+        groups = [
+            TPGroup(gpu_ids=(0,)),
+            TPGroup(gpu_ids=(1, 2)),
+            TPGroup(gpu_ids=(3, 4)),
+            TPGroup(gpu_ids=(8, 9, 10, 11)),
+        ]
+        rates = {g: 1.0 for g in range(12)}
+        ordered = order_pipeline_groups(groups, rates, cost_model, 60, 1, 2)
+        sizes = [g.size for g in ordered]
+        # Groups of the same TP degree must be adjacent (bundled).
+        seen = set()
+        previous = None
+        for size in sizes:
+            if size != previous:
+                assert size not in seen
+                seen.add(size)
+            previous = size
+
+
+class TestOrchestrate:
+    def test_full_orchestration_feasible(self, cost_model, cluster):
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        rates[0] = 5.42
+        grouping = group_gpus(cluster, rates, cost_model, 4)
+        result = orchestrate(grouping.groups, rates, cost_model, 2, 60, 64)
+        assert result.feasible
+        assert len(result.pipelines) == 2
+
+    def test_orchestrate_reports_infeasible_dp(self, cost_model, cluster):
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        grouping = group_gpus(cluster, rates, cost_model, 8)
+        result = orchestrate(grouping.groups, rates, cost_model, 16, 60, 64)
+        assert not result.feasible

@@ -1,0 +1,124 @@
+"""Tests for the discrete-event 1F1B pipeline simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.pipeline import (
+    StageWork,
+    analytic_1f1b_time,
+    simulate_1f1b,
+    split_fwd_bwd,
+)
+
+
+def uniform_work(num_stages, fwd=1.0, bwd=2.0):
+    return [StageWork(forward_time=fwd, backward_time=bwd)
+            for _ in range(num_stages)]
+
+
+class TestSplitFwdBwd:
+    def test_one_to_two_ratio(self):
+        fwd, bwd = split_fwd_bwd(3.0)
+        assert fwd == pytest.approx(1.0)
+        assert bwd == pytest.approx(2.0)
+
+
+class TestSingleStage:
+    def test_single_stage_has_no_bubble(self):
+        result = simulate_1f1b(uniform_work(1), 10)
+        assert result.makespan == pytest.approx(30.0)
+        assert result.bubble_time == pytest.approx(0.0)
+
+    def test_zero_micro_batches(self):
+        result = simulate_1f1b(uniform_work(3), 0)
+        assert result.makespan == 0.0
+
+    def test_no_stages(self):
+        result = simulate_1f1b([], 4)
+        assert result.makespan == 0.0
+
+
+class TestUniformPipeline:
+    def test_matches_analytic_formula_for_uniform_stages(self):
+        # With identical stages and no communication the 1F1B makespan equals
+        # (m - 1) * t + P * t, the formula used throughout the paper.
+        num_stages, m = 4, 16
+        per_stage = 3.0
+        result = simulate_1f1b(uniform_work(num_stages), m)
+        expected = analytic_1f1b_time([per_stage] * num_stages, m)
+        assert result.makespan == pytest.approx(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(num_stages=st.integers(min_value=1, max_value=6),
+           m=st.integers(min_value=1, max_value=20))
+    def test_property_uniform_matches_formula(self, num_stages, m):
+        result = simulate_1f1b(uniform_work(num_stages), m)
+        expected = analytic_1f1b_time([3.0] * num_stages, m)
+        assert result.makespan == pytest.approx(expected)
+
+    def test_bubble_grows_with_pipeline_depth(self):
+        shallow = simulate_1f1b(uniform_work(2), 16)
+        deep = simulate_1f1b(uniform_work(8), 16)
+        assert deep.bubble_time > shallow.bubble_time
+
+
+class TestNonUniformPipeline:
+    def test_slow_stage_dominates(self):
+        work = uniform_work(4)
+        work[1] = StageWork(forward_time=3.0, backward_time=6.0)
+        result = simulate_1f1b(work, 16)
+        # The slow stage is 3x slower; with many micro-batches the makespan is
+        # close to m * t_slow.
+        assert result.makespan >= 16 * 9.0
+        assert result.makespan <= 16 * 9.0 + 4 * 9.0
+
+    def test_makespan_between_bottleneck_and_analytic_bounds(self):
+        work = [
+            StageWork(forward_time=1.0, backward_time=2.0),
+            StageWork(forward_time=2.0, backward_time=4.0),
+            StageWork(forward_time=0.5, backward_time=1.0),
+        ]
+        result = simulate_1f1b(work, 12)
+        stage_totals = [w.total_time for w in work]
+        # Lower bound: the bottleneck stage runs 12 fwd+bwd passes back to
+        # back; upper bound: the warm-up/cool-down expression plus slack.
+        assert result.makespan >= 12 * max(stage_totals) - 1e-9
+        assert result.makespan <= analytic_1f1b_time(stage_totals, 12) \
+            + len(work) * max(stage_totals)
+
+    def test_communication_delays_increase_makespan(self):
+        without = simulate_1f1b(uniform_work(4), 8)
+        with_comm = simulate_1f1b(
+            [StageWork(forward_time=1.0, backward_time=2.0,
+                       send_forward_time=0.5, send_backward_time=0.5)
+             for _ in range(4)],
+            8,
+        )
+        assert with_comm.makespan > without.makespan
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stage_times=st.lists(st.floats(min_value=0.1, max_value=5.0),
+                             min_size=1, max_size=5),
+        m=st.integers(min_value=1, max_value=12),
+    )
+    def test_property_bounded_by_analytic_formula(self, stage_times, m):
+        """Without comm delays, 1F1B finishes within the analytic window.
+
+        Lower bound: the busiest stage must run m fwd+bwd passes.  Upper
+        bound: (m - 1) * max_t + sum_t (the warm-up/cool-down expression) plus
+        a slack of one max_t per stage for scheduling effects.
+        """
+        work = [StageWork(forward_time=t / 3.0, backward_time=2.0 * t / 3.0)
+                for t in stage_times]
+        result = simulate_1f1b(work, m)
+        lower = m * max(stage_times)
+        upper = analytic_1f1b_time(stage_times, m) + len(stage_times) * max(stage_times)
+        assert result.makespan >= lower - 1e-6
+        assert result.makespan <= upper + 1e-6
+
+    def test_stage_finish_times_monotone_last_stage_not_first(self):
+        result = simulate_1f1b(uniform_work(4), 8)
+        # The first stage finishes last in 1F1B (it performs the last backward).
+        assert result.stage_finish_times[0] == pytest.approx(result.makespan)

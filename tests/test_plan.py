@@ -1,0 +1,191 @@
+"""Tests for parallelization-plan data structures and validation."""
+
+import pytest
+
+from repro.parallel.plan import (
+    ParallelizationPlan,
+    PipelinePlan,
+    PipelineStage,
+    TPGroup,
+    uniform_megatron_plan,
+)
+
+
+def simple_plan() -> ParallelizationPlan:
+    """Two pipelines of two TP-2 stages over 8 GPUs, 8 layers, B=8."""
+    pipelines = []
+    for i in range(2):
+        stages = [
+            PipelineStage(group=TPGroup(gpu_ids=(4 * i, 4 * i + 1)),
+                          num_layers=3, stage_index=1),
+            PipelineStage(group=TPGroup(gpu_ids=(4 * i + 2, 4 * i + 3)),
+                          num_layers=5, stage_index=2),
+        ]
+        pipelines.append(PipelinePlan(stages=stages, num_micro_batches=4,
+                                      pipeline_index=i))
+    return ParallelizationPlan(
+        pipelines=pipelines, micro_batch_size=1, num_layers=8,
+        global_batch_size=8,
+    )
+
+
+class TestTPGroup:
+    def test_size(self):
+        assert TPGroup(gpu_ids=(1, 2, 3)).size == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TPGroup(gpu_ids=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            TPGroup(gpu_ids=(1, 1))
+
+    def test_max_rate(self):
+        group = TPGroup(gpu_ids=(0, 1))
+        assert group.max_rate({0: 1.0, 1: 3.0}) == 3.0
+
+    def test_iterable(self):
+        assert list(TPGroup(gpu_ids=(5, 6))) == [5, 6]
+
+
+class TestPipelinePlan:
+    def test_layer_ranges(self):
+        plan = simple_plan()
+        assert plan.pipelines[0].layer_ranges() == [(0, 3), (3, 8)]
+
+    def test_stage_of_layer(self):
+        pipeline = simple_plan().pipelines[0]
+        assert pipeline.stage_of_layer(0).stage_index == 1
+        assert pipeline.stage_of_layer(3).stage_index == 2
+        assert pipeline.stage_of_layer(7).stage_index == 2
+
+    def test_stage_of_missing_layer(self):
+        pipeline = simple_plan().pipelines[0]
+        with pytest.raises(KeyError):
+            pipeline.stage_of_layer(8)
+
+    def test_tp_degree_of_layer(self):
+        pipeline = simple_plan().pipelines[0]
+        assert pipeline.tp_degree_of_layer(5) == 2
+
+    def test_total_layers(self):
+        assert simple_plan().pipelines[0].total_layers == 8
+
+    def test_layer_assignment(self):
+        assert simple_plan().pipelines[1].layer_assignment() == [3, 5]
+
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            PipelinePlan(stages=[], num_micro_batches=1)
+
+    def test_negative_layers_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineStage(group=TPGroup(gpu_ids=(0,)), num_layers=-1,
+                          stage_index=1)
+
+    def test_stage_index_is_one_based(self):
+        with pytest.raises(ValueError):
+            PipelineStage(group=TPGroup(gpu_ids=(0,)), num_layers=1,
+                          stage_index=0)
+
+
+class TestParallelizationPlan:
+    def test_valid_plan_passes_validation(self):
+        simple_plan().validate()
+
+    def test_dp_degree(self):
+        assert simple_plan().dp_degree == 2
+
+    def test_active_gpus(self):
+        assert simple_plan().active_gpus == list(range(8))
+
+    def test_micro_batches(self):
+        assert simple_plan().micro_batches() == [4, 4]
+
+    def test_max_tp_degree_of_layer(self):
+        assert simple_plan().max_tp_degree_of_layer(0) == 2
+
+    def test_describe_contains_shape(self):
+        text = simple_plan().describe()
+        assert "dp=2" in text
+        assert "tp2xl3" in text
+
+    def test_layer_mismatch_detected(self):
+        plan = simple_plan()
+        plan.pipelines[0].stages[0].num_layers = 2
+        with pytest.raises(ValueError):
+            plan.validate()
+        assert not plan.is_valid()
+
+    def test_duplicate_gpu_detected(self):
+        plan = simple_plan()
+        plan.pipelines[1].stages[0] = PipelineStage(
+            group=TPGroup(gpu_ids=(0, 1)), num_layers=3, stage_index=1
+        )
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_removed_gpu_cannot_be_active(self):
+        plan = simple_plan()
+        plan.removed_gpus = [0]
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_micro_batch_sum_checked(self):
+        plan = simple_plan()
+        plan.pipelines[0].num_micro_batches = 3
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_indivisible_micro_batch_size_rejected(self):
+        plan = simple_plan()
+        plan.micro_batch_size = 3
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_stage_shape(self):
+        assert simple_plan().stage_shape() == [
+            [(2, 3), (2, 5)], [(2, 3), (2, 5)]
+        ]
+
+
+class TestUniformMegatronPlan:
+    def test_paper_32b_configuration(self):
+        plan = uniform_megatron_plan(range(32), dp=2, tp=4, pp=4,
+                                     num_layers=60, global_batch_size=64)
+        plan.validate()
+        assert plan.dp_degree == 2
+        assert all(p.pp_degree == 4 for p in plan.pipelines)
+        assert all(s.tp_degree == 4 for p in plan.pipelines for s in p.stages)
+        assert all(s.num_layers == 15 for p in plan.pipelines for s in p.stages)
+        assert plan.micro_batches() == [32, 32]
+
+    def test_gpu_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_megatron_plan(range(30), dp=2, tp=4, pp=4,
+                                  num_layers=60, global_batch_size=64)
+
+    def test_uneven_layers_need_first_stage_override(self):
+        with pytest.raises(ValueError):
+            uniform_megatron_plan(range(16), dp=1, tp=2, pp=8,
+                                  num_layers=60, global_batch_size=64)
+
+    def test_first_stage_override(self):
+        # 80 layers over 7 stages: 2 on the first stage, 13 on the rest,
+        # mirroring the paper's manual adjustment for the 70B model (A.3).
+        plan = uniform_megatron_plan(range(56), dp=1, tp=8, pp=7,
+                                     num_layers=80, global_batch_size=64,
+                                     first_stage_layers=2)
+        assert plan.pipelines[0].layer_assignment() == [2] + [13] * 6
+
+    def test_batch_divisibility_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_megatron_plan(range(32), dp=2, tp=4, pp=4,
+                                  num_layers=60, global_batch_size=63)
+
+    def test_metadata_records_style(self):
+        plan = uniform_megatron_plan(range(16), dp=2, tp=2, pp=4,
+                                     num_layers=8, global_batch_size=16)
+        assert plan.metadata["style"] == "megatron"
+        assert plan.metadata["pp"] == 4

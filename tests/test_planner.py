@@ -1,0 +1,197 @@
+"""Tests for the bi-level Malleus planner."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.core.planner import MalleusPlanner, default_planner
+from repro.models.presets import paper_task
+
+
+@pytest.fixture(scope="module")
+def workload_32b():
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+    cost_model = MalleusCostModel(task.model, cluster)
+    return task, cluster, cost_model
+
+
+@pytest.fixture(scope="module")
+def planner_32b(workload_32b):
+    task, cluster, cost_model = workload_32b
+    return MalleusPlanner(task, cluster, cost_model)
+
+
+def healthy_rates(cluster):
+    return {g: 1.0 for g in cluster.gpu_ids()}
+
+
+class TestNormalPlanning:
+    def test_healthy_plan_is_feasible_and_valid(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        result = planner_32b.plan(healthy_rates(cluster), dp=2)
+        assert result.feasible
+        result.plan.validate()
+        assert result.plan.dp_degree == 2
+        assert result.plan.removed_gpus == []
+
+    def test_healthy_plan_uses_all_gpus(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        result = planner_32b.plan(healthy_rates(cluster), dp=2)
+        assert result.plan.active_gpus == cluster.gpu_ids()
+
+    def test_healthy_plan_matches_megatron_shape_with_dp2(self, planner_32b,
+                                                          workload_32b):
+        # With DP pinned to 2 (the paper's configuration), the planner should
+        # produce the Megatron-LM 32B configuration: TP4 x PP4 with 15 layers
+        # per stage and 32 micro-batches per pipeline.
+        _, cluster, _ = workload_32b
+        result = planner_32b.plan(healthy_rates(cluster), dp=2)
+        shape = result.plan.stage_shape()
+        assert all(len(pipeline) == 4 for pipeline in shape)
+        assert all(tp == 4 and layers == 15
+                   for pipeline in shape for tp, layers in pipeline)
+        assert result.plan.micro_batches() == [32, 32]
+
+    def test_free_dp_no_worse_than_pinned(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        pinned = planner_32b.plan(healthy_rates(cluster), dp=2)
+        free = planner_32b.plan(healthy_rates(cluster))
+        assert free.estimated_step_time <= pinned.estimated_step_time + 1e-9
+
+    def test_breakdown_accounts_all_phases(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        result = planner_32b.plan(healthy_rates(cluster), dp=2)
+        breakdown = result.breakdown.as_dict()
+        assert breakdown["total"] == pytest.approx(
+            breakdown["grouping"] + breakdown["division"]
+            + breakdown["ordering"] + breakdown["assignment"]
+        )
+        assert breakdown["total"] > 0
+
+    def test_candidates_cover_all_tp_limits(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        result = planner_32b.plan(healthy_rates(cluster), dp=2)
+        tp_limits = {c.tp_limit for c in result.candidates}
+        assert tp_limits == {1, 2, 4, 8}
+
+    def test_best_candidate_matches_plan(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        result = planner_32b.plan(healthy_rates(cluster), dp=2)
+        best = result.best_candidate()
+        assert best is not None
+        assert best.estimated_step_time == pytest.approx(
+            result.estimated_step_time
+        )
+
+
+class TestStragglerPlanning:
+    def test_straggler_increases_estimated_time(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        rates = healthy_rates(cluster)
+        base = planner_32b.plan(rates, dp=2)
+        rates[0] = 5.42
+        slow = planner_32b.plan(rates, dp=2)
+        assert slow.estimated_step_time > base.estimated_step_time
+
+    def test_straggler_plan_beats_uniform_plan_estimate(self, planner_32b,
+                                                        workload_32b):
+        # The adaptive plan must be much better than keeping the uniform plan
+        # (which would be ~5x slower with a level-3 straggler).
+        _, cluster, _ = workload_32b
+        rates = healthy_rates(cluster)
+        base = planner_32b.plan(rates, dp=2)
+        rates[0] = 5.42
+        adapted = planner_32b.plan(rates, dp=2)
+        assert adapted.estimated_step_time < 2.0 * base.estimated_step_time
+
+    def test_straggler_within_20pct_of_theoretic_optimum(self, planner_32b,
+                                                         workload_32b):
+        _, cluster, _ = workload_32b
+        rates = healthy_rates(cluster)
+        base = planner_32b.plan(rates, dp=2)
+        rates[0] = 2.6
+        adapted = planner_32b.plan(rates, dp=2)
+        optimum = base.estimated_step_time * 32 / (31 + 1 / 2.6)
+        assert adapted.estimated_step_time <= optimum * 1.20
+
+    def test_straggler_gets_reduced_workload(self, planner_32b, workload_32b):
+        _, cluster, cost_model = workload_32b
+        rates = healthy_rates(cluster)
+        rates[0] = 2.6
+        result = planner_32b.plan(rates, dp=2)
+        plan = result.plan
+        if 0 in plan.removed_gpus:
+            return  # removing the straggler entirely is also acceptable
+        for pipeline in plan.pipelines:
+            if 0 not in pipeline.gpu_ids:
+                continue
+            straggler_stage = next(
+                s for s in pipeline.stages if 0 in s.gpu_ids
+            )
+            healthy_layers = [
+                s.num_layers for s in pipeline.stages if 0 not in s.gpu_ids
+                and s.tp_degree == straggler_stage.tp_degree
+            ]
+            if healthy_layers:
+                assert straggler_stage.num_layers <= max(healthy_layers)
+
+    def test_failed_gpu_never_used(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        rates = healthy_rates(cluster)
+        rates[5] = math.inf
+        result = planner_32b.plan(rates, dp=2)
+        assert result.feasible
+        assert 5 not in result.plan.active_gpus
+
+    def test_whole_node_straggling(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        rates = healthy_rates(cluster)
+        for g in range(8):
+            rates[g] = 2.62
+        result = planner_32b.plan(rates, dp=2)
+        assert result.feasible
+        result.plan.validate()
+
+    def test_dp_pinning_respected(self, planner_32b, workload_32b):
+        _, cluster, _ = workload_32b
+        rates = healthy_rates(cluster)
+        rates[0] = 2.6
+        for dp in (1, 2, 4):
+            result = planner_32b.plan(rates, dp=dp)
+            if result.feasible:
+                assert result.plan.dp_degree <= dp
+
+
+class TestPlannerConstruction:
+    def test_default_planner_helper(self, workload_32b):
+        task, cluster, _ = workload_32b
+        planner = default_planner(task, cluster)
+        result = planner.plan({g: 1.0 for g in cluster.gpu_ids()}, dp=2)
+        assert result.feasible
+
+    def test_tp_candidates_capped_by_node_size(self, workload_32b):
+        task, cluster, cost_model = workload_32b
+        planner = MalleusPlanner(task, cluster, cost_model,
+                                 tp_candidates=(1, 2, 4, 8, 16))
+        assert max(planner.tp_candidates) <= cluster.gpus_per_node
+
+    def test_custom_dp_candidates(self, workload_32b):
+        task, cluster, cost_model = workload_32b
+        planner = MalleusPlanner(task, cluster, cost_model, dp_candidates=(2,))
+        result = planner.plan({g: 1.0 for g in cluster.gpu_ids()})
+        assert result.feasible
+        assert result.plan.dp_degree == 2
+
+    def test_splitting_can_be_disabled(self, workload_32b):
+        task, cluster, cost_model = workload_32b
+        planner = MalleusPlanner(task, cluster, cost_model,
+                                 enable_splitting=False)
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        rates[0] = 12.53
+        result = planner.plan(rates, dp=2)
+        assert result.feasible
+        for candidate in result.candidates:
+            assert candidate.isolated_gpus == []

@@ -1,0 +1,128 @@
+"""Tests for the profiler: shift detection, standby devices, failures."""
+
+import pytest
+
+from repro.cluster.profiler import Profiler, ProfilerConfig
+from repro.cluster.stragglers import ClusterState, state_from_rates
+from repro.cluster.topology import paper_cluster
+
+
+@pytest.fixture
+def cluster():
+    return paper_cluster(16)
+
+
+class TestShiftDetection:
+    def test_first_measure_of_healthy_cluster_is_quiet(self, cluster):
+        profiler = Profiler(cluster)
+        report = profiler.measure(ClusterState(cluster=cluster))
+        assert not report.changed
+        assert report.stragglers == {}
+
+    def test_new_straggler_triggers_notification(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.measure(ClusterState(cluster=cluster))
+        report = profiler.measure(state_from_rates(cluster, {0: 2.6}))
+        assert report.changed
+        assert report.stragglers == {0: pytest.approx(2.6)}
+
+    def test_small_shift_below_threshold_ignored(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.measure(state_from_rates(cluster, {0: 2.0}))
+        report = profiler.measure(state_from_rates(cluster, {0: 2.08}))
+        assert not report.changed
+
+    def test_shift_above_five_percent_detected(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.measure(state_from_rates(cluster, {0: 2.0}))
+        report = profiler.measure(state_from_rates(cluster, {0: 2.2}))
+        assert report.changed
+        assert report.max_relative_change == pytest.approx(0.1)
+
+    def test_straggler_disappearing_detected(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.measure(state_from_rates(cluster, {0: 3.0}))
+        report = profiler.measure(ClusterState(cluster=cluster))
+        assert report.changed
+
+    def test_listener_called_only_on_change(self, cluster):
+        events = []
+        profiler = Profiler(cluster)
+        profiler.add_listener(events.append)
+        profiler.measure(ClusterState(cluster=cluster))
+        assert events == []
+        profiler.measure(state_from_rates(cluster, {1: 2.6}))
+        assert len(events) == 1
+        profiler.measure(state_from_rates(cluster, {1: 2.6}))
+        assert len(events) == 1
+
+    def test_custom_threshold(self, cluster):
+        profiler = Profiler(cluster, ProfilerConfig(shift_threshold=0.5))
+        profiler.measure(ClusterState(cluster=cluster))
+        report = profiler.measure(state_from_rates(cluster, {0: 1.3}))
+        assert not report.changed
+
+
+class TestFailures:
+    def test_failed_gpu_reported(self, cluster):
+        profiler = Profiler(cluster)
+        state = ClusterState(cluster=cluster)
+        state.fail(4)
+        report = profiler.measure(state)
+        assert report.failed == [4]
+        assert report.changed
+
+    def test_failure_also_counts_as_straggler(self, cluster):
+        profiler = Profiler(cluster)
+        state = ClusterState(cluster=cluster)
+        state.fail(4)
+        report = profiler.measure(state)
+        assert 4 in report.stragglers
+
+
+class TestStandby:
+    def test_standby_devices_listed(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.mark_standby([3, 5])
+        assert profiler.standby_gpus == [3, 5]
+        profiler.unmark_standby([3])
+        assert profiler.standby_gpus == [5]
+
+    def test_standby_refresh_interval(self, cluster):
+        config = ProfilerConfig(standby_benchmark_interval=3)
+        profiler = Profiler(cluster, config)
+        profiler.measure(state_from_rates(cluster, {0: 5.0}))
+        profiler.mark_standby([0])
+        # The GPU recovers, but the standby micro-benchmark only runs every
+        # 3rd iteration: the next measurement still sees the stale rate, and
+        # within the following two measurements the refresh must land.
+        healthy = ClusterState(cluster=cluster)
+        first = profiler.measure(healthy)
+        assert first.rates[0] == pytest.approx(5.0)
+        later = [profiler.measure(healthy).rates[0] for _ in range(2)]
+        assert later[-1] == pytest.approx(1.0)
+
+    def test_default_interval_refreshes_every_measure(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.measure(state_from_rates(cluster, {0: 5.0}))
+        profiler.mark_standby([0])
+        report = profiler.measure(ClusterState(cluster=cluster))
+        assert report.rates[0] == pytest.approx(1.0)
+
+
+class TestNoise:
+    def test_noise_keeps_rates_at_least_one(self, cluster):
+        profiler = Profiler(cluster, ProfilerConfig(measurement_noise=0.5, seed=1))
+        report = profiler.measure(ClusterState(cluster=cluster))
+        assert all(rate >= 1.0 for rate in report.rates.values())
+
+    def test_noise_is_deterministic_per_seed(self, cluster):
+        state = state_from_rates(cluster, {0: 3.0})
+        a = Profiler(cluster, ProfilerConfig(measurement_noise=0.1, seed=7))
+        b = Profiler(cluster, ProfilerConfig(measurement_noise=0.1, seed=7))
+        assert a.measure(state).rates == b.measure(state).rates
+
+    def test_last_rates_property(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.measure(state_from_rates(cluster, {2: 2.5}))
+        assert profiler.last_rates[2] == pytest.approx(2.5)

@@ -1,0 +1,140 @@
+"""Tests for the Malleus runtime (re-planning, migration, failure handling)."""
+
+import pytest
+
+from repro.cluster.stragglers import ClusterState, state_from_rates
+from repro.cluster.topology import paper_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.models.presets import paper_task
+from repro.runtime.malleus import MalleusSystem
+
+
+@pytest.fixture(scope="module")
+def workload():
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+    return task, cluster, MalleusCostModel(task.model, cluster)
+
+
+def fresh_system(workload, **kwargs):
+    task, cluster, cm = workload
+    system = MalleusSystem(task, cluster, cm, **kwargs)
+    system.setup(ClusterState(cluster=cluster))
+    return system
+
+
+class TestSetup:
+    def test_setup_produces_valid_plan(self, workload):
+        system = fresh_system(workload)
+        assert system.current_plan is not None
+        system.current_plan.validate()
+
+    def test_normal_step_time_close_to_megatron(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        time = system.step_time(ClusterState(cluster=cluster))
+        assert 8.0 < time < 16.0
+
+
+class TestReplanning:
+    def test_small_shift_does_not_replan(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        adjustment = system.on_situation_change(
+            state_from_rates(cluster, {0: 1.03})
+        )
+        assert adjustment.kind == "none"
+
+    def test_straggler_triggers_migration(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        adjustment = system.on_situation_change(
+            state_from_rates(cluster, {0: 5.42})
+        )
+        assert adjustment.kind in ("migrate", "replan")
+        if adjustment.kind == "migrate":
+            assert 0.0 < adjustment.downtime < 30.0
+
+    def test_adapted_plan_outperforms_riding_out_the_straggler(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        normal = ClusterState(cluster=cluster)
+        base_time = system.step_time(normal)
+        original_plan = system.current_plan
+        state = state_from_rates(cluster, {0: 5.42})
+        # Step time if Malleus kept the original plan:
+        unadapted = system.simulator.simulate_step(
+            original_plan, state.rate_map(), check_memory=False
+        ).step_time
+        system.on_situation_change(state)
+        adapted = system.step_time(state)
+        assert adapted < unadapted
+        assert adapted < 1.6 * base_time
+
+    def test_straggler_disappearing_restores_performance(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        normal = ClusterState(cluster=cluster)
+        base_time = system.step_time(normal)
+        system.on_situation_change(state_from_rates(cluster, {0: 5.42}))
+        system.on_situation_change(normal)
+        assert system.step_time(normal) == pytest.approx(base_time, rel=0.05)
+
+    def test_async_replanning_hides_planning_time(self, workload):
+        async_system = fresh_system(workload, async_replanning=True)
+        sync_system = fresh_system(workload, async_replanning=False)
+        _, cluster, _ = workload
+        state = state_from_rates(cluster, {0: 5.42})
+        async_adj = async_system.on_situation_change(state)
+        sync_adj = sync_system.on_situation_change(state)
+        assert async_adj.planning_time > 0
+        assert sync_adj.downtime >= async_adj.downtime + sync_adj.planning_time * 0.5
+
+    def test_replan_events_recorded(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        system.on_situation_change(state_from_rates(cluster, {0: 2.6}))
+        assert len(system.replan_events) >= 1
+        event = system.replan_events[-1]
+        assert event.planning_time > 0
+        assert event.overlapped
+
+    def test_keep_dp_degree_option(self, workload):
+        system = fresh_system(workload, keep_dp_degree=True)
+        _, cluster, _ = workload
+        initial_dp = system.current_plan.dp_degree
+        system.on_situation_change(state_from_rates(cluster, {0: 2.6}))
+        # With the DP-preserving policy the degree only changes when strictly
+        # necessary (infeasibility fallback).
+        assert system.current_plan.dp_degree <= max(initial_dp, 8)
+
+
+class TestFailureHandling:
+    def test_failure_reloads_checkpoint_and_excludes_gpu(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        state = ClusterState(cluster=cluster)
+        state.fail(0)
+        adjustment = system.on_situation_change(state)
+        assert adjustment.kind == "restart"
+        assert adjustment.downtime > 30.0
+        assert 0 not in system.current_plan.active_gpus
+
+    def test_training_continues_after_failure(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        state = ClusterState(cluster=cluster)
+        state.fail(0)
+        system.on_situation_change(state)
+        assert system.step_time(state) < float("inf")
+
+
+class TestEstimates:
+    def test_estimated_step_time_close_to_simulated(self, workload):
+        system = fresh_system(workload)
+        _, cluster, _ = workload
+        normal = ClusterState(cluster=cluster)
+        estimate = system.estimated_step_time(normal.rate_map())
+        simulated = system.step_time(normal)
+        assert estimate <= simulated
+        assert estimate > 0.6 * simulated

@@ -1,0 +1,111 @@
+"""Tests for trace-driven session simulation and the theoretic optimum."""
+
+import pytest
+
+from repro.cluster.stragglers import ClusterState, state_from_rates
+from repro.cluster.topology import paper_cluster
+from repro.cluster.trace import StragglerSituation, StragglerTrace, paper_trace
+from repro.simulator.session import (
+    Adjustment,
+    run_trace,
+    theoretic_optimal_step_time,
+)
+
+
+class RecordingFramework:
+    """A stub framework that records the calls it receives."""
+
+    name = "stub"
+
+    def __init__(self, step_times):
+        self.step_times_by_situation = step_times
+        self.setup_calls = 0
+        self.change_calls = []
+        self._current = None
+
+    def setup(self, state):
+        self.setup_calls += 1
+        self._current = state
+
+    def on_situation_change(self, state):
+        self.change_calls.append(state)
+        self._current = state
+        return Adjustment(kind="migrate", downtime=2.0)
+
+    def step_time(self, state):
+        num_stragglers = len(state.stragglers())
+        return self.step_times_by_situation.get(num_stragglers, 1.0)
+
+
+class TestRunTrace:
+    def test_setup_called_once_then_changes(self):
+        cluster = paper_cluster(32)
+        trace = paper_trace(cluster, include_trailing_normal=False)
+        framework = RecordingFramework({0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0})
+        result = run_trace(framework, trace)
+        assert framework.setup_calls == 1
+        assert len(framework.change_calls) == len(trace) - 1
+        assert result.framework == "stub"
+
+    def test_results_follow_trace_order(self):
+        cluster = paper_cluster(32)
+        trace = paper_trace(cluster, include_trailing_normal=False)
+        framework = RecordingFramework({0: 1.0})
+        result = run_trace(framework, trace)
+        assert [r.situation for r in result.situations] == trace.names()
+
+    def test_total_time_includes_downtime(self):
+        cluster = paper_cluster(16)
+        situations = [
+            StragglerSituation(name="Normal", stragglers=[], duration_steps=10),
+            StragglerSituation(name="Normal2", stragglers=[], duration_steps=10),
+        ]
+        trace = StragglerTrace(cluster=cluster, situations=situations)
+        framework = RecordingFramework({0: 1.0})
+        result = run_trace(framework, trace)
+        # 10 steps x 1 s per situation, plus the 2 s migration on the second.
+        assert result.total_time == pytest.approx(22.0)
+
+    def test_steps_per_situation_override(self):
+        cluster = paper_cluster(32)
+        trace = paper_trace(cluster, include_trailing_normal=False)
+        framework = RecordingFramework({0: 1.0})
+        result = run_trace(framework, trace, steps_per_situation=5)
+        assert all(r.num_steps == 5 for r in result.situations)
+
+    def test_step_time_lookup(self):
+        cluster = paper_cluster(32)
+        trace = paper_trace(cluster, include_trailing_normal=False)
+        framework = RecordingFramework({0: 1.0, 1: 7.0})
+        result = run_trace(framework, trace)
+        assert result.step_time("S1") == pytest.approx(7.0)
+        with pytest.raises(KeyError):
+            result.step_time("missing")
+
+
+class TestTheoreticOptimum:
+    def test_no_stragglers_equals_normal(self):
+        cluster = paper_cluster(16)
+        state = ClusterState(cluster=cluster)
+        assert theoretic_optimal_step_time(10.0, state) == pytest.approx(10.0)
+
+    def test_paper_formula_single_straggler(self):
+        # T_normal * N / ((N - n) + sum 1/x): 64 GPUs, one rate-5.42 straggler.
+        cluster = paper_cluster(64)
+        state = state_from_rates(cluster, {0: 5.42})
+        expected = 10.0 * 64 / (63 + 1 / 5.42)
+        assert theoretic_optimal_step_time(10.0, state) == pytest.approx(expected)
+
+    def test_failed_gpu_contributes_nothing(self):
+        cluster = paper_cluster(8)
+        state = ClusterState(cluster=cluster)
+        state.fail(0)
+        expected = 10.0 * 8 / 7
+        assert theoretic_optimal_step_time(10.0, state) == pytest.approx(expected)
+
+    def test_more_stragglers_higher_optimum(self):
+        cluster = paper_cluster(16)
+        one = state_from_rates(cluster, {0: 2.6})
+        two = state_from_rates(cluster, {0: 2.6, 8: 2.6})
+        assert theoretic_optimal_step_time(10.0, two) > \
+            theoretic_optimal_step_time(10.0, one)

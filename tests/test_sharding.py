@@ -1,0 +1,124 @@
+"""Tests for non-uniform ZeRO-1 sharding (§5.1)."""
+
+import pytest
+
+from repro.parallel.plan import (
+    ParallelizationPlan,
+    PipelinePlan,
+    PipelineStage,
+    TPGroup,
+    uniform_megatron_plan,
+)
+from repro.parallel.sharding import (
+    communication_call_order,
+    gpu_slice_counts,
+    gradient_sync_groups,
+    optimizer_ownership,
+    parameter_ownership,
+    validate_sharding,
+)
+
+
+def nonuniform_plan() -> ParallelizationPlan:
+    """Two pipelines with different TP degrees for the same layers.
+
+    Pipeline 0 uses a TP-4 stage, pipeline 1 uses two TP-2 stages — the
+    situation Figure 6(b) of the paper illustrates.
+    """
+    p0 = PipelinePlan(
+        stages=[PipelineStage(group=TPGroup(gpu_ids=(0, 1, 2, 3)),
+                              num_layers=4, stage_index=1)],
+        num_micro_batches=8, pipeline_index=0,
+    )
+    p1 = PipelinePlan(
+        stages=[
+            PipelineStage(group=TPGroup(gpu_ids=(4, 5)), num_layers=2,
+                          stage_index=1),
+            PipelineStage(group=TPGroup(gpu_ids=(6, 7)), num_layers=2,
+                          stage_index=2),
+        ],
+        num_micro_batches=8, pipeline_index=1,
+    )
+    return ParallelizationPlan(pipelines=[p0, p1], micro_batch_size=1,
+                               num_layers=4, global_batch_size=16)
+
+
+class TestParameterOwnership:
+    def test_each_pipeline_holds_a_full_replica(self):
+        plan = nonuniform_plan()
+        ownership = parameter_ownership(plan, 0)
+        for pipeline in plan.pipelines:
+            group = pipeline.stage_of_layer(0).group
+            covered = sorted(
+                interval for gpu in group.gpu_ids
+                for interval in ownership[gpu]
+            )
+            cursor = 0.0
+            for start, end in covered:
+                assert start == pytest.approx(cursor)
+                cursor = end
+            assert cursor == pytest.approx(1.0)
+
+    def test_shard_sizes_follow_tp_degree(self):
+        plan = nonuniform_plan()
+        ownership = parameter_ownership(plan, 0)
+        tp4_share = ownership[0][0]
+        tp2_share = ownership[4][0]
+        assert tp4_share[1] - tp4_share[0] == pytest.approx(0.25)
+        assert tp2_share[1] - tp2_share[0] == pytest.approx(0.5)
+
+
+class TestOptimizerOwnership:
+    def test_slices_cover_layer_exactly_once(self):
+        plan = nonuniform_plan()
+        for layer in range(plan.num_layers):
+            validate_sharding(plan, layer)
+
+    def test_slice_count_is_dp_times_tp_max(self):
+        plan = nonuniform_plan()
+        slices = optimizer_ownership(plan, 0)
+        assert len(slices) == plan.dp_degree * 4
+
+    def test_low_tp_pipeline_gpus_own_more_slices(self):
+        plan = nonuniform_plan()
+        counts = gpu_slice_counts(plan, 0)
+        assert counts[0] == 1   # TP-4 pipeline: one slice per GPU
+        assert counts[4] == 2   # TP-2 pipeline: two slices per GPU (Fig. 6b)
+
+    def test_uniform_plan_has_one_slice_per_gpu(self):
+        plan = uniform_megatron_plan(range(16), dp=2, tp=4, pp=2,
+                                     num_layers=8, global_batch_size=16)
+        counts = gpu_slice_counts(plan, 0)
+        assert all(count == 1 for count in counts.values())
+
+
+class TestGradientSyncGroups:
+    def test_one_group_per_column(self):
+        plan = nonuniform_plan()
+        groups = gradient_sync_groups(plan, 0)
+        assert len(groups) == 4  # TP_max columns
+
+    def test_each_group_has_one_gpu_per_pipeline(self):
+        plan = nonuniform_plan()
+        for group in gradient_sync_groups(plan, 0):
+            assert len(group) == plan.dp_degree
+
+    def test_tp2_gpu_appears_in_two_groups(self):
+        plan = nonuniform_plan()
+        groups = gradient_sync_groups(plan, 0)
+        appearances = sum(4 in group for group in groups)
+        assert appearances == 2
+
+    def test_call_order_is_deterministic_and_complete(self):
+        plan = nonuniform_plan()
+        order = communication_call_order(plan, range(plan.num_layers))
+        assert order == sorted(order)
+        assert len(order) == plan.num_layers * 4
+
+    def test_layers_in_different_stages_use_their_own_groups(self):
+        plan = nonuniform_plan()
+        # Layer 3 lives in stage 2 of pipeline 1 (GPUs 6,7) but stage 1 of
+        # pipeline 0 (GPUs 0-3).
+        groups = gradient_sync_groups(plan, 3)
+        flattened = {g for group in groups for g in group}
+        assert flattened == {0, 1, 2, 3, 6, 7}

@@ -1,0 +1,177 @@
+"""Tests for communication models, memory accounting, step execution and
+restart costs."""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.models.presets import llama2_32b, llama2_110b
+from repro.parallel.plan import uniform_megatron_plan
+from repro.simulator.comm import (
+    ActivationMessage,
+    allgather_time,
+    allreduce_time,
+    p2p_time,
+    reduce_scatter_time,
+)
+from repro.simulator.executor import ExecutionSimulator
+from repro.simulator.memory import plan_memory_report
+from repro.simulator.restart import (
+    RestartCostConfig,
+    checkpoint_bytes,
+    restart_time,
+)
+
+
+@pytest.fixture
+def cost_model_32b():
+    return MalleusCostModel(llama2_32b(), paper_cluster(32))
+
+
+@pytest.fixture
+def simulator_32b(cost_model_32b):
+    return ExecutionSimulator(cost_model_32b)
+
+
+@pytest.fixture
+def megatron_plan_32b():
+    return uniform_megatron_plan(range(32), dp=2, tp=4, pp=4, num_layers=60,
+                                 global_batch_size=64)
+
+
+class TestCommModels:
+    def test_allreduce_is_twice_reduce_scatter(self):
+        volume, n, bw = 1.0e9, 8, 100.0e9
+        ar = allreduce_time(volume, n, bw)
+        rs = reduce_scatter_time(volume, n, bw)
+        # Up to the fixed latency terms, all-reduce costs two reduce-scatters.
+        assert ar == pytest.approx(2 * rs, rel=0.05)
+
+    def test_single_device_collectives_are_free(self):
+        assert allreduce_time(1e9, 1, 1e9) == 0.0
+        assert allgather_time(1e9, 1, 1e9) == 0.0
+
+    def test_p2p_scales_with_volume(self):
+        assert p2p_time(2e9, 1e9) > p2p_time(1e9, 1e9)
+
+    def test_zero_volume_is_free(self):
+        assert p2p_time(0.0, 1e9) == 0.0
+        assert reduce_scatter_time(0.0, 4, 1e9) == 0.0
+
+    def test_activation_message_size(self):
+        message = ActivationMessage(micro_batch_size=2, seq_length=1024,
+                                    hidden_size=4096)
+        assert message.num_bytes == pytest.approx(2 * 1024 * 4096 * 2.0)
+
+
+class TestMemoryReport:
+    def test_paper_config_fits(self, cost_model_32b, megatron_plan_32b):
+        report = plan_memory_report(megatron_plan_32b, cost_model_32b)
+        assert report.fits
+        assert report.peak_bytes < 80 * 1024 ** 3
+
+    def test_every_active_gpu_accounted(self, cost_model_32b, megatron_plan_32b):
+        report = plan_memory_report(megatron_plan_32b, cost_model_32b)
+        assert set(report.per_gpu_bytes) == set(megatron_plan_32b.active_gpus)
+
+    def test_early_stages_use_more_memory(self, cost_model_32b, megatron_plan_32b):
+        report = plan_memory_report(megatron_plan_32b, cost_model_32b)
+        pipeline = megatron_plan_32b.pipelines[0]
+        first = report.per_gpu_bytes[pipeline.stages[0].gpu_ids[0]]
+        last = report.per_gpu_bytes[pipeline.stages[-1].gpu_ids[0]]
+        assert first > last
+
+    def test_oversized_plan_detected(self):
+        # The 110B model on a single node with TP8/PP1 cannot fit.
+        cost_model = MalleusCostModel(llama2_110b(), paper_cluster(8))
+        plan = uniform_megatron_plan(range(8), dp=1, tp=8, pp=1, num_layers=80,
+                                     global_batch_size=64)
+        report = plan_memory_report(plan, cost_model)
+        assert not report.fits
+        assert report.oom_gpus
+
+
+class TestExecutionSimulator:
+    def test_healthy_step_time_close_to_paper(self, simulator_32b,
+                                              megatron_plan_32b):
+        result = simulator_32b.simulate_step(megatron_plan_32b)
+        # Paper: 11.6 s for the 32B model on 32 GPUs with this configuration.
+        assert 8.0 < result.step_time < 16.0
+
+    def test_straggler_slows_the_step(self, simulator_32b, megatron_plan_32b):
+        healthy = simulator_32b.simulate_step(megatron_plan_32b).step_time
+        rates = {0: 2.6}
+        slow = simulator_32b.simulate_step(megatron_plan_32b, rates).step_time
+        assert slow > 1.5 * healthy
+
+    def test_straggler_effect_bounded_by_its_rate(self, simulator_32b,
+                                                  megatron_plan_32b):
+        healthy = simulator_32b.simulate_step(megatron_plan_32b).step_time
+        slow = simulator_32b.simulate_step(megatron_plan_32b, {0: 2.6}).step_time
+        assert slow <= 2.6 * healthy * 1.05
+
+    def test_failed_gpu_makes_step_infinite(self, simulator_32b,
+                                            megatron_plan_32b):
+        result = simulator_32b.simulate_step(megatron_plan_32b, {0: math.inf})
+        assert math.isinf(result.step_time)
+
+    def test_pipeline_times_and_slowest_pipeline(self, simulator_32b,
+                                                 megatron_plan_32b):
+        result = simulator_32b.simulate_step(megatron_plan_32b, {0: 2.6})
+        assert len(result.pipeline_times) == 2
+        assert result.slowest_pipeline == 0
+
+    def test_gradient_sync_positive_for_dp_plans(self, simulator_32b,
+                                                 megatron_plan_32b):
+        result = simulator_32b.simulate_step(megatron_plan_32b)
+        assert result.grad_sync_time > 0
+
+    def test_no_gradient_sync_for_single_pipeline(self, simulator_32b):
+        plan = uniform_megatron_plan(range(32), dp=1, tp=8, pp=4, num_layers=60,
+                                     global_batch_size=64)
+        result = simulator_32b.simulate_step(plan, check_memory=False)
+        assert result.grad_sync_time == 0.0
+
+    def test_estimate_below_exact_simulation(self, simulator_32b,
+                                             megatron_plan_32b):
+        estimate = simulator_32b.estimate_step_time(megatron_plan_32b)
+        exact = simulator_32b.simulate_step(megatron_plan_32b).step_time
+        assert estimate <= exact
+        assert estimate > 0.5 * exact
+
+    def test_memory_violation_makes_step_infinite(self):
+        cost_model = MalleusCostModel(llama2_110b(), paper_cluster(8))
+        simulator = ExecutionSimulator(cost_model)
+        plan = uniform_megatron_plan(range(8), dp=1, tp=8, pp=1, num_layers=80,
+                                     global_batch_size=64)
+        result = simulator.simulate_step(plan, check_memory=True)
+        assert math.isinf(result.step_time)
+
+
+class TestRestartCosts:
+    def test_checkpoint_size_includes_optimizer_states(self):
+        model = llama2_32b()
+        config = RestartCostConfig()
+        assert checkpoint_bytes(model, config) == pytest.approx(
+            model.total_params() * 14.0
+        )
+
+    def test_restart_time_in_paper_magnitude(self):
+        # The paper measures 199-442 s for Megatron-LM restarts.
+        model = llama2_32b()
+        cluster = paper_cluster(32)
+        time = restart_time(model, cluster)
+        assert 100.0 < time < 600.0
+
+    def test_larger_model_costs_more(self):
+        cluster = paper_cluster(64)
+        assert restart_time(llama2_110b(), cluster) > \
+            restart_time(llama2_32b(), cluster)
+
+    def test_skip_save_reduces_cost(self):
+        model = llama2_32b()
+        cluster = paper_cluster(32)
+        assert restart_time(model, cluster, save_checkpoint=False) < \
+            restart_time(model, cluster, save_checkpoint=True)

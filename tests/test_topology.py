@@ -1,0 +1,117 @@
+"""Tests for the cluster topology model."""
+
+import pytest
+
+from repro.cluster.topology import GB, GIB, Cluster, GPUDevice, Node, make_cluster, paper_cluster
+
+
+class TestMakeCluster:
+    def test_paper_cluster_shape(self):
+        cluster = paper_cluster(64)
+        assert cluster.num_nodes == 8
+        assert cluster.num_gpus == 64
+        assert cluster.gpus_per_node == 8
+
+    def test_paper_cluster_requires_full_nodes(self):
+        with pytest.raises(ValueError):
+            paper_cluster(60)
+
+    def test_gpu_ids_are_node_major(self):
+        cluster = make_cluster(num_nodes=2, gpus_per_node=4)
+        assert cluster.gpu(5).node_id == 1
+        assert cluster.gpu(5).local_rank == 1
+
+    def test_gpu_ids_sorted_and_unique(self):
+        cluster = make_cluster(num_nodes=3, gpus_per_node=4)
+        ids = cluster.gpu_ids()
+        assert ids == sorted(set(ids))
+        assert len(ids) == 12
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster(num_nodes=0, gpus_per_node=8)
+
+    def test_memory_capacity(self):
+        cluster = make_cluster(num_nodes=1, gpus_per_node=2, memory_gib=40.0)
+        assert cluster.memory_capacity(0) == pytest.approx(40.0 * GIB)
+
+    def test_peak_flops(self):
+        gpu = GPUDevice(gpu_id=0, node_id=0, local_rank=0, peak_tflops=312.0)
+        assert gpu.peak_flops == pytest.approx(312.0e12)
+
+
+class TestBandwidth:
+    def test_intra_node_faster_than_inter_node(self):
+        cluster = paper_cluster(16)
+        intra = cluster.bandwidth_between(0, 1)
+        inter = cluster.bandwidth_between(0, 8)
+        assert intra > inter
+
+    def test_same_node_detection(self):
+        cluster = paper_cluster(16)
+        assert cluster.same_node([0, 1, 7])
+        assert not cluster.same_node([0, 8])
+
+    def test_group_bandwidth_intra(self):
+        cluster = paper_cluster(16)
+        assert cluster.group_bandwidth([0, 1, 2]) == pytest.approx(400.0 * GB)
+
+    def test_group_bandwidth_cross_node_is_bottlenecked(self):
+        cluster = paper_cluster(16)
+        assert cluster.group_bandwidth([0, 8]) == pytest.approx(200.0 * GB)
+
+    def test_single_gpu_group_bandwidth(self):
+        cluster = paper_cluster(16)
+        assert cluster.group_bandwidth([3]) == pytest.approx(400.0 * GB)
+
+
+class TestSubset:
+    def test_subset_removes_nodes(self):
+        cluster = paper_cluster(32)
+        keep = [g for g in cluster.gpu_ids() if cluster.gpu(g).node_id != 0]
+        sub = cluster.subset(keep)
+        assert sub.num_gpus == 24
+        assert sub.num_nodes == 3
+
+    def test_subset_preserves_bandwidths(self):
+        cluster = paper_cluster(16)
+        sub = cluster.subset([8, 9, 10, 11, 12, 13, 14, 15])
+        assert sub.inter_node_bandwidth == cluster.inter_node_bandwidth
+
+    def test_empty_subset_rejected(self):
+        cluster = paper_cluster(16)
+        with pytest.raises(ValueError):
+            cluster.subset([])
+
+    def test_subset_gpu_lookup_still_works(self):
+        cluster = paper_cluster(16)
+        sub = cluster.subset([8, 9])
+        assert sub.gpu(9).local_rank == 1
+        with pytest.raises(KeyError):
+            sub.gpu(0)
+
+
+class TestClusterValidation:
+    def test_duplicate_gpu_ids_rejected(self):
+        gpu = GPUDevice(gpu_id=0, node_id=0, local_rank=0)
+        node = Node(node_id=0, gpus=(gpu, gpu))
+        with pytest.raises(ValueError):
+            Cluster(nodes=[node])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(nodes=[])
+
+    def test_unknown_gpu_lookup(self):
+        cluster = paper_cluster(8)
+        with pytest.raises(KeyError):
+            cluster.gpu(999)
+
+    def test_node_of(self):
+        cluster = paper_cluster(16)
+        assert cluster.node_of(9).node_id == 1
+
+    def test_iter_gpus_order(self):
+        cluster = paper_cluster(16)
+        ids = [gpu.gpu_id for gpu in cluster.iter_gpus()]
+        assert ids == cluster.gpu_ids()
