@@ -5,11 +5,27 @@ and prints the formatted rows/series so that ``pytest benchmarks/
 --benchmark-only -s`` doubles as the reproduction report.  Each experiment
 runs exactly once per benchmark (``rounds=1``): the measured quantity is the
 wall-clock cost of regenerating the artefact, not a micro-benchmark.
+
+All tests in this directory carry the ``bench`` marker (added below), so
+``pytest -m bench`` runs only the reproduction benchmarks and
+``pytest -m "not bench"`` gives a fast tier-1 run; the default invocation
+still collects everything.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__)) + os.sep
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test collected from this directory as a benchmark."""
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Planning-time regression gate.
+
+Compares a fresh ``BENCH_planner_hotpath.json`` (written by
+``pytest benchmarks/test_bench_planner_hotpath.py``) against the committed
+baseline under ``benchmarks/baselines/`` and fails when the overhauled
+planner's time regresses by more than ``--tolerance`` (default 20%) on any
+scenario, or when a run reports non-identical plans.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_planner_hotpath.py
+    PYTHONPATH=src python benchmarks/regression_gate.py
+
+Exit code 0 means within tolerance; 1 means regression (or missing files).
+Absolute timings are machine-dependent, so the gate is a tool for comparing
+runs on the *same* machine (e.g. before/after a planner change in CI), not
+across hardware; refresh the baseline with ``--update`` after an accepted
+change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+
+from repro.experiments.planner_hotpath import read_hotpath_json  # noqa: E402
+
+DEFAULT_FRESH = os.path.join(HERE, "BENCH_planner_hotpath.json")
+DEFAULT_BASELINE = os.path.join(HERE, "baselines",
+                                "BENCH_planner_hotpath.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", default=DEFAULT_FRESH,
+                        help="fresh benchmark JSON (default: %(default)s)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed baseline JSON (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative planning-time regression "
+                             "(default: 20%%)")
+    parser.add_argument("--min-delta", type=float, default=0.010,
+                        help="absolute slack in seconds added to the limit "
+                             "so timer jitter on millisecond-scale rows "
+                             "does not trip the relative gate "
+                             "(default: %(default)ss)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy the fresh run over the baseline and exit")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.fresh):
+        print(f"regression_gate: fresh run not found at {args.fresh}; "
+              "run the hot-path benchmark first")
+        return 1
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"regression_gate: baseline updated from {args.fresh}")
+        return 0
+    if not os.path.exists(args.baseline):
+        print(f"regression_gate: no baseline at {args.baseline}; "
+              "seed it with --update")
+        return 1
+
+    fresh = read_hotpath_json(args.fresh)
+    baseline = read_hotpath_json(args.baseline)
+
+    failures = []
+    for base_row in baseline.rows:
+        try:
+            fresh_row = fresh.row(base_row.scenario)
+        except KeyError:
+            failures.append(f"{base_row.scenario}: missing from fresh run")
+            continue
+        if not fresh_row.plans_identical:
+            failures.append(f"{base_row.scenario}: before/after plans differ")
+        limit = max(base_row.after_seconds * (1.0 + args.tolerance),
+                    base_row.after_seconds + args.min_delta)
+        status = "ok" if fresh_row.after_seconds <= limit else "REGRESSED"
+        print(f"{base_row.scenario:>16}: baseline "
+              f"{base_row.after_seconds:.3f}s, fresh "
+              f"{fresh_row.after_seconds:.3f}s (limit {limit:.3f}s) "
+              f"[{status}]")
+        if fresh_row.after_seconds > limit:
+            failures.append(
+                f"{base_row.scenario}: planning time "
+                f"{fresh_row.after_seconds:.3f}s exceeds "
+                f"{limit:.3f}s (baseline {base_row.after_seconds:.3f}s "
+                f"+ {args.tolerance:.0%})"
+            )
+
+    if failures:
+        print("regression_gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("regression_gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

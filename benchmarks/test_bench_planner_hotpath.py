@@ -1,0 +1,45 @@
+"""Benchmark for the planner hot-path overhaul.
+
+Runs the Table-5-scale scenarios with the pre-overhaul reference planner
+(no cost-model caches, no pruning, legacy division kernels, eager plan
+materialization) and with the overhauled defaults, asserting a >=5x
+planning-time speedup on the largest configuration *and* bit-identical plan
+quality.  The fresh timings are written to ``BENCH_planner_hotpath.json``
+next to this file; compare against the committed baseline with::
+
+    python benchmarks/regression_gate.py
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.planner_hotpath import (
+    format_planner_hotpath,
+    run_planner_hotpath,
+    write_hotpath_json,
+)
+
+FRESH_JSON = os.path.join(os.path.dirname(__file__),
+                          "BENCH_planner_hotpath.json")
+
+
+@pytest.mark.benchmark(group="planner-hotpath")
+def test_planner_hotpath_speedup(benchmark, once):
+    result = once(benchmark, run_planner_hotpath)
+    print("\n" + format_planner_hotpath(result))
+    write_hotpath_json(result, FRESH_JSON)
+
+    # Plan quality must be untouched on every scenario: same estimated step
+    # time, same layer/micro-batch splits, same GPUs removed.
+    for row in result.rows:
+        assert row.plans_identical, row.scenario
+
+    # The headline target: >=5x on the largest Table-5 configuration.
+    large = result.row("1024 GPUs")
+    assert large.speedup >= 5.0, format_planner_hotpath(result)
+
+    # The small scenario must not regress either (generous floor: the 64-GPU
+    # sweep is dominated by the ordering enumeration, which benefits less).
+    small = result.row("64 GPUs (S3)")
+    assert small.speedup >= 1.2, format_planner_hotpath(result)

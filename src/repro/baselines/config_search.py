@@ -161,13 +161,17 @@ def _megatron_step_time(plan: ParallelizationPlan,
     """Step time of a uniform plan, accounting for activation checkpointing."""
     report = plan_memory_report(plan, cost_model)
     if activation_checkpointing:
-        # Re-evaluate memory with shrunk activations.
+        # Re-evaluate memory with shrunk activations.  The coefficient
+        # caches are keyed on arguments only, so the in-place config edit
+        # must invalidate them on the way in and out.
         original = cost_model.config.activation_fudge
         cost_model.config.activation_fudge = original * ACTIVATION_CHECKPOINT_MEMORY
+        cost_model.invalidate_caches()
         try:
             report = plan_memory_report(plan, cost_model)
         finally:
             cost_model.config.activation_fudge = original
+            cost_model.invalidate_caches()
     if not report.fits:
         return math.inf
     step = simulator.simulate_step(plan, rates=None, check_memory=False)

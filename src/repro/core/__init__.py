@@ -3,10 +3,13 @@
 from .assignment import (
     LayerAssignmentResult,
     LowerLevelResult,
+    PlanCandidate,
     assign_data,
     assign_layers,
     build_plan,
+    candidate_step_time_bound,
     solve_lower_level,
+    sorted_divisors,
 )
 from .costmodel import DEFAULT_RESERVED_MEMORY, CostModelConfig, MalleusCostModel
 from .grouping import (
@@ -44,11 +47,13 @@ __all__ = [
     "MalleusCostModel",
     "MalleusPlanner",
     "OrchestrationResult",
+    "PlanCandidate",
     "PlanningResult",
     "PlanningTimeBreakdown",
     "assign_data",
     "assign_layers",
     "build_plan",
+    "candidate_step_time_bound",
     "classify_groups",
     "default_planner",
     "divide_pipelines",
@@ -61,5 +66,6 @@ __all__ = [
     "order_pipeline_groups",
     "power_of_two_decomposition",
     "solve_lower_level",
+    "sorted_divisors",
     "split_node_groups",
 ]

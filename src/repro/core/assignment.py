@@ -12,13 +12,32 @@ level, the lower-level problem (Eq. 1) decouples into:
 Stages that receive zero layers are dropped from their pipeline and their
 GPUs are removed from training (kept on standby); pipelines that receive
 zero micro-batches are removed entirely.
+
+Hot-path structure
+------------------
+``solve_lower_level`` is called once per upper-level candidate, so it is
+optimised three ways:
+
+* **sqrt-divisor enumeration** — the micro-batch-size candidates are the
+  divisors of the global batch size, enumerated in ``O(sqrt B)`` instead of
+  scanning every integer up to ``B``;
+* **bound-based pruning** — every candidate ``b`` gets a cheap, provably
+  sound lower bound (total layer-work divided by the total harmonic speed
+  of the pipelines, see :func:`candidate_step_time_bound`); candidates are
+  solved in ascending-bound order and skipped outright once the bound
+  exceeds the incumbent (local or the planner-wide ``incumbent``);
+* **deferred materialization** — instead of building (and validating) a
+  :class:`ParallelizationPlan` for every improving candidate, the winning
+  ingredients are kept as a lightweight :class:`PlanCandidate`; the plan is
+  materialised once, for the final winner (``materialize="eager"`` restores
+  the legacy build-per-improvement behaviour for benchmarking).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..parallel.plan import (
     ParallelizationPlan,
@@ -42,8 +61,44 @@ class LayerAssignmentResult:
 
 
 @dataclass
+class PlanCandidate:
+    """Unmaterialized winning candidate of the lower-level problem.
+
+    Holds exactly the ILP outputs :func:`build_plan` needs, so the planner
+    can defer the (comparatively expensive) plan construction + validation
+    to the single overall winner instead of every improving candidate.
+    """
+
+    pipelines_groups: Sequence[Sequence[TPGroup]]
+    layer_results: List["LayerAssignmentResult"]
+    micro_batches: List[int]
+    micro_batch_size: int
+    num_layers: int
+    global_batch_size: int
+
+    def materialize(self, rates: Dict[int, float],
+                    cost_model: MalleusCostModel,
+                    all_gpu_ids: Optional[Sequence[int]] = None,
+                    ) -> ParallelizationPlan:
+        """Build (and validate) the full :class:`ParallelizationPlan`."""
+        return build_plan(
+            self.pipelines_groups, self.layer_results, self.micro_batches,
+            rates, cost_model, self.micro_batch_size, self.num_layers,
+            self.global_batch_size, all_gpu_ids,
+        )
+
+
+@dataclass
 class LowerLevelResult:
-    """Solution of the full lower-level problem for one orchestration."""
+    """Solution of the full lower-level problem for one orchestration.
+
+    ``plan`` is populated according to the ``materialize`` argument of
+    :func:`solve_lower_level`; ``candidate`` always carries the winning
+    ingredients so a deferred caller can materialise later.  ``pruned`` is
+    set when at least one micro-batch candidate was skipped against the
+    caller-supplied incumbent, i.e. an infeasible-looking result may simply
+    mean "provably cannot beat the incumbent".
+    """
 
     plan: Optional[ParallelizationPlan]
     micro_batch_size: int
@@ -51,6 +106,13 @@ class LowerLevelResult:
     feasible: bool
     per_pipeline_bottleneck: List[float] = field(default_factory=list)
     micro_batches: List[int] = field(default_factory=list)
+    candidate: Optional[PlanCandidate] = None
+    pruned: bool = False
+    #: At least one micro-batch size was memory-infeasible.  An infeasible
+    #: result with ``pruned and not memory_limited`` provably cannot beat
+    #: the incumbent under any retry; a memory-limited one might (e.g. with
+    #: more groups per pipeline).
+    memory_limited: bool = False
 
 
 def assign_layers(
@@ -75,7 +137,11 @@ def assign_layers(
         )
         for stage_index, group in enumerate(pipeline_groups, start=1)
     ]
-    solution = solve_minmax_assignment(weights, num_layers, caps=caps)
+    # The min-max memo is keyed on (weights, caps) values, so structurally
+    # identical pipelines (same rate multiset, different GPUs) share a solve.
+    use_cache = getattr(cost_model, "enable_caching", True)
+    solution = solve_minmax_assignment(weights, num_layers, caps=caps,
+                                       use_cache=use_cache)
     return LayerAssignmentResult(
         layers=list(solution.values),
         bottleneck=solution.objective,
@@ -87,17 +153,80 @@ def assign_layers(
 def assign_data(
     bottlenecks: Sequence[float],
     total_micro_batches: int,
+    use_cache: bool = False,
 ) -> Tuple[List[int], float]:
     """Solve Eq. 3: distribute micro-batches across pipelines.
 
     ``bottlenecks`` are the per-pipeline optimal values ``o_i`` of Eq. 2.
     Returns the per-pipeline micro-batch counts and ``max_i o_i * m_i``.
+
+    A zero bottleneck means a pipeline hosting no work; such pipelines get a
+    ``1e-12`` weight floor so they absorb micro-batches for free.  When
+    *every* bottleneck is zero no pipeline does any work at all, which is an
+    explicit infeasibility (not a spuriously tiny objective).
     """
+    if not bottlenecks or all(b <= 0 for b in bottlenecks):
+        return [0] * len(bottlenecks), math.inf
     weights = [b if b > 0 else 1e-12 for b in bottlenecks]
-    solution = solve_minmax_assignment(weights, total_micro_batches)
+    solution = solve_minmax_assignment(weights, total_micro_batches,
+                                       use_cache=use_cache)
     if not solution.feasible:
         return [0] * len(bottlenecks), math.inf
     return list(solution.values), solution.objective
+
+
+def sorted_divisors(n: int) -> List[int]:
+    """Ascending divisors of ``n`` via sqrt enumeration (``O(sqrt n)``)."""
+    if n <= 0:
+        return []
+    small: List[int] = []
+    large: List[int] = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    large.reverse()
+    return small + large
+
+
+def candidate_step_time_bound(
+    pipelines_groups: Sequence[Sequence[TPGroup]],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    num_layers: int,
+    global_batch_size: int,
+    micro_batch_size: int,
+) -> float:
+    """Cheap, provably-sound lower bound on a candidate's step time.
+
+    Writing ``S_i = sum_j 1/y_{i,j}`` for pipeline ``i``'s harmonic speed,
+    every layer assignment satisfies ``o_i >= L / S_i`` (``L = sum_j l_{i,j}
+    <= o_i * S_i``) and every data assignment satisfies ``max_i m_i * o_i >=
+    M / sum_i (1/o_i) >= M * L / sum_i S_i``; the exact 1F1B expression
+    ``(m_i - 1) * o_i + sum_j y_{i,j} l_{i,j}`` is itself at least
+    ``m_i * o_i``.  Hence
+
+        step_time >= tau(b) * M * L / (total harmonic speed),
+
+    i.e. total work over total harmonic speed.  Groups with infinite rates
+    contribute zero speed (they can only host zero layers).
+    """
+    total_micro_batches = global_batch_size // micro_batch_size
+    if total_micro_batches <= 0:
+        return math.inf
+    harmonic = 0.0
+    for groups in pipelines_groups:
+        for group in groups:
+            y = group_rate(group, rates, cost_model, micro_batch_size)
+            if y > 0 and not math.isinf(y):
+                harmonic += 1.0 / y
+    if harmonic <= 0:
+        return math.inf
+    return cost_model.tau(micro_batch_size) * total_micro_batches \
+        * num_layers / harmonic
 
 
 def solve_lower_level(
@@ -108,13 +237,34 @@ def solve_lower_level(
     global_batch_size: int,
     micro_batch_candidates: Optional[Sequence[int]] = None,
     all_gpu_ids: Optional[Sequence[int]] = None,
+    materialize: Union[bool, str] = True,
+    incumbent: float = math.inf,
+    enable_pruning: bool = True,
 ) -> LowerLevelResult:
     """Solve the lower-level problem, enumerating the micro-batch size.
 
     The micro-batch size ``b`` is enumerated over the divisors of the global
-    batch size (smallest first) until every candidate becomes memory
+    batch size (sqrt-enumerated) until every candidate becomes memory
     infeasible, exactly as §4.2 prescribes; the best feasible candidate is
-    returned.
+    returned.  Candidates are solved in ascending order of their
+    :func:`candidate_step_time_bound` (ties by ``b``) and skipped when the
+    bound strictly exceeds the best step time seen so far — the bound is a
+    true lower bound, so no optimal candidate is ever pruned and the winner
+    (including equal-time ties, which always resolve to the smallest ``b``)
+    is identical to the exhaustive scan.
+
+    Parameters beyond the seed API
+    ------------------------------
+    materialize:
+        ``True`` builds the plan for the final winner (default), ``False``
+        defers entirely (use ``result.candidate.materialize(...)``),
+        ``"eager"`` rebuilds on every improvement (legacy behaviour, kept
+        for the hot-path benchmark's before/after comparison).
+    incumbent:
+        Planner-wide best step time; candidates whose bound cannot beat it
+        are skipped and the result is flagged ``pruned``.
+    enable_pruning:
+        Disable to force the exhaustive scan (equivalence tests).
     """
     dp = len(pipelines_groups)
     if dp == 0:
@@ -123,26 +273,51 @@ def solve_lower_level(
             feasible=False,
         )
     if micro_batch_candidates is None:
-        micro_batch_candidates = [
-            b for b in range(1, global_batch_size + 1)
-            if global_batch_size % b == 0
-        ]
+        micro_batch_candidates = sorted_divisors(global_batch_size)
+    use_cache = getattr(cost_model, "enable_caching", True)
+
+    if enable_pruning:
+        bounds = {
+            b: candidate_step_time_bound(
+                pipelines_groups, rates, cost_model, num_layers,
+                global_batch_size, b,
+            )
+            for b in micro_batch_candidates
+        }
+        ordered = sorted(micro_batch_candidates, key=lambda b: (bounds[b], b))
+    else:
+        bounds = {}
+        ordered = list(micro_batch_candidates)
 
     best: Optional[LowerLevelResult] = None
-    for b in micro_batch_candidates:
+    best_candidate: Optional[PlanCandidate] = None
+    pruned_any = False
+    # Memory pressure grows with b, so the first memory-infeasible b caps
+    # every larger candidate (the seed relied on the same monotonicity for
+    # its early break in the ascending scan).
+    min_infeasible_b = math.inf
+    for b in ordered:
+        if b >= min_infeasible_b:
+            continue
+        if enable_pruning:
+            cutoff = incumbent
+            if best is not None and best.estimated_step_time < cutoff:
+                cutoff = best.estimated_step_time
+            if bounds[b] > cutoff + 1e-12:
+                pruned_any = True
+                continue
         layer_results = [
             assign_layers(groups, rates, cost_model, num_layers, b, dp)
             for groups in pipelines_groups
         ]
         if any(not result.feasible for result in layer_results):
-            # Larger micro-batches only increase memory pressure; stop once
-            # the smallest infeasible b is reached, matching the paper.
-            if best is not None:
-                break
+            min_infeasible_b = min(min_infeasible_b, b)
             continue
         bottlenecks = [result.bottleneck for result in layer_results]
         total_micro_batches = global_batch_size // b
-        micro_batches, data_objective = assign_data(bottlenecks, total_micro_batches)
+        micro_batches, data_objective = assign_data(
+            bottlenecks, total_micro_batches, use_cache=use_cache
+        )
         if math.isinf(data_objective):
             continue
         # The ILPs optimise the simplified objective max_i o_i * m_i (as in the
@@ -162,11 +337,26 @@ def solve_lower_level(
             pipeline_time = (m_i - 1) * result.bottleneck + warm_up
             step_time = max(step_time, pipeline_time)
         step_time *= cost_model.tau(b)
-        if best is None or step_time < best.estimated_step_time - 1e-12:
-            plan = build_plan(
-                pipelines_groups, layer_results, micro_batches, rates,
-                cost_model, b, num_layers, global_batch_size, all_gpu_ids,
+        # Strict improvement wins; equal step times (within tolerance) go to
+        # the smallest b, which reproduces the seed's ascending-scan winner
+        # independently of the bound-based evaluation order.
+        wins = best is None or step_time < best.estimated_step_time - 1e-12
+        if not wins and best is not None and \
+                abs(step_time - best.estimated_step_time) <= 1e-12:
+            wins = b < best.micro_batch_size
+        if wins:
+            best_candidate = PlanCandidate(
+                pipelines_groups=pipelines_groups,
+                layer_results=layer_results,
+                micro_batches=micro_batches,
+                micro_batch_size=b,
+                num_layers=num_layers,
+                global_batch_size=global_batch_size,
             )
+            plan = None
+            if materialize == "eager":
+                plan = best_candidate.materialize(rates, cost_model,
+                                                  all_gpu_ids)
             best = LowerLevelResult(
                 plan=plan,
                 micro_batch_size=b,
@@ -174,12 +364,18 @@ def solve_lower_level(
                 feasible=True,
                 per_pipeline_bottleneck=bottlenecks,
                 micro_batches=micro_batches,
+                candidate=best_candidate,
             )
+    memory_limited = not math.isinf(min_infeasible_b)
     if best is None:
         return LowerLevelResult(
             plan=None, micro_batch_size=0, estimated_step_time=math.inf,
-            feasible=False,
+            feasible=False, pruned=pruned_any, memory_limited=memory_limited,
         )
+    best.pruned = pruned_any
+    best.memory_limited = memory_limited
+    if materialize is True and best.plan is None:
+        best.plan = best.candidate.materialize(rates, cost_model, all_gpu_ids)
     return best
 
 

@@ -17,6 +17,28 @@ In the real system these coefficients are profiled on hardware; here they
 are derived analytically from the model architecture and the cluster
 description, with a single calibration knob (``compute_efficiency``) that
 plays the role of achieved-vs-peak FLOPs.
+
+Caching
+-------
+The planner evaluates the same coefficients for thousands of candidates per
+:meth:`repro.core.planner.MalleusPlanner.plan` call (every micro-batch size,
+DP degree and stage ordering re-derives ``mu``/``nu``/``max_layers_for_stage``
+for the same ``(pp, stage, b, dp)`` keys).  All coefficient kernels are
+therefore memoized:
+
+* ``zeta`` / ``tau`` — keyed on ``(tp_degree, micro_batch_size)``;
+* ``rho``'s reference maximum — keyed on ``(candidate_sizes, b)``;
+* ``mu`` / ``nu`` — keyed on ``(pp, stage, b, dp)``;
+* ``group_capacity`` — keyed on the frozen GPU-id tuple;
+* ``max_layers_for_stage`` — keyed on ``(gpu_ids, pp, stage, b, dp)``.
+
+The caches only depend on the model, the cluster and the calibration config
+— never on the straggling rates — so they stay valid across re-planning
+calls.  If the config, model or cluster is mutated in place, call
+:meth:`MalleusCostModel.invalidate_caches`.  ``cache_stats()`` reports
+per-cache sizes and hit/miss counters; constructing the model with
+``enable_caching=False`` disables every memo (used by the cache-equivalence
+tests and the hot-path benchmark's legacy mode).
 """
 
 from __future__ import annotations
@@ -72,11 +94,83 @@ class MalleusCostModel:
     """
 
     def __init__(self, model: TransformerModelSpec, cluster: Cluster,
-                 config: Optional[CostModelConfig] = None):
+                 config: Optional[CostModelConfig] = None,
+                 enable_caching: bool = True):
         self.model = model
         self.cluster = cluster
         self.config = config or CostModelConfig()
+        self.enable_caching = enable_caching
         self._zeta_cache: Dict[tuple, float] = {}
+        self._rho_cache: Dict[tuple, float] = {}
+        self._rho_ref_cache: Dict[tuple, float] = {}
+        self._mu_cache: Dict[tuple, float] = {}
+        self._nu_cache: Dict[tuple, float] = {}
+        self._capacity_cache: Dict[tuple, float] = {}
+        self._max_layers_cache: Dict[tuple, int] = {}
+        self._cache_counters: Dict[str, int] = {}
+        self._config_snapshot = self._snapshot_config()
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def _caches(self) -> Dict[str, Dict]:
+        return {
+            "zeta": self._zeta_cache,
+            "rho": self._rho_cache,
+            "rho_ref": self._rho_ref_cache,
+            "mu": self._mu_cache,
+            "nu": self._nu_cache,
+            "capacity": self._capacity_cache,
+            "max_layers": self._max_layers_cache,
+        }
+
+    def _snapshot_config(self) -> tuple:
+        """Fingerprint of the calibration config (all fields are scalars)."""
+        return tuple(sorted(vars(self.config).items()))
+
+    def invalidate_caches(self) -> None:
+        """Drop every memoized coefficient.
+
+        Must be called whenever ``config``, ``model`` or the cluster is
+        mutated in place (e.g. re-calibrating ``compute_efficiency`` between
+        planning rounds); the caches are keyed on arguments only and would
+        otherwise serve stale values.  As a safety net the planner calls
+        :meth:`refresh_if_config_changed` at the start of every ``plan``, so
+        a forgotten invalidation after a *config* edit self-heals at the
+        next planning round (model/cluster mutations still need the explicit
+        hook).
+        """
+        for cache in self._caches().values():
+            cache.clear()
+        self._cache_counters.clear()
+        self._config_snapshot = self._snapshot_config()
+
+    def refresh_if_config_changed(self) -> bool:
+        """Invalidate the caches when the config was mutated in place.
+
+        Cheap (one scalar-tuple comparison), so callers with a natural
+        entry point — e.g. the planner — run it once per invocation.
+        Returns whether an invalidation happened.
+        """
+        if self._snapshot_config() == self._config_snapshot:
+            return False
+        self.invalidate_caches()
+        return True
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-cache diagnostics: entry count plus hit/miss counters."""
+        counters = self._cache_counters
+        return {
+            name: {
+                "size": len(cache),
+                "hits": counters.get(name + "_hits", 0),
+                "misses": counters.get(name + "_misses", 0),
+            }
+            for name, cache in self._caches().items()
+        }
+
+    def _count(self, counter: str) -> None:
+        self._cache_counters[counter] = self._cache_counters.get(counter, 0) + 1
 
     # ------------------------------------------------------------------
     # Time model
@@ -112,22 +206,57 @@ class MalleusCostModel:
         if n <= 0:
             raise ValueError("TP degree must be positive")
         key = (n, micro_batch_size)
-        if key in self._zeta_cache:
-            return self._zeta_cache[key]
+        if self.enable_caching:
+            cached = self._zeta_cache.get(key)
+            if cached is not None:
+                self._count("zeta_hits")
+                return cached
+            self._count("zeta_misses")
         tokens = micro_batch_size * self.model.seq_length
         flops = self.model.training_flops_per_layer(tokens)
         compute = flops / (n * self._reference_gpu_flops())
         comm = self.tp_allreduce_time(n, micro_batch_size)
         value = compute + comm
-        self._zeta_cache[key] = value
+        if self.enable_caching:
+            self._zeta_cache[key] = value
         return value
 
     def rho(self, n: int, micro_batch_size: int = 1,
             candidate_sizes: Iterable[int] = (1, 2, 4, 8)) -> float:
-        """Efficiency-degradation coefficient ``rho_n = zeta_n / max zeta``."""
-        sizes = sorted(set(candidate_sizes) | {n})
-        reference = max(self.zeta(size, micro_batch_size) for size in sizes)
-        return self.zeta(n, micro_batch_size) / reference
+        """Efficiency-degradation coefficient ``rho_n = zeta_n / max zeta``.
+
+        The reference maximum ``max_{n'} zeta_{n'}`` only depends on the
+        candidate-size set and the micro-batch size, so it is memoized
+        alongside the ``zeta`` cache instead of being recomputed over all
+        candidate sizes on every call; the final ratio is memoized too
+        (``rho`` runs once per group per candidate, making it one of the
+        hottest cost-model entry points).
+        """
+        cs = tuple(candidate_sizes)
+        value_key = (n, micro_batch_size, cs)
+        if self.enable_caching:
+            cached = self._rho_cache.get(value_key)
+            if cached is not None:
+                self._count("rho_hits")
+                return cached
+            self._count("rho_misses")
+        sizes = tuple(sorted(set(cs) | {n}))
+        key = (sizes, micro_batch_size)
+        reference: Optional[float] = None
+        if self.enable_caching:
+            reference = self._rho_ref_cache.get(key)
+            if reference is not None:
+                self._count("rho_ref_hits")
+            else:
+                self._count("rho_ref_misses")
+        if reference is None:
+            reference = max(self.zeta(size, micro_batch_size) for size in sizes)
+            if self.enable_caching:
+                self._rho_ref_cache[key] = reference
+        value = self.zeta(n, micro_batch_size) / reference
+        if self.enable_caching:
+            self._rho_cache[value_key] = value
+        return value
 
     def tau(self, micro_batch_size: int) -> float:
         """Per-layer fwd+bwd time of the reference (TP=1, healthy) group."""
@@ -162,9 +291,9 @@ class MalleusCostModel:
         """
         if not stage_times:
             return 0.0
-        bottleneck = max(stage_times)
         if num_micro_batches <= 0:
             return 0.0
+        bottleneck = max(stage_times)
         if exact:
             return (num_micro_batches - 1) * bottleneck + sum(stage_times)
         return num_micro_batches * bottleneck
@@ -219,17 +348,34 @@ class MalleusCostModel:
         """
         if not 1 <= stage_index <= pp_degree:
             raise ValueError("stage_index must be in [1, pp_degree]")
+        key = (pp_degree, stage_index, micro_batch_size, dp_degree)
+        if self.enable_caching:
+            cached = self._mu_cache.get(key)
+            if cached is not None:
+                self._count("mu_hits")
+                return cached
+            self._count("mu_misses")
         in_flight = pp_degree - stage_index
         activations = micro_batch_size * (
             self.act_forward_bytes(1) * in_flight + self.act_fwd_bwd_bytes(1)
         )
-        return activations + self.layer_state_bytes(dp_degree)
+        value = activations + self.layer_state_bytes(dp_degree)
+        if self.enable_caching:
+            self._mu_cache[key] = value
+        return value
 
     def nu(self, pp_degree: int, stage_index: int, micro_batch_size: int,
            dp_degree: int = 1) -> float:
         """Stage-constant memory ``nu_{i,j}(b)`` (embedding / LM-head extras)."""
         if not 1 <= stage_index <= pp_degree:
             raise ValueError("stage_index must be in [1, pp_degree]")
+        key = (pp_degree, stage_index, micro_batch_size, dp_degree)
+        if self.enable_caching:
+            cached = self._nu_cache.get(key)
+            if cached is not None:
+                self._count("nu_hits")
+                return cached
+            self._count("nu_misses")
         extra = 0.0
         if stage_index == 1:
             in_flight = pp_degree - 1
@@ -239,6 +385,8 @@ class MalleusCostModel:
         if stage_index == pp_degree:
             extra += micro_batch_size * self.model.lm_head_activation_bytes(1)
             extra += self.lm_head_state_bytes(dp_degree)
+        if self.enable_caching:
+            self._nu_cache[key] = extra
         return extra
 
     def group_capacity(self, gpu_ids: Sequence[int]) -> float:
@@ -249,25 +397,44 @@ class MalleusCostModel:
         ``k``; the slowest-memory GPU bounds the group and a reserved gap
         ``G`` is subtracted for communication/runtime buffers.
         """
-        ids = list(gpu_ids)
+        ids = tuple(gpu_ids)
         if not ids:
             raise ValueError("a TP group needs at least one GPU")
+        if self.enable_caching:
+            cached = self._capacity_cache.get(ids)
+            if cached is not None:
+                self._count("capacity_hits")
+                return cached
+            self._count("capacity_misses")
         min_capacity = min(self.cluster.memory_capacity(g) for g in ids)
         usable = min_capacity - self.config.reserved_memory_bytes
-        if usable <= 0:
-            return 0.0
-        return len(ids) * usable
+        value = len(ids) * usable if usable > 0 else 0.0
+        if self.enable_caching:
+            self._capacity_cache[ids] = value
+        return value
 
     def max_layers_for_stage(self, gpu_ids: Sequence[int], pp_degree: int,
                              stage_index: int, micro_batch_size: int,
                              dp_degree: int = 1) -> int:
         """Largest layer count a stage can host without exceeding memory."""
+        key = (tuple(gpu_ids), pp_degree, stage_index, micro_batch_size,
+               dp_degree)
+        if self.enable_caching:
+            cached = self._max_layers_cache.get(key)
+            if cached is not None:
+                self._count("max_layers_hits")
+                return cached
+            self._count("max_layers_misses")
         capacity = self.group_capacity(gpu_ids)
         mu = self.mu(pp_degree, stage_index, micro_batch_size, dp_degree)
         nu = self.nu(pp_degree, stage_index, micro_batch_size, dp_degree)
         if capacity <= nu:
-            return 0
-        return int(math.floor((capacity - nu) / mu + 1e-9))
+            value = 0
+        else:
+            value = int(math.floor((capacity - nu) / mu + 1e-9))
+        if self.enable_caching:
+            self._max_layers_cache[key] = value
+        return value
 
     def stage_memory_bytes(self, gpu_ids: Sequence[int], num_layers: int,
                            pp_degree: int, stage_index: int,

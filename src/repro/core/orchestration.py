@@ -90,8 +90,13 @@ def divide_pipelines(
     total_micro_batches: int,
     micro_batch_size: int = 1,
     min_groups_per_pipeline: int = 1,
+    legacy_kernels: bool = False,
 ) -> OrchestrationResult:
-    """Assign TP groups to ``dp_degree`` pipelines by solving Eq. 4."""
+    """Assign TP groups to ``dp_degree`` pipelines by solving Eq. 4.
+
+    ``legacy_kernels`` selects the pre-overhaul division kernels (see
+    :func:`repro.solvers.division.solve_pipeline_division`).
+    """
     usable = [
         group for group in groups
         if not math.isinf(group_rate(group, rates, cost_model, micro_batch_size))
@@ -111,7 +116,11 @@ def divide_pipelines(
         slow_group_rates=slow_rates,
         min_groups_per_pipeline=min_groups_per_pipeline,
     )
-    solution = solve_pipeline_division(problem)
+    use_cache = getattr(cost_model, "enable_caching", True)
+    solution = solve_pipeline_division(
+        problem, legacy_kernels=legacy_kernels,
+        use_minmax_cache=use_cache and not legacy_kernels,
+    )
 
     # Map the abstract division back onto concrete TPGroup objects.
     fast_pool = sorted(fast_groups, key=lambda g: (-g.size, g.gpu_ids))

@@ -13,6 +13,31 @@ parallelization plan by solving the bi-level optimization problem:
 The best candidate (smallest estimated step time) wins.  The planner also
 records a per-phase time breakdown, which reproduces the scalability study
 of Appendix A.2 (Table 5).
+
+Hot-path overhaul
+-----------------
+Re-planning puts this solver on the critical path of every straggler event
+(§5), so the candidate sweep is organised around a cheap, provably-sound
+lower bound (total layer-work over total harmonic group speed, minimised
+over the micro-batch candidates):
+
+* every ``(grouping, dp)`` candidate is bounded *before* the expensive
+  division/ordering/assignment phases run; candidates are evaluated in
+  ascending-bound order so the incumbent tightens as early as possible, and
+  any candidate whose bound exceeds the incumbent is skipped outright;
+* the incumbent is threaded into :func:`solve_lower_level`, which applies
+  the same bound per micro-batch size;
+* lower-level solutions stay unmaterialized (:class:`PlanCandidate`); the
+  single overall winner is built and validated once at the end.
+
+``enable_pruning=False`` restores the exhaustive sweep and
+``legacy_kernels=True`` additionally selects the pre-overhaul division
+kernels and build-per-improvement materialization — together with a
+``MalleusCostModel(enable_caching=False)`` they form the "before"
+configuration of ``benchmarks/test_bench_planner_hotpath.py``.  Winners
+(including equal-time ties) are identical with or without the caches and
+pruning; ``tests/test_planner_cache_equivalence.py`` and
+``tests/test_pruning_bounds.py`` assert both properties.
 """
 
 from __future__ import annotations
@@ -25,7 +50,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..cluster.topology import Cluster
 from ..models.spec import TrainingTask
 from ..parallel.plan import ParallelizationPlan, TPGroup
-from .assignment import LowerLevelResult, assign_layers, solve_lower_level
+from .assignment import (
+    LowerLevelResult,
+    assign_layers,
+    candidate_step_time_bound,
+    solve_lower_level,
+    sorted_divisors,
+)
 from .costmodel import CostModelConfig, MalleusCostModel
 from .grouping import GroupingResult, group_gpus
 from .orchestration import divide_pipelines, order_pipeline_groups
@@ -58,7 +89,13 @@ class PlanningTimeBreakdown:
 
 @dataclass
 class CandidateRecord:
-    """Diagnostic record of one (tp_limit, dp) candidate."""
+    """Diagnostic record of one (tp_limit, dp) candidate.
+
+    ``pruned`` marks candidates the planner skipped (entirely or partially)
+    because their lower bound could not beat the incumbent — they are
+    reported infeasible but were never solved exactly.  ``lower_bound`` is
+    the bound used for ordering and pruning (0 when pruning is disabled).
+    """
 
     tp_limit: int
     dp_degree: int
@@ -66,6 +103,8 @@ class CandidateRecord:
     feasible: bool
     num_groups: int = 0
     isolated_gpus: List[int] = field(default_factory=list)
+    pruned: bool = False
+    lower_bound: float = 0.0
 
 
 @dataclass
@@ -103,6 +142,14 @@ class MalleusPlanner:
         Candidate DP degrees; when ``None`` powers of two up to the number
         of nodes are tried (the paper keeps DP fixed across re-planning, so
         re-planning calls normally pass an explicit ``dp``).
+    enable_pruning:
+        Bound-based candidate pruning and bound-ordered evaluation (see the
+        module docstring).  Sound — the winning plan is identical either
+        way; disable only for equivalence testing / benchmarking.
+    legacy_kernels:
+        Use the pre-overhaul division kernels and materialize a plan for
+        every improving lower-level candidate (the hot-path benchmark's
+        "before" configuration).
     """
 
     def __init__(
@@ -114,6 +161,8 @@ class MalleusPlanner:
         dp_candidates: Optional[Sequence[int]] = None,
         straggler_threshold: float = 1.05,
         enable_splitting: bool = True,
+        enable_pruning: bool = True,
+        legacy_kernels: bool = False,
     ):
         self.task = task
         self.cluster = cluster
@@ -124,6 +173,8 @@ class MalleusPlanner:
         self.dp_candidates = tuple(dp_candidates) if dp_candidates else None
         self.straggler_threshold = straggler_threshold
         self.enable_splitting = enable_splitting
+        self.enable_pruning = enable_pruning
+        self.legacy_kernels = legacy_kernels
 
     # ------------------------------------------------------------------
     #: Largest DP degree the planner enumerates when none is pinned.  Very
@@ -151,13 +202,35 @@ class MalleusPlanner:
         ``dp`` pins the DP degree (used during re-planning to keep the
         number of model replicas unchanged, footnote 2 of the paper).
         """
+        # Self-heal after in-place calibration edits (the caches are keyed
+        # on arguments only); see MalleusCostModel.refresh_if_config_changed.
+        refresh = getattr(self.cost_model, "refresh_if_config_changed", None)
+        if refresh is not None:
+            refresh()
+
         breakdown = PlanningTimeBreakdown()
         candidates: List[CandidateRecord] = []
-        best_plan: Optional[ParallelizationPlan] = None
+        best_result: Optional[LowerLevelResult] = None
         best_time = math.inf
-        model = self.task.model
+        best_index = -1
         all_gpu_ids = self.cluster.gpu_ids()
+        prune = self.enable_pruning
 
+        if micro_batch_candidates is None:
+            b_candidates: Sequence[int] = sorted_divisors(
+                self.task.global_batch_size
+            )
+        else:
+            b_candidates = list(micro_batch_candidates)
+
+        # Phase 1: group the GPUs for every candidate TP limit, then bound
+        # every (grouping, dp) candidate so the sweep can evaluate the most
+        # promising ones first and prune the rest against the incumbent.
+        # Bound computation is solver work that screens division candidates,
+        # so it is accounted under the division phase, keeping the Table-5
+        # "grouping" column a faithful measure of the grouping algorithms.
+        entries: List[Tuple[float, int, GroupingResult, int]] = []
+        index = 0
         for tp_limit in self.tp_candidates:
             start = time.perf_counter()
             grouping = group_gpus(
@@ -167,25 +240,67 @@ class MalleusPlanner:
                 enable_splitting=self.enable_splitting,
             )
             breakdown.grouping += time.perf_counter() - start
-
             if dp is not None:
                 dp_list: Iterable[int] = [dp]
             elif self.dp_candidates is not None:
                 dp_list = self.dp_candidates
             else:
                 dp_list = self._default_dp_candidates(grouping.num_groups())
-
+            if prune:
+                start = time.perf_counter()
+                bound = self._candidate_bound(grouping, rates, b_candidates)
+                breakdown.division += time.perf_counter() - start
+            else:
+                bound = 0.0
             for dp_degree in dp_list:
-                candidate = self._evaluate_candidate(
-                    grouping, rates, dp_degree, breakdown,
-                    micro_batch_candidates, all_gpu_ids,
+                entries.append((bound, index, grouping, dp_degree))
+                index += 1
+        if prune:
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+
+        # Phase 2: evaluate candidates in bound order.  Ties in step time
+        # (within tolerance) resolve to the smallest enumeration index, which
+        # reproduces the seed's tp-major/dp-minor sweep winner exactly.
+        for bound, entry_index, grouping, dp_degree in entries:
+            if prune and bound > best_time + 1e-12:
+                candidates.append(CandidateRecord(
+                    tp_limit=grouping.tp_limit,
+                    dp_degree=dp_degree,
+                    estimated_step_time=math.inf,
+                    feasible=False,
+                    num_groups=grouping.num_groups(),
+                    isolated_gpus=list(grouping.isolated_gpus),
+                    pruned=True,
+                    lower_bound=bound,
+                ))
+                continue
+            record, result = self._evaluate_candidate(
+                grouping, rates, dp_degree, breakdown,
+                b_candidates, all_gpu_ids, incumbent=best_time,
+            )
+            record.lower_bound = bound
+            candidates.append(record)
+            if result is None or not result.feasible:
+                continue
+            step_time = result.estimated_step_time
+            wins = step_time < best_time - 1e-12
+            if not wins and abs(step_time - best_time) <= 1e-12:
+                wins = entry_index < best_index
+            if wins:
+                best_time = step_time
+                best_result = result
+                best_index = entry_index
+
+        # Phase 3: materialize exactly one plan — the overall winner.
+        best_plan: Optional[ParallelizationPlan] = None
+        if best_result is not None:
+            start = time.perf_counter()
+            best_plan = best_result.plan
+            if best_plan is None:
+                best_plan = best_result.candidate.materialize(
+                    rates, self.cost_model, all_gpu_ids
                 )
-                candidates.append(candidate[0])
-                result = candidate[1]
-                if result is not None and result.feasible and \
-                        result.estimated_step_time < best_time - 1e-12:
-                    best_time = result.estimated_step_time
-                    best_plan = result.plan
+            breakdown.assignment += time.perf_counter() - start
 
         feasible = best_plan is not None
         if best_plan is not None:
@@ -198,6 +313,26 @@ class MalleusPlanner:
             feasible=feasible,
         )
 
+    def _candidate_bound(self, grouping: GroupingResult,
+                         rates: Dict[int, float],
+                         b_candidates: Sequence[int]) -> float:
+        """Lower bound on the step time any division of ``grouping`` allows.
+
+        ``candidate_step_time_bound`` (total work over total harmonic speed)
+        applied to the grouping's full group list — a superset of any
+        pipeline division's groups — minimised over the micro-batch
+        candidates, since the lower level picks the best ``b``.
+        """
+        bound = math.inf
+        for b in b_candidates:
+            value = candidate_step_time_bound(
+                [grouping.groups], rates, self.cost_model,
+                self.task.model.num_layers, self.task.global_batch_size, b,
+            )
+            if value < bound:
+                bound = value
+        return bound
+
     # ------------------------------------------------------------------
     def _evaluate_candidate(
         self,
@@ -207,8 +342,14 @@ class MalleusPlanner:
         breakdown: PlanningTimeBreakdown,
         micro_batch_candidates: Optional[Sequence[int]],
         all_gpu_ids: Sequence[int],
+        incumbent: float = math.inf,
     ) -> Tuple[CandidateRecord, Optional[LowerLevelResult]]:
-        """Evaluate one (grouping, DP) candidate end to end."""
+        """Evaluate one (grouping, DP) candidate end to end.
+
+        ``incumbent`` (the best step time of the sweep so far) is threaded
+        into the lower level for micro-batch-size pruning; plans are not
+        materialized here — the winning candidate is built once by ``plan``.
+        """
         task = self.task
         record = CandidateRecord(
             tp_limit=grouping.tp_limit,
@@ -221,6 +362,7 @@ class MalleusPlanner:
         if grouping.num_groups() < dp_degree:
             return record, None
 
+        materialize: object = "eager" if self.legacy_kernels else False
         best_result: Optional[LowerLevelResult] = None
         total_micro_batches = task.global_batch_size // task.micro_batch_size
         for min_groups in range(1, 5):
@@ -231,6 +373,7 @@ class MalleusPlanner:
                 grouping.groups, rates, self.cost_model, dp_degree,
                 total_micro_batches, task.micro_batch_size,
                 min_groups_per_pipeline=min_groups,
+                legacy_kernels=self.legacy_kernels,
             )
             breakdown.division += time.perf_counter() - start
             if not division.feasible:
@@ -251,11 +394,20 @@ class MalleusPlanner:
                 ordered_pipelines, rates, self.cost_model,
                 task.model.num_layers, task.global_batch_size,
                 micro_batch_candidates, all_gpu_ids,
+                materialize=materialize, incumbent=incumbent,
+                enable_pruning=self.enable_pruning,
             )
             breakdown.assignment += time.perf_counter() - start
             if result.feasible:
                 best_result = result
                 break
+            if result.pruned and not result.memory_limited:
+                # Every micro-batch size was pruned against the incumbent
+                # (none failed on memory).  The bound is division-independent,
+                # so retrying with more groups per pipeline cannot beat the
+                # incumbent either; report the candidate as pruned.
+                record.pruned = True
+                return record, None
 
         if best_result is None or not best_result.feasible:
             return record, None

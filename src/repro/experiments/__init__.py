@@ -12,6 +12,7 @@
 | Tables 6/7 (restart configurations)    | :mod:`repro.experiments.restart_configs` |
 | Figure 11 (Theorem 2 validation)       | :mod:`repro.experiments.grouping_validation` |
 | §5.3 re-planning overlap (extra)       | :mod:`repro.experiments.replanning` |
+| Planner hot-path before/after (extra)  | :mod:`repro.experiments.planner_hotpath` |
 """
 
 from .ablation import AblationResult, format_ablation, run_ablation
@@ -41,6 +42,13 @@ from .oobleck_compare import (
     run_oobleck_comparison,
 )
 from .optimality import OptimalityResult, format_optimality, run_optimality
+from .planner_hotpath import (
+    PlannerHotpathResult,
+    format_planner_hotpath,
+    read_hotpath_json,
+    run_planner_hotpath,
+    write_hotpath_json,
+)
 from .planning_scalability import (
     PlanningScalabilityResult,
     format_planning_scalability,
@@ -63,6 +71,7 @@ __all__ = [
     "OptimalityResult",
     "PAPER_GPU_COUNTS",
     "PAPER_SITUATIONS",
+    "PlannerHotpathResult",
     "PlanningScalabilityResult",
     "ReplanningResult",
     "RestartConfigResult",
@@ -74,12 +83,14 @@ __all__ = [
     "format_grouping_validation",
     "format_oobleck_comparison",
     "format_optimality",
+    "format_planner_hotpath",
     "format_planning_scalability",
     "format_replanning",
     "format_restart_configs",
     "format_table",
     "geometric_mean",
     "paper_workload",
+    "read_hotpath_json",
     "run_ablation",
     "run_case_study",
     "run_costmodel_validation",
@@ -87,7 +98,9 @@ __all__ = [
     "run_grouping_validation",
     "run_oobleck_comparison",
     "run_optimality",
+    "run_planner_hotpath",
     "run_planning_scalability",
     "run_replanning_ablation",
     "run_restart_configs",
+    "write_hotpath_json",
 ]

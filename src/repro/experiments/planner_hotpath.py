@@ -1,0 +1,199 @@
+"""Planner hot-path overhaul: before/after planning-time benchmark.
+
+The planner overhaul (memoized cost-model kernels, bound-based candidate
+pruning, deferred plan materialization, heap-based division kernels) targets
+the re-planning loop of §5: re-plan latency bounds how fast the system can
+react to a straggler event, so planning time is a first-class metric
+(Appendix A.2, Table 5).
+
+This experiment runs the same Table-5-scale scenarios twice:
+
+* **before** — the pre-overhaul reference configuration: a cost model with
+  ``enable_caching=False`` plus a planner with ``enable_pruning=False`` and
+  ``legacy_kernels=True`` (rescanning water-filling, deep-copy local
+  search, uncached min-max solves, plan materialization on every improving
+  candidate);
+* **after** — the defaults.
+
+Both must produce *identical* plans (estimated step time, per-stage layer
+splits, micro-batch splits, removed GPUs); the speedup is pure overhead
+removal, not a change in plan quality.  Results are written as
+``BENCH_planner_hotpath.json`` so ``benchmarks/regression_gate.py`` can
+compare a fresh run against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.topology import Cluster, make_cluster
+from ..cluster.trace import paper_situation
+from ..core.costmodel import MalleusCostModel
+from ..core.planner import MalleusPlanner, PlanningResult
+from ..models.presets import paper_task
+from ..models.spec import TrainingTask
+from ..solvers.minmax import clear_minmax_cache
+from .common import format_table, paper_workload
+from .planning_scalability import _scaled_straggler_rates
+
+
+@dataclass
+class HotpathRow:
+    """Before/after planning time of one scenario."""
+
+    scenario: str
+    num_gpus: int
+    before_seconds: float
+    after_seconds: float
+    speedup: float
+    estimated_step_time: float
+    plans_identical: bool
+
+    def as_dict(self) -> Dict:
+        """JSON-serialisable view."""
+        return asdict(self)
+
+
+@dataclass
+class PlannerHotpathResult:
+    """All rows of the hot-path benchmark."""
+
+    rows: List[HotpathRow]
+
+    def row(self, scenario: str) -> HotpathRow:
+        """Look up a scenario by name."""
+        for row in self.rows:
+            if row.scenario == scenario:
+                return row
+        raise KeyError(scenario)
+
+
+def _plan_signature(result: PlanningResult):
+    """Everything that defines a plan's quality, for equality checks."""
+    if result.plan is None:
+        return (None, result.estimated_step_time)
+    plan = result.plan
+    return (
+        result.estimated_step_time,
+        plan.micro_batch_size,
+        plan.stage_shape(),
+        plan.micro_batches(),
+        plan.removed_gpus,
+        [[stage.gpu_ids for stage in pipeline.stages]
+         for pipeline in plan.pipelines],
+    )
+
+
+def _timed_plan(task: TrainingTask, cluster: Cluster, rates: Dict[int, float],
+                dp: Optional[int], tp_candidates: Sequence[int], legacy: bool,
+                repeats: int) -> Tuple[float, PlanningResult]:
+    """Best-of-``repeats`` wall-clock time of one planner configuration.
+
+    Every repeat starts cold: a fresh cost model and a cleared process-global
+    min-max memo, so the before/after comparison (and the regression gate's
+    numbers) do not depend on what ran earlier in the process.
+    """
+    best = float("inf")
+    result: Optional[PlanningResult] = None
+    for _ in range(repeats):
+        clear_minmax_cache()
+        cost_model = MalleusCostModel(task.model, cluster,
+                                      enable_caching=not legacy)
+        planner = MalleusPlanner(
+            task, cluster, cost_model, tp_candidates=tp_candidates,
+            enable_pruning=not legacy, legacy_kernels=legacy,
+        )
+        start = time.perf_counter()
+        result = planner.plan(rates, dp=dp)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_planner_hotpath(repeats: int = 2,
+                        large_num_gpus: int = 1024,
+                        large_batch_size: int = 1024,
+                        large_num_stragglers: int = 32) -> PlannerHotpathResult:
+    """Run the before/after comparison on the Table-5 scenarios."""
+    rows: List[HotpathRow] = []
+
+    # 64 GPUs, scenario S3 (full TP enumeration, DP pinned to 2).
+    workload = paper_workload("110b")
+    state = paper_situation("S3", workload.cluster).as_state(workload.cluster)
+    rates = state.rate_map()
+    before_s, before = _timed_plan(
+        workload.task, workload.cluster, rates, 2, (1, 2, 4, 8),
+        legacy=True, repeats=1,
+    )
+    after_s, after = _timed_plan(
+        workload.task, workload.cluster, rates, 2, (1, 2, 4, 8),
+        legacy=False, repeats=repeats,
+    )
+    rows.append(HotpathRow(
+        scenario="64 GPUs (S3)",
+        num_gpus=workload.num_gpus,
+        before_seconds=before_s,
+        after_seconds=after_s,
+        speedup=before_s / after_s if after_s > 0 else float("inf"),
+        estimated_step_time=after.estimated_step_time,
+        plans_identical=_plan_signature(before) == _plan_signature(after),
+    ))
+
+    # 1024 GPUs, 32 stragglers, global batch 1024 (largest configuration).
+    large_cluster = make_cluster(num_nodes=large_num_gpus // 8, gpus_per_node=8)
+    large_task = paper_task("110b", global_batch_size=large_batch_size)
+    large_rates = _scaled_straggler_rates(large_num_gpus,
+                                          large_num_stragglers, 8)
+    before_s, before = _timed_plan(
+        large_task, large_cluster, large_rates, 8, (8,),
+        legacy=True, repeats=1,
+    )
+    after_s, after = _timed_plan(
+        large_task, large_cluster, large_rates, 8, (8,),
+        legacy=False, repeats=repeats,
+    )
+    rows.append(HotpathRow(
+        scenario=f"{large_num_gpus} GPUs",
+        num_gpus=large_num_gpus,
+        before_seconds=before_s,
+        after_seconds=after_s,
+        speedup=before_s / after_s if after_s > 0 else float("inf"),
+        estimated_step_time=after.estimated_step_time,
+        plans_identical=_plan_signature(before) == _plan_signature(after),
+    ))
+    return PlannerHotpathResult(rows=rows)
+
+
+def format_planner_hotpath(result: PlannerHotpathResult) -> str:
+    """Render the before/after rows."""
+    headers = ["Scenario", "Before", "After", "Speedup", "Identical plan"]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.scenario,
+            f"{row.before_seconds:.3f}s",
+            f"{row.after_seconds:.3f}s",
+            f"{row.speedup:.1f}x",
+            "yes" if row.plans_identical else "NO",
+        ])
+    return format_table(headers, rows,
+                        title="Planner hot-path: before/after planning time")
+
+
+def write_hotpath_json(result: PlannerHotpathResult, path: str) -> None:
+    """Persist a run for the regression gate."""
+    payload = {"rows": [row.as_dict() for row in result.rows]}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_hotpath_json(path: str) -> PlannerHotpathResult:
+    """Load a persisted run."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return PlannerHotpathResult(
+        rows=[HotpathRow(**row) for row in payload["rows"]]
+    )

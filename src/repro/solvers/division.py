@@ -21,10 +21,32 @@ exploit the structure instead:
 * for a fixed slow-group assignment the fast groups are distributed by
   harmonic water-filling (equalising the pipeline speeds) followed by a
   local search, and the micro-batches by the exact min-max solver.
+
+Hot-path kernels
+----------------
+The water-filling and the slow-group local search sit on the planner's
+critical path (they run once per candidate move, thousands of times per
+plan).  The production kernels therefore use
+
+* a heap-based water-filling (``O(fast * log dp)`` instead of rescanning all
+  ``dp`` pipelines per fast group), and
+* in-place move/revert local search (no per-move deep copies of the slow
+  buckets).
+
+The original straightforward kernels are kept as ``*_legacy`` reference
+implementations; ``solve_pipeline_division(..., legacy_kernels=True)``
+selects them, which is what the hot-path benchmark uses as its "before"
+configuration and what the equivalence tests compare against.
+``division_lower_bound`` is the division-problem form of the cheap,
+provably-sound bound ``total_micro_batches / total_harmonic_speed``; the
+planner's actual pruning uses its cost-model-aware counterpart
+:func:`repro.core.assignment.candidate_step_time_bound`, and the pruning
+soundness tests check this form against :func:`brute_force_division`.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
@@ -90,12 +112,29 @@ class DivisionSolution:
 # Fast-group water-filling for a fixed slow assignment
 # ----------------------------------------------------------------------
 def _waterfill_fast_groups(problem: DivisionProblem,
-                           slow_assignment: Sequence[Sequence[float]]) -> List[int]:
-    """Distribute the fast groups so pipeline speeds are as equal as possible."""
+                           slow_assignment: Sequence[Sequence[float]],
+                           base_speed: Optional[Sequence[float]] = None,
+                           ) -> List[int]:
+    """Distribute the fast groups so pipeline speeds are as equal as possible.
+
+    Heap-based: each pipeline keeps exactly one ``(speed, count, index)``
+    entry; placing a fast group pops the slowest pipeline and pushes its
+    updated entry back, so the whole fill is ``O(fast * log dp)`` instead of
+    the legacy ``O(fast * dp)`` rescan.  Tie-breaking ``(speed, count,
+    index)`` matches the legacy kernel exactly, so both produce identical
+    counts.
+
+    ``base_speed`` optionally supplies the per-pipeline harmonic speeds of
+    ``slow_assignment`` (each entry exactly ``sum(1.0 / r for r in
+    slow_assignment[i])``); the local search maintains them incrementally
+    instead of re-deriving all buckets on every candidate move.
+    """
     dp = problem.num_pipelines
     fast = problem.fast_group_count
     fast_rate = problem.fast_group_rate
-    base_speed = [sum(1.0 / r for r in slow_assignment[i]) for i in range(dp)]
+    if base_speed is None:
+        base_speed = [sum(1.0 / r for r in slow_assignment[i])
+                      for i in range(dp)]
     counts = [0] * dp
 
     # Honour the minimum group count first.
@@ -103,16 +142,59 @@ def _waterfill_fast_groups(problem: DivisionProblem,
         need = problem.min_groups_per_pipeline - len(slow_assignment[i])
         if need > 0:
             counts[i] = need
-    if sum(counts) > fast:
+    placed = sum(counts)
+    if placed > fast:
         return []  # infeasible for this slow assignment
+    remaining = fast - placed
+    if remaining == 0:
+        return counts
 
+    cap = problem.max_groups_per_pipeline
+    heap = [
+        (base_speed[i] + counts[i] / fast_rate, counts[i], i)
+        for i in range(dp)
+    ]
+    heapq.heapify(heap)
+    for _ in range(remaining):
+        # Pipelines at the group cap stay full forever (counts only grow),
+        # so they are dropped from the heap permanently.
+        while heap and cap is not None and \
+                heap[0][1] + len(slow_assignment[heap[0][2]]) >= cap:
+            heapq.heappop(heap)
+        if not heap:
+            return []
+        _, count, idx = heapq.heappop(heap)
+        count += 1
+        counts[idx] = count
+        heapq.heappush(heap, (base_speed[idx] + count / fast_rate, count, idx))
+    return counts
+
+
+def _waterfill_fast_groups_legacy(
+        problem: DivisionProblem,
+        slow_assignment: Sequence[Sequence[float]]) -> List[int]:
+    """Pre-overhaul reference water-filling (O(fast * dp) rescans).
+
+    Kept as the benchmark's "before" kernel and as the oracle for the
+    heap-kernel equivalence tests.
+    """
+    dp = problem.num_pipelines
+    fast = problem.fast_group_count
+    fast_rate = problem.fast_group_rate
+    base_speed = [sum(1.0 / r for r in slow_assignment[i]) for i in range(dp)]
+    counts = [0] * dp
+
+    for i in range(dp):
+        need = problem.min_groups_per_pipeline - len(slow_assignment[i])
+        if need > 0:
+            counts[i] = need
+    if sum(counts) > fast:
+        return []
     remaining = fast - sum(counts)
-    # Greedy water-filling: repeatedly give a fast group to the slowest pipeline.
     for _ in range(remaining):
         speeds = [base_speed[i] + counts[i] / fast_rate for i in range(dp)]
         idx = min(range(dp), key=lambda i: (speeds[i], counts[i]))
         if problem.max_groups_per_pipeline is not None:
-            # Respect the per-pipeline group cap if one is given.
             tried = sorted(range(dp), key=lambda i: (speeds[i], counts[i]))
             placed = False
             for candidate in tried:
@@ -130,7 +212,8 @@ def _waterfill_fast_groups(problem: DivisionProblem,
 
 def _evaluate(problem: DivisionProblem,
               slow_assignment: Sequence[Sequence[float]],
-              fast_counts: Sequence[int]) -> Tuple[float, List[int]]:
+              fast_counts: Sequence[int],
+              use_minmax_cache: bool = True) -> Tuple[float, List[int]]:
     """Objective value and micro-batch split for a full division."""
     dp = problem.num_pipelines
     speeds = []
@@ -143,7 +226,8 @@ def _evaluate(problem: DivisionProblem,
     if any(speed <= 0 for speed in speeds):
         return math.inf, [0] * dp
     weights = [1.0 / speed for speed in speeds]
-    solution = solve_minmax_assignment(weights, problem.total_micro_batches)
+    solution = solve_minmax_assignment(weights, problem.total_micro_batches,
+                                       use_cache=use_minmax_cache)
     if not solution.feasible:
         return math.inf, [0] * dp
     return solution.objective, solution.values
@@ -151,13 +235,15 @@ def _evaluate(problem: DivisionProblem,
 
 def _cheap_score(problem: DivisionProblem,
                  slow_assignment: Sequence[Sequence[float]],
-                 fast_counts: Sequence[int]) -> float:
+                 fast_counts: Sequence[int],
+                 base_speed: Optional[Sequence[float]] = None) -> float:
     """Fast proxy for the division objective (largest-remainder rounding).
 
     Micro-batches are split proportionally to the pipeline speeds and rounded
     with the largest-remainder method; the returned value is the resulting
     ``max_i m_i / s_i``.  The exact min-max solver is only run on the
-    top-scoring candidates.
+    top-scoring candidates.  ``base_speed`` plays the same role as in
+    :func:`_waterfill_fast_groups`.
     """
     dp = problem.num_pipelines
     speeds = []
@@ -165,7 +251,10 @@ def _cheap_score(problem: DivisionProblem,
         speed = 0.0
         if problem.fast_group_rate > 0:
             speed += fast_counts[i] / problem.fast_group_rate
-        speed += sum(1.0 / r for r in slow_assignment[i])
+        if base_speed is not None:
+            speed += base_speed[i]
+        else:
+            speed += sum(1.0 / r for r in slow_assignment[i])
         if speed <= 0:
             return math.inf
         speeds.append(speed)
@@ -182,9 +271,12 @@ def _cheap_score(problem: DivisionProblem,
 
 def _local_search_fast(problem: DivisionProblem,
                        slow_assignment: Sequence[Sequence[float]],
-                       fast_counts: List[int]) -> Tuple[float, List[int], List[int]]:
+                       fast_counts: List[int],
+                       use_minmax_cache: bool = True,
+                       ) -> Tuple[float, List[int], List[int]]:
     """Improve the fast-group allocation by single-group moves."""
-    best_obj, best_mb = _evaluate(problem, slow_assignment, fast_counts)
+    best_obj, best_mb = _evaluate(problem, slow_assignment, fast_counts,
+                                  use_minmax_cache)
     best_counts = list(fast_counts)
     improved = True
     while improved:
@@ -205,7 +297,8 @@ def _local_search_fast(problem: DivisionProblem,
                     continue
                 counts[src] -= 1
                 counts[dst] += 1
-                obj, mb = _evaluate(problem, slow_assignment, counts)
+                obj, mb = _evaluate(problem, slow_assignment, counts,
+                                    use_minmax_cache)
                 if obj < best_obj - 1e-12:
                     best_obj, best_mb, best_counts = obj, mb, counts
                     improved = True
@@ -274,8 +367,58 @@ def _greedy_slow_assignment(rates: Sequence[float], dp: int) -> List[List[float]
 
 def _local_search_slow(problem: DivisionProblem,
                        slow_assignment: List[List[float]],
-                       fast_counts: List[int]) -> List[List[float]]:
-    """Improve a slow-group assignment by single-group moves (cheap score)."""
+                       fast_counts: List[int],
+                       waterfill=_waterfill_fast_groups) -> List[List[float]]:
+    """Improve a slow-group assignment by single-group moves (cheap score).
+
+    Moves are applied in place and reverted when they do not improve the
+    score, avoiding the legacy kernel's full deep copy of every bucket per
+    candidate move.  The per-bucket harmonic speeds are refreshed only for
+    the two touched buckets (recomputed from the bucket contents, so they
+    stay bit-identical to a from-scratch derivation).
+    """
+    dp = problem.num_pipelines
+    buckets = [list(b) for b in slow_assignment]
+    base_speed = [sum(1.0 / r for r in b) for b in buckets]
+    best = _cheap_score(problem, buckets, fast_counts, base_speed)
+    improved = True
+    while improved:
+        improved = False
+        for src in range(dp):
+            for idx in range(len(buckets[src])):
+                for dst in range(dp):
+                    if dst == src:
+                        continue
+                    rate = buckets[src].pop(idx)
+                    buckets[dst].append(rate)
+                    old_src, old_dst = base_speed[src], base_speed[dst]
+                    base_speed[src] = sum(1.0 / r for r in buckets[src])
+                    base_speed[dst] = sum(1.0 / r for r in buckets[dst])
+                    counts = waterfill(problem, buckets, base_speed)
+                    feasible = bool(counts) or problem.fast_group_count == 0
+                    if problem.fast_group_count == 0:
+                        counts = [0] * dp
+                    if feasible:
+                        score = _cheap_score(problem, buckets, counts,
+                                             base_speed)
+                        if score < best - 1e-12:
+                            best = score
+                            improved = True
+                            break  # keep the move
+                    buckets[dst].pop()
+                    buckets[src].insert(idx, rate)
+                    base_speed[src], base_speed[dst] = old_src, old_dst
+                if improved:
+                    break
+            if improved:
+                break
+    return buckets
+
+
+def _local_search_slow_legacy(problem: DivisionProblem,
+                              slow_assignment: List[List[float]],
+                              fast_counts: List[int]) -> List[List[float]]:
+    """Pre-overhaul reference local search (deep-copies buckets per move)."""
     dp = problem.num_pipelines
     buckets = [list(b) for b in slow_assignment]
     best = _cheap_score(problem, buckets, fast_counts)
@@ -291,7 +434,7 @@ def _local_search_slow(problem: DivisionProblem,
                     candidate = [list(b) for b in buckets]
                     candidate[src].pop(idx)
                     candidate[dst].append(rate)
-                    counts = _waterfill_fast_groups(problem, candidate)
+                    counts = _waterfill_fast_groups_legacy(problem, candidate)
                     if not counts and problem.fast_group_count > 0:
                         continue
                     if problem.fast_group_count == 0:
@@ -308,9 +451,40 @@ def _local_search_slow(problem: DivisionProblem,
     return buckets
 
 
+def total_harmonic_speed(problem: DivisionProblem) -> float:
+    """Total harmonic speed ``sum_i s_i`` of a division problem.
+
+    Independent of the division itself: every group contributes ``1/rate``
+    no matter which pipeline it lands in.
+    """
+    speed = 0.0
+    if problem.fast_group_count and problem.fast_group_rate > 0:
+        speed += problem.fast_group_count / problem.fast_group_rate
+    speed += sum(1.0 / rate for rate in problem.slow_group_rates)
+    return speed
+
+
+def division_lower_bound(problem: DivisionProblem) -> float:
+    """Provably-sound lower bound on the division objective.
+
+    For any division, ``M = sum_i m_i <= max_i (m_i / s_i) * sum_i s_i``,
+    hence ``max_i m_i / s_i >= M / sum_i s_i``.  This is the same bound the
+    planner applies through
+    :func:`repro.core.assignment.candidate_step_time_bound`, stated on the
+    abstract division problem so the pruning soundness tests can check it
+    directly against :func:`brute_force_division`.
+    """
+    speed = total_harmonic_speed(problem)
+    if speed <= 0:
+        return math.inf
+    return problem.total_micro_batches / speed
+
+
 def solve_pipeline_division(problem: DivisionProblem,
                             enumeration_limit: int = 2000,
-                            refine_top_k: int = 4) -> DivisionSolution:
+                            refine_top_k: int = 4,
+                            legacy_kernels: bool = False,
+                            use_minmax_cache: bool = True) -> DivisionSolution:
     """Solve the pipeline-division MINLP.
 
     The solver enumerates symmetry-reduced slow-group assignments (falling
@@ -319,8 +493,17 @@ def solve_pipeline_division(problem: DivisionProblem,
     groups, and refines the ``refine_top_k`` best candidates with a local
     search that moves individual fast groups between pipelines; micro-batches
     are assigned by the exact min-max solver throughout.
+
+    ``legacy_kernels=True`` selects the pre-overhaul reference kernels
+    (rescanning water-filling, deep-copy local search, uncached min-max
+    solves); the hot-path benchmark uses it as the "before" configuration.
     """
     dp = problem.num_pipelines
+    if legacy_kernels:
+        waterfill = _waterfill_fast_groups_legacy
+        use_minmax_cache = False
+    else:
+        waterfill = _waterfill_fast_groups
     if len(problem.slow_group_rates) > 24:
         # At cluster scales with dozens of slow groups even the truncated
         # enumeration spends most of its time walking the search tree; the
@@ -334,11 +517,16 @@ def solve_pipeline_division(problem: DivisionProblem,
     used_fallback = False
     if truncated:
         greedy = _greedy_slow_assignment(problem.slow_group_rates, dp)
-        counts = _waterfill_fast_groups(problem, greedy)
+        counts = waterfill(problem, greedy)
         if counts or problem.fast_group_count == 0:
-            greedy = _local_search_slow(
-                problem, greedy, counts or [0] * dp
-            )
+            if legacy_kernels:
+                greedy = _local_search_slow_legacy(
+                    problem, greedy, counts or [0] * dp
+                )
+            else:
+                greedy = _local_search_slow(
+                    problem, greedy, counts or [0] * dp, waterfill=waterfill
+                )
         assignments = [greedy]
         used_fallback = True
 
@@ -346,7 +534,7 @@ def solve_pipeline_division(problem: DivisionProblem,
     scored = []
     evaluated = 0
     for slow_assignment in assignments:
-        fast_counts = _waterfill_fast_groups(problem, slow_assignment)
+        fast_counts = waterfill(problem, slow_assignment)
         if not fast_counts and problem.fast_group_count > 0:
             continue
         if problem.fast_group_count == 0:
@@ -365,7 +553,7 @@ def solve_pipeline_division(problem: DivisionProblem,
     best: Optional[DivisionSolution] = None
     for _, slow_assignment, fast_counts in scored[:refine_top_k]:
         obj, fast_counts, micro_batches = _local_search_fast(
-            problem, slow_assignment, fast_counts
+            problem, slow_assignment, fast_counts, use_minmax_cache
         )
         if math.isinf(obj):
             continue

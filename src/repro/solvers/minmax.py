@@ -22,13 +22,24 @@ The returned assignment is the lexicographically "balanced" one: each
 variable gets the largest value allowed by the optimal ``T``, and the excess
 is trimmed from the most expensive (largest ``w_j``) variables first, which
 keeps every variable's individual cost no larger than the optimum.
+
+The solver is a planner hot-path kernel (it runs once per candidate stage
+ordering and once per micro-batch size), so two optimisations apply:
+
+* the parametric feasibility test is a fused single pass with an early exit
+  instead of materialising the trial assignment;
+* an opt-in memo (``use_cache=True``) keyed on the *values* of
+  ``(weights, total, caps, min_values)`` lets structurally identical
+  pipelines (same straggling-rate multiset, different GPU ids) share one
+  solve.  The cache is bounded and can be inspected/cleared with
+  :func:`minmax_cache_stats` / :func:`clear_minmax_cache`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -38,6 +49,28 @@ class MinMaxSolution:
     values: List[int]
     objective: float
     feasible: bool
+
+
+#: Value-keyed memo for ``solve_minmax_assignment(use_cache=True)`` calls.
+_SOLUTION_CACHE: Dict[tuple, MinMaxSolution] = {}
+_SOLUTION_CACHE_LIMIT = 200_000
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_minmax_cache() -> None:
+    """Drop every memoized solution (and reset the hit/miss counters)."""
+    _SOLUTION_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def minmax_cache_stats() -> Dict[str, int]:
+    """Diagnostics for the solution memo: size plus hit/miss counters."""
+    return {
+        "size": len(_SOLUTION_CACHE),
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+    }
 
 
 def _max_assignable(weights: Sequence[float], caps: Sequence[float],
@@ -59,6 +92,7 @@ def solve_minmax_assignment(
     total: int,
     caps: Optional[Sequence[float]] = None,
     min_values: Optional[Sequence[int]] = None,
+    use_cache: bool = False,
 ) -> MinMaxSolution:
     """Solve ``min max_j w_j v_j  s.t.  sum v_j = total, 0 <= v_j <= cap_j``.
 
@@ -74,6 +108,9 @@ def solve_minmax_assignment(
     min_values:
         Optional per-variable lower bounds (e.g. force at least one layer per
         stage when a stage may not be empty).
+    use_cache:
+        Memoize the solution keyed on the argument values.  Safe because the
+        solver is a pure function; callers receive a fresh ``values`` list.
 
     Returns
     -------
@@ -81,6 +118,35 @@ def solve_minmax_assignment(
         ``values`` sums to ``total`` when feasible; ``objective`` is the
         minimal possible value of ``max_j w_j v_j``.
     """
+    if use_cache:
+        key = (
+            tuple(weights), total,
+            tuple(caps) if caps is not None else None,
+            tuple(min_values) if min_values is not None else None,
+        )
+        cached = _SOLUTION_CACHE.get(key)
+        if cached is not None:
+            _CACHE_STATS["hits"] += 1
+            return MinMaxSolution(values=list(cached.values),
+                                  objective=cached.objective,
+                                  feasible=cached.feasible)
+        _CACHE_STATS["misses"] += 1
+        solution = _solve_minmax(weights, total, caps, min_values)
+        if len(_SOLUTION_CACHE) >= _SOLUTION_CACHE_LIMIT:
+            _SOLUTION_CACHE.clear()
+        _SOLUTION_CACHE[key] = MinMaxSolution(values=list(solution.values),
+                                              objective=solution.objective,
+                                              feasible=solution.feasible)
+        return solution
+    return _solve_minmax(weights, total, caps, min_values)
+
+
+def _solve_minmax(
+    weights: Sequence[float],
+    total: int,
+    caps: Optional[Sequence[float]] = None,
+    min_values: Optional[Sequence[int]] = None,
+) -> MinMaxSolution:
     n = len(weights)
     if n == 0:
         return MinMaxSolution(values=[], objective=0.0, feasible=total == 0)
@@ -103,6 +169,12 @@ def solve_minmax_assignment(
                                       feasible=False)
             continue
         finite_weights.append(weight)
+
+    if sum(mins) > total:
+        # The exact-sum constraint is unsatisfiable: the lower bounds alone
+        # exceed the amount to distribute.
+        return MinMaxSolution(values=[0] * n, objective=math.inf,
+                              feasible=False)
 
     # Effective capacity: infinite-weight variables can only take their minimum
     # (which must be zero, checked above).
@@ -130,11 +202,45 @@ def solve_minmax_assignment(
     # over k per weight is equivalent to a binary search on the sorted union.
     lo, hi = 0.0, max(w for w in weights if not math.isinf(w)) * total
 
-    def feasible_for(bound: float) -> bool:
-        values = _max_assignable(weights, eff_caps, bound)
-        if any(v < m for v, m in zip(values, mins)):
-            return False
-        return sum(values) >= total
+    # The fused closures below divide by the weights directly, so the
+    # legacy positive-weight contract (_max_assignable's ValueError) must
+    # be enforced before the search starts.
+    for weight in weights:
+        if weight <= 0:
+            raise ValueError("weights must be positive")
+
+    # Fused feasibility test: single pass, no trial-assignment list, early
+    # exit once the running total covers the demand.  The arithmetic matches
+    # _max_assignable exactly so the snap below sees consistent floors.
+    pairs = list(zip(weights, eff_caps))
+    floor = math.floor
+    trivial_mins = not any(mins)
+
+    if trivial_mins:
+        def feasible_for(bound: float) -> bool:
+            assigned = 0
+            for weight, cap in pairs:
+                allowed = floor(bound / weight + 1e-9)
+                if allowed > cap:
+                    allowed = int(cap)
+                if allowed > 0:
+                    assigned += allowed
+                    if assigned >= total:
+                        return True
+            return assigned >= total
+    else:
+        def feasible_for(bound: float) -> bool:
+            assigned = 0
+            for (weight, cap), low in zip(pairs, mins):
+                allowed = floor(bound / weight + 1e-9)
+                if allowed > cap:
+                    allowed = int(cap)
+                if allowed < 0:
+                    allowed = 0
+                if allowed < low:
+                    return False
+                assigned += allowed
+            return assigned >= total
 
     if not feasible_for(hi):
         return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)

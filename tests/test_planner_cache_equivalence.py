@@ -1,0 +1,182 @@
+"""Cache correctness: the planner must be oblivious to the memo caches.
+
+Property-style check across straggler scenarios: a planner backed by a
+cache-enabled cost model (plus the min-max solution memo and bound-based
+pruning) must return exactly the same estimated step time, per-stage layer
+splits and per-pipeline micro-batch splits as a cache-disabled, non-pruned,
+legacy-kernel planner.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.core.planner import MalleusPlanner
+from repro.models.presets import paper_task
+from repro.solvers.minmax import clear_minmax_cache
+
+
+def _healthy(cluster):
+    return {g: 1.0 for g in cluster.gpu_ids()}
+
+
+def _scenarios(cluster):
+    """At least three distinct straggler situations."""
+    healthy = _healthy(cluster)
+
+    single = dict(healthy)
+    single[0] = 2.6
+
+    heavy_plus_failed = dict(healthy)
+    heavy_plus_failed[3] = 5.42
+    heavy_plus_failed[9] = math.inf
+
+    node_wide = dict(healthy)
+    for g in range(8):
+        node_wide[g] = 2.62
+
+    mixed = dict(healthy)
+    mixed[1] = 1.35
+    mixed[17] = 3.8
+
+    return {
+        "healthy": healthy,
+        "single-straggler": single,
+        "heavy+failed": heavy_plus_failed,
+        "node-wide": node_wide,
+        "mixed-levels": mixed,
+    }
+
+
+def _signature(result):
+    plan = result.plan
+    return (
+        result.estimated_step_time,
+        plan.micro_batch_size,
+        plan.stage_shape(),
+        plan.micro_batches(),
+        plan.removed_gpus,
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+    return task, cluster
+
+
+class TestCacheEquivalence:
+    def test_cached_planner_matches_uncached(self, workload):
+        task, cluster = workload
+        clear_minmax_cache()
+        cached_model = MalleusCostModel(task.model, cluster,
+                                        enable_caching=True)
+        cached_planner = MalleusPlanner(task, cluster, cached_model)
+        plain_model = MalleusCostModel(task.model, cluster,
+                                       enable_caching=False)
+        plain_planner = MalleusPlanner(task, cluster, plain_model,
+                                       enable_pruning=False,
+                                       legacy_kernels=True)
+        for name, rates in _scenarios(cluster).items():
+            fast = cached_planner.plan(dict(rates), dp=2)
+            slow = plain_planner.plan(dict(rates), dp=2)
+            assert fast.feasible == slow.feasible, name
+            assert fast.estimated_step_time == pytest.approx(
+                slow.estimated_step_time, abs=1e-12), name
+            assert _signature(fast) == _signature(slow), name
+
+    def test_caches_actually_hit(self, workload):
+        task, cluster = workload
+        model = MalleusCostModel(task.model, cluster)
+        planner = MalleusPlanner(task, cluster, model)
+        planner.plan(_healthy(cluster), dp=2)
+        stats = model.cache_stats()
+        for name in ("zeta", "rho", "mu", "nu", "capacity"):
+            assert stats[name]["hits"] > 0, name
+            assert stats[name]["size"] == stats[name]["misses"], name
+        # max_layers keys are unique within one healthy sweep; the cache pays
+        # off across plan calls (the §5 re-planning loop), where the stage
+        # coefficients are rate-independent and fully reusable.
+        misses_after_first = stats["max_layers"]["misses"]
+        planner.plan(_healthy(cluster), dp=2)
+        stats = model.cache_stats()
+        assert stats["max_layers"]["hits"] > 0
+        assert stats["max_layers"]["misses"] == misses_after_first
+
+    def test_disabled_caches_stay_empty(self, workload):
+        task, cluster = workload
+        model = MalleusCostModel(task.model, cluster, enable_caching=False)
+        planner = MalleusPlanner(task, cluster, model)
+        planner.plan(_healthy(cluster), dp=2)
+        for name, stat in model.cache_stats().items():
+            assert stat["size"] == 0, name
+            assert stat["hits"] == 0, name
+
+    def test_invalidation_hook(self, workload):
+        task, cluster = workload
+        model = MalleusCostModel(task.model, cluster)
+        before = model.mu(4, 1, 2, 2)
+        model.config.activation_fudge *= 2.0
+        model.invalidate_caches()
+        after = model.mu(4, 1, 2, 2)
+        assert after > before
+        assert model.cache_stats()["mu"]["size"] == 1
+
+    def test_plan_self_heals_after_config_edit(self, workload):
+        # The planner fingerprints the config on entry, so a forgotten
+        # invalidate_caches() after an in-place calibration edit cannot
+        # leak stale coefficients into the next planning round.
+        task, cluster = workload
+        model = MalleusCostModel(task.model, cluster)
+        planner = MalleusPlanner(task, cluster, model)
+        before = planner.plan(_healthy(cluster), dp=2)
+        model.config.compute_efficiency *= 0.5  # no manual invalidation
+        after = planner.plan(_healthy(cluster), dp=2)
+        # The edited-config plan must match a planner built cold from the
+        # same config — i.e. no stale coefficients survived the edit.
+        from repro.core.costmodel import CostModelConfig
+        cold_model = MalleusCostModel(
+            task.model, cluster, CostModelConfig(**vars(model.config)))
+        cold = MalleusPlanner(task, cluster, cold_model).plan(
+            _healthy(cluster), dp=2)
+        assert after.estimated_step_time == pytest.approx(
+            cold.estimated_step_time, abs=1e-12)
+        assert after.estimated_step_time > before.estimated_step_time
+
+    def test_stale_cache_without_invalidation_documented_hazard(self, workload):
+        # The flip side of the hook: mutating the config *without*
+        # invalidating serves stale values.  This documents why the hook is
+        # mandatory around in-place config edits.
+        task, cluster = workload
+        model = MalleusCostModel(task.model, cluster)
+        before = model.mu(4, 1, 2, 2)
+        model.config.activation_fudge *= 2.0
+        assert model.mu(4, 1, 2, 2) == before
+        model.invalidate_caches()
+        assert model.mu(4, 1, 2, 2) > before
+
+
+class TestSatelliteGuards:
+    def test_pipeline_time_zero_micro_batches_before_bottleneck(self, workload):
+        task, cluster = workload
+        model = MalleusCostModel(task.model, cluster)
+        # Zero/negative micro-batch counts short-circuit before the
+        # bottleneck is computed, so bogus stage times cannot leak through.
+        assert model.pipeline_time([1.0, math.inf], 0) == 0.0
+        assert model.pipeline_time([math.nan], -1) == 0.0
+        assert model.pipeline_time([], 4) == 0.0
+
+    def test_assign_data_all_zero_bottlenecks_infeasible(self):
+        from repro.core.assignment import assign_data
+        values, objective = assign_data([0.0, 0.0, 0.0], 8)
+        assert math.isinf(objective)
+        assert values == [0, 0, 0]
+
+    def test_assign_data_mixed_zero_bottleneck_still_works(self):
+        from repro.core.assignment import assign_data
+        values, objective = assign_data([0.0, 1.0], 10)
+        assert sum(values) == 10
+        assert objective >= 0.0

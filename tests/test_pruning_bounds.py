@@ -1,0 +1,221 @@
+"""Pruning soundness: the planner's lower bounds never exceed exact costs.
+
+The bound-based pruning is only safe if the bound is a true lower bound on
+the exact candidate cost — otherwise an optimal candidate could be skipped.
+These tests check the bound against exhaustive/exact solvers on small
+instances, and that the pruned planner sweep returns exactly the plan of
+the exhaustive sweep.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import paper_cluster
+from repro.core.assignment import (
+    candidate_step_time_bound,
+    solve_lower_level,
+    sorted_divisors,
+)
+from repro.core.costmodel import MalleusCostModel
+from repro.core.planner import MalleusPlanner
+from repro.models.presets import llama2_32b, paper_task
+from repro.parallel.plan import TPGroup
+from repro.solvers.division import (
+    DivisionProblem,
+    _waterfill_fast_groups,
+    _waterfill_fast_groups_legacy,
+    brute_force_division,
+    division_lower_bound,
+    solve_pipeline_division,
+)
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return MalleusCostModel(llama2_32b(), paper_cluster(32))
+
+
+def tp4_groups(start, count):
+    return [
+        TPGroup(gpu_ids=tuple(range(start + 4 * i, start + 4 * i + 4)))
+        for i in range(count)
+    ]
+
+
+DIVISION_INSTANCES = [
+    (2, 3, [2.0], 10),
+    (2, 2, [2.0, 4.0], 12),
+    (3, 4, [3.0], 9),
+    (2, 0, [1.0, 2.0, 3.0], 8),
+    (2, 4, [], 7),
+    (3, 2, [1.5, 2.5], 11),
+]
+
+
+class TestDivisionBound:
+    @pytest.mark.parametrize("dp,fast,slow,total", DIVISION_INSTANCES)
+    def test_bound_never_exceeds_brute_force(self, dp, fast, slow, total):
+        problem = DivisionProblem(
+            num_pipelines=dp, total_micro_batches=total,
+            fast_group_count=fast, fast_group_rate=0.4,
+            slow_group_rates=slow,
+        )
+        bound = division_lower_bound(problem)
+        exact = brute_force_division(problem)
+        assert bound <= exact + 1e-9
+
+    @pytest.mark.parametrize("dp,fast,slow,total", DIVISION_INSTANCES)
+    def test_bound_never_exceeds_solver(self, dp, fast, slow, total):
+        problem = DivisionProblem(
+            num_pipelines=dp, total_micro_batches=total,
+            fast_group_count=fast, fast_group_rate=0.4,
+            slow_group_rates=slow,
+        )
+        bound = division_lower_bound(problem)
+        solution = solve_pipeline_division(problem)
+        assert bound <= solution.objective + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dp=st.integers(min_value=1, max_value=3),
+        fast=st.integers(min_value=0, max_value=4),
+        slow=st.lists(st.floats(min_value=1.0, max_value=6.0),
+                      min_size=0, max_size=3),
+        total=st.integers(min_value=1, max_value=12),
+    )
+    def test_bound_property(self, dp, fast, slow, total):
+        if fast + len(slow) < dp:
+            return
+        problem = DivisionProblem(
+            num_pipelines=dp, total_micro_batches=total,
+            fast_group_count=fast, fast_group_rate=0.4,
+            slow_group_rates=slow,
+        )
+        assert division_lower_bound(problem) <= \
+            brute_force_division(problem) + 1e-9
+
+
+class TestLowerLevelBound:
+    def pipelines(self):
+        return [tp4_groups(0, 4), tp4_groups(16, 4)]
+
+    def rate_scenarios(self):
+        healthy = {g: 1.0 for g in range(32)}
+        single = dict(healthy)
+        single[0] = 2.6
+        heavy = dict(healthy)
+        heavy[0] = 5.42
+        heavy[20] = 3.8
+        return [healthy, single, heavy]
+
+    def test_bound_never_exceeds_exact_step_time(self, cost_model):
+        pipelines = self.pipelines()
+        for rates in self.rate_scenarios():
+            for b in sorted_divisors(64):
+                exact = solve_lower_level(
+                    pipelines, rates, cost_model, 60, 64,
+                    micro_batch_candidates=[b], enable_pruning=False,
+                )
+                if not exact.feasible:
+                    continue
+                bound = candidate_step_time_bound(
+                    pipelines, rates, cost_model, 60, 64, b,
+                )
+                assert bound <= exact.estimated_step_time + 1e-9, (rates, b)
+
+    def test_pruned_lower_level_matches_exhaustive(self, cost_model):
+        pipelines = self.pipelines()
+        for rates in self.rate_scenarios():
+            pruned = solve_lower_level(pipelines, rates, cost_model, 60, 64,
+                                       enable_pruning=True)
+            exhaustive = solve_lower_level(pipelines, rates, cost_model,
+                                           60, 64, enable_pruning=False)
+            assert pruned.feasible == exhaustive.feasible
+            assert pruned.micro_batch_size == exhaustive.micro_batch_size
+            assert pruned.estimated_step_time == pytest.approx(
+                exhaustive.estimated_step_time, abs=1e-12)
+            assert pruned.micro_batches == exhaustive.micro_batches
+
+
+class TestPlannerPruning:
+    def test_pruned_sweep_matches_exhaustive_sweep(self):
+        task = paper_task("32b")
+        cluster = paper_cluster(32)
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        rates[0] = 2.6
+        rates[12] = 5.42
+        pruned = MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            enable_pruning=True,
+        ).plan(dict(rates))
+        exhaustive = MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            enable_pruning=False,
+        ).plan(dict(rates))
+        assert pruned.feasible and exhaustive.feasible
+        assert pruned.estimated_step_time == pytest.approx(
+            exhaustive.estimated_step_time, abs=1e-12)
+        assert pruned.plan.stage_shape() == exhaustive.plan.stage_shape()
+        assert pruned.plan.micro_batches() == exhaustive.plan.micro_batches()
+
+    def test_pruned_candidates_carry_bound_diagnostics(self):
+        task = paper_task("32b")
+        cluster = paper_cluster(32)
+        planner = MalleusPlanner(task, cluster,
+                                 MalleusCostModel(task.model, cluster))
+        result = planner.plan({g: 1.0 for g in cluster.gpu_ids()})
+        assert all(c.lower_bound >= 0.0 for c in result.candidates)
+        best = result.best_candidate()
+        # The bound must lower-bound the winner's exact step time.
+        assert best.lower_bound <= best.estimated_step_time + 1e-9
+
+
+class TestKernelEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        dp=st.integers(min_value=1, max_value=4),
+        fast=st.integers(min_value=0, max_value=12),
+        slow=st.lists(st.floats(min_value=1.0, max_value=6.0),
+                      min_size=0, max_size=6),
+        min_groups=st.integers(min_value=1, max_value=2),
+        cap=st.one_of(st.none(), st.integers(min_value=2, max_value=6)),
+    )
+    def test_heap_waterfill_matches_legacy(self, dp, fast, slow, min_groups,
+                                           cap):
+        if fast + len(slow) < dp * min_groups:
+            return
+        problem = DivisionProblem(
+            num_pipelines=dp, total_micro_batches=8,
+            fast_group_count=fast, fast_group_rate=0.4,
+            slow_group_rates=slow, min_groups_per_pipeline=min_groups,
+            max_groups_per_pipeline=cap,
+        )
+        buckets = [[] for _ in range(dp)]
+        for index, rate in enumerate(slow):
+            buckets[index % dp].append(rate)
+        fast_new = _waterfill_fast_groups(problem, buckets)
+        fast_old = _waterfill_fast_groups_legacy(problem, buckets)
+        assert fast_new == fast_old
+
+    def test_sorted_divisors_matches_naive(self):
+        for n in (1, 2, 7, 12, 64, 97, 1024, 1000):
+            naive = [d for d in range(1, n + 1) if n % d == 0]
+            assert sorted_divisors(n) == naive
+        assert sorted_divisors(0) == []
+
+    def test_minmax_zero_weight_raises_value_error(self):
+        from repro.solvers.minmax import solve_minmax_assignment
+        with pytest.raises(ValueError):
+            solve_minmax_assignment([0.0, 1.0], 5)
+
+    def test_minmax_infeasible_when_mins_exceed_total(self):
+        from repro.solvers.minmax import solve_minmax_assignment
+        solution = solve_minmax_assignment(
+            [math.inf, 1.0, 0.3, 2.5], 1, caps=[1, 2.5, 2, math.inf],
+            min_values=[0, 1, 1, 0],
+        )
+        assert not solution.feasible
+        assert math.isinf(solution.objective)
