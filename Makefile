@@ -1,0 +1,28 @@
+# Convenience entry points for the reproduction repo.
+#
+#   make test    - fast tier-1 run (skips the paper-reproduction benchmarks)
+#   make bench   - the paper-reproduction benchmarks only
+#   make replan  - the incremental re-planning equivalence sweep
+#   make gate    - run the planner hot-path benchmark and gate it against
+#                  the committed baseline (one-liner perf gate)
+#   make gate-update - refresh the committed baseline from a fresh run
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench replan gate gate-update
+
+test:
+	$(PYTHON) -m pytest -x -q -m "not bench"
+
+bench:
+	$(PYTHON) -m pytest -q -m bench -s
+
+replan:
+	$(PYTHON) -m pytest -q -m replan
+
+gate:
+	$(PYTHON) -m repro.experiments.planner_hotpath --gate
+
+gate-update:
+	$(PYTHON) -m repro.experiments.planner_hotpath --update

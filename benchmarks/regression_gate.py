@@ -1,11 +1,19 @@
 #!/usr/bin/env python
-"""Planning-time regression gate.
+"""Planning-time regression gate (thin wrapper).
 
 Compares a fresh ``BENCH_planner_hotpath.json`` (written by
 ``pytest benchmarks/test_bench_planner_hotpath.py``) against the committed
 baseline under ``benchmarks/baselines/`` and fails when the overhauled
 planner's time regresses by more than ``--tolerance`` (default 20%) on any
-scenario, or when a run reports non-identical plans.
+scenario, or when a run reports non-identical plans (for the incremental
+rows: a repair outside the engine's epsilon).
+
+The comparison logic lives in
+:func:`repro.experiments.planner_hotpath.gate_against_baseline`; this
+script only parses arguments.  ``python -m
+repro.experiments.planner_hotpath --gate`` additionally *runs* the
+benchmark first, making the whole perf gate a one-liner (see also
+``make gate``).
 
 Usage::
 
@@ -29,7 +37,7 @@ import sys
 HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 
-from repro.experiments.planner_hotpath import read_hotpath_json  # noqa: E402
+from repro.experiments.planner_hotpath import gate_against_baseline  # noqa: E402
 
 DEFAULT_FRESH = os.path.join(HERE, "BENCH_planner_hotpath.json")
 DEFAULT_BASELINE = os.path.join(HERE, "baselines",
@@ -67,41 +75,8 @@ def main(argv=None) -> int:
         print(f"regression_gate: no baseline at {args.baseline}; "
               "seed it with --update")
         return 1
-
-    fresh = read_hotpath_json(args.fresh)
-    baseline = read_hotpath_json(args.baseline)
-
-    failures = []
-    for base_row in baseline.rows:
-        try:
-            fresh_row = fresh.row(base_row.scenario)
-        except KeyError:
-            failures.append(f"{base_row.scenario}: missing from fresh run")
-            continue
-        if not fresh_row.plans_identical:
-            failures.append(f"{base_row.scenario}: before/after plans differ")
-        limit = max(base_row.after_seconds * (1.0 + args.tolerance),
-                    base_row.after_seconds + args.min_delta)
-        status = "ok" if fresh_row.after_seconds <= limit else "REGRESSED"
-        print(f"{base_row.scenario:>16}: baseline "
-              f"{base_row.after_seconds:.3f}s, fresh "
-              f"{fresh_row.after_seconds:.3f}s (limit {limit:.3f}s) "
-              f"[{status}]")
-        if fresh_row.after_seconds > limit:
-            failures.append(
-                f"{base_row.scenario}: planning time "
-                f"{fresh_row.after_seconds:.3f}s exceeds "
-                f"{limit:.3f}s (baseline {base_row.after_seconds:.3f}s "
-                f"+ {args.tolerance:.0%})"
-            )
-
-    if failures:
-        print("regression_gate: FAIL")
-        for failure in failures:
-            print(f"  - {failure}")
-        return 1
-    print("regression_gate: OK")
-    return 0
+    return gate_against_baseline(args.fresh, args.baseline,
+                                 args.tolerance, args.min_delta)
 
 
 if __name__ == "__main__":

@@ -1,13 +1,22 @@
-"""Benchmark for the planner hot-path overhaul.
+"""Benchmark for the planner hot-path overhaul and the incremental engine.
 
 Runs the Table-5-scale scenarios with the pre-overhaul reference planner
 (no cost-model caches, no pruning, legacy division kernels, eager plan
 materialization) and with the overhauled defaults, asserting a >=5x
 planning-time speedup on the largest configuration *and* bit-identical plan
-quality.  The fresh timings are written to ``BENCH_planner_hotpath.json``
-next to this file; compare against the committed baseline with::
+quality.  The incremental rows measure the re-planning engine
+(``repro.runtime.replan``) on single-GPU rate-shift events at 1024, 4096
+and 8192 GPUs against a full warm re-plan, asserting the >=3x repair
+speedup at the 1024-GPU Table-5 configuration with step times within the
+engine's epsilon.  The fresh timings are written to
+``BENCH_planner_hotpath.json`` next to this file; compare against the
+committed baseline with::
 
     python benchmarks/regression_gate.py
+
+or, as a self-contained one-liner that runs the benchmark first::
+
+    python -m repro.experiments.planner_hotpath --gate
 """
 
 import os
@@ -31,7 +40,8 @@ def test_planner_hotpath_speedup(benchmark, once):
     write_hotpath_json(result, FRESH_JSON)
 
     # Plan quality must be untouched on every scenario: same estimated step
-    # time, same layer/micro-batch splits, same GPUs removed.
+    # time, same layer/micro-batch splits, same GPUs removed (for the
+    # incremental rows: repaired step time within the engine's epsilon).
     for row in result.rows:
         assert row.plans_identical, row.scenario
 
@@ -43,3 +53,14 @@ def test_planner_hotpath_speedup(benchmark, once):
     # sweep is dominated by the ordering enumeration, which benefits less).
     small = result.row("64 GPUs (S3)")
     assert small.speedup >= 1.2, format_planner_hotpath(result)
+
+    # Incremental re-planning: a single-GPU rate shift at the 1024-GPU
+    # Table-5 configuration must repair >=3x faster than the (already
+    # overhauled) full re-plan, and the past-the-paper scales must keep
+    # widening the gap in absolute terms (8192 exists and stays sane).
+    incremental = result.row("1024 GPUs (incremental)")
+    assert incremental.speedup >= 3.0, format_planner_hotpath(result)
+    for scale in (4096, 8192):
+        row = result.row(f"{scale} GPUs (incremental)")
+        assert row.speedup >= 3.0, format_planner_hotpath(result)
+        assert row.after_seconds < 2.0, format_planner_hotpath(result)

@@ -1,9 +1,35 @@
 """Ablation benchmark (§5.3): asynchronous vs synchronous re-planning vs the
-restart-based alternative, measured as accumulated training downtime."""
+restart-based alternative, measured as accumulated training downtime; plus
+the incremental-repair engine's latency/quality comparison on the trace."""
 
 import pytest
 
-from repro.experiments.replanning import format_replanning, run_replanning_ablation
+from repro.experiments.replanning import (
+    format_incremental_comparison,
+    format_replanning,
+    run_incremental_comparison,
+    run_replanning_ablation,
+)
+
+
+@pytest.mark.benchmark(group="replanning")
+def test_incremental_vs_full_replanning(benchmark, once):
+    result = once(benchmark, run_incremental_comparison, "32b")
+    print("\n" + format_incremental_comparison(result))
+
+    # Every situation change of the paper trace must be classified...
+    assert result.rows
+    assert all(row.event_kind for row in result.rows)
+    # ...and the straggler events (no failures in this trace) must be
+    # repaired incrementally, not routed through the full-planner fallback.
+    assert result.repaired_rows() == result.rows
+    # Repaired plans must match the full planner within the engine's
+    # default epsilon (1%); in practice the bound sweep makes them exact.
+    assert result.max_quality_gap <= 0.01
+    # At the 32-GPU scale the sweep solves what the full planner solves, so
+    # only parity is guaranteed; the latency win is asserted at the
+    # 1024-GPU scale by the hot-path benchmark.
+    assert result.total_incremental_time <= result.total_full_time * 2.0
 
 
 @pytest.mark.benchmark(group="replanning")

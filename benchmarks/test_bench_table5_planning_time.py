@@ -1,5 +1,6 @@
 """Benchmark regenerating Table 5 (Appendix A.2): planning-time breakdown at
-64 GPUs and at a simulated 1024-GPU scale."""
+64 GPUs and at simulated 1024/4096/8192-GPU scales, with incremental-repair
+timings for a single-GPU rate shift at every large scale."""
 
 import pytest
 
@@ -11,7 +12,8 @@ from repro.experiments.planning_scalability import (
 
 @pytest.mark.benchmark(group="table5")
 def test_table5_planning_scalability(benchmark, once):
-    result = once(benchmark, run_planning_scalability)
+    result = once(benchmark, run_planning_scalability,
+                  extra_scales=(4096, 8192), incremental_timings=True)
     print("\n" + format_planning_scalability(result))
 
     small = result.row("64 GPUs (S3)")
@@ -25,3 +27,13 @@ def test_table5_planning_scalability(benchmark, once):
     assert small.breakdown["grouping"] < small.breakdown["total"] * 0.5
     assert large.total_time < 120.0
     assert large.total_time >= small.total_time * 0.5
+
+    # Past-the-paper scales stay tractable and the incremental engine keeps
+    # single-GPU events off the full re-plan path at every scale.
+    for scale in (1024, 4096, 8192):
+        row = result.row(f"{scale} GPUs")
+        assert row.feasible
+        assert row.total_time < 120.0
+        assert row.incremental_event == "minor_rate_shift/rebalance"
+        assert row.incremental_speedup >= 3.0
+        assert row.incremental_seconds < 2.0

@@ -1,6 +1,6 @@
 """Cluster substrate: topology, straggler state, traces and the profiler."""
 
-from .profiler import Profiler, ProfilerConfig, ProfilerReport
+from .profiler import Profiler, ProfilerConfig, ProfilerReport, RateDeltaEvent
 from .stragglers import (
     FAILED_RATE,
     LEVEL_TO_RATE,
@@ -35,6 +35,7 @@ __all__ = [
     "Profiler",
     "ProfilerConfig",
     "ProfilerReport",
+    "RateDeltaEvent",
     "StragglerSituation",
     "StragglerSpec",
     "StragglerTrace",

@@ -40,6 +40,41 @@ class ProfilerConfig:
     seed: int = 0
 
 
+@dataclass(frozen=True)
+class RateDeltaEvent:
+    """One GPU's observed straggling-rate change between two iterations.
+
+    The profiler used to hand listeners a bare gpu-id -> rate map; reports
+    now also carry typed per-GPU deltas so listeners and diagnostics can
+    see exactly what moved (including failure/recovery flags) without
+    diffing consecutive rate maps themselves.  Note the re-plan engine
+    derives its *own* delta against the incumbent plan's rate snapshot —
+    which may predate several profiler iterations — so these events
+    complement, rather than drive, its classification.
+    """
+
+    gpu_id: int
+    previous_rate: float
+    rate: float
+
+    @property
+    def relative_change(self) -> float:
+        """Relative change ``|new - old| / max(old, 1)`` (inf on fail/join)."""
+        if math.isinf(self.rate) or math.isinf(self.previous_rate):
+            return 0.0 if self.rate == self.previous_rate else math.inf
+        return abs(self.rate - self.previous_rate) / max(self.previous_rate, 1.0)
+
+    @property
+    def is_failure(self) -> bool:
+        """The GPU went from a finite rate to failed (infinite rate)."""
+        return math.isinf(self.rate) and not math.isinf(self.previous_rate)
+
+    @property
+    def is_recovery(self) -> bool:
+        """The GPU came back from failed to a finite rate."""
+        return math.isinf(self.previous_rate) and not math.isinf(self.rate)
+
+
 @dataclass
 class ProfilerReport:
     """What the profiler hands to the planner after an iteration."""
@@ -50,6 +85,8 @@ class ProfilerReport:
     max_relative_change: float
     stragglers: Dict[int, float]
     failed: List[int]
+    #: Typed per-GPU deltas (only GPUs whose observed rate moved at all).
+    deltas: List[RateDeltaEvent] = field(default_factory=list)
 
 
 class Profiler:
@@ -133,8 +170,13 @@ class Profiler:
                 observed[gpu_id] = self._observe_rate(true_rate)
 
         worst_change = 0.0
+        deltas: List[RateDeltaEvent] = []
         for gpu_id, rate in observed.items():
             old = self._last_observed.get(gpu_id, NORMAL_RATE)
+            if rate != old:
+                deltas.append(RateDeltaEvent(
+                    gpu_id=gpu_id, previous_rate=old, rate=rate,
+                ))
             if math.isinf(rate) or math.isinf(old):
                 if rate != old:
                     worst_change = math.inf
@@ -159,6 +201,7 @@ class Profiler:
             max_relative_change=worst_change,
             stragglers=stragglers,
             failed=failed,
+            deltas=deltas,
         )
         self._last_observed = observed
         if changed:

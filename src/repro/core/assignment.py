@@ -199,6 +199,7 @@ def candidate_step_time_bound(
     num_layers: int,
     global_batch_size: int,
     micro_batch_size: int,
+    dp_degree: Optional[int] = None,
 ) -> float:
     """Cheap, provably-sound lower bound on a candidate's step time.
 
@@ -213,20 +214,72 @@ def candidate_step_time_bound(
 
     i.e. total work over total harmonic speed.  Groups with infinite rates
     contribute zero speed (they can only host zero layers).
+
+    When the DP degree is known, a second sound term sharpens the bound for
+    shallow-DP candidates: at most ``dp`` pipelines receive micro-batches,
+    so some pipeline processes ``m >= ceil(M / dp)`` of them, its
+    per-micro-batch bottleneck is ``o >= L / S_total``, and its warm-up
+    ``sum_j y_j l_j >= L * y_min`` (all ``L`` layers pay at least the
+    grouping's fastest group rate).  The exact 1F1B expression then gives
+
+        step_time >= tau(b) * ((ceil(M / dp) - 1) * L / S_total + L * y_min),
+
+    which — unlike the base term — grows as ``dp`` shrinks and lets the
+    planner and the repair engine prune low-DP candidates.
     """
     total_micro_batches = global_batch_size // micro_batch_size
     if total_micro_batches <= 0:
         return math.inf
     harmonic = 0.0
+    y_min = math.inf
     for groups in pipelines_groups:
         for group in groups:
             y = group_rate(group, rates, cost_model, micro_batch_size)
             if y > 0 and not math.isinf(y):
                 harmonic += 1.0 / y
+                if y < y_min:
+                    y_min = y
     if harmonic <= 0:
         return math.inf
-    return cost_model.tau(micro_batch_size) * total_micro_batches \
-        * num_layers / harmonic
+    bound = total_micro_batches * num_layers / harmonic
+    if dp_degree is not None and dp_degree > 0 and not math.isinf(y_min):
+        m_max = -(-total_micro_batches // dp_degree)  # ceil
+        dp_term = (m_max - 1) * num_layers / harmonic + num_layers * y_min
+        if dp_term > bound:
+            bound = dp_term
+    return cost_model.tau(micro_batch_size) * bound
+
+
+def exact_step_time(
+    pipelines_groups: Sequence[Sequence[TPGroup]],
+    layer_results: Sequence[LayerAssignmentResult],
+    micro_batches: Sequence[int],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    micro_batch_size: int,
+) -> float:
+    """Exact 1F1B step-time estimate of a fully-solved lower level.
+
+    The ILPs optimise the simplified objective ``max_i o_i * m_i`` (as in
+    the paper); candidates are *ranked* with the exact 1F1B expression
+    ``(m_i - 1) * o_i + sum_j y_ij * l_ij``, which penalises needlessly deep
+    pipelines whose warm-up/cool-down bubbles the simplification hides.
+    Shared by :func:`solve_lower_level` and the incremental repair engine
+    (which re-scores repaired candidates without re-running the full sweep).
+    """
+    step_time = 0.0
+    for groups, result, m_i in zip(pipelines_groups, layer_results,
+                                   micro_batches):
+        if m_i <= 0:
+            continue
+        warm_up = sum(
+            group_rate(group, rates, cost_model, micro_batch_size) * layers
+            for group, layers in zip(groups, result.layers)
+            if layers > 0
+        )
+        pipeline_time = (m_i - 1) * result.bottleneck + warm_up
+        step_time = max(step_time, pipeline_time)
+    return step_time * cost_model.tau(micro_batch_size)
 
 
 def solve_lower_level(
@@ -280,7 +333,7 @@ def solve_lower_level(
         bounds = {
             b: candidate_step_time_bound(
                 pipelines_groups, rates, cost_model, num_layers,
-                global_batch_size, b,
+                global_batch_size, b, dp_degree=dp,
             )
             for b in micro_batch_candidates
         }
@@ -320,23 +373,10 @@ def solve_lower_level(
         )
         if math.isinf(data_objective):
             continue
-        # The ILPs optimise the simplified objective max_i o_i * m_i (as in the
-        # paper); candidates are then *ranked* with the exact 1F1B expression
-        # (m_i - 1) * o_i + sum_j y_ij * l_ij, which penalises needlessly deep
-        # pipelines whose warm-up/cool-down bubbles the simplification hides.
-        step_time = 0.0
-        for groups, result, m_i in zip(pipelines_groups, layer_results,
-                                       micro_batches):
-            if m_i <= 0:
-                continue
-            warm_up = sum(
-                group_rate(group, rates, cost_model, b) * layers
-                for group, layers in zip(groups, result.layers)
-                if layers > 0
-            )
-            pipeline_time = (m_i - 1) * result.bottleneck + warm_up
-            step_time = max(step_time, pipeline_time)
-        step_time *= cost_model.tau(b)
+        step_time = exact_step_time(
+            pipelines_groups, layer_results, micro_batches, rates,
+            cost_model, b,
+        )
         # Strict improvement wins; equal step times (within tolerance) go to
         # the smallest b, which reproduces the seed's ascending-scan winner
         # independently of the bound-based evaluation order.

@@ -198,6 +198,111 @@ def split_node_groups(
     return current_groups, isolated
 
 
+@dataclass
+class RegroupDelta:
+    """Outcome of a delta-aware regroup against a previous grouping.
+
+    ``grouping`` is the full new :class:`GroupingResult`; nodes without any
+    touched GPU reuse the previous node's groups verbatim (grouping is a
+    pure per-node function of the node's rates, so the reuse is exact).
+    ``changed_node_ids`` lists the nodes whose *membership partition*
+    changed — intra-group reorderings (same GPU sets, different rate order)
+    do not count, since every consumer of a group only looks at its member
+    set through ``group_rate``.
+    """
+
+    grouping: GroupingResult
+    changed_node_ids: List[int] = field(default_factory=list)
+    removed_groups: List[TPGroup] = field(default_factory=list)
+    added_groups: List[TPGroup] = field(default_factory=list)
+
+    @property
+    def unchanged(self) -> bool:
+        """True when no node's membership partition changed."""
+        return not self.changed_node_ids
+
+
+def _membership(groups: Sequence[TPGroup]) -> set:
+    return {frozenset(group.gpu_ids) for group in groups}
+
+
+def regroup_delta(
+    cluster: Cluster,
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    previous: GroupingResult,
+    touched_gpus: Sequence[int],
+    micro_batch_size: int = 1,
+    straggler_threshold: float = 1.05,
+    enable_splitting: bool = True,
+) -> RegroupDelta:
+    """Re-group only the nodes containing touched GPUs.
+
+    This is the grouping half of incremental re-planning: a straggler event
+    usually touches one or two nodes, so re-running the (comparatively
+    expensive) Theorem 1 + Theorem 2 machinery on every node is wasted work.
+    Untouched nodes keep their previous groups; touched nodes are re-grouped
+    from scratch and compared against their previous partition so the caller
+    learns whether the event stayed inside the old grouping
+    (``minor_rate_shift``) or moved a grouping boundary (``group_change``).
+    """
+    touched = set(touched_gpus)
+    previous_by_node: Dict[int, List[TPGroup]] = {}
+    gpu_to_node = {
+        gpu_id: node.node_id
+        for node in cluster.nodes for gpu_id in node.gpu_ids()
+    }
+    for group in previous.groups:
+        previous_by_node.setdefault(gpu_to_node[group.gpu_ids[0]], []).append(group)
+    previous_isolated = set(previous.isolated_gpus)
+
+    groups: List[TPGroup] = []
+    isolated: List[int] = []
+    changed_nodes: List[int] = []
+    removed: List[TPGroup] = []
+    added: List[TPGroup] = []
+    for node in cluster.nodes:
+        node_gpu_ids = node.gpu_ids()
+        old_groups = previous_by_node.get(node.node_id, [])
+        if not touched.intersection(node_gpu_ids):
+            groups.extend(old_groups)
+            isolated.extend(g for g in node_gpu_ids if g in previous_isolated)
+            continue
+        if enable_splitting:
+            node_groups, node_isolated = split_node_groups(
+                node_gpu_ids, rates, cost_model, previous.tp_limit,
+                micro_batch_size, straggler_threshold,
+            )
+        else:
+            group_size = min(previous.tp_limit, len(node_gpu_ids))
+            node_groups = even_partition(node_gpu_ids, rates, group_size)
+            node_isolated = []
+        groups.extend(node_groups)
+        isolated.extend(node_isolated)
+        old_sets, new_sets = _membership(old_groups), _membership(node_groups)
+        if old_sets != new_sets:
+            changed_nodes.append(node.node_id)
+            removed.extend(
+                g for g in old_groups if frozenset(g.gpu_ids) not in new_sets
+            )
+            added.extend(
+                g for g in node_groups if frozenset(g.gpu_ids) not in old_sets
+            )
+    throughput = harmonic_throughput(groups, rates, cost_model, micro_batch_size)
+    grouping = GroupingResult(
+        tp_limit=previous.tp_limit,
+        groups=groups,
+        isolated_gpus=sorted(isolated),
+        harmonic_throughput=throughput,
+    )
+    return RegroupDelta(
+        grouping=grouping,
+        changed_node_ids=changed_nodes,
+        removed_groups=removed,
+        added_groups=added,
+    )
+
+
 def group_gpus(
     cluster: Cluster,
     rates: Dict[int, float],

@@ -91,11 +91,16 @@ def divide_pipelines(
     micro_batch_size: int = 1,
     min_groups_per_pipeline: int = 1,
     legacy_kernels: bool = False,
+    warm_start: Optional[Sequence[Sequence[float]]] = None,
 ) -> OrchestrationResult:
     """Assign TP groups to ``dp_degree`` pipelines by solving Eq. 4.
 
-    ``legacy_kernels`` selects the pre-overhaul division kernels (see
-    :func:`repro.solvers.division.solve_pipeline_division`).
+    ``legacy_kernels`` selects the pre-overhaul division kernels and
+    ``warm_start`` seeds a previous solution's per-pipeline slow-group
+    rate buckets (see :func:`repro.solvers.division.solve_pipeline_division`;
+    callers that retain a previous :class:`DivisionSolution` pass its
+    ``slow_groups`` to start the fallback local search from the incumbent
+    division instead of from scratch).
     """
     usable = [
         group for group in groups
@@ -120,6 +125,7 @@ def divide_pipelines(
     solution = solve_pipeline_division(
         problem, legacy_kernels=legacy_kernels,
         use_minmax_cache=use_cache and not legacy_kernels,
+        warm_start=warm_start,
     )
 
     # Map the abstract division back onto concrete TPGroup objects.

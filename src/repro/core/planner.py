@@ -52,6 +52,7 @@ from ..models.spec import TrainingTask
 from ..parallel.plan import ParallelizationPlan, TPGroup
 from .assignment import (
     LowerLevelResult,
+    PlanCandidate,
     assign_layers,
     candidate_step_time_bound,
     solve_lower_level,
@@ -108,6 +109,33 @@ class CandidateRecord:
 
 
 @dataclass
+class PlanContext:
+    """Everything the incremental repair engine needs about a winning plan.
+
+    Captured for free at the end of every successful :meth:`MalleusPlanner.plan`
+    (the fields are references to objects the sweep built anyway) and handed
+    back into :meth:`MalleusPlanner.plan_incremental` on the next straggler
+    event, where it lets the engine keep the incumbent grouping / division /
+    ordering and only repair what the event touched.
+    """
+
+    rates: Dict[int, float]
+    tp_limit: int
+    dp_degree: int
+    grouping: GroupingResult
+    #: Ordered groups per pipeline (the winning orchestration, including
+    #: groups that were later assigned zero layers).
+    pipelines_groups: Sequence[Sequence[TPGroup]]
+    candidate: PlanCandidate
+    micro_batch_size: int = 0
+    estimated_step_time: float = math.inf
+    #: Groupings for *every* candidate TP limit (not just the winner's);
+    #: the repair engine delta-regroups these to bound-prune the other
+    #: (tp, dp) candidates against the repaired incumbent.
+    groupings: Dict[int, GroupingResult] = field(default_factory=dict)
+
+
+@dataclass
 class PlanningResult:
     """Output of one planner invocation."""
 
@@ -116,6 +144,9 @@ class PlanningResult:
     breakdown: PlanningTimeBreakdown
     candidates: List[CandidateRecord] = field(default_factory=list)
     feasible: bool = True
+    #: Repair context of the winning candidate (None when infeasible);
+    #: consumed by :meth:`MalleusPlanner.plan_incremental`.
+    context: Optional[PlanContext] = None
 
     def best_candidate(self) -> Optional[CandidateRecord]:
         """The winning candidate record, if any."""
@@ -213,6 +244,8 @@ class MalleusPlanner:
         best_result: Optional[LowerLevelResult] = None
         best_time = math.inf
         best_index = -1
+        best_grouping: Optional[GroupingResult] = None
+        best_dp = 0
         all_gpu_ids = self.cluster.gpu_ids()
         prune = self.enable_pruning
 
@@ -230,6 +263,7 @@ class MalleusPlanner:
         # so it is accounted under the division phase, keeping the Table-5
         # "grouping" column a faithful measure of the grouping algorithms.
         entries: List[Tuple[float, int, GroupingResult, int]] = []
+        groupings: Dict[int, GroupingResult] = {}
         index = 0
         for tp_limit in self.tp_candidates:
             start = time.perf_counter()
@@ -239,6 +273,7 @@ class MalleusPlanner:
                 straggler_threshold=self.straggler_threshold,
                 enable_splitting=self.enable_splitting,
             )
+            groupings[tp_limit] = grouping
             breakdown.grouping += time.perf_counter() - start
             if dp is not None:
                 dp_list: Iterable[int] = [dp]
@@ -246,13 +281,14 @@ class MalleusPlanner:
                 dp_list = self.dp_candidates
             else:
                 dp_list = self._default_dp_candidates(grouping.num_groups())
-            if prune:
-                start = time.perf_counter()
-                bound = self._candidate_bound(grouping, rates, b_candidates)
-                breakdown.division += time.perf_counter() - start
-            else:
-                bound = 0.0
             for dp_degree in dp_list:
+                if prune:
+                    start = time.perf_counter()
+                    bound = self._candidate_bound(grouping, rates,
+                                                  b_candidates, dp_degree)
+                    breakdown.division += time.perf_counter() - start
+                else:
+                    bound = 0.0
                 entries.append((bound, index, grouping, dp_degree))
                 index += 1
         if prune:
@@ -290,6 +326,8 @@ class MalleusPlanner:
                 best_time = step_time
                 best_result = result
                 best_index = entry_index
+                best_grouping = grouping
+                best_dp = dp_degree
 
         # Phase 3: materialize exactly one plan — the overall winner.
         best_plan: Optional[ParallelizationPlan] = None
@@ -303,22 +341,63 @@ class MalleusPlanner:
             breakdown.assignment += time.perf_counter() - start
 
         feasible = best_plan is not None
+        context: Optional[PlanContext] = None
         if best_plan is not None:
             best_plan.estimated_step_time = best_time
+            context = PlanContext(
+                rates=dict(rates),
+                tp_limit=best_grouping.tp_limit,
+                dp_degree=best_dp,
+                grouping=best_grouping,
+                pipelines_groups=best_result.candidate.pipelines_groups,
+                candidate=best_result.candidate,
+                micro_batch_size=best_result.micro_batch_size,
+                estimated_step_time=best_time,
+                groupings=groupings,
+            )
         return PlanningResult(
             plan=best_plan,
             estimated_step_time=best_time,
             breakdown=breakdown,
             candidates=candidates,
             feasible=feasible,
+            context=context,
         )
+
+    def plan_incremental(
+        self,
+        previous: PlanContext,
+        rates: Dict[int, float],
+        dp: Optional[int] = None,
+        config=None,
+    ):
+        """Repair the previous plan for a new rate map instead of re-solving.
+
+        Classifies the delta between ``previous.rates`` and ``rates``
+        against the incumbent plan (``minor_rate_shift`` / ``group_change``
+        / ``membership_change``) and dispatches to the cheapest sound repair
+        tier; ``membership_change`` (and any repair the engine cannot apply)
+        falls back to the full :meth:`plan`.  ``dp`` pins the DP degree of
+        the candidate sweep and the fallback, exactly as in :meth:`plan`.
+        Returns a :class:`repro.runtime.replan.RepairOutcome` whose
+        ``result`` is a normal :class:`PlanningResult` (with a fresh
+        ``context`` for the next event).  ``config`` is an optional
+        :class:`repro.runtime.replan.ReplanConfig`.
+        """
+        # Lazy import: the engine lives in the runtime layer, which imports
+        # this module; importing it at call time avoids the cycle.
+        from ..runtime.replan import ReplanEngine
+
+        return ReplanEngine(self, config).repair(previous, rates, dp=dp)
 
     def _candidate_bound(self, grouping: GroupingResult,
                          rates: Dict[int, float],
-                         b_candidates: Sequence[int]) -> float:
+                         b_candidates: Sequence[int],
+                         dp_degree: Optional[int] = None) -> float:
         """Lower bound on the step time any division of ``grouping`` allows.
 
-        ``candidate_step_time_bound`` (total work over total harmonic speed)
+        ``candidate_step_time_bound`` (total work over total harmonic speed,
+        sharpened by the dp-aware warm-up term when ``dp_degree`` is given)
         applied to the grouping's full group list — a superset of any
         pipeline division's groups — minimised over the micro-batch
         candidates, since the lower level picks the best ``b``.
@@ -328,6 +407,7 @@ class MalleusPlanner:
             value = candidate_step_time_bound(
                 [grouping.groups], rates, self.cost_model,
                 self.task.model.num_layers, self.task.global_batch_size, b,
+                dp_degree=dp_degree,
             )
             if value < bound:
                 bound = value

@@ -45,6 +45,7 @@ from .optimality import OptimalityResult, format_optimality, run_optimality
 from .planner_hotpath import (
     PlannerHotpathResult,
     format_planner_hotpath,
+    gate_against_baseline,
     read_hotpath_json,
     run_planner_hotpath,
     write_hotpath_json,
@@ -54,7 +55,14 @@ from .planning_scalability import (
     format_planning_scalability,
     run_planning_scalability,
 )
-from .replanning import ReplanningResult, format_replanning, run_replanning_ablation
+from .replanning import (
+    IncrementalComparisonResult,
+    ReplanningResult,
+    format_incremental_comparison,
+    format_replanning,
+    run_incremental_comparison,
+    run_replanning_ablation,
+)
 from .restart_configs import (
     RestartConfigResult,
     format_restart_configs,
@@ -67,6 +75,7 @@ __all__ = [
     "CostModelValidationResult",
     "EndToEndResult",
     "GroupingValidationResult",
+    "IncrementalComparisonResult",
     "OobleckComparisonResult",
     "OptimalityResult",
     "PAPER_GPU_COUNTS",
@@ -81,6 +90,7 @@ __all__ = [
     "format_costmodel_validation",
     "format_end_to_end",
     "format_grouping_validation",
+    "format_incremental_comparison",
     "format_oobleck_comparison",
     "format_optimality",
     "format_planner_hotpath",
@@ -88,6 +98,7 @@ __all__ = [
     "format_replanning",
     "format_restart_configs",
     "format_table",
+    "gate_against_baseline",
     "geometric_mean",
     "paper_workload",
     "read_hotpath_json",
@@ -96,6 +107,7 @@ __all__ = [
     "run_costmodel_validation",
     "run_end_to_end",
     "run_grouping_validation",
+    "run_incremental_comparison",
     "run_oobleck_comparison",
     "run_optimality",
     "run_planner_hotpath",

@@ -17,9 +17,20 @@ This experiment runs the same Table-5-scale scenarios twice:
 
 Both must produce *identical* plans (estimated step time, per-stage layer
 splits, micro-batch splits, removed GPUs); the speedup is pure overhead
-removal, not a change in plan quality.  Results are written as
-``BENCH_planner_hotpath.json`` so ``benchmarks/regression_gate.py`` can
-compare a fresh run against the committed baseline.
+removal, not a change in plan quality.
+
+A second family of rows measures the **incremental re-planning engine**
+(``repro.runtime.replan``) on single-GPU rate-shift events at 1024, 4096
+and 8192 GPUs: *before* is a full (already-overhauled, warm-cache) re-plan
+for the shifted rates, *after* is ``plan_incremental`` repairing the
+incumbent plan.  For these rows ``plans_identical`` means the repaired
+plan's estimated step time matches the full re-plan within the engine's
+default epsilon (1%).
+
+Results are written as ``BENCH_planner_hotpath.json`` so the regression
+gate (``benchmarks/regression_gate.py`` or ``python -m
+repro.experiments.planner_hotpath --gate``) can compare a fresh run
+against the committed baseline.
 """
 
 from __future__ import annotations
@@ -112,10 +123,56 @@ def _timed_plan(task: TrainingTask, cluster: Cluster, rates: Dict[int, float],
     return best, result
 
 
+def _timed_incremental(task: TrainingTask, cluster: Cluster,
+                       rates: Dict[int, float], dp: Optional[int],
+                       tp_candidates: Sequence[int],
+                       repeats: int, epsilon: float = 0.01,
+                       ) -> Tuple[float, float, float, bool]:
+    """Full-replan vs incremental-repair timing for a single-GPU rate shift.
+
+    Plans once to establish the incumbent (warming the cost-model caches —
+    the realistic re-planning condition), shifts one existing straggler's
+    rate by 20% (a ``minor_rate_shift``: the GPU stays a straggler and
+    stays isolated), then times a full warm re-plan and an incremental
+    repair for the shifted rates.  The min-max memo is cleared before every
+    timed run so neither side rides the other's solutions.  Returns
+    ``(full_seconds, incremental_seconds, repaired_step_time, within_eps)``.
+    """
+    cost_model = MalleusCostModel(task.model, cluster)
+    planner = MalleusPlanner(task, cluster, cost_model,
+                             tp_candidates=tp_candidates)
+    incumbent = planner.plan(rates, dp=dp)
+    shifted = dict(rates)
+    gpu = next(g for g in sorted(shifted) if shifted[g] > 1.0)
+    shifted[gpu] = shifted[gpu] * 1.2
+
+    full_best = float("inf")
+    full_result: Optional[PlanningResult] = None
+    for _ in range(repeats):
+        clear_minmax_cache()
+        start = time.perf_counter()
+        full_result = planner.plan(shifted, dp=dp)
+        full_best = min(full_best, time.perf_counter() - start)
+
+    inc_best = float("inf")
+    outcome = None
+    for _ in range(repeats):
+        clear_minmax_cache()
+        start = time.perf_counter()
+        outcome = planner.plan_incremental(incumbent.context, shifted, dp=dp)
+        inc_best = min(inc_best, time.perf_counter() - start)
+
+    repaired = outcome.result.estimated_step_time
+    within = abs(repaired / full_result.estimated_step_time - 1.0) <= epsilon
+    return full_best, inc_best, repaired, within
+
+
 def run_planner_hotpath(repeats: int = 2,
                         large_num_gpus: int = 1024,
                         large_batch_size: int = 1024,
-                        large_num_stragglers: int = 32) -> PlannerHotpathResult:
+                        large_num_stragglers: int = 32,
+                        incremental_scales: Sequence[int] = (1024, 4096, 8192),
+                        ) -> PlannerHotpathResult:
     """Run the before/after comparison on the Table-5 scenarios."""
     rows: List[HotpathRow] = []
 
@@ -163,6 +220,29 @@ def run_planner_hotpath(repeats: int = 2,
         estimated_step_time=after.estimated_step_time,
         plans_identical=_plan_signature(before) == _plan_signature(after),
     ))
+
+    # Incremental-repair rows: full warm re-plan vs plan_incremental for a
+    # single-GPU rate-shift event, at the Table-5 configuration and beyond
+    # (3% stragglers, TP pinned to 8, DP pinned to 8 — as in the paper's
+    # scalability study).
+    for num_gpus in incremental_scales:
+        cluster = make_cluster(num_nodes=num_gpus // 8, gpus_per_node=8)
+        task = paper_task("110b", global_batch_size=large_batch_size)
+        scale_rates = _scaled_straggler_rates(
+            num_gpus, max(1, num_gpus // 32), 8
+        )
+        full_s, inc_s, step_time, within = _timed_incremental(
+            task, cluster, scale_rates, 8, (8,), repeats=repeats,
+        )
+        rows.append(HotpathRow(
+            scenario=f"{num_gpus} GPUs (incremental)",
+            num_gpus=num_gpus,
+            before_seconds=full_s,
+            after_seconds=inc_s,
+            speedup=full_s / inc_s if inc_s > 0 else float("inf"),
+            estimated_step_time=step_time,
+            plans_identical=within,
+        ))
     return PlannerHotpathResult(rows=rows)
 
 
@@ -197,3 +277,112 @@ def read_hotpath_json(path: str) -> PlannerHotpathResult:
     return PlannerHotpathResult(
         rows=[HotpathRow(**row) for row in payload["rows"]]
     )
+
+
+# ----------------------------------------------------------------------
+# Regression gate (shared by benchmarks/regression_gate.py and the
+# ``python -m repro.experiments.planner_hotpath --gate`` entry point)
+# ----------------------------------------------------------------------
+def gate_against_baseline(fresh_path: str, baseline_path: str,
+                          tolerance: float = 0.20,
+                          min_delta: float = 0.010) -> int:
+    """Compare a fresh run against the committed baseline.
+
+    Fails (returns 1) when the optimised planner's time regresses by more
+    than ``tolerance`` (plus ``min_delta`` seconds of absolute slack for
+    timer jitter on millisecond-scale rows) on any baseline scenario, or
+    when a run reports non-identical plans / out-of-epsilon repairs.
+    Timings are machine-local: the gate compares runs on the *same*
+    machine, not across hardware.
+    """
+    fresh = read_hotpath_json(fresh_path)
+    baseline = read_hotpath_json(baseline_path)
+
+    failures = []
+    for base_row in baseline.rows:
+        try:
+            fresh_row = fresh.row(base_row.scenario)
+        except KeyError:
+            failures.append(f"{base_row.scenario}: missing from fresh run")
+            continue
+        if not fresh_row.plans_identical:
+            failures.append(f"{base_row.scenario}: before/after plans differ")
+        limit = max(base_row.after_seconds * (1.0 + tolerance),
+                    base_row.after_seconds + min_delta)
+        status = "ok" if fresh_row.after_seconds <= limit else "REGRESSED"
+        print(f"{base_row.scenario:>24}: baseline "
+              f"{base_row.after_seconds:.3f}s, fresh "
+              f"{fresh_row.after_seconds:.3f}s (limit {limit:.3f}s) "
+              f"[{status}]")
+        if fresh_row.after_seconds > limit:
+            failures.append(
+                f"{base_row.scenario}: planning time "
+                f"{fresh_row.after_seconds:.3f}s exceeds "
+                f"{limit:.3f}s (baseline {base_row.after_seconds:.3f}s "
+                f"+ {tolerance:.0%})"
+            )
+
+    if failures:
+        print("regression_gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("regression_gate: OK")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: run the hot-path benchmark and optionally gate it.
+
+    ``python -m repro.experiments.planner_hotpath`` runs the experiment and
+    writes the fresh JSON; ``--gate`` additionally compares it against the
+    committed baseline (one-liner perf gate), and ``--update`` refreshes
+    the baseline from the fresh run instead of comparing.
+    """
+    import argparse
+    import os
+    import shutil
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--gate", action="store_true",
+                        help="compare the fresh run against the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baseline from the fresh run")
+    parser.add_argument("--fresh", default="benchmarks/BENCH_planner_hotpath.json",
+                        help="where to write the fresh run "
+                             "(default: %(default)s)")
+    parser.add_argument("--baseline",
+                        default="benchmarks/baselines/BENCH_planner_hotpath.json",
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative regression (default: 20%%)")
+    parser.add_argument("--min-delta", type=float, default=0.010,
+                        help="absolute timer-jitter slack in seconds "
+                             "(default: %(default)ss)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="best-of-N timing repeats (default: 2)")
+    args = parser.parse_args(argv)
+
+    result = run_planner_hotpath(repeats=args.repeats)
+    print(format_planner_hotpath(result))
+    os.makedirs(os.path.dirname(args.fresh) or ".", exist_ok=True)
+    write_hotpath_json(result, args.fresh)
+    print(f"fresh run written to {args.fresh}")
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated at {args.baseline}")
+        return 0
+    if args.gate:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; seed it with --update")
+            return 1
+        return gate_against_baseline(args.fresh, args.baseline,
+                                     args.tolerance, args.min_delta)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make gate
+    import sys
+
+    sys.exit(main())

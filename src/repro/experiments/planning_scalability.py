@@ -5,19 +5,28 @@ Table 5 breaks down the planner's wall-clock time into its four phases
 64-GPU S3 scenario and for a simulated 1024-GPU cluster (128 nodes) training
 the 110B model with a global batch size of 1024 and 32 stragglers (~3% of
 the cluster).
+
+``extra_scales`` extends the study past the paper (4096 and 8192 GPUs in
+the benchmark), and ``incremental_timings`` additionally measures the
+incremental re-planning engine on each large-cluster scenario: after the
+full plan, one straggler's rate shifts by 20% (a ``minor_rate_shift``) and
+the row records how long ``plan_incremental`` takes to repair the
+incumbent versus the full re-plan the runtime would otherwise pay.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..cluster.topology import make_cluster
 from ..cluster.trace import paper_situation
 from ..core.costmodel import MalleusCostModel
 from ..core.planner import MalleusPlanner, PlanningTimeBreakdown
 from ..models.presets import paper_task
+from ..solvers.minmax import clear_minmax_cache
 from .common import format_table, paper_workload
 
 
@@ -31,11 +40,23 @@ class PlanningScalabilityRow:
     breakdown: Dict[str, float]
     estimated_step_time: float
     feasible: bool
+    #: Incremental-repair timing for a single-GPU rate shift (0 when not
+    #: measured): full warm re-plan vs ``plan_incremental``.
+    full_replan_seconds: float = 0.0
+    incremental_seconds: float = 0.0
+    incremental_event: str = ""
 
     @property
     def total_time(self) -> float:
         """Total planning time."""
         return self.breakdown.get("total", 0.0)
+
+    @property
+    def incremental_speedup(self) -> float:
+        """Full-replan over incremental-repair latency (0 when unmeasured)."""
+        if self.incremental_seconds <= 0:
+            return 0.0
+        return self.full_replan_seconds / self.incremental_seconds
 
 
 @dataclass
@@ -72,13 +93,60 @@ def _scaled_straggler_rates(num_gpus: int, num_stragglers: int,
     return rates
 
 
+def _large_scale_row(num_gpus: int, batch_size: int, num_stragglers: int,
+                     dp_degree: Optional[int],
+                     incremental_timings: bool) -> PlanningScalabilityRow:
+    """Plan one simulated large-cluster scenario (TP pinned to 8)."""
+    cluster = make_cluster(num_nodes=num_gpus // 8, gpus_per_node=8)
+    task = paper_task("110b", global_batch_size=batch_size)
+    cost_model = MalleusCostModel(task.model, cluster)
+    # At these scales the paper (and practice) trains the 110B model with
+    # TP 8; enumerating smaller TP limits only multiplies the planning time
+    # without ever winning, so the scalability study pins TP to 8.
+    planner = MalleusPlanner(task, cluster, cost_model, tp_candidates=(8,))
+    rates = _scaled_straggler_rates(num_gpus, num_stragglers, 8)
+    result = planner.plan(rates, dp=dp_degree)
+    row = PlanningScalabilityRow(
+        scenario=f"{num_gpus} GPUs",
+        num_gpus=num_gpus,
+        num_stragglers=num_stragglers,
+        breakdown=result.breakdown.as_dict(),
+        estimated_step_time=result.estimated_step_time,
+        feasible=result.feasible,
+    )
+    if incremental_timings and result.feasible:
+        shifted = dict(rates)
+        gpu = next(g for g in sorted(shifted) if shifted[g] > 1.0)
+        shifted[gpu] = shifted[gpu] * 1.2
+        # Clear the process-global min-max memo before each timed run so
+        # neither side rides solutions the other just computed.
+        clear_minmax_cache()
+        start = time.perf_counter()
+        planner.plan(shifted, dp=dp_degree)
+        row.full_replan_seconds = time.perf_counter() - start
+        clear_minmax_cache()
+        start = time.perf_counter()
+        outcome = planner.plan_incremental(result.context, shifted,
+                                           dp=dp_degree)
+        row.incremental_seconds = time.perf_counter() - start
+        row.incremental_event = f"{outcome.event_kind}/{outcome.repair_tier}"
+    return row
+
+
 def run_planning_scalability(
     large_num_gpus: int = 1024,
     large_batch_size: int = 1024,
     large_num_stragglers: int = 32,
     large_dp_degree: Optional[int] = 8,
+    extra_scales: Sequence[int] = (),
+    incremental_timings: bool = False,
 ) -> PlanningScalabilityResult:
-    """Run the Table 5 experiment (64-GPU S3 plus the 1024-GPU simulation)."""
+    """Run the Table 5 experiment (64-GPU S3 plus the 1024-GPU simulation).
+
+    ``extra_scales`` adds further simulated cluster sizes (e.g. 4096, 8192)
+    at the same ~3% straggler ratio; ``incremental_timings`` measures the
+    repair engine on every large-cluster row (see the module docstring).
+    """
     rows: List[PlanningScalabilityRow] = []
 
     # ------------------------------------------------------------------
@@ -100,44 +168,42 @@ def run_planning_scalability(
     )
 
     # ------------------------------------------------------------------
-    # 1024 GPUs, 32 stragglers, global batch 1024.
+    # 1024 GPUs (Table 5's largest point) and any extra scales beyond the
+    # paper, all with ~3% stragglers and global batch 1024.
     # ------------------------------------------------------------------
-    large_cluster = make_cluster(num_nodes=large_num_gpus // 8, gpus_per_node=8)
-    large_task = paper_task("110b", global_batch_size=large_batch_size)
-    cost_model = MalleusCostModel(large_task.model, large_cluster)
-    # At the 1024-GPU scale the paper (and practice) trains the 110B model
-    # with TP 8; enumerating smaller TP limits only multiplies the planning
-    # time without ever winning, so the scalability study pins TP to 8.
-    large_planner = MalleusPlanner(large_task, large_cluster, cost_model,
-                                   tp_candidates=(8,))
-    rates = _scaled_straggler_rates(large_num_gpus, large_num_stragglers, 8)
-    large_result = large_planner.plan(rates, dp=large_dp_degree)
-    rows.append(
-        PlanningScalabilityRow(
-            scenario=f"{large_num_gpus} GPUs",
-            num_gpus=large_num_gpus,
-            num_stragglers=large_num_stragglers,
-            breakdown=large_result.breakdown.as_dict(),
-            estimated_step_time=large_result.estimated_step_time,
-            feasible=large_result.feasible,
-        )
-    )
+    rows.append(_large_scale_row(large_num_gpus, large_batch_size,
+                                 large_num_stragglers, large_dp_degree,
+                                 incremental_timings))
+    for num_gpus in extra_scales:
+        rows.append(_large_scale_row(num_gpus, large_batch_size,
+                                     max(1, num_gpus // 32), large_dp_degree,
+                                     incremental_timings))
     return PlanningScalabilityResult(rows=rows)
 
 
 def format_planning_scalability(result: PlanningScalabilityResult) -> str:
     """Render the Table 5 rows."""
+    with_incremental = any(row.incremental_seconds > 0 for row in result.rows)
     headers = ["Scenario", "GPU Grouping", "Pipeline Division",
                "Group Ordering", "Work Assignment", "Total"]
+    if with_incremental:
+        headers += ["Incremental repair", "Repair speedup"]
     rows = []
     for row in result.rows:
-        rows.append([
+        cells = [
             row.scenario,
             f"{row.breakdown['grouping']:.2f}s",
             f"{row.breakdown['division']:.2f}s",
             f"{row.breakdown['ordering']:.2f}s",
             f"{row.breakdown['assignment']:.2f}s",
             f"{row.breakdown['total']:.2f}s",
-        ])
+        ]
+        if with_incremental:
+            if row.incremental_seconds > 0:
+                cells += [f"{row.incremental_seconds:.3f}s",
+                          f"{row.incremental_speedup:.1f}x"]
+            else:
+                cells += ["-", "-"]
+        rows.append(cells)
     return format_table(headers, rows,
                         title="Table 5: planning-time breakdown")

@@ -1,4 +1,4 @@
-"""Re-planning overhead ablation (§5.3).
+"""Re-planning overhead ablation (§5.3) and incremental-repair comparison.
 
 The paper's asynchronous re-planning mechanism overlaps the 10-30 s of
 planning with training so that only the 1-5 s model migration stalls the
@@ -7,11 +7,17 @@ the straggler trace twice — once with asynchronous re-planning (the default)
 and once with synchronous re-planning (training halts while the planner
 runs) — and compares the accumulated adjustment downtime, alongside the
 restart-based alternative.
+
+:func:`run_incremental_comparison` additionally contrasts the incremental
+re-planning engine (``repro.runtime.replan``) with full re-planning on the
+same trace: per situation it records the event classification, the repair
+tier, the planning latency of both modes and the relative step-time gap of
+the repaired plan (the engine's quality bar is ``epsilon``, 1% by default).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
 from ..baselines.megatron import MegatronRestartBaseline
@@ -90,6 +96,126 @@ def run_replanning_ablation(model_name: str = "32b",
         )
     )
     return ReplanningResult(model=model_name, variants=variants)
+
+
+@dataclass
+class IncrementalComparisonRow:
+    """Full vs incremental re-planning for one trace situation."""
+
+    situation: str
+    event_kind: str
+    repair_tier: str
+    incremental_planning_time: float
+    full_planning_time: float
+    incremental_estimate: float
+    full_estimate: float
+
+    @property
+    def quality_gap(self) -> float:
+        """Relative step-time gap of the repaired plan (positive = worse)."""
+        if self.full_estimate <= 0:
+            return 0.0
+        return self.incremental_estimate / self.full_estimate - 1.0
+
+    @property
+    def latency_speedup(self) -> float:
+        """Full-planning over incremental-planning latency."""
+        if self.incremental_planning_time <= 0:
+            return float("inf")
+        return self.full_planning_time / self.incremental_planning_time
+
+
+@dataclass
+class IncrementalComparisonResult:
+    """Trace-wide comparison of incremental vs full re-planning."""
+
+    model: str
+    rows: List[IncrementalComparisonRow] = field(default_factory=list)
+
+    @property
+    def max_quality_gap(self) -> float:
+        """Worst (most positive) relative step-time gap across the trace."""
+        return max((row.quality_gap for row in self.rows), default=0.0)
+
+    @property
+    def total_incremental_time(self) -> float:
+        """Accumulated incremental planning latency."""
+        return sum(row.incremental_planning_time for row in self.rows)
+
+    @property
+    def total_full_time(self) -> float:
+        """Accumulated full planning latency."""
+        return sum(row.full_planning_time for row in self.rows)
+
+    def repaired_rows(self) -> List[IncrementalComparisonRow]:
+        """Rows the engine actually repaired (tier other than ``full``)."""
+        return [row for row in self.rows
+                if row.repair_tier not in ("", "full")]
+
+
+def run_incremental_comparison(model_name: str = "32b",
+                               ) -> IncrementalComparisonResult:
+    """Drive the paper trace with and without the incremental engine.
+
+    Both systems see the identical trace; per situation the row captures
+    the incremental system's event classification/repair tier and both
+    systems' planning latency and resulting step-time estimate.
+    """
+    inc_workload = paper_workload(model_name)
+    incremental = MalleusSystem(inc_workload.task, inc_workload.cluster,
+                                inc_workload.cost_model, incremental=True)
+    full_workload = paper_workload(model_name)
+    full = MalleusSystem(full_workload.task, full_workload.cluster,
+                         full_workload.cost_model, incremental=False)
+    trace = paper_trace(inc_workload.cluster)
+
+    result = IncrementalComparisonResult(model=model_name)
+    for index, situation in enumerate(trace.situations):
+        state = situation.as_state(inc_workload.cluster)
+        if index == 0:
+            incremental.setup(state)
+            full.setup(state)
+            continue
+        inc_adj = incremental.on_situation_change(state)
+        full_adj = full.on_situation_change(state)
+        if inc_adj.kind == "none" or full_adj.kind == "none":
+            # Rows only make sense when both systems re-planned for these
+            # rates; a one-sided "none" (e.g. a TIER_NONE repair) would
+            # compare estimates solved under different inputs.
+            continue
+        result.rows.append(IncrementalComparisonRow(
+            situation=situation.name,
+            event_kind=inc_adj.event_kind,
+            repair_tier=inc_adj.repair_tier,
+            incremental_planning_time=inc_adj.planning_time,
+            full_planning_time=full_adj.planning_time,
+            incremental_estimate=incremental.plan_context.estimated_step_time
+            if incremental.plan_context else float("inf"),
+            full_estimate=full.plan_context.estimated_step_time
+            if full.plan_context else float("inf"),
+        ))
+    return result
+
+
+def format_incremental_comparison(result: IncrementalComparisonResult) -> str:
+    """Render the incremental-vs-full comparison rows."""
+    headers = ["Situation", "Event", "Repair tier", "Incremental",
+               "Full", "Speedup", "Quality gap"]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.situation,
+            row.event_kind,
+            row.repair_tier,
+            f"{row.incremental_planning_time * 1000:.0f}ms",
+            f"{row.full_planning_time * 1000:.0f}ms",
+            f"{row.latency_speedup:.1f}x",
+            f"{row.quality_gap:+.3%}",
+        ])
+    return format_table(
+        headers, rows,
+        title=f"Incremental vs full re-planning ({result.model})",
+    )
 
 
 def format_replanning(result: ReplanningResult) -> str:

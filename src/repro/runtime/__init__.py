@@ -1,5 +1,32 @@
 """The Malleus runtime system (profiler + planner + malleable executor)."""
 
 from .malleus import MalleusSystem, ReplanEvent
+from .replan import (
+    EVENT_GROUP_CHANGE,
+    EVENT_MEMBERSHIP_CHANGE,
+    EVENT_MINOR_RATE_SHIFT,
+    EVENT_NO_CHANGE,
+    TIER_FULL,
+    TIER_NONE,
+    TIER_PARTIAL,
+    TIER_REBALANCE,
+    RepairOutcome,
+    ReplanConfig,
+    ReplanEngine,
+)
 
-__all__ = ["MalleusSystem", "ReplanEvent"]
+__all__ = [
+    "MalleusSystem",
+    "ReplanEvent",
+    "ReplanEngine",
+    "ReplanConfig",
+    "RepairOutcome",
+    "EVENT_NO_CHANGE",
+    "EVENT_MINOR_RATE_SHIFT",
+    "EVENT_GROUP_CHANGE",
+    "EVENT_MEMBERSHIP_CHANGE",
+    "TIER_NONE",
+    "TIER_REBALANCE",
+    "TIER_PARTIAL",
+    "TIER_FULL",
+]

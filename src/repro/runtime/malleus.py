@@ -18,21 +18,27 @@ protocol so it can be driven through straggler traces next to the baselines.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from ..cluster.profiler import Profiler, ProfilerConfig
 from ..cluster.stragglers import ClusterState
 from ..cluster.topology import Cluster
 from ..core.costmodel import MalleusCostModel
-from ..core.planner import MalleusPlanner, PlanningResult
+from ..core.planner import MalleusPlanner, PlanContext, PlanningResult
 from ..models.spec import TrainingTask
 from ..parallel.migration import estimate_migration_time, plan_migration
 from ..parallel.plan import ParallelizationPlan
 from ..simulator.executor import ExecutionSimulator
 from ..simulator.restart import RestartCostConfig, restart_time
 from ..simulator.session import Adjustment
+from .replan import (
+    EVENT_MEMBERSHIP_CHANGE,
+    TIER_FULL,
+    TIER_NONE,
+    ReplanConfig,
+    ReplanEngine,
+)
 
 
 @dataclass
@@ -45,6 +51,10 @@ class ReplanEvent:
     overlapped: bool
     plan_changed: bool
     estimated_step_time: float
+    #: Classification of the triggering delta (see repro.runtime.replan).
+    event_kind: str = ""
+    #: Which repair tier handled it ("rebalance", "partial_resolve", "full").
+    repair_tier: str = ""
 
 
 @dataclass
@@ -69,6 +79,21 @@ class MalleusSystem:
         and only the migration time stalls the job; when False the planner's
         wall-clock time is charged as downtime as well (used by the ablation
         benchmark).
+    incremental:
+        When True (default) straggler events are first classified against
+        the incumbent plan (minor rate shift / group change / membership
+        change) and repaired by the cheapest sound tier of the
+        :class:`~repro.runtime.replan.ReplanEngine`; ``incremental=False``
+        is the escape hatch that re-runs the full planner on every event.
+    replan_config:
+        Tunables of the repair engine (epsilon, verify mode, touched-pipeline
+        budget); a default :class:`~repro.runtime.replan.ReplanConfig` is
+        used when omitted.
+    shift_threshold:
+        Convenience override for the profiler's re-planning notification
+        threshold (the paper's 5%).  Threaded into ``profiler_config`` (a
+        config built from the other profiler defaults is created when none
+        was given); rate shifts below the threshold never reach the planner.
     """
 
     task: TrainingTask
@@ -78,6 +103,9 @@ class MalleusSystem:
     profiler_config: Optional[ProfilerConfig] = None
     keep_dp_degree: bool = False
     async_replanning: bool = True
+    incremental: bool = True
+    replan_config: Optional[ReplanConfig] = None
+    shift_threshold: Optional[float] = None
     restart_config: RestartCostConfig = field(default_factory=RestartCostConfig)
     name: str = "Malleus"
 
@@ -89,8 +117,17 @@ class MalleusSystem:
             self.task, self.cluster, self.cost_model
         )
         self.simulator = ExecutionSimulator(self.cost_model)
+        if self.shift_threshold is not None:
+            # Copy before overriding: the caller's config instance may be
+            # shared with other systems.
+            base = self.profiler_config or ProfilerConfig()
+            self.profiler_config = replace(
+                base, shift_threshold=self.shift_threshold
+            )
         self.profiler = Profiler(self.cluster, self.profiler_config)
+        self.replan_engine = ReplanEngine(self.planner, self.replan_config)
         self.plan: Optional[ParallelizationPlan] = None
+        self.plan_context: Optional[PlanContext] = None
         self.current_rates: Dict[int, float] = {
             g: 1.0 for g in self.cluster.gpu_ids()
         }
@@ -107,12 +144,20 @@ class MalleusSystem:
         if not result.feasible or result.plan is None:
             raise RuntimeError("Malleus could not find an initial plan")
         self.plan = result.plan
+        self.plan_context = result.context
         self.current_rates = dict(report.rates)
         self._dp_degree = result.plan.dp_degree
         self.profiler.mark_standby(result.plan.removed_gpus)
 
     def on_situation_change(self, state: ClusterState) -> Adjustment:
-        """Re-plan (asynchronously) and migrate when the rates shift > 5 %."""
+        """Re-plan (asynchronously) and migrate when the rates shift > 5 %.
+
+        Events are first classified against the incumbent plan and repaired
+        incrementally when sound (see :mod:`repro.runtime.replan`); the
+        resulting event kind and repair tier are recorded on the returned
+        :class:`~repro.simulator.session.Adjustment` and on the
+        :class:`ReplanEvent` log.
+        """
         assert self.plan is not None
         report = self.profiler.measure(state)
         if not report.changed:
@@ -123,18 +168,40 @@ class MalleusSystem:
             return self._handle_failure(report.rates)
 
         dp = self._dp_degree if self.keep_dp_degree else None
-        result = self.planner.plan(report.rates, dp=dp)
-        planning_time = result.breakdown.total
+        event_kind = ""
+        repair_tier = TIER_FULL
+        if self.incremental and self.plan_context is not None:
+            outcome = self.replan_engine.repair(
+                self.plan_context, report.rates, dp=dp,
+            )
+            event_kind = outcome.event_kind
+            repair_tier = outcome.repair_tier
+            if outcome.repair_tier == TIER_NONE:
+                # The delta never touched the plan (e.g. standby-only
+                # jitter); keep everything, just note the observation.
+                self.current_rates = dict(report.rates)
+                return Adjustment(
+                    kind="none", event_kind=event_kind,
+                    repair_tier=repair_tier,
+                    description="delta does not touch the incumbent plan",
+                )
+            result = outcome.result
+            planning_time = outcome.repair_seconds
+        else:
+            result = self.planner.plan(report.rates, dp=dp)
+            planning_time = result.breakdown.total
         if (not result.feasible or result.plan is None) and dp is not None:
             # Preserving the DP degree is only a preference (footnote 2 of the
             # paper); when no DP-preserving plan exists, re-plan freely.
             result = self.planner.plan(report.rates, dp=None)
             planning_time += result.breakdown.total
+            repair_tier = TIER_FULL
         if not result.feasible or result.plan is None:
             # Keep the current plan; the situation will be reported as-is.
             self.current_rates = dict(report.rates)
             return Adjustment(
                 kind="none", planning_time=planning_time,
+                event_kind=event_kind, repair_tier=repair_tier,
                 description="re-planning infeasible; keeping current plan",
             )
 
@@ -156,6 +223,10 @@ class MalleusSystem:
             self._dp_degree = result.plan.dp_degree
             self.profiler.mark_standby(result.plan.removed_gpus)
             self.profiler.unmark_standby(result.plan.active_gpus)
+        # The repaired/re-planned candidate becomes the incumbent for the
+        # next event even when the executed plan is unchanged (its context
+        # snapshots the rates it was solved under).
+        self.plan_context = result.context
 
         self.current_rates = dict(report.rates)
         downtime = migration_time
@@ -169,6 +240,8 @@ class MalleusSystem:
                 overlapped=self.async_replanning,
                 plan_changed=plan_changed,
                 estimated_step_time=result.estimated_step_time,
+                event_kind=event_kind,
+                repair_tier=repair_tier,
             )
         )
         return Adjustment(
@@ -176,6 +249,8 @@ class MalleusSystem:
             downtime=downtime,
             planning_time=planning_time,
             overlapped=self.async_replanning,
+            event_kind=event_kind,
+            repair_tier=repair_tier,
             description="asynchronous re-planning"
             if self.async_replanning else "synchronous re-planning",
         )
@@ -200,6 +275,7 @@ class MalleusSystem:
         if not result.feasible or result.plan is None:
             raise RuntimeError("Malleus cannot continue after the failure")
         self.plan = result.plan
+        self.plan_context = result.context
         self._dp_degree = result.plan.dp_degree
         self.current_rates = dict(rates)
         downtime = restart_time(
@@ -208,6 +284,7 @@ class MalleusSystem:
         )
         return Adjustment(
             kind="restart", downtime=downtime,
+            event_kind=EVENT_MEMBERSHIP_CHANGE, repair_tier=TIER_FULL,
             description="GPU failure: reloading the latest checkpoint",
         )
 

@@ -1,0 +1,606 @@
+"""Incremental re-planning: event classification and plan repair.
+
+Malleus (§5) puts the planner on the critical path of every straggler
+event, yet most production events are small, localized rate deltas — one
+GPU in one pipeline drifting a few percent.  Re-solving the entire
+bi-level problem from scratch for such an event wastes almost all of the
+work: the grouping, the pipeline division and most layer assignments are
+still exactly right.
+
+This module classifies every :class:`~repro.cluster.stragglers.ClusterState`
+delta against the incumbent plan into one of three event kinds and
+dispatches to the cheapest *sound* repair:
+
+``minor_rate_shift``
+    Rates moved but no GPU crossed a grouping boundary (the delta-aware
+    regroup of the touched nodes reproduces the incumbent partition).  The
+    grouping and the pipeline division are kept; only the touched
+    pipelines are re-ordered and the layer/data balance is re-solved,
+    warm-started from the previous :class:`~repro.core.assignment.PlanCandidate`
+    (untouched pipelines reuse their layer ILP solutions verbatim, the
+    incumbent micro-batch size seeds the bound pruning of the remaining
+    candidates).
+
+``group_change``
+    Stragglers entered or left a group: re-grouping a touched node changed
+    its membership partition.  Untouched pipelines are kept; the changed
+    nodes' new groups are re-distributed over the previously-hosting
+    pipelines with :func:`~repro.solvers.division.repair_pipeline_division`
+    and only those pipelines' lower level is re-solved.
+
+``membership_change``
+    A GPU failed (rate became infinite) or re-joined.  The engine falls
+    back to the full planner — membership changes move the feasible set
+    itself, so nothing short of a full solve is trustworthy.
+
+After the incumbent ``(tp, dp)`` candidate is repaired, the engine runs
+the planner's own bound-ordered candidate sweep over every *other*
+``(tp, dp)`` pair — with groupings produced by the delta-aware regroup —
+using the repaired step time as the starting incumbent.  A candidate whose
+provably-sound lower bound cannot beat the repair is skipped without any
+solver work; one that could beat it is solved exactly, just as the full
+planner would.  For a local event essentially everything prunes, which is
+where the latency win comes from; the only quality gap versus a full
+re-plan is division drift *inside* the incumbent candidate (the kept
+division may be slightly stale for the new rates), which the equivalence
+sweep bounds by ``ReplanConfig.epsilon`` on the paper trace.
+
+Every repair produces a normal :class:`~repro.core.planner.PlanningResult`
+(with a fresh :class:`~repro.core.planner.PlanContext` for the next event),
+so callers cannot tell a repaired plan from a planned one except by its
+latency.  The engine is a heuristic accelerator, never a silent quality
+cliff: any structural surprise — too many touched pipelines, an emptied
+pipeline, an infeasible warm solve — falls back to the full planner, and
+``ReplanConfig.verify`` makes the engine *check* every repair against a
+fresh full solve at runtime (for debugging; it obviously forfeits the
+speedup).  The ``incremental=False`` escape hatch on
+:class:`~repro.runtime.malleus.MalleusSystem` bypasses the engine
+entirely.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.assignment import (
+    LayerAssignmentResult,
+    PlanCandidate,
+    assign_data,
+    assign_layers,
+    exact_step_time,
+    solve_lower_level,
+    sorted_divisors,
+)
+from ..core.grouping import (
+    GroupingResult,
+    RegroupDelta,
+    group_gpus,
+    group_rate,
+    regroup_delta,
+)
+from ..core.orchestration import order_pipeline_groups
+from ..core.planner import (
+    CandidateRecord,
+    MalleusPlanner,
+    PlanContext,
+    PlanningResult,
+    PlanningTimeBreakdown,
+)
+from ..parallel.plan import TPGroup
+from ..solvers.division import repair_pipeline_division
+
+#: Event taxonomy (what happened to the cluster, relative to the incumbent).
+EVENT_NO_CHANGE = "no_change"
+EVENT_MINOR_RATE_SHIFT = "minor_rate_shift"
+EVENT_GROUP_CHANGE = "group_change"
+EVENT_MEMBERSHIP_CHANGE = "membership_change"
+
+#: Repair tiers (what the engine did about it), cheapest first.
+TIER_NONE = "none"
+TIER_REBALANCE = "rebalance"
+TIER_PARTIAL = "partial_resolve"
+TIER_FULL = "full"
+
+
+@dataclass
+class ReplanConfig:
+    """Tunables of the incremental repair engine.
+
+    ``epsilon`` is the relative step-time gap versus the full planner that
+    a repair is allowed (the equivalence tests sweep it; with ``verify``
+    it is also enforced at runtime).  ``max_touched_fraction`` bounds how
+    much of the division a ``group_change`` repair may re-solve before the
+    engine concludes the event is not local and falls back to the full
+    planner.  ``enabled=False`` turns the engine into a pass-through to
+    :meth:`~repro.core.planner.MalleusPlanner.plan`.
+    """
+
+    enabled: bool = True
+    epsilon: float = 0.01
+    verify: bool = False
+    #: Fraction of pipelines a group_change repair may restructure before
+    #: falling back to the full planner.  The default (1.0, i.e. never bail
+    #: on size alone — at least one pipeline is always allowed) leans on the
+    #: bound sweep for quality; tighten it to trade repair coverage for
+    #: stricter locality.
+    max_touched_fraction: float = 1.0
+
+
+@dataclass
+class RepairOutcome:
+    """What the engine decided and did for one event.
+
+    ``result`` is ``None`` only for ``TIER_NONE`` (nothing to repair: the
+    incumbent plan is untouched by the delta).
+    """
+
+    event_kind: str
+    repair_tier: str
+    result: Optional[PlanningResult]
+    touched_gpus: List[int] = field(default_factory=list)
+    touched_pipelines: List[int] = field(default_factory=list)
+    fallback_reason: str = ""
+    repair_seconds: float = 0.0
+
+
+class ReplanEngine:
+    """Classifies cluster-state deltas and repairs the incumbent plan."""
+
+    def __init__(self, planner: MalleusPlanner,
+                 config: Optional[ReplanConfig] = None):
+        self.planner = planner
+        self.config = config or ReplanConfig()
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def classify(
+        self,
+        previous: PlanContext,
+        rates: Dict[int, float],
+    ) -> Tuple[str, List[int], Optional[RegroupDelta]]:
+        """Classify the delta between the incumbent's rates and ``rates``.
+
+        Returns ``(event_kind, touched_gpu_ids, regroup_delta)``; the
+        regroup delta (computed on the incumbent's winning TP limit) is
+        only returned for the two incremental kinds, since a membership
+        change skips straight to the full planner.
+        """
+        old = previous.rates
+        touched: List[int] = []
+        membership = False
+        for gpu_id, rate in rates.items():
+            prior = old.get(gpu_id)
+            if prior is None:
+                membership = True
+                continue
+            if math.isinf(rate) != math.isinf(prior):
+                membership = True
+            elif rate != prior:
+                touched.append(gpu_id)
+        if set(old) - set(rates):
+            membership = True
+        if membership:
+            return EVENT_MEMBERSHIP_CHANGE, touched, None
+        if not touched:
+            return EVENT_NO_CHANGE, [], None
+
+        delta = self._regroup(previous.grouping, rates, touched)
+        kind = EVENT_MINOR_RATE_SHIFT if delta.unchanged else EVENT_GROUP_CHANGE
+        return kind, touched, delta
+
+    def _regroup(self, grouping: GroupingResult, rates: Dict[int, float],
+                 touched: Sequence[int]) -> RegroupDelta:
+        planner = self.planner
+        return regroup_delta(
+            planner.cluster, rates, planner.cost_model, grouping, touched,
+            micro_batch_size=planner.task.micro_batch_size,
+            straggler_threshold=planner.straggler_threshold,
+            enable_splitting=planner.enable_splitting,
+        )
+
+    # ------------------------------------------------------------------
+    # Repair dispatch
+    # ------------------------------------------------------------------
+    def repair(self, previous: PlanContext, rates: Dict[int, float],
+               dp: Optional[int] = None) -> RepairOutcome:
+        """Classify one event and apply the cheapest sound repair.
+
+        ``dp`` pins the DP degree of the candidate sweep and of the
+        full-planner fallback (the incremental warm start keeps the
+        incumbent DP degree by construction).
+        """
+        start = time.perf_counter()
+        if not self.config.enabled:
+            return self._full(previous, rates, dp, EVENT_NO_CHANGE,
+                              "incremental re-planning disabled", start)
+        if not self.planner.enable_pruning:
+            # The repair's soundness versus the full planner rests on the
+            # bound-pruned candidate sweep; with pruning disabled every
+            # non-incumbent candidate would have to be solved exactly anyway,
+            # so there is nothing to save — run the full planner.
+            return self._full(previous, rates, dp, EVENT_NO_CHANGE,
+                              "planner pruning disabled", start)
+        kind, touched, delta = self.classify(previous, rates)
+        if kind == EVENT_NO_CHANGE:
+            return RepairOutcome(
+                event_kind=kind, repair_tier=TIER_NONE, result=None,
+                repair_seconds=time.perf_counter() - start,
+            )
+        if kind == EVENT_MEMBERSHIP_CHANGE:
+            return self._full(previous, rates, dp, kind,
+                              "membership change", start)
+        if kind == EVENT_MINOR_RATE_SHIFT:
+            prepared = self._prepare_minor(previous, rates, touched)
+            tier = TIER_REBALANCE
+        else:
+            prepared = self._prepare_group_change(previous, rates, touched,
+                                                  delta)
+            tier = TIER_PARTIAL
+        if prepared == "untouched":
+            return RepairOutcome(
+                event_kind=kind, repair_tier=TIER_NONE, result=None,
+                touched_gpus=list(touched),
+                repair_seconds=time.perf_counter() - start,
+            )
+        outcome: Optional[RepairOutcome] = None
+        if prepared is not None:
+            pipelines, touched_pipelines = prepared
+            result = self._solve_repair(previous, rates, touched, delta,
+                                        pipelines, touched_pipelines, dp)
+            if result is not None:
+                outcome = RepairOutcome(
+                    event_kind=kind, repair_tier=tier, result=result,
+                    touched_gpus=list(touched),
+                    touched_pipelines=list(touched_pipelines),
+                    repair_seconds=time.perf_counter() - start,
+                )
+        if outcome is None:
+            return self._full(previous, rates, dp, kind,
+                              "incremental repair infeasible", start)
+        if self.config.verify:
+            full = self.planner.plan(rates, dp=dp)
+            repaired = outcome.result.estimated_step_time
+            if full.feasible and \
+                    repaired > full.estimated_step_time * (1.0 + self.config.epsilon):
+                return RepairOutcome(
+                    event_kind=kind, repair_tier=TIER_FULL, result=full,
+                    touched_gpus=list(touched),
+                    fallback_reason="verify: repair exceeded epsilon",
+                    repair_seconds=time.perf_counter() - start,
+                )
+        return outcome
+
+    def _full(self, previous: PlanContext, rates: Dict[int, float],
+              dp: Optional[int], kind: str, reason: str,
+              start: float) -> RepairOutcome:
+        result = self.planner.plan(rates, dp=dp)
+        return RepairOutcome(
+            event_kind=kind, repair_tier=TIER_FULL, result=result,
+            fallback_reason=reason,
+            repair_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # Tier preparation: which pipelines change, and how
+    # ------------------------------------------------------------------
+    def _prepare_minor(self, previous: PlanContext, rates: Dict[int, float],
+                       touched: Sequence[int]):
+        """Minor shift: keep grouping and division, flag touched pipelines."""
+        touched_set = set(touched)
+        pipelines = [list(groups) for groups in previous.pipelines_groups]
+        touched_pipelines = [
+            i for i, groups in enumerate(pipelines)
+            if any(g in touched_set for group in groups for g in group.gpu_ids)
+        ]
+        if not touched_pipelines:
+            # Only GPUs outside every pipeline moved (and none crossed a
+            # grouping boundary): the incumbent plan is untouched.
+            return "untouched"
+        return pipelines, touched_pipelines
+
+    def _prepare_group_change(self, previous: PlanContext,
+                              rates: Dict[int, float],
+                              touched: Sequence[int],
+                              delta: RegroupDelta):
+        """Group change: swap the re-grouped nodes' groups into their
+        previously-hosting pipelines via a partial division re-solve."""
+        task = self.planner.task
+        cost_model = self.planner.cost_model
+        b_ref = task.micro_batch_size
+        touched_set = set(touched)
+        removed = {frozenset(g.gpu_ids) for g in delta.removed_groups}
+
+        pipelines: List[List[TPGroup]] = []
+        structure_touched: List[int] = []
+        rate_touched: List[int] = []
+        for i, groups in enumerate(previous.pipelines_groups):
+            kept = [g for g in groups if frozenset(g.gpu_ids) not in removed]
+            pipelines.append(kept)
+            if len(kept) != len(groups):
+                structure_touched.append(i)
+            elif any(g in touched_set for group in kept for g in group.gpu_ids):
+                rate_touched.append(i)
+        dp = len(pipelines)
+        if not structure_touched:
+            # Groups changed only among GPUs no pipeline hosts (e.g. a
+            # standby straggler splitting differently) — without a hosting
+            # pipeline there is nowhere local to repair; be conservative.
+            return None
+        if len(structure_touched) > max(1.0,
+                                        self.config.max_touched_fraction * dp):
+            return None
+
+        pool = [
+            g for g in delta.added_groups
+            if not math.isinf(group_rate(g, rates, cost_model, b_ref))
+        ]
+        kept_speeds = []
+        for groups in pipelines:
+            speed = 0.0
+            for group in groups:
+                y = group_rate(group, rates, cost_model, b_ref)
+                if y > 0 and not math.isinf(y):
+                    speed += 1.0 / y
+            kept_speeds.append(speed)
+        total_micro_batches = task.global_batch_size // b_ref
+        pool_rates = [group_rate(g, rates, cost_model, b_ref) for g in pool]
+        use_cache = getattr(cost_model, "enable_caching", True)
+        partial = repair_pipeline_division(
+            kept_speeds, pool_rates, structure_touched, total_micro_batches,
+            use_minmax_cache=use_cache,
+        )
+        if not partial.feasible:
+            return None
+
+        # Map the abstract placements back onto concrete groups (same
+        # rounded-rate bucketing as divide_pipelines).
+        buckets: Dict[float, List[TPGroup]] = {}
+        for group, y in zip(pool, pool_rates):
+            buckets.setdefault(round(y, 9), []).append(group)
+        for i in structure_touched:
+            for y in partial.placements[i]:
+                bucket = buckets.get(round(y, 9))
+                if not bucket:
+                    key = min(buckets, key=lambda k: abs(k - y)) if buckets \
+                        else None
+                    bucket = buckets.get(key) if key is not None else None
+                if not bucket:
+                    return None
+                pipelines[i].append(bucket.pop())
+        if any(not groups for groups in pipelines):
+            return None
+        touched_pipelines = sorted(set(structure_touched) | set(rate_touched))
+        return pipelines, touched_pipelines
+
+    # ------------------------------------------------------------------
+    # Repair solve: warm lower level + bound-pruned candidate sweep
+    # ------------------------------------------------------------------
+    def _solve_repair(
+        self,
+        previous: PlanContext,
+        rates: Dict[int, float],
+        touched: Sequence[int],
+        delta: Optional[RegroupDelta],
+        pipelines: List[List[TPGroup]],
+        touched_pipelines: Sequence[int],
+        dp_arg: Optional[int],
+    ) -> Optional[PlanningResult]:
+        planner = self.planner
+        task = planner.task
+        cost_model = planner.cost_model
+        breakdown = PlanningTimeBreakdown()
+        all_gpu_ids = planner.cluster.gpu_ids()
+
+        warm = self._warm_lower_level(previous, rates, pipelines,
+                                      touched_pipelines, breakdown)
+        if warm is None:
+            return None
+        best_candidate, best_time, best_b = warm
+        best_tp = previous.tp_limit
+        best_dp = len(pipelines)
+        incumbent_grouping = delta.grouping if delta is not None \
+            else previous.grouping
+
+        # Delta-regroup every other candidate TP limit, then sweep the
+        # remaining (grouping, dp) candidates in bound order against the
+        # repaired incumbent — exactly the full planner's phase 2, except
+        # the incumbent starts tight, so a local event prunes everything.
+        start = time.perf_counter()
+        groupings: Dict[int, GroupingResult] = {}
+        for tp_limit in planner.tp_candidates:
+            if tp_limit == previous.tp_limit:
+                groupings[tp_limit] = incumbent_grouping
+                continue
+            prior = previous.groupings.get(tp_limit)
+            if prior is None:
+                groupings[tp_limit] = group_gpus(
+                    planner.cluster, rates, cost_model, tp_limit,
+                    micro_batch_size=task.micro_batch_size,
+                    straggler_threshold=planner.straggler_threshold,
+                    enable_splitting=planner.enable_splitting,
+                )
+            else:
+                groupings[tp_limit] = self._regroup(prior, rates,
+                                                    touched).grouping
+        breakdown.grouping += time.perf_counter() - start
+
+        candidates = [CandidateRecord(
+            tp_limit=best_tp, dp_degree=best_dp,
+            estimated_step_time=best_time, feasible=True,
+            num_groups=incumbent_grouping.num_groups(),
+            isolated_gpus=list(incumbent_grouping.isolated_gpus),
+        )]
+        b_candidates = sorted_divisors(task.global_batch_size)
+        entries: List[Tuple[float, int, GroupingResult, int]] = []
+        index = 0
+        for tp_limit in planner.tp_candidates:
+            grouping = groupings[tp_limit]
+            if dp_arg is not None:
+                dp_list: Sequence[int] = [dp_arg]
+            elif planner.dp_candidates is not None:
+                dp_list = planner.dp_candidates
+            else:
+                dp_list = planner._default_dp_candidates(
+                    grouping.num_groups()
+                )
+            for dp_degree in dp_list:
+                if tp_limit == previous.tp_limit and dp_degree == best_dp:
+                    continue  # represented by the warm repair
+                start = time.perf_counter()
+                bound = planner._candidate_bound(grouping, rates,
+                                                 b_candidates, dp_degree)
+                breakdown.division += time.perf_counter() - start
+                entries.append((bound, index, grouping, dp_degree))
+                index += 1
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        for bound, _, grouping, dp_degree in entries:
+            if bound > best_time + 1e-12:
+                candidates.append(CandidateRecord(
+                    tp_limit=grouping.tp_limit, dp_degree=dp_degree,
+                    estimated_step_time=math.inf, feasible=False,
+                    num_groups=grouping.num_groups(),
+                    isolated_gpus=list(grouping.isolated_gpus),
+                    pruned=True, lower_bound=bound,
+                ))
+                continue
+            record, result = planner._evaluate_candidate(
+                grouping, rates, dp_degree, breakdown, b_candidates,
+                all_gpu_ids, incumbent=best_time,
+            )
+            record.lower_bound = bound
+            candidates.append(record)
+            if result is None or not result.feasible:
+                continue
+            if result.estimated_step_time < best_time - 1e-12:
+                best_time = result.estimated_step_time
+                best_b = result.micro_batch_size
+                best_candidate = result.candidate
+                best_tp = grouping.tp_limit
+                best_dp = dp_degree
+
+        start = time.perf_counter()
+        plan = best_candidate.materialize(rates, cost_model, all_gpu_ids)
+        breakdown.assignment += time.perf_counter() - start
+        plan.estimated_step_time = best_time
+        context = PlanContext(
+            rates=dict(rates),
+            tp_limit=best_tp,
+            dp_degree=best_dp,
+            grouping=groupings.get(best_tp, incumbent_grouping),
+            pipelines_groups=best_candidate.pipelines_groups,
+            candidate=best_candidate,
+            micro_batch_size=best_b,
+            estimated_step_time=best_time,
+            groupings=groupings,
+        )
+        return PlanningResult(
+            plan=plan,
+            estimated_step_time=best_time,
+            breakdown=breakdown,
+            candidates=candidates,
+            feasible=True,
+            context=context,
+        )
+
+    def _warm_lower_level(
+        self,
+        previous: PlanContext,
+        rates: Dict[int, float],
+        pipelines: List[List[TPGroup]],
+        touched_pipelines: Sequence[int],
+        breakdown: PlanningTimeBreakdown,
+    ) -> Optional[Tuple[PlanCandidate, float, int]]:
+        """Re-solve the lower level, reusing untouched pipelines' solutions.
+
+        The incumbent micro-batch size is evaluated first: untouched
+        pipelines reuse their layer ILP results verbatim (their group rates
+        did not move), touched pipelines are re-solved, and one exact data
+        assignment re-balances the micro-batches.  The resulting step time
+        then serves as the incumbent for a bound-pruned sweep of the
+        remaining micro-batch candidates, so the full candidate space stays
+        covered at a fraction of the usual cost.
+        """
+        planner = self.planner
+        task = planner.task
+        cost_model = planner.cost_model
+        num_layers = task.model.num_layers
+        dp = len(pipelines)
+        prev_b = previous.micro_batch_size
+        all_gpu_ids = planner.cluster.gpu_ids()
+        touched_set = set(touched_pipelines)
+
+        start = time.perf_counter()
+        for i in touched_pipelines:
+            pipelines[i] = order_pipeline_groups(
+                pipelines[i], rates, cost_model, num_layers,
+                task.micro_batch_size, dp,
+            )
+        breakdown.ordering += time.perf_counter() - start
+
+        start = time.perf_counter()
+        layer_results: List[LayerAssignmentResult] = []
+        warm_feasible = True
+        for i, groups in enumerate(pipelines):
+            if i in touched_set:
+                layer_results.append(assign_layers(
+                    groups, rates, cost_model, num_layers, prev_b, dp,
+                ))
+            else:
+                layer_results.append(previous.candidate.layer_results[i])
+            if not layer_results[-1].feasible:
+                warm_feasible = False
+        use_cache = getattr(cost_model, "enable_caching", True)
+        best_candidate: Optional[PlanCandidate] = None
+        best_time = math.inf
+        best_b = 0
+        if warm_feasible and prev_b > 0:
+            bottlenecks = [r.bottleneck for r in layer_results]
+            micro_batches, data_objective = assign_data(
+                bottlenecks, task.global_batch_size // prev_b,
+                use_cache=use_cache,
+            )
+            if not math.isinf(data_objective):
+                best_time = exact_step_time(
+                    pipelines, layer_results, micro_batches, rates,
+                    cost_model, prev_b,
+                )
+                best_b = prev_b
+                best_candidate = PlanCandidate(
+                    pipelines_groups=pipelines,
+                    layer_results=layer_results,
+                    micro_batches=micro_batches,
+                    micro_batch_size=prev_b,
+                    num_layers=num_layers,
+                    global_batch_size=task.global_batch_size,
+                )
+
+        # Sweep the remaining micro-batch candidates against the warm
+        # incumbent; bound pruning usually skips nearly all of them.
+        remaining = [
+            b for b in sorted_divisors(task.global_batch_size) if b != best_b
+        ]
+        if remaining:
+            swept = solve_lower_level(
+                pipelines, rates, cost_model, num_layers,
+                task.global_batch_size, remaining, all_gpu_ids,
+                materialize=False, incumbent=best_time,
+                enable_pruning=planner.enable_pruning,
+            )
+            if swept.feasible:
+                wins = swept.estimated_step_time < best_time - 1e-12
+                if not wins and best_candidate is not None and \
+                        abs(swept.estimated_step_time - best_time) <= 1e-12:
+                    wins = swept.micro_batch_size < best_b
+                if wins or best_candidate is None:
+                    best_time = swept.estimated_step_time
+                    best_b = swept.micro_batch_size
+                    best_candidate = swept.candidate
+        breakdown.assignment += time.perf_counter() - start
+
+        if best_candidate is None or math.isinf(best_time):
+            return None
+        return best_candidate, best_time, best_b

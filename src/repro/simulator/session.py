@@ -27,6 +27,13 @@ class Adjustment:
     planning_time: float = 0.0  # planning time (overlapped for Malleus)
     overlapped: bool = False
     description: str = ""
+    #: Classification of the triggering delta against the incumbent plan
+    #: ("minor_rate_shift", "group_change", "membership_change"); empty for
+    #: frameworks without an incremental re-planning engine.
+    event_kind: str = ""
+    #: Repair tier that handled the event ("none", "rebalance",
+    #: "partial_resolve", "full"); empty when not applicable.
+    repair_tier: str = ""
 
 
 class TrainingFramework(Protocol):

@@ -8,7 +8,9 @@ min-max structure of the problems.
 from .division import (
     DivisionProblem,
     DivisionSolution,
+    PartialDivisionSolution,
     brute_force_division,
+    repair_pipeline_division,
     solve_pipeline_division,
 )
 from .minmax import MinMaxSolution, brute_force_minmax, solve_minmax_assignment
@@ -17,8 +19,10 @@ __all__ = [
     "DivisionProblem",
     "DivisionSolution",
     "MinMaxSolution",
+    "PartialDivisionSolution",
     "brute_force_division",
     "brute_force_minmax",
+    "repair_pipeline_division",
     "solve_minmax_assignment",
     "solve_pipeline_division",
 ]

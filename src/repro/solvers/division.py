@@ -233,6 +233,26 @@ def _evaluate(problem: DivisionProblem,
     return solution.objective, solution.values
 
 
+def _largest_remainder_objective(speeds: Sequence[float], total: int) -> float:
+    """``max_i m_i / s_i`` after a largest-remainder micro-batch split.
+
+    Shared rounding kernel of :func:`_cheap_score`, the incremental
+    :class:`_RemainderScorer` and :func:`repair_pipeline_division` — all
+    three must rank candidates identically.
+    """
+    if any(speed <= 0 for speed in speeds):
+        return math.inf
+    total_speed = sum(speeds)
+    shares = [total * s / total_speed for s in speeds]
+    floors = [int(math.floor(share)) for share in shares]
+    remainder = total - sum(floors)
+    order = sorted(range(len(speeds)), key=lambda i: shares[i] - floors[i],
+                   reverse=True)
+    for i in order[:remainder]:
+        floors[i] += 1
+    return max(m / s for m, s in zip(floors, speeds))
+
+
 def _cheap_score(problem: DivisionProblem,
                  slow_assignment: Sequence[Sequence[float]],
                  fast_counts: Sequence[int],
@@ -258,15 +278,70 @@ def _cheap_score(problem: DivisionProblem,
         if speed <= 0:
             return math.inf
         speeds.append(speed)
-    total_speed = sum(speeds)
-    total = problem.total_micro_batches
-    shares = [total * s / total_speed for s in speeds]
-    floors = [int(math.floor(share)) for share in shares]
-    remainder = total - sum(floors)
-    order = sorted(range(dp), key=lambda i: shares[i] - floors[i], reverse=True)
-    for i in order[:remainder]:
-        floors[i] += 1
-    return max(m / s for m, s in zip(floors, speeds))
+    return _largest_remainder_objective(speeds, problem.total_micro_batches)
+
+
+class _RemainderScorer:
+    """Incrementally-updated largest-remainder score for the local search.
+
+    Equivalent to :func:`_cheap_score` (same arithmetic, same rounding, same
+    tie-breaking, verified by the kernel-equivalence tests) but built for the
+    move/revert loop of :func:`_local_search_slow`:
+
+    * workspaces are preallocated once instead of being rebuilt per move;
+    * the per-pipeline speeds are refreshed from the caller's ``base_speed``
+      and fast counts in place — no intermediate lists;
+    * scoring accepts a ``threshold`` (the incumbent score) and aborts with
+      ``inf`` as soon as the running maximum reaches it, which is sound
+      because the local search only ever asks "does this move beat the
+      incumbent?".
+    """
+
+    def __init__(self, problem: DivisionProblem):
+        self.problem = problem
+        dp = problem.num_pipelines
+        self._speeds = [0.0] * dp
+        self._shares = [0.0] * dp
+        self._floors = [0] * dp
+
+    def score(self, base_speed: Sequence[float], fast_counts: Sequence[int],
+              threshold: float = math.inf) -> float:
+        problem = self.problem
+        dp = problem.num_pipelines
+        fast_rate = problem.fast_group_rate
+        speeds = self._speeds
+        for i in range(dp):
+            speed = 0.0
+            if fast_rate > 0:
+                speed += fast_counts[i] / fast_rate
+            speed += base_speed[i]
+            if speed <= 0:
+                return math.inf
+            speeds[i] = speed
+        total = problem.total_micro_batches
+        total_speed = sum(speeds)
+        shares = self._shares
+        floors = self._floors
+        remainder = total
+        for i in range(dp):
+            share = total * speeds[i] / total_speed
+            shares[i] = share
+            f = int(math.floor(share))
+            floors[i] = f
+            remainder -= f
+        if remainder:
+            order = sorted(range(dp), key=lambda i: shares[i] - floors[i],
+                           reverse=True)
+            for i in order[:remainder]:
+                floors[i] += 1
+        worst = 0.0
+        for i in range(dp):
+            value = floors[i] / speeds[i]
+            if value > worst:
+                if value >= threshold:
+                    return math.inf
+                worst = value
+        return worst
 
 
 def _local_search_fast(problem: DivisionProblem,
@@ -375,12 +450,16 @@ def _local_search_slow(problem: DivisionProblem,
     score, avoiding the legacy kernel's full deep copy of every bucket per
     candidate move.  The per-bucket harmonic speeds are refreshed only for
     the two touched buckets (recomputed from the bucket contents, so they
-    stay bit-identical to a from-scratch derivation).
+    stay bit-identical to a from-scratch derivation), and candidate moves
+    are scored with the incremental :class:`_RemainderScorer` (preallocated
+    workspaces + incumbent-threshold early exit) instead of re-running
+    :func:`_cheap_score` from scratch.
     """
     dp = problem.num_pipelines
     buckets = [list(b) for b in slow_assignment]
     base_speed = [sum(1.0 / r for r in b) for b in buckets]
-    best = _cheap_score(problem, buckets, fast_counts, base_speed)
+    scorer = _RemainderScorer(problem)
+    best = scorer.score(base_speed, fast_counts)
     improved = True
     while improved:
         improved = False
@@ -399,8 +478,8 @@ def _local_search_slow(problem: DivisionProblem,
                     if problem.fast_group_count == 0:
                         counts = [0] * dp
                     if feasible:
-                        score = _cheap_score(problem, buckets, counts,
-                                             base_speed)
+                        score = scorer.score(base_speed, counts,
+                                             threshold=best)
                         if score < best - 1e-12:
                             best = score
                             improved = True
@@ -480,11 +559,22 @@ def division_lower_bound(problem: DivisionProblem) -> float:
     return problem.total_micro_batches / speed
 
 
+def _matches_problem(problem: DivisionProblem,
+                     assignment: Sequence[Sequence[float]]) -> bool:
+    """Whether a warm-start slow assignment is structurally compatible."""
+    if len(assignment) != problem.num_pipelines:
+        return False
+    seeded = sorted(rate for bucket in assignment for rate in bucket)
+    return seeded == sorted(problem.slow_group_rates)
+
+
 def solve_pipeline_division(problem: DivisionProblem,
                             enumeration_limit: int = 2000,
                             refine_top_k: int = 4,
                             legacy_kernels: bool = False,
-                            use_minmax_cache: bool = True) -> DivisionSolution:
+                            use_minmax_cache: bool = True,
+                            warm_start: Optional[Sequence[Sequence[float]]]
+                            = None) -> DivisionSolution:
     """Solve the pipeline-division MINLP.
 
     The solver enumerates symmetry-reduced slow-group assignments (falling
@@ -493,6 +583,14 @@ def solve_pipeline_division(problem: DivisionProblem,
     groups, and refines the ``refine_top_k`` best candidates with a local
     search that moves individual fast groups between pipelines; micro-batches
     are assigned by the exact min-max solver throughout.
+
+    ``warm_start`` optionally seeds a previous solution's slow-group buckets
+    (one list of rates per pipeline).  When the seed still matches the
+    problem (same pipeline count, same slow-rate multiset) it replaces the
+    greedy starting point of the fallback local search and joins the scored
+    candidate pool, so re-planning after a small rate shift starts from the
+    incumbent division instead of from scratch; an incompatible seed is
+    ignored.
 
     ``legacy_kernels=True`` selects the pre-overhaul reference kernels
     (rescanning water-filling, deep-copy local search, uncached min-max
@@ -504,6 +602,8 @@ def solve_pipeline_division(problem: DivisionProblem,
         use_minmax_cache = False
     else:
         waterfill = _waterfill_fast_groups
+    if warm_start is not None and not _matches_problem(problem, warm_start):
+        warm_start = None
     if len(problem.slow_group_rates) > 24:
         # At cluster scales with dozens of slow groups even the truncated
         # enumeration spends most of its time walking the search tree; the
@@ -516,7 +616,10 @@ def solve_pipeline_division(problem: DivisionProblem,
         )
     used_fallback = False
     if truncated:
-        greedy = _greedy_slow_assignment(problem.slow_group_rates, dp)
+        if warm_start is not None:
+            greedy: List[List[float]] = [list(b) for b in warm_start]
+        else:
+            greedy = _greedy_slow_assignment(problem.slow_group_rates, dp)
         counts = waterfill(problem, greedy)
         if counts or problem.fast_group_count == 0:
             if legacy_kernels:
@@ -529,6 +632,8 @@ def solve_pipeline_division(problem: DivisionProblem,
                 )
         assignments = [greedy]
         used_fallback = True
+    elif warm_start is not None:
+        assignments = [[list(b) for b in warm_start]] + assignments
 
     # First pass: cheap evaluation (water-filling only) of every candidate.
     scored = []
@@ -570,6 +675,112 @@ def solve_pipeline_division(problem: DivisionProblem,
         raise ValueError("pipeline division is infeasible for the given problem")
     best.candidates_evaluated = evaluated
     return best
+
+
+@dataclass
+class PartialDivisionSolution:
+    """Result of a per-pipeline partial re-solve.
+
+    ``placements[i]`` lists the pool-group rates placed into pipeline ``i``
+    (always empty for untouched pipelines); ``micro_batches`` is the exact
+    min-max split over *all* pipelines and ``objective`` its value.
+    """
+
+    placements: List[List[float]]
+    micro_batches: List[int]
+    objective: float
+    feasible: bool = True
+
+
+def repair_pipeline_division(
+    kept_speeds: Sequence[float],
+    pool_rates: Sequence[float],
+    touched: Sequence[int],
+    total_micro_batches: int,
+    use_minmax_cache: bool = True,
+) -> PartialDivisionSolution:
+    """Re-solve the division for a handful of touched pipelines only.
+
+    Incremental re-planning keeps most of the incumbent division: only the
+    groups of re-grouped nodes (the ``pool``) need a new home, and only the
+    ``touched`` pipelines (the ones that previously hosted those nodes'
+    groups) may receive them.  ``kept_speeds[i]`` is the harmonic speed of
+    the groups pipeline ``i`` keeps in place.
+
+    The placement uses the same machinery as the full solver restricted to
+    the touched pipelines — LPT greedy seeding, single-group local search
+    scored by largest-remainder rounding — followed by one exact min-max
+    micro-batch solve over all pipelines.  The result is a repair, not a
+    proof of optimality; the caller (the replan engine) validates it against
+    its epsilon budget and falls back to the full planner when it is not
+    good enough.
+    """
+    dp = len(kept_speeds)
+    touched = [i for i in touched if 0 <= i < dp]
+    placements: List[List[float]] = [[] for _ in range(dp)]
+    speeds = [float(s) for s in kept_speeds]
+    if pool_rates and not touched:
+        return PartialDivisionSolution(
+            placements=placements, micro_batches=[0] * dp,
+            objective=math.inf, feasible=False,
+        )
+
+    # LPT greedy: slowest pool groups first, each onto the currently
+    # slowest touched pipeline (mirrors _greedy_slow_assignment).
+    for rate in sorted(pool_rates, reverse=True):
+        idx = min(touched, key=lambda i: (speeds[i], len(placements[i])))
+        placements[idx].append(rate)
+        speeds[idx] += 1.0 / rate
+
+    # Single-group moves between touched pipelines, largest-remainder score.
+    if len(touched) > 1:
+        best = _largest_remainder_objective(speeds, total_micro_batches)
+        improved = True
+        while improved:
+            improved = False
+            for src in touched:
+                for idx in range(len(placements[src])):
+                    for dst in touched:
+                        if dst == src:
+                            continue
+                        rate = placements[src].pop(idx)
+                        placements[dst].append(rate)
+                        speeds[src] -= 1.0 / rate
+                        speeds[dst] += 1.0 / rate
+                        score = _largest_remainder_objective(
+                            speeds, total_micro_batches
+                        )
+                        if score < best - 1e-12:
+                            best = score
+                            improved = True
+                            break
+                        placements[dst].pop()
+                        placements[src].insert(idx, rate)
+                        speeds[src] += 1.0 / rate
+                        speeds[dst] -= 1.0 / rate
+                    if improved:
+                        break
+                if improved:
+                    break
+
+    if any(speed <= 0 for speed in speeds):
+        return PartialDivisionSolution(
+            placements=placements, micro_batches=[0] * dp,
+            objective=math.inf, feasible=False,
+        )
+    weights = [1.0 / speed for speed in speeds]
+    solution = solve_minmax_assignment(weights, total_micro_batches,
+                                       use_cache=use_minmax_cache)
+    if not solution.feasible:
+        return PartialDivisionSolution(
+            placements=placements, micro_batches=[0] * dp,
+            objective=math.inf, feasible=False,
+        )
+    return PartialDivisionSolution(
+        placements=placements,
+        micro_batches=list(solution.values),
+        objective=solution.objective,
+    )
 
 
 def brute_force_division(problem: DivisionProblem) -> float:

@@ -1,6 +1,7 @@
 """Tests for the pipeline-division MINLP solver (Eq. 4)."""
 
 import math
+import random
 
 import pytest
 from hypothesis import given, settings
@@ -8,7 +9,15 @@ from hypothesis import strategies as st
 
 from repro.solvers.division import (
     DivisionProblem,
+    _RemainderScorer,
+    _cheap_score,
+    _greedy_slow_assignment,
+    _local_search_slow,
+    _local_search_slow_legacy,
+    _waterfill_fast_groups,
+    _waterfill_fast_groups_legacy,
     brute_force_division,
+    repair_pipeline_division,
     solve_pipeline_division,
 )
 
@@ -164,6 +173,209 @@ class TestAgainstBruteForce:
             speed = solution.pipeline_speed(index, 0.4)
             worst = max(worst, solution.micro_batches[index] / speed)
         assert worst == pytest.approx(solution.objective, rel=1e-9)
+
+
+class TestRemainderScorer:
+    """The incremental scorer must be value-identical to _cheap_score."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        dp=st.integers(min_value=1, max_value=6),
+        fast=st.integers(min_value=0, max_value=12),
+        slow=st.lists(st.floats(min_value=1.0, max_value=8.0),
+                      min_size=0, max_size=8),
+        total=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_matches_cheap_score_exactly(self, dp, fast, slow, total, seed):
+        if fast + len(slow) < dp:
+            return
+        problem = DivisionProblem(
+            num_pipelines=dp, total_micro_batches=total,
+            fast_group_count=fast, fast_group_rate=0.4,
+            slow_group_rates=slow,
+        )
+        rng = random.Random(seed)
+        buckets = [[] for _ in range(dp)]
+        for rate in slow:
+            buckets[rng.randrange(dp)].append(rate)
+        base_speed = [sum(1.0 / r for r in b) for b in buckets]
+        counts = _waterfill_fast_groups(problem, buckets, base_speed)
+        if not counts and fast > 0:
+            return
+        if fast == 0:
+            counts = [0] * dp
+        scorer = _RemainderScorer(problem)
+        expected = _cheap_score(problem, buckets, counts, base_speed)
+        assert scorer.score(base_speed, counts) == expected
+        # Scoring is repeatable on the same workspace (no state leaks).
+        assert scorer.score(base_speed, counts) == expected
+
+    def test_threshold_early_exit_is_sound(self):
+        problem = DivisionProblem(
+            num_pipelines=2, total_micro_batches=10,
+            fast_group_count=4, fast_group_rate=0.5,
+            slow_group_rates=[2.0],
+        )
+        buckets = [[2.0], []]
+        base_speed = [0.5, 0.0]
+        counts = _waterfill_fast_groups(problem, buckets, base_speed)
+        scorer = _RemainderScorer(problem)
+        exact = scorer.score(base_speed, counts)
+        # A threshold at or below the true score aborts with inf...
+        assert scorer.score(base_speed, counts, threshold=exact) == math.inf
+        assert scorer.score(base_speed, counts,
+                            threshold=exact * 0.5) == math.inf
+        # ...while a larger threshold returns the exact value.
+        assert scorer.score(base_speed, counts,
+                            threshold=exact * 2.0) == exact
+
+
+class TestLocalSearchKernelEquivalence:
+    """Production (incremental-scorer) vs legacy local search outcomes."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        dp=st.integers(min_value=2, max_value=4),
+        fast=st.integers(min_value=0, max_value=8),
+        slow=st.lists(st.floats(min_value=1.0, max_value=6.0),
+                      min_size=2, max_size=7),
+        total=st.integers(min_value=4, max_value=48),
+    )
+    def test_production_matches_legacy(self, dp, fast, slow, total):
+        if fast + len(slow) < dp:
+            return
+        problem = DivisionProblem(
+            num_pipelines=dp, total_micro_batches=total,
+            fast_group_count=fast, fast_group_rate=0.4,
+            slow_group_rates=slow,
+        )
+        start = _greedy_slow_assignment(slow, dp)
+        counts = _waterfill_fast_groups(problem, start)
+        if not counts and fast > 0:
+            return
+        if fast == 0:
+            counts = [0] * dp
+        produced = _local_search_slow(problem, start, counts)
+        legacy = _local_search_slow_legacy(problem, start, list(counts))
+        assert [sorted(b) for b in produced] == [sorted(b) for b in legacy]
+
+    def test_legacy_kernels_flag_still_supported(self):
+        problem = DivisionProblem(
+            num_pipelines=3, total_micro_batches=24,
+            fast_group_count=5, fast_group_rate=0.3,
+            slow_group_rates=[1.5 + 0.25 * i for i in range(26)],
+        )
+        production = solve_pipeline_division(problem)
+        legacy = solve_pipeline_division(problem, legacy_kernels=True)
+        assert production.used_fallback and legacy.used_fallback
+        assert production.objective == pytest.approx(legacy.objective,
+                                                     rel=1e-9)
+
+
+class TestWarmStart:
+    def test_warm_start_matches_cold_solve(self):
+        problem = make_problem(
+            num_pipelines=2, fast_group_count=3, fast_group_rate=0.4,
+            slow_group_rates=[2.0, 4.0], total_micro_batches=12,
+        )
+        cold = solve_pipeline_division(problem)
+        warm = solve_pipeline_division(problem,
+                                       warm_start=cold.slow_groups)
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-12)
+
+    def test_warm_start_seeds_the_fallback_local_search(self):
+        slow = [1.5 + 0.1 * i for i in range(26)]
+        problem = make_problem(
+            num_pipelines=4, fast_group_count=10, fast_group_rate=0.3,
+            slow_group_rates=slow, total_micro_batches=64,
+        )
+        cold = solve_pipeline_division(problem)
+        warm = solve_pipeline_division(problem, warm_start=cold.slow_groups)
+        assert warm.used_fallback
+        assert warm.objective <= cold.objective + 1e-9
+
+    def test_incompatible_warm_start_is_ignored(self):
+        problem = make_problem(
+            num_pipelines=2, fast_group_count=3, fast_group_rate=0.4,
+            slow_group_rates=[2.0, 4.0], total_micro_batches=12,
+        )
+        cold = solve_pipeline_division(problem)
+        mismatched = solve_pipeline_division(
+            problem, warm_start=[[9.0], [7.0, 3.0]]  # wrong rate multiset
+        )
+        assert mismatched.objective == pytest.approx(cold.objective,
+                                                     rel=1e-12)
+
+
+class TestRepairPipelineDivision:
+    def test_places_pool_only_into_touched_pipelines(self):
+        solution = repair_pipeline_division(
+            kept_speeds=[2.0, 2.0, 2.0],
+            pool_rates=[2.0, 4.0],
+            touched=[1],
+            total_micro_batches=12,
+        )
+        assert solution.feasible
+        assert solution.placements[0] == [] and solution.placements[2] == []
+        assert sorted(solution.placements[1]) == [2.0, 4.0]
+        assert sum(solution.micro_batches) == 12
+
+    def test_balances_across_touched_pipelines(self):
+        solution = repair_pipeline_division(
+            kept_speeds=[1.0, 1.0],
+            pool_rates=[2.0, 2.0],
+            touched=[0, 1],
+            total_micro_batches=10,
+        )
+        assert solution.feasible
+        assert [len(p) for p in solution.placements] == [1, 1]
+        assert solution.micro_batches[0] == solution.micro_batches[1]
+
+    def test_empty_pool_rebalances_micro_batches_only(self):
+        solution = repair_pipeline_division(
+            kept_speeds=[1.0, 3.0],
+            pool_rates=[],
+            touched=[0],
+            total_micro_batches=8,
+        )
+        assert solution.feasible
+        assert solution.micro_batches[1] > solution.micro_batches[0]
+
+    def test_infeasible_when_a_pipeline_has_no_speed(self):
+        solution = repair_pipeline_division(
+            kept_speeds=[0.0, 1.0],
+            pool_rates=[],
+            touched=[1],
+            total_micro_batches=8,
+        )
+        assert not solution.feasible
+        assert math.isinf(solution.objective)
+
+    def test_pool_without_touched_pipelines_is_infeasible(self):
+        solution = repair_pipeline_division(
+            kept_speeds=[1.0, 1.0],
+            pool_rates=[2.0],
+            touched=[],
+            total_micro_batches=8,
+        )
+        assert not solution.feasible
+
+    def test_matches_full_solver_on_symmetric_instance(self):
+        # Re-placing every group over every pipeline must land on the same
+        # objective as solving the equivalent division problem from scratch.
+        slow = [2.0, 2.0, 4.0, 4.0]
+        problem = make_problem(
+            num_pipelines=2, fast_group_count=0, fast_group_rate=1.0,
+            slow_group_rates=slow, total_micro_batches=16,
+        )
+        full = solve_pipeline_division(problem)
+        repaired = repair_pipeline_division(
+            kept_speeds=[0.0, 0.0], pool_rates=slow, touched=[0, 1],
+            total_micro_batches=16,
+        )
+        assert repaired.feasible
+        assert repaired.objective == pytest.approx(full.objective, rel=1e-9)
 
 
 class TestFallback:

@@ -1,8 +1,10 @@
 """Tests for the profiler: shift detection, standby devices, failures."""
 
+import math
+
 import pytest
 
-from repro.cluster.profiler import Profiler, ProfilerConfig
+from repro.cluster.profiler import Profiler, ProfilerConfig, RateDeltaEvent
 from repro.cluster.stragglers import ClusterState, state_from_rates
 from repro.cluster.topology import paper_cluster
 
@@ -126,3 +128,49 @@ class TestNoise:
         profiler = Profiler(cluster)
         profiler.measure(state_from_rates(cluster, {2: 2.5}))
         assert profiler.last_rates[2] == pytest.approx(2.5)
+
+
+class TestRateDeltaEvents:
+    def test_quiet_measure_emits_no_deltas(self, cluster):
+        profiler = Profiler(cluster)
+        report = profiler.measure(ClusterState(cluster=cluster))
+        assert report.deltas == []
+
+    def test_shift_emits_typed_delta(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.measure(ClusterState(cluster=cluster))
+        report = profiler.measure(state_from_rates(cluster, {3: 2.6}))
+        assert len(report.deltas) == 1
+        event = report.deltas[0]
+        assert event.gpu_id == 3
+        assert event.previous_rate == pytest.approx(1.0)
+        assert event.rate == pytest.approx(2.6)
+        assert event.relative_change == pytest.approx(1.6)
+        assert not event.is_failure and not event.is_recovery
+
+    def test_sub_threshold_shift_still_reports_delta(self, cluster):
+        # Deltas carry every observed movement; `changed` (and therefore
+        # the re-plan notification) is what the threshold gates.
+        profiler = Profiler(cluster)
+        profiler.measure(state_from_rates(cluster, {0: 2.0}))
+        report = profiler.measure(state_from_rates(cluster, {0: 2.04}))
+        assert not report.changed
+        assert [e.gpu_id for e in report.deltas] == [0]
+
+    def test_failure_and_recovery_flags(self, cluster):
+        profiler = Profiler(cluster)
+        profiler.measure(ClusterState(cluster=cluster))
+        failed = ClusterState(cluster=cluster)
+        failed.fail(5)
+        report = profiler.measure(failed)
+        event = next(e for e in report.deltas if e.gpu_id == 5)
+        assert event.is_failure and not event.is_recovery
+        assert math.isinf(event.relative_change)
+        report = profiler.measure(ClusterState(cluster=cluster))
+        event = next(e for e in report.deltas if e.gpu_id == 5)
+        assert event.is_recovery and not event.is_failure
+
+    def test_delta_event_is_immutable(self):
+        event = RateDeltaEvent(gpu_id=0, previous_rate=1.0, rate=2.0)
+        with pytest.raises(AttributeError):
+            event.rate = 3.0

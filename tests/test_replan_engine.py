@@ -1,0 +1,328 @@
+"""Tests for the incremental re-planning engine (repro.runtime.replan).
+
+Covers event classification, the repair tiers, the escape hatches, the
+profiler-threshold threading, and — under the ``replan`` marker — the
+equivalence sweep over the paper trace: every minor_rate_shift /
+group_change event must be repaired incrementally with an estimated step
+time within the engine's epsilon of a fresh full plan for the same rates.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.stragglers import ClusterState, state_from_rates
+from repro.cluster.topology import paper_cluster
+from repro.cluster.trace import paper_trace
+from repro.core.costmodel import MalleusCostModel
+from repro.core.planner import MalleusPlanner
+from repro.models.presets import paper_task
+from repro.runtime.malleus import MalleusSystem
+from repro.runtime.replan import (
+    EVENT_GROUP_CHANGE,
+    EVENT_MEMBERSHIP_CHANGE,
+    EVENT_MINOR_RATE_SHIFT,
+    EVENT_NO_CHANGE,
+    TIER_FULL,
+    TIER_NONE,
+    TIER_PARTIAL,
+    TIER_REBALANCE,
+    ReplanConfig,
+    ReplanEngine,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+    return task, cluster, MalleusCostModel(task.model, cluster)
+
+
+@pytest.fixture(scope="module")
+def planner(workload):
+    task, cluster, cost_model = workload
+    return MalleusPlanner(task, cluster, cost_model)
+
+
+def rates_with(cluster, overrides):
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates.update(overrides)
+    return rates
+
+
+class TestClassification:
+    @pytest.fixture(scope="class")
+    def engine(self, planner):
+        return ReplanEngine(planner)
+
+    @pytest.fixture(scope="class")
+    def straggler_context(self, workload, planner):
+        _, cluster, _ = workload
+        result = planner.plan(rates_with(cluster, {0: 2.6}))
+        assert result.feasible
+        return result.context
+
+    def test_identical_rates_are_no_change(self, workload, engine,
+                                           straggler_context):
+        _, cluster, _ = workload
+        kind, touched, delta = engine.classify(
+            straggler_context, rates_with(cluster, {0: 2.6})
+        )
+        assert kind == EVENT_NO_CHANGE
+        assert touched == []
+
+    def test_straggler_drift_is_minor(self, workload, engine,
+                                      straggler_context):
+        # The straggler stays isolated in its own group: no boundary moved.
+        _, cluster, _ = workload
+        kind, touched, delta = engine.classify(
+            straggler_context, rates_with(cluster, {0: 3.0})
+        )
+        assert kind == EVENT_MINOR_RATE_SHIFT
+        assert touched == [0]
+        assert delta is not None and delta.unchanged
+
+    def test_new_straggler_is_group_change(self, workload, engine,
+                                           straggler_context):
+        _, cluster, _ = workload
+        kind, touched, delta = engine.classify(
+            straggler_context, rates_with(cluster, {0: 2.6, 8: 5.42})
+        )
+        assert kind == EVENT_GROUP_CHANGE
+        assert touched == [8]
+        assert delta is not None and not delta.unchanged
+        assert delta.changed_node_ids == [1]
+
+    def test_straggler_disappearing_is_group_change(self, workload, engine,
+                                                    straggler_context):
+        _, cluster, _ = workload
+        kind, touched, delta = engine.classify(
+            straggler_context, rates_with(cluster, {})
+        )
+        assert kind == EVENT_GROUP_CHANGE
+        assert touched == [0]
+
+    def test_failure_is_membership_change(self, workload, engine,
+                                          straggler_context):
+        _, cluster, _ = workload
+        rates = rates_with(cluster, {0: 2.6, 5: math.inf})
+        kind, touched, delta = engine.classify(straggler_context, rates)
+        assert kind == EVENT_MEMBERSHIP_CHANGE
+        assert delta is None
+
+
+class TestRepairTiers:
+    def test_minor_shift_repairs_with_rebalance(self, workload, planner):
+        _, cluster, _ = workload
+        incumbent = planner.plan(rates_with(cluster, {0: 2.6}))
+        outcome = planner.plan_incremental(
+            incumbent.context, rates_with(cluster, {0: 3.0})
+        )
+        assert outcome.event_kind == EVENT_MINOR_RATE_SHIFT
+        assert outcome.repair_tier == TIER_REBALANCE
+        assert outcome.result.feasible
+        assert outcome.result.plan.is_valid()
+        assert outcome.touched_pipelines
+
+    def test_group_change_repairs_partially(self, workload, planner):
+        _, cluster, _ = workload
+        incumbent = planner.plan(rates_with(cluster, {}))
+        outcome = planner.plan_incremental(
+            incumbent.context, rates_with(cluster, {8: 5.42})
+        )
+        assert outcome.event_kind == EVENT_GROUP_CHANGE
+        assert outcome.repair_tier == TIER_PARTIAL
+        assert outcome.result.feasible
+        assert outcome.result.plan.is_valid()
+
+    def test_membership_change_falls_back_to_full(self, workload, planner):
+        _, cluster, _ = workload
+        incumbent = planner.plan(rates_with(cluster, {}))
+        outcome = planner.plan_incremental(
+            incumbent.context, rates_with(cluster, {5: math.inf})
+        )
+        assert outcome.event_kind == EVENT_MEMBERSHIP_CHANGE
+        assert outcome.repair_tier == TIER_FULL
+        assert outcome.fallback_reason == "membership change"
+        assert 5 not in outcome.result.plan.active_gpus
+
+    def test_pruning_disabled_planner_falls_back_to_full(self, workload):
+        # The repair's equivalence to the full planner rests on the
+        # bound-pruned candidate sweep; without pruning the engine must not
+        # silently skip the other (tp, dp) candidates.
+        task, cluster, cost_model = workload
+        unpruned = MalleusPlanner(task, cluster, cost_model,
+                                  enable_pruning=False)
+        incumbent = unpruned.plan(rates_with(cluster, {}))
+        outcome = unpruned.plan_incremental(
+            incumbent.context, rates_with(cluster, {0: 2.6})
+        )
+        assert outcome.repair_tier == TIER_FULL
+        assert "pruning" in outcome.fallback_reason
+        full = unpruned.plan(rates_with(cluster, {0: 2.6}))
+        assert outcome.result.estimated_step_time == pytest.approx(
+            full.estimated_step_time
+        )
+
+    def test_disabled_engine_is_a_full_pass_through(self, workload, planner):
+        _, cluster, _ = workload
+        incumbent = planner.plan(rates_with(cluster, {}))
+        outcome = ReplanEngine(planner, ReplanConfig(enabled=False)).repair(
+            incumbent.context, rates_with(cluster, {0: 2.6})
+        )
+        assert outcome.repair_tier == TIER_FULL
+        assert "disabled" in outcome.fallback_reason
+
+    def test_repair_context_chains_to_the_next_event(self, workload, planner):
+        _, cluster, _ = workload
+        incumbent = planner.plan(rates_with(cluster, {0: 2.6}))
+        first = planner.plan_incremental(
+            incumbent.context, rates_with(cluster, {0: 3.0})
+        )
+        second = planner.plan_incremental(
+            first.result.context, rates_with(cluster, {0: 3.3})
+        )
+        assert second.event_kind == EVENT_MINOR_RATE_SHIFT
+        assert second.result.feasible
+        full = planner.plan(rates_with(cluster, {0: 3.3}))
+        assert second.result.estimated_step_time <= \
+            full.estimated_step_time * 1.01 + 1e-9
+
+    def test_verify_mode_enforces_epsilon_at_runtime(self, workload, planner):
+        _, cluster, _ = workload
+        incumbent = planner.plan(rates_with(cluster, {0: 2.6}))
+        engine = ReplanEngine(planner, ReplanConfig(verify=True))
+        outcome = engine.repair(incumbent.context,
+                                rates_with(cluster, {0: 3.0}))
+        full = planner.plan(rates_with(cluster, {0: 3.0}))
+        assert outcome.result.estimated_step_time <= \
+            full.estimated_step_time * (1.0 + engine.config.epsilon) + 1e-9
+
+
+class TestRuntimeIntegration:
+    def fresh_system(self, workload, **kwargs):
+        task, cluster, cost_model = workload
+        system = MalleusSystem(task, cluster, cost_model, **kwargs)
+        system.setup(ClusterState(cluster=cluster))
+        return system
+
+    def test_adjustments_record_event_kind_and_tier(self, workload):
+        _, cluster, _ = workload
+        system = self.fresh_system(workload)
+        adjustment = system.on_situation_change(
+            state_from_rates(cluster, {0: 5.42})
+        )
+        assert adjustment.event_kind == EVENT_GROUP_CHANGE
+        assert adjustment.repair_tier in (TIER_PARTIAL, TIER_FULL)
+        event = system.replan_events[-1]
+        assert event.event_kind == adjustment.event_kind
+        assert event.repair_tier == adjustment.repair_tier
+
+    def test_escape_hatch_disables_the_engine(self, workload):
+        _, cluster, _ = workload
+        system = self.fresh_system(workload, incremental=False)
+        adjustment = system.on_situation_change(
+            state_from_rates(cluster, {0: 5.42})
+        )
+        assert adjustment.event_kind == ""
+        assert adjustment.repair_tier == TIER_FULL
+
+    def test_failure_records_membership_change(self, workload):
+        _, cluster, _ = workload
+        system = self.fresh_system(workload)
+        state = ClusterState(cluster=cluster)
+        state.fail(0)
+        adjustment = system.on_situation_change(state)
+        assert adjustment.kind == "restart"
+        assert adjustment.event_kind == EVENT_MEMBERSHIP_CHANGE
+        assert adjustment.repair_tier == TIER_FULL
+
+    def test_incremental_and_full_reach_equivalent_step_times(self, workload):
+        task, cluster, cost_model = workload
+        state = state_from_rates(cluster, {0: 5.42})
+        incremental = self.fresh_system(workload)
+        incremental.on_situation_change(state)
+        full = self.fresh_system(workload, incremental=False)
+        full.on_situation_change(state)
+        assert incremental.step_time(state) <= \
+            full.step_time(state) * 1.01 + 1e-9
+
+
+class TestThresholdThreading:
+    def test_shift_threshold_reaches_the_profiler(self, workload):
+        task, cluster, cost_model = workload
+        system = MalleusSystem(task, cluster, cost_model, shift_threshold=0.5)
+        assert system.profiler.config.shift_threshold == 0.5
+
+    def test_sub_threshold_jitter_produces_no_replan_event(self, workload):
+        task, cluster, cost_model = workload
+        system = MalleusSystem(task, cluster, cost_model, shift_threshold=0.5)
+        system.setup(ClusterState(cluster=cluster))
+        adjustment = system.on_situation_change(
+            state_from_rates(cluster, {0: 1.3})
+        )
+        assert adjustment.kind == "none"
+        assert system.replan_events == []
+
+    def test_default_five_percent_threshold_still_applies(self, workload):
+        task, cluster, cost_model = workload
+        system = MalleusSystem(task, cluster, cost_model)
+        system.setup(ClusterState(cluster=cluster))
+        adjustment = system.on_situation_change(
+            state_from_rates(cluster, {0: 1.03})
+        )
+        assert adjustment.kind == "none"
+        assert system.replan_events == []
+
+
+@pytest.mark.replan
+class TestEquivalenceSweep:
+    """The tentpole correctness bar: repair quality on the paper trace."""
+
+    EPSILON = 0.01
+
+    def test_paper_trace_repairs_within_epsilon(self, workload):
+        task, cluster, cost_model = workload
+        system = MalleusSystem(task, cluster, cost_model)
+        reference = MalleusPlanner(task, cluster,
+                                   MalleusCostModel(task.model, cluster))
+        trace = paper_trace(cluster)
+        kinds_seen = []
+        for index, situation in enumerate(trace.situations):
+            state = situation.as_state(cluster)
+            if index == 0:
+                system.setup(state)
+                continue
+            adjustment = system.on_situation_change(state)
+            assert adjustment.event_kind in (EVENT_MINOR_RATE_SHIFT,
+                                             EVENT_GROUP_CHANGE), \
+                situation.name
+            # Every straggler event of the trace must be repaired by an
+            # incremental tier, not the full-planner fallback.
+            assert adjustment.repair_tier in (TIER_REBALANCE, TIER_PARTIAL), \
+                f"{situation.name}: fell back to {adjustment.repair_tier}"
+            kinds_seen.append(adjustment.event_kind)
+
+            full = reference.plan(state.rate_map())
+            assert full.feasible
+            repaired = system.plan_context.estimated_step_time
+            gap = repaired / full.estimated_step_time - 1.0
+            assert gap <= self.EPSILON, (
+                f"{situation.name}: repaired {repaired:.4f}s vs full "
+                f"{full.estimated_step_time:.4f}s ({gap:+.3%})"
+            )
+        # The trace must exercise both incremental event kinds.
+        assert EVENT_MINOR_RATE_SHIFT in kinds_seen
+        assert EVENT_GROUP_CHANGE in kinds_seen
+
+    def test_sweep_honours_a_custom_epsilon(self, workload):
+        task, cluster, cost_model = workload
+        config = ReplanConfig(epsilon=0.05, verify=True)
+        system = MalleusSystem(task, cluster, cost_model,
+                               replan_config=config)
+        system.setup(ClusterState(cluster=cluster))
+        system.on_situation_change(state_from_rates(cluster, {0: 2.6}))
+        assert system.replan_events[-1].repair_tier in (
+            TIER_REBALANCE, TIER_PARTIAL, TIER_FULL,
+        )

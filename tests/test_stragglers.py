@@ -16,6 +16,7 @@ from repro.cluster.stragglers import (
 from repro.cluster.topology import paper_cluster
 from repro.cluster.trace import (
     StragglerSituation,
+    StragglerTrace,
     ablation_situations,
     case_study_situation,
     paper_situation,
@@ -220,6 +221,101 @@ class TestPaperSituations:
         with pytest.raises(KeyError):
             case_study_situation("13b-s1", cluster)
 
+
+class TestMaxRelativeChangeEdges:
+    """Edge cases the incremental replan engine's classification leans on."""
+
+    def test_identical_states_report_zero(self):
+        cluster = paper_cluster(8)
+        a = state_from_rates(cluster, {0: 2.0})
+        b = state_from_rates(cluster, {0: 2.0})
+        assert a.max_relative_change(b) == 0.0
+
+    def test_failed_on_both_sides_is_not_a_change(self):
+        cluster = paper_cluster(8)
+        before = ClusterState(cluster=cluster)
+        before.fail(3)
+        after = ClusterState(cluster=cluster)
+        after.fail(3)
+        assert after.max_relative_change(before) == 0.0
+
+    def test_recovery_from_failure_is_infinite_change(self):
+        cluster = paper_cluster(8)
+        before = ClusterState(cluster=cluster)
+        before.fail(3)
+        after = ClusterState(cluster=cluster)  # gpu 3 back to healthy
+        assert math.isinf(after.max_relative_change(before))
+
+    def test_rate_returning_exactly_to_one(self):
+        cluster = paper_cluster(8)
+        before = state_from_rates(cluster, {0: 2.0})
+        after = ClusterState(cluster=cluster)
+        # |1.0 - 2.0| / max(2.0, 1) = 0.5 — a recovery is a real shift.
+        assert after.max_relative_change(before) == pytest.approx(0.5)
+
+    def test_sub_unit_base_clamped_to_one(self):
+        cluster = paper_cluster(8)
+        before = ClusterState(cluster=cluster)
+        after = state_from_rates(cluster, {0: 1.04})
+        # The denominator is max(old, 1), so the change is relative to the
+        # healthy rate, never to something smaller.
+        assert after.max_relative_change(before) == pytest.approx(0.04)
+
+
+class TestTraceTransitionEdges:
+    def test_empty_trace_has_no_transitions(self):
+        cluster = paper_cluster(8)
+        trace = StragglerTrace(cluster=cluster, situations=[])
+        assert trace.transitions() == []
+        assert len(trace) == 0
+
+    def test_single_situation_has_no_transitions(self):
+        cluster = paper_cluster(8)
+        trace = StragglerTrace(
+            cluster=cluster,
+            situations=[paper_situation("Normal", cluster)],
+        )
+        assert trace.transitions() == []
+
+    def test_failure_then_recovery_transition(self):
+        cluster = paper_cluster(8)
+        failure = StragglerSituation(
+            name="failure",
+            stragglers=[StragglerSpec(gpu_id=0, rate=FAILED_RATE)],
+        )
+        recovery = StragglerSituation(name="recovery", stragglers=[])
+        trace = StragglerTrace(
+            cluster=cluster,
+            situations=[paper_situation("Normal", cluster), failure, recovery],
+        )
+        assert trace.transitions() == [("Normal", "failure"),
+                                       ("failure", "recovery")]
+        failed_state = failure.as_state(cluster)
+        assert failed_state.failed() == [0]
+        recovered = recovery.as_state(cluster)
+        assert recovered.failed() == []
+        assert math.isinf(failed_state.max_relative_change(recovered))
+
+    def test_rate_returning_exactly_to_normal_between_situations(self):
+        cluster = paper_cluster(8)
+        trace = StragglerTrace(
+            cluster=cluster,
+            situations=[
+                StragglerSituation(name="S", stragglers=[
+                    StragglerSpec(gpu_id=0, rate=2.6),
+                ]),
+                StragglerSituation(name="back", stragglers=[
+                    StragglerSpec(gpu_id=0, rate=1.0),
+                ]),
+            ],
+        )
+        assert trace.transitions() == [("S", "back")]
+        state = trace.situation("back").as_state(cluster)
+        assert state.rate(0) == 1.0
+        assert state.stragglers() == {}
+
+
+class TestSituationHelpers:
     def test_situation_rate_map_matches_state(self):
         cluster = paper_cluster(64)
         situation = paper_situation("S2", cluster)
