@@ -1,16 +1,21 @@
 # Convenience entry points for the reproduction repo.
 #
-#   make test    - fast tier-1 run (skips the paper-reproduction benchmarks)
-#   make bench   - the paper-reproduction benchmarks only
-#   make replan  - the incremental re-planning equivalence sweep
-#   make gate    - run the planner hot-path benchmark and gate it against
-#                  the committed baseline (one-liner perf gate)
+#   make test      - fast tier-1 run (skips the paper-reproduction benchmarks)
+#   make bench     - the paper-reproduction benchmarks only
+#   make replan    - the incremental re-planning equivalence sweep
+#   make migration - the migration + transition-aware planning suite
+#   make gate      - run the planner hot-path benchmark and gate it against
+#                    the committed baseline (one-liner perf gate)
 #   make gate-update - refresh the committed baseline from a fresh run
+#   make gate-transition - run the transition study and gate it against the
+#                    committed (deterministic) baseline
+#   make gate-transition-update - refresh the transition-study baseline
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench replan gate gate-update
+.PHONY: test bench replan migration gate gate-update gate-transition \
+	gate-transition-update
 
 test:
 	$(PYTHON) -m pytest -x -q -m "not bench"
@@ -21,8 +26,17 @@ bench:
 replan:
 	$(PYTHON) -m pytest -q -m replan
 
+migration:
+	$(PYTHON) -m pytest -q -m migration
+
 gate:
 	$(PYTHON) -m repro.experiments.planner_hotpath --gate
 
 gate-update:
 	$(PYTHON) -m repro.experiments.planner_hotpath --update
+
+gate-transition:
+	$(PYTHON) -m repro.experiments.transition_study --gate
+
+gate-transition-update:
+	$(PYTHON) -m repro.experiments.transition_study --update

@@ -8,6 +8,13 @@ planner's time regresses by more than ``--tolerance`` (default 20%) on any
 scenario, or when a run reports non-identical plans (for the incremental
 rows: a repair outside the engine's epsilon).
 
+When a fresh ``BENCH_transition_study.json`` exists (written by ``pytest
+benchmarks/test_bench_transition_study.py``), the transition-study gate
+runs too: unlike the timing rows it is fully deterministic, so it checks
+the study's invariants (strictly lower migration downtime, step regression
+within epsilon) and exact agreement with its committed baseline (see
+``python -m repro.experiments.transition_study --gate``).
+
 The comparison logic lives in
 :func:`repro.experiments.planner_hotpath.gate_against_baseline`; this
 script only parses arguments.  ``python -m
@@ -38,10 +45,16 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 
 from repro.experiments.planner_hotpath import gate_against_baseline  # noqa: E402
+from repro.experiments.transition_study import (  # noqa: E402
+    gate_against_baseline as gate_transition_study,
+)
 
 DEFAULT_FRESH = os.path.join(HERE, "BENCH_planner_hotpath.json")
 DEFAULT_BASELINE = os.path.join(HERE, "baselines",
                                 "BENCH_planner_hotpath.json")
+TRANSITION_FRESH = os.path.join(HERE, "BENCH_transition_study.json")
+TRANSITION_BASELINE = os.path.join(HERE, "baselines",
+                                   "BENCH_transition_study.json")
 
 
 def main(argv=None) -> int:
@@ -75,8 +88,13 @@ def main(argv=None) -> int:
         print(f"regression_gate: no baseline at {args.baseline}; "
               "seed it with --update")
         return 1
-    return gate_against_baseline(args.fresh, args.baseline,
-                                 args.tolerance, args.min_delta)
+    status = gate_against_baseline(args.fresh, args.baseline,
+                                   args.tolerance, args.min_delta)
+    if os.path.exists(TRANSITION_FRESH) and \
+            os.path.exists(TRANSITION_BASELINE):
+        status = max(status, gate_transition_study(TRANSITION_FRESH,
+                                                   TRANSITION_BASELINE))
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,80 @@
+"""Transition-aware planning benchmark: migration downtime vs step time.
+
+Drives the paper straggler trace with the step-time-only objective and the
+transition-aware objective (``TransitionConfig(enabled=True)``) and asserts
+the acceptance contract of transition-aware planning: strictly lower
+cumulative migration downtime at no more than epsilon (1%) per-situation
+step-time regression.  Also asserts the off-switch: with the default
+``TransitionConfig(enabled=False)`` the planner's outputs are bit-identical
+to planning without any incumbent context, across the whole paper trace.
+
+Writes ``BENCH_transition_study.json`` for the deterministic regression
+gate (``python -m repro.experiments.transition_study --gate`` or
+``make gate-transition``).
+"""
+
+import os
+
+import pytest
+
+from repro.cluster.trace import paper_trace
+from repro.core.planner import MalleusPlanner, TransitionConfig
+from repro.experiments.common import paper_workload
+from repro.experiments.planner_hotpath import _plan_signature
+from repro.experiments.transition_study import (
+    check_study_invariants,
+    format_transition_study,
+    run_transition_study,
+    write_study_json,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FRESH_JSON = os.path.join(HERE, "BENCH_transition_study.json")
+
+
+@pytest.mark.migration
+@pytest.mark.benchmark(group="transition")
+def test_transition_study(benchmark, once):
+    result = once(benchmark, run_transition_study, "32b")
+    print("\n" + format_transition_study(result))
+    write_study_json(result, FRESH_JSON)
+
+    # The acceptance contract: strictly lower cumulative migration downtime
+    # at <= epsilon (1%) per-situation step-time regression.
+    failures = check_study_invariants(result)
+    assert not failures, failures
+    assert result.aware_migration_downtime < result.baseline_migration_downtime
+    assert result.max_step_regression <= result.epsilon + 1e-9
+    # The byte accounting must agree with the downtime direction: planning
+    # transition-aware also moves strictly less model state over the trace.
+    assert result.aware_migration_gb < result.baseline_migration_gb
+    # Migration stays in the paper's seconds range across the whole trace.
+    assert result.baseline_migration_downtime < 60.0
+
+
+@pytest.mark.migration
+@pytest.mark.benchmark(group="transition")
+def test_transition_disabled_is_bit_identical(benchmark, once):
+    """The off-switch: a disabled TransitionConfig with an incumbent context
+    reproduces planning without any context, bit for bit, on the full trace."""
+
+    def run():
+        workload = paper_workload("32b")
+        planner = MalleusPlanner(workload.task, workload.cluster,
+                                 workload.cost_model,
+                                 transition_config=TransitionConfig())
+        signatures = []
+        previous = None
+        for situation in paper_trace(workload.cluster).situations:
+            rates = situation.rate_map(workload.cluster)
+            plain = planner.plan(rates)
+            with_context = planner.plan(rates, previous=previous)
+            signatures.append(
+                (_plan_signature(plain), _plan_signature(with_context))
+            )
+            previous = plain.context
+        return signatures
+
+    signatures = once(benchmark, run)
+    for plain, with_context in signatures:
+        assert plain == with_context

@@ -7,12 +7,23 @@ while a second GPU fails outright.  After every event the example shows what
 the profiler detected, what the planner decided, how much model state had to
 be migrated and how long the adjustment stalled training.
 
+The same event sequence is then replayed with **transition-aware planning**
+(``TransitionConfig(enabled=True)``): the planner scores every candidate's
+migration cost from the incumbent plan and prefers minimally-disruptive
+plans within a 1% step-time window, so the cumulative migration downtime
+drops at (bounded) step-time cost.
+
 Run with ``python examples/dynamic_replanning.py``.
 """
 
-from repro import MalleusCostModel, MalleusSystem, paper_cluster, paper_task
+from repro import (
+    MalleusCostModel,
+    MalleusSystem,
+    TransitionConfig,
+    paper_cluster,
+    paper_task,
+)
 from repro.cluster import ClusterState
-from repro.parallel import estimate_migration_time, plan_migration
 
 
 def describe(system: MalleusSystem, label: str, state: ClusterState) -> None:
@@ -26,46 +37,51 @@ def describe(system: MalleusSystem, label: str, state: ClusterState) -> None:
           f"removed={plan.removed_gpus}")
 
 
-def main() -> None:
-    task = paper_task("32b")
-    cluster = paper_cluster(32)
-    cost_model = MalleusCostModel(task.model, cluster)
-    system = MalleusSystem(task, cluster, cost_model)
+EVENTS = [
+    ("GPU 0 becomes a level-1 straggler (x=2.6)", {0: 2.6}),
+    ("GPU 0 worsens to level-3 (x=5.42)", {0: 5.42}),
+    ("a second straggler appears on node 1 (x=3.8)", {0: 5.42, 8: 3.8}),
+    ("GPU 0 recovers, GPU 8 keeps straggling", {8: 3.8}),
+    ("all GPUs healthy again", {}),
+]
 
+
+def drive(system: MalleusSystem, cluster, verbose: bool) -> float:
+    """Run the event sequence; return the cumulative migration downtime."""
     state = ClusterState(cluster=cluster)
     system.setup(state)
-    print("initial plan (no stragglers):")
-    describe(system, "normal", state)
+    if verbose:
+        print("initial plan (no stragglers):")
+        describe(system, "normal", state)
 
-    events = [
-        ("GPU 0 becomes a level-1 straggler (x=2.6)", {0: 2.6}),
-        ("GPU 0 worsens to level-3 (x=5.42)", {0: 5.42}),
-        ("a second straggler appears on node 1 (x=3.8)", {0: 5.42, 8: 3.8}),
-        ("GPU 0 recovers, GPU 8 keeps straggling", {8: 3.8}),
-        ("all GPUs healthy again", {}),
-    ]
-
-    for description, stragglers in events:
-        print(f"\nevent: {description}")
+    downtime = 0.0
+    for description, stragglers in EVENTS:
         state = ClusterState(cluster=cluster)
         for gpu, rate in stragglers.items():
             state.set_rate(gpu, rate)
-        old_plan = system.current_plan
         adjustment = system.on_situation_change(state)
-        print(f"  profiler/planner reaction: {adjustment.kind} "
-              f"(downtime {adjustment.downtime:.1f}s, planning "
-              f"{adjustment.planning_time:.1f}s "
-              f"{'overlapped with training' if adjustment.overlapped else ''})")
-        if adjustment.kind == "migrate":
-            migration = plan_migration(
-                old_plan, system.current_plan, cluster,
-                layer_param_bytes=task.model.layer_param_bytes(),
-                layer_optimizer_bytes=task.model.params_per_layer() * 12.0,
-            )
-            print(f"  migration: {migration.num_transfers} transfers, "
-                  f"{migration.total_bytes / 1e9:.1f} GB moved, "
-                  f"~{estimate_migration_time(migration, cluster):.1f}s")
-        describe(system, "after", state)
+        downtime += adjustment.downtime
+        if verbose:
+            print(f"\nevent: {description}")
+            print(f"  profiler/planner reaction: {adjustment.kind} "
+                  f"(downtime {adjustment.downtime:.2f}s, planning "
+                  f"{adjustment.planning_time:.1f}s "
+                  f"{'overlapped with training' if adjustment.overlapped else ''})")
+            if adjustment.kind == "migrate":
+                print(f"  migration: {adjustment.migration_bytes / 1e9:.1f} GB "
+                      f"moved in {adjustment.downtime:.2f}s "
+                      f"[{adjustment.event_kind or 'n/a'}"
+                      f"/{adjustment.repair_tier or 'n/a'}]")
+            describe(system, "after", state)
+    return downtime
+
+
+def main() -> None:
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+
+    system = MalleusSystem(task, cluster, MalleusCostModel(task.model, cluster))
+    baseline_downtime = drive(system, cluster, verbose=True)
 
     print("\nGPU 3 fails hard (communication timeout):")
     state = ClusterState(cluster=cluster)
@@ -74,6 +90,17 @@ def main() -> None:
     print(f"  reaction: {adjustment.kind} (downtime {adjustment.downtime:.1f}s "
           f"- checkpoint reload, failed GPU excluded)")
     describe(system, "after failure", state)
+
+    # Replay the same events with migration cost on the planning objective.
+    aware = MalleusSystem(
+        task, cluster, MalleusCostModel(task.model, cluster),
+        transition_config=TransitionConfig(enabled=True),
+    )
+    aware_downtime = drive(aware, cluster, verbose=False)
+    print("\ntransition-aware vs step-time-only planning over these events:")
+    print(f"  step-time-only   migration downtime: {baseline_downtime:6.2f}s")
+    print(f"  transition-aware migration downtime: {aware_downtime:6.2f}s "
+          f"(<= 1% step-time window)")
 
 
 if __name__ == "__main__":

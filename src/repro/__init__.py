@@ -43,6 +43,7 @@ from .core import (
     MalleusCostModel,
     MalleusPlanner,
     PlanningResult,
+    TransitionConfig,
 )
 from .models import TrainingTask, TransformerModelSpec, get_model, paper_task
 from .parallel import ParallelizationPlan, TPGroup, uniform_megatron_plan
@@ -71,6 +72,7 @@ __all__ = [
     "StragglerTrace",
     "TPGroup",
     "TrainingTask",
+    "TransitionConfig",
     "TransformerModelSpec",
     "get_model",
     "make_cluster",

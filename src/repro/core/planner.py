@@ -38,6 +38,23 @@ configuration of ``benchmarks/test_bench_planner_hotpath.py``.  Winners
 (including equal-time ties) are identical with or without the caches and
 pruning; ``tests/test_planner_cache_equivalence.py`` and
 ``tests/test_pruning_bounds.py`` assert both properties.
+
+Transition-aware planning
+-------------------------
+Re-planning is never free: realising a new plan migrates parameter and
+optimizer state (§5.1, 1-5 s per adjustment).  With
+:class:`TransitionConfig` enabled and the incumbent's
+:class:`PlanContext` passed as ``previous``, the sweep scores every
+solved candidate's migration cost from the incumbent layout
+(:func:`repro.parallel.migration.estimate_transition_cost`, computed on
+the *unmaterialized* :class:`~repro.core.assignment.PlanCandidate`) and
+the winner is the minimally-disruptive candidate whose amortized score
+``step + migration / horizon_steps`` stays within ``epsilon`` of the
+best pure step time; the pruning bound gains a provable (usually zero)
+migration-time floor.  Disabled — the default — the sweep is
+bit-identical to pure step-time planning;
+``benchmarks/test_bench_transition_study.py`` asserts both the
+off-switch identity and the strictly-lower-downtime contract.
 """
 
 from __future__ import annotations
@@ -49,6 +66,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cluster.topology import Cluster
 from ..models.spec import TrainingTask
+from ..parallel.migration import (
+    DEFAULT_LAYER_PACK,
+    PlanLayout,
+    TransitionEstimate,
+    estimate_transition_cost,
+    layout_from_candidate,
+    transition_time_lower_bound,
+)
 from ..parallel.plan import ParallelizationPlan, TPGroup
 from .assignment import (
     LowerLevelResult,
@@ -61,6 +86,41 @@ from .assignment import (
 from .costmodel import CostModelConfig, MalleusCostModel
 from .grouping import GroupingResult, group_gpus
 from .orchestration import divide_pipelines, order_pipeline_groups
+
+
+@dataclass
+class TransitionConfig:
+    """Knobs of transition-aware planning (§5.1 as a planning objective).
+
+    With ``enabled=False`` (the default) the planner optimizes step time
+    alone and every code path is bit-identical to the transition-unaware
+    planner.  With ``enabled=True`` and a ``previous``
+    :class:`PlanContext`, candidates are scored by the **amortized
+    objective** ``step_time + migration_time / horizon_steps`` — the cost
+    of reaching a plan is paid once but its step time is paid on every one
+    of the ``horizon_steps`` steps the plan is expected to survive — under
+    a step-time guard: only candidates within ``epsilon`` of the best pure
+    step time may win, so enabling transitions can never regress the step
+    time by more than ``epsilon``.
+
+    ``tie_break_only=True`` is the conservative mode: candidates are
+    ranked by step time exactly as today and the migration estimate only
+    resolves exact ties (repairs that keep the incumbent layout therefore
+    win them), which provably never changes the achieved step time.
+    """
+
+    enabled: bool = False
+    #: Steps the new plan is expected to survive; migration cost is
+    #: amortized over this horizon.  Small horizons (frequent straggler
+    #: events) weight disruption heavily, large ones recover pure
+    #: step-time planning.
+    horizon_steps: float = 20.0
+    #: Maximum relative step-time regression a transition-aware choice may
+    #: accept; candidates outside ``best_step * (1 + epsilon)`` never win.
+    epsilon: float = 0.01
+    tie_break_only: bool = False
+    #: Layers fused per migration batch (threaded into the estimates).
+    layer_pack: int = DEFAULT_LAYER_PACK
 
 
 @dataclass
@@ -106,6 +166,9 @@ class CandidateRecord:
     isolated_gpus: List[int] = field(default_factory=list)
     pruned: bool = False
     lower_bound: float = 0.0
+    #: Estimated migration time from the previous plan (transition-aware
+    #: sweeps only; 0 otherwise).
+    transition_seconds: float = 0.0
 
 
 @dataclass
@@ -147,6 +210,9 @@ class PlanningResult:
     #: Repair context of the winning candidate (None when infeasible);
     #: consumed by :meth:`MalleusPlanner.plan_incremental`.
     context: Optional[PlanContext] = None
+    #: Estimated transition cost of the winner from the previous plan
+    #: (populated only by transition-aware sweeps).
+    transition: Optional[TransitionEstimate] = None
 
     def best_candidate(self) -> Optional[CandidateRecord]:
         """The winning candidate record, if any."""
@@ -181,6 +247,10 @@ class MalleusPlanner:
         Use the pre-overhaul division kernels and materialize a plan for
         every improving lower-level candidate (the hot-path benchmark's
         "before" configuration).
+    transition_config:
+        Transition-aware planning knobs (:class:`TransitionConfig`); a
+        disabled config — pure step-time planning, bit-identical to the
+        transition-unaware planner — is used when omitted.
     """
 
     def __init__(
@@ -194,6 +264,7 @@ class MalleusPlanner:
         enable_splitting: bool = True,
         enable_pruning: bool = True,
         legacy_kernels: bool = False,
+        transition_config: Optional[TransitionConfig] = None,
     ):
         self.task = task
         self.cluster = cluster
@@ -206,6 +277,7 @@ class MalleusPlanner:
         self.enable_splitting = enable_splitting
         self.enable_pruning = enable_pruning
         self.legacy_kernels = legacy_kernels
+        self.transition_config = transition_config or TransitionConfig()
 
     # ------------------------------------------------------------------
     #: Largest DP degree the planner enumerates when none is pinned.  Very
@@ -227,11 +299,17 @@ class MalleusPlanner:
         rates: Dict[int, float],
         dp: Optional[int] = None,
         micro_batch_candidates: Optional[Sequence[int]] = None,
+        previous: Optional[PlanContext] = None,
     ) -> PlanningResult:
         """Deduce the best parallelization plan for the given rates.
 
         ``dp`` pins the DP degree (used during re-planning to keep the
         number of model replicas unchanged, footnote 2 of the paper).
+        ``previous`` is the incumbent plan's context; when transition-aware
+        planning is enabled (:class:`TransitionConfig`) candidates are
+        additionally scored by their estimated migration cost from it.
+        With transitions disabled (the default) ``previous`` is ignored and
+        the sweep is bit-identical to the transition-unaware planner.
         """
         # Self-heal after in-place calibration edits (the caches are keyed
         # on arguments only); see MalleusCostModel.refresh_if_config_changed.
@@ -248,6 +326,7 @@ class MalleusPlanner:
         best_dp = 0
         all_gpu_ids = self.cluster.gpu_ids()
         prune = self.enable_pruning
+        scorer = self._transition_scorer(previous)
 
         if micro_batch_candidates is None:
             b_candidates: Sequence[int] = sorted_divisors(
@@ -296,9 +375,34 @@ class MalleusPlanner:
 
         # Phase 2: evaluate candidates in bound order.  Ties in step time
         # (within tolerance) resolve to the smallest enumeration index, which
-        # reproduces the seed's tp-major/dp-minor sweep winner exactly.
+        # reproduces the seed's tp-major/dp-minor sweep winner exactly.  A
+        # transition-aware sweep relaxes the pruning cutoff to the epsilon
+        # window and re-ranks the finalists afterwards (see
+        # _select_transition_winner); pruning stays sound because a
+        # candidate whose *step-time* bound exceeds the window can neither
+        # improve the best pure step time nor enter the window.
+        finalists: List[Tuple[float, float, int, GroupingResult, int,
+                              LowerLevelResult, TransitionEstimate]] = []
+        windowed = scorer is not None and not scorer.config.tie_break_only
         for bound, entry_index, grouping, dp_degree in entries:
-            if prune and bound > best_time + 1e-12:
+            cutoff = best_time
+            if windowed:
+                cutoff = best_time * (1.0 + scorer.config.epsilon)
+            prune_this = prune and bound > cutoff + 1e-12
+            if prune and not prune_this and windowed:
+                # Transition term of the lower bound: the window is defined
+                # on the amortized score (step + migration / horizon), so a
+                # candidate whose step-time bound plus the provable
+                # migration-time floor exceeds the window limit can never
+                # enter it; requiring the step bound to also exceed the
+                # best pure step time guarantees the candidate cannot
+                # shrink the window either.  The floor is zero whenever
+                # transitions are disabled (this branch never runs then).
+                floor = scorer.floor(grouping)
+                if floor > 0.0 and bound > best_time + 1e-12 and \
+                        bound + floor > cutoff + 1e-12:
+                    prune_this = True
+            if prune_this:
                 candidates.append(CandidateRecord(
                     tp_limit=grouping.tp_limit,
                     dp_degree=dp_degree,
@@ -312,13 +416,21 @@ class MalleusPlanner:
                 continue
             record, result = self._evaluate_candidate(
                 grouping, rates, dp_degree, breakdown,
-                b_candidates, all_gpu_ids, incumbent=best_time,
+                b_candidates, all_gpu_ids, incumbent=cutoff,
             )
             record.lower_bound = bound
             candidates.append(record)
             if result is None or not result.feasible:
                 continue
             step_time = result.estimated_step_time
+            if scorer is not None:
+                estimate = scorer.estimate(result.candidate)
+                record.transition_seconds = estimate.seconds
+                finalists.append((step_time, estimate.seconds, entry_index,
+                                  grouping, dp_degree, result, estimate))
+                if step_time < best_time:
+                    best_time = step_time
+                continue
             wins = step_time < best_time - 1e-12
             if not wins and abs(step_time - best_time) <= 1e-12:
                 wins = entry_index < best_index
@@ -328,6 +440,12 @@ class MalleusPlanner:
                 best_index = entry_index
                 best_grouping = grouping
                 best_dp = dp_degree
+
+        transition: Optional[TransitionEstimate] = None
+        if scorer is not None and finalists:
+            (best_time, best_result, best_grouping, best_dp,
+             transition) = self._select_transition_winner(
+                finalists, best_time, scorer.config)
 
         # Phase 3: materialize exactly one plan — the overall winner.
         best_plan: Optional[ParallelizationPlan] = None
@@ -362,6 +480,7 @@ class MalleusPlanner:
             candidates=candidates,
             feasible=feasible,
             context=context,
+            transition=transition,
         )
 
     def plan_incremental(
@@ -389,6 +508,73 @@ class MalleusPlanner:
         from ..runtime.replan import ReplanEngine
 
         return ReplanEngine(self, config).repair(previous, rates, dp=dp)
+
+    def _transition_scorer(self, previous: Optional[PlanContext]):
+        """Build the transition scorer for one sweep, or ``None``.
+
+        Transition-aware scoring needs both the knob (``transition_config
+        .enabled``) and an incumbent layout to migrate from; without either
+        the sweep runs the pure step-time code path unchanged.
+        """
+        config = self.transition_config
+        if config is None or not config.enabled:
+            return None
+        if previous is None or previous.candidate is None:
+            return None
+        return _TransitionScorer(self, previous)
+
+    def _select_transition_winner(self, finalists, best_pure: float,
+                                  config: TransitionConfig):
+        """Pick the transition-aware winner among the solved finalists.
+
+        Only candidates whose **amortized score** ``step + migration /
+        horizon_steps`` lies within ``epsilon`` of the best pure step time
+        compete (in ``tie_break_only`` mode: exact step-time ties only).
+        Within that window the objective is minimal disruption: step-time
+        differences below ``epsilon`` are within the analytic cost model's
+        own error (the paper reports 2-5%), so they do not outrank a real
+        migration bill — the smallest estimated migration time wins,
+        candidates with equal migration are ordered by the amortized score
+        (which reduces to the step time there), and remaining ties resolve
+        to the smallest enumeration index.  A candidate that keeps the
+        incumbent layout (zero migration) therefore wins the window
+        outright unless a reachable-only-by-migrating plan is more than
+        ``epsilon`` faster.  When no candidate's amortized score fits the
+        window (every plan within ``epsilon`` is expensive to reach), the
+        pure step-time winner is kept — enabling transitions never
+        regresses the step time beyond ``epsilon``.
+        """
+        best_entry = None
+        best_key = (math.inf, math.inf, math.inf)
+        fallback = None
+        fallback_key = (math.inf, math.inf)
+        for entry in finalists:
+            step_time, seconds, entry_index = entry[0], entry[1], entry[2]
+            if (step_time, entry_index) < fallback_key:
+                fallback, fallback_key = entry, (step_time, entry_index)
+            score = step_time + seconds / config.horizon_steps
+            if config.tie_break_only:
+                if step_time > best_pure + 1e-12:
+                    continue
+                key = (step_time, seconds, entry_index)
+            else:
+                if score > best_pure * (1.0 + config.epsilon) + 1e-12:
+                    continue
+                key = (seconds, score, entry_index)
+            if best_entry is None:
+                best_entry, best_key = entry, key
+                continue
+            wins = key[0] < best_key[0] - 1e-12
+            if not wins and abs(key[0] - best_key[0]) <= 1e-12:
+                wins = key[1] < best_key[1] - 1e-12
+                if not wins and abs(key[1] - best_key[1]) <= 1e-12:
+                    wins = key[2] < best_key[2]
+            if wins:
+                best_entry, best_key = entry, key
+        if best_entry is None:
+            best_entry = fallback
+        step_time, _, _, grouping, dp_degree, result, estimate = best_entry
+        return step_time, result, grouping, dp_degree, estimate
 
     def _candidate_bound(self, grouping: GroupingResult,
                          rates: Dict[int, float],
@@ -494,6 +680,51 @@ class MalleusPlanner:
         record.feasible = True
         record.estimated_step_time = best_result.estimated_step_time
         return record, best_result
+
+
+class _TransitionScorer:
+    """Scores sweep candidates against the incumbent layout.
+
+    Bundles everything the transition-aware sweep needs — the incumbent's
+    :data:`~repro.parallel.migration.PlanLayout`, the per-layer byte
+    constants, and the config — and memoizes the per-grouping migration
+    floor (:func:`~repro.parallel.migration.transition_time_lower_bound`,
+    amortized over the horizon) by TP limit.
+    """
+
+    def __init__(self, planner: "MalleusPlanner", previous: PlanContext):
+        self.config = planner.transition_config
+        self.cluster = planner.cluster
+        self.old_layout: PlanLayout = layout_from_candidate(previous.candidate)
+        model = planner.task.model
+        self.layer_param_bytes = model.layer_param_bytes()
+        self.layer_optimizer_bytes = (
+            model.params_per_layer()
+            * planner.cost_model.config.optimizer_bytes_per_param
+        )
+        self.num_layers = model.num_layers
+        self._floors: Dict[int, float] = {}
+
+    def estimate(self, candidate: PlanCandidate) -> TransitionEstimate:
+        """Analytic migration estimate for one unmaterialized candidate."""
+        return estimate_transition_cost(
+            self.old_layout, layout_from_candidate(candidate), self.cluster,
+            self.layer_param_bytes, self.layer_optimizer_bytes,
+            layer_pack=self.config.layer_pack,
+        )
+
+    def floor(self, grouping: GroupingResult) -> float:
+        """Amortized provable migration-time floor of one grouping."""
+        key = grouping.tp_limit
+        cached = self._floors.get(key)
+        if cached is None:
+            gpus = [g for group in grouping.groups for g in group.gpu_ids]
+            cached = transition_time_lower_bound(
+                self.old_layout, gpus, self.cluster,
+                self.layer_param_bytes, self.num_layers,
+            ) / self.config.horizon_steps
+            self._floors[key] = cached
+        return cached
 
 
 def default_planner(task: TrainingTask, cluster: Cluster,

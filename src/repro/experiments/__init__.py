@@ -13,6 +13,7 @@
 | Figure 11 (Theorem 2 validation)       | :mod:`repro.experiments.grouping_validation` |
 | §5.3 re-planning overlap (extra)       | :mod:`repro.experiments.replanning` |
 | Planner hot-path before/after (extra)  | :mod:`repro.experiments.planner_hotpath` |
+| Transition-aware planning (extra)      | :mod:`repro.experiments.transition_study` |
 """
 
 from .ablation import AblationResult, format_ablation, run_ablation
@@ -68,6 +69,12 @@ from .restart_configs import (
     format_restart_configs,
     run_restart_configs,
 )
+from .transition_study import (
+    TransitionStudyResult,
+    TransitionStudyRow,
+    format_transition_study,
+    run_transition_study,
+)
 
 __all__ = [
     "AblationResult",
@@ -84,6 +91,8 @@ __all__ = [
     "PlanningScalabilityResult",
     "ReplanningResult",
     "RestartConfigResult",
+    "TransitionStudyResult",
+    "TransitionStudyRow",
     "Workload",
     "format_ablation",
     "format_case_study",
@@ -96,6 +105,7 @@ __all__ = [
     "format_planner_hotpath",
     "format_planning_scalability",
     "format_replanning",
+    "format_transition_study",
     "format_restart_configs",
     "format_table",
     "gate_against_baseline",
@@ -113,6 +123,7 @@ __all__ = [
     "run_planner_hotpath",
     "run_planning_scalability",
     "run_replanning_ablation",
+    "run_transition_study",
     "run_restart_configs",
     "write_hotpath_json",
 ]

@@ -1,0 +1,342 @@
+"""Transition-aware vs step-time-only planning over the paper trace.
+
+The planner's transition-aware objective
+(:class:`~repro.core.planner.TransitionConfig`) treats plan migration as a
+first-class cost instead of an invoice discovered after committing to a
+plan.  This experiment quantifies the trade on the Figure-7 straggler
+trace: the same :class:`~repro.runtime.malleus.MalleusSystem` is driven
+through the trace twice — once optimizing step time alone (the default)
+and once transition-aware — and the per-situation executed step times,
+migration downtimes and migrated bytes are compared.
+
+The contract asserted by ``benchmarks/test_bench_transition_study.py`` and
+the ``--gate`` entry point:
+
+* cumulative migration downtime is **strictly lower** transition-aware;
+* no situation's executed step time regresses by more than the configured
+  ``epsilon`` (1% by default — the step-time guard of the objective).
+
+Every quantity here is produced by the analytic simulator, so runs are
+deterministic and machine-independent; the regression gate compares fresh
+runs against the committed baseline exactly (small float tolerance), not
+within a wall-clock band.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.trace import paper_trace
+from ..core.planner import TransitionConfig
+from ..runtime.malleus import MalleusSystem
+from ..simulator.session import run_trace
+from .common import format_table, paper_workload
+
+
+@dataclass
+class TransitionStudyRow:
+    """Per-situation comparison of the two planning objectives."""
+
+    situation: str
+    baseline_step_time: float
+    aware_step_time: float
+    baseline_migration_time: float
+    aware_migration_time: float
+    baseline_migration_gb: float
+    aware_migration_gb: float
+    event_kind: str = ""
+    repair_tier: str = ""
+
+    @property
+    def step_regression(self) -> float:
+        """Relative executed step-time regression (positive = aware slower)."""
+        if self.baseline_step_time <= 0:
+            return 0.0
+        return self.aware_step_time / self.baseline_step_time - 1.0
+
+    def as_dict(self) -> Dict:
+        """JSON-serialisable view."""
+        return asdict(self)
+
+
+@dataclass
+class TransitionStudyResult:
+    """Trace-wide outcome of the transition study."""
+
+    model: str
+    epsilon: float
+    horizon_steps: float
+    incremental: bool
+    rows: List[TransitionStudyRow] = field(default_factory=list)
+    baseline_total_time: float = 0.0
+    aware_total_time: float = 0.0
+
+    @property
+    def baseline_migration_downtime(self) -> float:
+        """Cumulative migration downtime of the step-time-only system."""
+        return sum(row.baseline_migration_time for row in self.rows)
+
+    @property
+    def aware_migration_downtime(self) -> float:
+        """Cumulative migration downtime of the transition-aware system."""
+        return sum(row.aware_migration_time for row in self.rows)
+
+    @property
+    def downtime_saving(self) -> float:
+        """Migration downtime saved by planning transition-aware."""
+        return self.baseline_migration_downtime - self.aware_migration_downtime
+
+    @property
+    def baseline_migration_gb(self) -> float:
+        """Cumulative migrated bytes (GB) of the step-time-only system."""
+        return sum(row.baseline_migration_gb for row in self.rows)
+
+    @property
+    def aware_migration_gb(self) -> float:
+        """Cumulative migrated bytes (GB) of the transition-aware system."""
+        return sum(row.aware_migration_gb for row in self.rows)
+
+    @property
+    def max_step_regression(self) -> float:
+        """Worst per-situation executed step-time regression."""
+        return max((row.step_regression for row in self.rows), default=0.0)
+
+    def as_dict(self) -> Dict:
+        """JSON-serialisable view (includes the derived aggregates)."""
+        return {
+            "model": self.model,
+            "epsilon": self.epsilon,
+            "horizon_steps": self.horizon_steps,
+            "incremental": self.incremental,
+            "rows": [row.as_dict() for row in self.rows],
+            "baseline_total_time": self.baseline_total_time,
+            "aware_total_time": self.aware_total_time,
+            "baseline_migration_downtime": self.baseline_migration_downtime,
+            "aware_migration_downtime": self.aware_migration_downtime,
+            "max_step_regression": self.max_step_regression,
+        }
+
+
+def run_transition_study(model_name: str = "32b",
+                         epsilon: float = 0.01,
+                         horizon_steps: float = 20.0,
+                         incremental: bool = True,
+                         duration_steps: int = 100) -> TransitionStudyResult:
+    """Drive the paper trace step-time-only vs transition-aware.
+
+    Both systems see the identical trace and charge migrations with the
+    identical topology-aware model; only the planning objective differs.
+    """
+    runs = {}
+    for key, config in [
+        ("baseline", None),
+        ("aware", TransitionConfig(enabled=True, epsilon=epsilon,
+                                   horizon_steps=horizon_steps)),
+    ]:
+        workload = paper_workload(model_name)
+        system = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model, incremental=incremental,
+                               transition_config=config)
+        trace = paper_trace(workload.cluster, duration_steps=duration_steps)
+        runs[key] = run_trace(system, trace)
+
+    result = TransitionStudyResult(
+        model=model_name, epsilon=epsilon, horizon_steps=horizon_steps,
+        incremental=incremental,
+        baseline_total_time=runs["baseline"].total_time,
+        aware_total_time=runs["aware"].total_time,
+    )
+    for base, aware in zip(runs["baseline"].situations,
+                           runs["aware"].situations):
+        result.rows.append(TransitionStudyRow(
+            situation=base.situation,
+            baseline_step_time=base.avg_step_time,
+            aware_step_time=aware.avg_step_time,
+            baseline_migration_time=base.adjustment.downtime,
+            aware_migration_time=aware.adjustment.downtime,
+            baseline_migration_gb=base.adjustment.migration_bytes / 1e9,
+            aware_migration_gb=aware.adjustment.migration_bytes / 1e9,
+            event_kind=aware.adjustment.event_kind,
+            repair_tier=aware.adjustment.repair_tier,
+        ))
+    return result
+
+
+def format_transition_study(result: TransitionStudyResult) -> str:
+    """Render the per-situation comparison plus the trace aggregates."""
+    headers = ["Situation", "Step (base)", "Step (aware)", "Regression",
+               "Mig (base)", "Mig (aware)", "Moved (aware)"]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.situation,
+            f"{row.baseline_step_time:.3f}s",
+            f"{row.aware_step_time:.3f}s",
+            f"{row.step_regression:+.3%}",
+            f"{row.baseline_migration_time:.3f}s",
+            f"{row.aware_migration_time:.3f}s",
+            f"{row.aware_migration_gb:.0f}GB",
+        ])
+    table = format_table(
+        headers, rows,
+        title=f"Transition-aware vs step-time-only planning "
+              f"({result.model}, eps={result.epsilon:.1%}, "
+              f"horizon={result.horizon_steps:g})",
+    )
+    summary = (
+        f"\ncumulative migration downtime: "
+        f"{result.baseline_migration_downtime:.4f}s -> "
+        f"{result.aware_migration_downtime:.4f}s "
+        f"(saved {result.downtime_saving:.4f}s); "
+        f"moved {result.baseline_migration_gb:.0f}GB -> "
+        f"{result.aware_migration_gb:.0f}GB; "
+        f"max step regression {result.max_step_regression:+.3%}; "
+        f"trace time {result.baseline_total_time:.1f}s -> "
+        f"{result.aware_total_time:.1f}s"
+    )
+    return table + summary
+
+
+# ----------------------------------------------------------------------
+# Persistence + regression gate
+# ----------------------------------------------------------------------
+def write_study_json(result: TransitionStudyResult, path: str) -> None:
+    """Persist a run for the regression gate."""
+    with open(path, "w") as handle:
+        json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_study_json(path: str) -> TransitionStudyResult:
+    """Load a persisted run."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    result = TransitionStudyResult(
+        model=payload["model"], epsilon=payload["epsilon"],
+        horizon_steps=payload["horizon_steps"],
+        incremental=payload["incremental"],
+        baseline_total_time=payload["baseline_total_time"],
+        aware_total_time=payload["aware_total_time"],
+        rows=[TransitionStudyRow(**row) for row in payload["rows"]],
+    )
+    return result
+
+
+def check_study_invariants(result: TransitionStudyResult) -> List[str]:
+    """The study's acceptance contract; returns failure messages."""
+    failures = []
+    if not result.aware_migration_downtime \
+            < result.baseline_migration_downtime:
+        failures.append(
+            f"cumulative migration downtime not strictly lower: "
+            f"aware {result.aware_migration_downtime:.6f}s vs baseline "
+            f"{result.baseline_migration_downtime:.6f}s"
+        )
+    if result.max_step_regression > result.epsilon + 1e-9:
+        failures.append(
+            f"step-time regression {result.max_step_regression:.4%} exceeds "
+            f"epsilon {result.epsilon:.2%}"
+        )
+    return failures
+
+
+def gate_against_baseline(fresh_path: str, baseline_path: str,
+                          tolerance: float = 1e-6) -> int:
+    """Compare a fresh study run against the committed baseline.
+
+    The study is fully deterministic (analytic simulation, no wall-clock
+    input), so the gate checks the invariants *and* that the aggregate
+    numbers match the committed baseline within a float tolerance —
+    a mismatch means the planning objective or the charge model changed
+    and the baseline needs a deliberate ``--update``.
+    """
+    fresh = read_study_json(fresh_path)
+    baseline = read_study_json(baseline_path)
+    failures = check_study_invariants(fresh)
+
+    def close(a: float, b: float) -> bool:
+        return math.isclose(a, b, rel_tol=tolerance, abs_tol=tolerance)
+
+    pairs = [
+        ("baseline migration downtime", fresh.baseline_migration_downtime,
+         baseline.baseline_migration_downtime),
+        ("aware migration downtime", fresh.aware_migration_downtime,
+         baseline.aware_migration_downtime),
+        ("max step regression", fresh.max_step_regression,
+         baseline.max_step_regression),
+    ]
+    for label, fresh_value, base_value in pairs:
+        status = "ok" if close(fresh_value, base_value) else "CHANGED"
+        print(f"{label:>32}: baseline {base_value:.6f}, "
+              f"fresh {fresh_value:.6f} [{status}]")
+        if not close(fresh_value, base_value):
+            failures.append(
+                f"{label} drifted: {fresh_value:.6f} vs committed "
+                f"{base_value:.6f}"
+            )
+    if failures:
+        print("transition gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("transition gate: OK")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: run the transition study and optionally gate or re-baseline it.
+
+    ``python -m repro.experiments.transition_study`` runs the study and
+    writes the fresh JSON; ``--gate`` compares it against the committed
+    baseline, ``--update`` refreshes the baseline instead (see also
+    ``make gate-transition``).
+    """
+    import argparse
+    import os
+    import shutil
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--gate", action="store_true",
+                        help="compare the fresh run against the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baseline from the fresh run")
+    parser.add_argument("--fresh",
+                        default="benchmarks/BENCH_transition_study.json",
+                        help="where to write the fresh run "
+                             "(default: %(default)s)")
+    parser.add_argument("--baseline",
+                        default="benchmarks/baselines/"
+                                "BENCH_transition_study.json",
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--model", default="32b",
+                        help="paper workload (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    result = run_transition_study(model_name=args.model)
+    print(format_transition_study(result))
+    os.makedirs(os.path.dirname(args.fresh) or ".", exist_ok=True)
+    write_study_json(result, args.fresh)
+    print(f"fresh run written to {args.fresh}")
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated at {args.baseline}")
+        return 0
+    if args.gate:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; seed it with --update")
+            return 1
+        return gate_against_baseline(args.fresh, args.baseline)
+    invariants = check_study_invariants(result)
+    for failure in invariants:
+        print(f"invariant FAILED: {failure}")
+    return 1 if invariants else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make
+    import sys
+
+    sys.exit(main())

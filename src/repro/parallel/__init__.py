@@ -5,8 +5,14 @@ from .migration import (
     DEFAULT_LAYER_PACK,
     MigrationPlan,
     Transfer,
+    TransitionEstimate,
     estimate_migration_time,
+    estimate_transition_cost,
+    layout_from_candidate,
+    layout_from_plan,
+    link_times,
     plan_migration,
+    transition_time_lower_bound,
 )
 from .plan import (
     ParallelizationPlan,
@@ -35,13 +41,19 @@ __all__ = [
     "ShardSlice",
     "TPGroup",
     "Transfer",
+    "TransitionEstimate",
     "communication_call_order",
     "estimate_migration_time",
+    "estimate_transition_cost",
     "gpu_slice_counts",
     "gradient_sync_groups",
+    "layout_from_candidate",
+    "layout_from_plan",
+    "link_times",
     "optimizer_ownership",
     "parameter_ownership",
     "plan_migration",
+    "transition_time_lower_bound",
     "uniform_megatron_plan",
     "validate_sharding",
 ]

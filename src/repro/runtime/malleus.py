@@ -25,9 +25,14 @@ from ..cluster.profiler import Profiler, ProfilerConfig
 from ..cluster.stragglers import ClusterState
 from ..cluster.topology import Cluster
 from ..core.costmodel import MalleusCostModel
-from ..core.planner import MalleusPlanner, PlanContext, PlanningResult
+from ..core.planner import (
+    MalleusPlanner,
+    PlanContext,
+    PlanningResult,
+    TransitionConfig,
+)
 from ..models.spec import TrainingTask
-from ..parallel.migration import estimate_migration_time, plan_migration
+from ..parallel.migration import plan_migration
 from ..parallel.plan import ParallelizationPlan
 from ..simulator.executor import ExecutionSimulator
 from ..simulator.restart import RestartCostConfig, restart_time
@@ -55,6 +60,8 @@ class ReplanEvent:
     event_kind: str = ""
     #: Which repair tier handled it ("rebalance", "partial_resolve", "full").
     repair_tier: str = ""
+    #: Model-state bytes migrated to realise the new plan.
+    migration_bytes: float = 0.0
 
 
 @dataclass
@@ -94,6 +101,16 @@ class MalleusSystem:
         threshold (the paper's 5%).  Threaded into ``profiler_config`` (a
         config built from the other profiler defaults is created when none
         was given); rate shifts below the threshold never reach the planner.
+    transition_config:
+        Transition-aware planning knobs
+        (:class:`~repro.core.planner.TransitionConfig`): when enabled, the
+        planner and the repair engine score every candidate's migration
+        cost from the incumbent plan and prefer minimally-disruptive plans
+        within the epsilon step-time window.  Disabled by default —
+        the *plans chosen* are then bit-identical to a transition-unaware
+        system (migration downtime accounting always uses the
+        topology-aware charge model, independent of this knob).  Threaded
+        into the planner (overriding its config when both are given).
     """
 
     task: TrainingTask
@@ -106,6 +123,7 @@ class MalleusSystem:
     incremental: bool = True
     replan_config: Optional[ReplanConfig] = None
     shift_threshold: Optional[float] = None
+    transition_config: Optional[TransitionConfig] = None
     restart_config: RestartCostConfig = field(default_factory=RestartCostConfig)
     name: str = "Malleus"
 
@@ -114,8 +132,11 @@ class MalleusSystem:
             self.task.model, self.cluster
         )
         self.planner = self.planner or MalleusPlanner(
-            self.task, self.cluster, self.cost_model
+            self.task, self.cluster, self.cost_model,
+            transition_config=self.transition_config,
         )
+        if self.transition_config is not None:
+            self.planner.transition_config = self.transition_config
         self.simulator = ExecutionSimulator(self.cost_model)
         if self.shift_threshold is not None:
             # Copy before overriding: the caller's config instance may be
@@ -188,12 +209,14 @@ class MalleusSystem:
             result = outcome.result
             planning_time = outcome.repair_seconds
         else:
-            result = self.planner.plan(report.rates, dp=dp)
+            result = self.planner.plan(report.rates, dp=dp,
+                                       previous=self.plan_context)
             planning_time = result.breakdown.total
         if (not result.feasible or result.plan is None) and dp is not None:
             # Preserving the DP degree is only a preference (footnote 2 of the
             # paper); when no DP-preserving plan exists, re-plan freely.
-            result = self.planner.plan(report.rates, dp=None)
+            result = self.planner.plan(report.rates, dp=None,
+                                       previous=self.plan_context)
             planning_time += result.breakdown.total
             repair_tier = TIER_FULL
         if not result.feasible or result.plan is None:
@@ -209,6 +232,7 @@ class MalleusSystem:
             result.plan.micro_batches() != self.plan.micro_batches() or \
             result.plan.active_gpus != self.plan.active_gpus
         migration_time = 0.0
+        migration_bytes = 0.0
         if plan_changed:
             migration = plan_migration(
                 self.plan, result.plan, self.cluster,
@@ -216,9 +240,9 @@ class MalleusSystem:
                 layer_optimizer_bytes=self.task.model.params_per_layer()
                 * self.cost_model.config.optimizer_bytes_per_param,
             )
-            migration_time = estimate_migration_time(
-                migration, self.cluster, self.task.model.num_layers
-            )
+            charge = self.simulator.migration_downtime(migration)
+            migration_time = charge.total_seconds
+            migration_bytes = charge.total_bytes
             self.plan = result.plan
             self._dp_degree = result.plan.dp_degree
             self.profiler.mark_standby(result.plan.removed_gpus)
@@ -242,6 +266,7 @@ class MalleusSystem:
                 estimated_step_time=result.estimated_step_time,
                 event_kind=event_kind,
                 repair_tier=repair_tier,
+                migration_bytes=migration_bytes,
             )
         )
         return Adjustment(
@@ -251,6 +276,7 @@ class MalleusSystem:
             overlapped=self.async_replanning,
             event_kind=event_kind,
             repair_tier=repair_tier,
+            migration_bytes=migration_bytes,
             description="asynchronous re-planning"
             if self.async_replanning else "synchronous re-planning",
         )

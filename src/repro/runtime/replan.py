@@ -39,7 +39,13 @@ the planner's own bound-ordered candidate sweep over every *other*
 using the repaired step time as the starting incumbent.  A candidate whose
 provably-sound lower bound cannot beat the repair is skipped without any
 solver work; one that could beat it is solved exactly, just as the full
-planner would.  For a local event essentially everything prunes, which is
+planner would.  When transition-aware planning is enabled
+(:class:`~repro.core.planner.TransitionConfig` on the planner), the sweep
+scores every candidate's migration cost from the *pre-event* plan and the
+selection mirrors the planner's epsilon-windowed minimal-disruption rule —
+a warm repair that keeps the incumbent layout (near-zero migration) then
+wins every tie against a fresh layout, which is exactly the disruption
+argument for repairing in the first place.  For a local event essentially everything prunes, which is
 where the latency win comes from; the only quality gap versus a full
 re-plan is division drift *inside* the incumbent candidate (the kept
 division may be slightly stale for the new rates), which the equivalence
@@ -277,7 +283,7 @@ class ReplanEngine:
     def _full(self, previous: PlanContext, rates: Dict[int, float],
               dp: Optional[int], kind: str, reason: str,
               start: float) -> RepairOutcome:
-        result = self.planner.plan(rates, dp=dp)
+        result = self.planner.plan(rates, dp=dp, previous=previous)
         return RepairOutcome(
             event_kind=kind, repair_tier=TIER_FULL, result=result,
             fallback_reason=reason,
@@ -394,6 +400,8 @@ class ReplanEngine:
         cost_model = planner.cost_model
         breakdown = PlanningTimeBreakdown()
         all_gpu_ids = planner.cluster.gpu_ids()
+        scorer = planner._transition_scorer(previous)
+        windowed = scorer is not None and not scorer.config.tie_break_only
 
         warm = self._warm_lower_level(previous, rates, pipelines,
                                       touched_pipelines, breakdown)
@@ -404,6 +412,17 @@ class ReplanEngine:
         best_dp = len(pipelines)
         incumbent_grouping = delta.grouping if delta is not None \
             else previous.grouping
+        best_transition = None
+        finalists = []
+        best_pure = best_time
+        if scorer is not None:
+            # The warm repair enters the transition-aware selection as the
+            # first finalist (index -1: it wins every remaining tie — it is
+            # the candidate that keeps the incumbent layout).
+            best_transition = scorer.estimate(best_candidate)
+            finalists.append((best_time, best_transition.seconds, -1,
+                              best_candidate, best_b, best_tp, best_dp,
+                              best_transition))
 
         # Delta-regroup every other candidate TP limit, then sweep the
         # remaining (grouping, dp) candidates in bound order against the
@@ -448,8 +467,14 @@ class ReplanEngine:
                     grouping.num_groups()
                 )
             for dp_degree in dp_list:
-                if tp_limit == previous.tp_limit and dp_degree == best_dp:
-                    continue  # represented by the warm repair
+                if tp_limit == previous.tp_limit and dp_degree == best_dp \
+                        and scorer is None:
+                    # Represented by the warm repair.  A transition-aware
+                    # sweep still solves the pair fresh: the repair may
+                    # have drifted out of the epsilon window while a fresh
+                    # solve of the incumbent pair — typically the cheapest
+                    # layout to reach — still fits it.
+                    continue
                 start = time.perf_counter()
                 bound = planner._candidate_bound(grouping, rates,
                                                  b_candidates, dp_degree)
@@ -457,8 +482,24 @@ class ReplanEngine:
                 entries.append((bound, index, grouping, dp_degree))
                 index += 1
         entries.sort(key=lambda entry: (entry[0], entry[1]))
-        for bound, _, grouping, dp_degree in entries:
-            if bound > best_time + 1e-12:
+        for bound, entry_index, grouping, dp_degree in entries:
+            if windowed:
+                cutoff = best_pure * (1.0 + scorer.config.epsilon)
+            elif scorer is not None:
+                cutoff = best_pure
+            else:
+                cutoff = best_time
+            prune_this = bound > cutoff + 1e-12
+            if not prune_this and windowed:
+                # Same provable transition term as the planner's sweep: the
+                # window lives on the amortized score, so a step bound above
+                # the pure best plus a migration floor above the window
+                # limit excludes the candidate outright.
+                floor = scorer.floor(grouping)
+                if floor > 0.0 and bound > best_pure + 1e-12 and \
+                        bound + floor > cutoff + 1e-12:
+                    prune_this = True
+            if prune_this:
                 candidates.append(CandidateRecord(
                     tp_limit=grouping.tp_limit, dp_degree=dp_degree,
                     estimated_step_time=math.inf, feasible=False,
@@ -469,11 +510,23 @@ class ReplanEngine:
                 continue
             record, result = planner._evaluate_candidate(
                 grouping, rates, dp_degree, breakdown, b_candidates,
-                all_gpu_ids, incumbent=best_time,
+                all_gpu_ids, incumbent=cutoff,
             )
             record.lower_bound = bound
             candidates.append(record)
             if result is None or not result.feasible:
+                continue
+            if scorer is not None:
+                estimate = scorer.estimate(result.candidate)
+                record.transition_seconds = estimate.seconds
+                finalists.append((
+                    result.estimated_step_time, estimate.seconds,
+                    entry_index, result.candidate,
+                    result.micro_batch_size, grouping.tp_limit, dp_degree,
+                    estimate,
+                ))
+                if result.estimated_step_time < best_pure:
+                    best_pure = result.estimated_step_time
                 continue
             if result.estimated_step_time < best_time - 1e-12:
                 best_time = result.estimated_step_time
@@ -481,6 +534,11 @@ class ReplanEngine:
                 best_candidate = result.candidate
                 best_tp = grouping.tp_limit
                 best_dp = dp_degree
+
+        if scorer is not None:
+            (best_time, best_candidate, best_b, best_tp, best_dp,
+             best_transition) = self._select_transition_winner(
+                finalists, best_pure, scorer.config)
 
         start = time.perf_counter()
         plan = best_candidate.materialize(rates, cost_model, all_gpu_ids)
@@ -504,7 +562,48 @@ class ReplanEngine:
             candidates=candidates,
             feasible=True,
             context=context,
+            transition=best_transition,
         )
+
+    @staticmethod
+    def _select_transition_winner(finalists, best_pure: float, config):
+        """Transition-aware selection over the repair sweep's finalists.
+
+        Mirrors :meth:`MalleusPlanner._select_transition_winner` (window on
+        the amortized score, minimal migration inside it), with the warm
+        repair participating at index ``-1`` so it wins every tie — keeping
+        the incumbent layout is free, a fresh identical-step-time layout is
+        not.  When nothing fits the window the pure step-time winner (the
+        behaviour with transitions disabled) is kept.
+        """
+        best_key = (math.inf, math.inf, math.inf)
+        best_entry = None
+        fallback = None
+        fallback_key = (math.inf, math.inf)
+        for entry in finalists:
+            step_time, seconds, entry_index = entry[0], entry[1], entry[2]
+            if (step_time, entry_index) < fallback_key:
+                fallback, fallback_key = entry, (step_time, entry_index)
+            score = step_time + seconds / config.horizon_steps
+            if config.tie_break_only:
+                if step_time > best_pure + 1e-12:
+                    continue
+                key = (step_time, seconds, entry_index)
+            else:
+                if score > best_pure * (1.0 + config.epsilon) + 1e-12:
+                    continue
+                key = (seconds, score, entry_index)
+            wins = best_entry is None or key[0] < best_key[0] - 1e-12
+            if not wins and abs(key[0] - best_key[0]) <= 1e-12:
+                wins = key[1] < best_key[1] - 1e-12
+                if not wins and abs(key[1] - best_key[1]) <= 1e-12:
+                    wins = key[2] < best_key[2]
+            if wins:
+                best_entry, best_key = entry, key
+        if best_entry is None:
+            best_entry = fallback
+        step_time, _, _, candidate, b, tp, dp, estimate = best_entry
+        return step_time, candidate, b, tp, dp, estimate
 
     def _warm_lower_level(
         self,

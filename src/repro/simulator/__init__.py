@@ -9,7 +9,12 @@ from .comm import (
     p2p_time,
     reduce_scatter_time,
 )
-from .executor import STEP_OVERHEAD, ExecutionSimulator, StepResult
+from .executor import (
+    STEP_OVERHEAD,
+    ExecutionSimulator,
+    MigrationCharge,
+    StepResult,
+)
 from .memory import MemoryReport, plan_memory_report
 from .pipeline import (
     FORWARD_FRACTION,
@@ -42,6 +47,7 @@ __all__ = [
     "ExecutionSimulator",
     "FORWARD_FRACTION",
     "MemoryReport",
+    "MigrationCharge",
     "P2P_LATENCY",
     "PipelineScheduleResult",
     "RestartCostConfig",

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..cluster.topology import Cluster
 from ..core.costmodel import MalleusCostModel
+from ..parallel.migration import MigrationPlan, link_times
 from ..parallel.plan import ParallelizationPlan, PipelinePlan
 from .comm import ActivationMessage, allgather_time, p2p_time, reduce_scatter_time
 from .memory import MemoryReport, plan_memory_report
@@ -42,6 +43,30 @@ class StepResult:
             return -1
         return max(range(len(self.pipeline_times)),
                    key=lambda i: self.pipeline_times[i])
+
+
+@dataclass
+class MigrationCharge:
+    """Downtime accounting of one model-state migration.
+
+    Replaces the old single-scalar charge: every fused (src, dst) batch is
+    costed on its own link and the serialisation happens per GPU, so the
+    report can name the bottleneck and the per-GPU busy times instead of a
+    single magic number.
+    """
+
+    total_seconds: float = 0.0
+    total_bytes: float = 0.0
+    num_transfers: int = 0
+    per_gpu_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def bottleneck_gpu(self) -> int:
+        """GPU whose ingress/egress link bounds the migration (-1: none)."""
+        if not self.per_gpu_seconds:
+            return -1
+        return max(self.per_gpu_seconds,
+                   key=lambda g: (self.per_gpu_seconds[g], -g))
 
 
 class ExecutionSimulator:
@@ -127,6 +152,24 @@ class ExecutionSimulator:
         reduce = reduce_scatter_time(worst, dp, bandwidth)
         gather = allgather_time(worst, dp, bandwidth)
         return reduce + gather
+
+    def migration_downtime(self, migration: MigrationPlan) -> MigrationCharge:
+        """Charge a migration plan's fused per-pair batches on their links.
+
+        Each (src, dst) pair's transfers are fused into batched send/recv
+        calls (``layer_pack`` layers per batch) riding the pair's actual
+        bandwidth — intra-node when the GPUs share a node; batches sharing
+        a GPU's link serialise, distinct pairs overlap (see
+        :func:`repro.parallel.migration.link_times`).  The migration stalls
+        training until the most loaded link drains.
+        """
+        per_gpu = link_times(migration, self.cluster)
+        return MigrationCharge(
+            total_seconds=max(per_gpu.values()) if per_gpu else 0.0,
+            total_bytes=migration.total_bytes,
+            num_transfers=migration.num_transfers,
+            per_gpu_seconds=per_gpu,
+        )
 
     # ------------------------------------------------------------------
     def simulate_step(self, plan: ParallelizationPlan,

@@ -27,6 +27,9 @@ class Adjustment:
     planning_time: float = 0.0  # planning time (overlapped for Malleus)
     overlapped: bool = False
     description: str = ""
+    #: Model-state bytes migrated to realise the adjustment (0 when the
+    #: plan is unchanged or the framework restarts instead of migrating).
+    migration_bytes: float = 0.0
     #: Classification of the triggering delta against the incumbent plan
     #: ("minor_rate_shift", "group_change", "membership_change"); empty for
     #: frameworks without an incremental re-planning engine.

@@ -10,6 +10,8 @@ from .division import (
     DivisionSolution,
     PartialDivisionSolution,
     brute_force_division,
+    division_candidate_bound,
+    division_lower_bound,
     repair_pipeline_division,
     solve_pipeline_division,
 )
@@ -22,6 +24,8 @@ __all__ = [
     "PartialDivisionSolution",
     "brute_force_division",
     "brute_force_minmax",
+    "division_candidate_bound",
+    "division_lower_bound",
     "repair_pipeline_division",
     "solve_minmax_assignment",
     "solve_pipeline_division",

@@ -100,6 +100,12 @@ class DivisionSolution:
     objective: float
     candidates_evaluated: int = 0
     used_fallback: bool = False
+    #: Assignments skipped by the dp-aware bound (see
+    #: :func:`division_candidate_bound`); 0 with pruning disabled.
+    candidates_pruned: int = 0
+    #: Refinement local searches skipped because the candidate's bound
+    #: proved it cannot strictly beat the incumbent solution.
+    refinements_pruned: int = 0
 
     def pipeline_speed(self, index: int, fast_rate: float) -> float:
         """Harmonic speed ``s_i`` of one pipeline."""
@@ -559,6 +565,39 @@ def division_lower_bound(problem: DivisionProblem) -> float:
     return problem.total_micro_batches / speed
 
 
+def division_candidate_bound(problem: DivisionProblem,
+                             base_speed: Sequence[float]) -> float:
+    """dp-aware lower bound for one slow-group assignment.
+
+    ``base_speed[i]`` is the harmonic speed of the slow groups already
+    placed in pipeline ``i``.  Two sound terms, mirroring the planner's
+    dp-aware :func:`repro.core.assignment.candidate_step_time_bound`:
+
+    * the assignment-independent ``M / sum_i s_i`` (fast groups contribute
+      the same total speed wherever they land);
+    * the dp-aware sharpening: some pipeline processes ``m >= ceil(M /
+      dp)`` micro-batches, and no pipeline can be faster than its slow
+      base plus *all* fast groups, so ``max_i m_i / s_i >= ceil(M / dp) /
+      (max_i base_i + F / y_fast)``.
+
+    Both are true for every fast-group water-filling and every integral
+    micro-batch split of this assignment, so an assignment whose bound
+    cannot reach the current top-``k`` cheap scores can be skipped without
+    changing the refined candidate set (see :func:`solve_pipeline_division`).
+    """
+    bound = division_lower_bound(problem)
+    fast_speed = 0.0
+    if problem.fast_group_count and problem.fast_group_rate > 0:
+        fast_speed = problem.fast_group_count / problem.fast_group_rate
+    cap = max(base_speed) + fast_speed if base_speed else fast_speed
+    if cap > 0:
+        m_max = -(-problem.total_micro_batches // problem.num_pipelines)
+        dp_term = m_max / cap
+        if dp_term > bound:
+            bound = dp_term
+    return bound
+
+
 def _matches_problem(problem: DivisionProblem,
                      assignment: Sequence[Sequence[float]]) -> bool:
     """Whether a warm-start slow assignment is structurally compatible."""
@@ -574,7 +613,9 @@ def solve_pipeline_division(problem: DivisionProblem,
                             legacy_kernels: bool = False,
                             use_minmax_cache: bool = True,
                             warm_start: Optional[Sequence[Sequence[float]]]
-                            = None) -> DivisionSolution:
+                            = None,
+                            enable_bound_pruning: bool = True
+                            ) -> DivisionSolution:
     """Solve the pipeline-division MINLP.
 
     The solver enumerates symmetry-reduced slow-group assignments (falling
@@ -583,6 +624,21 @@ def solve_pipeline_division(problem: DivisionProblem,
     groups, and refines the ``refine_top_k`` best candidates with a local
     search that moves individual fast groups between pipelines; micro-batches
     are assigned by the exact min-max solver throughout.
+
+    ``enable_bound_pruning`` screens every enumerated assignment with the
+    dp-aware :func:`division_candidate_bound` before any water-filling:
+    once ``refine_top_k`` assignments have been cheap-scored, an assignment
+    whose bound exceeds the ``k``-th best cheap score so far is skipped.
+    The bound is a true lower bound on the assignment's cheap score, and
+    the cheap-score top-``k`` so far only tightens, so the skip provably
+    never changes which assignments reach the refinement pass.  The same
+    bound also short-circuits the refinement pass itself: a top-``k``
+    candidate whose bound cannot *strictly* beat the incumbent refined
+    objective skips its local search outright (this is where the bound
+    fires most — as soon as one refinement reaches the provable optimum,
+    the remaining ones are skipped).  The returned solution is identical
+    with pruning on or off (the equivalence suite asserts it).  Disabled
+    automatically with ``legacy_kernels``.
 
     ``warm_start`` optionally seeds a previous solution's slow-group buckets
     (one list of rates per pipeline).  When the seed still matches the
@@ -636,27 +692,63 @@ def solve_pipeline_division(problem: DivisionProblem,
         assignments = [[list(b) for b in warm_start]] + assignments
 
     # First pass: cheap evaluation (water-filling only) of every candidate.
+    # The dp-aware bound screens assignments against the k-th best cheap
+    # score so far; skipped assignments provably never reach the top-k.
     scored = []
     evaluated = 0
+    pruned = 0
+    prune_bounds = enable_bound_pruning and not legacy_kernels
+    top_k = max(1, refine_top_k)
+    worst_of_best: List[float] = []  # max-heap (negated) of the best scores
     for slow_assignment in assignments:
-        fast_counts = waterfill(problem, slow_assignment)
+        base_speed = None
+        if prune_bounds:
+            base_speed = [sum(1.0 / r for r in bucket)
+                          for bucket in slow_assignment]
+            if len(worst_of_best) >= top_k and \
+                    division_candidate_bound(problem, base_speed) \
+                    > -worst_of_best[0] + 1e-9:
+                pruned += 1
+                continue
+        if base_speed is not None:
+            fast_counts = waterfill(problem, slow_assignment, base_speed)
+        else:
+            fast_counts = waterfill(problem, slow_assignment)
         if not fast_counts and problem.fast_group_count > 0:
             continue
         if problem.fast_group_count == 0:
             fast_counts = [0] * dp
             if any(len(b) < problem.min_groups_per_pipeline for b in slow_assignment):
                 continue
-        obj = _cheap_score(problem, slow_assignment, fast_counts)
+        obj = _cheap_score(problem, slow_assignment, fast_counts,
+                           base_speed=base_speed)
         evaluated += 1
         if math.isinf(obj):
             continue
         scored.append((obj, slow_assignment, list(fast_counts)))
+        if prune_bounds:
+            if len(worst_of_best) < top_k:
+                heapq.heappush(worst_of_best, -obj)
+            elif obj < -worst_of_best[0]:
+                heapq.heapreplace(worst_of_best, -obj)
 
     # Second pass: refine only the most promising candidates with local search
-    # (moving individual fast groups between pipelines).
+    # (moving individual fast groups between pipelines).  The dp-aware bound
+    # prunes here too: once the incumbent's objective reaches a candidate's
+    # bound, no configuration of that candidate can *strictly* beat it (the
+    # bound covers every fast split and every micro-batch split), so its
+    # local search is skipped without changing the returned solution.
     scored.sort(key=lambda item: item[0])
     best: Optional[DivisionSolution] = None
+    refinements_pruned = 0
     for _, slow_assignment, fast_counts in scored[:refine_top_k]:
+        if prune_bounds and best is not None:
+            base_speed = [sum(1.0 / r for r in bucket)
+                          for bucket in slow_assignment]
+            if division_candidate_bound(problem, base_speed) \
+                    > best.objective - 1e-12:
+                refinements_pruned += 1
+                continue
         obj, fast_counts, micro_batches = _local_search_fast(
             problem, slow_assignment, fast_counts, use_minmax_cache
         )
@@ -674,6 +766,8 @@ def solve_pipeline_division(problem: DivisionProblem,
     if best is None:
         raise ValueError("pipeline division is infeasible for the given problem")
     best.candidates_evaluated = evaluated
+    best.candidates_pruned = pruned
+    best.refinements_pruned = refinements_pruned
     return best
 
 

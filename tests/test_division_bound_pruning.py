@@ -1,0 +1,130 @@
+"""dp-aware bound inside the division solver's internal enumeration.
+
+``division_candidate_bound`` screens slow-group assignments before any
+water-filling; the solver skips an assignment once its bound cannot reach
+the current top-k cheap scores.  The bound must be sound per assignment
+(below every achievable objective of that assignment) and the pruned
+solver must return exactly the unpruned solver's solution.
+"""
+
+import itertools
+import math
+import random
+
+import pytest
+
+from repro.solvers.division import (
+    DivisionProblem,
+    _enumerate_slow_assignments,
+    _evaluate,
+    division_candidate_bound,
+    division_lower_bound,
+    solve_pipeline_division,
+)
+
+pytestmark = pytest.mark.migration
+
+
+def random_problem(rng, discrete=False):
+    """Random division instance.
+
+    ``discrete=True`` draws slow rates from the paper's straggler levels
+    (a few distinct values), which produces the speed ties where the
+    bound actually fires; continuous rates exercise the no-fire path.
+    """
+    dp = rng.choice([2, 3, 4])
+    if discrete:
+        slow = [rng.choice([2.0, 2.0, 3.0, 4.0])
+                for _ in range(rng.randint(0, 6))]
+    else:
+        slow = [round(rng.uniform(1.2, 6.0), 2)
+                for _ in range(rng.randint(0, 6))]
+    fast = rng.randint(0, 8)
+    total_groups = fast + len(slow)
+    if total_groups < dp:
+        fast += dp - total_groups
+    return DivisionProblem(
+        num_pipelines=dp,
+        total_micro_batches=rng.choice([16, 24, 64]),
+        fast_group_count=fast,
+        fast_group_rate=1.0,
+        slow_group_rates=slow,
+    )
+
+
+class TestBoundSoundness:
+    def test_bound_below_every_configuration_of_the_assignment(self):
+        problem = DivisionProblem(
+            num_pipelines=2, total_micro_batches=16,
+            fast_group_count=3, fast_group_rate=1.0,
+            slow_group_rates=[2.0, 4.0],
+        )
+        assignments, _ = _enumerate_slow_assignments(
+            problem.slow_group_rates, problem.num_pipelines, 1000)
+        for assignment in assignments:
+            base_speed = [sum(1.0 / r for r in bucket)
+                          for bucket in assignment]
+            bound = division_candidate_bound(problem, base_speed)
+            # Exhaust every fast split of this assignment: the bound must
+            # stay below the exact objective of each.
+            for split in itertools.product(
+                    range(problem.fast_group_count + 1),
+                    repeat=problem.num_pipelines):
+                if sum(split) != problem.fast_group_count:
+                    continue
+                if any(split[i] + len(assignment[i])
+                       < problem.min_groups_per_pipeline
+                       for i in range(problem.num_pipelines)):
+                    continue
+                objective, _ = _evaluate(problem, assignment, list(split))
+                if math.isinf(objective):
+                    continue
+                assert bound <= objective + 1e-9
+
+    def test_dp_term_sharpens_the_global_bound(self):
+        # One pipeline must process ceil(M / dp) micro-batches; when dp
+        # does not divide M and the assignment is balanced (no pipeline
+        # faster than the even share), the ceiling makes the dp-aware term
+        # exceed the continuous M / S bound.
+        problem = DivisionProblem(
+            num_pipelines=3, total_micro_batches=16,
+            fast_group_count=0, fast_group_rate=0.0,
+            slow_group_rates=[2.0, 2.0, 2.0],
+        )
+        base_speed = [0.5, 0.5, 0.5]
+        # ceil(16 / 3) / 0.5 = 12 vs 16 / 1.5 = 10.67
+        assert division_lower_bound(problem) == pytest.approx(16 / 1.5)
+        assert division_candidate_bound(problem, base_speed) == \
+            pytest.approx(12.0)
+
+
+class TestPruningEquivalence:
+    def test_pruned_and_unpruned_solutions_are_identical(self):
+        rng = random.Random(20260726)
+        checked_pruning = 0
+        for index in range(60):
+            problem = random_problem(rng, discrete=index % 2 == 0)
+            pruned = solve_pipeline_division(problem)
+            unpruned = solve_pipeline_division(problem,
+                                               enable_bound_pruning=False)
+            assert pruned.objective == pytest.approx(unpruned.objective)
+            assert pruned.fast_groups == unpruned.fast_groups
+            assert pruned.slow_groups == unpruned.slow_groups
+            assert pruned.micro_batches == unpruned.micro_batches
+            assert unpruned.candidates_pruned == 0
+            assert unpruned.refinements_pruned == 0
+            if pruned.candidates_pruned or pruned.refinements_pruned:
+                checked_pruning += 1
+        # The sweep must actually exercise the pruning path, not just
+        # degenerate cases where the bound never fires.
+        assert checked_pruning > 0
+
+    def test_legacy_kernels_disable_the_bound(self):
+        problem = DivisionProblem(
+            num_pipelines=2, total_micro_batches=16,
+            fast_group_count=2, fast_group_rate=1.0,
+            slow_group_rates=[2.0, 3.0, 4.0, 5.0],
+        )
+        legacy = solve_pipeline_division(problem, legacy_kernels=True)
+        assert legacy.candidates_pruned == 0
+        assert legacy.refinements_pruned == 0

@@ -1,0 +1,122 @@
+"""Transition-aware planning: off-switch equivalence, epsilon guard, ties.
+
+The heavyweight acceptance assertions (full-trace bit-identity with the
+off-switch, strictly-lower cumulative downtime with the objective on) live
+in ``benchmarks/test_bench_transition_study.py``; these tests cover the
+planner/replan/runtime seams at tier-1 speed.
+"""
+
+import pytest
+
+from repro.cluster.trace import paper_situation, paper_trace
+from repro.core.planner import MalleusPlanner, TransitionConfig
+from repro.experiments.common import paper_workload
+from repro.experiments.planner_hotpath import _plan_signature
+from repro.runtime.malleus import MalleusSystem
+
+pytestmark = pytest.mark.migration
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return paper_workload("32b")
+
+
+def rates_for(workload, name):
+    situation = paper_situation(name, workload.cluster)
+    return situation.rate_map(workload.cluster)
+
+
+class TestOffSwitch:
+    def test_disabled_config_ignores_previous_context(self, workload):
+        planner = MalleusPlanner(workload.task, workload.cluster,
+                                 workload.cost_model)
+        assert not planner.transition_config.enabled
+        previous = planner.plan(rates_for(workload, "Normal")).context
+        rates = rates_for(workload, "S3")
+        plain = planner.plan(rates)
+        with_context = planner.plan(rates, previous=previous)
+        assert _plan_signature(plain) == _plan_signature(with_context)
+        assert with_context.transition is None
+
+    def test_enabled_without_previous_is_pure_step_time(self, workload):
+        aware = MalleusPlanner(workload.task, workload.cluster,
+                               workload.cost_model,
+                               transition_config=TransitionConfig(enabled=True))
+        plain = MalleusPlanner(workload.task, workload.cluster,
+                               workload.cost_model)
+        rates = rates_for(workload, "S4")
+        assert _plan_signature(aware.plan(rates)) == \
+            _plan_signature(plain.plan(rates))
+
+
+class TestEpsilonGuard:
+    def test_winner_step_time_within_epsilon_of_pure_best(self, workload):
+        config = TransitionConfig(enabled=True, epsilon=0.01)
+        aware = MalleusPlanner(workload.task, workload.cluster,
+                               workload.cost_model, transition_config=config)
+        plain = MalleusPlanner(workload.task, workload.cluster,
+                               workload.cost_model)
+        previous = None
+        for situation in paper_trace(workload.cluster).situations:
+            rates = situation.rate_map(workload.cluster)
+            pure = plain.plan(rates)
+            result = aware.plan(rates, previous=previous)
+            assert result.estimated_step_time <= \
+                pure.estimated_step_time * (1.0 + config.epsilon) + 1e-9
+            previous = result.context
+
+    def test_keeping_the_incumbent_layout_costs_nothing(self, workload):
+        # Re-planning for the *same* rates must keep the incumbent plan and
+        # estimate a zero-cost transition.
+        config = TransitionConfig(enabled=True)
+        aware = MalleusPlanner(workload.task, workload.cluster,
+                               workload.cost_model, transition_config=config)
+        rates = rates_for(workload, "S4")
+        first = aware.plan(rates)
+        second = aware.plan(rates, previous=first.context)
+        assert _plan_signature(first) == _plan_signature(second)
+        assert second.transition is not None
+        assert second.transition.total_bytes == 0.0
+        assert second.transition.seconds == 0.0
+
+
+class TestTieBreakOnly:
+    def test_step_time_never_changes(self, workload):
+        config = TransitionConfig(enabled=True, tie_break_only=True)
+        aware = MalleusPlanner(workload.task, workload.cluster,
+                               workload.cost_model, transition_config=config)
+        plain = MalleusPlanner(workload.task, workload.cluster,
+                               workload.cost_model)
+        previous = None
+        for name in ("Normal", "S2", "S5"):
+            rates = rates_for(workload, name)
+            pure = plain.plan(rates)
+            result = aware.plan(rates, previous=previous)
+            assert result.estimated_step_time == \
+                pytest.approx(pure.estimated_step_time, abs=1e-9)
+            previous = result.context
+
+
+class TestRuntimeThreading:
+    def test_transition_config_reaches_the_planner(self, workload):
+        config = TransitionConfig(enabled=True, horizon_steps=7.0)
+        system = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model,
+                               transition_config=config)
+        assert system.planner.transition_config is config
+
+    def test_adjustments_record_migration_bytes(self, workload):
+        system = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model)
+        trace = paper_trace(workload.cluster)
+        states = [s.as_state(workload.cluster) for s in trace.situations]
+        system.setup(states[0])
+        adjustment = system.on_situation_change(states[1])
+        assert adjustment.kind == "migrate"
+        assert adjustment.migration_bytes > 0
+        assert system.replan_events[-1].migration_bytes == \
+            adjustment.migration_bytes
+        # The charge is the topology-aware per-pair model, well inside the
+        # paper's 1-5 s migration magnitude at this scale.
+        assert 0.0 < adjustment.downtime < 5.0
