@@ -4,18 +4,23 @@
 #   make bench     - the paper-reproduction benchmarks only
 #   make replan    - the incremental re-planning equivalence sweep
 #   make migration - the migration + transition-aware planning suite
+#   make scenarios - the generated straggler-scenario suite
 #   make gate      - run the planner hot-path benchmark and gate it against
 #                    the committed baseline (one-liner perf gate)
 #   make gate-update - refresh the committed baseline from a fresh run
 #   make gate-transition - run the transition study and gate it against the
 #                    committed (deterministic) baseline
 #   make gate-transition-update - refresh the transition-study baseline
+#   make gate-scenarios - run the generated-trace scenario sweep and gate it
+#                    against the committed (deterministic) baseline
+#   make gate-scenarios-update - refresh the scenario-sweep baseline
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench replan migration gate gate-update gate-transition \
-	gate-transition-update
+.PHONY: test bench replan migration scenarios gate gate-update \
+	gate-transition gate-transition-update gate-scenarios \
+	gate-scenarios-update
 
 test:
 	$(PYTHON) -m pytest -x -q -m "not bench"
@@ -29,6 +34,9 @@ replan:
 migration:
 	$(PYTHON) -m pytest -q -m migration
 
+scenarios:
+	$(PYTHON) -m pytest -q -m "scenario and not bench"
+
 gate:
 	$(PYTHON) -m repro.experiments.planner_hotpath --gate
 
@@ -40,3 +48,9 @@ gate-transition:
 
 gate-transition-update:
 	$(PYTHON) -m repro.experiments.transition_study --update
+
+gate-scenarios:
+	$(PYTHON) -m repro.experiments.scenario_sweep --gate
+
+gate-scenarios-update:
+	$(PYTHON) -m repro.experiments.scenario_sweep --update

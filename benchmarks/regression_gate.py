@@ -13,7 +13,13 @@ benchmarks/test_bench_transition_study.py``), the transition-study gate
 runs too: unlike the timing rows it is fully deterministic, so it checks
 the study's invariants (strictly lower migration downtime, step regression
 within epsilon) and exact agreement with its committed baseline (see
-``python -m repro.experiments.transition_study --gate``).
+``python -m repro.experiments.transition_study --gate``).  Likewise for a
+fresh ``BENCH_scenario_sweep.json`` (written by ``pytest
+benchmarks/test_bench_scenario_sweep.py``): the generated-trace scenario
+sweep is gated on its invariants (overlapped migration strictly reduces
+downtime on the frequent-small-events and node-correlated presets, step
+regression within epsilon of a cold plan) plus exact baseline agreement
+(``python -m repro.experiments.scenario_sweep --gate``).
 
 The comparison logic lives in
 :func:`repro.experiments.planner_hotpath.gate_against_baseline`; this
@@ -45,6 +51,9 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 
 from repro.experiments.planner_hotpath import gate_against_baseline  # noqa: E402
+from repro.experiments.scenario_sweep import (  # noqa: E402
+    gate_against_baseline as gate_scenario_sweep,
+)
 from repro.experiments.transition_study import (  # noqa: E402
     gate_against_baseline as gate_transition_study,
 )
@@ -55,6 +64,9 @@ DEFAULT_BASELINE = os.path.join(HERE, "baselines",
 TRANSITION_FRESH = os.path.join(HERE, "BENCH_transition_study.json")
 TRANSITION_BASELINE = os.path.join(HERE, "baselines",
                                    "BENCH_transition_study.json")
+SCENARIO_FRESH = os.path.join(HERE, "BENCH_scenario_sweep.json")
+SCENARIO_BASELINE = os.path.join(HERE, "baselines",
+                                 "BENCH_scenario_sweep.json")
 
 
 def main(argv=None) -> int:
@@ -94,6 +106,10 @@ def main(argv=None) -> int:
             os.path.exists(TRANSITION_BASELINE):
         status = max(status, gate_transition_study(TRANSITION_FRESH,
                                                    TRANSITION_BASELINE))
+    if os.path.exists(SCENARIO_FRESH) and \
+            os.path.exists(SCENARIO_BASELINE):
+        status = max(status, gate_scenario_sweep(SCENARIO_FRESH,
+                                                 SCENARIO_BASELINE))
     return status
 
 

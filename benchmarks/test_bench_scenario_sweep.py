@@ -1,0 +1,77 @@
+"""Scenario-sweep benchmark: overlapped migration on generated regimes.
+
+Runs the deterministic generated-trace sweep
+(:mod:`repro.experiments.scenario_sweep`) and asserts its contract:
+
+* overlapped migration's cumulative downtime is strictly lower than the
+  baseline's on the ``frequent-small-events`` and ``node-correlated``
+  presets and never higher anywhere;
+* no arm's chosen plan regresses the planning objective beyond epsilon
+  of a cold full plan for the identical rates.
+
+Writes ``BENCH_scenario_sweep.json`` so ``benchmarks/regression_gate.py``
+(or ``make gate-scenarios``) can compare the fully deterministic numbers
+against the committed baseline exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.scenario_sweep import (
+    STRICT_PRESETS,
+    check_sweep_invariants,
+    format_scenario_sweep,
+    run_scenario_sweep,
+    write_sweep_json,
+)
+
+pytestmark = [pytest.mark.bench, pytest.mark.scenario]
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FRESH_PATH = os.path.join(HERE, "BENCH_scenario_sweep.json")
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    result = run_scenario_sweep()
+    write_sweep_json(result, FRESH_PATH)
+    return result
+
+
+def test_contract_invariants_hold(sweep_result):
+    failures = check_sweep_invariants(sweep_result)
+    assert not failures, "\n".join(failures)
+
+
+def test_overlap_strictly_reduces_downtime_on_strict_presets(sweep_result):
+    for preset in STRICT_PRESETS:
+        row = sweep_result.row(preset)
+        assert row.arms["overlap"].downtime < \
+            row.arms["baseline"].downtime - 1e-9
+
+
+def test_overlap_never_increases_downtime(sweep_result):
+    for row in sweep_result.rows:
+        assert row.arms["overlap"].downtime <= \
+            row.arms["baseline"].downtime + 1e-9
+
+
+def test_hidden_time_accounts_for_the_saving(sweep_result):
+    # Whatever downtime the overlap arm avoids relative to its own drain
+    # is recorded as hidden time, never silently dropped.
+    for row in sweep_result.rows:
+        overlap = row.arms["overlap"]
+        assert overlap.hidden_seconds >= -1e-9
+        if overlap.migration_gb > 0:
+            assert overlap.hidden_seconds + overlap.downtime > 0
+
+
+def test_step_regression_within_epsilon(sweep_result):
+    assert sweep_result.max_step_regression <= sweep_result.epsilon + 1e-9
+
+
+def test_report_renders(sweep_result, capsys):
+    print()
+    print(format_scenario_sweep(sweep_result))
+    assert "Scenario sweep" in capsys.readouterr().out

@@ -1,6 +1,13 @@
 """Cluster substrate: topology, straggler state, traces and the profiler."""
 
 from .profiler import Profiler, ProfilerConfig, ProfilerReport, RateDeltaEvent
+from .scenarios import (
+    SCENARIO_PRESETS,
+    ScenarioConfig,
+    ScenarioGenerator,
+    generate_trace,
+    scenario_preset,
+)
 from .stragglers import (
     FAILED_RATE,
     LEVEL_TO_RATE,
@@ -36,17 +43,22 @@ __all__ = [
     "ProfilerConfig",
     "ProfilerReport",
     "RateDeltaEvent",
+    "SCENARIO_PRESETS",
+    "ScenarioConfig",
+    "ScenarioGenerator",
     "StragglerSituation",
     "StragglerSpec",
     "StragglerTrace",
     "ablation_situations",
     "case_study_situation",
+    "generate_trace",
     "make_cluster",
     "normal_situation",
     "paper_cluster",
     "paper_situation",
     "paper_trace",
     "rate_for_level",
+    "scenario_preset",
     "state_from_levels",
     "state_from_rates",
 ]

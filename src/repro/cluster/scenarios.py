@@ -1,0 +1,349 @@
+"""Synthetic straggler-scenario generation: randomized, seeded traces.
+
+The paper evaluates on a single hand-built trace of six situations
+(:func:`repro.cluster.trace.paper_trace`).  Production straggler studies
+paint a very different picture: degradation is bursty, correlated by node,
+dominated by many small events, and interleaved with failures and
+re-joins.  This module generates such regimes synthetically so every
+planner, repair-engine and migration test can run on *many* traces instead
+of the one paper trace.
+
+A :class:`ScenarioGenerator` composes independent **straggler processes**
+into a :class:`~repro.cluster.trace.StragglerTrace`:
+
+``transient``
+    One GPU jitters for a single situation and recovers.
+``persistent``
+    One GPU degrades to a paper-calibrated rate (level 1/2/3) and stays
+    degraded for several situations.
+``node``
+    A whole node slows down uniformly (shared NIC / PCIe / cooling fault),
+    the classic node-correlated pattern.
+``thermal``
+    One GPU ramps up gradually over several situations, peaks, and cools
+    back down (a triangular rate profile).
+``flapping``
+    One GPU oscillates between healthy and degraded every situation.
+``churn``
+    One GPU fails outright (infinite rate) and re-joins a few situations
+    later — a membership change for the re-planning engine.
+
+Processes spawn per situation from a seeded Poisson stream whose rate
+scales with the cluster size, so the same config describes a 64-GPU and an
+8192-GPU regime.  Everything is driven by one ``random.Random(seed)``
+instance created per :meth:`ScenarioGenerator.generate` call, which makes
+generation fully deterministic: the same ``(cluster, config)`` pair always
+yields the identical trace (asserted by ``tests/test_scenarios.py``).
+
+The :data:`SCENARIO_PRESETS` library names ~9 regimes (including the
+``frequent-small-events`` regime the transition-aware planner's amortized
+horizon term is designed for); :func:`generate_trace` is the one-line
+entry point used by the experiments and the property-test strategies.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
+
+from .stragglers import FAILED_RATE, LEVEL_TO_RATE, StragglerSpec
+from .topology import Cluster
+from .trace import StragglerSituation, StragglerTrace
+
+#: Reference cluster size for ``ScenarioConfig.event_rate`` (events per
+#: situation are scaled by ``num_gpus / SCALE_REFERENCE_GPUS`` so a config
+#: describes the same per-GPU event density from 64 to 8192 GPUs).
+SCALE_REFERENCE_GPUS = 64
+
+#: Straggling rates considered "paper-calibrated" severities (level 1/2/3).
+_SEVERITY_RATES = (LEVEL_TO_RATE[1], LEVEL_TO_RATE[2], LEVEL_TO_RATE[3])
+
+#: Process kinds a generator can spawn, in weight order.
+PROCESS_KINDS = ("transient", "persistent", "node", "thermal",
+                 "flapping", "churn")
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters of one synthetic straggler regime.
+
+    ``event_rate`` is the expected number of *new* straggler processes per
+    situation on a :data:`SCALE_REFERENCE_GPUS`-GPU cluster; with
+    ``scale_with_cluster`` (default) it is multiplied by ``num_gpus / 64``
+    so larger clusters see proportionally more events.  ``severity``
+    scales every process's straggling-rate excess over 1.0 (0.2 turns a
+    2.6x degrader into a ~1.3x one); failures are unaffected (a dead GPU
+    is dead at any severity).  The ``*_weight`` fields set the relative
+    spawn probability of each process kind; zero disables a kind.
+    """
+
+    name: str = "scenario"
+    seed: int = 0
+    num_situations: int = 12
+    duration_steps: int = 50
+    event_rate: float = 1.0
+    severity: float = 1.0
+    scale_with_cluster: bool = True
+    transient_weight: float = 1.0
+    persistent_weight: float = 1.0
+    node_weight: float = 0.0
+    thermal_weight: float = 0.0
+    flapping_weight: float = 0.0
+    churn_weight: float = 0.0
+    #: The trace always opens straggler-free (the session protocol uses the
+    #: first situation for setup).
+    start_normal: bool = True
+    #: Upper bound on the fraction of GPUs failed at once; churn spawns
+    #: beyond it are dropped (the planner must keep a feasible cluster).
+    max_failed_fraction: float = 0.125
+
+    def weights(self) -> List[float]:
+        """Spawn weights in :data:`PROCESS_KINDS` order."""
+        return [
+            self.transient_weight, self.persistent_weight, self.node_weight,
+            self.thermal_weight, self.flapping_weight, self.churn_weight,
+        ]
+
+
+@dataclass
+class _Process:
+    """One active straggler process: per-epoch rate contributions."""
+
+    kind: str
+    gpu_ids: List[int]
+    #: Rate profile over the process lifetime; entry ``t`` applies to every
+    #: GPU of the process during its ``t``-th situation.
+    profile: List[float]
+    age: int = 0
+
+    @property
+    def alive(self) -> bool:
+        """Whether the process still contributes to the next situation."""
+        return self.age < len(self.profile)
+
+    def rate(self) -> float:
+        """Rate contribution of the current situation."""
+        return self.profile[self.age]
+
+
+class ScenarioGenerator:
+    """Seeded generator of synthetic straggler traces.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster the trace plays on (supplies GPU/node ids and scale).
+    config:
+        The regime being generated; see :class:`ScenarioConfig`.
+    """
+
+    def __init__(self, cluster: Cluster, config: Optional[ScenarioConfig] = None):
+        self.cluster = cluster
+        self.config = config or ScenarioConfig()
+
+    # ------------------------------------------------------------------
+    # Sampling helpers (all randomness flows through one Random instance)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _poisson(rng: random.Random, rate: float) -> int:
+        """Knuth's inversion sampler (rates here are small)."""
+        if rate <= 0.0:
+            return 0
+        threshold = math.exp(-rate)
+        count, product = 0, rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+
+    def _scaled_rate(self, rate: float) -> float:
+        """Apply ``severity`` to a straggling rate (excess over 1.0)."""
+        severity = self.config.severity
+        return max(1.0, 1.0 + (rate - 1.0) * severity)
+
+    def _spawn(self, rng: random.Random, kind: str,
+               failed: set) -> Optional[_Process]:
+        """Create one process of the given kind (or None when infeasible)."""
+        gpu_ids = self.cluster.gpu_ids()
+        config = self.config
+        if kind == "transient":
+            gpu = rng.choice(gpu_ids)
+            rate = self._scaled_rate(1.1 + 0.8 * rng.random())
+            return _Process(kind, [gpu], [rate])
+        if kind == "persistent":
+            gpu = rng.choice(gpu_ids)
+            rate = self._scaled_rate(rng.choice(_SEVERITY_RATES))
+            duration = rng.randint(2, 6)
+            return _Process(kind, [gpu], [rate] * duration)
+        if kind == "node":
+            node = rng.choice(self.cluster.nodes)
+            rate = self._scaled_rate(1.5 + 1.5 * rng.random())
+            duration = rng.randint(2, 5)
+            return _Process(kind, node.gpu_ids(), [rate] * duration)
+        if kind == "thermal":
+            gpu = rng.choice(gpu_ids)
+            peak = self._scaled_rate(1.8 + 1.5 * rng.random())
+            half = rng.randint(2, 4)
+            ramp = [1.0 + (peak - 1.0) * (i + 1) / half for i in range(half)]
+            profile = ramp + ramp[-2::-1]  # up, peak, symmetric cool-down
+            return _Process(kind, [gpu], profile)
+        if kind == "flapping":
+            gpu = rng.choice(gpu_ids)
+            rate = self._scaled_rate(1.3 + 1.3 * rng.random())
+            duration = rng.randint(4, 8)
+            profile = [rate if i % 2 == 0 else 1.0 for i in range(duration)]
+            return _Process(kind, [gpu], profile)
+        if kind == "churn":
+            budget = int(config.max_failed_fraction * len(gpu_ids))
+            candidates = [g for g in gpu_ids if g not in failed]
+            if len(failed) >= budget or not candidates:
+                return None
+            gpu = rng.choice(candidates)
+            duration = rng.randint(1, 3)
+            return _Process(kind, [gpu], [FAILED_RATE] * duration)
+        raise KeyError(f"unknown process kind '{kind}'")
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+    def generate(self) -> StragglerTrace:
+        """Generate the trace (deterministic per ``(cluster, config)``)."""
+        config = self.config
+        rng = random.Random(config.seed)
+        rate = config.event_rate
+        if config.scale_with_cluster:
+            rate *= max(1.0, self.cluster.num_gpus / SCALE_REFERENCE_GPUS)
+        kinds = [k for k, w in zip(PROCESS_KINDS, config.weights()) if w > 0]
+        weights = [w for w in config.weights() if w > 0]
+
+        situations: List[StragglerSituation] = []
+        if config.start_normal:
+            situations.append(StragglerSituation(
+                name="Normal", stragglers=[],
+                duration_steps=config.duration_steps,
+            ))
+        active: List[_Process] = []
+        while len(situations) < config.num_situations:
+            # Spawn this situation's new processes.
+            failed = {
+                g for p in active if p.alive and math.isinf(p.rate())
+                for g in p.gpu_ids
+            }
+            if kinds:
+                for _ in range(self._poisson(rng, rate)):
+                    kind = rng.choices(kinds, weights=weights)[0]
+                    process = self._spawn(rng, kind, failed)
+                    if process is None:
+                        continue
+                    active.append(process)
+                    if math.isinf(process.rate()):
+                        failed.update(process.gpu_ids)
+            # Combine the active processes; TP is synchronous, so
+            # overlapping contributions bind at the worst (max) rate.
+            combined: Dict[int, float] = {}
+            for process in active:
+                if not process.alive:
+                    continue
+                value = process.rate()
+                for gpu in process.gpu_ids:
+                    combined[gpu] = max(combined.get(gpu, 1.0), value)
+                process.age += 1
+            active = [p for p in active if p.alive]
+            stragglers = [
+                StragglerSpec(gpu_id=gpu, rate=value)
+                for gpu, value in sorted(combined.items())
+                if value > 1.0 + 1e-9
+            ]
+            situations.append(StragglerSituation(
+                name=f"E{len(situations)}", stragglers=stragglers,
+                duration_steps=config.duration_steps,
+            ))
+        return StragglerTrace(cluster=self.cluster, situations=situations,
+                             name=config.name)
+
+
+# ----------------------------------------------------------------------
+# Preset library
+# ----------------------------------------------------------------------
+#: Named regimes.  ``frequent-small-events`` and ``node-correlated`` are the
+#: two the scenario-sweep gate requires overlapped migration to win on.
+SCENARIO_PRESETS: Dict[str, ScenarioConfig] = {
+    "calm": ScenarioConfig(
+        name="calm", event_rate=0.25, severity=0.5,
+        transient_weight=1.0, persistent_weight=0.25,
+    ),
+    "transient-jitter": ScenarioConfig(
+        name="transient-jitter", event_rate=1.5, severity=0.6,
+        transient_weight=1.0, persistent_weight=0.0,
+    ),
+    "persistent-degraders": ScenarioConfig(
+        name="persistent-degraders", event_rate=0.75,
+        transient_weight=0.0, persistent_weight=1.0,
+    ),
+    "node-correlated": ScenarioConfig(
+        name="node-correlated", event_rate=0.6,
+        transient_weight=0.25, persistent_weight=0.25, node_weight=1.0,
+    ),
+    "thermal-ramp": ScenarioConfig(
+        name="thermal-ramp", event_rate=0.75,
+        transient_weight=0.25, persistent_weight=0.0, thermal_weight=1.0,
+    ),
+    "flapping": ScenarioConfig(
+        name="flapping", event_rate=0.75,
+        transient_weight=0.0, persistent_weight=0.25, flapping_weight=1.0,
+    ),
+    "failure-churn": ScenarioConfig(
+        name="failure-churn", event_rate=0.6,
+        transient_weight=0.5, persistent_weight=0.5, churn_weight=1.0,
+        num_situations=10,
+    ),
+    "frequent-small-events": ScenarioConfig(
+        name="frequent-small-events", event_rate=3.0, severity=0.35,
+        transient_weight=1.0, persistent_weight=0.5, flapping_weight=0.5,
+        num_situations=16, duration_steps=20,
+    ),
+    "bursty-mixed": ScenarioConfig(
+        name="bursty-mixed", event_rate=1.25,
+        transient_weight=1.0, persistent_weight=1.0, node_weight=0.5,
+        thermal_weight=0.5, flapping_weight=0.5, churn_weight=0.25,
+        num_situations=14,
+    ),
+}
+
+
+def scenario_preset(name: str, seed: Optional[int] = None,
+                    **overrides) -> ScenarioConfig:
+    """A fresh copy of a named preset, optionally re-seeded / overridden."""
+    try:
+        base = SCENARIO_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_PRESETS))
+        raise KeyError(f"unknown scenario preset '{name}' (known: {known})") \
+            from None
+    if seed is not None:
+        overrides["seed"] = seed
+    return replace(base, **overrides)
+
+
+def generate_trace(cluster: Cluster,
+                   config: Union[str, ScenarioConfig, None] = None,
+                   seed: Optional[int] = None,
+                   **overrides) -> StragglerTrace:
+    """Generate a trace from a preset name or an explicit config.
+
+    ``generate_trace(cluster, "flapping", seed=3)`` is the common form;
+    keyword overrides are applied on top of the preset.
+    """
+    if config is None:
+        config = ScenarioConfig(**overrides)
+        if seed is not None:
+            config.seed = seed
+    elif isinstance(config, str):
+        config = scenario_preset(config, seed=seed, **overrides)
+    elif seed is not None or overrides:
+        if seed is not None:
+            overrides["seed"] = seed
+        config = replace(config, **overrides)
+    return ScenarioGenerator(cluster, config).generate()

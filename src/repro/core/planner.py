@@ -107,6 +107,15 @@ class TransitionConfig:
     ranked by step time exactly as today and the migration estimate only
     resolves exact ties (repairs that keep the incumbent layout therefore
     win them), which provably never changes the achieved step time.
+
+    ``overlap=True`` models **overlapped migration**: the job keeps
+    training at the old plan for up to ``overlap_steps`` steps while the
+    state streams in the background, so only the *exposed tail* of the
+    drain time — ``max(0, migration_time - overlap_steps *
+    old_step_time)`` — is charged, both in the amortized score (and its
+    lower-bound floor) and in the runtime's downtime accounting.  With
+    ``overlap=False`` (the default) every charge is bit-identical to the
+    stop-the-world model.
     """
 
     enabled: bool = False
@@ -121,6 +130,12 @@ class TransitionConfig:
     tie_break_only: bool = False
     #: Layers fused per migration batch (threaded into the estimates).
     layer_pack: int = DEFAULT_LAYER_PACK
+    #: Overlap migration with training at the old plan, charging only the
+    #: exposed tail of the drain time (see the class docstring).
+    overlap: bool = False
+    #: Old-plan steps the migration may hide under when ``overlap`` is on;
+    #: the hideable window is ``overlap_steps * old-plan step time``.
+    overlap_steps: float = 1.0
 
 
 @dataclass
@@ -425,8 +440,9 @@ class MalleusPlanner:
             step_time = result.estimated_step_time
             if scorer is not None:
                 estimate = scorer.estimate(result.candidate)
-                record.transition_seconds = estimate.seconds
-                finalists.append((step_time, estimate.seconds, entry_index,
+                charged = scorer.charge(estimate)
+                record.transition_seconds = charged
+                finalists.append((step_time, charged, entry_index,
                                   grouping, dp_degree, result, estimate))
                 if step_time < best_time:
                     best_time = step_time
@@ -704,6 +720,15 @@ class _TransitionScorer:
         )
         self.num_layers = model.num_layers
         self._floors: Dict[int, float] = {}
+        # Overlapped migration hides the drain under up to ``overlap_steps``
+        # steps of training at the old plan; the incumbent's estimated step
+        # time is the analytic stand-in for that old-plan step time.
+        self.hideable_seconds = 0.0
+        if self.config.overlap and \
+                math.isfinite(previous.estimated_step_time):
+            self.hideable_seconds = max(
+                0.0, self.config.overlap_steps * previous.estimated_step_time
+            )
 
     def estimate(self, candidate: PlanCandidate) -> TransitionEstimate:
         """Analytic migration estimate for one unmaterialized candidate."""
@@ -713,16 +738,31 @@ class _TransitionScorer:
             layer_pack=self.config.layer_pack,
         )
 
+    def charge(self, estimate: TransitionEstimate) -> float:
+        """Migration seconds the objective charges for one candidate.
+
+        The full drain time without overlap; the exposed tail beyond the
+        hideable window with it.  This is what enters the amortized score
+        and the minimal-disruption ranking.
+        """
+        return estimate.exposed_seconds(self.hideable_seconds)
+
     def floor(self, grouping: GroupingResult) -> float:
-        """Amortized provable migration-time floor of one grouping."""
+        """Amortized provable migration-time floor of one grouping.
+
+        With overlap the hideable window is subtracted before amortizing —
+        the floor stays a sound bound on the *charged* seconds.
+        """
         key = grouping.tp_limit
         cached = self._floors.get(key)
         if cached is None:
             gpus = [g for group in grouping.groups for g in group.gpu_ids]
-            cached = transition_time_lower_bound(
+            bound = transition_time_lower_bound(
                 self.old_layout, gpus, self.cluster,
                 self.layer_param_bytes, self.num_layers,
-            ) / self.config.horizon_steps
+            )
+            cached = max(0.0, bound - self.hideable_seconds) \
+                / self.config.horizon_steps
             self._floors[key] = cached
         return cached
 

@@ -14,6 +14,7 @@
 | §5.3 re-planning overlap (extra)       | :mod:`repro.experiments.replanning` |
 | Planner hot-path before/after (extra)  | :mod:`repro.experiments.planner_hotpath` |
 | Transition-aware planning (extra)      | :mod:`repro.experiments.transition_study` |
+| Generated-trace scenario sweep (extra) | :mod:`repro.experiments.scenario_sweep` |
 """
 
 from .ablation import AblationResult, format_ablation, run_ablation
@@ -69,6 +70,12 @@ from .restart_configs import (
     format_restart_configs,
     run_restart_configs,
 )
+from .scenario_sweep import (
+    ScenarioSweepResult,
+    ScenarioSweepRow,
+    format_scenario_sweep,
+    run_scenario_sweep,
+)
 from .transition_study import (
     TransitionStudyResult,
     TransitionStudyRow,
@@ -91,6 +98,8 @@ __all__ = [
     "PlanningScalabilityResult",
     "ReplanningResult",
     "RestartConfigResult",
+    "ScenarioSweepResult",
+    "ScenarioSweepRow",
     "TransitionStudyResult",
     "TransitionStudyRow",
     "Workload",
@@ -105,6 +114,7 @@ __all__ = [
     "format_planner_hotpath",
     "format_planning_scalability",
     "format_replanning",
+    "format_scenario_sweep",
     "format_transition_study",
     "format_restart_configs",
     "format_table",
@@ -123,6 +133,7 @@ __all__ = [
     "run_planner_hotpath",
     "run_planning_scalability",
     "run_replanning_ablation",
+    "run_scenario_sweep",
     "run_transition_study",
     "run_restart_configs",
     "write_hotpath_json",

@@ -25,12 +25,29 @@ planning time instead of discovering it on the invoice (see
   ``legacy=True`` (the paper-magnitude reproduction tests pin it);
 * **load-balanced sources** — replica pulls spread over the old holders by
   current outgoing load instead of funnelling through the lowest GPU id;
-* **plan-free cost estimation** — :func:`estimate_transition_cost` bounds
+* **plan-free cost estimation** — :func:`estimate_transition_cost` prices
   the migrated bytes and the migration time of a *candidate* (an
   unmaterialized :class:`~repro.core.assignment.PlanCandidate` or a built
   plan) directly from the stage layouts, composing with the planner's
   deferred materialization: candidates can be scored transition-aware
-  without ever building them.
+  without ever building them.  The estimate replays the migration
+  planner's own per-transfer load-balanced source selection on the
+  layouts, so whenever the old layout fully covers the model state the
+  per-pair traffic — and therefore :func:`estimate_migration_time` —
+  is reproduced *exactly*, not approximately.
+
+Overlapped migration
+--------------------
+Stop-the-world migration is pessimistic: elastic systems keep training at
+the **old** plan while the state streams in the background and only stall
+for the *exposed tail* — whatever the bottleneck link could not drain
+inside the overlap window.  The charge model supports this via a uniform
+``hideable_seconds`` window (the wall-clock training time the migration
+may hide under, typically ``overlap_steps x old-plan step time``):
+:meth:`TransitionEstimate.exposed_seconds` and
+:meth:`~repro.simulator.executor.ExecutionSimulator.migration_downtime`
+charge ``max(0, drain_time - hideable_seconds)``.  A zero window (the
+default everywhere) is bit-identical to the non-overlapped charge.
 """
 
 from __future__ import annotations
@@ -324,13 +341,14 @@ def estimate_migration_time(plan: MigrationPlan, cluster: Cluster,
 # ----------------------------------------------------------------------
 @dataclass
 class TransitionEstimate:
-    """Analytic bound on the cost of transitioning between two layouts.
+    """Analytic cost of transitioning between two layouts.
 
     ``param_bytes`` / ``optimizer_bytes`` are the volumes the new layout's
     GPUs must *receive* (exact for fully-covered state, see
     :func:`estimate_transition_cost`); ``seconds`` is the resulting
-    migration-time estimate; ``layers_touched`` counts layers with any
-    transfer (for batching diagnostics).
+    migration-time estimate (the non-overlapped, stop-the-world drain
+    time); ``layers_touched`` counts layers with any transfer (for
+    batching diagnostics).
     """
 
     param_bytes: float = 0.0
@@ -343,6 +361,17 @@ class TransitionEstimate:
     def total_bytes(self) -> float:
         """Total migrated volume in bytes."""
         return self.param_bytes + self.optimizer_bytes
+
+    def exposed_seconds(self, hideable_seconds: float = 0.0) -> float:
+        """Stall time after hiding the drain under concurrent training.
+
+        With overlapped migration the job keeps training at the old plan
+        for ``hideable_seconds`` of wall-clock time while the transfers
+        stream in the background; only the tail the bottleneck link could
+        not drain inside that window stalls training.  A zero window
+        recovers :attr:`seconds` exactly.
+        """
+        return max(0.0, self.seconds - max(0.0, hideable_seconds))
 
 
 def layout_from_plan(plan: ParallelizationPlan) -> PlanLayout:
@@ -439,41 +468,35 @@ def _optimizer_partition(layout: PlanLayout, start: int,
     return pieces
 
 
-def _optimizer_pair_traffic(
+def _optimizer_segment_transfers(
     old_layout: PlanLayout,
     new_layout: PlanLayout,
+    start: int,
+    end: int,
     layer_optimizer_bytes: float,
-) -> Dict[Tuple[int, int], Tuple[float, int]]:
-    """Exact (src, dst) optimizer traffic between two layouts.
+) -> List[Tuple[int, int, float]]:
+    """Per-layer optimizer transfers ``(src, dst, bytes)`` over one segment.
 
     ZeRO-1 slices have a *unique* old owner and a unique new owner, so the
     transfers — every overlap between an old piece and a new piece with
-    different owners — are fully determined by the layouts; this reproduces
-    :func:`plan_migration`'s optimizer transfers (volumes and distinct
-    layers per pair) without building either plan.  Both owner partitions
-    are constant between stage boundaries, so segments are merged
-    wholesale: the cost is O(segments x GPUs), not O(layers x GPUs).
+    different owners — are fully determined by the layouts and are
+    identical for every layer of the segment.
     """
-    pairs: Dict[Tuple[int, int], List[float]] = {}
-    cuts = _segment_boundaries(old_layout, new_layout)
-    for start, end in zip(cuts, cuts[1:]):
-        old_pieces = _optimizer_partition(old_layout, start, end)
-        new_pieces = _optimizer_partition(new_layout, start, end)
-        span = end - start
-        i = j = 0
-        while i < len(old_pieces) and j < len(new_pieces):
-            o_lo, o_hi, src = old_pieces[i]
-            n_lo, n_hi, dst = new_pieces[j]
-            lo, hi = max(o_lo, n_lo), min(o_hi, n_hi)
-            if hi - lo > 1e-12 and src != dst:
-                entry = pairs.setdefault((src, dst), [0.0, 0])
-                entry[0] += (hi - lo) * span * layer_optimizer_bytes
-                entry[1] += span
-            if o_hi <= n_hi:
-                i += 1
-            if n_hi <= o_hi:
-                j += 1
-    return {key: (volume, layers) for key, (volume, layers) in pairs.items()}
+    transfers: List[Tuple[int, int, float]] = []
+    old_pieces = _optimizer_partition(old_layout, start, end)
+    new_pieces = _optimizer_partition(new_layout, start, end)
+    i = j = 0
+    while i < len(old_pieces) and j < len(new_pieces):
+        o_lo, o_hi, src = old_pieces[i]
+        n_lo, n_hi, dst = new_pieces[j]
+        lo, hi = max(o_lo, n_lo), min(o_hi, n_hi)
+        if hi - lo > 1e-12 and src != dst:
+            transfers.append((src, dst, (hi - lo) * layer_optimizer_bytes))
+        if o_hi <= n_hi:
+            i += 1
+        if n_hi <= o_hi:
+            j += 1
+    return transfers
 
 
 def _param_pieces(layout: PlanLayout, start: int,
@@ -498,6 +521,110 @@ def _param_pieces(layout: PlanLayout, start: int,
     return pieces
 
 
+def transition_pair_traffic(
+    old_layout: PlanLayout,
+    new_layout: PlanLayout,
+    cluster: Cluster,
+    layer_param_bytes: float,
+    layer_optimizer_bytes: float,
+) -> Tuple[Dict[Tuple[int, int], Tuple[float, int]], TransitionEstimate]:
+    """Exact (src, dst) migration traffic between two layouts.
+
+    Replays :func:`plan_migration`'s decision process directly on the
+    layouts: per layer, parameter pulls pick their source from the
+    same-node replica pool first, then by accumulated outgoing load, then
+    by GPU id — with optimizer transfers feeding the same load account —
+    so the per-pair volumes *and* fused batch counts (distinct layers per
+    pair) coincide with the materialized migration plan whenever the old
+    layout fully covers the model state.  Both owner partitions are
+    constant between stage boundaries, so the pools and per-layer
+    templates are computed once per segment; only the O(transfers)
+    load-balancing replay runs per layer.
+
+    Returns the per-pair ``(bytes, distinct_layers)`` traffic plus a
+    partially-filled :class:`TransitionEstimate` (byte totals, received
+    volumes and ``layers_touched``; ``seconds`` is left at zero for the
+    caller to price).
+    """
+    pairs: Dict[Tuple[int, int], List[float]] = {}
+    pair_last_layer: Dict[Tuple[int, int], int] = {}
+    outgoing_load: Dict[int, float] = {}
+    received: Dict[int, float] = {}
+    param_bytes = 0.0
+    optimizer_bytes = 0.0
+    layers_touched = 0
+
+    def add(src: int, dst: int, volume: float, layer: int) -> None:
+        key = (src, dst)
+        entry = pairs.setdefault(key, [0.0, 0])
+        entry[0] += volume
+        if pair_last_layer.get(key) != layer:
+            pair_last_layer[key] = layer
+            entry[1] += 1
+
+    cuts = _segment_boundaries(old_layout, new_layout)
+    for start, end in zip(cuts, cuts[1:]):
+        if end <= start:
+            continue
+        old_pieces = _param_pieces(old_layout, start, end)
+        held: Dict[int, List[Interval]] = {}
+        for lo, hi, gpu_id in old_pieces:
+            held.setdefault(gpu_id, []).append((lo, hi))
+        # Per-layer parameter-pull templates: (dst, bytes, source pool),
+        # in the migration planner's destination order.
+        pulls: List[Tuple[int, float, Optional[List[int]]]] = []
+        fresh_per_layer: Dict[int, float] = {}
+        for lo, hi, dst in _param_pieces(new_layout, start, end):
+            for missing in _interval_minus((lo, hi), held.get(dst, ())):
+                volume = (missing[1] - missing[0]) * layer_param_bytes
+                pool = [
+                    g for p_lo, p_hi, g in old_pieces
+                    if _overlap(missing, (p_lo, p_hi)) > 1e-12
+                ]
+                if not pool:
+                    # Freshly materialised (no surviving holder): counted
+                    # as migrated volume — an upper bound — but there is
+                    # no transfer to charge a link for.
+                    fresh_per_layer[dst] = fresh_per_layer.get(dst, 0.0) \
+                        + volume
+                    continue
+                dst_node = cluster.gpu(dst).node_id
+                same = [g for g in pool
+                        if cluster.gpu(g).node_id == dst_node]
+                pulls.append((dst, volume, same or pool))
+        optimizer = _optimizer_segment_transfers(
+            old_layout, new_layout, start, end, layer_optimizer_bytes)
+
+        segment_touched = bool(pulls or optimizer or fresh_per_layer)
+        for layer in range(start, end):
+            if segment_touched:
+                layers_touched += 1
+            for dst, volume, pool in pulls:
+                src = min(pool, key=lambda g: (outgoing_load.get(g, 0.0), g))
+                outgoing_load[src] = outgoing_load.get(src, 0.0) + volume
+                param_bytes += volume
+                received[dst] = received.get(dst, 0.0) + volume
+                add(src, dst, volume, layer)
+            for dst, volume in fresh_per_layer.items():
+                param_bytes += volume
+                received[dst] = received.get(dst, 0.0) + volume
+            for src, dst, volume in optimizer:
+                outgoing_load[src] = outgoing_load.get(src, 0.0) + volume
+                optimizer_bytes += volume
+                received[dst] = received.get(dst, 0.0) + volume
+                add(src, dst, volume, layer)
+
+    estimate = TransitionEstimate(
+        param_bytes=param_bytes,
+        optimizer_bytes=optimizer_bytes,
+        layers_touched=layers_touched,
+        max_received_bytes=max(received.values()) if received else 0.0,
+    )
+    traffic = {key: (volume, int(layers))
+               for key, (volume, layers) in pairs.items()}
+    return traffic, estimate
+
+
 def estimate_transition_cost(
     old_layout: PlanLayout,
     new_layout: PlanLayout,
@@ -506,7 +633,7 @@ def estimate_transition_cost(
     layer_optimizer_bytes: float,
     layer_pack: int = DEFAULT_LAYER_PACK,
 ) -> TransitionEstimate:
-    """Bound the migration cost of moving between two plan layouts.
+    """Price the migration cost of moving between two plan layouts.
 
     Works entirely on :data:`PlanLayout` values (see
     :func:`layout_from_plan` / :func:`layout_from_candidate`), so planner
@@ -517,87 +644,32 @@ def estimate_transition_cost(
     membership change) is counted as migrated too, making the byte total
     an upper bound there.
 
-    The time estimate mirrors the topology-aware charge model of
-    :func:`estimate_migration_time`: optimizer slices have a unique old
-    owner, so their (src, dst) pair traffic — volumes, links and fused
-    batch counts — is reproduced exactly; parameter pulls choose the
-    same-node replica pool exactly like the migration planner's source
-    selection and spread their egress over it, but do not simulate the
-    per-transfer load balancing, so the estimate tracks (without exactly
-    matching) the realised migration time.
+    The time estimate replays the migration planner's per-transfer
+    load-balanced source selection (:func:`transition_pair_traffic`) and
+    charges the resulting fused per-pair batches exactly like
+    :func:`link_times`, so on fully-covered state it *equals*
+    ``estimate_migration_time(plan_migration(old, new, ...), cluster)``
+    (asserted by ``tests/test_migration_properties.py``).
     """
     pack = max(1, layer_pack)
+    traffic, estimate = transition_pair_traffic(
+        old_layout, new_layout, cluster, layer_param_bytes,
+        layer_optimizer_bytes,
+    )
     egress: Dict[int, float] = {}
     ingress: Dict[int, float] = {}
-    received: Dict[int, float] = {}
-
-    # Optimizer state: exact per-pair traffic on the actual links.
-    optimizer_bytes = 0.0
-    layers_touched = 0
-    for (src, dst), (volume, layers) in _optimizer_pair_traffic(
-            old_layout, new_layout, layer_optimizer_bytes).items():
-        optimizer_bytes += volume
-        layers_touched = max(layers_touched, layers)
+    for (src, dst), (volume, layers) in traffic.items():
         bandwidth = cluster.bandwidth_between(src, dst)
-        seconds = volume / bandwidth + \
-            math.ceil(layers / pack) * BATCH_LATENCY
+        batches = math.ceil(max(1, layers) / pack)
+        seconds = volume / bandwidth + batches * BATCH_LATENCY
         egress[src] = egress.get(src, 0.0) + seconds
         ingress[dst] = ingress.get(dst, 0.0) + seconds
-        received[dst] = received.get(dst, 0.0) + volume
-
-    # Parameter replicas: per segment, every missing portion is priced at
-    # the bandwidth its source pool implies (same-node pool -> intra-node
-    # link, exactly the migration planner's source preference) and its
-    # egress is spread over that pool.
-    param_bytes = 0.0
-    param_layers: Dict[int, float] = {}
-    cuts = _segment_boundaries(old_layout, new_layout)
-    for start, end in zip(cuts, cuts[1:]):
-        span = end - start
-        if span <= 0:
-            continue
-        old_pieces = _param_pieces(old_layout, start, end)
-        held: Dict[int, List[Interval]] = {}
-        for lo, hi, gpu_id in old_pieces:
-            held.setdefault(gpu_id, []).append((lo, hi))
-        for lo, hi, dst in _param_pieces(new_layout, start, end):
-            for missing in _interval_minus((lo, hi), held.get(dst, ())):
-                volume = (missing[1] - missing[0]) * span * layer_param_bytes
-                param_bytes += volume
-                received[dst] = received.get(dst, 0.0) + volume
-                pool = [
-                    g for p_lo, p_hi, g in old_pieces
-                    if _overlap(missing, (p_lo, p_hi)) > 1e-12
-                ]
-                if not pool:
-                    continue  # freshly materialised; no transfer charged
-                dst_node = cluster.gpu(dst).node_id
-                same = [g for g in pool
-                        if cluster.gpu(g).node_id == dst_node]
-                sources = same or pool
-                bandwidth = cluster.bandwidth_between(sources[0], dst)
-                ingress[dst] = ingress.get(dst, 0.0) + volume / bandwidth
-                param_layers[dst] = param_layers.get(dst, 0.0) + span
-                share = volume / (len(sources) * bandwidth)
-                for g in sources:
-                    egress[g] = egress.get(g, 0.0) + share
-    for dst, layers in param_layers.items():
-        ingress[dst] += math.ceil(layers / pack) * BATCH_LATENCY
-        layers_touched = max(layers_touched, int(layers))
-
-    if not egress and not ingress:
-        return TransitionEstimate()
-    per_gpu = {
-        gpu_id: max(egress.get(gpu_id, 0.0), ingress.get(gpu_id, 0.0))
-        for gpu_id in set(egress) | set(ingress)
-    }
-    return TransitionEstimate(
-        param_bytes=param_bytes,
-        optimizer_bytes=optimizer_bytes,
-        seconds=max(per_gpu.values()),
-        layers_touched=layers_touched,
-        max_received_bytes=max(received.values()) if received else 0.0,
-    )
+    if egress or ingress:
+        estimate.seconds = max(
+            max(egress.get(g, 0.0), ingress.get(g, 0.0))
+            for g in set(egress) | set(ingress)
+        )
+    return estimate
 
 
 def transition_time_lower_bound(

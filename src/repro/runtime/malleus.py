@@ -18,6 +18,7 @@ protocol so it can be driven through straggler traces next to the baselines.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -62,6 +63,9 @@ class ReplanEvent:
     repair_tier: str = ""
     #: Model-state bytes migrated to realise the new plan.
     migration_bytes: float = 0.0
+    #: Migration drain time hidden by overlapping with training at the old
+    #: plan (0 without ``TransitionConfig.overlap``).
+    hidden_migration_time: float = 0.0
 
 
 @dataclass
@@ -106,7 +110,12 @@ class MalleusSystem:
         (:class:`~repro.core.planner.TransitionConfig`): when enabled, the
         planner and the repair engine score every candidate's migration
         cost from the incumbent plan and prefer minimally-disruptive plans
-        within the epsilon step-time window.  Disabled by default —
+        within the epsilon step-time window.  With ``overlap=True``
+        migration additionally runs concurrently with training at the old
+        plan and only the exposed tail of the drain is charged as
+        downtime (the hidden portion is reported on
+        ``Adjustment.hidden_migration_time``); overlap is an accounting
+        mode and works with ``enabled`` on or off.  Disabled by default —
         the *plans chosen* are then bit-identical to a transition-unaware
         system (migration downtime accounting always uses the
         topology-aware charge model, independent of this knob).  Threaded
@@ -233,6 +242,7 @@ class MalleusSystem:
             result.plan.active_gpus != self.plan.active_gpus
         migration_time = 0.0
         migration_bytes = 0.0
+        hidden_time = 0.0
         if plan_changed:
             migration = plan_migration(
                 self.plan, result.plan, self.cluster,
@@ -240,9 +250,12 @@ class MalleusSystem:
                 layer_optimizer_bytes=self.task.model.params_per_layer()
                 * self.cost_model.config.optimizer_bytes_per_param,
             )
-            charge = self.simulator.migration_downtime(migration)
+            charge = self.simulator.migration_downtime(
+                migration, hideable_seconds=self._overlap_window(report.rates)
+            )
             migration_time = charge.total_seconds
             migration_bytes = charge.total_bytes
+            hidden_time = charge.hidden_seconds
             self.plan = result.plan
             self._dp_degree = result.plan.dp_degree
             self.profiler.mark_standby(result.plan.removed_gpus)
@@ -267,6 +280,7 @@ class MalleusSystem:
                 event_kind=event_kind,
                 repair_tier=repair_tier,
                 migration_bytes=migration_bytes,
+                hidden_migration_time=hidden_time,
             )
         )
         return Adjustment(
@@ -277,9 +291,30 @@ class MalleusSystem:
             event_kind=event_kind,
             repair_tier=repair_tier,
             migration_bytes=migration_bytes,
+            hidden_migration_time=hidden_time,
             description="asynchronous re-planning"
             if self.async_replanning else "synchronous re-planning",
         )
+
+    def _overlap_window(self, rates: Dict[int, float]) -> float:
+        """Hideable seconds of the next migration (0 without overlap).
+
+        With :class:`~repro.core.planner.TransitionConfig` ``overlap`` the
+        job keeps training at the *old* plan for ``overlap_steps`` steps
+        while the state streams in the background, so the window is the
+        old plan's simulated step time under the freshly observed rates.
+        Overlap is purely a downtime-accounting mode: it applies whether
+        or not transition-aware *planning* (``enabled``) is on.
+        """
+        config = self.planner.transition_config
+        if config is None or not config.overlap or self.plan is None:
+            return 0.0
+        old_step = self.simulator.simulate_step(
+            self.plan, rates, check_memory=False
+        ).step_time
+        if not math.isfinite(old_step):
+            return 0.0
+        return max(0.0, config.overlap_steps * old_step)
 
     def step_time(self, state: ClusterState) -> float:
         """Simulated step time of the current plan under the true rates."""

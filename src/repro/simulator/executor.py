@@ -53,12 +53,22 @@ class MigrationCharge:
     costed on its own link and the serialisation happens per GPU, so the
     report can name the bottleneck and the per-GPU busy times instead of a
     single magic number.
+
+    ``total_seconds`` is the downtime actually charged.  With overlapped
+    migration (a positive ``hideable_seconds`` window) it is the *exposed
+    tail* — ``max(0, drain_time - window)`` — while ``drain_seconds``
+    keeps the full stop-the-world drain time and ``hidden_seconds`` the
+    portion hidden under concurrent training at the old plan.
     """
 
     total_seconds: float = 0.0
     total_bytes: float = 0.0
     num_transfers: int = 0
     per_gpu_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Full (non-overlapped) drain time of the bottleneck link.
+    drain_seconds: float = 0.0
+    #: Drain time hidden under concurrent training (0 without overlap).
+    hidden_seconds: float = 0.0
 
     @property
     def bottleneck_gpu(self) -> int:
@@ -153,22 +163,31 @@ class ExecutionSimulator:
         gather = allgather_time(worst, dp, bandwidth)
         return reduce + gather
 
-    def migration_downtime(self, migration: MigrationPlan) -> MigrationCharge:
+    def migration_downtime(self, migration: MigrationPlan,
+                           hideable_seconds: float = 0.0) -> MigrationCharge:
         """Charge a migration plan's fused per-pair batches on their links.
 
         Each (src, dst) pair's transfers are fused into batched send/recv
         calls (``layer_pack`` layers per batch) riding the pair's actual
         bandwidth — intra-node when the GPUs share a node; batches sharing
         a GPU's link serialise, distinct pairs overlap (see
-        :func:`repro.parallel.migration.link_times`).  The migration stalls
-        training until the most loaded link drains.
+        :func:`repro.parallel.migration.link_times`).  Without overlap
+        (``hideable_seconds=0``, the default) the migration stalls
+        training until the most loaded link drains; with an overlap window
+        the job keeps training at the old plan for ``hideable_seconds`` of
+        wall-clock time while the state streams in the background, and
+        only the exposed tail beyond the window is charged as downtime.
         """
         per_gpu = link_times(migration, self.cluster)
+        drain = max(per_gpu.values()) if per_gpu else 0.0
+        exposed = max(0.0, drain - max(0.0, hideable_seconds))
         return MigrationCharge(
-            total_seconds=max(per_gpu.values()) if per_gpu else 0.0,
+            total_seconds=exposed,
             total_bytes=migration.total_bytes,
             num_transfers=migration.num_transfers,
             per_gpu_seconds=per_gpu,
+            drain_seconds=drain,
+            hidden_seconds=drain - exposed,
         )
 
     # ------------------------------------------------------------------

@@ -30,6 +30,9 @@ class Adjustment:
     #: Model-state bytes migrated to realise the adjustment (0 when the
     #: plan is unchanged or the framework restarts instead of migrating).
     migration_bytes: float = 0.0
+    #: Migration drain time hidden under concurrent training at the old
+    #: plan (overlapped migration only; ``downtime`` already excludes it).
+    hidden_migration_time: float = 0.0
     #: Classification of the triggering delta against the incumbent plan
     #: ("minor_rate_shift", "group_change", "membership_change"); empty for
     #: frameworks without an incremental re-planning engine.

@@ -389,24 +389,45 @@ def _local_search_fast(problem: DivisionProblem,
 # ----------------------------------------------------------------------
 # Slow-group assignment enumeration
 # ----------------------------------------------------------------------
+#: Search-node backstop of :func:`_enumerate_slow_assignments`.  The
+#: symmetry reductions keep the tree close to the number of distinct
+#: assignments, so any instance that genuinely needs this many nodes is
+#: pathological and better served by the greedy + local-search fallback.
+ENUMERATION_NODE_BUDGET = 500_000
+
+
 def _enumerate_slow_assignments(rates: Sequence[float], dp: int,
                                 limit: int) -> Tuple[List[List[List[float]]], bool]:
     """Enumerate symmetry-reduced assignments of slow groups to pipelines.
 
     Returns the list of assignments (each a per-pipeline list of rates) and a
-    flag telling whether the enumeration was truncated at ``limit``.
+    flag telling whether the enumeration was truncated (at ``limit``
+    distinct assignments, or at the search-node budget).
+
+    Two symmetry reductions keep the tree near the distinct-assignment
+    count: at every node a rate is only placed into buckets whose current
+    content differs, and **equal rates are placed in non-decreasing bucket
+    order** — any assignment of identical rates can be reordered that way,
+    so the canonical assignment set is unchanged while the factorial
+    blowup on near-uniform rate multisets (e.g. a node-correlated slowdown
+    degrading 16 GPUs identically) collapses.  Generated straggler regimes
+    (:mod:`repro.cluster.scenarios`) hit exactly that pattern; the node
+    budget is a backstop for adversarial distinct-rate instances.
     """
     assignments: List[List[List[float]]] = []
     seen = set()
     truncated = False
+    nodes = 0
     rates = sorted(rates, reverse=True)
 
     def canonical(buckets: List[List[float]]) -> tuple:
         return tuple(sorted(tuple(sorted(b)) for b in buckets))
 
-    def recurse(idx: int, buckets: List[List[float]]) -> bool:
-        nonlocal truncated
-        if len(assignments) >= limit:
+    def recurse(idx: int, buckets: List[List[float]],
+                min_bucket: int) -> bool:
+        nonlocal truncated, nodes
+        nodes += 1
+        if len(assignments) >= limit or nodes > ENUMERATION_NODE_BUDGET:
             truncated = True
             return False
         if idx == len(rates):
@@ -416,21 +437,23 @@ def _enumerate_slow_assignments(rates: Sequence[float], dp: int,
                 assignments.append([list(b) for b in buckets])
             return True
         # Symmetry reduction: only place into buckets whose content differs,
-        # or into the first empty bucket.
+        # or into the first empty bucket; a rate equal to its predecessor
+        # never goes into an earlier bucket than the predecessor did.
+        start = min_bucket if idx > 0 and rates[idx] == rates[idx - 1] else 0
         used_signatures = set()
-        for b in range(dp):
+        for b in range(start, dp):
             signature = tuple(sorted(buckets[b]))
             if signature in used_signatures:
                 continue
             used_signatures.add(signature)
             buckets[b].append(rates[idx])
-            if not recurse(idx + 1, buckets):
+            if not recurse(idx + 1, buckets, b):
                 buckets[b].pop()
                 return False
             buckets[b].pop()
         return True
 
-    recurse(0, [[] for _ in range(dp)])
+    recurse(0, [[] for _ in range(dp)], 0)
     return assignments, truncated
 
 

@@ -1,0 +1,124 @@
+"""Shared hypothesis strategies for the test-suite.
+
+One place for the domain-shaped generators the property tests need:
+straggling-rate lists and maps, pipeline-division instances, small
+clusters, and whole straggler traces produced by the seeded
+:class:`~repro.cluster.scenarios.ScenarioGenerator` (a strategy draws the
+preset and the seed; the generator itself is deterministic, so shrinking
+stays meaningful).
+
+Test modules import this as a plain top-level module (``import
+strategies`` / ``from strategies import ...``); pytest puts ``tests/`` on
+``sys.path`` because the directory has no ``__init__.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from hypothesis import strategies as st
+
+from repro.cluster.scenarios import (
+    SCENARIO_PRESETS,
+    ScenarioConfig,
+    ScenarioGenerator,
+)
+from repro.cluster.topology import make_cluster
+from repro.solvers.division import DivisionProblem
+
+#: Straggling rates stay in the paper's observed band (1x..12.53x).
+MIN_RATE = 1.0
+MAX_RATE = 12.53
+
+
+def rate_lists(size: int, min_size: Optional[int] = None,
+               min_rate: float = MIN_RATE,
+               max_rate: float = MAX_RATE) -> st.SearchStrategy:
+    """Lists of straggling rates (fixed size unless ``min_size`` is given)."""
+    return st.lists(
+        st.floats(min_value=min_rate, max_value=max_rate),
+        min_size=size if min_size is None else min_size,
+        max_size=size,
+    )
+
+
+@st.composite
+def rate_maps(draw, gpu_ids, straggler_fraction: float = 0.5,
+              min_rate: float = 1.05,
+              max_rate: float = MAX_RATE):
+    """gpu-id -> rate maps over ``gpu_ids`` (healthy by default).
+
+    Each GPU independently straggles with probability
+    ``straggler_fraction``; rates of stragglers are drawn uniformly.
+    """
+    rates = {}
+    for gpu_id in gpu_ids:
+        if draw(st.floats(min_value=0.0, max_value=1.0)) < straggler_fraction:
+            rates[gpu_id] = draw(
+                st.floats(min_value=min_rate, max_value=max_rate))
+        else:
+            rates[gpu_id] = 1.0
+    return rates
+
+
+@st.composite
+def division_instances(draw, min_pipelines: int = 1, max_pipelines: int = 4,
+                       max_fast: int = 8, min_slow: int = 0,
+                       max_slow: int = 6, min_total: int = 1,
+                       max_total: int = 48, max_slow_rate: float = 6.0,
+                       fast_group_rate: float = 0.4):
+    """Feasible :class:`DivisionProblem` instances for the MINLP solver."""
+    dp = draw(st.integers(min_value=min_pipelines, max_value=max_pipelines))
+    fast = draw(st.integers(min_value=0, max_value=max_fast))
+    slow = draw(st.lists(
+        st.floats(min_value=1.0, max_value=max_slow_rate),
+        min_size=max(min_slow, min(max_slow, dp - fast)),
+        max_size=max(max_slow, min_slow),
+    ))
+    if fast + len(slow) < dp:
+        fast = dp - len(slow)
+    total = draw(st.integers(min_value=min_total, max_value=max_total))
+    return DivisionProblem(
+        num_pipelines=dp,
+        total_micro_batches=total,
+        fast_group_count=fast,
+        fast_group_rate=fast_group_rate,
+        slow_group_rates=slow,
+    )
+
+
+@st.composite
+def small_clusters(draw, max_nodes: int = 4, gpus_per_node: int = 8):
+    """Small homogeneous clusters (1..``max_nodes`` nodes)."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    return make_cluster(num_nodes=num_nodes, gpus_per_node=gpus_per_node,
+                        name=f"strategy-cluster-{num_nodes}")
+
+
+@st.composite
+def scenario_configs(draw, presets=None, max_seed: int = 2 ** 16,
+                     **overrides):
+    """Scenario configs drawn from the preset library.
+
+    The seed is drawn unless pinned via ``overrides`` (``seed=3``).
+    """
+    names = sorted(presets or SCENARIO_PRESETS)
+    name = draw(st.sampled_from(names))
+    overrides.setdefault(
+        "seed", draw(st.integers(min_value=0, max_value=max_seed)))
+    config = SCENARIO_PRESETS[name]
+    return ScenarioConfig(**dict(vars(config), **overrides))
+
+
+@st.composite
+def scenario_traces(draw, cluster=None, presets=None, **overrides):
+    """Whole straggler traces from the seeded scenario generator.
+
+    ``cluster`` may be a fixed cluster or ``None`` (a small cluster is
+    drawn too); generation itself is deterministic given the drawn
+    ``(cluster, config)``, so failures minimise to a reproducible seed.
+    """
+    if cluster is None:
+        cluster = draw(small_clusters())
+    config = draw(scenario_configs(presets=presets, **overrides))
+    return ScenarioGenerator(cluster, config).generate()

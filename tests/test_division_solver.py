@@ -7,6 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import strategies
 from repro.solvers.division import (
     DivisionProblem,
     _RemainderScorer,
@@ -140,20 +141,9 @@ class TestAgainstBruteForce:
         assert solution.objective == pytest.approx(reference, rel=1e-6)
 
     @settings(max_examples=25, deadline=None)
-    @given(
-        dp=st.integers(min_value=1, max_value=3),
-        fast=st.integers(min_value=0, max_value=4),
-        slow=st.lists(st.floats(min_value=1.0, max_value=6.0),
-                      min_size=0, max_size=3),
-        total=st.integers(min_value=1, max_value=12),
-    )
-    def test_property_never_worse_than_brute_force(self, dp, fast, slow, total):
-        if fast + len(slow) < dp:
-            return  # not enough groups to populate every pipeline
-        problem = make_problem(
-            num_pipelines=dp, fast_group_count=fast, fast_group_rate=0.4,
-            slow_group_rates=slow, total_micro_batches=total,
-        )
+    @given(problem=strategies.division_instances(
+        max_pipelines=3, max_fast=4, max_slow=3, max_total=12))
+    def test_property_never_worse_than_brute_force(self, problem):
         solution = solve_pipeline_division(problem)
         reference = brute_force_division(problem)
         # The heuristic refinement must never beat the true optimum and should
@@ -180,21 +170,15 @@ class TestRemainderScorer:
 
     @settings(max_examples=50, deadline=None)
     @given(
-        dp=st.integers(min_value=1, max_value=6),
-        fast=st.integers(min_value=0, max_value=12),
-        slow=st.lists(st.floats(min_value=1.0, max_value=8.0),
-                      min_size=0, max_size=8),
-        total=st.integers(min_value=1, max_value=64),
+        problem=strategies.division_instances(
+            max_pipelines=6, max_fast=12, max_slow=8, max_total=64,
+            max_slow_rate=8.0),
         seed=st.integers(min_value=0, max_value=999),
     )
-    def test_matches_cheap_score_exactly(self, dp, fast, slow, total, seed):
-        if fast + len(slow) < dp:
-            return
-        problem = DivisionProblem(
-            num_pipelines=dp, total_micro_batches=total,
-            fast_group_count=fast, fast_group_rate=0.4,
-            slow_group_rates=slow,
-        )
+    def test_matches_cheap_score_exactly(self, problem, seed):
+        dp = problem.num_pipelines
+        fast = problem.fast_group_count
+        slow = problem.slow_group_rates
         rng = random.Random(seed)
         buckets = [[] for _ in range(dp)]
         for rate in slow:
@@ -235,21 +219,13 @@ class TestLocalSearchKernelEquivalence:
     """Production (incremental-scorer) vs legacy local search outcomes."""
 
     @settings(max_examples=25, deadline=None)
-    @given(
-        dp=st.integers(min_value=2, max_value=4),
-        fast=st.integers(min_value=0, max_value=8),
-        slow=st.lists(st.floats(min_value=1.0, max_value=6.0),
-                      min_size=2, max_size=7),
-        total=st.integers(min_value=4, max_value=48),
-    )
-    def test_production_matches_legacy(self, dp, fast, slow, total):
-        if fast + len(slow) < dp:
-            return
-        problem = DivisionProblem(
-            num_pipelines=dp, total_micro_batches=total,
-            fast_group_count=fast, fast_group_rate=0.4,
-            slow_group_rates=slow,
-        )
+    @given(problem=strategies.division_instances(
+        min_pipelines=2, max_pipelines=4, max_fast=8, min_slow=2,
+        max_slow=7, min_total=4, max_total=48))
+    def test_production_matches_legacy(self, problem):
+        dp = problem.num_pipelines
+        fast = problem.fast_group_count
+        slow = problem.slow_group_rates
         start = _greedy_slow_assignment(slow, dp)
         counts = _waterfill_fast_groups(problem, start)
         if not counts and fast > 0:

@@ -4,8 +4,8 @@ import itertools
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
+import strategies
 from repro.cluster.topology import make_cluster, paper_cluster
 from repro.core.costmodel import MalleusCostModel
 from repro.core.grouping import (
@@ -66,8 +66,7 @@ class TestEvenPartition:
             assert best >= other - 1e-12
 
     @settings(max_examples=30, deadline=None)
-    @given(rates=st.lists(st.floats(min_value=1.0, max_value=10.0),
-                          min_size=4, max_size=4))
+    @given(rates=strategies.rate_lists(size=4, max_rate=10.0))
     def test_property_theorem1_beats_random_pairings(self, rates):
         cost_model = MalleusCostModel(llama2_32b(), paper_cluster(32))
         rate_map = dict(enumerate(rates))

@@ -1,0 +1,240 @@
+"""Overlapped-migration properties: exposed tails, off-switch, monotonicity.
+
+Also holds the exact-egress contract of :func:`estimate_transition_cost`
+(per-transfer load-balanced source selection): on layouts produced by the
+planner over *generated* straggler traces, the plan-free estimate must
+reproduce the materialized migration plan's bytes and topology-aware
+timing exactly — the conservation suite of ``test_migration_properties.py``
+pins the underlying transfer semantics this relies on.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.scenarios import generate_trace
+from repro.cluster.topology import paper_cluster
+from repro.core.planner import MalleusPlanner, TransitionConfig
+from repro.experiments.common import paper_workload
+from repro.parallel.migration import (
+    MigrationPlan,
+    Transfer,
+    TransitionEstimate,
+    estimate_migration_time,
+    estimate_transition_cost,
+    layout_from_plan,
+    plan_migration,
+    transition_pair_traffic,
+)
+from repro.runtime.malleus import MalleusSystem
+from repro.simulator.executor import ExecutionSimulator
+from repro.simulator.session import run_trace
+
+pytestmark = [pytest.mark.migration, pytest.mark.scenario]
+
+PARAM_BYTES = 1000.0
+OPT_BYTES = 6000.0
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_cluster(32)
+
+
+@pytest.fixture(scope="module")
+def generated_layout_pairs():
+    """Consecutive (old_plan, new_plan) pairs from generated traces."""
+    workload = paper_workload("32b")
+    planner = MalleusPlanner(workload.task, workload.cluster,
+                             workload.cost_model)
+    pairs = []
+    for preset, seed in [("bursty-mixed", 3), ("frequent-small-events", 1)]:
+        trace = generate_trace(workload.cluster, preset, seed=seed,
+                               num_situations=6)
+        previous = None
+        for situation in trace.situations:
+            rates = situation.rate_map(workload.cluster)
+            if any(math.isinf(r) for r in rates.values()):
+                previous = None
+                continue
+            result = planner.plan(rates)
+            assert result.feasible
+            if previous is not None and \
+                    result.plan.stage_shape() != previous.stage_shape():
+                pairs.append((previous, result.plan))
+            previous = result.plan
+    assert len(pairs) >= 3, "generated traces produced too few transitions"
+    return workload, pairs
+
+
+class TestExposedSeconds:
+    def test_zero_window_is_identity(self):
+        estimate = TransitionEstimate(seconds=1.25)
+        assert estimate.exposed_seconds(0.0) == 1.25
+        assert estimate.exposed_seconds() == 1.25
+
+    def test_exposed_never_exceeds_drain_and_never_negative(self):
+        estimate = TransitionEstimate(seconds=1.25)
+        for window in [0.0, 0.3, 1.25, 5.0]:
+            exposed = estimate.exposed_seconds(window)
+            assert 0.0 <= exposed <= estimate.seconds
+
+    def test_monotone_decreasing_in_window(self):
+        estimate = TransitionEstimate(seconds=2.0)
+        values = [estimate.exposed_seconds(w)
+                  for w in [0.0, 0.5, 1.0, 1.5, 2.0, 3.0]]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] == 0.0
+
+    def test_negative_window_is_clamped(self):
+        estimate = TransitionEstimate(seconds=2.0)
+        assert estimate.exposed_seconds(-10.0) == 2.0
+
+
+class TestMonotoneInBytes:
+    def test_estimate_monotone_under_uniform_byte_scaling(self, cluster):
+        old = layout_from_plan(_uniform(cluster, 2, 4, 4))
+        new = layout_from_plan(_uniform(cluster, 4, 4, 2))
+        previous_seconds = -1.0
+        previous_exposed = -1.0
+        for scale in [0.5, 1.0, 2.0, 8.0]:
+            estimate = estimate_transition_cost(
+                old, new, cluster, PARAM_BYTES * scale, OPT_BYTES * scale)
+            assert estimate.seconds >= previous_seconds
+            exposed = estimate.exposed_seconds(0.01)
+            assert exposed >= previous_exposed
+            previous_seconds = estimate.seconds
+            previous_exposed = exposed
+
+    def test_charge_monotone_in_transfer_volume(self, cluster):
+        simulator = _simulator()
+        previous = -1.0
+        for volume in [1.0e9, 4.0e9, 16.0e9]:
+            plan = MigrationPlan(transfers=[
+                Transfer(0, 0, 8, volume, "param"),
+            ])
+            charge = simulator.migration_downtime(plan, hideable_seconds=0.05)
+            assert charge.total_seconds >= previous
+            previous = charge.total_seconds
+
+
+class TestExecutorCharge:
+    def test_exposed_plus_hidden_equals_drain(self, cluster):
+        simulator = _simulator()
+        plan = MigrationPlan(transfers=[
+            Transfer(layer, 0, 8, 2.0e9, "param") for layer in range(8)
+        ])
+        full = simulator.migration_downtime(plan)
+        assert full.total_seconds == full.drain_seconds
+        assert full.hidden_seconds == 0.0
+        for window in [0.0, full.drain_seconds / 2, full.drain_seconds * 2]:
+            charge = simulator.migration_downtime(plan,
+                                                  hideable_seconds=window)
+            assert charge.drain_seconds == pytest.approx(full.drain_seconds)
+            assert charge.total_seconds + charge.hidden_seconds == \
+                pytest.approx(charge.drain_seconds)
+            assert charge.total_seconds == \
+                pytest.approx(max(0.0, full.drain_seconds - window))
+            # Diagnostics (per-GPU busy times) describe the drain itself.
+            assert charge.per_gpu_seconds == full.per_gpu_seconds
+
+    def test_empty_migration_charges_nothing(self):
+        simulator = _simulator()
+        charge = simulator.migration_downtime(MigrationPlan(),
+                                              hideable_seconds=3.0)
+        assert charge.total_seconds == 0.0
+        assert charge.hidden_seconds == 0.0
+
+
+class TestExactEgressOnGeneratedLayouts:
+    def test_estimate_matches_materialized_migration_exactly(
+            self, generated_layout_pairs):
+        workload, pairs = generated_layout_pairs
+        param = workload.task.model.layer_param_bytes()
+        opt = workload.task.model.params_per_layer() \
+            * workload.cost_model.config.optimizer_bytes_per_param
+        for old, new in pairs:
+            migration = plan_migration(old, new, workload.cluster, param, opt)
+            realised = estimate_migration_time(migration, workload.cluster)
+            estimate = estimate_transition_cost(
+                layout_from_plan(old), layout_from_plan(new),
+                workload.cluster, param, opt,
+            )
+            assert estimate.seconds == pytest.approx(realised, rel=1e-12)
+            assert estimate.total_bytes == \
+                pytest.approx(migration.total_bytes, rel=1e-12)
+
+    def test_pair_traffic_matches_fused_batches(self, generated_layout_pairs):
+        workload, pairs = generated_layout_pairs
+        param = workload.task.model.layer_param_bytes()
+        opt = workload.task.model.params_per_layer() \
+            * workload.cost_model.config.optimizer_bytes_per_param
+        for old, new in pairs:
+            migration = plan_migration(old, new, workload.cluster, param, opt)
+            realised = migration.pair_traffic()
+            traffic, _ = transition_pair_traffic(
+                layout_from_plan(old), layout_from_plan(new),
+                workload.cluster, param, opt,
+            )
+            assert set(traffic) == set(realised)
+            for key, (volume, layers) in realised.items():
+                assert traffic[key][0] == pytest.approx(volume, rel=1e-12)
+                assert traffic[key][1] == layers
+
+
+class TestRuntimeOverlap:
+    def test_overlap_only_changes_accounting_not_plans(self):
+        runs = {}
+        for key, config in [
+            ("default", None),
+            ("overlap", TransitionConfig(enabled=False, overlap=True)),
+        ]:
+            workload = paper_workload("32b")
+            trace = generate_trace(workload.cluster, "persistent-degraders",
+                                   seed=2, num_situations=8)
+            system = MalleusSystem(workload.task, workload.cluster,
+                                   workload.cost_model,
+                                   transition_config=config)
+            runs[key] = (run_trace(system, trace), system)
+        default_run, overlap_run = runs["default"][0], runs["overlap"][0]
+        migrated = 0
+        for base, over in zip(default_run.situations, overlap_run.situations):
+            # Identical planning decisions: same executed step times, same
+            # migrated bytes, same adjustment kinds.
+            assert over.avg_step_time == pytest.approx(base.avg_step_time)
+            assert over.adjustment.kind == base.adjustment.kind
+            assert over.adjustment.migration_bytes == \
+                pytest.approx(base.adjustment.migration_bytes)
+            # Accounting: the overlapped downtime plus the hidden time is
+            # exactly the stop-the-world charge.
+            assert over.adjustment.downtime + \
+                over.adjustment.hidden_migration_time == \
+                pytest.approx(base.adjustment.downtime, abs=1e-9)
+            assert over.adjustment.downtime <= \
+                base.adjustment.downtime + 1e-12
+            if base.adjustment.kind == "migrate":
+                migrated += 1
+        assert migrated > 0, "trace produced no migrations to overlap"
+        assert overlap_run.total_time < default_run.total_time
+
+    def test_default_charge_has_no_hidden_time(self):
+        workload = paper_workload("32b")
+        trace = generate_trace(workload.cluster, "persistent-degraders",
+                               seed=2, num_situations=6)
+        system = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model)
+        result = run_trace(system, trace)
+        for situation in result.situations:
+            assert situation.adjustment.hidden_migration_time == 0.0
+
+
+def _uniform(cluster, dp, tp, pp):
+    from repro.parallel.plan import uniform_megatron_plan
+
+    return uniform_megatron_plan(range(32), dp=dp, tp=tp, pp=pp,
+                                 num_layers=60, global_batch_size=64)
+
+
+def _simulator():
+    workload = paper_workload("32b")
+    return ExecutionSimulator(workload.cost_model)

@@ -1,0 +1,210 @@
+"""Tests for the synthetic straggler-scenario generator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+import strategies
+from repro.cluster.scenarios import (
+    PROCESS_KINDS,
+    SCENARIO_PRESETS,
+    ScenarioConfig,
+    ScenarioGenerator,
+    generate_trace,
+    scenario_preset,
+)
+from repro.cluster.topology import make_cluster, paper_cluster
+
+pytestmark = pytest.mark.scenario
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return paper_cluster(32)
+
+
+def trace_rate_maps(trace):
+    return [s.rate_map(trace.cluster) for s in trace.situations]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("preset", sorted(SCENARIO_PRESETS))
+    def test_same_seed_same_trace(self, cluster, preset):
+        first = generate_trace(cluster, preset, seed=11)
+        second = generate_trace(cluster, preset, seed=11)
+        assert first.names() == second.names()
+        assert trace_rate_maps(first) == trace_rate_maps(second)
+
+    def test_generator_instance_is_reusable(self, cluster):
+        generator = ScenarioGenerator(
+            cluster, scenario_preset("bursty-mixed", seed=3))
+        assert trace_rate_maps(generator.generate()) == \
+            trace_rate_maps(generator.generate())
+
+    def test_different_seeds_differ(self, cluster):
+        maps = [
+            trace_rate_maps(
+                generate_trace(cluster, "persistent-degraders", seed=seed))
+            for seed in range(6)
+        ]
+        assert any(maps[0] != other for other in maps[1:])
+
+    def test_seed_is_the_only_entropy(self, cluster):
+        # Generating other traces in between must not perturb a generator.
+        first = generate_trace(cluster, "flapping", seed=5)
+        for seed in range(20):
+            generate_trace(cluster, "bursty-mixed", seed=seed)
+        second = generate_trace(cluster, "flapping", seed=5)
+        assert trace_rate_maps(first) == trace_rate_maps(second)
+
+
+class TestStructure:
+    def test_traces_start_normal(self, cluster):
+        for preset in SCENARIO_PRESETS:
+            trace = generate_trace(cluster, preset, seed=0)
+            assert trace.situations[0].name == "Normal"
+            assert trace.situations[0].num_stragglers == 0
+
+    def test_requested_length(self, cluster):
+        trace = generate_trace(cluster, "calm", seed=0, num_situations=7)
+        assert len(trace) == 7
+
+    def test_rates_are_valid(self, cluster):
+        for preset in SCENARIO_PRESETS:
+            trace = generate_trace(cluster, preset, seed=2)
+            for rates in trace_rate_maps(trace):
+                assert set(rates) == set(cluster.gpu_ids())
+                assert all(r >= 1.0 for r in rates.values())
+
+    def test_situations_carry_duration(self, cluster):
+        config = scenario_preset("transient-jitter", seed=0,
+                                 duration_steps=17)
+        trace = ScenarioGenerator(cluster, config).generate()
+        assert all(s.duration_steps == 17 for s in trace.situations)
+
+    def test_events_actually_occur(self, cluster):
+        trace = generate_trace(cluster, "frequent-small-events", seed=1)
+        assert sum(s.num_stragglers for s in trace.situations) > 0
+
+    def test_unknown_preset_rejected(self, cluster):
+        with pytest.raises(KeyError):
+            generate_trace(cluster, "no-such-regime")
+
+
+class TestProcesses:
+    def test_node_correlated_slowdowns_cover_whole_nodes(self, cluster):
+        config = ScenarioConfig(name="node-only", seed=4, event_rate=1.0,
+                                transient_weight=0.0, persistent_weight=0.0,
+                                node_weight=1.0)
+        trace = ScenarioGenerator(cluster, config).generate()
+        gpn = cluster.gpus_per_node
+        seen = False
+        for situation in trace.situations:
+            if not situation.stragglers:
+                continue
+            seen = True
+            by_node = {}
+            for spec in situation.stragglers:
+                by_node.setdefault(spec.gpu_id // gpn, []).append(spec)
+            for specs in by_node.values():
+                assert len(specs) == gpn
+        assert seen
+
+    def test_churn_respects_failure_budget(self, cluster):
+        config = ScenarioConfig(name="churn-heavy", seed=9, event_rate=5.0,
+                                transient_weight=0.0, persistent_weight=0.0,
+                                churn_weight=1.0, max_failed_fraction=0.125,
+                                num_situations=20)
+        trace = ScenarioGenerator(cluster, config).generate()
+        budget = int(0.125 * cluster.num_gpus)
+        failed_seen = 0
+        for rates in trace_rate_maps(trace):
+            failed = sum(1 for r in rates.values() if math.isinf(r))
+            failed_seen = max(failed_seen, failed)
+            assert failed <= budget
+        assert failed_seen > 0
+
+    def test_churned_gpus_rejoin(self, cluster):
+        config = ScenarioConfig(name="churn", seed=1, event_rate=1.0,
+                                transient_weight=0.0, persistent_weight=0.0,
+                                churn_weight=1.0, num_situations=16)
+        trace = ScenarioGenerator(cluster, config).generate()
+        maps = trace_rate_maps(trace)
+        rejoined = False
+        for earlier, later in zip(maps, maps[1:]):
+            for gpu, rate in earlier.items():
+                if math.isinf(rate) and not math.isinf(later[gpu]):
+                    rejoined = True
+        assert rejoined
+
+    def test_severity_scales_rates(self, cluster):
+        mild = generate_trace(cluster, "persistent-degraders", seed=3,
+                              severity=0.2)
+        harsh = generate_trace(cluster, "persistent-degraders", seed=3,
+                               severity=1.0)
+        mild_max = max((spec.resolved_rate() for s in mild.situations
+                        for spec in s.stragglers), default=1.0)
+        harsh_max = max((spec.resolved_rate() for s in harsh.situations
+                         for spec in s.stragglers), default=1.0)
+        assert mild_max < harsh_max
+        assert mild_max <= 1.0 + 0.2 * (12.53 - 1.0) + 1e-9
+
+    def test_event_rate_scales_with_cluster(self):
+        small = make_cluster(num_nodes=8, gpus_per_node=8)
+        large = make_cluster(num_nodes=64, gpus_per_node=8)
+        config = scenario_preset("transient-jitter", seed=5)
+        count_small = sum(
+            s.num_stragglers
+            for s in ScenarioGenerator(small, config).generate().situations
+        )
+        count_large = sum(
+            s.num_stragglers
+            for s in ScenarioGenerator(large, config).generate().situations
+        )
+        assert count_large > count_small
+
+    def test_all_process_kinds_spawn(self, cluster):
+        config = ScenarioConfig(
+            name="everything", seed=2, event_rate=4.0,
+            transient_weight=1.0, persistent_weight=1.0, node_weight=1.0,
+            thermal_weight=1.0, flapping_weight=1.0, churn_weight=1.0,
+            num_situations=30,
+        )
+        generator = ScenarioGenerator(cluster, config)
+        # Drive _spawn directly so kind coverage is independent of weights.
+        import random
+
+        rng = random.Random(0)
+        for kind in PROCESS_KINDS:
+            process = generator._spawn(rng, kind, set())
+            assert process is not None and process.alive
+            assert process.kind == kind
+
+
+class TestPresetLibrary:
+    def test_at_least_eight_presets(self):
+        assert len(SCENARIO_PRESETS) >= 8
+
+    def test_presets_are_copied_not_shared(self):
+        config = scenario_preset("calm", seed=99)
+        config.event_rate = 123.0
+        assert SCENARIO_PRESETS["calm"].event_rate != 123.0
+
+    def test_frequent_small_events_is_frequent_and_small(self, cluster):
+        trace = generate_trace(cluster, "frequent-small-events", seed=0)
+        eventful = [s for s in trace.situations[1:] if s.num_stragglers]
+        assert len(eventful) >= len(trace.situations) // 2
+        rates = [spec.resolved_rate() for s in eventful
+                 for spec in s.stragglers]
+        assert max(rates) < 3.0  # small events, not heavy degraders
+
+
+class TestStrategyIntegration:
+    @settings(max_examples=10, deadline=None)
+    @given(trace=strategies.scenario_traces())
+    def test_strategy_traces_are_well_formed(self, trace):
+        assert len(trace) > 0
+        for situation in trace.situations:
+            rates = situation.rate_map(trace.cluster)
+            assert all(r >= 1.0 for r in rates.values())
