@@ -5,6 +5,7 @@
 #   make replan    - the incremental re-planning equivalence sweep
 #   make migration - the migration + transition-aware planning suite
 #   make scenarios - the generated straggler-scenario suite
+#   make sweep     - the candidate-sweep engine suite (executors + warm cache)
 #   make gate      - run the planner hot-path benchmark and gate it against
 #                    the committed baseline (one-liner perf gate)
 #   make gate-update - refresh the committed baseline from a fresh run
@@ -14,13 +15,18 @@
 #   make gate-scenarios - run the generated-trace scenario sweep and gate it
 #                    against the committed (deterministic) baseline
 #   make gate-scenarios-update - refresh the scenario-sweep baseline
+#   make gate-presets - run the generated-trace preset scalability sweep and
+#                    gate its (deterministic) winners against the baseline
+#   make gate-presets-update - refresh the preset-scalability baseline
+#   make gate-all  - every committed gate (hotpath, transition, scenarios,
+#                    Table-5 presets) plus the fast tier-1 run
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench replan migration scenarios gate gate-update \
+.PHONY: test bench replan migration scenarios sweep gate gate-update \
 	gate-transition gate-transition-update gate-scenarios \
-	gate-scenarios-update
+	gate-scenarios-update gate-presets gate-presets-update gate-all
 
 test:
 	$(PYTHON) -m pytest -x -q -m "not bench"
@@ -36,6 +42,9 @@ migration:
 
 scenarios:
 	$(PYTHON) -m pytest -q -m "scenario and not bench"
+
+sweep:
+	$(PYTHON) -m pytest -q -m "sweep and not bench"
 
 gate:
 	$(PYTHON) -m repro.experiments.planner_hotpath --gate
@@ -54,3 +63,11 @@ gate-scenarios:
 
 gate-scenarios-update:
 	$(PYTHON) -m repro.experiments.scenario_sweep --update
+
+gate-presets:
+	$(PYTHON) -m repro.experiments.planning_scalability --gate
+
+gate-presets-update:
+	$(PYTHON) -m repro.experiments.planning_scalability --update
+
+gate-all: gate gate-transition gate-scenarios gate-presets test

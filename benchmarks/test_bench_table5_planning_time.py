@@ -1,12 +1,16 @@
 """Benchmark regenerating Table 5 (Appendix A.2): planning-time breakdown at
 64 GPUs and at simulated 1024/4096/8192-GPU scales, with incremental-repair
-timings for a single-GPU rate shift at every large scale."""
+timings for a single-GPU rate shift at every large scale, plus the
+generated-trace preset sweep across sweep-engine configurations
+(serial vs process backend, cold vs warm-start cache)."""
 
 import pytest
 
 from repro.experiments.planning_scalability import (
     format_planning_scalability,
+    format_preset_scalability,
     run_planning_scalability,
+    run_preset_scalability,
 )
 
 
@@ -37,3 +41,32 @@ def test_table5_planning_scalability(benchmark, once):
         assert row.incremental_event == "minor_rate_shift/rebalance"
         assert row.incremental_speedup >= 3.0
         assert row.incremental_seconds < 2.0
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_preset_sweep_configurations(benchmark, once):
+    """PR-4 scenario presets at 512-1024 GPU scale across sweep configs.
+
+    Replays generated straggler traces through the repair engine under
+    serial-cold, serial-warm and process-warm sweep configurations; every
+    arm must stay feasible and select bit-identical winners event for
+    event (the warm cache and the process backend change latency, never
+    plans), and the warm arms must actually exercise the cache.
+    """
+    result = once(benchmark, run_preset_scalability,
+                  presets=("frequent-small-events", "node-correlated"),
+                  scales=(512, 1024))
+    print("\n" + format_preset_scalability(result))
+
+    for preset, num_gpus in result.arms():
+        assert result.winners_identical(preset, num_gpus), \
+            f"{preset}/{num_gpus}: sweep configs disagree on winners"
+    for row in result.rows:
+        assert row.events > 0
+        assert all(step > 0 for step in row.event_steps), \
+            f"{row.preset}/{row.num_gpus}/{row.config}"
+        if row.config.endswith("-warm"):
+            assert row.warm_hits > 0, \
+                f"{row.preset}/{row.num_gpus}/{row.config}: cache never hit"
+        else:
+            assert row.warm_hits == 0

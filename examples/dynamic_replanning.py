@@ -13,12 +13,18 @@ migration cost from the incumbent plan and prefers minimally-disruptive
 plans within a 1% step-time window, so the cumulative migration downtime
 drops at (bounded) step-time cost.
 
+The first system also runs the candidate sweep with
+``SweepConfig(warm_cache=True)``: every event prints which sweep backend
+ran, how many candidates were solved versus served from the cross-event
+warm-start cache, and the cache's cumulative hit rate.
+
 Run with ``python examples/dynamic_replanning.py``.
 """
 
 from repro import (
     MalleusCostModel,
     MalleusSystem,
+    SweepConfig,
     TransitionConfig,
     paper_cluster,
     paper_task,
@@ -72,6 +78,17 @@ def drive(system: MalleusSystem, cluster, verbose: bool) -> float:
                       f"moved in {adjustment.downtime:.2f}s "
                       f"[{adjustment.event_kind or 'n/a'}"
                       f"/{adjustment.repair_tier or 'n/a'}]")
+            if adjustment.sweep_stats:
+                stats = adjustment.sweep_stats
+                cache = system.cache_stats()["sweep_solutions"]
+                lookups = cache["hits"] + cache["misses"]
+                rate = cache["hits"] / lookups if lookups else 0.0
+                print(f"  sweep: backend={stats['backend']} "
+                      f"solved {stats['evaluated']}/{stats['candidates']} "
+                      f"candidates (warm hits {stats['warm_hits']}, "
+                      f"infeasible skips {stats['infeasible_skips']}, "
+                      f"bound-pruned {stats['pruned']}); "
+                      f"cache hit rate {rate:.0%}")
             describe(system, "after", state)
     return downtime
 
@@ -80,7 +97,8 @@ def main() -> None:
     task = paper_task("32b")
     cluster = paper_cluster(32)
 
-    system = MalleusSystem(task, cluster, MalleusCostModel(task.model, cluster))
+    system = MalleusSystem(task, cluster, MalleusCostModel(task.model, cluster),
+                           sweep_config=SweepConfig(warm_cache=True))
     baseline_downtime = drive(system, cluster, verbose=True)
 
     print("\nGPU 3 fails hard (communication timeout):")

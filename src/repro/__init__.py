@@ -43,6 +43,8 @@ from .core import (
     MalleusCostModel,
     MalleusPlanner,
     PlanningResult,
+    SolutionCache,
+    SweepConfig,
     TransitionConfig,
 )
 from .models import TrainingTask, TransformerModelSpec, get_model, paper_task
@@ -68,8 +70,10 @@ __all__ = [
     "ParallelizationPlan",
     "PlanningResult",
     "Profiler",
+    "SolutionCache",
     "StragglerSpec",
     "StragglerTrace",
+    "SweepConfig",
     "TPGroup",
     "TrainingTask",
     "TransitionConfig",

@@ -39,6 +39,17 @@ calls.  If the config, model or cluster is mutated in place, call
 per-cache sizes and hit/miss counters; constructing the model with
 ``enable_caching=False`` disables every memo (used by the cache-equivalence
 tests and the hot-path benchmark's legacy mode).
+
+Worker handoff
+--------------
+Cost-model instances are plain data (model spec, cluster description,
+config dataclass and dict-based memos), so they **pickle** — including the
+warm coefficient caches.  The sweep engine's process backend relies on
+this: each pool worker is initialised with the parent's cost model (warm
+caches ride along for free under ``fork``), and every batch carries
+:meth:`config_fingerprint` so a worker detects in-place calibration edits
+and self-heals exactly like :meth:`refresh_if_config_changed` does in the
+parent.
 """
 
 from __future__ import annotations
@@ -127,6 +138,17 @@ class MalleusCostModel:
     def _snapshot_config(self) -> tuple:
         """Fingerprint of the calibration config (all fields are scalars)."""
         return tuple(sorted(vars(self.config).items()))
+
+    def config_fingerprint(self) -> tuple:
+        """Public view of the calibration-config fingerprint.
+
+        Shared with the sweep engine's :class:`~repro.core.sweep
+        .SolutionCache` (which drops its warm-start entries whenever the
+        fingerprint moves, mirroring :meth:`refresh_if_config_changed`)
+        and shipped with every process-backend batch so pool workers can
+        self-heal after an in-place calibration edit in the parent.
+        """
+        return self._snapshot_config()
 
     def invalidate_caches(self) -> None:
         """Drop every memoized coefficient.

@@ -36,6 +36,12 @@ class OrchestrationResult:
     dp_degree: int = 0
     division_objective: float = math.inf
     feasible: bool = True
+    #: Winning division's per-pipeline slow-group rate buckets; callers
+    #: that re-solve a similar instance later (the sweep engine's
+    #: warm-start cache) pass them back as ``divide_pipelines``'s
+    #: ``warm_start`` seed.  Populated whenever the division solver ran
+    #: (check ``feasible`` separately); ``None`` when it never did.
+    slow_groups: Optional[List[List[float]]] = None
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +163,7 @@ def divide_pipelines(
         dp_degree=dp_degree,
         division_objective=solution.objective,
         feasible=all(len(p) >= min_groups_per_pipeline for p in pipelines),
+        slow_groups=[list(bucket) for bucket in solution.slow_groups],
     )
 
 

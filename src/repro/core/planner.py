@@ -55,6 +55,17 @@ migration-time floor.  Disabled — the default — the sweep is
 bit-identical to pure step-time planning;
 ``benchmarks/test_bench_transition_study.py`` asserts both the
 off-switch identity and the strictly-lower-downtime contract.
+
+Sweep engine
+------------
+The candidate sweep itself (bound-ordered evaluation, pruning, finalist
+selection) lives in :mod:`repro.core.sweep` and is shared with the
+replan engine.  :class:`~repro.core.sweep.SweepConfig` selects the
+execution backend (``serial``, the default and bit-identical to the
+historical in-line sweep, or ``process`` — a deterministic worker pool)
+and the cross-event :class:`~repro.core.sweep.SolutionCache`
+(``warm_cache=True``), which lets *every* (tp, dp) candidate warm-start
+from its own previous division instead of only the incumbent pair.
 """
 
 from __future__ import annotations
@@ -62,7 +73,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..cluster.topology import Cluster
 from ..models.spec import TrainingTask
@@ -75,17 +86,20 @@ from ..parallel.migration import (
     transition_time_lower_bound,
 )
 from ..parallel.plan import ParallelizationPlan, TPGroup
-from .assignment import (
-    LowerLevelResult,
-    PlanCandidate,
-    assign_layers,
-    candidate_step_time_bound,
-    solve_lower_level,
-    sorted_divisors,
-)
+from .assignment import PlanCandidate, sorted_divisors
 from .costmodel import CostModelConfig, MalleusCostModel
 from .grouping import GroupingResult, group_gpus
-from .orchestration import divide_pipelines, order_pipeline_groups
+from .sweep import (
+    CandidateRecord,
+    EvalContext,
+    PlanningTimeBreakdown,
+    SolutionCache,
+    SweepConfig,
+    SweepEntry,
+    SweepExecutor,
+    candidate_bound,
+    run_sweep,
+)
 
 
 @dataclass
@@ -139,54 +153,6 @@ class TransitionConfig:
 
 
 @dataclass
-class PlanningTimeBreakdown:
-    """Wall-clock seconds spent in each planning phase (Table 5)."""
-
-    grouping: float = 0.0
-    division: float = 0.0
-    ordering: float = 0.0
-    assignment: float = 0.0
-
-    @property
-    def total(self) -> float:
-        """Total planning time."""
-        return self.grouping + self.division + self.ordering + self.assignment
-
-    def as_dict(self) -> Dict[str, float]:
-        """Dictionary view used by the experiment harness."""
-        return {
-            "grouping": self.grouping,
-            "division": self.division,
-            "ordering": self.ordering,
-            "assignment": self.assignment,
-            "total": self.total,
-        }
-
-
-@dataclass
-class CandidateRecord:
-    """Diagnostic record of one (tp_limit, dp) candidate.
-
-    ``pruned`` marks candidates the planner skipped (entirely or partially)
-    because their lower bound could not beat the incumbent — they are
-    reported infeasible but were never solved exactly.  ``lower_bound`` is
-    the bound used for ordering and pruning (0 when pruning is disabled).
-    """
-
-    tp_limit: int
-    dp_degree: int
-    estimated_step_time: float
-    feasible: bool
-    num_groups: int = 0
-    isolated_gpus: List[int] = field(default_factory=list)
-    pruned: bool = False
-    lower_bound: float = 0.0
-    #: Estimated migration time from the previous plan (transition-aware
-    #: sweeps only; 0 otherwise).
-    transition_seconds: float = 0.0
-
-
-@dataclass
 class PlanContext:
     """Everything the incremental repair engine needs about a winning plan.
 
@@ -228,6 +194,9 @@ class PlanningResult:
     #: Estimated transition cost of the winner from the previous plan
     #: (populated only by transition-aware sweeps).
     transition: Optional[TransitionEstimate] = None
+    #: What the sweep engine did (backend, workers, evaluated/pruned
+    #: counts, warm-cache hits); see :class:`repro.core.sweep.SweepStats`.
+    sweep_stats: Dict[str, object] = field(default_factory=dict)
 
     def best_candidate(self) -> Optional[CandidateRecord]:
         """The winning candidate record, if any."""
@@ -266,6 +235,12 @@ class MalleusPlanner:
         Transition-aware planning knobs (:class:`TransitionConfig`); a
         disabled config — pure step-time planning, bit-identical to the
         transition-unaware planner — is used when omitted.
+    sweep_config:
+        Candidate-sweep engine knobs (:class:`~repro.core.sweep
+        .SweepConfig`): execution backend (``serial``/``process``), worker
+        count and the cross-event warm-start cache.  The default —
+        ``SweepConfig()`` — is the off-switch: a serial sweep with the
+        warm cache disabled, bit-identical to the pre-engine planner.
     """
 
     def __init__(
@@ -280,6 +255,7 @@ class MalleusPlanner:
         enable_pruning: bool = True,
         legacy_kernels: bool = False,
         transition_config: Optional[TransitionConfig] = None,
+        sweep_config: Optional[SweepConfig] = None,
     ):
         self.task = task
         self.cluster = cluster
@@ -293,6 +269,26 @@ class MalleusPlanner:
         self.enable_pruning = enable_pruning
         self.legacy_kernels = legacy_kernels
         self.transition_config = transition_config or TransitionConfig()
+        self.sweep_config = sweep_config or SweepConfig()
+        self.sweep_executor = SweepExecutor(self.sweep_config)
+        self.solution_cache = SolutionCache()
+
+    def close(self) -> None:
+        """Release the sweep executor's worker pool (serial: no-op)."""
+        self.sweep_executor.shutdown()
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Planner-level cache diagnostics.
+
+        ``cost_model`` mirrors :meth:`MalleusCostModel.cache_stats`;
+        ``sweep_solutions`` reports the cross-event warm-start
+        :class:`~repro.core.sweep.SolutionCache` (size, hits, misses,
+        stores, stale rejections, evictions, invalidations).
+        """
+        return {
+            "cost_model": self.cost_model.cache_stats(),
+            "sweep_solutions": self.solution_cache.stats(),
+        }
 
     # ------------------------------------------------------------------
     #: Largest DP degree the planner enumerates when none is pinned.  Very
@@ -333,12 +329,6 @@ class MalleusPlanner:
             refresh()
 
         breakdown = PlanningTimeBreakdown()
-        candidates: List[CandidateRecord] = []
-        best_result: Optional[LowerLevelResult] = None
-        best_time = math.inf
-        best_index = -1
-        best_grouping: Optional[GroupingResult] = None
-        best_dp = 0
         all_gpu_ids = self.cluster.gpu_ids()
         prune = self.enable_pruning
         scorer = self._transition_scorer(previous)
@@ -356,9 +346,10 @@ class MalleusPlanner:
         # Bound computation is solver work that screens division candidates,
         # so it is accounted under the division phase, keeping the Table-5
         # "grouping" column a faithful measure of the grouping algorithms.
-        entries: List[Tuple[float, int, GroupingResult, int]] = []
+        entries: List[SweepEntry] = []
         groupings: Dict[int, GroupingResult] = {}
         index = 0
+        num_layers = self.task.model.num_layers
         for tp_limit in self.tp_candidates:
             start = time.perf_counter()
             grouping = group_gpus(
@@ -378,98 +369,50 @@ class MalleusPlanner:
             for dp_degree in dp_list:
                 if prune:
                     start = time.perf_counter()
-                    bound = self._candidate_bound(grouping, rates,
-                                                  b_candidates, dp_degree)
+                    bound = candidate_bound(
+                        grouping, rates, self.cost_model, num_layers,
+                        self.task.global_batch_size, b_candidates, dp_degree,
+                    )
                     breakdown.division += time.perf_counter() - start
                 else:
                     bound = 0.0
-                entries.append((bound, index, grouping, dp_degree))
+                entries.append(SweepEntry(bound, index, grouping, dp_degree))
                 index += 1
         if prune:
-            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            entries.sort(key=lambda entry: (entry.bound, entry.entry_index))
 
-        # Phase 2: evaluate candidates in bound order.  Ties in step time
-        # (within tolerance) resolve to the smallest enumeration index, which
-        # reproduces the seed's tp-major/dp-minor sweep winner exactly.  A
-        # transition-aware sweep relaxes the pruning cutoff to the epsilon
-        # window and re-ranks the finalists afterwards (see
-        # _select_transition_winner); pruning stays sound because a
+        # Phase 2: the candidate sweep (repro.core.sweep).  Ties in step
+        # time (within tolerance) resolve to the smallest enumeration
+        # index, which reproduces the seed's tp-major/dp-minor sweep winner
+        # exactly.  A transition-aware sweep relaxes the pruning cutoff to
+        # the epsilon window and re-ranks the finalists afterwards
+        # (select_transition_winner); pruning stays sound because a
         # candidate whose *step-time* bound exceeds the window can neither
         # improve the best pure step time nor enter the window.
-        finalists: List[Tuple[float, float, int, GroupingResult, int,
-                              LowerLevelResult, TransitionEstimate]] = []
-        windowed = scorer is not None and not scorer.config.tie_break_only
-        for bound, entry_index, grouping, dp_degree in entries:
-            cutoff = best_time
-            if windowed:
-                cutoff = best_time * (1.0 + scorer.config.epsilon)
-            prune_this = prune and bound > cutoff + 1e-12
-            if prune and not prune_this and windowed:
-                # Transition term of the lower bound: the window is defined
-                # on the amortized score (step + migration / horizon), so a
-                # candidate whose step-time bound plus the provable
-                # migration-time floor exceeds the window limit can never
-                # enter it; requiring the step bound to also exceed the
-                # best pure step time guarantees the candidate cannot
-                # shrink the window either.  The floor is zero whenever
-                # transitions are disabled (this branch never runs then).
-                floor = scorer.floor(grouping)
-                if floor > 0.0 and bound > best_time + 1e-12 and \
-                        bound + floor > cutoff + 1e-12:
-                    prune_this = True
-            if prune_this:
-                candidates.append(CandidateRecord(
-                    tp_limit=grouping.tp_limit,
-                    dp_degree=dp_degree,
-                    estimated_step_time=math.inf,
-                    feasible=False,
-                    num_groups=grouping.num_groups(),
-                    isolated_gpus=list(grouping.isolated_gpus),
-                    pruned=True,
-                    lower_bound=bound,
-                ))
-                continue
-            record, result = self._evaluate_candidate(
-                grouping, rates, dp_degree, breakdown,
-                b_candidates, all_gpu_ids, incumbent=cutoff,
-            )
-            record.lower_bound = bound
-            candidates.append(record)
-            if result is None or not result.feasible:
-                continue
-            step_time = result.estimated_step_time
-            if scorer is not None:
-                estimate = scorer.estimate(result.candidate)
-                charged = scorer.charge(estimate)
-                record.transition_seconds = charged
-                finalists.append((step_time, charged, entry_index,
-                                  grouping, dp_degree, result, estimate))
-                if step_time < best_time:
-                    best_time = step_time
-                continue
-            wins = step_time < best_time - 1e-12
-            if not wins and abs(step_time - best_time) <= 1e-12:
-                wins = entry_index < best_index
-            if wins:
-                best_time = step_time
-                best_result = result
-                best_index = entry_index
-                best_grouping = grouping
-                best_dp = dp_degree
-
-        transition: Optional[TransitionEstimate] = None
-        if scorer is not None and finalists:
-            (best_time, best_result, best_grouping, best_dp,
-             transition) = self._select_transition_winner(
-                finalists, best_time, scorer.config)
+        ctx = EvalContext(
+            task=self.task,
+            cost_model=self.cost_model,
+            rates=rates,
+            micro_batch_candidates=tuple(b_candidates),
+            all_gpu_ids=tuple(all_gpu_ids),
+            enable_pruning=prune,
+            legacy_kernels=self.legacy_kernels,
+        )
+        outcome = run_sweep(
+            entries, ctx, self.sweep_executor,
+            breakdown=breakdown, scorer=scorer, seed=None,
+            tie_break="entry_index", prune=prune,
+            cache=self.solution_cache,
+        )
+        best_time = outcome.step_time
 
         # Phase 3: materialize exactly one plan — the overall winner.
         best_plan: Optional[ParallelizationPlan] = None
-        if best_result is not None:
+        if outcome.feasible:
             start = time.perf_counter()
-            best_plan = best_result.plan
+            best_plan = outcome.plan
             if best_plan is None:
-                best_plan = best_result.candidate.materialize(
+                best_plan = outcome.candidate.materialize(
                     rates, self.cost_model, all_gpu_ids
                 )
             breakdown.assignment += time.perf_counter() - start
@@ -480,12 +423,12 @@ class MalleusPlanner:
             best_plan.estimated_step_time = best_time
             context = PlanContext(
                 rates=dict(rates),
-                tp_limit=best_grouping.tp_limit,
-                dp_degree=best_dp,
-                grouping=best_grouping,
-                pipelines_groups=best_result.candidate.pipelines_groups,
-                candidate=best_result.candidate,
-                micro_batch_size=best_result.micro_batch_size,
+                tp_limit=outcome.tp_limit,
+                dp_degree=outcome.dp_degree,
+                grouping=outcome.grouping,
+                pipelines_groups=outcome.candidate.pipelines_groups,
+                candidate=outcome.candidate,
+                micro_batch_size=outcome.micro_batch_size,
                 estimated_step_time=best_time,
                 groupings=groupings,
             )
@@ -493,10 +436,11 @@ class MalleusPlanner:
             plan=best_plan,
             estimated_step_time=best_time,
             breakdown=breakdown,
-            candidates=candidates,
+            candidates=outcome.records,
             feasible=feasible,
             context=context,
-            transition=transition,
+            transition=outcome.transition,
+            sweep_stats=outcome.stats.as_dict(),
         )
 
     def plan_incremental(
@@ -538,165 +482,6 @@ class MalleusPlanner:
         if previous is None or previous.candidate is None:
             return None
         return _TransitionScorer(self, previous)
-
-    def _select_transition_winner(self, finalists, best_pure: float,
-                                  config: TransitionConfig):
-        """Pick the transition-aware winner among the solved finalists.
-
-        Only candidates whose **amortized score** ``step + migration /
-        horizon_steps`` lies within ``epsilon`` of the best pure step time
-        compete (in ``tie_break_only`` mode: exact step-time ties only).
-        Within that window the objective is minimal disruption: step-time
-        differences below ``epsilon`` are within the analytic cost model's
-        own error (the paper reports 2-5%), so they do not outrank a real
-        migration bill — the smallest estimated migration time wins,
-        candidates with equal migration are ordered by the amortized score
-        (which reduces to the step time there), and remaining ties resolve
-        to the smallest enumeration index.  A candidate that keeps the
-        incumbent layout (zero migration) therefore wins the window
-        outright unless a reachable-only-by-migrating plan is more than
-        ``epsilon`` faster.  When no candidate's amortized score fits the
-        window (every plan within ``epsilon`` is expensive to reach), the
-        pure step-time winner is kept — enabling transitions never
-        regresses the step time beyond ``epsilon``.
-        """
-        best_entry = None
-        best_key = (math.inf, math.inf, math.inf)
-        fallback = None
-        fallback_key = (math.inf, math.inf)
-        for entry in finalists:
-            step_time, seconds, entry_index = entry[0], entry[1], entry[2]
-            if (step_time, entry_index) < fallback_key:
-                fallback, fallback_key = entry, (step_time, entry_index)
-            score = step_time + seconds / config.horizon_steps
-            if config.tie_break_only:
-                if step_time > best_pure + 1e-12:
-                    continue
-                key = (step_time, seconds, entry_index)
-            else:
-                if score > best_pure * (1.0 + config.epsilon) + 1e-12:
-                    continue
-                key = (seconds, score, entry_index)
-            if best_entry is None:
-                best_entry, best_key = entry, key
-                continue
-            wins = key[0] < best_key[0] - 1e-12
-            if not wins and abs(key[0] - best_key[0]) <= 1e-12:
-                wins = key[1] < best_key[1] - 1e-12
-                if not wins and abs(key[1] - best_key[1]) <= 1e-12:
-                    wins = key[2] < best_key[2]
-            if wins:
-                best_entry, best_key = entry, key
-        if best_entry is None:
-            best_entry = fallback
-        step_time, _, _, grouping, dp_degree, result, estimate = best_entry
-        return step_time, result, grouping, dp_degree, estimate
-
-    def _candidate_bound(self, grouping: GroupingResult,
-                         rates: Dict[int, float],
-                         b_candidates: Sequence[int],
-                         dp_degree: Optional[int] = None) -> float:
-        """Lower bound on the step time any division of ``grouping`` allows.
-
-        ``candidate_step_time_bound`` (total work over total harmonic speed,
-        sharpened by the dp-aware warm-up term when ``dp_degree`` is given)
-        applied to the grouping's full group list — a superset of any
-        pipeline division's groups — minimised over the micro-batch
-        candidates, since the lower level picks the best ``b``.
-        """
-        bound = math.inf
-        for b in b_candidates:
-            value = candidate_step_time_bound(
-                [grouping.groups], rates, self.cost_model,
-                self.task.model.num_layers, self.task.global_batch_size, b,
-                dp_degree=dp_degree,
-            )
-            if value < bound:
-                bound = value
-        return bound
-
-    # ------------------------------------------------------------------
-    def _evaluate_candidate(
-        self,
-        grouping: GroupingResult,
-        rates: Dict[int, float],
-        dp_degree: int,
-        breakdown: PlanningTimeBreakdown,
-        micro_batch_candidates: Optional[Sequence[int]],
-        all_gpu_ids: Sequence[int],
-        incumbent: float = math.inf,
-    ) -> Tuple[CandidateRecord, Optional[LowerLevelResult]]:
-        """Evaluate one (grouping, DP) candidate end to end.
-
-        ``incumbent`` (the best step time of the sweep so far) is threaded
-        into the lower level for micro-batch-size pruning; plans are not
-        materialized here — the winning candidate is built once by ``plan``.
-        """
-        task = self.task
-        record = CandidateRecord(
-            tp_limit=grouping.tp_limit,
-            dp_degree=dp_degree,
-            estimated_step_time=math.inf,
-            feasible=False,
-            num_groups=grouping.num_groups(),
-            isolated_gpus=list(grouping.isolated_gpus),
-        )
-        if grouping.num_groups() < dp_degree:
-            return record, None
-
-        materialize: object = "eager" if self.legacy_kernels else False
-        best_result: Optional[LowerLevelResult] = None
-        total_micro_batches = task.global_batch_size // task.micro_batch_size
-        for min_groups in range(1, 5):
-            if grouping.num_groups() < dp_degree * min_groups:
-                break
-            start = time.perf_counter()
-            division = divide_pipelines(
-                grouping.groups, rates, self.cost_model, dp_degree,
-                total_micro_batches, task.micro_batch_size,
-                min_groups_per_pipeline=min_groups,
-                legacy_kernels=self.legacy_kernels,
-            )
-            breakdown.division += time.perf_counter() - start
-            if not division.feasible:
-                continue
-
-            start = time.perf_counter()
-            ordered_pipelines = [
-                order_pipeline_groups(
-                    pipeline, rates, self.cost_model, task.model.num_layers,
-                    task.micro_batch_size, dp_degree,
-                )
-                for pipeline in division.pipelines
-            ]
-            breakdown.ordering += time.perf_counter() - start
-
-            start = time.perf_counter()
-            result = solve_lower_level(
-                ordered_pipelines, rates, self.cost_model,
-                task.model.num_layers, task.global_batch_size,
-                micro_batch_candidates, all_gpu_ids,
-                materialize=materialize, incumbent=incumbent,
-                enable_pruning=self.enable_pruning,
-            )
-            breakdown.assignment += time.perf_counter() - start
-            if result.feasible:
-                best_result = result
-                break
-            if result.pruned and not result.memory_limited:
-                # Every micro-batch size was pruned against the incumbent
-                # (none failed on memory).  The bound is division-independent,
-                # so retrying with more groups per pipeline cannot beat the
-                # incumbent either; report the candidate as pruned.
-                record.pruned = True
-                return record, None
-
-        if best_result is None or not best_result.feasible:
-            return record, None
-        record.feasible = True
-        record.estimated_step_time = best_result.estimated_step_time
-        return record, best_result
-
 
 class _TransitionScorer:
     """Scores sweep candidates against the incumbent layout.

@@ -1,0 +1,1478 @@
+"""The (tp, dp) candidate sweep: stateless evaluation core + executors.
+
+Until PR 5 the planner's candidate sweep lived in two divergent copies —
+:meth:`repro.core.planner.MalleusPlanner.plan` (phase 2) and
+:meth:`repro.runtime.replan.ReplanEngine._solve_repair` — each interleaving
+bound pruning, candidate evaluation, transition scoring and winner
+selection with its caller's bookkeeping.  This module gives the sweep one
+owner:
+
+* :func:`evaluate_candidate` — a **stateless, picklable** evaluation core:
+  a :class:`CandidateSpec` (grouping, DP degree, pruning incumbent,
+  optional warm-start division) plus an :class:`EvalContext` (task, cost
+  model, rates) in, a :class:`CandidateResult` (solved
+  :class:`~repro.core.assignment.PlanCandidate`, per-phase timings) out.
+  No planner state is read or written, so the same function runs
+  in-process or in a worker process.
+* :class:`SweepExecutor` — runs a batch of specs on the configured
+  backend.  ``serial`` (the default) evaluates in-process; ``process``
+  fans the specs out over a persistent worker pool (workers receive the
+  task/cost-model context once, at pool creation, warm coefficient caches
+  included) and reassembles the results **by entry index**, so the
+  reduction — and therefore the winner — is identical regardless of the
+  worker count or the completion order.
+* :func:`run_sweep` — the sweep loop itself, shared by the planner and
+  the replan engine: bound-ordered evaluation, sound pruning against the
+  incumbent (with the transition-aware window and migration floor),
+  finalist collection and the winner selection, including
+  :func:`select_transition_winner` (previously duplicated across both
+  callers).
+* :class:`SolutionCache` — a cross-event warm-start cache keyed by
+  ``(tp_limit, dp_degree)`` with a **partition fingerprint** guard: the
+  winning division of every solved sweep candidate is remembered, and on
+  the next event a candidate whose grouping is unchanged skips the
+  expensive pipeline-division solve entirely — its kept division is
+  re-ordered and the lower level re-solved, exactly the repair the replan
+  engine has always applied to the incumbent pair, now available to
+  *every* candidate.  An **infeasibility memo** keyed on the grouping's
+  rate-independent *capacity fingerprint* additionally handles candidates
+  whose last full-depth solve hit the memory wall: an unchanged capacity
+  structure skips the candidate outright, a changed one (group change,
+  recovery) re-checks it freshly under the current rates but without the
+  min-groups retry loop the memo proved futile; at 64-GPU scale — where
+  the bounds cannot prune — those retried infeasible candidates dominate
+  the sweep's cost.
+
+Determinism and the off-switch guarantee
+----------------------------------------
+``SweepConfig(backend="serial", warm_cache=False)`` — the default — runs
+the historical sweep verbatim: candidates are evaluated one by one in
+bound order with the incumbent tightening dynamically, and every plan and
+repair is bit-identical to the pre-PR-5 planner.
+
+Any other configuration switches the sweep to **static rounds** so that
+the set of exactly-solved candidates is a deterministic function of the
+inputs alone (never of worker count, completion order, or chunking):
+
+1. *warm round* — every cache hit is evaluated (in parallel) against the
+   starting incumbent;
+2. *pilot round* — when no incumbent exists yet (a cold ``plan()``), the
+   lowest-bound candidate is evaluated alone to establish one;
+3. *cold round* — the remaining candidates are bound-pruned against the
+   (now tight) incumbent and the survivors are evaluated in parallel.
+
+Between rounds the incumbent is recomputed from the folded results, which
+depend only on the specs.  Bound pruning is provably sound (a pruned
+candidate's true step time strictly exceeds the incumbent), so the winner
+is identical across backends and worker counts for a fixed cache state;
+with the warm cache on, the cache itself evolves deterministically for
+the same reason, so whole *event sequences* select bit-identical winners
+for every ``workers`` setting.
+
+Warm-start quality contract
+---------------------------
+A warm hit re-uses the candidate's previous division for the new rates
+(the division may be slightly stale — the same drift the replan engine's
+``rebalance`` tier has always accepted).  Three guards bound that drift:
+
+* **contender re-solve** — after the rounds, every warm representative
+  whose step time lands within ``resolve_margin`` of the best step is
+  re-solved cold before the winner is picked, so a stale division can
+  only hide a better candidate when the staleness alone exceeds the
+  margin (on the generated-trace matrix, warm repairs match cold full
+  plans exactly);
+* **age expiry** — ``max_warm_age`` consecutive warm serves (or
+  infeasibility skips) force a cold re-solve that re-anchors the entry;
+* a warm solve that comes back memory-infeasible falls back to the cold
+  path inside the same evaluation, and any grouping change flips the
+  fingerprint so the candidate is re-solved cold.
+
+Cache entries are additionally invalidated by the cost model's config
+fingerprint (the same self-healing ``plan()`` uses) and evicted
+wholesale on membership changes — a cached division can never be served
+for a departed GPU (the fingerprint of a grouping that lost a GPU cannot
+match, and lookups double-check every cached GPU id against the current
+rate map).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..models.spec import TrainingTask
+from ..parallel.plan import ParallelizationPlan, TPGroup
+from .assignment import (
+    PlanCandidate,
+    candidate_step_time_bound,
+    solve_lower_level,
+)
+from .costmodel import MalleusCostModel
+from .grouping import GroupingResult
+from .orchestration import divide_pipelines, order_pipeline_groups
+
+
+@dataclass
+class PlanningTimeBreakdown:
+    """Wall-clock seconds spent in each planning phase (Table 5).
+
+    On the repair path the same four phases absorb the engine's extra
+    work — event classification and delta re-grouping under ``grouping``,
+    the partial division repair under ``division`` — so ``total`` is
+    comparable between incremental repairs and full plans.  Under the
+    process backend the per-phase numbers are summed worker CPU seconds
+    (they can exceed the wall clock).
+    """
+
+    grouping: float = 0.0
+    division: float = 0.0
+    ordering: float = 0.0
+    assignment: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total planning time."""
+        return self.grouping + self.division + self.ordering + self.assignment
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view used by the experiment harness."""
+        return {
+            "grouping": self.grouping,
+            "division": self.division,
+            "ordering": self.ordering,
+            "assignment": self.assignment,
+            "total": self.total,
+        }
+
+    def merge(self, other: "PlanningTimeBreakdown") -> None:
+        """Accumulate another breakdown's phases into this one."""
+        self.grouping += other.grouping
+        self.division += other.division
+        self.ordering += other.ordering
+        self.assignment += other.assignment
+
+
+@dataclass
+class CandidateRecord:
+    """Diagnostic record of one (tp_limit, dp) candidate.
+
+    ``pruned`` marks candidates the planner skipped (entirely or partially)
+    because their lower bound could not beat the incumbent — they are
+    reported infeasible but were never solved exactly.  ``lower_bound`` is
+    the bound used for ordering and pruning (0 when pruning is disabled).
+    """
+
+    tp_limit: int
+    dp_degree: int
+    estimated_step_time: float
+    feasible: bool
+    num_groups: int = 0
+    isolated_gpus: List[int] = field(default_factory=list)
+    pruned: bool = False
+    lower_bound: float = 0.0
+    #: Estimated migration time from the previous plan (transition-aware
+    #: sweeps only; 0 otherwise).
+    transition_seconds: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass
+class SweepConfig:
+    """Knobs of the candidate-sweep engine.
+
+    ``backend="serial"`` with ``warm_cache=False`` (the defaults) is the
+    off-switch: the sweep runs the historical dynamic loop and every plan
+    and repair is bit-identical to the pre-PR-5 planner.  ``"process"``
+    evaluates candidates on a persistent worker pool; ``workers=0`` picks
+    ``min(4, cpu_count)``.  ``warm_cache=True`` enables the cross-event
+    :class:`SolutionCache` (see the module docstring for the
+    determinism/quality contract).
+    """
+
+    backend: str = "serial"
+    workers: int = 0
+    warm_cache: bool = False
+    #: Consecutive warm hits a cache entry may serve before its candidate
+    #: is re-solved cold (and the entry refreshed).  Bounds the division
+    #: drift a repeatedly-warm-started candidate can accumulate; the age
+    #: evolves deterministically with the event sequence, so the re-solve
+    #: schedule — like everything else — is worker-count independent.
+    max_warm_age: int = 4
+    #: Contender band of the warm sweep: a warm representative whose step
+    #: time lands within ``(1 + resolve_margin)`` of the best step seen is
+    #: re-solved cold before the winner is picked, so a stale division can
+    #: only hide a better candidate when the staleness alone exceeds the
+    #: margin.  0 disables the pass (pure warm representatives).
+    resolve_margin: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "process"):
+            raise ValueError(f"unknown sweep backend: {self.backend!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = auto)")
+        if self.max_warm_age < 1:
+            raise ValueError("max_warm_age must be >= 1")
+        if self.resolve_margin < 0:
+            raise ValueError("resolve_margin must be >= 0")
+
+    def resolved_workers(self) -> int:
+        """The worker count a process pool would use."""
+        if self.workers:
+            return self.workers
+        return max(1, min(4, os.cpu_count() or 1))
+
+
+# ----------------------------------------------------------------------
+# Stateless evaluation core
+# ----------------------------------------------------------------------
+@dataclass
+class EvalContext:
+    """Everything one sweep's evaluations share (picklable).
+
+    The context is built once per sweep by the caller; the process
+    backend ships the sweep-invariant parts (task, cost model, GPU ids,
+    planner knobs) to the workers at pool creation — warm coefficient
+    caches included — and only the per-sweep parts (rates, micro-batch
+    candidates, config fingerprint) with each batch of specs.
+    """
+
+    task: TrainingTask
+    cost_model: MalleusCostModel
+    rates: Dict[int, float]
+    micro_batch_candidates: Tuple[int, ...]
+    all_gpu_ids: Tuple[int, ...]
+    enable_pruning: bool = True
+    legacy_kernels: bool = False
+
+
+@dataclass
+class CandidateSpec:
+    """One (grouping, dp) evaluation work unit (picklable).
+
+    ``incumbent`` is the sweep cutoff threaded into the lower level's
+    micro-batch pruning; ``warm_pipelines`` (per-pipeline group tuples)
+    short-circuits the division solve with a previous event's division;
+    ``division_seed`` optionally seeds the division solver's fallback
+    local search when the cold path does run (ignored by the solver when
+    structurally incompatible).
+    """
+
+    entry_index: int
+    dp_degree: int
+    grouping: GroupingResult
+    incumbent: float = math.inf
+    warm_pipelines: Optional[Tuple[Tuple[TPGroup, ...], ...]] = None
+    division_seed: Optional[Tuple[Tuple[float, ...], ...]] = None
+    #: Cap the cold path's min-groups-per-pipeline retry loop at its first
+    #: attempt.  Set when the infeasibility memo remembers that deeper
+    #: divisions did not cure this candidate's memory infeasibility — the
+    #: candidate is still *freshly* re-checked under the current rates, so
+    #: a feasibility flip (e.g. a recovery event) is always discovered.
+    shallow: bool = False
+
+
+@dataclass
+class CandidateTiming:
+    """Per-phase solver seconds of one evaluation (worker-measured)."""
+
+    division: float = 0.0
+    ordering: float = 0.0
+    assignment: float = 0.0
+
+
+@dataclass
+class CandidateResult:
+    """Outcome of one candidate evaluation (picklable).
+
+    ``pruned`` means the evaluation proved the candidate cannot beat the
+    ``incumbent`` it was given (no feasibility statement).  ``plan`` is
+    populated only under ``legacy_kernels`` (eager materialization).
+    """
+
+    entry_index: int
+    tp_limit: int
+    dp_degree: int
+    feasible: bool
+    estimated_step_time: float = math.inf
+    micro_batch_size: int = 0
+    candidate: Optional[PlanCandidate] = None
+    plan: Optional[ParallelizationPlan] = None
+    num_groups: int = 0
+    isolated_gpus: List[int] = field(default_factory=list)
+    pruned: bool = False
+    warm_used: bool = False
+    #: The evaluation ran in shallow mode (min-groups retries capped by
+    #: the infeasibility memo); shallow confirmations never re-anchor the
+    #: memo, so its age keeps advancing toward the full-depth re-check.
+    shallow: bool = False
+    #: An infeasible result with *memory* evidence (some micro-batch size
+    #: exceeded the per-stage capacity), as opposed to purely structural
+    #: or division infeasibility.  Only this kind enters the cache's
+    #: infeasibility memo: the capacity coefficients are rate-independent,
+    #: so the evidence mostly carries across events — "mostly" because the
+    #: incumbent may have pruned other micro-batch sizes and a different
+    #: rate map can steer the division solver elsewhere, which is why the
+    #: memo is guarded by the group-count check and the age expiry rather
+    #: than treated as a proof.
+    memory_limited: bool = False
+    #: Winning division's per-pipeline slow-group rates (cold solves only;
+    #: cached as the next event's division warm start).
+    slow_groups: Optional[Tuple[Tuple[float, ...], ...]] = None
+    timing: CandidateTiming = field(default_factory=CandidateTiming)
+
+
+def candidate_bound(grouping: GroupingResult, rates: Dict[int, float],
+                    cost_model: MalleusCostModel, num_layers: int,
+                    global_batch_size: int, b_candidates: Sequence[int],
+                    dp_degree: Optional[int] = None) -> float:
+    """Lower bound on the step time any division of ``grouping`` allows.
+
+    :func:`~repro.core.assignment.candidate_step_time_bound` (total work
+    over total harmonic speed, sharpened by the dp-aware warm-up term when
+    ``dp_degree`` is given) applied to the grouping's full group list — a
+    superset of any pipeline division's groups — minimised over the
+    micro-batch candidates, since the lower level picks the best ``b``.
+    """
+    bound = math.inf
+    for b in b_candidates:
+        value = candidate_step_time_bound(
+            [grouping.groups], rates, cost_model, num_layers,
+            global_batch_size, b, dp_degree=dp_degree,
+        )
+        if value < bound:
+            bound = value
+    return bound
+
+
+def evaluate_candidate(ctx: EvalContext,
+                       spec: CandidateSpec) -> CandidateResult:
+    """Evaluate one (grouping, DP) candidate end to end, statelessly.
+
+    With ``spec.warm_pipelines`` the previous division is re-ordered and
+    its lower level re-solved (the per-candidate analogue of the replan
+    engine's ``rebalance`` tier); an infeasible warm solve falls back to
+    the cold path in the same call.  Cold evaluation reproduces the
+    historical ``MalleusPlanner._evaluate_candidate`` exactly.
+    """
+    if spec.warm_pipelines is not None:
+        result = _evaluate_warm(ctx, spec)
+        if result is not None:
+            return result
+        # Warm solve memory-infeasible: the stale division is no longer a
+        # valid representative; re-solve the candidate cold (deterministic,
+        # so the solve set stays worker-count independent).
+        cold = _evaluate_cold(ctx, spec)
+        return cold
+    return _evaluate_cold(ctx, spec)
+
+
+def _base_result(spec: CandidateSpec) -> CandidateResult:
+    grouping = spec.grouping
+    return CandidateResult(
+        entry_index=spec.entry_index,
+        tp_limit=grouping.tp_limit,
+        dp_degree=spec.dp_degree,
+        feasible=False,
+        num_groups=grouping.num_groups(),
+        isolated_gpus=list(grouping.isolated_gpus),
+        shallow=spec.shallow,
+    )
+
+
+def _evaluate_warm(ctx: EvalContext,
+                   spec: CandidateSpec) -> Optional[CandidateResult]:
+    """Warm path: keep the cached division, re-order + re-solve lower level.
+
+    Returns ``None`` when the warm division is memory-infeasible for the
+    current rates (the caller falls back to the cold path).  A warm solve
+    whose every micro-batch candidate is *pruned* against the incumbent is
+    returned as a pruned result: the cached division provably cannot beat
+    the sweep cutoff, which is all a losing candidate needs to establish.
+    """
+    task = ctx.task
+    result = _base_result(spec)
+    result.warm_used = True
+    pipelines = [list(groups) for groups in spec.warm_pipelines]
+    dp = len(pipelines)
+
+    start = time.perf_counter()
+    ordered = [
+        order_pipeline_groups(
+            pipeline, ctx.rates, ctx.cost_model, task.model.num_layers,
+            task.micro_batch_size, dp,
+        )
+        for pipeline in pipelines
+    ]
+    result.timing.ordering += time.perf_counter() - start
+
+    materialize: object = "eager" if ctx.legacy_kernels else False
+    start = time.perf_counter()
+    lower = solve_lower_level(
+        ordered, ctx.rates, ctx.cost_model, task.model.num_layers,
+        task.global_batch_size, ctx.micro_batch_candidates, ctx.all_gpu_ids,
+        materialize=materialize, incumbent=spec.incumbent,
+        enable_pruning=ctx.enable_pruning,
+    )
+    result.timing.assignment += time.perf_counter() - start
+    if lower.feasible:
+        result.feasible = True
+        result.estimated_step_time = lower.estimated_step_time
+        result.micro_batch_size = lower.micro_batch_size
+        result.candidate = lower.candidate
+        result.plan = lower.plan
+        return result
+    if lower.pruned and not lower.memory_limited:
+        result.pruned = True
+        return result
+    return None
+
+
+def _evaluate_cold(ctx: EvalContext, spec: CandidateSpec) -> CandidateResult:
+    """Cold path: full division / ordering / lower-level evaluation."""
+    task = ctx.task
+    grouping = spec.grouping
+    dp_degree = spec.dp_degree
+    result = _base_result(spec)
+    if grouping.num_groups() < dp_degree:
+        return result
+
+    materialize: object = "eager" if ctx.legacy_kernels else False
+    total_micro_batches = task.global_batch_size // task.micro_batch_size
+    max_min_groups = 1 if spec.shallow else 4
+    for min_groups in range(1, max_min_groups + 1):
+        if grouping.num_groups() < dp_degree * min_groups:
+            break
+        start = time.perf_counter()
+        division = divide_pipelines(
+            grouping.groups, ctx.rates, ctx.cost_model, dp_degree,
+            total_micro_batches, task.micro_batch_size,
+            min_groups_per_pipeline=min_groups,
+            legacy_kernels=ctx.legacy_kernels,
+            warm_start=spec.division_seed,
+        )
+        result.timing.division += time.perf_counter() - start
+        if not division.feasible:
+            continue
+
+        start = time.perf_counter()
+        ordered_pipelines = [
+            order_pipeline_groups(
+                pipeline, ctx.rates, ctx.cost_model, task.model.num_layers,
+                task.micro_batch_size, dp_degree,
+            )
+            for pipeline in division.pipelines
+        ]
+        result.timing.ordering += time.perf_counter() - start
+
+        start = time.perf_counter()
+        lower = solve_lower_level(
+            ordered_pipelines, ctx.rates, ctx.cost_model,
+            task.model.num_layers, task.global_batch_size,
+            ctx.micro_batch_candidates, ctx.all_gpu_ids,
+            materialize=materialize, incumbent=spec.incumbent,
+            enable_pruning=ctx.enable_pruning,
+        )
+        result.timing.assignment += time.perf_counter() - start
+        if lower.feasible:
+            result.feasible = True
+            result.estimated_step_time = lower.estimated_step_time
+            result.micro_batch_size = lower.micro_batch_size
+            result.candidate = lower.candidate
+            result.plan = lower.plan
+            if division.slow_groups is not None:
+                result.slow_groups = tuple(
+                    tuple(bucket) for bucket in division.slow_groups
+                )
+            return result
+        if lower.memory_limited:
+            result.memory_limited = True
+        if lower.pruned and not lower.memory_limited:
+            # Every micro-batch size was pruned against the incumbent
+            # (none failed on memory).  The bound is division-independent,
+            # so retrying with more groups per pipeline cannot beat the
+            # incumbent either; report the candidate as pruned.
+            result.pruned = True
+            return result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Process-backend worker protocol
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerState:
+    """Sweep-invariant context a worker holds between batches."""
+
+    task: TrainingTask
+    cost_model: MalleusCostModel
+    all_gpu_ids: Tuple[int, ...]
+    enable_pruning: bool
+    legacy_kernels: bool
+
+
+_WORKER: Optional[_WorkerState] = None
+
+
+def _init_worker(state: _WorkerState) -> None:
+    global _WORKER
+    _WORKER = state
+
+
+def _worker_evaluate(batch) -> List[CandidateResult]:
+    """Evaluate one batch of specs inside a pool worker.
+
+    ``batch`` is ``(rates, micro_batch_candidates, config_vars, specs)``;
+    ``config_vars`` lets a worker self-heal after an in-place calibration
+    edit in the parent, mirroring ``refresh_if_config_changed``.
+    """
+    rates, b_candidates, config_vars, specs = batch
+    state = _WORKER
+    if state is None:  # pragma: no cover - defensive
+        raise RuntimeError("sweep worker used before initialization")
+    cost_model = state.cost_model
+    if config_vars != vars(cost_model.config):
+        for key, value in config_vars.items():
+            setattr(cost_model.config, key, value)
+        cost_model.refresh_if_config_changed()
+    ctx = EvalContext(
+        task=state.task,
+        cost_model=cost_model,
+        rates=rates,
+        micro_batch_candidates=b_candidates,
+        all_gpu_ids=state.all_gpu_ids,
+        enable_pruning=state.enable_pruning,
+        legacy_kernels=state.legacy_kernels,
+    )
+    return [evaluate_candidate(ctx, spec) for spec in specs]
+
+
+class SweepExecutor:
+    """Evaluates candidate specs on the configured backend.
+
+    The ``process`` backend keeps one persistent worker pool per
+    (cost-model, knobs) context: workers are initialised once with the
+    task, the cost model (warm coefficient caches ride along) and the
+    planner knobs, then receive only ``(rates, b-candidates, config
+    fingerprint, specs)`` per batch.  Results are reassembled by entry
+    index, so the caller's fold order never depends on completion order.
+    A pool that cannot be created (no ``fork``/``spawn`` support) degrades
+    to serial evaluation.
+    """
+
+    def __init__(self, config: Optional[SweepConfig] = None):
+        self.config = config or SweepConfig()
+        self._pool = None
+        self._pool_token = None
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self) -> None:
+        """Terminate the worker pool (no-op for the serial backend)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_token = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    # -- execution -----------------------------------------------------
+    def run(self, ctx: EvalContext,
+            specs: Sequence[CandidateSpec]) -> List[CandidateResult]:
+        """Evaluate ``specs``, returning results in spec order."""
+        if not specs:
+            return []
+        if self.config.backend != "process" or len(specs) == 1:
+            return [evaluate_candidate(ctx, spec) for spec in specs]
+        pool = self._ensure_pool(ctx)
+        if pool is None:
+            return [evaluate_candidate(ctx, spec) for spec in specs]
+        workers = self.config.resolved_workers()
+        chunks: List[List[CandidateSpec]] = [[] for _ in range(workers)]
+        for i, spec in enumerate(specs):
+            chunks[i % workers].append(spec)
+        config_vars = dict(vars(ctx.cost_model.config))
+        futures = [
+            pool.submit(_worker_evaluate,
+                        (ctx.rates, ctx.micro_batch_candidates,
+                         config_vars, chunk))
+            for chunk in chunks if chunk
+        ]
+        by_entry: Dict[int, CandidateResult] = {}
+        for future in futures:
+            for result in future.result():
+                by_entry[result.entry_index] = result
+        return [by_entry[spec.entry_index] for spec in specs]
+
+    def _ensure_pool(self, ctx: EvalContext):
+        # The token holds strong references (not ids) to the objects the
+        # workers were initialised with: a pool is only reused while the
+        # caller presents the *same* task and cost-model instances, and
+        # the references keep those instances alive so a freed address can
+        # never alias a new object onto a stale pool.
+        token = (ctx.task, ctx.cost_model, ctx.all_gpu_ids,
+                 ctx.enable_pruning, ctx.legacy_kernels,
+                 self.config.resolved_workers())
+        if self._pool is not None and self._pool_token is not None and \
+                self._pool_token[0] is token[0] and \
+                self._pool_token[1] is token[1] and \
+                self._pool_token[2:] == token[2:]:
+            return self._pool
+        self.shutdown()
+        try:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else methods[0]
+            state = _WorkerState(
+                task=ctx.task,
+                cost_model=ctx.cost_model,
+                all_gpu_ids=ctx.all_gpu_ids,
+                enable_pruning=ctx.enable_pruning,
+                legacy_kernels=ctx.legacy_kernels,
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.resolved_workers(),
+                mp_context=multiprocessing.get_context(method),
+                initializer=_init_worker,
+                initargs=(state,),
+            )
+            self._pool_token = token
+        except Exception:  # pragma: no cover - platform without mp support
+            self._pool = None
+            self._pool_token = None
+        return self._pool
+
+
+# ----------------------------------------------------------------------
+# Cross-event warm-start cache
+# ----------------------------------------------------------------------
+def grouping_fingerprint(grouping: GroupingResult) -> tuple:
+    """Canonical identity of a grouping's *partition*.
+
+    Insensitive to group order and to GPU order within a group (a
+    re-grouping that merely re-sorts a group's members by their new rates
+    produces the same partition, and every consumer of a
+    :class:`~repro.parallel.plan.TPGroup` — rates, capacity, ordering —
+    treats it as a set).
+    """
+    return tuple(sorted(tuple(sorted(group.gpu_ids))
+                        for group in grouping.groups))
+
+
+def capacity_fingerprint(grouping: GroupingResult,
+                         cost_model: MalleusCostModel) -> tuple:
+    """Canonical identity of a grouping's *memory-capacity structure*.
+
+    The sorted multiset of per-group capacities — everything the memory
+    constraints can see of a grouping (``mu``/``nu``/``max_layers`` depend
+    on group capacity, pipeline shape and micro-batch size, never on
+    which GPUs form a group or on their rates).  Two groupings with equal
+    capacity fingerprints expose identical memory-feasible division
+    spaces, so memory-infeasibility evidence transfers between them.
+    """
+    return tuple(sorted(
+        cost_model.group_capacity(group.gpu_ids)
+        for group in grouping.groups
+    ))
+
+
+@dataclass
+class _CacheEntry:
+    fingerprint: tuple
+    #: Per-pipeline tuples of group gpu-id tuples (the stored division).
+    shapes: Tuple[Tuple[Tuple[int, ...], ...], ...]
+    slow_groups: Optional[Tuple[Tuple[float, ...], ...]] = None
+    #: Consecutive warm hits served since the last cold solve.
+    warm_age: int = 0
+
+
+class SolutionCache:
+    """Warm-start store for sweep candidates, keyed by ``(tp, dp)``.
+
+    Each entry remembers the winning pipeline division of the candidate's
+    last exact solve together with the **fingerprint of the grouping** it
+    was solved under.  A lookup only hits when the current grouping's
+    fingerprint matches (so any re-grouping — including every membership
+    change, which by construction alters the partition — forces a cold
+    re-solve) and every cached GPU id still exists in the current rate
+    map.  Entries are invalidated wholesale when the cost model's config
+    fingerprint changes (the same self-healing ``plan()`` performs) and
+    on explicit membership eviction.
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[int, int], _CacheEntry] = {}
+        #: Candidates whose last full-depth solve was memory-infeasible:
+        #: ``(tp, dp) -> (uses since, capacity fingerprint at mark time)``
+        #: (see :meth:`check_infeasible`).
+        self._infeasible: Dict[Tuple[int, int],
+                               Tuple[int, Optional[tuple]]] = {}
+        self._config_fingerprint: Optional[tuple] = None
+        self._counters = {
+            "hits": 0, "misses": 0, "stores": 0, "infeasible_skips": 0,
+            "stale_rejections": 0, "expirations": 0,
+            "evictions": 0, "invalidations": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- invalidation --------------------------------------------------
+    def refresh_config(self, fingerprint: tuple) -> bool:
+        """Drop everything when the calibration config changed in place."""
+        if self._config_fingerprint is None:
+            self._config_fingerprint = fingerprint
+            return False
+        if fingerprint == self._config_fingerprint:
+            return False
+        self._entries.clear()
+        self._infeasible.clear()
+        self._config_fingerprint = fingerprint
+        self._counters["invalidations"] += 1
+        return True
+
+    def evict_membership_change(self) -> None:
+        """Evict every entry (a GPU failed or joined).
+
+        The fingerprint guard already makes a stale hit impossible — a
+        grouping that lost or gained a GPU cannot reproduce the cached
+        fingerprint — but membership events change the feasible set
+        itself, so the divisions are worthless and holding them only
+        risks confusion.
+        """
+        if self._entries:
+            self._counters["evictions"] += len(self._entries)
+        self._entries.clear()
+        self._infeasible.clear()
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self._infeasible.clear()
+        for key in self._counters:
+            self._counters[key] = 0
+        self._config_fingerprint = None
+
+    # -- lookup / store ------------------------------------------------
+    def lookup(self, tp_limit: int, dp_degree: int, grouping: GroupingResult,
+               rates: Dict[int, float], max_warm_age: int = 0,
+               fingerprint: Optional[tuple] = None):
+        """Warm pipelines + division seed for a candidate, or ``None``.
+
+        Returns ``(warm_pipelines, division_seed)`` where
+        ``warm_pipelines`` is a tuple of per-pipeline
+        :class:`~repro.parallel.plan.TPGroup` tuples built from the
+        *current* grouping's group objects (the stored shapes identify
+        groups as GPU-id sets; re-using the live groups keeps warm plans
+        representationally identical to cold ones even when a re-sort
+        changed the member order inside a group).  With a positive
+        ``max_warm_age`` an entry that already served that many
+        consecutive warm hits is reported as a miss (forcing a cold
+        re-solve that re-anchors the division); the ``division_seed`` of
+        the aged entry is still returned via the miss sentinel
+        ``(None, seed)`` so the cold solve can warm-start its fallback
+        local search.
+        """
+        entry = self._entries.get((tp_limit, dp_degree))
+        if fingerprint is None:
+            fingerprint = grouping_fingerprint(grouping)
+        if entry is None:
+            self._counters["misses"] += 1
+            return None
+        for pipeline in entry.shapes:
+            for gpu_ids in pipeline:
+                for gpu in gpu_ids:
+                    if gpu not in rates:
+                        # A cached division must never be served for a
+                        # departed GPU; purge the entry outright.
+                        del self._entries[(tp_limit, dp_degree)]
+                        self._counters["stale_rejections"] += 1
+                        self._counters["misses"] += 1
+                        return None
+        if max_warm_age > 0 and entry.warm_age >= max_warm_age:
+            self._counters["expirations"] += 1
+            self._counters["misses"] += 1
+            return None, entry.slow_groups
+        if entry.fingerprint != fingerprint:
+            # The partition changed (a group change re-formed some
+            # groups): the stored division cannot be replayed, but its
+            # slow-bucket seed may still help the cold solve (the
+            # division solver discards structurally incompatible seeds).
+            self._counters["misses"] += 1
+            return None, entry.slow_groups
+        by_members: Dict[frozenset, TPGroup] = {
+            frozenset(group.gpu_ids): group for group in grouping.groups
+        }
+        warm = []
+        for pipeline in entry.shapes:
+            groups = []
+            for gpu_ids in pipeline:
+                group = by_members.get(frozenset(gpu_ids))
+                if group is None:
+                    # The division references a group the grouping no
+                    # longer contains (cannot happen while the fingerprint
+                    # matches, but a stale entry must never win by crash).
+                    self._counters["misses"] += 1
+                    return None
+                groups.append(group)
+            warm.append(tuple(groups))
+        self._counters["hits"] += 1
+        return tuple(warm), entry.slow_groups
+
+    # -- infeasibility memo --------------------------------------------
+    def check_infeasible(self, tp_limit: int, dp_degree: int,
+                         max_warm_age: int,
+                         capacities: Optional[tuple] = None):
+        """How a remembered memory-infeasible candidate may be treated.
+
+        Returns ``"skip"`` (the candidate need not be solved at all),
+        ``"shallow"`` (re-check cold but without the min-groups retry
+        loop), or ``None`` (no memo — full solve).  The decision keys on
+        the grouping's :func:`capacity_fingerprint`: memory feasibility is
+        a function of the per-group capacity multiset alone (rates only
+        steer *which* division the heuristic solver tries), so
+
+        * an **unchanged** capacity structure means the earlier memory
+          evidence still applies — skip;
+        * a **changed** structure (a group change or a recovery re-formed
+          the groups) may have changed what fits — re-check under the
+          current rates, but shallowly: the deeper min-groups retries the
+          memo already proved futile cost the bulk of an infeasible
+          candidate's solve.
+
+        "Function of the capacity multiset" holds for the feasible
+        *space*; the solver explores it heuristically, so the skip stays
+        evidence-based rather than a proof — every use ages the entry and
+        after ``max_warm_age`` uses the candidate is re-solved at full
+        depth (ages advance deterministically, keeping the re-check
+        schedule worker-count independent).
+        """
+        memo = self._infeasible.get((tp_limit, dp_degree))
+        if memo is None:
+            return None
+        age, marked_capacities = memo
+        if max_warm_age > 0 and age >= max_warm_age:
+            del self._infeasible[(tp_limit, dp_degree)]
+            self._counters["expirations"] += 1
+            return None
+        self._infeasible[(tp_limit, dp_degree)] = (age + 1, marked_capacities)
+        self._counters["infeasible_skips"] += 1
+        if capacities is not None and capacities == marked_capacities:
+            return "skip"
+        return "shallow"
+
+    def mark_infeasible(self, tp_limit: int, dp_degree: int,
+                        capacities: Optional[tuple] = None) -> None:
+        """Remember that a full-depth solve hit memory infeasibility."""
+        self._infeasible[(tp_limit, dp_degree)] = (0, capacities)
+
+    def clear_infeasible(self, tp_limit: int, dp_degree: int) -> None:
+        self._infeasible.pop((tp_limit, dp_degree), None)
+
+    def store(self, tp_limit: int, dp_degree: int, fingerprint: tuple,
+              pipelines_groups: Sequence[Sequence[TPGroup]],
+              slow_groups: Optional[Tuple[Tuple[float, ...], ...]] = None,
+              warm: bool = False) -> None:
+        """Remember a candidate's winning division for the next event.
+
+        ``slow_groups`` (cold solves only) seeds the division solver's
+        fallback local search next time the cold path runs; a warm-solve
+        store (``warm=True``) keeps the previous seed — whose rate
+        multiset is closest to the division actually kept — and advances
+        the entry's warm age toward ``SweepConfig.max_warm_age``.
+        """
+        shapes = tuple(
+            tuple(tuple(group.gpu_ids) for group in pipeline)
+            for pipeline in pipelines_groups
+        )
+        previous = self._entries.get((tp_limit, dp_degree))
+        warm_age = 0
+        if warm:
+            warm_age = previous.warm_age + 1 if previous is not None else 1
+            if slow_groups is None and previous is not None:
+                slow_groups = previous.slow_groups
+        self._entries[(tp_limit, dp_degree)] = _CacheEntry(
+            fingerprint=fingerprint, shapes=shapes, slow_groups=slow_groups,
+            warm_age=warm_age,
+        )
+        self._counters["stores"] += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Size plus hit/miss/store/eviction counters."""
+        return {"size": len(self._entries),
+                "infeasible": len(self._infeasible), **self._counters}
+
+
+# ----------------------------------------------------------------------
+# Sweep loop (shared by MalleusPlanner.plan and ReplanEngine._solve_repair)
+# ----------------------------------------------------------------------
+@dataclass
+class SweepEntry:
+    """One (grouping, dp) candidate of a sweep, with its sound bound."""
+
+    bound: float
+    entry_index: int
+    grouping: GroupingResult
+    dp_degree: int
+
+
+@dataclass
+class SweepSeed:
+    """An already-solved candidate seeding the sweep (the warm repair).
+
+    Participates with entry index ``-1``: it wins every tie, which is the
+    replan engine's historical contract (keeping the incumbent layout is
+    free, a fresh identical-step-time layout is not).
+    """
+
+    step_time: float
+    candidate: PlanCandidate
+    micro_batch_size: int
+    tp_limit: int
+    dp_degree: int
+    grouping: Optional[GroupingResult] = None
+
+
+@dataclass
+class Finalist:
+    """One solved candidate of a transition-aware sweep."""
+
+    step_time: float
+    seconds: float
+    order: int
+    candidate: PlanCandidate
+    micro_batch_size: int
+    tp_limit: int
+    dp_degree: int
+    grouping: Optional[GroupingResult]
+    estimate: object
+    plan: Optional[ParallelizationPlan] = None
+
+
+@dataclass
+class SweepStats:
+    """What one sweep did (reported per event on ``Adjustment``)."""
+
+    backend: str = "serial"
+    workers: int = 1
+    candidates: int = 0
+    evaluated: int = 0
+    pruned: int = 0
+    warm_hits: int = 0
+    warm_misses: int = 0
+    contender_resolves: int = 0
+    infeasible_skips: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "candidates": self.candidates,
+            "evaluated": self.evaluated,
+            "pruned": self.pruned,
+            "warm_hits": self.warm_hits,
+            "warm_misses": self.warm_misses,
+            "contender_resolves": self.contender_resolves,
+            "infeasible_skips": self.infeasible_skips,
+        }
+
+
+@dataclass
+class SweepOutcome:
+    """Winner and bookkeeping of one sweep."""
+
+    records: List[CandidateRecord] = field(default_factory=list)
+    step_time: float = math.inf
+    candidate: Optional[PlanCandidate] = None
+    plan: Optional[ParallelizationPlan] = None
+    micro_batch_size: int = 0
+    tp_limit: int = 0
+    dp_degree: int = 0
+    grouping: Optional[GroupingResult] = None
+    entry_index: int = -1
+    transition: Optional[object] = None
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    @property
+    def feasible(self) -> bool:
+        return self.candidate is not None
+
+
+def select_transition_winner(finalists: Sequence[Finalist],
+                             best_pure: float, config) -> Finalist:
+    """Pick the transition-aware winner among the solved finalists.
+
+    Only candidates whose **amortized score** ``step + migration /
+    horizon_steps`` lies within ``epsilon`` of the best pure step time
+    compete (in ``tie_break_only`` mode: exact step-time ties only).
+    Within that window the objective is minimal disruption: the smallest
+    estimated migration time wins, equal-migration candidates are ordered
+    by the amortized score, and remaining ties resolve to the smallest
+    order index — a warm repair seeded at order ``-1`` therefore wins
+    every tie.  When nothing fits the window the pure step-time winner is
+    kept, so enabling transitions never regresses the step time beyond
+    ``epsilon``.
+    """
+    best_entry: Optional[Finalist] = None
+    best_key = (math.inf, math.inf, math.inf)
+    fallback: Optional[Finalist] = None
+    fallback_key = (math.inf, math.inf)
+    for entry in finalists:
+        if (entry.step_time, entry.order) < fallback_key:
+            fallback, fallback_key = entry, (entry.step_time, entry.order)
+        score = entry.step_time + entry.seconds / config.horizon_steps
+        if config.tie_break_only:
+            if entry.step_time > best_pure + 1e-12:
+                continue
+            key = (entry.step_time, entry.seconds, entry.order)
+        else:
+            if score > best_pure * (1.0 + config.epsilon) + 1e-12:
+                continue
+            key = (entry.seconds, score, entry.order)
+        wins = best_entry is None or key[0] < best_key[0] - 1e-12
+        if not wins and abs(key[0] - best_key[0]) <= 1e-12:
+            wins = key[1] < best_key[1] - 1e-12
+            if not wins and abs(key[1] - best_key[1]) <= 1e-12:
+                wins = key[2] < best_key[2]
+        if wins:
+            best_entry, best_key = entry, key
+    return best_entry if best_entry is not None else fallback
+
+
+class _SweepState:
+    """Fold-in-order accumulator shared by the dynamic and static loops."""
+
+    def __init__(self, ctx: EvalContext, scorer, seed: Optional[SweepSeed],
+                 tie_break: str, cache: Optional[SolutionCache],
+                 cache_on: bool, breakdown: PlanningTimeBreakdown,
+                 stats: SweepStats):
+        self.ctx = ctx
+        self.scorer = scorer
+        self.tie_break = tie_break
+        self.cache = cache
+        self.cache_on = cache_on
+        self.breakdown = breakdown
+        self.stats = stats
+        self.windowed = scorer is not None and not scorer.config.tie_break_only
+        self.records: Dict[int, CandidateRecord] = {}
+        self.finalists: List[Finalist] = []
+        self.best_pure = math.inf
+        self.best_step = math.inf
+        self.best: Optional[SweepOutcome] = None
+        self.best_order = math.inf
+        if seed is not None:
+            self.best_pure = seed.step_time
+            self.best_step = seed.step_time
+            self.best_order = -1
+            self.best = SweepOutcome(
+                step_time=seed.step_time, candidate=seed.candidate,
+                micro_batch_size=seed.micro_batch_size,
+                tp_limit=seed.tp_limit, dp_degree=seed.dp_degree,
+                grouping=seed.grouping, entry_index=-1,
+            )
+            if scorer is not None:
+                estimate = scorer.estimate(seed.candidate)
+                self.finalists.append(Finalist(
+                    step_time=seed.step_time,
+                    seconds=scorer.charge(estimate),
+                    order=-1,
+                    candidate=seed.candidate,
+                    micro_batch_size=seed.micro_batch_size,
+                    tp_limit=seed.tp_limit,
+                    dp_degree=seed.dp_degree,
+                    grouping=seed.grouping,
+                    estimate=estimate,
+                ))
+            if self.cache_on and seed.grouping is not None:
+                self.cache.store(
+                    seed.tp_limit, seed.dp_degree,
+                    grouping_fingerprint(seed.grouping),
+                    seed.candidate.pipelines_groups,
+                )
+
+    # -- cutoffs -------------------------------------------------------
+    def cutoff(self) -> float:
+        """Pruning cutoff under the current incumbent."""
+        if self.windowed:
+            return self.best_pure * (1.0 + self.scorer.config.epsilon)
+        if self.scorer is not None:
+            return self.best_pure
+        return self.best_step
+
+    def prunes(self, entry: SweepEntry) -> bool:
+        """Sound sweep-level pruning decision for one entry."""
+        cutoff = self.cutoff()
+        if entry.bound > cutoff + 1e-12:
+            return True
+        if self.windowed:
+            # Transition term of the lower bound: the window is defined
+            # on the amortized score (step + migration / horizon), so a
+            # candidate whose step-time bound plus the provable
+            # migration-time floor exceeds the window limit can never
+            # enter it; requiring the step bound to also exceed the best
+            # pure step time guarantees the candidate cannot shrink the
+            # window either.
+            floor = self.scorer.floor(entry.grouping)
+            if floor > 0.0 and entry.bound > self.best_pure + 1e-12 and \
+                    entry.bound + floor > cutoff + 1e-12:
+                return True
+        return False
+
+    # -- folding -------------------------------------------------------
+    def record_pruned(self, entry: SweepEntry) -> None:
+        self.stats.pruned += 1
+        self.records[entry.entry_index] = CandidateRecord(
+            tp_limit=entry.grouping.tp_limit,
+            dp_degree=entry.dp_degree,
+            estimated_step_time=math.inf,
+            feasible=False,
+            num_groups=entry.grouping.num_groups(),
+            isolated_gpus=list(entry.grouping.isolated_gpus),
+            pruned=True,
+            lower_bound=entry.bound,
+        )
+
+    def fold(self, entry: SweepEntry, result: CandidateResult,
+             refold: bool = False) -> None:
+        """Fold one evaluation into the records and the incumbent.
+
+        ``refold=True`` marks a contender re-solve of an entry already
+        folded this sweep: the evaluation counter is not incremented
+        again (``contender_resolves`` accounts for the extra solve).
+        """
+        if not refold:
+            self.stats.evaluated += 1
+        if result.warm_used:
+            self.stats.warm_hits += 1
+        timing = result.timing
+        self.breakdown.division += timing.division
+        self.breakdown.ordering += timing.ordering
+        self.breakdown.assignment += timing.assignment
+        record = CandidateRecord(
+            tp_limit=result.tp_limit,
+            dp_degree=result.dp_degree,
+            estimated_step_time=result.estimated_step_time,
+            feasible=result.feasible,
+            num_groups=result.num_groups,
+            isolated_gpus=result.isolated_gpus,
+            pruned=result.pruned,
+            lower_bound=entry.bound,
+        )
+        self.records[entry.entry_index] = record
+        if not result.feasible:
+            if self.cache_on and result.memory_limited and \
+                    not result.shallow:
+                # The full-depth solve produced *memory* evidence (never a
+                # bound prune or a structural/division failure); remember
+                # it so the next sweeps skip or shallow-check the
+                # candidate.  Shallow confirmations never re-anchor the
+                # memo, so its age keeps advancing toward the full-depth
+                # re-check.
+                self.cache.mark_infeasible(
+                    result.tp_limit, result.dp_degree,
+                    capacities=capacity_fingerprint(entry.grouping,
+                                                    self.ctx.cost_model),
+                )
+            return
+        if self.cache_on:
+            self.cache.clear_infeasible(result.tp_limit, result.dp_degree)
+            self.cache.store(
+                result.tp_limit, result.dp_degree,
+                grouping_fingerprint(entry.grouping),
+                result.candidate.pipelines_groups,
+                slow_groups=result.slow_groups,
+                warm=result.warm_used,
+            )
+        step_time = result.estimated_step_time
+        if self.scorer is not None:
+            estimate = self.scorer.estimate(result.candidate)
+            charged = self.scorer.charge(estimate)
+            record.transition_seconds = charged
+            self.finalists.append(Finalist(
+                step_time=step_time,
+                seconds=charged,
+                order=entry.entry_index,
+                candidate=result.candidate,
+                micro_batch_size=result.micro_batch_size,
+                tp_limit=result.tp_limit,
+                dp_degree=result.dp_degree,
+                grouping=entry.grouping,
+                estimate=estimate,
+                plan=result.plan,
+            ))
+            if step_time < self.best_pure:
+                self.best_pure = step_time
+            return
+        wins = step_time < self.best_step - 1e-12
+        if not wins and self.tie_break == "entry_index" and \
+                abs(step_time - self.best_step) <= 1e-12:
+            wins = entry.entry_index < self.best_order
+        if wins:
+            self.best_step = step_time
+            self.best_order = entry.entry_index
+            self.best = SweepOutcome(
+                step_time=step_time,
+                candidate=result.candidate,
+                plan=result.plan,
+                micro_batch_size=result.micro_batch_size,
+                tp_limit=result.tp_limit,
+                dp_degree=result.dp_degree,
+                grouping=entry.grouping,
+                entry_index=entry.entry_index,
+            )
+
+    # -- finish --------------------------------------------------------
+    def outcome(self, entries: Sequence[SweepEntry]) -> SweepOutcome:
+        if self.scorer is not None and self.finalists:
+            winner = select_transition_winner(
+                self.finalists, self.best_pure, self.scorer.config)
+            self.best = SweepOutcome(
+                step_time=winner.step_time,
+                candidate=winner.candidate,
+                plan=winner.plan,
+                micro_batch_size=winner.micro_batch_size,
+                tp_limit=winner.tp_limit,
+                dp_degree=winner.dp_degree,
+                grouping=winner.grouping,
+                entry_index=winner.order,
+                transition=winner.estimate,
+            )
+        outcome = self.best if self.best is not None else SweepOutcome()
+        outcome.records = [
+            self.records[entry.entry_index] for entry in entries
+            if entry.entry_index in self.records
+        ]
+        outcome.stats = self.stats
+        return outcome
+
+
+def run_sweep(
+    entries: Sequence[SweepEntry],
+    ctx: EvalContext,
+    executor: SweepExecutor,
+    *,
+    breakdown: PlanningTimeBreakdown,
+    scorer=None,
+    seed: Optional[SweepSeed] = None,
+    tie_break: str = "entry_index",
+    prune: bool = True,
+    cache: Optional[SolutionCache] = None,
+) -> SweepOutcome:
+    """Run one bound-ordered (tp, dp) candidate sweep.
+
+    ``entries`` must already be in evaluation order (ascending bound when
+    ``prune`` is on — the callers sort exactly as before).  ``seed`` is an
+    already-solved incumbent candidate (the replan engine's warm repair);
+    ``tie_break`` is ``"entry_index"`` (equal step times resolve to the
+    smallest enumeration index — the planner's rule) or ``"strict"`` (only
+    strict improvements replace the incumbent — the repair rule, under
+    which the seed keeps every tie).  See the module docstring for the
+    serial-dynamic versus static-rounds execution contract.
+    """
+    config = executor.config
+    cache_on = bool(config.warm_cache) and cache is not None
+    if cache_on:
+        cache.refresh_config(ctx.cost_model.config_fingerprint())
+    stats = SweepStats(
+        backend=config.backend,
+        workers=(config.resolved_workers()
+                 if config.backend == "process" else 1),
+        candidates=len(entries) + (1 if seed is not None else 0),
+    )
+    state = _SweepState(ctx, scorer, seed, tie_break, cache, cache_on,
+                        breakdown, stats)
+
+    dynamic = config.backend == "serial" and not cache_on
+    if dynamic:
+        for entry in entries:
+            if prune and state.prunes(entry):
+                state.record_pruned(entry)
+                continue
+            spec = CandidateSpec(
+                entry_index=entry.entry_index,
+                dp_degree=entry.dp_degree,
+                grouping=entry.grouping,
+                incumbent=state.cutoff(),
+            )
+            state.fold(entry, evaluate_candidate(ctx, spec))
+        return state.outcome(entries)
+
+    # Static rounds: warm hits, then a pilot (when no incumbent exists),
+    # then the cold remainder — each round's composition is a function of
+    # the inputs alone, so the solve set (and with it the cache evolution
+    # and the winner) is identical for every backend/worker combination.
+    warm_round: List[Tuple[SweepEntry, CandidateSpec]] = []
+    cold_entries: List[Tuple[SweepEntry, Optional[tuple], bool]] = []
+    # Fingerprints are per *grouping*, shared by all its dp entries —
+    # compute each at most once per sweep (capacity ones lazily: they are
+    # only needed on memo consultations).
+    fingerprints: Dict[int, tuple] = {}
+    capacity_fps: Dict[int, tuple] = {}
+
+    def fingerprint_of(grouping: GroupingResult) -> tuple:
+        key = id(grouping)
+        cached = fingerprints.get(key)
+        if cached is None:
+            cached = grouping_fingerprint(grouping)
+            fingerprints[key] = cached
+        return cached
+
+    def capacity_fp_of(grouping: GroupingResult) -> tuple:
+        key = id(grouping)
+        cached = capacity_fps.get(key)
+        if cached is None:
+            cached = capacity_fingerprint(grouping, ctx.cost_model)
+            capacity_fps[key] = cached
+        return cached
+
+    for entry in entries:
+        if prune and state.prunes(entry):
+            # Bound-pruned against the starting incumbent: skip before
+            # any memo/cache work (and before the memo ages).
+            state.record_pruned(entry)
+            continue
+        hit = None
+        shallow = False
+        if cache_on:
+            hit = cache.lookup(
+                entry.grouping.tp_limit, entry.dp_degree,
+                entry.grouping, ctx.rates,
+                max_warm_age=config.max_warm_age,
+                fingerprint=fingerprint_of(entry.grouping),
+            )
+            if hit is None or hit[0] is None:
+                # No replayable division: consult the infeasibility memo.
+                # An unchanged capacity structure lets the candidate be
+                # skipped outright; a changed one (group change, recovery)
+                # still gets a fresh cold re-check under the current
+                # rates, just without the deeper min-groups retries the
+                # memo proved futile (the retry loop dominates infeasible
+                # candidates' cost); the memo ages out after max_warm_age
+                # uses, forcing a periodic full-depth re-solve.
+                verdict = cache.check_infeasible(
+                    entry.grouping.tp_limit, entry.dp_degree,
+                    config.max_warm_age,
+                    capacities=capacity_fp_of(entry.grouping),
+                )
+                if verdict is not None:
+                    stats.infeasible_skips += 1
+                if verdict == "skip":
+                    # pruned=True: like a bound prune, the candidate is
+                    # reported infeasible without having been solved
+                    # exactly this sweep (the evidence is the memo's).
+                    state.records[entry.entry_index] = CandidateRecord(
+                        tp_limit=entry.grouping.tp_limit,
+                        dp_degree=entry.dp_degree,
+                        estimated_step_time=math.inf,
+                        feasible=False,
+                        num_groups=entry.grouping.num_groups(),
+                        isolated_gpus=list(entry.grouping.isolated_gpus),
+                        pruned=True,
+                        lower_bound=entry.bound,
+                    )
+                    continue
+                shallow = verdict == "shallow"
+        if hit is None or hit[0] is None:
+            # Miss, or an aged entry due for a cold re-anchor (the miss
+            # sentinel still carries the division seed).
+            if cache_on:
+                stats.warm_misses += 1
+            cold_entries.append((entry, hit[1] if hit else None, shallow))
+            continue
+        warm_pipelines, division_seed = hit
+        warm_round.append((entry, CandidateSpec(
+            entry_index=entry.entry_index,
+            dp_degree=entry.dp_degree,
+            grouping=entry.grouping,
+            warm_pipelines=warm_pipelines,
+            division_seed=division_seed,
+        )))
+
+    def run_round(batch: List[Tuple[SweepEntry, CandidateSpec]]):
+        cutoff = state.cutoff()
+        survivors: List[Tuple[SweepEntry, CandidateSpec]] = []
+        for entry, spec in batch:
+            if prune and state.prunes(entry):
+                state.record_pruned(entry)
+                continue
+            spec.incumbent = cutoff
+            survivors.append((entry, spec))
+        results = executor.run(ctx, [spec for _, spec in survivors])
+        folded = []
+        for (entry, _), result in zip(survivors, results):
+            state.fold(entry, result)
+            folded.append((entry, result))
+        return folded
+
+    warm_folded = run_round(warm_round)
+    if prune and math.isinf(state.cutoff()) and cold_entries:
+        # Pilot: establish an incumbent with the lowest-bound candidate so
+        # the cold round keeps the sweep's pruning power.
+        pilot, pilot_seed, pilot_shallow = cold_entries.pop(0)
+        run_round([(pilot, CandidateSpec(
+            entry_index=pilot.entry_index, dp_degree=pilot.dp_degree,
+            grouping=pilot.grouping, division_seed=pilot_seed,
+            shallow=pilot_shallow,
+        ))])
+    run_round([
+        (entry, CandidateSpec(
+            entry_index=entry.entry_index, dp_degree=entry.dp_degree,
+            grouping=entry.grouping, division_seed=seed_buckets,
+            shallow=shallow,
+        ))
+        for entry, seed_buckets, shallow in cold_entries
+    ])
+
+    # Contender re-solve: a warm representative whose step time lands
+    # within the resolve margin of the best step seen could owe its rank
+    # to division drift; re-solve those candidates cold (the contender
+    # set depends only on folded values, so the pass — like every round —
+    # is deterministic).  A cold solve that improves on its warm twin
+    # re-folds (re-anchoring the cache entry); under transition-aware
+    # scoring both versions stay in the finalist pool — the stale-but-
+    # cheaper-to-reach division and the fresh one are both real plans.
+    if config.resolve_margin > 0 and warm_folded:
+        reference = min(state.best_pure, state.best_step)
+        if math.isfinite(reference):
+            threshold = reference * (1.0 + config.resolve_margin) + 1e-12
+            contenders = [
+                (entry, result) for entry, result in warm_folded
+                if result.feasible and result.warm_used
+                and result.estimated_step_time <= threshold
+            ]
+            if contenders:
+                cutoff = state.cutoff()
+                results = executor.run(ctx, [
+                    CandidateSpec(
+                        entry_index=entry.entry_index,
+                        dp_degree=entry.dp_degree,
+                        grouping=entry.grouping,
+                        incumbent=cutoff,
+                    )
+                    for entry, _ in contenders
+                ])
+                for (entry, warm_result), cold_result in zip(contenders,
+                                                             results):
+                    stats.contender_resolves += 1
+                    if not cold_result.feasible:
+                        continue
+                    if scorer is not None or \
+                            cold_result.estimated_step_time < \
+                            warm_result.estimated_step_time - 1e-12:
+                        state.fold(entry, cold_result, refold=True)
+    return state.outcome(entries)

@@ -44,8 +44,10 @@ from ..cluster.topology import Cluster, make_cluster
 from ..cluster.trace import paper_situation
 from ..core.costmodel import MalleusCostModel
 from ..core.planner import MalleusPlanner, PlanningResult
+from ..core.sweep import SweepConfig
 from ..models.presets import paper_task
 from ..models.spec import TrainingTask
+from ..runtime.replan import ReplanEngine
 from ..solvers.minmax import clear_minmax_cache
 from .common import format_table, paper_workload
 from .planning_scalability import _scaled_straggler_rates
@@ -167,6 +169,47 @@ def _timed_incremental(task: TrainingTask, cluster: Cluster,
     return full_best, inc_best, repaired, within
 
 
+def _timed_warm_sweep(task: TrainingTask, cluster: Cluster,
+                      rates: Dict[int, float], shifted: Dict[int, float],
+                      repeats: int, epsilon: float = 0.01,
+                      ) -> Tuple[float, float, float, bool]:
+    """Cold vs warm-cache repair sweep for one ``group_change`` event.
+
+    The 64-GPU regime is where the repair sweep hurts most: the bounds
+    cannot prune (every candidate's bound sits below the incumbent), so a
+    ``group_change`` sweep re-solves almost the full candidate set.  The
+    warm arm runs the same repair with ``SweepConfig(warm_cache=True)``:
+    unchanged-grouping candidates replay their cached division and known-
+    infeasible candidates are skipped outright (both primed by the initial
+    plan), while near-winner representatives are re-solved cold by the
+    contender pass.  Each repeat rebuilds the planner and re-primes the
+    cache untimed, so the timed repair never rides a previous repeat's
+    entries.  Returns ``(cold_seconds, warm_seconds, warm_step, within)``.
+    """
+    def one(sweep_config) -> Tuple[float, float]:
+        best = float("inf")
+        step = float("inf")
+        for _ in range(repeats):
+            clear_minmax_cache()
+            planner = MalleusPlanner(
+                task, cluster, MalleusCostModel(task.model, cluster),
+                sweep_config=sweep_config,
+            )
+            engine = ReplanEngine(planner)
+            context = planner.plan(rates).context
+            start = time.perf_counter()
+            outcome = engine.repair(context, shifted)
+            best = min(best, time.perf_counter() - start)
+            step = outcome.result.estimated_step_time
+            planner.close()
+        return best, step
+
+    cold_seconds, cold_step = one(SweepConfig())
+    warm_seconds, warm_step = one(SweepConfig(warm_cache=True))
+    within = abs(warm_step / cold_step - 1.0) <= epsilon
+    return cold_seconds, warm_seconds, warm_step, within
+
+
 def run_planner_hotpath(repeats: int = 2,
                         large_num_gpus: int = 1024,
                         large_batch_size: int = 1024,
@@ -219,6 +262,27 @@ def run_planner_hotpath(repeats: int = 2,
         speedup=before_s / after_s if after_s > 0 else float("inf"),
         estimated_step_time=after.estimated_step_time,
         plans_identical=_plan_signature(before) == _plan_signature(after),
+    ))
+
+    # Warm-cache sweep row: a group_change event at 64 GPUs (the regime
+    # where the bounds cannot prune, so the repair sweep re-solves nearly
+    # every candidate) — cold sweep vs SweepConfig(warm_cache=True), full
+    # DP enumeration.  GPU 17 turning into a straggler re-forms its node's
+    # groups at every TP limit, exercising the cache's fingerprint guard,
+    # the infeasibility memo and the contender re-solve together.
+    shifted = dict(rates)
+    shifted[17] = 2.6
+    cold_s, warm_s, warm_step, within = _timed_warm_sweep(
+        workload.task, workload.cluster, rates, shifted, repeats=repeats,
+    )
+    rows.append(HotpathRow(
+        scenario="64 GPUs (warm-cache sweep)",
+        num_gpus=workload.num_gpus,
+        before_seconds=cold_s,
+        after_seconds=warm_s,
+        speedup=cold_s / warm_s if warm_s > 0 else float("inf"),
+        estimated_step_time=warm_step,
+        plans_identical=within,
     ))
 
     # Incremental-repair rows: full warm re-plan vs plan_incremental for a

@@ -12,20 +12,37 @@ incremental re-planning engine on each large-cluster scenario: after the
 full plan, one straggler's rate shifts by 20% (a ``minor_rate_shift``) and
 the row records how long ``plan_incremental`` takes to repair the
 incumbent versus the full re-plan the runtime would otherwise pay.
+
+Preset sweep (PR 5)
+-------------------
+:func:`run_preset_scalability` drives the repair engine through *generated*
+straggler traces (:mod:`repro.cluster.scenarios` presets) at 512-8192 GPU
+scale under several sweep-engine configurations — serial vs process
+backend, cold vs warm-start cache — recording per-event winner step times
+(fully deterministic: the gate baseline pins them) and cumulative repair
+latency.  ``python -m repro.experiments.planning_scalability --gate``
+compares a fresh run against the committed baseline
+(``benchmarks/baselines/BENCH_preset_scalability.json``): every
+configuration must select bit-identical winners, event for event.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import random
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cluster.scenarios import generate_trace
 from ..cluster.topology import make_cluster
 from ..cluster.trace import paper_situation
 from ..core.costmodel import MalleusCostModel
 from ..core.planner import MalleusPlanner, PlanningTimeBreakdown
+from ..core.sweep import SweepConfig
 from ..models.presets import paper_task
+from ..runtime.replan import ReplanEngine
 from ..solvers.minmax import clear_minmax_cache
 from .common import format_table, paper_workload
 
@@ -181,6 +198,276 @@ def run_planning_scalability(
     return PlanningScalabilityResult(rows=rows)
 
 
+# ----------------------------------------------------------------------
+# Generated-trace preset sweep across sweep-engine configurations (PR 5)
+# ----------------------------------------------------------------------
+#: Sweep-engine arms every preset/scale pair is driven through.
+PRESET_SWEEP_CONFIGS: Tuple[Tuple[str, SweepConfig], ...] = (
+    ("serial-cold", SweepConfig()),
+    ("serial-warm", SweepConfig(backend="serial", warm_cache=True)),
+    ("process-warm", SweepConfig(backend="process", workers=2,
+                                 warm_cache=True)),
+)
+
+
+@dataclass
+class PresetSweepRow:
+    """One (preset, scale, sweep-config) arm of the generated-trace study."""
+
+    preset: str
+    num_gpus: int
+    config: str
+    events: int
+    #: Deterministic winner step time per repaired event (the gate pins
+    #: these; identical across configs by the sweep's determinism
+    #: contract, up to the warm cache's epsilon-bounded drift — measured
+    #: zero on the gated presets).
+    event_steps: List[float] = field(default_factory=list)
+    #: Event kind/tier labels, parallel to ``event_steps``.
+    event_kinds: List[str] = field(default_factory=list)
+    initial_plan_seconds: float = 0.0
+    repair_seconds: float = 0.0
+    warm_hits: int = 0
+    warm_misses: int = 0
+    evaluated: int = 0
+
+    def as_dict(self) -> Dict:
+        return asdict(self)
+
+
+@dataclass
+class PresetScalabilityResult:
+    """All arms of the preset sweep."""
+
+    rows: List[PresetSweepRow]
+
+    def row(self, preset: str, num_gpus: int, config: str) -> PresetSweepRow:
+        for row in self.rows:
+            if (row.preset, row.num_gpus, row.config) == \
+                    (preset, num_gpus, config):
+                return row
+        raise KeyError((preset, num_gpus, config))
+
+    def arms(self) -> List[Tuple[str, int]]:
+        seen = []
+        for row in self.rows:
+            key = (row.preset, row.num_gpus)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def winners_identical(self, preset: str, num_gpus: int,
+                          rel_tol: float = 1e-9) -> bool:
+        """Whether every config arm picked the same winner on every event."""
+        rows = [row for row in self.rows
+                if (row.preset, row.num_gpus) == (preset, num_gpus)]
+        if not rows:
+            return False
+        reference = rows[0].event_steps
+        for row in rows[1:]:
+            if len(row.event_steps) != len(reference):
+                return False
+            for a, b in zip(reference, row.event_steps):
+                if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12):
+                    return False
+        return True
+
+
+def run_preset_scalability(
+    presets: Sequence[str] = ("frequent-small-events",),
+    scales: Sequence[int] = (512,),
+    num_events: int = 8,
+    seed: int = 1,
+    batch_size: int = 1024,
+    configs: Sequence[Tuple[str, SweepConfig]] = PRESET_SWEEP_CONFIGS,
+) -> PresetScalabilityResult:
+    """Drive generated straggler traces through the sweep-engine arms.
+
+    Every (preset, scale) pair generates one seeded trace (110B task, TP
+    pinned to 8 as in the Table-5 large-cluster rows, DP re-enumerated so
+    the sweep has real candidates) and replays it through each
+    configuration with a fresh planner; rows record per-event winner step
+    times, repair latency and warm-cache activity.
+    """
+    rows: List[PresetSweepRow] = []
+    for preset in presets:
+        for num_gpus in scales:
+            cluster = make_cluster(num_nodes=num_gpus // 8, gpus_per_node=8)
+            task = paper_task("110b", global_batch_size=batch_size)
+            trace = generate_trace(cluster, preset, seed=seed,
+                                   num_situations=num_events)
+            rates_seq = [s.rate_map(cluster) for s in trace.situations]
+            for name, sweep_config in configs:
+                clear_minmax_cache()
+                planner = MalleusPlanner(
+                    task, cluster, MalleusCostModel(task.model, cluster),
+                    tp_candidates=(8,), sweep_config=sweep_config,
+                )
+                engine = ReplanEngine(planner)
+                row = PresetSweepRow(
+                    preset=preset, num_gpus=num_gpus, config=name,
+                    events=len(rates_seq) - 1,
+                )
+                start = time.perf_counter()
+                context = planner.plan(rates_seq[0]).context
+                row.initial_plan_seconds = time.perf_counter() - start
+                for rates in rates_seq[1:]:
+                    start = time.perf_counter()
+                    outcome = engine.repair(context, rates)
+                    row.repair_seconds += time.perf_counter() - start
+                    row.event_kinds.append(
+                        f"{outcome.event_kind}/{outcome.repair_tier}")
+                    if outcome.result is None:
+                        row.event_steps.append(
+                            context.estimated_step_time if context else 0.0)
+                        continue
+                    context = outcome.result.context
+                    row.event_steps.append(
+                        outcome.result.estimated_step_time)
+                    stats = outcome.result.sweep_stats or {}
+                    row.warm_hits += stats.get("warm_hits", 0)
+                    row.warm_misses += stats.get("warm_misses", 0)
+                    row.evaluated += stats.get("evaluated", 0)
+                planner.close()
+                rows.append(row)
+    return PresetScalabilityResult(rows=rows)
+
+
+def format_preset_scalability(result: PresetScalabilityResult) -> str:
+    """Render the preset-sweep arms."""
+    headers = ["Preset", "GPUs", "Sweep config", "Events", "Initial",
+               "Repairs", "Warm hits", "Identical winners"]
+    rows = []
+    for preset, num_gpus in result.arms():
+        identical = "yes" if result.winners_identical(preset, num_gpus) \
+            else "NO"
+        for row in result.rows:
+            if (row.preset, row.num_gpus) != (preset, num_gpus):
+                continue
+            rows.append([
+                row.preset, str(row.num_gpus), row.config, str(row.events),
+                f"{row.initial_plan_seconds:.2f}s",
+                f"{row.repair_seconds:.2f}s",
+                f"{row.warm_hits}/{row.warm_hits + row.warm_misses}",
+                identical,
+            ])
+    return format_table(
+        headers, rows,
+        title="Generated-trace planning scalability (sweep-engine arms)")
+
+
+def write_preset_json(result: PresetScalabilityResult, path: str) -> None:
+    """Persist a run for the deterministic gate."""
+    payload = {"rows": [row.as_dict() for row in result.rows]}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_preset_json(path: str) -> PresetScalabilityResult:
+    """Load a persisted run."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return PresetScalabilityResult(
+        rows=[PresetSweepRow(**row) for row in payload["rows"]]
+    )
+
+
+def gate_preset_against_baseline(fresh_path: str, baseline_path: str,
+                                 rel_tol: float = 1e-9) -> int:
+    """Deterministic gate: per-event winners must match the baseline.
+
+    Timings are reported but never gated (machine-local); the winner step
+    times and the cross-config identity flags are deterministic.
+    """
+    fresh = read_preset_json(fresh_path)
+    baseline = read_preset_json(baseline_path)
+    failures = []
+    for base_row in baseline.rows:
+        try:
+            fresh_row = fresh.row(base_row.preset, base_row.num_gpus,
+                                  base_row.config)
+        except KeyError:
+            failures.append(f"{base_row.preset}/{base_row.num_gpus}/"
+                            f"{base_row.config}: missing from fresh run")
+            continue
+        label = f"{base_row.preset}/{base_row.num_gpus}/{base_row.config}"
+        same = len(fresh_row.event_steps) == len(base_row.event_steps) and \
+            all(math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12)
+                for a, b in zip(fresh_row.event_steps, base_row.event_steps))
+        print(f"{label:>52}: {len(base_row.event_steps)} events "
+              f"[{'ok' if same else 'CHANGED'}]")
+        if not same:
+            failures.append(f"{label}: winner step times changed")
+    for preset, num_gpus in fresh.arms():
+        if not fresh.winners_identical(preset, num_gpus):
+            failures.append(
+                f"{preset}/{num_gpus}: configs picked different winners")
+    if failures:
+        print("preset gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("preset gate: OK")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: run the generated-trace preset sweep and optionally gate it.
+
+    ``python -m repro.experiments.planning_scalability --preset
+    frequent-small-events --scales 512`` runs the sweep and writes the
+    fresh JSON; ``--gate`` compares it against the committed baseline,
+    ``--update`` refreshes the baseline instead.
+    """
+    import argparse
+    import os
+    import shutil
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--preset", action="append", default=None,
+                        help="scenario preset(s) to sweep "
+                             "(default: frequent-small-events)")
+    parser.add_argument("--scales", type=int, nargs="+", default=[512],
+                        help="cluster sizes in GPUs (default: 512)")
+    parser.add_argument("--events", type=int, default=8,
+                        help="situations per generated trace (default: 8)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="trace seed (default: 1)")
+    parser.add_argument("--gate", action="store_true",
+                        help="compare the fresh run against the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baseline from the fresh run")
+    parser.add_argument("--fresh",
+                        default="benchmarks/BENCH_preset_scalability.json",
+                        help="where to write the fresh run "
+                             "(default: %(default)s)")
+    parser.add_argument("--baseline",
+                        default="benchmarks/baselines/"
+                                "BENCH_preset_scalability.json",
+                        help="committed baseline (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    presets = args.preset or ["frequent-small-events"]
+    result = run_preset_scalability(presets=presets, scales=args.scales,
+                                    num_events=args.events, seed=args.seed)
+    print(format_preset_scalability(result))
+    os.makedirs(os.path.dirname(args.fresh) or ".", exist_ok=True)
+    write_preset_json(result, args.fresh)
+    print(f"fresh run written to {args.fresh}")
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated at {args.baseline}")
+        return 0
+    if args.gate:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; seed it with --update")
+            return 1
+        return gate_preset_against_baseline(args.fresh, args.baseline)
+    return 0
+
+
 def format_planning_scalability(result: PlanningScalabilityResult) -> str:
     """Render the Table 5 rows."""
     with_incremental = any(row.incremental_seconds > 0 for row in result.rows)
@@ -207,3 +494,9 @@ def format_planning_scalability(result: PlanningScalabilityResult) -> str:
         rows.append(cells)
     return format_table(headers, rows,
                         title="Table 5: planning-time breakdown")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make gate-presets
+    import sys
+
+    sys.exit(main())

@@ -32,6 +32,7 @@ from ..core.planner import (
     PlanningResult,
     TransitionConfig,
 )
+from ..core.sweep import SweepConfig, SweepExecutor
 from ..models.spec import TrainingTask
 from ..parallel.migration import plan_migration
 from ..parallel.plan import ParallelizationPlan
@@ -66,6 +67,9 @@ class ReplanEvent:
     #: Migration drain time hidden by overlapping with training at the old
     #: plan (0 without ``TransitionConfig.overlap``).
     hidden_migration_time: float = 0.0
+    #: Candidate-sweep engine diagnostics for this event (backend, worker
+    #: count, evaluated/pruned candidates, warm-cache hits).
+    sweep_stats: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -120,6 +124,15 @@ class MalleusSystem:
         system (migration downtime accounting always uses the
         topology-aware charge model, independent of this knob).  Threaded
         into the planner (overriding its config when both are given).
+    sweep_config:
+        Candidate-sweep engine knobs
+        (:class:`~repro.core.sweep.SweepConfig`): execution backend
+        (``serial``/``process`` worker pool) and the cross-event
+        warm-start :class:`~repro.core.sweep.SolutionCache`.  Threaded
+        into the planner (overriding its config when both are given); the
+        default — serial, warm cache off — plans bit-identically to the
+        pre-engine system.  Per-event engine activity is reported on
+        ``Adjustment.sweep_stats`` / ``ReplanEvent.sweep_stats``.
     """
 
     task: TrainingTask
@@ -133,6 +146,7 @@ class MalleusSystem:
     replan_config: Optional[ReplanConfig] = None
     shift_threshold: Optional[float] = None
     transition_config: Optional[TransitionConfig] = None
+    sweep_config: Optional[SweepConfig] = None
     restart_config: RestartCostConfig = field(default_factory=RestartCostConfig)
     name: str = "Malleus"
 
@@ -143,9 +157,17 @@ class MalleusSystem:
         self.planner = self.planner or MalleusPlanner(
             self.task, self.cluster, self.cost_model,
             transition_config=self.transition_config,
+            sweep_config=self.sweep_config,
         )
         if self.transition_config is not None:
             self.planner.transition_config = self.transition_config
+        if self.sweep_config is not None and \
+                self.planner.sweep_config is not self.sweep_config:
+            # A caller-supplied planner keeps its executor unless the system
+            # was given an explicit sweep config to impose.
+            self.planner.sweep_config = self.sweep_config
+            self.planner.sweep_executor.shutdown()
+            self.planner.sweep_executor = SweepExecutor(self.sweep_config)
         self.simulator = ExecutionSimulator(self.cost_model)
         if self.shift_threshold is not None:
             # Copy before overriding: the caller's config instance may be
@@ -269,6 +291,7 @@ class MalleusSystem:
         downtime = migration_time
         if not self.async_replanning:
             downtime += planning_time
+        sweep_stats = result.sweep_stats or None
         self.replan_events.append(
             ReplanEvent(
                 trigger_rates=dict(report.rates),
@@ -281,6 +304,7 @@ class MalleusSystem:
                 repair_tier=repair_tier,
                 migration_bytes=migration_bytes,
                 hidden_migration_time=hidden_time,
+                sweep_stats=sweep_stats,
             )
         )
         return Adjustment(
@@ -292,6 +316,7 @@ class MalleusSystem:
             repair_tier=repair_tier,
             migration_bytes=migration_bytes,
             hidden_migration_time=hidden_time,
+            sweep_stats=sweep_stats,
             description="asynchronous re-planning"
             if self.async_replanning else "synchronous re-planning",
         )
@@ -330,6 +355,8 @@ class MalleusSystem:
     # ------------------------------------------------------------------
     def _handle_failure(self, rates: Dict[int, float]) -> Adjustment:
         dp = self._dp_degree if self.keep_dp_degree else None
+        # The failed GPUs invalidate every cached sweep division.
+        self.planner.solution_cache.evict_membership_change()
         result = self.planner.plan(rates, dp=dp)
         if not result.feasible or result.plan is None:
             result = self.planner.plan(rates)  # relax the DP constraint
@@ -362,3 +389,7 @@ class MalleusSystem:
         assert self.plan is not None
         return self.simulator.estimate_step_time(self.plan, rates
                                                   or self.current_rates)
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Planner-level cache diagnostics (cost model + sweep solutions)."""
+        return self.planner.cache_stats()

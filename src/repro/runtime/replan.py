@@ -102,6 +102,7 @@ from ..core.planner import (
     PlanningResult,
     PlanningTimeBreakdown,
 )
+from ..core.sweep import EvalContext, SweepEntry, SweepSeed, candidate_bound, run_sweep
 from ..parallel.plan import TPGroup
 from ..solvers.division import repair_pipeline_division
 
@@ -224,7 +225,11 @@ class ReplanEngine:
 
         ``dp`` pins the DP degree of the candidate sweep and of the
         full-planner fallback (the incremental warm start keeps the
-        incumbent DP degree by construction).
+        incumbent DP degree by construction).  The engine's own work —
+        classification and delta re-grouping (``grouping`` phase), the
+        partial division repair (``division`` phase) — is charged to the
+        result's :class:`~repro.core.planner.PlanningTimeBreakdown`, so
+        repair timings decompose exactly like full-planner timings.
         """
         start = time.perf_counter()
         # Same self-heal as MalleusPlanner.plan: repairs call the cost
@@ -234,25 +239,32 @@ class ReplanEngine:
                           "refresh_if_config_changed", None)
         if refresh is not None:
             refresh()
+        pre = PlanningTimeBreakdown()
         if not self.config.enabled:
             return self._full(previous, rates, dp, EVENT_NO_CHANGE,
-                              "incremental re-planning disabled", start)
+                              "incremental re-planning disabled", start, pre)
         if not self.planner.enable_pruning:
             # The repair's soundness versus the full planner rests on the
             # bound-pruned candidate sweep; with pruning disabled every
             # non-incumbent candidate would have to be solved exactly anyway,
             # so there is nothing to save — run the full planner.
             return self._full(previous, rates, dp, EVENT_NO_CHANGE,
-                              "planner pruning disabled", start)
+                              "planner pruning disabled", start, pre)
+        phase = time.perf_counter()
         kind, touched, delta = self.classify(previous, rates)
+        pre.grouping += time.perf_counter() - phase
         if kind == EVENT_NO_CHANGE:
             return RepairOutcome(
                 event_kind=kind, repair_tier=TIER_NONE, result=None,
                 repair_seconds=time.perf_counter() - start,
             )
         if kind == EVENT_MEMBERSHIP_CHANGE:
+            # Failure/join: every cached sweep division was solved for a
+            # different GPU membership — evict before the full fallback.
+            self.planner.solution_cache.evict_membership_change()
             return self._full(previous, rates, dp, kind,
-                              "membership change", start)
+                              "membership change", start, pre)
+        phase = time.perf_counter()
         if kind == EVENT_MINOR_RATE_SHIFT:
             prepared = self._prepare_minor(previous, rates, touched)
             tier = TIER_REBALANCE
@@ -260,6 +272,7 @@ class ReplanEngine:
             prepared = self._prepare_group_change(previous, rates, touched,
                                                   delta)
             tier = TIER_PARTIAL
+        pre.division += time.perf_counter() - phase
         if prepared == "untouched":
             return RepairOutcome(
                 event_kind=kind, repair_tier=TIER_NONE, result=None,
@@ -271,7 +284,8 @@ class ReplanEngine:
             pipelines, touched_pipelines = prepared
             result = self._solve_repair(previous, rates, touched, delta,
                                         pipelines, touched_pipelines, dp,
-                                        resolve_incumbent=(tier == TIER_PARTIAL))
+                                        resolve_incumbent=(tier == TIER_PARTIAL),
+                                        breakdown=pre)
             if result is not None:
                 outcome = RepairOutcome(
                     event_kind=kind, repair_tier=tier, result=result,
@@ -281,7 +295,7 @@ class ReplanEngine:
                 )
         if outcome is None:
             return self._full(previous, rates, dp, kind,
-                              "incremental repair infeasible", start)
+                              "incremental repair infeasible", start, pre)
         if self.config.verify:
             full = self.planner.plan(rates, dp=dp)
             repaired = outcome.result.estimated_step_time
@@ -296,9 +310,13 @@ class ReplanEngine:
         return outcome
 
     def _full(self, previous: PlanContext, rates: Dict[int, float],
-              dp: Optional[int], kind: str, reason: str,
-              start: float) -> RepairOutcome:
+              dp: Optional[int], kind: str, reason: str, start: float,
+              pre: Optional[PlanningTimeBreakdown] = None) -> RepairOutcome:
         result = self.planner.plan(rates, dp=dp, previous=previous)
+        if pre is not None:
+            # The engine's classification work happened before the full
+            # planner ran; fold it in so breakdown.total covers the event.
+            result.breakdown.merge(pre)
         return RepairOutcome(
             event_kind=kind, repair_tier=TIER_FULL, result=result,
             fallback_reason=reason,
@@ -410,14 +428,15 @@ class ReplanEngine:
         touched_pipelines: Sequence[int],
         dp_arg: Optional[int],
         resolve_incumbent: bool = False,
+        breakdown: Optional[PlanningTimeBreakdown] = None,
     ) -> Optional[PlanningResult]:
         planner = self.planner
         task = planner.task
         cost_model = planner.cost_model
-        breakdown = PlanningTimeBreakdown()
+        if breakdown is None:
+            breakdown = PlanningTimeBreakdown()
         all_gpu_ids = planner.cluster.gpu_ids()
         scorer = planner._transition_scorer(previous)
-        windowed = scorer is not None and not scorer.config.tie_break_only
 
         warm = self._warm_lower_level(previous, rates, pipelines,
                                       touched_pipelines, breakdown)
@@ -428,22 +447,14 @@ class ReplanEngine:
         best_dp = len(pipelines)
         incumbent_grouping = delta.grouping if delta is not None \
             else previous.grouping
-        best_transition = None
-        finalists = []
-        best_pure = best_time
-        if scorer is not None:
-            # The warm repair enters the transition-aware selection as the
-            # first finalist (index -1: it wins every remaining tie — it is
-            # the candidate that keeps the incumbent layout).
-            best_transition = scorer.estimate(best_candidate)
-            finalists.append((best_time, scorer.charge(best_transition), -1,
-                              best_candidate, best_b, best_tp, best_dp,
-                              best_transition))
 
         # Delta-regroup every other candidate TP limit, then sweep the
         # remaining (grouping, dp) candidates in bound order against the
         # repaired incumbent — exactly the full planner's phase 2, except
         # the incumbent starts tight, so a local event prunes everything.
+        # The warm repair enters the sweep as its seed (order index -1): it
+        # wins every tie, and under transition-aware scoring it is the
+        # candidate that keeps the incumbent layout.
         start = time.perf_counter()
         groupings: Dict[int, GroupingResult] = {}
         for tp_limit in planner.tp_candidates:
@@ -470,8 +481,9 @@ class ReplanEngine:
             isolated_gpus=list(incumbent_grouping.isolated_gpus),
         )]
         b_candidates = sorted_divisors(task.global_batch_size)
-        entries: List[Tuple[float, int, GroupingResult, int]] = []
+        entries: List[SweepEntry] = []
         index = 0
+        num_layers = task.model.num_layers
         for tp_limit in planner.tp_candidates:
             grouping = groupings[tp_limit]
             if dp_arg is not None:
@@ -499,73 +511,48 @@ class ReplanEngine:
                     # keeps winning ties either way.
                     continue
                 start = time.perf_counter()
-                bound = planner._candidate_bound(grouping, rates,
-                                                 b_candidates, dp_degree)
+                bound = candidate_bound(
+                    grouping, rates, cost_model, num_layers,
+                    task.global_batch_size, b_candidates, dp_degree,
+                )
                 breakdown.division += time.perf_counter() - start
-                entries.append((bound, index, grouping, dp_degree))
+                entries.append(SweepEntry(bound, index, grouping, dp_degree))
                 index += 1
-        entries.sort(key=lambda entry: (entry[0], entry[1]))
-        for bound, entry_index, grouping, dp_degree in entries:
-            if windowed:
-                cutoff = best_pure * (1.0 + scorer.config.epsilon)
-            elif scorer is not None:
-                cutoff = best_pure
-            else:
-                cutoff = best_time
-            prune_this = bound > cutoff + 1e-12
-            if not prune_this and windowed:
-                # Same provable transition term as the planner's sweep: the
-                # window lives on the amortized score, so a step bound above
-                # the pure best plus a migration floor above the window
-                # limit excludes the candidate outright.
-                floor = scorer.floor(grouping)
-                if floor > 0.0 and bound > best_pure + 1e-12 and \
-                        bound + floor > cutoff + 1e-12:
-                    prune_this = True
-            if prune_this:
-                candidates.append(CandidateRecord(
-                    tp_limit=grouping.tp_limit, dp_degree=dp_degree,
-                    estimated_step_time=math.inf, feasible=False,
-                    num_groups=grouping.num_groups(),
-                    isolated_gpus=list(grouping.isolated_gpus),
-                    pruned=True, lower_bound=bound,
-                ))
-                continue
-            record, result = planner._evaluate_candidate(
-                grouping, rates, dp_degree, breakdown, b_candidates,
-                all_gpu_ids, incumbent=cutoff,
-            )
-            record.lower_bound = bound
-            candidates.append(record)
-            if result is None or not result.feasible:
-                continue
-            if scorer is not None:
-                estimate = scorer.estimate(result.candidate)
-                charged = scorer.charge(estimate)
-                record.transition_seconds = charged
-                finalists.append((
-                    result.estimated_step_time, charged,
-                    entry_index, result.candidate,
-                    result.micro_batch_size, grouping.tp_limit, dp_degree,
-                    estimate,
-                ))
-                if result.estimated_step_time < best_pure:
-                    best_pure = result.estimated_step_time
-                continue
-            if result.estimated_step_time < best_time - 1e-12:
-                best_time = result.estimated_step_time
-                best_b = result.micro_batch_size
-                best_candidate = result.candidate
-                best_tp = grouping.tp_limit
-                best_dp = dp_degree
+        entries.sort(key=lambda entry: (entry.bound, entry.entry_index))
 
-        if scorer is not None:
-            (best_time, best_candidate, best_b, best_tp, best_dp,
-             best_transition) = self._select_transition_winner(
-                finalists, best_pure, scorer.config)
+        ctx = EvalContext(
+            task=task,
+            cost_model=cost_model,
+            rates=rates,
+            micro_batch_candidates=tuple(b_candidates),
+            all_gpu_ids=tuple(all_gpu_ids),
+            enable_pruning=planner.enable_pruning,
+            legacy_kernels=planner.legacy_kernels,
+        )
+        seed = SweepSeed(
+            step_time=best_time,
+            candidate=best_candidate,
+            micro_batch_size=best_b,
+            tp_limit=best_tp,
+            dp_degree=best_dp,
+            grouping=incumbent_grouping,
+        )
+        outcome = run_sweep(
+            entries, ctx, planner.sweep_executor,
+            breakdown=breakdown, scorer=scorer, seed=seed,
+            tie_break="strict", prune=True, cache=planner.solution_cache,
+        )
+        candidates.extend(outcome.records)
+        best_time = outcome.step_time
+        best_candidate = outcome.candidate
+        best_b = outcome.micro_batch_size
+        best_tp = outcome.tp_limit
+        best_dp = outcome.dp_degree
 
         start = time.perf_counter()
-        plan = best_candidate.materialize(rates, cost_model, all_gpu_ids)
+        plan = outcome.plan
+        if plan is None:
+            plan = best_candidate.materialize(rates, cost_model, all_gpu_ids)
         breakdown.assignment += time.perf_counter() - start
         plan.estimated_step_time = best_time
         context = PlanContext(
@@ -586,48 +573,9 @@ class ReplanEngine:
             candidates=candidates,
             feasible=True,
             context=context,
-            transition=best_transition,
+            transition=outcome.transition,
+            sweep_stats=outcome.stats.as_dict(),
         )
-
-    @staticmethod
-    def _select_transition_winner(finalists, best_pure: float, config):
-        """Transition-aware selection over the repair sweep's finalists.
-
-        Mirrors :meth:`MalleusPlanner._select_transition_winner` (window on
-        the amortized score, minimal migration inside it), with the warm
-        repair participating at index ``-1`` so it wins every tie — keeping
-        the incumbent layout is free, a fresh identical-step-time layout is
-        not.  When nothing fits the window the pure step-time winner (the
-        behaviour with transitions disabled) is kept.
-        """
-        best_key = (math.inf, math.inf, math.inf)
-        best_entry = None
-        fallback = None
-        fallback_key = (math.inf, math.inf)
-        for entry in finalists:
-            step_time, seconds, entry_index = entry[0], entry[1], entry[2]
-            if (step_time, entry_index) < fallback_key:
-                fallback, fallback_key = entry, (step_time, entry_index)
-            score = step_time + seconds / config.horizon_steps
-            if config.tie_break_only:
-                if step_time > best_pure + 1e-12:
-                    continue
-                key = (step_time, seconds, entry_index)
-            else:
-                if score > best_pure * (1.0 + config.epsilon) + 1e-12:
-                    continue
-                key = (seconds, score, entry_index)
-            wins = best_entry is None or key[0] < best_key[0] - 1e-12
-            if not wins and abs(key[0] - best_key[0]) <= 1e-12:
-                wins = key[1] < best_key[1] - 1e-12
-                if not wins and abs(key[1] - best_key[1]) <= 1e-12:
-                    wins = key[2] < best_key[2]
-            if wins:
-                best_entry, best_key = entry, key
-        if best_entry is None:
-            best_entry = fallback
-        step_time, _, _, candidate, b, tp, dp, estimate = best_entry
-        return step_time, candidate, b, tp, dp, estimate
 
     def _warm_lower_level(
         self,

@@ -40,6 +40,11 @@ class Adjustment:
     #: Repair tier that handled the event ("none", "rebalance",
     #: "partial_resolve", "full"); empty when not applicable.
     repair_tier: str = ""
+    #: What the candidate-sweep engine did for this event (backend,
+    #: workers, evaluated/pruned counts, warm-cache hits — see
+    #: :class:`repro.core.sweep.SweepStats`); ``None`` for frameworks
+    #: without the sweep engine or when no sweep ran.
+    sweep_stats: Optional[Dict[str, object]] = None
 
 
 class TrainingFramework(Protocol):

@@ -111,6 +111,51 @@ def scenario_configs(draw, presets=None, max_seed: int = 2 ** 16,
 
 
 @st.composite
+def rate_map_sequences(draw, gpu_ids, length: int = 5,
+                       max_mutations: int = 3,
+                       allow_failures: bool = True,
+                       min_rate: float = 1.05,
+                       max_rate: float = MAX_RATE):
+    """Multi-event sequences of rate maps over a fixed GPU set.
+
+    Starts healthy and evolves by 1..``max_mutations`` per-event mutations
+    drawn from the repair engine's whole event taxonomy: small relative
+    shifts (``minor_rate_shift``), straggler appearance/recovery jumps
+    (``group_change``) and — with ``allow_failures`` — hard failures and
+    rejoins (``membership_change``, expressed as infinite rates so the
+    GPU-id set stays fixed).  Built for cross-event state (the sweep
+    engine's warm-start cache, plan contexts): consecutive maps are
+    related the way production events are, unlike independent draws.
+    """
+    gpu_ids = list(gpu_ids)
+    rates = {g: 1.0 for g in gpu_ids}
+    sequence = [dict(rates)]
+    actions = ["shift", "jump", "recover"]
+    if allow_failures:
+        actions += ["fail", "rejoin"]
+    for _ in range(length - 1):
+        mutations = draw(st.integers(min_value=1, max_value=max_mutations))
+        for _ in range(mutations):
+            gpu = draw(st.sampled_from(gpu_ids))
+            action = draw(st.sampled_from(actions))
+            current = rates[gpu]
+            if action == "shift" and 1.0 < current < float("inf"):
+                factor = draw(st.floats(min_value=0.85, max_value=1.15))
+                rates[gpu] = min(max_rate, max(min_rate, current * factor))
+            elif action == "jump":
+                rates[gpu] = draw(
+                    st.floats(min_value=min_rate, max_value=max_rate))
+            elif action == "recover":
+                rates[gpu] = 1.0
+            elif action == "fail":
+                rates[gpu] = float("inf")
+            elif action == "rejoin" and current == float("inf"):
+                rates[gpu] = 1.0
+        sequence.append(dict(rates))
+    return sequence
+
+
+@st.composite
 def scenario_traces(draw, cluster=None, presets=None, **overrides):
     """Whole straggler traces from the seeded scenario generator.
 

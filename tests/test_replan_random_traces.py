@@ -149,6 +149,71 @@ class TestEquivalenceSweep:
                 cold.estimated_step_time + 1e-9, f"{preset}/{name}"
 
 
+@pytest.mark.sweep
+class TestSweepWorkersBitIdentical:
+    """PR 5: the sweep engine's determinism contract on the pinned traces.
+
+    With the warm cache on, the set of exactly-solved candidates — and
+    with it the cache's evolution and every winner — is a deterministic
+    function of the event sequence alone, so replaying a trace under
+    ``workers ∈ {1, 2, 4}`` (and under the serial backend) must select
+    bit-identical winners at every event.
+    """
+
+    WORKER_COUNTS = (1, 2, 4)
+    #: Pinned subset of TRACE_MATRIX (process pools make this the most
+    #: expensive suite in the file; two presets cover shift + churn).
+    TRACES = [("frequent-small-events", 1), ("flapping", 1)]
+
+    def _drive(self, sweep_config):
+        from repro.core.sweep import SweepConfig  # noqa: F401 (doc aid)
+
+        task, cluster = tiny_workload()
+        planner = MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            sweep_config=sweep_config,
+        )
+        engine = ReplanEngine(planner, ReplanConfig(epsilon=EPSILON))
+        winners = []
+        for preset, seed in self.TRACES:
+            trace = generate_trace(cluster, preset, seed=seed)
+            context = None
+            for situation in trace.situations:
+                rates = situation.rate_map(cluster)
+                if context is None:
+                    context = planner.plan(rates).context
+                    continue
+                outcome = engine.repair(context, rates)
+                if outcome.result is None:
+                    continue
+                context = outcome.result.context
+                plan = outcome.result.plan
+                winners.append((
+                    round(outcome.result.estimated_step_time, 12),
+                    context.tp_limit,
+                    context.dp_degree,
+                    context.micro_batch_size,
+                    plan.stage_shape(),
+                    tuple(plan.micro_batches()),
+                    tuple(plan.removed_gpus),
+                ))
+        planner.close()
+        return winners
+
+    def test_winners_bit_identical_across_worker_counts(self):
+        from repro.core.sweep import SweepConfig
+
+        reference = self._drive(SweepConfig(backend="serial",
+                                            warm_cache=True))
+        assert reference, "traces produced no repairs"
+        for workers in self.WORKER_COUNTS:
+            winners = self._drive(SweepConfig(
+                backend="process", workers=workers, warm_cache=True,
+            ))
+            assert winners == reference, \
+                f"workers={workers} diverged from the serial warm sweep"
+
+
 class TestCacheStalenessUnderChurn:
     """In-place config mutation mid-trace must self-heal (PR 1 safety net).
 

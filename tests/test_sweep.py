@@ -1,0 +1,487 @@
+"""The candidate-sweep engine: stateless core, executors, warm cache.
+
+Covers PR 5's contracts:
+
+* the evaluation core is stateless and picklable (specs, results, the
+  cost model with its warm coefficient caches);
+* the off-switch — ``SweepConfig()`` — is the serial dynamic sweep, and
+  the process backend selects bit-identical winners for every worker
+  count;
+* the ``SolutionCache`` never serves a division for a departed GPU, is
+  evicted on membership changes, self-invalidates on config-fingerprint
+  changes, and ages out both warm entries and infeasibility memos;
+* repair-path timing flows through the same ``PlanningTimeBreakdown``
+  the full planner uses.
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.cluster.scenarios import generate_trace
+from repro.cluster.topology import make_cluster
+from repro.core.assignment import sorted_divisors
+from repro.core.costmodel import MalleusCostModel
+from repro.core.grouping import group_gpus
+from repro.core.planner import MalleusPlanner
+from repro.core.sweep import (
+    CandidateSpec,
+    EvalContext,
+    SolutionCache,
+    SweepConfig,
+    SweepExecutor,
+    evaluate_candidate,
+    grouping_fingerprint,
+)
+from repro.models.spec import TrainingTask, TransformerModelSpec
+from repro.parallel.plan import TPGroup
+from repro.runtime.replan import ReplanEngine
+from repro.solvers.division import DivisionProblem, solve_pipeline_division
+
+pytestmark = pytest.mark.sweep
+
+
+def tiny_workload():
+    model = TransformerModelSpec(
+        name="tiny", num_layers=8, hidden_size=1024, ffn_hidden_size=2816,
+        num_attention_heads=16, num_kv_heads=16, vocab_size=32000,
+        seq_length=512,
+    )
+    task = TrainingTask(model=model, global_batch_size=32, micro_batch_size=1)
+    cluster = make_cluster(num_nodes=2, gpus_per_node=8, memory_gib=16.0,
+                           peak_tflops=100.0, name="tiny-sweep")
+    return task, cluster
+
+
+def healthy_rates(cluster, stragglers=None):
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    for gpu, rate in (stragglers or {}).items():
+        rates[gpu] = rate
+    return rates
+
+
+def winner_signature(result):
+    plan = result.plan
+    if plan is None:
+        return (None, result.estimated_step_time)
+    return (
+        result.estimated_step_time,
+        plan.micro_batch_size,
+        plan.stage_shape(),
+        plan.micro_batches(),
+        plan.removed_gpus,
+        [[tuple(sorted(stage.gpu_ids)) for stage in pipeline.stages]
+         for pipeline in plan.pipelines],
+    )
+
+
+class TestSweepConfig:
+    def test_defaults_are_the_off_switch(self):
+        config = SweepConfig()
+        assert config.backend == "serial"
+        assert config.warm_cache is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepConfig(backend="threads")
+        with pytest.raises(ValueError):
+            SweepConfig(workers=-1)
+        with pytest.raises(ValueError):
+            SweepConfig(max_warm_age=0)
+        with pytest.raises(ValueError):
+            SweepConfig(resolve_margin=-0.1)
+
+    def test_resolved_workers_auto(self):
+        assert SweepConfig().resolved_workers() >= 1
+        assert SweepConfig(workers=3).resolved_workers() == 3
+
+
+class TestStatelessCore:
+    def test_evaluate_candidate_is_repeatable(self):
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        rates = healthy_rates(cluster, {0: 3.8})
+        grouping = group_gpus(cluster, rates, cost_model, 4,
+                              micro_batch_size=task.micro_batch_size)
+        ctx = EvalContext(
+            task=task, cost_model=cost_model, rates=rates,
+            micro_batch_candidates=tuple(
+                sorted_divisors(task.global_batch_size)),
+            all_gpu_ids=tuple(cluster.gpu_ids()),
+        )
+        spec = CandidateSpec(entry_index=0, dp_degree=2, grouping=grouping)
+        first = evaluate_candidate(ctx, spec)
+        second = evaluate_candidate(ctx, spec)
+        assert first.feasible and second.feasible
+        assert first.estimated_step_time == second.estimated_step_time
+        assert first.micro_batch_size == second.micro_batch_size
+
+    def test_specs_results_and_cost_model_pickle(self):
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        rates = healthy_rates(cluster, {3: 2.6})
+        grouping = group_gpus(cluster, rates, cost_model, 8,
+                              micro_batch_size=task.micro_batch_size)
+        ctx = EvalContext(
+            task=task, cost_model=cost_model, rates=rates,
+            micro_batch_candidates=tuple(
+                sorted_divisors(task.global_batch_size)),
+            all_gpu_ids=tuple(cluster.gpu_ids()),
+        )
+        spec = CandidateSpec(entry_index=1, dp_degree=2, grouping=grouping)
+        result = evaluate_candidate(ctx, spec)
+        # Work units and results cross the process boundary.
+        assert pickle.loads(pickle.dumps(spec)).dp_degree == 2
+        restored = pickle.loads(pickle.dumps(result))
+        assert restored.estimated_step_time == result.estimated_step_time
+        # The cost model ships with warm coefficient caches intact.
+        assert any(stat["size"] > 0
+                   for stat in cost_model.cache_stats().values())
+        clone = pickle.loads(pickle.dumps(cost_model))
+        assert clone.cache_stats() == cost_model.cache_stats()
+        assert clone.config_fingerprint() == cost_model.config_fingerprint()
+        # Division solver instances are picklable too (worker handoff).
+        problem = DivisionProblem(
+            num_pipelines=2, total_micro_batches=8, fast_group_count=3,
+            fast_group_rate=0.5, slow_group_rates=[1.3, 2.1],
+        )
+        solution = solve_pipeline_division(problem)
+        assert pickle.loads(pickle.dumps(problem)).num_pipelines == 2
+        assert pickle.loads(pickle.dumps(solution)).objective == \
+            solution.objective
+
+    def test_cold_evaluation_matches_planner_records(self):
+        """The extracted core must reproduce the in-planner sweep values."""
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        rates = healthy_rates(cluster, {0: 5.42, 9: 2.6})
+        planner = MalleusPlanner(task, cluster, cost_model)
+        result = planner.plan(rates)
+        assert result.feasible
+        grouping = result.context.grouping
+        ctx = EvalContext(
+            task=task, cost_model=cost_model, rates=rates,
+            micro_batch_candidates=tuple(
+                sorted_divisors(task.global_batch_size)),
+            all_gpu_ids=tuple(cluster.gpu_ids()),
+        )
+        res = evaluate_candidate(ctx, CandidateSpec(
+            entry_index=0, dp_degree=result.context.dp_degree,
+            grouping=grouping,
+        ))
+        assert res.feasible
+        assert res.estimated_step_time == \
+            pytest.approx(result.estimated_step_time, rel=1e-12)
+
+
+class TestProcessBackend:
+    def test_winners_identical_serial_vs_process(self):
+        task, cluster = tiny_workload()
+        rates = healthy_rates(cluster, {0: 3.8, 12: 2.6})
+        serial = MalleusPlanner(task, cluster,
+                                MalleusCostModel(task.model, cluster))
+        reference = serial.plan(rates)
+        for workers in (1, 2):
+            planner = MalleusPlanner(
+                task, cluster, MalleusCostModel(task.model, cluster),
+                sweep_config=SweepConfig(backend="process", workers=workers),
+            )
+            result = planner.plan(rates)
+            assert winner_signature(result) == winner_signature(reference)
+            assert result.sweep_stats["backend"] == "process"
+            assert result.sweep_stats["workers"] == workers
+            planner.close()
+
+    def test_executor_survives_reuse_and_shutdown(self):
+        task, cluster = tiny_workload()
+        rates = healthy_rates(cluster, {5: 2.6})
+        planner = MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            sweep_config=SweepConfig(backend="process", workers=2),
+        )
+        first = planner.plan(rates)
+        second = planner.plan(healthy_rates(cluster, {5: 3.8}))
+        assert first.feasible and second.feasible
+        planner.close()
+        # Shutdown is idempotent and the executor falls back cleanly.
+        planner.close()
+
+    def test_worker_self_heals_after_config_mutation(self):
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        planner = MalleusPlanner(
+            task, cluster, cost_model,
+            sweep_config=SweepConfig(backend="process", workers=2),
+        )
+        rates = healthy_rates(cluster, {0: 2.6})
+        planner.plan(rates)
+        # In-place calibration edit: workers must pick it up via the
+        # config fingerprint shipped with every batch.
+        cost_model.config.compute_efficiency *= 1.1
+        mutated = planner.plan(rates)
+        planner.close()
+        fresh = MalleusPlanner(
+            task, cluster,
+            MalleusCostModel(task.model, cluster, config=cost_model.config),
+        ).plan(rates)
+        assert mutated.estimated_step_time == \
+            pytest.approx(fresh.estimated_step_time, rel=1e-12)
+
+
+class TestSolutionCache:
+    def _grouping(self, cluster, rates, cost_model, tp=4):
+        return group_gpus(cluster, rates, cost_model, tp, micro_batch_size=1)
+
+    def test_fingerprint_is_partition_identity(self):
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        rates = healthy_rates(cluster)
+        grouping = self._grouping(cluster, rates, cost_model)
+        flipped = group_gpus(cluster, healthy_rates(cluster, {1: 1.2}),
+                             cost_model, 4, micro_batch_size=1)
+        # Same partition, possibly re-sorted members: same fingerprint.
+        if {frozenset(g.gpu_ids) for g in grouping.groups} == \
+                {frozenset(g.gpu_ids) for g in flipped.groups}:
+            assert grouping_fingerprint(grouping) == \
+                grouping_fingerprint(flipped)
+
+    def test_lookup_requires_matching_partition(self):
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        rates = healthy_rates(cluster)
+        grouping = self._grouping(cluster, rates, cost_model)
+        cache = SolutionCache()
+        pipelines = [[grouping.groups[0], grouping.groups[1]],
+                     [grouping.groups[2], grouping.groups[3]]]
+        cache.store(4, 2, grouping_fingerprint(grouping), pipelines)
+        hit = cache.lookup(4, 2, grouping, rates)
+        assert hit is not None and hit[0] is not None
+        warm, _ = hit
+        assert [[g.gpu_ids for g in pipe] for pipe in warm] == \
+            [[g.gpu_ids for g in pipe] for pipe in pipelines]
+        # A different partition for the same key misses (the sentinel may
+        # still carry the division seed for the cold solve, but never a
+        # replayable division).
+        other = self._grouping(cluster, healthy_rates(cluster, {0: 5.42}),
+                               cost_model)
+        if grouping_fingerprint(other) != grouping_fingerprint(grouping):
+            miss = cache.lookup(4, 2, other, rates)
+            assert miss is None or miss[0] is None
+
+    def test_departed_gpu_is_never_served(self):
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        rates = healthy_rates(cluster)
+        grouping = self._grouping(cluster, rates, cost_model)
+        cache = SolutionCache()
+        pipelines = [[grouping.groups[0]], [grouping.groups[1]]]
+        cache.store(4, 2, grouping_fingerprint(grouping), pipelines)
+        shrunk = dict(rates)
+        for gpu in grouping.groups[0].gpu_ids:
+            shrunk.pop(gpu)
+        assert cache.lookup(4, 2, grouping, shrunk) is None
+        assert cache.stats()["stale_rejections"] == 1
+        # The poisoned entry is purged, not just skipped.
+        assert cache.lookup(4, 2, grouping, rates) is None
+
+    def test_membership_eviction_and_config_invalidation(self):
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        rates = healthy_rates(cluster)
+        grouping = self._grouping(cluster, rates, cost_model)
+        cache = SolutionCache()
+        cache.store(4, 2, grouping_fingerprint(grouping),
+                    [[grouping.groups[0]], [grouping.groups[1]]])
+        cache.mark_infeasible(4, 8)
+        cache.evict_membership_change()
+        assert len(cache) == 0
+        assert cache.check_infeasible(4, 8, max_warm_age=4) is None
+        cache.store(4, 2, grouping_fingerprint(grouping),
+                    [[grouping.groups[0]], [grouping.groups[1]]])
+        cache.refresh_config(("a", 1))
+        assert cache.refresh_config(("a", 2))  # changed -> invalidated
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_warm_age_expiry_forces_cold_reanchor(self):
+        task, cluster = tiny_workload()
+        cost_model = MalleusCostModel(task.model, cluster)
+        rates = healthy_rates(cluster)
+        grouping = self._grouping(cluster, rates, cost_model)
+        cache = SolutionCache()
+        fingerprint = grouping_fingerprint(grouping)
+        pipelines = [[grouping.groups[0]], [grouping.groups[1]]]
+        cache.store(4, 2, fingerprint, pipelines)
+        for _ in range(2):
+            hit = cache.lookup(4, 2, grouping, rates, max_warm_age=2)
+            assert hit is not None and hit[0] is not None
+            cache.store(4, 2, fingerprint, pipelines, warm=True)
+        expired = cache.lookup(4, 2, grouping, rates, max_warm_age=2)
+        assert expired is not None and expired[0] is None
+        assert cache.stats()["expirations"] == 1
+        # A cold store resets the age.
+        cache.store(4, 2, fingerprint, pipelines, warm=False)
+        hit = cache.lookup(4, 2, grouping, rates, max_warm_age=2)
+        assert hit is not None and hit[0] is not None
+
+    def test_infeasibility_memo_expires(self):
+        cache = SolutionCache()
+        caps = (100.0, 100.0)
+        cache.mark_infeasible(8, 8, capacities=caps)
+        # Unchanged capacity structure: skip outright.
+        assert cache.check_infeasible(8, 8, max_warm_age=2,
+                                      capacities=caps) == "skip"
+        # Changed structure: fresh shallow re-check instead of a skip.
+        assert cache.check_infeasible(8, 8, max_warm_age=2,
+                                      capacities=(100.0, 50.0)) == "shallow"
+        # Third use: aged out -> must re-solve at full depth.
+        assert cache.check_infeasible(8, 8, max_warm_age=2,
+                                      capacities=caps) is None
+        assert cache.stats()["infeasible_skips"] == 2
+
+    def test_planner_cache_stats_report_the_sweep_cache(self):
+        task, cluster = tiny_workload()
+        planner = MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            sweep_config=SweepConfig(warm_cache=True),
+        )
+        planner.plan(healthy_rates(cluster, {0: 2.6}))
+        stats = planner.cache_stats()
+        assert "sweep_solutions" in stats and "cost_model" in stats
+        assert stats["sweep_solutions"]["stores"] > 0
+
+
+class TestWarmCacheEndToEnd:
+    def test_warm_sweep_serves_and_stays_feasible_under_churn(self):
+        """Flapping + churn traces: the cache is exercised, repairs stay
+        feasible, and every produced plan only uses live GPUs."""
+        task, cluster = tiny_workload()
+        planner = MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            sweep_config=SweepConfig(warm_cache=True),
+        )
+        engine = ReplanEngine(planner)
+        served = 0
+        for preset, seed in (("flapping", 1), ("failure-churn", 3)):
+            trace = generate_trace(cluster, preset, seed=seed)
+            context = None
+            for situation in trace.situations:
+                rates = situation.rate_map(cluster)
+                if context is None:
+                    context = planner.plan(rates).context
+                    continue
+                outcome = engine.repair(context, rates)
+                if outcome.result is None:
+                    continue
+                result = outcome.result
+                assert result.feasible
+                alive = {g for g, r in rates.items() if not math.isinf(r)}
+                assert set(result.plan.active_gpus) <= alive
+                served += (result.sweep_stats or {}).get("warm_hits", 0)
+                context = result.context
+        stats = planner.solution_cache.stats()
+        assert served > 0, "warm cache never served under churn"
+        assert stats["evictions"] > 0, \
+            "membership churn must evict the cache"
+
+    def test_warm_repairs_stay_within_epsilon_of_cold(self):
+        task, cluster = tiny_workload()
+        cold = MalleusPlanner(task, cluster,
+                              MalleusCostModel(task.model, cluster))
+        warm = MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            sweep_config=SweepConfig(warm_cache=True),
+        )
+        engine = ReplanEngine(warm)
+        trace = generate_trace(cluster, "bursty-mixed", seed=2)
+        context = None
+        checked = 0
+        for situation in trace.situations:
+            rates = situation.rate_map(cluster)
+            if context is None:
+                context = warm.plan(rates).context
+                continue
+            outcome = engine.repair(context, rates)
+            reference = cold.plan(rates)
+            if outcome.result is not None and reference.feasible and \
+                    outcome.result.feasible:
+                assert outcome.result.estimated_step_time <= \
+                    reference.estimated_step_time * 1.01 + 1e-12
+                checked += 1
+            if outcome.result is not None:
+                context = outcome.result.context
+        assert checked >= 5
+
+
+class TestWarmCacheStalenessProperty:
+    """Hypothesis: random multi-event sequences never surface stale state."""
+
+    def test_random_event_sequences_never_serve_stale_divisions(self):
+        from hypothesis import HealthCheck, given, settings
+        from strategies import rate_map_sequences
+
+        task, cluster = tiny_workload()
+
+        @settings(max_examples=8, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        @given(sequence=rate_map_sequences(cluster.gpu_ids(), length=5))
+        def run(sequence):
+            planner = MalleusPlanner(
+                task, cluster, MalleusCostModel(task.model, cluster),
+                sweep_config=SweepConfig(warm_cache=True),
+            )
+            engine = ReplanEngine(planner)
+            context = None
+            for rates in sequence:
+                if context is None:
+                    result = planner.plan(rates)
+                    if not result.feasible:
+                        continue
+                    context = result.context
+                    continue
+                outcome = engine.repair(context, rates)
+                if outcome.result is None:
+                    continue
+                result = outcome.result
+                if result.feasible:
+                    alive = {g for g, r in rates.items()
+                             if not math.isinf(r)}
+                    assert set(result.plan.active_gpus) <= alive
+                context = result.context
+
+        run()
+
+
+class TestRepairBreakdownAccounting:
+    def test_repair_breakdown_covers_the_repair_wall_clock(self):
+        task, cluster = tiny_workload()
+        planner = MalleusPlanner(task, cluster,
+                                 MalleusCostModel(task.model, cluster))
+        engine = ReplanEngine(planner)
+        base = healthy_rates(cluster, {0: 2.6})
+        context = planner.plan(base).context
+        shifted = dict(base)
+        shifted[0] = 3.2
+        outcome = engine.repair(context, shifted)
+        assert outcome.result is not None
+        breakdown = outcome.result.breakdown
+        # Classification/regroup work is charged (grouping phase) and the
+        # phases account for (almost) the whole repair wall clock.
+        assert breakdown.grouping > 0
+        assert breakdown.total <= outcome.repair_seconds + 1e-9
+        assert breakdown.total >= outcome.repair_seconds * 0.5
+
+    def test_full_fallback_merges_engine_overhead(self):
+        task, cluster = tiny_workload()
+        planner = MalleusPlanner(task, cluster,
+                                 MalleusCostModel(task.model, cluster))
+        engine = ReplanEngine(planner)
+        base = healthy_rates(cluster)
+        context = planner.plan(base).context
+        failed = dict(base)
+        failed[0] = math.inf
+        outcome = engine.repair(context, failed)
+        assert outcome.repair_tier == "full"
+        assert outcome.result.breakdown.total <= \
+            outcome.repair_seconds + 1e-9
