@@ -6,6 +6,8 @@
 #   make migration - the migration + transition-aware planning suite
 #   make scenarios - the generated straggler-scenario suite
 #   make sweep     - the candidate-sweep engine suite (executors + warm cache)
+#   make service   - the planning-service suite (admission control, deadlines,
+#                    fault injection)
 #   make gate      - run the planner hot-path benchmark and gate it against
 #                    the committed baseline (one-liner perf gate)
 #   make gate-update - refresh the committed baseline from a fresh run
@@ -18,15 +20,19 @@
 #   make gate-presets - run the generated-trace preset scalability sweep and
 #                    gate its (deterministic) winners against the baseline
 #   make gate-presets-update - refresh the preset-scalability baseline
+#   make gate-service - run the planning-service latency benchmark and gate
+#                    its deterministic fields against the committed baseline
+#   make gate-service-update - refresh the service-latency baseline
 #   make gate-all  - every committed gate (hotpath, transition, scenarios,
-#                    Table-5 presets) plus the fast tier-1 run
+#                    Table-5 presets, service latency) plus the fast tier-1 run
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench replan migration scenarios sweep gate gate-update \
+.PHONY: test bench replan migration scenarios sweep service gate gate-update \
 	gate-transition gate-transition-update gate-scenarios \
-	gate-scenarios-update gate-presets gate-presets-update gate-all
+	gate-scenarios-update gate-presets gate-presets-update \
+	gate-service gate-service-update gate-all
 
 test:
 	$(PYTHON) -m pytest -x -q -m "not bench"
@@ -45,6 +51,9 @@ scenarios:
 
 sweep:
 	$(PYTHON) -m pytest -q -m "sweep and not bench"
+
+service:
+	$(PYTHON) -m pytest -q -m "service and not bench"
 
 gate:
 	$(PYTHON) -m repro.experiments.planner_hotpath --gate
@@ -70,4 +79,10 @@ gate-presets:
 gate-presets-update:
 	$(PYTHON) -m repro.experiments.planning_scalability --update
 
-gate-all: gate gate-transition gate-scenarios gate-presets test
+gate-service:
+	$(PYTHON) -m repro.experiments.service_latency --gate
+
+gate-service-update:
+	$(PYTHON) -m repro.experiments.service_latency --update
+
+gate-all: gate gate-transition gate-scenarios gate-presets gate-service test

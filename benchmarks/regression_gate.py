@@ -19,7 +19,13 @@ benchmarks/test_bench_scenario_sweep.py``): the generated-trace scenario
 sweep is gated on its invariants (overlapped migration strictly reduces
 downtime on the frequent-small-events and node-correlated presets, step
 regression within epsilon of a cold plan) plus exact baseline agreement
-(``python -m repro.experiments.scenario_sweep --gate``).
+(``python -m repro.experiments.scenario_sweep --gate``).  A fresh
+``BENCH_service_latency.json`` (written by ``pytest
+benchmarks/test_bench_service_latency.py``) adds the planning-service
+gate: deterministic fields (repair counts, coalesce ratios, plan
+equality, queue waits, service counters) must agree with the committed
+baseline exactly, wall-clock latency percentiles within the timing
+tolerance (``python -m repro.experiments.service_latency --gate``).
 
 The comparison logic lives in
 :func:`repro.experiments.planner_hotpath.gate_against_baseline`; this
@@ -54,6 +60,9 @@ from repro.experiments.planner_hotpath import gate_against_baseline  # noqa: E40
 from repro.experiments.scenario_sweep import (  # noqa: E402
     gate_against_baseline as gate_scenario_sweep,
 )
+from repro.experiments.service_latency import (  # noqa: E402
+    gate_against_baseline as gate_service_latency,
+)
 from repro.experiments.transition_study import (  # noqa: E402
     gate_against_baseline as gate_transition_study,
 )
@@ -67,6 +76,9 @@ TRANSITION_BASELINE = os.path.join(HERE, "baselines",
 SCENARIO_FRESH = os.path.join(HERE, "BENCH_scenario_sweep.json")
 SCENARIO_BASELINE = os.path.join(HERE, "baselines",
                                  "BENCH_scenario_sweep.json")
+SERVICE_FRESH = os.path.join(HERE, "BENCH_service_latency.json")
+SERVICE_BASELINE = os.path.join(HERE, "baselines",
+                                "BENCH_service_latency.json")
 
 
 def main(argv=None) -> int:
@@ -110,6 +122,10 @@ def main(argv=None) -> int:
             os.path.exists(SCENARIO_BASELINE):
         status = max(status, gate_scenario_sweep(SCENARIO_FRESH,
                                                  SCENARIO_BASELINE))
+    if os.path.exists(SERVICE_FRESH) and \
+            os.path.exists(SERVICE_BASELINE):
+        status = max(status, gate_service_latency(SERVICE_FRESH,
+                                                  SERVICE_BASELINE))
     return status
 
 

@@ -1,0 +1,72 @@
+"""Planning-service benchmark: coalesced storms vs raw event processing.
+
+Runs the service-latency benchmark
+(:mod:`repro.experiments.service_latency`) and asserts its contract:
+
+* on the ``flapping`` and ``frequent-small-events`` storm presets the
+  service's repair count is at most half the raw (one-episode-per-event)
+  repair count;
+* the service's final plan equals what directly processing its coalesced
+  deltas produces (the queueing machinery changes *when* planning runs,
+  never *what* is planned);
+* no planning episode raised and every admitted event settled.
+
+Writes ``BENCH_service_latency.json`` so ``benchmarks/regression_gate.py``
+(or ``make gate-service``) can compare the deterministic fields against
+the committed baseline exactly (wall-clock latency percentiles are gated
+with the usual timing tolerance instead).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.service_latency import (
+    RATIO_BOUND,
+    check_service_invariants,
+    format_service_latency,
+    run_service_latency,
+    write_service_json,
+)
+
+pytestmark = [pytest.mark.bench, pytest.mark.service]
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FRESH_PATH = os.path.join(HERE, "BENCH_service_latency.json")
+
+
+@pytest.fixture(scope="module")
+def latency_result():
+    result = run_service_latency()
+    write_service_json(result, FRESH_PATH)
+    return result
+
+
+def test_contract_invariants_hold(latency_result):
+    failures = check_service_invariants(latency_result)
+    assert not failures, "\n".join(failures)
+
+
+def test_storms_coalesce_to_half_the_raw_repairs(latency_result):
+    for row in latency_result.rows:
+        assert row.raw_repairs > 0
+        assert row.service_repairs <= RATIO_BOUND * row.raw_repairs + 1e-9
+
+
+def test_final_plans_match_direct_processing(latency_result):
+    assert latency_result.all_plans_match
+
+
+def test_every_event_settles_without_a_fault(latency_result):
+    for row in latency_result.rows:
+        stats = row.stats
+        assert stats["faults"] == 0
+        assert stats["repairs"] + stats["no_ops"] == stats["episodes"] - \
+            stats["deferrals"]
+        assert stats["submitted"] == row.num_events
+
+
+def test_report_renders(latency_result, capsys):
+    print()
+    print(format_service_latency(latency_result))
+    assert "Planning-service latency" in capsys.readouterr().out

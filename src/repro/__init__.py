@@ -49,7 +49,7 @@ from .core import (
 )
 from .models import TrainingTask, TransformerModelSpec, get_model, paper_task
 from .parallel import ParallelizationPlan, TPGroup, uniform_megatron_plan
-from .runtime import MalleusSystem
+from .runtime import MalleusSystem, PlanningService, ServiceConfig
 from .simulator import ExecutionSimulator, run_trace, theoretic_optimal_step_time
 
 __version__ = "1.0.0"
@@ -69,7 +69,9 @@ __all__ = [
     "OobleckBaseline",
     "ParallelizationPlan",
     "PlanningResult",
+    "PlanningService",
     "Profiler",
+    "ServiceConfig",
     "SolutionCache",
     "StragglerSpec",
     "StragglerTrace",

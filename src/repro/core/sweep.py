@@ -197,6 +197,16 @@ class SweepConfig:
     backend: str = "serial"
     workers: int = 0
     warm_cache: bool = False
+    #: Worker-pool fault budget: how many pool crashes (a worker died
+    #: mid-batch, the pool broke) the executor absorbs by rebuilding the
+    #: pool and retrying the batch before it degrades *permanently* to
+    #: serial evaluation.  Every batch always produces results — a pool
+    #: fault costs latency, never a plan.
+    pool_retries: int = 1
+    #: Seconds to wait for one batch before declaring the pool hung and
+    #: treating it like a crash (0 disables the watchdog).  A hung worker
+    #: cannot be joined, so the teardown kills the pool without waiting.
+    batch_timeout: float = 0.0
     #: Consecutive warm hits a cache entry may serve before its candidate
     #: is re-solved cold (and the entry refreshed).  Bounds the division
     #: drift a repeatedly-warm-started candidate can accumulate; the age
@@ -219,6 +229,10 @@ class SweepConfig:
             raise ValueError("max_warm_age must be >= 1")
         if self.resolve_margin < 0:
             raise ValueError("resolve_margin must be >= 0")
+        if self.pool_retries < 0:
+            raise ValueError("pool_retries must be >= 0")
+        if self.batch_timeout < 0:
+            raise ValueError("batch_timeout must be >= 0")
 
     def resolved_workers(self) -> int:
         """The worker count a process pool would use."""
@@ -568,14 +582,50 @@ class SweepExecutor:
         self.config = config or SweepConfig()
         self._pool = None
         self._pool_token = None
+        #: Pool crashes absorbed so far (drives the retry budget).
+        self._pool_faults = 0
+        #: Fault diagnostics: pool crashes/hangs seen, batches retried on a
+        #: rebuilt pool, and whether the executor fell back to serial for
+        #: good (the fault budget ran out).
+        self.fault_stats: Dict[str, object] = {
+            "pool_failures": 0, "batch_retries": 0, "serial_fallback": False,
+        }
 
     # -- lifecycle -----------------------------------------------------
     def shutdown(self) -> None:
-        """Terminate the worker pool (no-op for the serial backend)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
-            self._pool_token = None
+        """Terminate the worker pool (no-op for the serial backend).
+
+        Idempotent and exception-safe: the pool reference is dropped
+        *before* the pool is joined, so a worker that died mid-batch (whose
+        executor may raise from ``shutdown``) can never wedge teardown or
+        leave a half-dead pool behind for the next batch.
+        """
+        self._teardown_pool(dead=False)
+
+    def close(self) -> None:
+        """Alias of :meth:`shutdown` (idempotent, exception-safe)."""
+        self.shutdown()
+
+    def _teardown_pool(self, dead: bool) -> None:
+        pool, self._pool, self._pool_token = self._pool, None, None
+        if pool is None:
+            return
+        try:
+            if dead:
+                # The pool is broken or hung: never wait on its workers.
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            pass
+        if dead:
+            # A hung worker survives a no-wait shutdown; kill what's left.
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
 
     def __enter__(self) -> "SweepExecutor":
         return self
@@ -592,14 +642,40 @@ class SweepExecutor:
     # -- execution -----------------------------------------------------
     def run(self, ctx: EvalContext,
             specs: Sequence[CandidateSpec]) -> List[CandidateResult]:
-        """Evaluate ``specs``, returning results in spec order."""
+        """Evaluate ``specs``, returning results in spec order.
+
+        The process backend is fault-tolerant: a batch that dies with the
+        pool (a crashed worker) or exceeds ``SweepConfig.batch_timeout``
+        (a hung worker) tears the pool down, and the batch is retried on a
+        fresh pool while the ``pool_retries`` budget lasts — after that
+        the executor degrades to serial evaluation permanently.  Either
+        way every call returns a full, spec-ordered result list; a worker
+        fault can cost latency but never a plan.
+        """
         if not specs:
             return []
-        if self.config.backend != "process" or len(specs) == 1:
+        if self.config.backend != "process" or len(specs) == 1 or \
+                self.fault_stats["serial_fallback"]:
             return [evaluate_candidate(ctx, spec) for spec in specs]
-        pool = self._ensure_pool(ctx)
-        if pool is None:
-            return [evaluate_candidate(ctx, spec) for spec in specs]
+        while True:
+            pool = self._ensure_pool(ctx)
+            if pool is None:
+                break
+            try:
+                return self._run_batch(pool, ctx, specs)
+            except Exception:
+                self.fault_stats["pool_failures"] += 1
+                self._pool_faults += 1
+                self._teardown_pool(dead=True)
+                if self._pool_faults <= self.config.pool_retries:
+                    self.fault_stats["batch_retries"] += 1
+                    continue
+                self.fault_stats["serial_fallback"] = True
+                break
+        return [evaluate_candidate(ctx, spec) for spec in specs]
+
+    def _run_batch(self, pool, ctx: EvalContext,
+                   specs: Sequence[CandidateSpec]) -> List[CandidateResult]:
         workers = self.config.resolved_workers()
         chunks: List[List[CandidateSpec]] = [[] for _ in range(workers)]
         for i, spec in enumerate(specs):
@@ -611,9 +687,10 @@ class SweepExecutor:
                          config_vars, chunk))
             for chunk in chunks if chunk
         ]
+        timeout = self.config.batch_timeout or None
         by_entry: Dict[int, CandidateResult] = {}
         for future in futures:
-            for result in future.result():
+            for result in future.result(timeout=timeout):
                 by_entry[result.entry_index] = result
         return [by_entry[spec.entry_index] for spec in specs]
 

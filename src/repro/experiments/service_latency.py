@@ -1,0 +1,444 @@
+"""Event-to-new-plan latency of the planning service on storm presets.
+
+The planning service's headline claim (PR 6): on event-storm regimes the
+admission controller coalesces bursts to a fraction of the raw repair
+count *without changing the plans* — the service's final plan equals
+what direct processing of the coalesced deltas produces — while keeping
+event-to-new-plan latency bounded and every event accounted for.
+
+For each storm preset (``flapping``, ``frequent-small-events``) three
+arms run over the *identical* seeded trace:
+
+``raw``
+    Every generated situation drives
+    :meth:`~repro.runtime.malleus.MalleusSystem.on_situation_change`
+    directly — the PR-5 behaviour, one planning episode per event.
+``service``
+    The same situations are submitted to a coalescing
+    :class:`~repro.runtime.service.PlanningService` (debounce window in
+    sim time, one ``pump`` per event, final ``drain``); every planning
+    episode's state is captured.
+``replay``
+    The captured episode states are replayed through a fresh system
+    directly.  Its final plan must equal the service's — the queueing
+    machinery must be invisible apart from *which* states get planned.
+
+Determinism: everything except wall-clock latency (event counts, repair
+counts, coalesce ratios, plan equality, sim-time queue waits, the
+service's counters) is seeded and analytic, so the gate compares those
+against the committed baseline exactly.  Wall-clock p50/p99 episode
+latency is machine-dependent and is gated like the hot-path benchmark —
+a relative regression tolerance plus absolute slack.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.stragglers import ClusterState
+from ..runtime.malleus import MalleusSystem
+from ..runtime.service import PlanningService, ServiceConfig, percentile
+from ..testing.faults import storm_states
+from .common import format_table, paper_workload
+
+#: Storm presets the service must tame (the acceptance criteria's pair).
+DEFAULT_PRESETS = ("flapping", "frequent-small-events")
+
+#: Adjustment kinds that count as a repair episode.
+REPAIR_KINDS = ("migrate", "replan", "restart")
+
+#: The acceptance bound: service repairs <= RATIO_BOUND * raw repairs.
+RATIO_BOUND = 0.5
+
+
+@dataclass
+class ServiceLatencyRow:
+    """One preset's three-arm outcome."""
+
+    preset: str
+    seed: int
+    #: Events submitted (generated situations after the setup one).
+    num_events: int
+    #: Planning episodes that changed/kept the plan when every event is
+    #: processed directly (the PR-5 cost of the storm).
+    raw_repairs: int
+    #: Service planning episodes and how many of them repaired.
+    episodes: int
+    service_repairs: int
+    #: service_repairs / raw_repairs (the coalescing win; gate: <= 0.5).
+    coalesce_ratio: float
+    #: Final service plan == final plan of directly replaying the
+    #: service's episode states (the equivalence half of the contract).
+    plans_match: bool
+    #: Sim-time queue waits over settled episodes (deterministic).
+    queue_wait_p50: float
+    queue_wait_p99: float
+    #: Wall-clock episode latency (machine-dependent; tolerance-gated).
+    latency_p50: float
+    latency_p99: float
+    #: The service's lifetime counters (all deterministic).
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "preset": self.preset,
+            "seed": self.seed,
+            "num_events": self.num_events,
+            "raw_repairs": self.raw_repairs,
+            "episodes": self.episodes,
+            "service_repairs": self.service_repairs,
+            "coalesce_ratio": self.coalesce_ratio,
+            "plans_match": self.plans_match,
+            "queue_wait_p50": self.queue_wait_p50,
+            "queue_wait_p99": self.queue_wait_p99,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "stats": dict(self.stats),
+        }
+
+
+@dataclass
+class ServiceLatencyResult:
+    """Benchmark-wide outcome."""
+
+    model: str
+    debounce_window: float
+    debounce_limit: float
+    rows: List[ServiceLatencyRow] = field(default_factory=list)
+
+    def row(self, preset: str) -> ServiceLatencyRow:
+        for row in self.rows:
+            if row.preset == preset:
+                return row
+        raise KeyError(f"preset '{preset}' not in benchmark")
+
+    @property
+    def worst_ratio(self) -> float:
+        return max((row.coalesce_ratio for row in self.rows), default=0.0)
+
+    @property
+    def all_plans_match(self) -> bool:
+        return all(row.plans_match for row in self.rows)
+
+    def as_dict(self) -> Dict:
+        return {
+            "model": self.model,
+            "debounce_window": self.debounce_window,
+            "debounce_limit": self.debounce_limit,
+            "rows": [row.as_dict() for row in self.rows],
+            "worst_ratio": self.worst_ratio,
+            "all_plans_match": self.all_plans_match,
+        }
+
+
+def _plan_signature(system: MalleusSystem):
+    """The comparable identity of a system's current plan."""
+    plan = system.plan
+    if plan is None:
+        return None
+    return (plan.stage_shape(), plan.micro_batches(),
+            tuple(sorted(plan.active_gpus)))
+
+
+def run_service_latency(model_name: str = "32b",
+                        presets: Sequence[str] = DEFAULT_PRESETS,
+                        seed: int = 1,
+                        debounce_window: float = 2.0,
+                        debounce_limit: float = 6.0) -> ServiceLatencyResult:
+    """Run the three arms over every storm preset.
+
+    The sim clock ticks one second per generated event, so a debounce
+    window of 2.0 means "the GPU went two events without moving again".
+    """
+    result = ServiceLatencyResult(
+        model=model_name, debounce_window=debounce_window,
+        debounce_limit=debounce_limit,
+    )
+    for preset in presets:
+        workload = paper_workload(model_name)
+        states = storm_states(workload.cluster, preset, seed=seed)
+        events = states[1:]
+
+        # -- raw arm: one direct episode per event ---------------------
+        raw = MalleusSystem(workload.task, workload.cluster,
+                            workload.cost_model)
+        raw.setup(states[0])
+        raw_repairs = 0
+        for state in events:
+            if raw.on_situation_change(state).kind in REPAIR_KINDS:
+                raw_repairs += 1
+
+        # -- service arm: coalesced admission --------------------------
+        system = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model)
+        service = PlanningService(system, ServiceConfig(
+            coalesce=True, debounce_window=debounce_window,
+            debounce_limit=debounce_limit,
+        ))
+        service.setup(states[0])
+        episode_states: List[ClusterState] = []
+        inner = system.on_situation_change
+
+        def capture(state, rebalance_only=False, force=False,
+                    _inner=inner, _log=episode_states):
+            _log.append(state)
+            return _inner(state, rebalance_only=rebalance_only, force=force)
+
+        system.on_situation_change = capture
+        for index, state in enumerate(events):
+            now = float(index)
+            service.submit(state, now=now)
+            service.pump(now=now)
+        service.drain(now=float(len(events)) + debounce_window)
+        system.on_situation_change = inner
+
+        # -- replay arm: the coalesced deltas, processed directly ------
+        replay = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model)
+        replay.setup(states[0])
+        for state in episode_states:
+            replay.on_situation_change(state)
+
+        latencies = service.latency_percentiles()
+        waits = service.queue_wait_percentiles()
+        result.rows.append(ServiceLatencyRow(
+            preset=preset,
+            seed=seed,
+            num_events=len(events),
+            raw_repairs=raw_repairs,
+            episodes=service.stats.episodes,
+            service_repairs=service.stats.repairs,
+            coalesce_ratio=(service.stats.repairs / raw_repairs
+                            if raw_repairs else 0.0),
+            plans_match=(_plan_signature(system) == _plan_signature(replay)
+                         and _plan_signature(system) is not None),
+            queue_wait_p50=waits["p50"],
+            queue_wait_p99=waits["p99"],
+            latency_p50=latencies["p50"],
+            latency_p99=latencies["p99"],
+            stats=service.stats.as_dict(),
+        ))
+    return result
+
+
+def format_service_latency(result: ServiceLatencyResult) -> str:
+    """Render the per-preset comparison plus aggregates."""
+    headers = ["Preset", "Events", "Raw repairs", "Episodes",
+               "Svc repairs", "Ratio", "Plans", "Wait p99",
+               "Latency p50", "Latency p99"]
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.preset,
+            f"{row.num_events}",
+            f"{row.raw_repairs}",
+            f"{row.episodes}",
+            f"{row.service_repairs}",
+            f"{row.coalesce_ratio:.2f}",
+            "match" if row.plans_match else "DIVERGED",
+            f"{row.queue_wait_p99:.1f}s",
+            f"{row.latency_p50 * 1e3:.1f}ms",
+            f"{row.latency_p99 * 1e3:.1f}ms",
+        ])
+    table = format_table(
+        headers, rows,
+        title=f"Planning-service latency: raw vs coalesced storms "
+              f"({result.model}, debounce={result.debounce_window:g}s, "
+              f"limit={result.debounce_limit:g}s)",
+    )
+    summary = (
+        f"\nworst coalesce ratio {result.worst_ratio:.2f} "
+        f"(bound {RATIO_BOUND:.2f}); plans "
+        f"{'all match' if result.all_plans_match else 'DIVERGED'}"
+    )
+    return table + summary
+
+
+# ----------------------------------------------------------------------
+# Persistence + regression gate
+# ----------------------------------------------------------------------
+def write_service_json(result: ServiceLatencyResult, path: str) -> None:
+    """Persist a run for the regression gate."""
+    with open(path, "w") as handle:
+        json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_service_json(path: str) -> ServiceLatencyResult:
+    """Load a persisted run."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    result = ServiceLatencyResult(
+        model=payload["model"],
+        debounce_window=payload["debounce_window"],
+        debounce_limit=payload["debounce_limit"],
+    )
+    for entry in payload["rows"]:
+        result.rows.append(ServiceLatencyRow(**entry))
+    return result
+
+
+def check_service_invariants(result: ServiceLatencyResult) -> List[str]:
+    """The benchmark's acceptance contract; returns failure messages."""
+    failures = []
+    for row in result.rows:
+        if row.raw_repairs and \
+                row.service_repairs > RATIO_BOUND * row.raw_repairs + 1e-9:
+            failures.append(
+                f"{row.preset}: {row.service_repairs} service repairs "
+                f"exceed {RATIO_BOUND:.0%} of {row.raw_repairs} raw repairs"
+            )
+        if not row.plans_match:
+            failures.append(
+                f"{row.preset}: service final plan diverged from directly "
+                f"processing the coalesced deltas"
+            )
+        stats = row.stats
+        if stats.get("faults", 0):
+            failures.append(f"{row.preset}: {stats['faults']} planning "
+                            f"episodes raised")
+        settled = stats.get("repairs", 0) + stats.get("no_ops", 0)
+        if stats.get("episodes", 0) < settled:
+            failures.append(f"{row.preset}: settled episodes exceed total")
+        if not math.isfinite(row.queue_wait_p99) or row.queue_wait_p99 < 0:
+            failures.append(f"{row.preset}: bad queue-wait p99 "
+                            f"{row.queue_wait_p99!r}")
+        for label, value in (("latency_p50", row.latency_p50),
+                             ("latency_p99", row.latency_p99)):
+            if not math.isfinite(value) or value < 0:
+                failures.append(f"{row.preset}: bad {label} {value!r}")
+    return failures
+
+
+#: Deterministic per-row fields compared exactly against the baseline.
+EXACT_FIELDS = ("num_events", "raw_repairs", "episodes", "service_repairs",
+                "coalesce_ratio", "plans_match", "queue_wait_p50",
+                "queue_wait_p99")
+
+
+def gate_against_baseline(fresh_path: str, baseline_path: str,
+                          tolerance: float = 0.5,
+                          min_delta: float = 0.05) -> int:
+    """Compare a fresh run against the committed baseline.
+
+    Deterministic fields (event/repair counts, coalesce ratios, plan
+    equality, sim-time queue waits, service counters) must agree exactly;
+    wall-clock latency percentiles may regress by at most ``tolerance``
+    relative plus ``min_delta`` absolute seconds (timer jitter on
+    millisecond rows must not trip the gate).
+    """
+    fresh = read_service_json(fresh_path)
+    baseline = read_service_json(baseline_path)
+    failures = check_service_invariants(fresh)
+
+    for base_row in baseline.rows:
+        try:
+            fresh_row = fresh.row(base_row.preset)
+        except KeyError:
+            failures.append(f"{base_row.preset}: missing from fresh run")
+            continue
+        for name in EXACT_FIELDS:
+            fresh_value = getattr(fresh_row, name)
+            base_value = getattr(base_row, name)
+            matches = (
+                math.isclose(fresh_value, base_value,
+                             rel_tol=1e-9, abs_tol=1e-9)
+                if isinstance(base_value, float)
+                else fresh_value == base_value
+            )
+            status = "ok" if matches else "CHANGED"
+            print(f"{base_row.preset:>22}.{name}: baseline {base_value}, "
+                  f"fresh {fresh_value} [{status}]")
+            if not matches:
+                failures.append(
+                    f"{base_row.preset}: {name} drifted "
+                    f"({fresh_value} vs committed {base_value})"
+                )
+        if fresh_row.stats != base_row.stats:
+            failures.append(
+                f"{base_row.preset}: service counters drifted "
+                f"({fresh_row.stats} vs committed {base_row.stats})"
+            )
+        for name in ("latency_p50", "latency_p99"):
+            fresh_value = getattr(fresh_row, name)
+            base_value = getattr(base_row, name)
+            limit = base_value * (1.0 + tolerance) + min_delta
+            status = "ok" if fresh_value <= limit else "REGRESSED"
+            print(f"{base_row.preset:>22}.{name}: baseline "
+                  f"{base_value * 1e3:.1f}ms, fresh "
+                  f"{fresh_value * 1e3:.1f}ms, limit {limit * 1e3:.1f}ms "
+                  f"[{status}]")
+            if fresh_value > limit:
+                failures.append(
+                    f"{base_row.preset}: {name} regressed "
+                    f"({fresh_value * 1e3:.1f}ms > limit "
+                    f"{limit * 1e3:.1f}ms)"
+                )
+    if failures:
+        print("service gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("service gate: OK")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: run the service-latency benchmark, optionally gate/re-baseline.
+
+    ``python -m repro.experiments.service_latency`` runs the benchmark
+    and writes the fresh JSON; ``--gate`` compares it against the
+    committed baseline, ``--update`` refreshes the baseline instead (see
+    also ``make gate-service``).
+    """
+    import argparse
+    import os
+    import shutil
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--gate", action="store_true",
+                        help="compare the fresh run against the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baseline from the fresh run")
+    parser.add_argument("--fresh",
+                        default="benchmarks/BENCH_service_latency.json",
+                        help="where to write the fresh run "
+                             "(default: %(default)s)")
+    parser.add_argument("--baseline",
+                        default="benchmarks/baselines/"
+                                "BENCH_service_latency.json",
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--model", default="32b",
+                        help="paper workload (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="trace-generation seed (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    result = run_service_latency(model_name=args.model, seed=args.seed)
+    print(format_service_latency(result))
+    os.makedirs(os.path.dirname(args.fresh) or ".", exist_ok=True)
+    write_service_json(result, args.fresh)
+    print(f"fresh run written to {args.fresh}")
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated at {args.baseline}")
+        return 0
+    if args.gate:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; seed it with --update")
+            return 1
+        return gate_against_baseline(args.fresh, args.baseline)
+    invariants = check_service_invariants(result)
+    for failure in invariants:
+        print(f"invariant FAILED: {failure}")
+    return 1 if invariants else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make
+    import sys
+
+    sys.exit(main())

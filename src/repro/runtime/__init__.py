@@ -6,6 +6,7 @@ from .replan import (
     EVENT_MEMBERSHIP_CHANGE,
     EVENT_MINOR_RATE_SHIFT,
     EVENT_NO_CHANGE,
+    TIER_DEFERRED,
     TIER_FULL,
     TIER_NONE,
     TIER_PARTIAL,
@@ -14,6 +15,15 @@ from .replan import (
     ReplanConfig,
     ReplanEngine,
 )
+from .service import (
+    MODE_FULL,
+    MODE_REBALANCE_ONLY,
+    MODE_SKIPPED,
+    PlanningService,
+    ServiceConfig,
+    ServiceRecord,
+    ServiceStats,
+)
 
 __all__ = [
     "MalleusSystem",
@@ -21,6 +31,13 @@ __all__ = [
     "ReplanEngine",
     "ReplanConfig",
     "RepairOutcome",
+    "PlanningService",
+    "ServiceConfig",
+    "ServiceRecord",
+    "ServiceStats",
+    "MODE_FULL",
+    "MODE_REBALANCE_ONLY",
+    "MODE_SKIPPED",
     "EVENT_NO_CHANGE",
     "EVENT_MINOR_RATE_SHIFT",
     "EVENT_GROUP_CHANGE",
@@ -29,4 +46,5 @@ __all__ = [
     "TIER_REBALANCE",
     "TIER_PARTIAL",
     "TIER_FULL",
+    "TIER_DEFERRED",
 ]

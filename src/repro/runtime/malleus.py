@@ -41,6 +41,7 @@ from ..simulator.restart import RestartCostConfig, restart_time
 from ..simulator.session import Adjustment
 from .replan import (
     EVENT_MEMBERSHIP_CHANGE,
+    TIER_DEFERRED,
     TIER_FULL,
     TIER_NONE,
     ReplanConfig,
@@ -201,7 +202,9 @@ class MalleusSystem:
         self._dp_degree = result.plan.dp_degree
         self.profiler.mark_standby(result.plan.removed_gpus)
 
-    def on_situation_change(self, state: ClusterState) -> Adjustment:
+    def on_situation_change(self, state: ClusterState,
+                            rebalance_only: bool = False,
+                            force: bool = False) -> Adjustment:
         """Re-plan (asynchronously) and migrate when the rates shift > 5 %.
 
         Events are first classified against the incumbent plan and repaired
@@ -209,10 +212,21 @@ class MalleusSystem:
         resulting event kind and repair tier are recorded on the returned
         :class:`~repro.simulator.session.Adjustment` and on the
         :class:`ReplanEvent` log.
+
+        ``rebalance_only`` is the planning service's degraded mode: only
+        the warm incumbent repair may run — never the candidate sweep or
+        the full planner.  An event the warm tier cannot serve comes back
+        as ``kind="deferred"`` (``repair_tier="deferred"``) with the
+        incumbent plan kept in force; GPU failures ignore the flag (a dead
+        GPU makes the incumbent plan unusable, so failure handling always
+        runs in full).  ``force=True`` skips the profiler's no-change
+        early-out: a deferred event's retry re-processes rates the
+        profiler has already observed (its shift detector advanced on the
+        first, deferred attempt), which would otherwise drop the event.
         """
         assert self.plan is not None
         report = self.profiler.measure(state)
-        if not report.changed:
+        if not report.changed and not force:
             self.current_rates = dict(report.rates)
             return Adjustment(kind="none")
 
@@ -222,12 +236,15 @@ class MalleusSystem:
         dp = self._dp_degree if self.keep_dp_degree else None
         event_kind = ""
         repair_tier = TIER_FULL
+        tier_errors: List[str] = []
         if self.incremental and self.plan_context is not None:
             outcome = self.replan_engine.repair(
                 self.plan_context, report.rates, dp=dp,
+                rebalance_only=rebalance_only,
             )
             event_kind = outcome.event_kind
             repair_tier = outcome.repair_tier
+            tier_errors = list(outcome.tier_errors)
             if outcome.repair_tier == TIER_NONE:
                 # The delta never touched the plan (e.g. standby-only
                 # jitter); keep everything, just note the observation.
@@ -235,10 +252,35 @@ class MalleusSystem:
                 return Adjustment(
                     kind="none", event_kind=event_kind,
                     repair_tier=repair_tier,
+                    tier_errors=tier_errors,
                     description="delta does not touch the incumbent plan",
+                )
+            if outcome.repair_tier == TIER_DEFERRED:
+                # The warm tier could not serve the event within the
+                # rebalance-only budget; the incumbent plan stays in force
+                # and the caller decides when to retry in full.
+                self.current_rates = dict(report.rates)
+                return Adjustment(
+                    kind="deferred",
+                    planning_time=outcome.repair_seconds,
+                    event_kind=event_kind, repair_tier=repair_tier,
+                    tier_errors=tier_errors,
+                    description=outcome.fallback_reason
+                    or "rebalance-only repair deferred",
                 )
             result = outcome.result
             planning_time = outcome.repair_seconds
+        elif rebalance_only:
+            # Without an incumbent repair context (or with the repair
+            # engine disabled) the only remaining tool is the full
+            # planner, which a rebalance-only request forbids.
+            self.current_rates = dict(report.rates)
+            return Adjustment(
+                kind="deferred", event_kind=event_kind,
+                repair_tier=TIER_DEFERRED,
+                description="no incumbent repair context for a "
+                            "rebalance-only repair",
+            )
         else:
             result = self.planner.plan(report.rates, dp=dp,
                                        previous=self.plan_context)
@@ -256,6 +298,7 @@ class MalleusSystem:
             return Adjustment(
                 kind="none", planning_time=planning_time,
                 event_kind=event_kind, repair_tier=repair_tier,
+                tier_errors=tier_errors,
                 description="re-planning infeasible; keeping current plan",
             )
 
@@ -314,6 +357,7 @@ class MalleusSystem:
             overlapped=self.async_replanning,
             event_kind=event_kind,
             repair_tier=repair_tier,
+            tier_errors=tier_errors,
             migration_bytes=migration_bytes,
             hidden_migration_time=hidden_time,
             sweep_stats=sweep_stats,

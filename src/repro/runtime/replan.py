@@ -117,6 +117,11 @@ TIER_NONE = "none"
 TIER_REBALANCE = "rebalance"
 TIER_PARTIAL = "partial_resolve"
 TIER_FULL = "full"
+#: Not a repair: a ``rebalance_only`` request the cheap tiers could not
+#: serve (membership change, infeasible warm solve, a tier exception).
+#: The caller keeps the incumbent plan and decides when to retry with the
+#: full engine — the planning service's deadline/deferral machinery.
+TIER_DEFERRED = "deferred"
 
 
 @dataclass
@@ -148,7 +153,12 @@ class RepairOutcome:
     """What the engine decided and did for one event.
 
     ``result`` is ``None`` only for ``TIER_NONE`` (nothing to repair: the
-    incumbent plan is untouched by the delta).
+    incumbent plan is untouched by the delta) and ``TIER_DEFERRED`` (a
+    ``rebalance_only`` request the cheap tiers could not serve — the
+    incumbent plan stays in force).  ``tier_errors`` records every tier
+    that *raised* while handling the event; a tier exception degrades to
+    the next tier (ultimately the full planner) instead of propagating,
+    so the entries here are the only trace the failure leaves.
     """
 
     event_kind: str
@@ -158,6 +168,7 @@ class RepairOutcome:
     touched_pipelines: List[int] = field(default_factory=list)
     fallback_reason: str = ""
     repair_seconds: float = 0.0
+    tier_errors: List[str] = field(default_factory=list)
 
 
 class ReplanEngine:
@@ -220,7 +231,8 @@ class ReplanEngine:
     # Repair dispatch
     # ------------------------------------------------------------------
     def repair(self, previous: PlanContext, rates: Dict[int, float],
-               dp: Optional[int] = None) -> RepairOutcome:
+               dp: Optional[int] = None,
+               rebalance_only: bool = False) -> RepairOutcome:
         """Classify one event and apply the cheapest sound repair.
 
         ``dp`` pins the DP degree of the candidate sweep and of the
@@ -230,6 +242,22 @@ class ReplanEngine:
         partial division repair (``division`` phase) — is charged to the
         result's :class:`~repro.core.planner.PlanningTimeBreakdown`, so
         repair timings decompose exactly like full-planner timings.
+
+        ``rebalance_only`` is the degraded mode the planning service runs
+        under a deadline: only the warm incumbent repair is attempted —
+        the candidate sweep over the other (tp, dp) pairs is skipped and
+        nothing ever falls back to the full planner.  An event the cheap
+        tiers cannot serve (membership change, infeasible or raising warm
+        solve) comes back as :data:`TIER_DEFERRED` with ``result=None``
+        and the incumbent plan stays in force; quality-wise a served
+        repair is a real feasible plan, merely without the sweep's
+        guarantee of matching a full re-plan.
+
+        A tier that *raises* never aborts the event: the engine records
+        the error on ``RepairOutcome.tier_errors`` and degrades to the
+        next tier — ultimately the full planner (or ``TIER_DEFERRED``
+        under ``rebalance_only``).  Only an exception from the full
+        planner itself propagates.
         """
         start = time.perf_counter()
         # Same self-heal as MalleusPlanner.plan: repairs call the cost
@@ -241,17 +269,34 @@ class ReplanEngine:
             refresh()
         pre = PlanningTimeBreakdown()
         if not self.config.enabled:
+            if rebalance_only:
+                return self._deferred(EVENT_NO_CHANGE, [], start,
+                                      "incremental re-planning disabled")
             return self._full(previous, rates, dp, EVENT_NO_CHANGE,
                               "incremental re-planning disabled", start, pre)
-        if not self.planner.enable_pruning:
+        if not self.planner.enable_pruning and not rebalance_only:
             # The repair's soundness versus the full planner rests on the
             # bound-pruned candidate sweep; with pruning disabled every
             # non-incumbent candidate would have to be solved exactly anyway,
-            # so there is nothing to save — run the full planner.
+            # so there is nothing to save — run the full planner.  (A
+            # rebalance-only request skips the sweep entirely, so it stays
+            # on the warm path regardless.)
             return self._full(previous, rates, dp, EVENT_NO_CHANGE,
                               "planner pruning disabled", start, pre)
+        tier_errors: List[str] = []
         phase = time.perf_counter()
-        kind, touched, delta = self.classify(previous, rates)
+        try:
+            kind, touched, delta = self.classify(previous, rates)
+        except Exception as exc:
+            pre.grouping += time.perf_counter() - phase
+            tier_errors.append(f"classify: {exc!r}")
+            if rebalance_only:
+                return self._deferred(EVENT_NO_CHANGE, [], start,
+                                      "classification raised", tier_errors)
+            outcome = self._full(previous, rates, dp, EVENT_NO_CHANGE,
+                                 "classification raised", start, pre)
+            outcome.tier_errors = tier_errors
+            return outcome
         pre.grouping += time.perf_counter() - phase
         if kind == EVENT_NO_CHANGE:
             return RepairOutcome(
@@ -259,6 +304,12 @@ class ReplanEngine:
                 repair_seconds=time.perf_counter() - start,
             )
         if kind == EVENT_MEMBERSHIP_CHANGE:
+            if rebalance_only:
+                # Membership changes move the feasible set; nothing short
+                # of a full solve is sound, and that is exactly what a
+                # rebalance-only request forbids.
+                return self._deferred(kind, touched, start,
+                                      "membership change needs a full solve")
             # Failure/join: every cached sweep division was solved for a
             # different GPU membership — evict before the full fallback.
             self.planner.solution_cache.evict_membership_change()
@@ -266,12 +317,18 @@ class ReplanEngine:
                               "membership change", start, pre)
         phase = time.perf_counter()
         if kind == EVENT_MINOR_RATE_SHIFT:
-            prepared = self._prepare_minor(previous, rates, touched)
             tier = TIER_REBALANCE
         else:
-            prepared = self._prepare_group_change(previous, rates, touched,
-                                                  delta)
             tier = TIER_PARTIAL
+        try:
+            if kind == EVENT_MINOR_RATE_SHIFT:
+                prepared = self._prepare_minor(previous, rates, touched)
+            else:
+                prepared = self._prepare_group_change(previous, rates,
+                                                      touched, delta)
+        except Exception as exc:
+            prepared = None
+            tier_errors.append(f"{tier} preparation: {exc!r}")
         pre.division += time.perf_counter() - phase
         if prepared == "untouched":
             return RepairOutcome(
@@ -282,20 +339,41 @@ class ReplanEngine:
         outcome: Optional[RepairOutcome] = None
         if prepared is not None:
             pipelines, touched_pipelines = prepared
-            result = self._solve_repair(previous, rates, touched, delta,
-                                        pipelines, touched_pipelines, dp,
-                                        resolve_incumbent=(tier == TIER_PARTIAL),
-                                        breakdown=pre)
+            try:
+                if rebalance_only:
+                    result = self._solve_rebalance_only(
+                        previous, rates, delta, pipelines, touched_pipelines,
+                        breakdown=pre,
+                    )
+                else:
+                    result = self._solve_repair(
+                        previous, rates, touched, delta,
+                        pipelines, touched_pipelines, dp,
+                        resolve_incumbent=(tier == TIER_PARTIAL),
+                        breakdown=pre,
+                    )
+            except Exception as exc:
+                result = None
+                tier_errors.append(f"{tier} solve: {exc!r}")
             if result is not None:
                 outcome = RepairOutcome(
                     event_kind=kind, repair_tier=tier, result=result,
                     touched_gpus=list(touched),
                     touched_pipelines=list(touched_pipelines),
                     repair_seconds=time.perf_counter() - start,
+                    tier_errors=list(tier_errors),
                 )
         if outcome is None:
-            return self._full(previous, rates, dp, kind,
-                              "incremental repair infeasible", start, pre)
+            reason = "incremental repair infeasible"
+            if tier_errors:
+                reason = f"repair tier raised ({'; '.join(tier_errors)})"
+            if rebalance_only:
+                return self._deferred(kind, touched, start, reason,
+                                      tier_errors)
+            outcome = self._full(previous, rates, dp, kind, reason, start,
+                                 pre)
+            outcome.tier_errors = tier_errors
+            return outcome
         if self.config.verify:
             full = self.planner.plan(rates, dp=dp)
             repaired = outcome.result.estimated_step_time
@@ -321,6 +399,82 @@ class ReplanEngine:
             event_kind=kind, repair_tier=TIER_FULL, result=result,
             fallback_reason=reason,
             repair_seconds=time.perf_counter() - start,
+        )
+
+    def _deferred(self, kind: str, touched: Sequence[int], start: float,
+                  reason: str,
+                  tier_errors: Optional[List[str]] = None) -> RepairOutcome:
+        """A ``rebalance_only`` request the cheap tiers could not serve."""
+        return RepairOutcome(
+            event_kind=kind, repair_tier=TIER_DEFERRED, result=None,
+            touched_gpus=list(touched),
+            fallback_reason=reason,
+            repair_seconds=time.perf_counter() - start,
+            tier_errors=list(tier_errors or []),
+        )
+
+    def _solve_rebalance_only(
+        self,
+        previous: PlanContext,
+        rates: Dict[int, float],
+        delta: Optional[RegroupDelta],
+        pipelines: List[List[TPGroup]],
+        touched_pipelines: Sequence[int],
+        breakdown: PlanningTimeBreakdown,
+    ) -> Optional[PlanningResult]:
+        """Warm incumbent repair with no candidate sweep (degraded mode).
+
+        Exactly the warm lower-level re-solve of :meth:`_solve_repair`,
+        but the bound-ordered sweep over the other ``(tp, dp)`` pairs is
+        skipped: the repaired incumbent candidate *is* the answer.  The
+        produced :class:`~repro.core.planner.PlanContext` keeps the
+        incumbent TP limit and carries the delta-updated grouping, so a
+        later full repair warm-starts exactly as if the sweep had run and
+        re-elected the incumbent.
+        """
+        planner = self.planner
+        task = planner.task
+        cost_model = planner.cost_model
+        all_gpu_ids = planner.cluster.gpu_ids()
+
+        warm = self._warm_lower_level(previous, rates, pipelines,
+                                      touched_pipelines, breakdown)
+        if warm is None:
+            return None
+        best_candidate, best_time, best_b = warm
+        incumbent_grouping = delta.grouping if delta is not None \
+            else previous.grouping
+        groupings = dict(previous.groupings)
+        groupings[previous.tp_limit] = incumbent_grouping
+
+        start = time.perf_counter()
+        plan = best_candidate.materialize(rates, cost_model, all_gpu_ids)
+        breakdown.assignment += time.perf_counter() - start
+        plan.estimated_step_time = best_time
+        context = PlanContext(
+            rates=dict(rates),
+            tp_limit=previous.tp_limit,
+            dp_degree=len(pipelines),
+            grouping=incumbent_grouping,
+            pipelines_groups=best_candidate.pipelines_groups,
+            candidate=best_candidate,
+            micro_batch_size=best_b,
+            estimated_step_time=best_time,
+            groupings=groupings,
+        )
+        candidates = [CandidateRecord(
+            tp_limit=previous.tp_limit, dp_degree=len(pipelines),
+            estimated_step_time=best_time, feasible=True,
+            num_groups=incumbent_grouping.num_groups(),
+            isolated_gpus=list(incumbent_grouping.isolated_gpus),
+        )]
+        return PlanningResult(
+            plan=plan,
+            estimated_step_time=best_time,
+            breakdown=breakdown,
+            candidates=candidates,
+            feasible=True,
+            context=context,
         )
 
     # ------------------------------------------------------------------

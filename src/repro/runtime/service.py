@@ -1,0 +1,530 @@
+"""The always-on planning service: admission control, deadlines, deferral.
+
+:class:`~repro.runtime.malleus.MalleusSystem` re-plans once per observed
+situation; a production fleet instead emits event *storms* — the same GPU
+flapping every few seconds, twenty small deltas where one repair suffices
+— and a planner that blocks past its budget (or crashes mid-repair)
+leaves the job on the stale plan indefinitely.  :class:`PlanningService`
+wraps a system behind an event queue and makes planning a long-lived,
+failure-tolerant service:
+
+**Admission control and burst coalescing** (``ServiceConfig.coalesce``).
+Every submission is reduced to a per-GPU delta against the service's
+latest observed view; deltas touching the same GPU supersede each other
+inside one queued entry (the disjointness invariant: each GPU appears in
+at most one entry, entries touching overlapping GPU sets are merged), a
+debounce window holds an entry back until its GPU stops flapping (with a
+hard age limit so a permanently-flapping GPU still gets repaired), and a
+bounded queue sheds backlog deterministically by merging its two oldest
+entries — shedding loses *entries*, never rates.  Failure deltas are
+urgent and bypass the debounce entirely.
+
+**Planner deadlines with graceful degradation** (``ServiceConfig.deadline``).
+Each episode runs under a wall-clock budget.  The service predicts every
+tier's duration with a per-tier EWMA and degrades *before* planning:
+full repair when it is predicted to fit, warm ``rebalance_only`` repair
+when only that fits, and an immediate recorded deferral when nothing
+fits.  A deferred event retries with exponential backoff; after
+``max_retries`` deferrals the event is *forced* through the full engine
+regardless of the deadline — an event always ends in a repair or a
+recorded degradation, never in a lost plan.  Budget overruns are
+recorded post-hoc (planning is never preempted mid-solve) and feed the
+EWMA, degrading future episodes instead.
+
+Two time axes, deliberately: queueing (debounce, backoff, queue waits)
+runs on the caller-supplied simulation clock ``now`` — deterministic and
+test-controlled — while planner budgets are measured on an injectable
+wall clock (``clock=``, default :func:`time.perf_counter`; the fault
+harness injects a fake one to script overruns deterministically).
+
+With every knob at its default the service is a pure pass-through:
+``submit`` + ``pump`` drive the wrapped system 1:1, in order, with the
+submitted states verbatim — bit-identical to calling
+``system.on_situation_change`` directly, which is what keeps the
+existing regression gates green with the service in the loop.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..cluster.stragglers import ClusterState
+from ..simulator.session import Adjustment
+from .malleus import MalleusSystem
+from .replan import TIER_DEFERRED
+
+#: How an episode was allowed to plan (the degradation ladder, §-less).
+MODE_FULL = "full"
+MODE_REBALANCE_ONLY = "rebalance_only"
+MODE_SKIPPED = "skipped"
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` in [0, 100]; an empty input yields ``nan`` so callers can gate
+    on "no data" explicitly instead of tripping over an exception.
+    """
+    if not values:
+        return math.nan
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of the planning service.  Every default is *off*.
+
+    Admission control:
+
+    ``coalesce``
+        Master switch for delta coalescing.  Off, the service is a strict
+        FIFO pass-through (one submission = one planning episode).
+    ``debounce_window``
+        Sim-time seconds an entry must go without a new delta before it
+        becomes eligible (0 disables: entries are eligible immediately).
+    ``debounce_limit``
+        Hard sim-time age cap: an entry older than this is eligible even
+        if its GPU is still flapping (0 disables the cap).
+    ``max_queue``
+        Queue bound; exceeding it merges the two oldest entries
+        (0 = unbounded).  Merging supersedes rates, it never drops them.
+    ``expedite_failures``
+        Failure deltas (a rate going infinite) skip the debounce window.
+
+    Deadlines and deferral:
+
+    ``deadline``
+        Wall-clock planning budget per episode in seconds (0 disables).
+    ``max_retries``
+        Deferrals an event may accumulate before it is forced through
+        the full engine regardless of the deadline.
+    ``retry_backoff`` / ``backoff_factor``
+        Sim-time delay before a deferred event's n-th retry:
+        ``retry_backoff * backoff_factor ** (n - 1)``.
+    ``ewma_alpha``
+        Smoothing of the per-tier duration estimate that drives the
+        degradation ladder (1.0 = trust only the latest episode).
+    """
+
+    coalesce: bool = False
+    debounce_window: float = 0.0
+    debounce_limit: float = 0.0
+    max_queue: int = 0
+    expedite_failures: bool = True
+    deadline: float = 0.0
+    max_retries: int = 2
+    retry_backoff: float = 1.0
+    backoff_factor: float = 2.0
+    ewma_alpha: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.debounce_window < 0:
+            raise ValueError("debounce_window must be >= 0")
+        if self.debounce_limit < 0:
+            raise ValueError("debounce_limit must be >= 0")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+@dataclass
+class _PendingEvent:
+    """One queued (possibly merged) event awaiting a planning episode."""
+
+    #: GPU -> latest submitted rate, relative to the system's current view
+    #: (under coalescing each GPU appears in at most one queued entry).
+    delta: Dict[int, float]
+    first_submit: float
+    last_update: float
+    seq: int
+    submissions: int = 1
+    urgent: bool = False
+    #: Pass-through mode keeps the submitted state verbatim so the wrapped
+    #: system sees exactly what a direct caller would have handed it.
+    state: Optional[ClusterState] = None
+    attempts: int = 0
+    retries: int = 0
+    not_before: float = 0.0
+    forced: bool = False
+
+
+@dataclass
+class ServiceRecord:
+    """What one planning episode did (the service's event log)."""
+
+    #: Sim time the episode ran at.
+    processed_at: float
+    #: Sim-time wait from the entry's first submission to the episode.
+    queue_wait: float
+    #: Wall-clock planning latency of the episode (0 for skipped ones).
+    latency: float
+    #: Raw submissions coalesced into this entry.
+    submissions: int
+    #: Degradation-ladder mode the episode ran under.
+    mode: str
+    #: Retry ordinal (0 = first attempt) and whether the deadline filter
+    #: was bypassed because retries were exhausted.
+    attempt: int
+    forced: bool
+    #: Whether the episode ran past its wall-clock budget (recorded
+    #: post-hoc; the EWMA degrades future episodes instead of preempting).
+    overrun: bool
+    #: True while the event is still queued for a retry.
+    deferred: bool
+    adjustment: Adjustment
+
+    @property
+    def settled(self) -> bool:
+        """The event left the queue (repaired, absorbed, or no-op)."""
+        return not self.deferred
+
+
+@dataclass
+class ServiceStats:
+    """Counters over the service's lifetime (all sim-clock driven)."""
+
+    submitted: int = 0
+    merged: int = 0
+    shed: int = 0
+    episodes: int = 0
+    repairs: int = 0
+    no_ops: int = 0
+    degraded: int = 0
+    skipped: int = 0
+    deferrals: int = 0
+    forced: int = 0
+    overruns: int = 0
+    tier_faults: int = 0
+    faults: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class PlanningService:
+    """Long-lived planning service around one :class:`MalleusSystem`.
+
+    Parameters
+    ----------
+    system:
+        The wrapped system; ``setup`` must have been called (or call
+        :meth:`setup` here) before events are submitted.
+    config:
+        Service knobs (:class:`ServiceConfig`); defaults are pass-through.
+    clock:
+        Wall-clock source for planner budgets/latency measurement.
+        Injectable so the fault harness can script deadline overruns.
+    """
+
+    def __init__(self, system: MalleusSystem,
+                 config: Optional[ServiceConfig] = None,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.system = system
+        self.config = config or ServiceConfig()
+        self.clock = clock
+        self.stats = ServiceStats()
+        self.records: List[ServiceRecord] = []
+        self._queue: List[_PendingEvent] = []
+        self._seq = 0
+        #: The latest rates the service has *seen* (submitted), which may
+        #: run ahead of the system's ``current_rates`` while entries wait.
+        self._seen: Dict[int, float] = dict(system.current_rates)
+        #: Wall-clock EWMA per degradation mode, None until first sample.
+        self._mode_seconds: Dict[str, Optional[float]] = {
+            MODE_FULL: None, MODE_REBALANCE_ONLY: None,
+        }
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, state: ClusterState) -> None:
+        """Initialise the wrapped system (first plan) and sync the view."""
+        self.system.setup(state)
+        self._seen = dict(self.system.current_rates)
+
+    def close(self) -> None:
+        """Release the wrapped planner's worker pool (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.system.planner.sweep_executor.close()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, state: ClusterState, now: float = 0.0) -> None:
+        """Admit one observed situation at sim time ``now``.
+
+        Pass-through mode queues the state verbatim (FIFO, one episode
+        per submission).  Coalescing mode reduces it to a per-GPU delta
+        against the service's latest view and merges it into the queue
+        under the disjointness invariant.
+        """
+        self.stats.submitted += 1
+        if not self.config.coalesce:
+            self._queue.append(_PendingEvent(
+                delta={}, first_submit=now, last_update=now,
+                seq=self._next_seq(), state=state,
+            ))
+            return
+        rates = state.rate_map()
+        delta = {
+            gpu: rate for gpu, rate in rates.items()
+            if rate != self._seen.get(gpu)
+        }
+        self._seen.update(rates)
+        if not delta:
+            return
+        urgent = any(math.isinf(rate) for rate in delta.values())
+        touched = set(delta)
+        overlapping = [e for e in self._queue if touched & set(e.delta)]
+        if overlapping:
+            target = min(overlapping, key=lambda e: e.seq)
+            for other in overlapping:
+                if other is target:
+                    continue
+                self._merge_entries(target, other)
+                self._queue.remove(other)
+            target.delta.update(delta)
+            target.last_update = now
+            target.submissions += 1
+            target.urgent = target.urgent or urgent
+            self.stats.merged += 1
+        else:
+            self._queue.append(_PendingEvent(
+                delta=delta, first_submit=now, last_update=now,
+                seq=self._next_seq(), urgent=urgent,
+            ))
+        self._enforce_queue_bound()
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _merge_entries(self, target: _PendingEvent,
+                       other: _PendingEvent) -> None:
+        """Fold ``other`` into ``target`` (rates supersede by recency)."""
+        if other.last_update >= target.last_update:
+            target.delta.update(other.delta)
+        else:
+            merged = dict(other.delta)
+            merged.update(target.delta)
+            target.delta = merged
+        target.first_submit = min(target.first_submit, other.first_submit)
+        target.last_update = max(target.last_update, other.last_update)
+        target.seq = min(target.seq, other.seq)
+        target.submissions += other.submissions
+        target.urgent = target.urgent or other.urgent
+        target.forced = target.forced or other.forced
+        target.attempts = max(target.attempts, other.attempts)
+        target.retries = max(target.retries, other.retries)
+        target.not_before = min(target.not_before, other.not_before)
+
+    def _enforce_queue_bound(self) -> None:
+        bound = self.config.max_queue
+        if bound <= 0:
+            return
+        while len(self._queue) > bound:
+            ordered = sorted(self._queue, key=lambda e: e.seq)
+            oldest, second = ordered[0], ordered[1]
+            self._merge_entries(oldest, second)
+            self._queue.remove(second)
+            self.stats.shed += 1
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+    def pump(self, now: float = 0.0) -> List[ServiceRecord]:
+        """Run one planning episode per *eligible* queued entry.
+
+        Entries are processed oldest-first; an episode that defers keeps
+        its entry queued (with backoff applied) for a later pump.
+        Returns the episode records produced by this call.
+        """
+        produced: List[ServiceRecord] = []
+        for entry in sorted(self._queue, key=lambda e: e.seq):
+            if not self._eligible(entry, now):
+                continue
+            produced.append(self._process(entry, now))
+        return produced
+
+    def drain(self, now: float = 0.0) -> List[ServiceRecord]:
+        """Flush the queue completely: every event repairs or is forced.
+
+        Debounce, backoff and the deadline ladder's retry budget are all
+        overridden — a deferred event retries immediately and is forced
+        once its retries run out — so after ``drain`` the queue is empty
+        and every admitted event is accounted for in :attr:`records`.
+        """
+        produced: List[ServiceRecord] = []
+        while self._queue:
+            entry = min(self._queue, key=lambda e: e.seq)
+            record = self._process(entry, now)
+            produced.append(record)
+            if record.deferred and entry in self._queue:
+                entry.not_before = now
+                if entry.retries > self.config.max_retries:
+                    entry.forced = True
+        return produced
+
+    def _eligible(self, entry: _PendingEvent, now: float) -> bool:
+        if entry not in self._queue:
+            return False  # merged away by a just-processed sibling
+        if now < entry.not_before:
+            return False
+        if entry.forced:
+            return True
+        if entry.urgent and self.config.expedite_failures:
+            return True
+        window = self.config.debounce_window
+        if window <= 0:
+            return True
+        if now - entry.last_update >= window:
+            return True
+        limit = self.config.debounce_limit
+        return limit > 0 and now - entry.first_submit >= limit
+
+    def _choose_mode(self, entry: _PendingEvent) -> str:
+        """Pick the degradation-ladder rung for this attempt."""
+        deadline = self.config.deadline
+        if deadline <= 0 or entry.urgent or entry.forced:
+            return MODE_FULL
+        full = self._mode_seconds[MODE_FULL]
+        if full is None or full <= deadline:
+            return MODE_FULL
+        warm = self._mode_seconds[MODE_REBALANCE_ONLY]
+        if warm is None or warm <= deadline:
+            return MODE_REBALANCE_ONLY
+        return MODE_SKIPPED
+
+    def _observe_duration(self, mode: str, seconds: float) -> None:
+        alpha = self.config.ewma_alpha
+        prior = self._mode_seconds.get(mode)
+        if prior is None:
+            self._mode_seconds[mode] = seconds
+        else:
+            self._mode_seconds[mode] = alpha * seconds + (1 - alpha) * prior
+
+    def _entry_state(self, entry: _PendingEvent) -> ClusterState:
+        if entry.state is not None:
+            return entry.state
+        rates = dict(self.system.current_rates)
+        rates.update(entry.delta)
+        return ClusterState(self.system.cluster, rates)
+
+    def _process(self, entry: _PendingEvent, now: float) -> ServiceRecord:
+        mode = self._choose_mode(entry)
+        entry.attempts += 1
+        self.stats.episodes += 1
+        state = self._entry_state(entry)
+        overrun = False
+        latency = 0.0
+        if mode == MODE_SKIPPED:
+            self.stats.skipped += 1
+            adjustment = Adjustment(
+                kind="deferred", repair_tier=TIER_DEFERRED,
+                description="deadline ladder: no tier predicted to fit",
+            )
+        else:
+            force = entry.attempts > 1
+            began = self.clock()
+            try:
+                adjustment = self.system.on_situation_change(
+                    state, rebalance_only=(mode == MODE_REBALANCE_ONLY),
+                    force=force,
+                )
+            except Exception as exc:
+                # A planning episode that raises (full-planner exception,
+                # injected fault) must never take the service down: the
+                # incumbent plan stays in force and the event is deferred
+                # for a retry — a recorded degradation, not a crash.
+                self.stats.faults += 1
+                adjustment = Adjustment(
+                    kind="deferred", repair_tier=TIER_DEFERRED,
+                    tier_errors=[f"episode raised: {exc!r}"],
+                    description=f"planning episode raised: {exc!r}",
+                )
+            latency = max(0.0, self.clock() - began)
+            self._observe_duration(mode, latency)
+            deadline = self.config.deadline
+            overrun = deadline > 0 and latency > deadline
+            if overrun:
+                self.stats.overruns += 1
+            if mode == MODE_REBALANCE_ONLY:
+                self.stats.degraded += 1
+            self.stats.tier_faults += len(adjustment.tier_errors)
+        deferred = adjustment.kind == "deferred"
+        terminal_deferral = deferred and entry.forced
+        if terminal_deferral:
+            # Even the forced attempt could not repair (it raised again,
+            # or the engine found the plan untouchable): settle with the
+            # incumbent plan kept and the deferral on the record — nothing
+            # retries forever, nothing is silently dropped.
+            deferred = False
+        if deferred:
+            self.stats.deferrals += 1
+            entry.retries += 1
+            backoff = self.config.retry_backoff * (
+                self.config.backoff_factor ** (entry.retries - 1))
+            entry.not_before = now + backoff
+            if entry.retries > self.config.max_retries:
+                entry.forced = True
+                self.stats.forced += 1
+        else:
+            if terminal_deferral:
+                self.stats.deferrals += 1
+                self.stats.no_ops += 1
+            elif adjustment.kind in ("migrate", "replan", "restart"):
+                self.stats.repairs += 1
+            else:
+                self.stats.no_ops += 1
+            self._queue.remove(entry)
+        record = ServiceRecord(
+            processed_at=now,
+            queue_wait=max(0.0, now - entry.first_submit),
+            latency=latency,
+            submissions=entry.submissions,
+            mode=mode,
+            attempt=entry.attempts - 1,
+            forced=entry.forced and not deferred,
+            overrun=overrun,
+            deferred=deferred,
+            adjustment=adjustment,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Entries still queued (awaiting debounce, backoff, or a pump)."""
+        return len(self._queue)
+
+    def latency_percentiles(self, qs=(50.0, 99.0)) -> Dict[str, float]:
+        """Wall-clock planning-latency percentiles over settled episodes."""
+        values = [r.latency for r in self.records if r.mode != MODE_SKIPPED]
+        return {f"p{q:g}": percentile(values, q) for q in qs}
+
+    def queue_wait_percentiles(self, qs=(50.0, 99.0)) -> Dict[str, float]:
+        """Sim-clock queue-wait percentiles over *settled* episodes."""
+        values = [r.queue_wait for r in self.records if r.settled]
+        return {f"p{q:g}": percentile(values, q) for q in qs}

@@ -22,7 +22,7 @@ from ..cluster.trace import StragglerSituation, StragglerTrace
 class Adjustment:
     """How a framework reacted to a situation change."""
 
-    kind: str = "none"  # "none", "migrate", "restart", "replan"
+    kind: str = "none"  # "none", "migrate", "restart", "replan", "deferred"
     downtime: float = 0.0  # seconds of stalled training caused by the reaction
     planning_time: float = 0.0  # planning time (overlapped for Malleus)
     overlapped: bool = False
@@ -38,8 +38,12 @@ class Adjustment:
     #: frameworks without an incremental re-planning engine.
     event_kind: str = ""
     #: Repair tier that handled the event ("none", "rebalance",
-    #: "partial_resolve", "full"); empty when not applicable.
+    #: "partial_resolve", "full", "deferred"); empty when not applicable.
     repair_tier: str = ""
+    #: Repair tiers that *raised* while handling the event (each entry
+    #: names the tier and the exception); the engine degraded to the next
+    #: tier instead of propagating, so this is the failure's only trace.
+    tier_errors: List[str] = field(default_factory=list)
     #: What the candidate-sweep engine did for this event (backend,
     #: workers, evaluated/pruned counts, warm-cache hits — see
     #: :class:`repro.core.sweep.SweepStats`); ``None`` for frameworks

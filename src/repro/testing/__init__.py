@@ -1,0 +1,40 @@
+"""Deterministic fault-injection utilities for the planning service.
+
+Test-support code that ships with the package (so examples and
+benchmarks can use it too), not test cases themselves — those live under
+``tests/``.
+"""
+
+from .faults import (
+    FAULT_CACHE_CORRUPTION,
+    FAULT_CLOCK_SKEW,
+    FAULT_KINDS,
+    FAULT_PLANNER_EXCEPTION,
+    FAULT_WORKER_CRASH,
+    FakeClock,
+    FaultInjector,
+    FaultSchedule,
+    InjectedPlannerError,
+    PlannedFault,
+    corrupt_solution_cache,
+    hang_sweep_worker,
+    kill_sweep_worker,
+    storm_states,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_WORKER_CRASH",
+    "FAULT_PLANNER_EXCEPTION",
+    "FAULT_CACHE_CORRUPTION",
+    "FAULT_CLOCK_SKEW",
+    "FakeClock",
+    "FaultInjector",
+    "FaultSchedule",
+    "InjectedPlannerError",
+    "PlannedFault",
+    "corrupt_solution_cache",
+    "hang_sweep_worker",
+    "kill_sweep_worker",
+    "storm_states",
+]

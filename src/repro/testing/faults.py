@@ -1,0 +1,310 @@
+"""Deterministic fault injection for the planning service.
+
+The robustness claims of :mod:`repro.runtime.service` — a crashed sweep
+worker, a raising planner tier, a corrupted warm cache or a deadline
+overrun always end in a *recorded degradation*, never a lost plan or an
+unhandled exception — are only worth something if every one of those
+paths is actually exercised.  This module makes that reproducible:
+
+* :class:`FaultSchedule` plans which fault hits which planning episode,
+  either explicitly or drawn from a seeded RNG (same seed, same faults —
+  failures shrink to a reproducible schedule);
+* :class:`FaultInjector` arms a schedule against a live
+  :class:`~repro.runtime.service.PlanningService` by wrapping the wrapped
+  system's ``on_situation_change`` *at the instance level* — production
+  code carries no test hooks — and firing the scheduled faults just
+  before the episode plans;
+* the individual fault primitives (:func:`kill_sweep_worker`,
+  :func:`hang_sweep_worker`, :func:`corrupt_solution_cache`,
+  :class:`FakeClock`) are usable on their own for targeted tests.
+
+Faults are injected against *real* mechanisms: a worker crash really
+kills a pool process with ``os._exit`` (exercising the executor's
+retry/serial-fallback path), cache corruption really scrambles stored
+entries (exercising the cache's fingerprint and staleness guards), and
+clock skew really stretches the service's injected wall clock
+(exercising deadline overrun recording and EWMA degradation).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.scenarios import ScenarioGenerator, scenario_preset
+from ..cluster.stragglers import ClusterState
+from ..cluster.topology import Cluster
+from ..core.sweep import SolutionCache, SweepExecutor
+
+#: Fault taxonomy.
+FAULT_WORKER_CRASH = "worker_crash"
+FAULT_PLANNER_EXCEPTION = "planner_exception"
+FAULT_CACHE_CORRUPTION = "cache_corruption"
+FAULT_CLOCK_SKEW = "clock_skew"
+FAULT_KINDS = (
+    FAULT_WORKER_CRASH,
+    FAULT_PLANNER_EXCEPTION,
+    FAULT_CACHE_CORRUPTION,
+    FAULT_CLOCK_SKEW,
+)
+
+
+class InjectedPlannerError(RuntimeError):
+    """The exception the planner-exception fault raises (identifiable)."""
+
+
+class FakeClock:
+    """Deterministic wall clock for the service's deadline machinery.
+
+    Each reading advances by ``tick`` seconds, so a planning episode
+    "lasts" exactly one tick unless a fault :meth:`advance`\\ s the clock
+    mid-episode — which is how the clock-skew fault manufactures a
+    deadline overrun without sleeping.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.001):
+        self.now = start
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One fault aimed at one planning episode (0-based index)."""
+
+    episode: int
+    kind: str
+    #: Clock-skew seconds (ignored by the other kinds).
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} "
+                             f"(known: {', '.join(FAULT_KINDS)})")
+        if self.episode < 0:
+            raise ValueError("fault episode must be >= 0")
+
+
+@dataclass
+class FaultSchedule:
+    """Which faults hit which planning episodes."""
+
+    faults: List[PlannedFault] = field(default_factory=list)
+
+    @classmethod
+    def random(cls, seed: int, episodes: int,
+               kinds: Sequence[str] = FAULT_KINDS,
+               fault_rate: float = 0.4,
+               max_skew: float = 5.0) -> "FaultSchedule":
+        """Seeded random schedule: each episode independently draws a fault.
+
+        Worker crashes are never aimed at episode 0 (the pool only exists
+        after the first process-backed sweep, so there is nothing to kill
+        yet) — the draw deterministically falls through to the next kind.
+        """
+        rng = random.Random(seed)
+        faults: List[PlannedFault] = []
+        kinds = list(kinds)
+        for episode in range(episodes):
+            if rng.random() >= fault_rate:
+                continue
+            kind = rng.choice(kinds)
+            if kind == FAULT_WORKER_CRASH and episode == 0:
+                others = [k for k in kinds if k != FAULT_WORKER_CRASH]
+                if not others:
+                    continue
+                kind = rng.choice(others)
+            magnitude = 0.0
+            if kind == FAULT_CLOCK_SKEW:
+                magnitude = rng.uniform(0.5, max_skew)
+            faults.append(PlannedFault(episode=episode, kind=kind,
+                                       magnitude=magnitude))
+        return cls(faults)
+
+    def for_episode(self, episode: int) -> List[PlannedFault]:
+        return [f for f in self.faults if f.episode == episode]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+# ----------------------------------------------------------------------
+# Fault primitives
+# ----------------------------------------------------------------------
+def kill_sweep_worker(executor: SweepExecutor, timeout: float = 30.0) -> bool:
+    """Really crash one pool worker (``os._exit``); True if one died.
+
+    Waits for the crash to take effect (the suicide future erroring out)
+    so the *next* batch deterministically sees a broken pool and takes
+    the executor's retry/serial-fallback path.  A serial executor, or one
+    whose pool has not started yet, has nothing to kill — returns False.
+    """
+    pool = getattr(executor, "_pool", None)
+    if pool is None:
+        return False
+    try:
+        future = pool.submit(os._exit, 1)
+    except Exception:
+        # Pool already broken/shut down: the crash path is armed anyway.
+        return True
+    try:
+        future.result(timeout=timeout)
+    except Exception:
+        pass
+    return True
+
+
+def hang_sweep_worker(executor: SweepExecutor, seconds: float = 60.0) -> bool:
+    """Occupy one pool worker with a long sleep; True if one was hung.
+
+    With ``SweepConfig(workers=1, batch_timeout=...)`` the next batch
+    queues behind the sleeper and times out, exercising the hung-worker
+    watchdog (the executor kills the pool and retries).  The sleep is not
+    awaited — the worker is left busy on purpose.
+    """
+    pool = getattr(executor, "_pool", None)
+    if pool is None:
+        return False
+    try:
+        pool.submit(time.sleep, seconds)
+    except Exception:
+        return True
+    return True
+
+
+def corrupt_solution_cache(cache: SolutionCache,
+                           bogus_gpu: int = 10 ** 9) -> int:
+    """Corrupt every stored cache entry; returns how many were damaged.
+
+    Two kinds of damage, alternating per entry so both guards get
+    exercised: a scrambled grouping fingerprint (must be rejected by the
+    fingerprint match) and a division shape referencing a GPU that does
+    not exist (must be purged by the staleness check).  A correct cache
+    degrades every damaged entry to a cold miss — plans must come out
+    identical to an uncorrupted run, just slower.
+    """
+    entries = getattr(cache, "_entries", {})
+    for index, (key, entry) in enumerate(sorted(entries.items())):
+        if index % 2 == 0:
+            entry.fingerprint = ("__corrupted__", index)
+        else:
+            entry.shapes = tuple(
+                tuple(tuple(gpu_ids) + (bogus_gpu,) for gpu_ids in pipeline)
+                for pipeline in entry.shapes
+            )
+    return len(entries)
+
+
+def storm_states(cluster: Cluster, preset: str, seed: int,
+                 **overrides) -> List[ClusterState]:
+    """The event storm of a scenario preset as a list of cluster states.
+
+    Deterministic in ``(cluster, preset, seed)``; the first (normal)
+    situation is included so callers can use ``states[0]`` for setup and
+    submit the rest as events.
+    """
+    trace = ScenarioGenerator(
+        cluster, scenario_preset(preset, seed=seed, **overrides)).generate()
+    return [situation.as_state(cluster) for situation in trace.situations]
+
+
+# ----------------------------------------------------------------------
+# The injector
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Arms a :class:`FaultSchedule` against a live planning service.
+
+    Wraps ``service.system.on_situation_change`` at the instance level;
+    every call counts as one planning episode and fires that episode's
+    scheduled faults first:
+
+    ``worker_crash``
+        kills a live sweep-pool worker (no-op recorded as skipped when
+        the executor is serial or the pool has not started);
+    ``cache_corruption``
+        damages every stored warm-cache entry;
+    ``clock_skew``
+        advances the injected :class:`FakeClock` by ``magnitude`` seconds
+        *during* the episode (the service's deadline accounting sees an
+        overrun);
+    ``planner_exception``
+        raises :class:`InjectedPlannerError` instead of planning (fired
+        last, after the other faults of the episode).
+
+    Use as a context manager, or call :meth:`arm`/:meth:`disarm`.
+    ``injector.fired`` lists every fault that actually executed and
+    ``injector.skipped`` the ones that could not (for assertions).
+    """
+
+    def __init__(self, service, schedule: FaultSchedule,
+                 clock: Optional[FakeClock] = None):
+        self.service = service
+        self.schedule = schedule
+        self.clock = clock
+        self.fired: List[PlannedFault] = []
+        self.skipped: List[PlannedFault] = []
+        self.episodes = 0
+        self._original = None
+
+    def arm(self) -> "FaultInjector":
+        if self._original is not None:
+            return self
+        system = self.service.system
+        original = system.on_situation_change
+        self._original = original
+
+        def wrapped(state, rebalance_only=False, force=False):
+            episode = self.episodes
+            self.episodes += 1
+            poison: Optional[PlannedFault] = None
+            for fault in self.schedule.for_episode(episode):
+                if fault.kind == FAULT_PLANNER_EXCEPTION:
+                    poison = fault
+                elif fault.kind == FAULT_WORKER_CRASH:
+                    executor = system.planner.sweep_executor
+                    if kill_sweep_worker(executor):
+                        self.fired.append(fault)
+                    else:
+                        self.skipped.append(fault)
+                elif fault.kind == FAULT_CACHE_CORRUPTION:
+                    if corrupt_solution_cache(system.planner.solution_cache):
+                        self.fired.append(fault)
+                    else:
+                        self.skipped.append(fault)
+                elif fault.kind == FAULT_CLOCK_SKEW:
+                    if self.clock is not None:
+                        self.clock.advance(fault.magnitude)
+                        self.fired.append(fault)
+                    else:
+                        self.skipped.append(fault)
+            if poison is not None:
+                self.fired.append(poison)
+                raise InjectedPlannerError(
+                    f"injected planner fault at episode {episode}")
+            return original(state, rebalance_only=rebalance_only,
+                           force=force)
+
+        system.on_situation_change = wrapped
+        return self
+
+    def disarm(self) -> None:
+        if self._original is None:
+            return
+        self.service.system.on_situation_change = self._original
+        self._original = None
+
+    def __enter__(self) -> "FaultInjector":
+        return self.arm()
+
+    def __exit__(self, *exc) -> None:
+        self.disarm()

@@ -23,6 +23,7 @@ from repro.runtime.replan import (
     EVENT_MEMBERSHIP_CHANGE,
     EVENT_MINOR_RATE_SHIFT,
     EVENT_NO_CHANGE,
+    TIER_DEFERRED,
     TIER_FULL,
     TIER_NONE,
     TIER_PARTIAL,
@@ -326,3 +327,127 @@ class TestEquivalenceSweep:
         assert system.replan_events[-1].repair_tier in (
             TIER_REBALANCE, TIER_PARTIAL, TIER_FULL,
         )
+
+
+class TestTierExceptionFallback:
+    """PR 6: a raising repair tier degrades to the next tier, never out.
+
+    Only an exception from the full planner itself may propagate; every
+    cheaper tier records its failure on ``RepairOutcome.tier_errors`` and
+    the event is still served.
+    """
+
+    def boom(self, *args, **kwargs):
+        raise RuntimeError("injected tier fault")
+
+    def test_minor_preparation_exception_degrades_to_full(self, workload,
+                                                          planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {0: 2.6})).context
+        engine = ReplanEngine(planner)
+        engine._prepare_minor = self.boom
+        outcome = engine.repair(context, rates_with(cluster, {0: 3.0}))
+        assert outcome.event_kind == EVENT_MINOR_RATE_SHIFT
+        assert outcome.repair_tier == TIER_FULL
+        assert outcome.result.feasible
+        assert any("rebalance preparation" in err
+                   for err in outcome.tier_errors)
+        assert "raised" in outcome.fallback_reason
+        full = planner.plan(rates_with(cluster, {0: 3.0}))
+        assert outcome.result.estimated_step_time == pytest.approx(
+            full.estimated_step_time)
+
+    def test_partial_solve_exception_degrades_to_full(self, workload,
+                                                      planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {})).context
+        engine = ReplanEngine(planner)
+        engine._solve_repair = self.boom
+        outcome = engine.repair(context, rates_with(cluster, {8: 5.42}))
+        assert outcome.event_kind == EVENT_GROUP_CHANGE
+        assert outcome.repair_tier == TIER_FULL
+        assert outcome.result.feasible
+        assert any("partial_resolve solve" in err
+                   for err in outcome.tier_errors)
+
+    def test_classification_exception_degrades_to_full(self, workload,
+                                                       planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {})).context
+        engine = ReplanEngine(planner)
+        engine.classify = self.boom
+        outcome = engine.repair(context, rates_with(cluster, {0: 2.6}))
+        assert outcome.repair_tier == TIER_FULL
+        assert outcome.result.feasible
+        assert any("classify" in err for err in outcome.tier_errors)
+
+    def test_clean_repairs_report_no_tier_errors(self, workload, planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {0: 2.6})).context
+        outcome = ReplanEngine(planner).repair(
+            context, rates_with(cluster, {0: 3.0}))
+        assert outcome.tier_errors == []
+
+
+class TestRebalanceOnlyMode:
+    """PR 6: the deadline-degraded mode serves warm or defers, never
+    falls back to the full planner."""
+
+    def test_minor_shift_is_served_warm(self, workload, planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {0: 2.6})).context
+        engine = ReplanEngine(planner)
+        outcome = engine.repair(context, rates_with(cluster, {0: 3.0}),
+                                rebalance_only=True)
+        assert outcome.repair_tier == TIER_REBALANCE
+        assert outcome.result.feasible
+        assert outcome.result.plan.is_valid()
+        # No sweep ran: the repair is the warm incumbent solve alone.
+        assert not outcome.result.sweep_stats
+
+    def test_group_change_is_served_warm(self, workload, planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {})).context
+        engine = ReplanEngine(planner)
+        outcome = engine.repair(context, rates_with(cluster, {8: 5.42}),
+                                rebalance_only=True)
+        assert outcome.repair_tier == TIER_PARTIAL
+        assert outcome.result.feasible
+        assert outcome.result.plan.is_valid()
+
+    def test_membership_change_defers(self, workload, planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {})).context
+        engine = ReplanEngine(planner)
+        outcome = engine.repair(context, rates_with(cluster, {5: math.inf}),
+                                rebalance_only=True)
+        assert outcome.repair_tier == TIER_DEFERRED
+        assert outcome.result is None
+        assert "full solve" in outcome.fallback_reason
+
+    def test_raising_warm_solve_defers_instead_of_full(self, workload,
+                                                       planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {0: 2.6})).context
+        engine = ReplanEngine(planner)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected warm-solve fault")
+
+        engine._solve_rebalance_only = boom
+        outcome = engine.repair(context, rates_with(cluster, {0: 3.0}),
+                                rebalance_only=True)
+        assert outcome.repair_tier == TIER_DEFERRED
+        assert outcome.result is None
+        assert any("solve" in err for err in outcome.tier_errors)
+
+    def test_warm_repair_quality_is_close_to_full(self, workload, planner):
+        _, cluster, _ = workload
+        context = planner.plan(rates_with(cluster, {0: 2.6})).context
+        outcome = ReplanEngine(planner).repair(
+            context, rates_with(cluster, {0: 3.0}), rebalance_only=True)
+        full = planner.plan(rates_with(cluster, {0: 3.0}))
+        # Without the sweep there is no equivalence guarantee, but the
+        # warm incumbent repair must stay a sane plan (here: within 10%).
+        assert outcome.result.estimated_step_time <= \
+            full.estimated_step_time * 1.10 + 1e-9

@@ -1,0 +1,341 @@
+"""The planning service: admission control, deadlines, deferral.
+
+Covers PR 6's tentpole contracts:
+
+* the off-switch — ``ServiceConfig()`` — is a strict pass-through: the
+  service drives the wrapped system 1:1, in order, with the submitted
+  states verbatim, producing adjustments identical to direct calls;
+* coalescing merges superseding per-GPU deltas under the disjointness
+  invariant (each GPU in at most one queued entry), the debounce window
+  turns a flapping GPU into one repair (with the hard age limit as a
+  starvation stop), failures are expedited, and the bounded queue sheds
+  by merging — never by dropping rates;
+* the deadline ladder degrades full → rebalance-only → recorded
+  deferral using the per-tier EWMA, deferred events retry with backoff,
+  and an event whose retries run out is forced through the full engine —
+  an admitted event always settles, never silently disappears.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.stragglers import ClusterState
+from repro.cluster.topology import make_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.models.spec import TrainingTask, TransformerModelSpec
+from repro.runtime.malleus import MalleusSystem
+from repro.runtime.replan import TIER_DEFERRED
+from repro.runtime.service import (
+    MODE_FULL,
+    MODE_REBALANCE_ONLY,
+    MODE_SKIPPED,
+    PlanningService,
+    ServiceConfig,
+    percentile,
+)
+from repro.testing.faults import FakeClock
+
+pytestmark = pytest.mark.service
+
+
+def tiny_workload():
+    model = TransformerModelSpec(
+        name="tiny", num_layers=8, hidden_size=1024, ffn_hidden_size=2816,
+        num_attention_heads=16, num_kv_heads=16, vocab_size=32000,
+        seq_length=512,
+    )
+    task = TrainingTask(model=model, global_batch_size=32, micro_batch_size=1)
+    cluster = make_cluster(num_nodes=2, gpus_per_node=8, memory_gib=16.0,
+                           peak_tflops=100.0, name="tiny-service")
+    return task, cluster
+
+
+def fresh_system():
+    task, cluster = tiny_workload()
+    system = MalleusSystem(task, cluster,
+                           MalleusCostModel(task.model, cluster))
+    system.setup(healthy_state(cluster))
+    return system
+
+
+def healthy_state(cluster, overrides=None):
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates.update(overrides or {})
+    return ClusterState(cluster, rates)
+
+
+def plan_signature(system):
+    plan = system.plan
+    return (plan.stage_shape(), plan.micro_batches(),
+            tuple(sorted(plan.active_gpus)))
+
+
+class TestConfigAndHelpers:
+    def test_defaults_are_all_off(self):
+        config = ServiceConfig()
+        assert not config.coalesce
+        assert config.debounce_window == 0.0
+        assert config.max_queue == 0
+        assert config.deadline == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"debounce_window": -1.0},
+        {"debounce_limit": -0.5},
+        {"max_queue": -1},
+        {"deadline": -1.0},
+        {"max_retries": -1},
+        {"retry_backoff": -1.0},
+        {"backoff_factor": 0.5},
+        {"ewma_alpha": 0.0},
+        {"ewma_alpha": 1.5},
+    ])
+    def test_validation_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceConfig(**kwargs)
+
+    def test_percentile_nearest_rank(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(values, 50.0) == 3.0
+        assert percentile(values, 99.0) == 5.0
+        assert percentile(values, 0.0) == 1.0
+        assert math.isnan(percentile([], 50.0))
+        with pytest.raises(ValueError):
+            percentile(values, 101.0)
+
+
+class TestPassthrough:
+    def test_passthrough_matches_direct_calls(self):
+        task, cluster = tiny_workload()
+        gpus = cluster.gpu_ids()
+        events = []
+        for overrides in ({gpus[0]: 2.6}, {gpus[0]: 2.6, gpus[9]: 3.4},
+                          {gpus[0]: 1.0, gpus[9]: 3.4}):
+            events.append(healthy_state(cluster, overrides))
+
+        direct = fresh_system()
+        expected = [direct.on_situation_change(state) for state in events]
+
+        system = fresh_system()
+        service = PlanningService(system)
+        for index, state in enumerate(events):
+            service.submit(state, now=float(index))
+        records = service.pump(now=10.0)
+
+        assert len(records) == len(events)
+        assert service.pending == 0
+        for record, adjustment in zip(records, expected):
+            got = record.adjustment
+            assert record.mode == MODE_FULL
+            assert (got.kind, got.event_kind, got.repair_tier) == \
+                (adjustment.kind, adjustment.event_kind,
+                 adjustment.repair_tier)
+            assert got.downtime == pytest.approx(adjustment.downtime)
+        assert plan_signature(system) == plan_signature(direct)
+
+    def test_close_is_idempotent(self):
+        service = PlanningService(fresh_system())
+        service.close()
+        service.close()
+
+
+class TestAdmissionControl:
+    def test_flapping_gpu_coalesces_to_one_episode(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        system = fresh_system()
+        service = PlanningService(
+            system, ServiceConfig(coalesce=True, debounce_window=2.0))
+        for index, rate in enumerate((2.0, 3.0, 2.5, 2.8)):
+            service.submit(healthy_state(cluster, {gpu: rate}),
+                           now=float(index))
+            service.pump(now=float(index))
+        assert service.stats.episodes == 0  # still debouncing
+        assert service.pending == 1
+        records = service.pump(now=10.0)
+        assert len(records) == 1
+        assert records[0].submissions == 4
+        assert service.stats.merged == 3
+        # The one repair lands on the *latest* rate.
+        assert system.current_rates[gpu] == pytest.approx(2.8)
+
+        direct = fresh_system()
+        direct.on_situation_change(healthy_state(cluster, {gpu: 2.8}))
+        assert plan_signature(system) == plan_signature(direct)
+
+    def test_disjoint_gpus_stay_separate_entries(self):
+        task, cluster = tiny_workload()
+        gpus = cluster.gpu_ids()
+        service = PlanningService(
+            fresh_system(), ServiceConfig(coalesce=True, debounce_window=5.0))
+        service.submit(healthy_state(cluster, {gpus[0]: 2.0}), now=0.0)
+        service.submit(healthy_state(cluster, {gpus[0]: 2.0, gpus[9]: 3.0}),
+                       now=1.0)
+        assert service.pending == 2
+
+    def test_overlapping_delta_merges_entries(self):
+        task, cluster = tiny_workload()
+        gpus = cluster.gpu_ids()
+        service = PlanningService(
+            fresh_system(), ServiceConfig(coalesce=True, debounce_window=5.0))
+        service.submit(healthy_state(cluster, {gpus[0]: 2.0}), now=0.0)
+        service.submit(healthy_state(cluster, {gpus[0]: 2.0, gpus[9]: 3.0}),
+                       now=1.0)
+        assert service.pending == 2
+        # One delta touching both queued GPU sets folds them into one.
+        service.submit(
+            healthy_state(cluster, {gpus[0]: 2.4, gpus[9]: 3.1}), now=2.0)
+        assert service.pending == 1
+
+    def test_bounded_queue_sheds_by_merging_oldest(self):
+        task, cluster = tiny_workload()
+        gpus = cluster.gpu_ids()
+        service = PlanningService(
+            fresh_system(),
+            ServiceConfig(coalesce=True, debounce_window=50.0, max_queue=2))
+        overrides = {}
+        for index, gpu in enumerate((gpus[0], gpus[5], gpus[9], gpus[12])):
+            overrides[gpu] = 2.0 + index
+            service.submit(healthy_state(cluster, overrides),
+                           now=float(index))
+        assert service.pending == 2
+        assert service.stats.shed == 2
+        # Shedding merged entries, it never dropped their rates.
+        queued = {g for entry in service._queue for g in entry.delta}
+        assert {gpus[0], gpus[5], gpus[9], gpus[12]} <= queued
+
+    def test_failure_bypasses_debounce(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        system = fresh_system()
+        service = PlanningService(
+            system, ServiceConfig(coalesce=True, debounce_window=100.0))
+        service.submit(
+            healthy_state(cluster, {gpu: math.inf}), now=0.0)
+        records = service.pump(now=0.0)
+        assert len(records) == 1
+        assert records[0].adjustment.kind == "restart"
+        assert gpu not in system.plan.active_gpus
+
+    def test_debounce_limit_stops_starvation(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        service = PlanningService(
+            fresh_system(),
+            ServiceConfig(coalesce=True, debounce_window=2.0,
+                          debounce_limit=5.0))
+        # The GPU keeps flapping every second: the window alone would
+        # debounce forever, the age limit forces the repair at t>=5.
+        for index in range(5):
+            service.submit(
+                healthy_state(cluster, {gpu: 2.0 + 0.2 * index}),
+                now=float(index))
+            assert not service.pump(now=float(index))
+        records = service.pump(now=5.0)
+        assert len(records) == 1
+        assert records[0].queue_wait == pytest.approx(5.0)
+
+    def test_submission_matching_seen_view_is_absorbed(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        service = PlanningService(
+            fresh_system(), ServiceConfig(coalesce=True))
+        state = healthy_state(cluster, {gpu: 2.0})
+        service.submit(state, now=0.0)
+        service.submit(state, now=1.0)  # no delta vs the seen view
+        assert service.pending == 1
+        assert service.stats.submitted == 2
+
+
+class TestDeadlineLadder:
+    def ladder_service(self, deadline=1.0, max_retries=1, tick=3.0):
+        """Service whose fake clock makes every episode 'cost' ``tick``."""
+        clock = FakeClock(tick=tick)
+        system = fresh_system()
+        service = PlanningService(
+            system,
+            ServiceConfig(coalesce=True, deadline=deadline,
+                          max_retries=max_retries, retry_backoff=1.0),
+            clock=clock,
+        )
+        return service, system
+
+    def test_first_episode_runs_full_and_records_overrun(self):
+        service, system = self.ladder_service()
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        service.submit(healthy_state(cluster, {gpu: 2.6}), now=0.0)
+        records = service.pump(now=0.0)
+        # No EWMA yet: the ladder optimistically runs the full engine,
+        # the overrun is recorded post-hoc (never preempted).
+        assert records[0].mode == MODE_FULL
+        assert records[0].overrun
+        assert service.stats.overruns == 1
+        assert system.plan is not None
+
+    def test_ladder_degrades_then_forces_and_never_loses_the_event(self):
+        service, system = self.ladder_service(max_retries=1)
+        task, cluster = tiny_workload()
+        gpus = cluster.gpu_ids()
+        service.submit(healthy_state(cluster, {gpus[0]: 2.6}), now=0.0)
+        service.pump(now=0.0)  # full, overruns: EWMA[full] = 3s > 1s
+        service.submit(healthy_state(cluster, {gpus[0]: 2.6, gpus[9]: 3.4}),
+                       now=1.0)
+        second = service.pump(now=1.0)
+        # Full is predicted over budget: the warm tier runs instead.
+        assert second[0].mode == MODE_REBALANCE_ONLY
+        assert service.stats.degraded == 1
+
+        # Now both tiers' EWMAs exceed the deadline: the next event is
+        # skipped outright (recorded deferral), retried with backoff,
+        # and finally forced through the full engine.
+        service.submit(
+            healthy_state(cluster, {gpus[0]: 2.6, gpus[9]: 3.4,
+                                    gpus[12]: 2.2}), now=2.0)
+        third = service.pump(now=2.0)
+        assert third[0].mode == MODE_SKIPPED
+        assert third[0].deferred
+        assert third[0].adjustment.repair_tier == TIER_DEFERRED
+        assert service.pending == 1
+        final = service.drain(now=10.0)
+        assert service.pending == 0
+        assert final[-1].mode == MODE_FULL
+        assert final[-1].forced
+        assert service.stats.forced >= 1
+        # The forced repair really landed: the system now plans for the
+        # full merged delta.
+        assert system.current_rates[gpus[12]] == pytest.approx(2.2)
+        assert system.plan is not None
+
+    def test_degraded_episode_still_produces_a_real_plan(self):
+        service, system = self.ladder_service()
+        task, cluster = tiny_workload()
+        gpus = cluster.gpu_ids()
+        service.submit(healthy_state(cluster, {gpus[0]: 2.6}), now=0.0)
+        service.pump(now=0.0)
+        before = plan_signature(system)
+        service.submit(
+            healthy_state(cluster, {gpus[0]: 4.8}), now=1.0)
+        records = service.pump(now=1.0)
+        assert records[0].mode == MODE_REBALANCE_ONLY
+        if records[0].adjustment.kind in ("migrate", "replan"):
+            assert system.plan.estimated_step_time > 0
+        assert system.plan is not None
+        # Either the warm tier repaired (plan may change) or it deferred
+        # (incumbent kept) — both leave a usable plan in force.
+        assert plan_signature(system) is not None or before is not None
+
+    def test_every_record_settles_after_drain(self):
+        service, system = self.ladder_service(max_retries=0)
+        task, cluster = tiny_workload()
+        gpus = cluster.gpu_ids()
+        overrides = {}
+        for index, gpu in enumerate((gpus[0], gpus[5], gpus[9])):
+            overrides[gpu] = 2.0 + index
+            service.submit(healthy_state(cluster, overrides),
+                           now=float(index))
+        service.drain(now=5.0)
+        assert service.pending == 0
+        settled = [r for r in service.records if r.settled]
+        assert service.stats.repairs + service.stats.no_ops == len(settled)
+        assert service.stats.episodes == len(service.records)

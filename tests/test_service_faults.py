@@ -1,0 +1,317 @@
+"""Fault injection against the planning service (repro.testing.faults).
+
+The PR-6 acceptance criterion under test: **every injected fault ends in
+a recorded degradation — never a lost plan, never an unhandled
+exception.**  Each fault kind gets a targeted deterministic test
+exercising its real mechanism (a pool worker really dies, the warm cache
+is really scrambled, the injected wall clock really jumps, the planner
+really raises), and seeded random schedules over generated event storms
+check the same invariants end to end: the queue always drains, the
+wrapped system always holds a live plan, and the service's counters
+account for every fault that fired.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.stragglers import ClusterState
+from repro.cluster.topology import make_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.core.sweep import SweepConfig
+from repro.models.spec import TrainingTask, TransformerModelSpec
+from repro.runtime.malleus import MalleusSystem
+from repro.runtime.service import PlanningService, ServiceConfig
+from repro.testing.faults import (
+    FAULT_CACHE_CORRUPTION,
+    FAULT_CLOCK_SKEW,
+    FAULT_PLANNER_EXCEPTION,
+    FAULT_WORKER_CRASH,
+    FakeClock,
+    FaultInjector,
+    FaultSchedule,
+    InjectedPlannerError,
+    PlannedFault,
+    corrupt_solution_cache,
+    kill_sweep_worker,
+    storm_states,
+)
+
+pytestmark = pytest.mark.service
+
+
+def tiny_workload():
+    model = TransformerModelSpec(
+        name="tiny", num_layers=8, hidden_size=1024, ffn_hidden_size=2816,
+        num_attention_heads=16, num_kv_heads=16, vocab_size=32000,
+        seq_length=512,
+    )
+    task = TrainingTask(model=model, global_batch_size=32, micro_batch_size=1)
+    cluster = make_cluster(num_nodes=2, gpus_per_node=8, memory_gib=16.0,
+                           peak_tflops=100.0, name="tiny-faults")
+    return task, cluster
+
+
+def healthy_state(cluster, overrides=None):
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates.update(overrides or {})
+    return ClusterState(cluster, rates)
+
+
+def build_system(sweep_config=None):
+    task, cluster = tiny_workload()
+    system = MalleusSystem(task, cluster,
+                           MalleusCostModel(task.model, cluster),
+                           sweep_config=sweep_config)
+    system.setup(healthy_state(cluster))
+    return system, cluster
+
+
+def plan_signature(system):
+    plan = system.plan
+    return (plan.stage_shape(), plan.micro_batches(),
+            tuple(sorted(plan.active_gpus)))
+
+
+class TestScheduleAndPrimitives:
+    def test_planned_fault_validation(self):
+        with pytest.raises(ValueError):
+            PlannedFault(episode=0, kind="meteor_strike")
+        with pytest.raises(ValueError):
+            PlannedFault(episode=-1, kind=FAULT_CLOCK_SKEW)
+
+    def test_random_schedule_is_seed_deterministic(self):
+        first = FaultSchedule.random(seed=7, episodes=50)
+        second = FaultSchedule.random(seed=7, episodes=50)
+        assert first.faults == second.faults
+        assert FaultSchedule.random(seed=8, episodes=50).faults != \
+            first.faults
+
+    def test_random_schedule_never_crashes_episode_zero(self):
+        for seed in range(20):
+            schedule = FaultSchedule.random(seed=seed, episodes=30,
+                                            fault_rate=0.9)
+            for fault in schedule.for_episode(0):
+                assert fault.kind != FAULT_WORKER_CRASH
+
+    def test_fake_clock_ticks_and_advances(self):
+        clock = FakeClock(start=10.0, tick=0.5)
+        assert clock() == 10.0
+        assert clock() == 10.5
+        clock.advance(100.0)
+        assert clock() == 111.0
+
+    def test_kill_worker_on_serial_executor_is_a_noop(self):
+        system, _ = build_system()
+        assert not kill_sweep_worker(system.planner.sweep_executor)
+
+
+class TestPlannerExceptionFault:
+    def test_injected_exception_becomes_deferral_then_retry_repairs(self):
+        system, cluster = build_system()
+        gpu = cluster.gpu_ids()[0]
+        service = PlanningService(system, ServiceConfig(coalesce=True))
+        schedule = FaultSchedule(
+            [PlannedFault(episode=0, kind=FAULT_PLANNER_EXCEPTION)])
+        with FaultInjector(service, schedule) as injector:
+            service.submit(healthy_state(cluster, {gpu: 2.6}), now=0.0)
+            first = service.pump(now=0.0)
+            assert first[0].deferred
+            assert "InjectedPlannerError" in \
+                first[0].adjustment.tier_errors[0]
+            assert service.stats.faults == 1
+            # The incumbent plan survived the crash.
+            assert system.plan is not None
+            final = service.drain(now=10.0)
+        assert injector.fired and injector.fired[0].kind == \
+            FAULT_PLANNER_EXCEPTION
+        assert service.pending == 0
+        assert final[-1].settled
+
+        reference, _ = build_system()
+        reference.on_situation_change(healthy_state(cluster, {gpu: 2.6}))
+        assert plan_signature(system) == plan_signature(reference)
+
+    def test_exception_on_every_attempt_settles_as_terminal_deferral(self):
+        system, cluster = build_system()
+        gpu = cluster.gpu_ids()[0]
+        incumbent = plan_signature(system)
+        service = PlanningService(
+            system, ServiceConfig(coalesce=True, max_retries=1))
+        schedule = FaultSchedule([
+            PlannedFault(episode=e, kind=FAULT_PLANNER_EXCEPTION)
+            for e in range(10)
+        ])
+        with FaultInjector(service, schedule):
+            service.submit(healthy_state(cluster, {gpu: 2.6}), now=0.0)
+            service.drain(now=0.0)
+        # Retries exhausted, the forced attempt raised too: the event
+        # settles as a recorded terminal deferral, the incumbent plan
+        # stays in force, and nothing retries forever.
+        assert service.pending == 0
+        assert service.stats.faults >= 2
+        assert service.stats.deferrals >= 1
+        assert service.stats.forced == 1
+        assert plan_signature(system) == incumbent
+
+
+class TestWorkerCrashFault:
+    def test_crashed_pool_worker_never_loses_a_plan(self):
+        system, cluster = build_system(
+            SweepConfig(backend="process", workers=2, pool_retries=1))
+        try:
+            gpus = cluster.gpu_ids()
+            service = PlanningService(system, ServiceConfig(coalesce=True))
+            schedule = FaultSchedule(
+                [PlannedFault(episode=1, kind=FAULT_WORKER_CRASH)])
+            with FaultInjector(service, schedule) as injector:
+                service.submit(healthy_state(cluster, {gpus[0]: 2.6}),
+                               now=0.0)
+                service.pump(now=0.0)  # warms the pool
+                service.submit(
+                    healthy_state(cluster, {gpus[0]: 2.6, gpus[9]: 3.4}),
+                    now=1.0)
+                records = service.pump(now=1.0)
+            assert injector.fired
+            assert records[-1].settled
+            assert service.stats.faults == 0  # absorbed below the service
+            faults = system.planner.sweep_executor.fault_stats
+            assert faults["pool_failures"] >= 1
+            assert system.plan is not None
+
+            reference, _ = build_system()
+            reference.on_situation_change(
+                healthy_state(cluster, {gpus[0]: 2.6}))
+            reference.on_situation_change(
+                healthy_state(cluster, {gpus[0]: 2.6, gpus[9]: 3.4}))
+            assert plan_signature(system) == plan_signature(reference)
+        finally:
+            system.planner.sweep_executor.close()
+
+
+class TestCacheCorruptionFault:
+    def test_corrupted_cache_degrades_to_misses_not_bad_plans(self):
+        system, cluster = build_system(SweepConfig(warm_cache=True))
+        gpus = cluster.gpu_ids()
+        service = PlanningService(system, ServiceConfig(coalesce=True))
+        service.submit(healthy_state(cluster, {gpus[0]: 2.6}), now=0.0)
+        service.pump(now=0.0)
+        cache = system.planner.solution_cache
+        assert len(cache) > 0
+        damaged = corrupt_solution_cache(cache)
+        assert damaged == len(cache)
+        before = dict(cache._counters)
+
+        service.submit(healthy_state(cluster, {gpus[0]: 4.8}), now=1.0)
+        records = service.pump(now=1.0)
+        assert records[-1].settled
+        assert system.plan is not None
+        after = cache._counters
+        # Every damaged entry the sweep consulted was rejected by a guard
+        # (fingerprint mismatch or staleness purge), never served warm.
+        assert after["misses"] > before["misses"]
+        assert after["stale_rejections"] >= before["stale_rejections"]
+        alive = set(cluster.gpu_ids())
+        assert set(system.plan.active_gpus) <= alive
+
+
+class TestClockSkewFault:
+    def test_skew_records_overrun_and_degrades_the_ladder(self):
+        clock = FakeClock(tick=0.001)
+        system, cluster = build_system()
+        gpus = cluster.gpu_ids()
+        service = PlanningService(
+            system,
+            ServiceConfig(coalesce=True, deadline=0.25, ewma_alpha=1.0),
+            clock=clock,
+        )
+        schedule = FaultSchedule([
+            PlannedFault(episode=0, kind=FAULT_CLOCK_SKEW, magnitude=2.0)])
+        with FaultInjector(service, schedule, clock=clock) as injector:
+            service.submit(healthy_state(cluster, {gpus[0]: 2.6}), now=0.0)
+            first = service.pump(now=0.0)
+            assert injector.fired
+            assert first[0].overrun
+            assert service.stats.overruns == 1
+            # The overrun fed the EWMA: the next episode degrades instead
+            # of blowing the budget again.
+            service.submit(
+                healthy_state(cluster, {gpus[0]: 2.6, gpus[9]: 3.4}),
+                now=1.0)
+            second = service.pump(now=1.0)
+        assert second[0].mode == "rebalance_only"
+        assert service.stats.degraded == 1
+        assert system.plan is not None
+
+
+class TestSeededStorms:
+    """Randomized end-to-end: storms + random faults, invariants hold."""
+
+    def run_storm(self, seed, sweep_config=None, kinds=None):
+        task, cluster = tiny_workload()
+        states = storm_states(cluster, "flapping", seed=seed)
+        system = MalleusSystem(task, cluster,
+                               MalleusCostModel(task.model, cluster),
+                               sweep_config=sweep_config)
+        clock = FakeClock(tick=0.001)
+        service = PlanningService(
+            system,
+            ServiceConfig(coalesce=True, debounce_window=1.0,
+                          deadline=0.25, max_retries=1),
+            clock=clock,
+        )
+        service.setup(states[0])
+        kinds = kinds or (FAULT_PLANNER_EXCEPTION, FAULT_CACHE_CORRUPTION,
+                          FAULT_CLOCK_SKEW)
+        schedule = FaultSchedule.random(
+            seed=seed, episodes=2 * len(states), kinds=kinds,
+            fault_rate=0.5)
+        try:
+            with FaultInjector(service, schedule, clock=clock) as injector:
+                for index, state in enumerate(states[1:]):
+                    service.submit(state, now=float(index))
+                    service.pump(now=float(index))
+                service.drain(now=float(len(states)) + 100.0)
+        finally:
+            service.close()
+        return service, system, injector
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_storm_with_faults_never_loses_a_plan(self, seed):
+        service, system, injector = self.run_storm(
+            seed, sweep_config=SweepConfig(warm_cache=True))
+        # The queue drained: every admitted event repaired, was absorbed,
+        # or settled as a recorded terminal deferral.
+        assert service.pending == 0
+        assert system.plan is not None
+        assert set(system.plan.active_gpus) <= set(system.cluster.gpu_ids())
+        # Counters account for every fault that actually fired.
+        fired = injector.fired
+        exceptions = [f for f in fired
+                      if f.kind == FAULT_PLANNER_EXCEPTION]
+        assert service.stats.faults == len(exceptions)
+        skews = [f for f in fired if f.kind == FAULT_CLOCK_SKEW]
+        if skews:
+            assert service.stats.overruns >= 1
+        # Every planning episode is on the record and every settle is
+        # counted exactly once.
+        settled = [r for r in service.records if r.settled]
+        assert service.stats.repairs + service.stats.no_ops == len(settled)
+        assert service.stats.episodes == len(service.records)
+        assert not math.isnan(
+            service.queue_wait_percentiles()["p99"])
+
+    def test_storm_with_worker_crashes_survives(self):
+        service, system, injector = self.run_storm(
+            seed=4,
+            sweep_config=SweepConfig(backend="process", workers=2,
+                                     pool_retries=1),
+            kinds=(FAULT_WORKER_CRASH, FAULT_PLANNER_EXCEPTION),
+        )
+        assert service.pending == 0
+        assert system.plan is not None
+        crashes = [f for f in injector.fired
+                   if f.kind == FAULT_WORKER_CRASH]
+        if crashes:
+            assert system.planner.sweep_executor.fault_stats[
+                "pool_failures"] >= 1

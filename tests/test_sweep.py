@@ -485,3 +485,180 @@ class TestRepairBreakdownAccounting:
         assert outcome.repair_tier == "full"
         assert outcome.result.breakdown.total <= \
             outcome.repair_seconds + 1e-9
+
+
+class TestExecutorFaultTolerance:
+    """PR 6: a worker fault costs latency, never a plan."""
+
+    def process_planner(self, task, cluster, **knobs):
+        knobs.setdefault("backend", "process")
+        knobs.setdefault("workers", 2)
+        return MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            sweep_config=SweepConfig(**knobs),
+        )
+
+    def test_close_is_idempotent_and_exception_safe(self):
+        from repro.testing.faults import kill_sweep_worker
+
+        task, cluster = tiny_workload()
+        planner = self.process_planner(task, cluster)
+        planner.plan(healthy_rates(cluster, {0: 2.6}))
+        # Close a pool whose worker just died: teardown must neither
+        # raise nor wedge, and repeating it must be a no-op.
+        kill_sweep_worker(planner.sweep_executor)
+        planner.sweep_executor.close()
+        planner.sweep_executor.close()
+        planner.sweep_executor.shutdown()
+        assert planner.sweep_executor._pool is None
+
+    def test_crashed_worker_is_retried_on_a_fresh_pool(self):
+        from repro.testing.faults import kill_sweep_worker
+
+        task, cluster = tiny_workload()
+        serial = MalleusPlanner(task, cluster,
+                                MalleusCostModel(task.model, cluster))
+        planner = self.process_planner(task, cluster, pool_retries=1)
+        first = healthy_rates(cluster, {0: 2.6})
+        second = healthy_rates(cluster, {0: 2.6, 12: 3.8})
+        planner.plan(first)
+        assert kill_sweep_worker(planner.sweep_executor)
+        result = planner.plan(second)
+        planner.close()
+        faults = planner.sweep_executor.fault_stats
+        assert faults["pool_failures"] >= 1
+        assert faults["batch_retries"] >= 1
+        assert faults["serial_fallback"] is False
+        assert winner_signature(result) == \
+            winner_signature(serial.plan(second))
+
+    def test_exhausted_retry_budget_degrades_to_serial(self):
+        from repro.testing.faults import kill_sweep_worker
+
+        task, cluster = tiny_workload()
+        serial = MalleusPlanner(task, cluster,
+                                MalleusCostModel(task.model, cluster))
+        planner = self.process_planner(task, cluster, pool_retries=0)
+        first = healthy_rates(cluster, {5: 2.6})
+        second = healthy_rates(cluster, {5: 2.6, 9: 3.2})
+        planner.plan(first)
+        assert kill_sweep_worker(planner.sweep_executor)
+        result = planner.plan(second)
+        faults = planner.sweep_executor.fault_stats
+        assert faults["pool_failures"] >= 1
+        assert faults["serial_fallback"] is True
+        assert winner_signature(result) == \
+            winner_signature(serial.plan(second))
+        # Once degraded, later sweeps stay serial (and correct) without
+        # touching the broken pool again.
+        third = healthy_rates(cluster, {5: 3.4})
+        assert winner_signature(planner.plan(third)) == \
+            winner_signature(serial.plan(third))
+        planner.close()
+
+    def test_hung_worker_times_out_and_the_batch_recovers(self):
+        from repro.testing.faults import hang_sweep_worker
+
+        task, cluster = tiny_workload()
+        serial = MalleusPlanner(task, cluster,
+                                MalleusCostModel(task.model, cluster))
+        planner = self.process_planner(
+            task, cluster, workers=1, pool_retries=1, batch_timeout=5.0)
+        first = healthy_rates(cluster, {0: 2.6})
+        second = healthy_rates(cluster, {0: 2.6, 12: 3.8})
+        planner.plan(first)
+        assert hang_sweep_worker(planner.sweep_executor, seconds=120.0)
+        result = planner.plan(second)
+        planner.close()
+        faults = planner.sweep_executor.fault_stats
+        assert faults["pool_failures"] >= 1
+        assert winner_signature(result) == \
+            winner_signature(serial.plan(second))
+
+
+class TestCacheUnderCoalescedEvents:
+    """PR 6: merged (superseding) deltas keep the warm cache honest.
+
+    The planning service coalesces a burst of per-GPU deltas into one
+    repair on the final rates; the warm cache must behave for that merged
+    event exactly as for direct processing — serve only fingerprint-valid
+    divisions, evict on membership changes folded into the merge, and end
+    within the engine's epsilon of a cold plan either way.
+    """
+
+    def test_coalesced_sequences_match_stepwise_processing(self):
+        from hypothesis import HealthCheck, given, settings
+        from strategies import rate_map_sequences
+
+        task, cluster = tiny_workload()
+
+        def final_repair(planner, engine, maps):
+            """First map plans cold, the rest repair; returns the last
+            feasible result (or None)."""
+            context, last = None, None
+            for rates in maps:
+                if context is None:
+                    result = planner.plan(rates)
+                    if not result.feasible:
+                        return None
+                    context, last = result.context, result
+                    continue
+                outcome = engine.repair(context, rates)
+                if outcome.result is None:
+                    continue
+                assert outcome.result.feasible
+                alive = {g for g, r in rates.items() if not math.isinf(r)}
+                assert set(outcome.result.plan.active_gpus) <= alive
+                context, last = outcome.result.context, outcome.result
+            return last
+
+        @settings(max_examples=6, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        @given(sequence=rate_map_sequences(cluster.gpu_ids(), length=6))
+        def run(sequence):
+            def warm_planner():
+                planner = MalleusPlanner(
+                    task, cluster, MalleusCostModel(task.model, cluster),
+                    sweep_config=SweepConfig(warm_cache=True),
+                )
+                return planner, ReplanEngine(planner)
+
+            stepwise_planner, stepwise_engine = warm_planner()
+            coalesced_planner, coalesced_engine = warm_planner()
+            stepwise = final_repair(stepwise_planner, stepwise_engine,
+                                    sequence)
+            # Coalescing a storm of superseding per-GPU deltas is exactly
+            # "skip the intermediate maps": each map is a full rate view,
+            # so the merged delta of events 1..n-1 *is* the final map.
+            seeded = coalesced_planner.plan(sequence[0])
+            if stepwise is None or not seeded.feasible:
+                return
+            entries_before = len(coalesced_planner.solution_cache)
+            outcome = coalesced_engine.repair(seeded.context, sequence[-1])
+            coalesced = outcome.result if outcome.result is not None \
+                else seeded
+            assert coalesced.feasible
+            alive = {g for g, r in sequence[-1].items()
+                     if not math.isinf(r)}
+            assert set(coalesced.plan.active_gpus) <= alive
+
+            # A membership change folded into the merge must still evict.
+            alive_start = {g for g, r in sequence[0].items()
+                           if not math.isinf(r)}
+            alive_end = {g for g, r in sequence[-1].items()
+                         if not math.isinf(r)}
+            if alive_start != alive_end and entries_before > 0:
+                assert coalesced_planner.solution_cache.stats()[
+                    "evictions"] > 0
+
+            # Both runs land within the engine's epsilon of a cold plan
+            # for the final rates: the cache never steered the coalesced
+            # repair onto a stale (or worse) solution.
+            cold = MalleusPlanner(
+                task, cluster, MalleusCostModel(task.model, cluster),
+            ).plan(sequence[-1])
+            if cold.feasible and outcome.result is not None:
+                bound = cold.estimated_step_time * 1.01 + 1e-12
+                assert coalesced.estimated_step_time <= bound
+
+        run()
