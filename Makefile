@@ -11,6 +11,9 @@
 #   make gate      - run the planner hot-path benchmark and gate it against
 #                    the committed baseline (one-liner perf gate)
 #   make gate-update - refresh the committed baseline from a fresh run
+#   make gate-hotpath-16k - only the 16384-GPU rows of the hot-path gate
+#                    (numpy kernels: cold plan < 1s, repair < 50ms,
+#                    plans bit-identical to the python reference)
 #   make gate-transition - run the transition study and gate it against the
 #                    committed (deterministic) baseline
 #   make gate-transition-update - refresh the transition-study baseline
@@ -23,14 +26,15 @@
 #   make gate-service - run the planning-service latency benchmark and gate
 #                    its deterministic fields against the committed baseline
 #   make gate-service-update - refresh the service-latency baseline
-#   make gate-all  - every committed gate (hotpath, transition, scenarios,
+#   make gate-all  - every committed gate (hotpath incl. the 16384-GPU
+#                    rows, transition, scenarios,
 #                    Table-5 presets, service latency) plus the fast tier-1 run
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test bench replan migration scenarios sweep service gate gate-update \
-	gate-transition gate-transition-update gate-scenarios \
+	gate-hotpath-16k gate-transition gate-transition-update gate-scenarios \
 	gate-scenarios-update gate-presets gate-presets-update \
 	gate-service gate-service-update gate-all
 
@@ -60,6 +64,9 @@ gate:
 
 gate-update:
 	$(PYTHON) -m repro.experiments.planner_hotpath --update
+
+gate-hotpath-16k:
+	$(PYTHON) -m repro.experiments.planner_hotpath --gate --only 16384
 
 gate-transition:
 	$(PYTHON) -m repro.experiments.transition_study --gate

@@ -72,3 +72,13 @@ def test_planner_hotpath_speedup(benchmark, once):
     # above; measured: identical).
     warm = result.row("64 GPUs (warm-cache sweep)")
     assert warm.speedup >= 1.3, format_planner_hotpath(result)
+
+    # Array-kernel rows: at 16384 GPUs the numpy backend must plan cold
+    # in under a second and repair a single-GPU rate shift in under
+    # 50 ms, with plans bit-identical to the python reference kernels
+    # (covered by the plans_identical loop above).
+    cold_16k = result.row("16384 GPUs (numpy cold)")
+    assert cold_16k.after_seconds < 1.0, format_planner_hotpath(result)
+    assert cold_16k.kernel_seconds, "cold run recorded no kernel timings"
+    repair_16k = result.row("16384 GPUs (numpy repair)")
+    assert repair_16k.after_seconds < 0.050, format_planner_hotpath(result)

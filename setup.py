@@ -1,5 +1,16 @@
 """Setuptools entry point (kept for legacy editable installs without wheel)."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        # Hard dependency of the array-world planner kernels
+        # (kernels="numpy"); repro.compat enforces the version floor at
+        # import time with a readable error.
+        "numpy>=1.22",
+    ],
+)

@@ -1,0 +1,50 @@
+"""Optional-dependency shims shared across the package.
+
+numpy became a hard dependency of the solver hot path with the
+array-world planner (``kernels="numpy"``); the pure-python reference
+kernels keep working without it, so the import is guarded rather than
+unconditional:
+
+* when numpy is installed but older than :data:`NUMPY_MIN_VERSION` the
+  import fails *loudly* right here — a silently-old numpy would
+  otherwise surface as obscure ufunc errors deep inside the kernels;
+* when numpy is missing entirely, :data:`np` is ``None`` and
+  :func:`require_numpy` raises a clear error the moment an array-world
+  feature is actually requested.
+"""
+
+from __future__ import annotations
+
+#: Oldest numpy the vectorized kernels are tested against.  They rely on
+#: ``np.maximum.reduceat``, stable ``argsort`` and IEEE-754 elementwise
+#: semantics, all stable since well before this floor; the floor mainly
+#: rejects ancient installs whose dtype promotion rules differ.
+NUMPY_MIN_VERSION = (1, 22)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+else:
+    _version = tuple(
+        int(part) for part in np.__version__.split(".")[:2] if part.isdigit()
+    )
+    if _version < NUMPY_MIN_VERSION:
+        raise ImportError(
+            f"repro requires numpy >= "
+            f"{'.'.join(str(v) for v in NUMPY_MIN_VERSION)} for its "
+            f"vectorized planner kernels, but numpy {np.__version__} is "
+            f"installed; upgrade numpy or uninstall it to fall back to the "
+            f"pure-python kernels"
+        )
+
+
+def require_numpy(feature: str):
+    """Return the numpy module or raise a clear error naming ``feature``."""
+    if np is None:
+        raise RuntimeError(
+            f"{feature} requires numpy >= "
+            f"{'.'.join(str(v) for v in NUMPY_MIN_VERSION)}, which is not "
+            f"installed; install numpy or select kernels='python'"
+        )
+    return np

@@ -47,7 +47,7 @@ from ..parallel.plan import (
 )
 from ..solvers.minmax import solve_minmax_assignment
 from .costmodel import MalleusCostModel
-from .grouping import group_rate
+from .grouping import group_rate, group_rates_batch
 
 
 @dataclass
@@ -122,26 +122,44 @@ def assign_layers(
     num_layers: int,
     micro_batch_size: int,
     dp_degree: int,
+    prune_above: Optional[float] = None,
 ) -> LayerAssignmentResult:
-    """Solve Eq. 2 for one pipeline (ordered stages)."""
+    """Solve Eq. 2 for one pipeline (ordered stages).
+
+    ``prune_above`` forwards a caller's incumbent bottleneck to the
+    min-max solver's threshold probe (see
+    :func:`repro.solvers.minmax.solve_minmax_assignment`): an ordering
+    that provably cannot beat the incumbent comes back infeasible after
+    a single feasibility test instead of a full parametric solve.
+    """
     pp = len(pipeline_groups)
     if pp == 0:
         return LayerAssignmentResult(layers=[], bottleneck=math.inf, feasible=False)
-    weights = [
-        group_rate(group, rates, cost_model, micro_batch_size)
-        for group in pipeline_groups
-    ]
-    caps = [
-        cost_model.max_layers_for_stage(
-            group.gpu_ids, pp, stage_index, micro_batch_size, dp_degree
-        )
-        for stage_index, group in enumerate(pipeline_groups, start=1)
-    ]
+    kernels = getattr(cost_model, "kernels", "python")
+    if kernels == "numpy":
+        weights = group_rates_batch(pipeline_groups, rates, cost_model,
+                                    micro_batch_size)
+    else:
+        weights = [
+            group_rate(group, rates, cost_model, micro_batch_size)
+            for group in pipeline_groups
+        ]
+    caps_fn = getattr(cost_model, "stage_caps", None)
+    if caps_fn is not None:
+        caps = caps_fn(pipeline_groups, pp, micro_batch_size, dp_degree)
+    else:
+        caps = [
+            cost_model.max_layers_for_stage(
+                group.gpu_ids, pp, stage_index, micro_batch_size, dp_degree
+            )
+            for stage_index, group in enumerate(pipeline_groups, start=1)
+        ]
     # The min-max memo is keyed on (weights, caps) values, so structurally
     # identical pipelines (same rate multiset, different GPUs) share a solve.
     use_cache = getattr(cost_model, "enable_caching", True)
     solution = solve_minmax_assignment(weights, num_layers, caps=caps,
-                                       use_cache=use_cache)
+                                       use_cache=use_cache, kernels=kernels,
+                                       prune_above=prune_above)
     return LayerAssignmentResult(
         layers=list(solution.values),
         bottleneck=solution.objective,
@@ -230,15 +248,25 @@ def candidate_step_time_bound(
     total_micro_batches = global_batch_size // micro_batch_size
     if total_micro_batches <= 0:
         return math.inf
+    # The numpy backend batch-evaluates the per-group rates; the harmonic
+    # accumulation below stays a sequential python loop in the identical
+    # pipeline-major order, so the bound is bit-identical across backends.
+    if getattr(cost_model, "kernels", "python") == "numpy":
+        flat_groups = [g for groups in pipelines_groups for g in groups]
+        flat_ys = group_rates_batch(flat_groups, rates, cost_model,
+                                    micro_batch_size)
+    else:
+        flat_ys = [
+            group_rate(group, rates, cost_model, micro_batch_size)
+            for groups in pipelines_groups for group in groups
+        ]
     harmonic = 0.0
     y_min = math.inf
-    for groups in pipelines_groups:
-        for group in groups:
-            y = group_rate(group, rates, cost_model, micro_batch_size)
-            if y > 0 and not math.isinf(y):
-                harmonic += 1.0 / y
-                if y < y_min:
-                    y_min = y
+    for y in flat_ys:
+        if y > 0 and not math.isinf(y):
+            harmonic += 1.0 / y
+            if y < y_min:
+                y_min = y
     if harmonic <= 0:
         return math.inf
     bound = total_micro_batches * num_layers / harmonic
@@ -267,16 +295,37 @@ def exact_step_time(
     Shared by :func:`solve_lower_level` and the incremental repair engine
     (which re-scores repaired candidates without re-running the full sweep).
     """
+    if getattr(cost_model, "kernels", "python") == "numpy":
+        flat_groups = [g for groups in pipelines_groups for g in groups]
+        flat_ys = group_rates_batch(flat_groups, rates, cost_model,
+                                    micro_batch_size)
+    else:
+        flat_ys = None
     step_time = 0.0
+    cursor = 0
     for groups, result, m_i in zip(pipelines_groups, layer_results,
                                    micro_batches):
+        if flat_ys is not None:
+            ys = flat_ys[cursor:cursor + len(groups)]
+            cursor += len(groups)
+        else:
+            ys = None
         if m_i <= 0:
             continue
-        warm_up = sum(
-            group_rate(group, rates, cost_model, micro_batch_size) * layers
-            for group, layers in zip(groups, result.layers)
-            if layers > 0
-        )
+        if ys is not None:
+            # Same products and the same sequential sum order as the
+            # scalar branch; only the rate evaluation is batched.
+            warm_up = sum(
+                y * layers
+                for y, layers in zip(ys, result.layers)
+                if layers > 0
+            )
+        else:
+            warm_up = sum(
+                group_rate(group, rates, cost_model, micro_batch_size) * layers
+                for group, layers in zip(groups, result.layers)
+                if layers > 0
+            )
         pipeline_time = (m_i - 1) * result.bottleneck + warm_up
         step_time = max(step_time, pipeline_time)
     return step_time * cost_model.tau(micro_batch_size)

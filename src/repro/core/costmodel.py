@@ -56,13 +56,61 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..cluster.topology import GIB, Cluster
+from ..compat import np, require_numpy
 from ..models.spec import TransformerModelSpec
 
 #: Reserved memory gap for NCCL / CUDA contexts (Appendix B.4 uses 4096 MiB).
 DEFAULT_RESERVED_MEMORY = 4.0 * GIB
+
+#: Valid values of the ``kernels`` knob on the cost model / planner.
+KERNEL_BACKENDS = ("python", "numpy", "legacy")
+
+
+class RateArray:
+    """Array view of a ``{gpu_id: straggling_rate}`` map.
+
+    The vectorized kernels index GPUs by *position* in a stable sorted
+    id order rather than by dict key.  One ``RateArray`` is built per
+    planning episode (the id set is fixed within an episode, only the
+    values move), so the sorted-id index and the id→position map are
+    computed once and shared by every kernel invocation.
+
+    ``ids`` is an int64 ndarray of GPU ids in ascending order; ``values``
+    is the matching float64 ndarray of straggling rates.  ``position``
+    maps a GPU id back to its row.  The float values are bit-identical
+    to the source dict's — no rounding or normalisation happens here.
+
+    ``gather_cache`` memoizes the member-position/offset arrays the
+    batched group-rate kernel gathers with, keyed by the identity tuple
+    of a group sequence (:class:`~repro.parallel.plan.TPGroup` is frozen,
+    and each entry pins a strong reference to its groups so the ids stay
+    valid).  It dies with the ``RateArray`` — i.e. whenever the episode's
+    GPU-id set changes — and positions are value-refresh-invariant, so a
+    hit is exactly the recomputation.
+    """
+
+    __slots__ = ("ids", "values", "position", "gather_cache")
+
+    def __init__(self, ids, values, position: Dict[int, int]):
+        self.ids = ids
+        self.values = values
+        self.position = position
+        self.gather_cache: Dict[tuple, tuple] = {}
+
+    @classmethod
+    def from_rates(cls, rates: Mapping[int, float]) -> "RateArray":
+        xp = require_numpy("RateArray")
+        ordered = sorted(rates)
+        ids = xp.asarray(ordered, dtype=xp.int64)
+        values = xp.asarray([rates[g] for g in ordered], dtype=xp.float64)
+        position = {g: i for i, g in enumerate(ordered)}
+        return cls(ids, values, position)
+
+    def __len__(self) -> int:
+        return len(self.position)
 
 
 @dataclass
@@ -106,11 +154,24 @@ class MalleusCostModel:
 
     def __init__(self, model: TransformerModelSpec, cluster: Cluster,
                  config: Optional[CostModelConfig] = None,
-                 enable_caching: bool = True):
+                 enable_caching: bool = True,
+                 kernels: str = "python"):
+        if kernels not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernels must be one of {KERNEL_BACKENDS}, got {kernels!r}"
+            )
+        if kernels == "numpy":
+            require_numpy("kernels='numpy'")
         self.model = model
         self.cluster = cluster
         self.config = config or CostModelConfig()
         self.enable_caching = enable_caching
+        self.kernels = kernels
+        self._rate_array_key: Optional[tuple] = None
+        self._rate_array: Optional[RateArray] = None
+        self._rate_array_perm = None
+        self._pinned_rates: Optional[Mapping[int, float]] = None
+        self._rate_array_src: Optional[int] = None
         self._zeta_cache: Dict[tuple, float] = {}
         self._rho_cache: Dict[tuple, float] = {}
         self._rho_ref_cache: Dict[tuple, float] = {}
@@ -118,6 +179,7 @@ class MalleusCostModel:
         self._nu_cache: Dict[tuple, float] = {}
         self._capacity_cache: Dict[tuple, float] = {}
         self._max_layers_cache: Dict[tuple, int] = {}
+        self._stage_caps_cache: Dict[tuple, tuple] = {}
         self._cache_counters: Dict[str, int] = {}
         self._config_snapshot = self._snapshot_config()
 
@@ -133,6 +195,7 @@ class MalleusCostModel:
             "nu": self._nu_cache,
             "capacity": self._capacity_cache,
             "max_layers": self._max_layers_cache,
+            "stage_caps": self._stage_caps_cache,
         }
 
     def _snapshot_config(self) -> tuple:
@@ -193,6 +256,71 @@ class MalleusCostModel:
 
     def _count(self, counter: str) -> None:
         self._cache_counters[counter] = self._cache_counters.get(counter, 0) + 1
+
+    def rate_array(self, rates: Mapping[int, float]) -> RateArray:
+        """Array view of ``rates``, with the id index memoized per episode.
+
+        The sorted-id index and the id→position map only depend on the
+        GPU-id *set*, which is stable across the thousands of kernel
+        calls inside one planning episode; only the float values are
+        refreshed on every call.  Not config-dependent, so it survives
+        :meth:`invalidate_caches` untouched.
+
+        The per-call refresh is memoized on the dict's *insertion-order*
+        key tuple: a hit re-reads the values with ``np.fromiter`` and
+        re-sorts them through the cached argsort permutation (one C-level
+        gather), producing exactly the floats ``[rates[g] for g in
+        sorted(rates)]`` would — the sorted-id listcomp and the 16k-id
+        sort drop out of the per-call path entirely.  A dict with the
+        same ids in a different insertion order just misses and rebuilds.
+        """
+        xp = require_numpy("MalleusCostModel.rate_array")
+        # Fast path for a pinned episode (see pin_rates): the caller has
+        # promised this exact mapping object stays frozen, so once its
+        # values are loaded every further call can return the array as-is
+        # — no key tuple, no fromiter.  ``_rate_array_src`` records which
+        # object's values are currently loaded; a call with any *other*
+        # mapping in between falls through, refreshes, and retags.
+        if rates is self._pinned_rates \
+                and self._rate_array_src == id(rates) \
+                and self._rate_array is not None:
+            return self._rate_array
+        key = tuple(rates)
+        cached = self._rate_array
+        if cached is None or self._rate_array_key != key:
+            cached = RateArray.from_rates(rates)
+            self._rate_array_key = key
+            self._rate_array = cached
+            self._rate_array_perm = xp.argsort(
+                xp.asarray(key, dtype=xp.int64)
+            )
+            self._rate_array_src = id(rates)
+            return cached
+        raw = xp.fromiter(rates.values(), dtype=xp.float64, count=len(key))
+        cached.values = raw[self._rate_array_perm]
+        self._rate_array_src = id(rates)
+        return cached
+
+    def pin_rates(self, rates: Mapping[int, float]):
+        """Declare ``rates`` frozen for the duration of one planning call.
+
+        Returns a zero-argument callable that restores the previous pin
+        (use in ``try/finally``).  While pinned, :meth:`rate_array` serves
+        repeated calls with the *same mapping object* straight from the
+        cached array without re-reading the dict — the caller must not
+        mutate the mapping until the pin is released.  Calls with other
+        mappings still refresh normally, and the first pinned call after
+        such an interleaving refreshes too (the source tag mismatches),
+        so correctness never depends on call order.  Nesting is safe; the
+        restore callable unwinds one level.
+        """
+        previous = self._pinned_rates
+        self._pinned_rates = rates
+
+        def release() -> None:
+            self._pinned_rates = previous
+
+        return release
 
     # ------------------------------------------------------------------
     # Time model
@@ -457,6 +585,46 @@ class MalleusCostModel:
         if self.enable_caching:
             self._max_layers_cache[key] = value
         return value
+
+    def stage_caps(self, groups: Sequence, pp_degree: int,
+                   micro_batch_size: int, dp_degree: int = 1) -> List[int]:
+        """Per-stage layer caps for an ordered group sequence.
+
+        Equals ``[max_layers_for_stage(g.gpu_ids, pp, i, b, dp) for i, g
+        in enumerate(groups, 1)]`` exactly, memoized on the groups'
+        identity tuple (:class:`~repro.parallel.plan.TPGroup` is frozen;
+        each entry pins its groups so the ids stay valid).  The layer ILP
+        asks for the same pipeline's caps once per micro-batch candidate
+        and per ordering probe, so the per-stage memo lookups collapse
+        into one dict hit.  Registered in :meth:`_caches`, so config
+        invalidation clears it with everything else.
+        """
+        if not self.enable_caching:
+            return [
+                self.max_layers_for_stage(
+                    group.gpu_ids, pp_degree, stage_index,
+                    micro_batch_size, dp_degree,
+                )
+                for stage_index, group in enumerate(groups, start=1)
+            ]
+        key = (tuple(map(id, groups)), pp_degree, micro_batch_size,
+               dp_degree)
+        cached = self._stage_caps_cache.get(key)
+        if cached is not None:
+            self._count("stage_caps_hits")
+            return list(cached[1])
+        self._count("stage_caps_misses")
+        caps = [
+            self.max_layers_for_stage(
+                group.gpu_ids, pp_degree, stage_index, micro_batch_size,
+                dp_degree,
+            )
+            for stage_index, group in enumerate(groups, start=1)
+        ]
+        if len(self._stage_caps_cache) >= 4096:
+            self._stage_caps_cache.clear()
+        self._stage_caps_cache[key] = (tuple(groups), tuple(caps))
+        return list(caps)
 
     def stage_memory_bytes(self, gpu_ids: Sequence[int], num_layers: int,
                            pp_degree: int, stage_index: int,

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster.topology import Cluster
+from ..compat import np
 from ..parallel.plan import TPGroup
+from . import kernel_timing
 from .costmodel import MalleusCostModel
 
 
@@ -84,15 +87,72 @@ def harmonic_throughput(groups: Sequence[TPGroup], rates: Dict[int, float],
     """Theorem 2 estimator: relaxed training time is ``∝ 1 / Σ 1/y``.
 
     Larger is better.  Groups containing failed GPUs (infinite rate)
-    contribute zero throughput.
+    contribute zero throughput.  On the numpy backend the per-group
+    rates come from the batched kernel (bit-identical values); the
+    harmonic accumulation stays a sequential python loop in group order
+    either way, so the sum's float chain is identical across backends.
     """
+    if getattr(cost_model, "kernels", "python") == "numpy":
+        ys = group_rates_batch(groups, rates, cost_model, micro_batch_size)
+    else:
+        ys = [group_rate(group, rates, cost_model, micro_batch_size)
+              for group in groups]
     total = 0.0
-    for group in groups:
-        y = group_rate(group, rates, cost_model, micro_batch_size)
+    for y in ys:
         if math.isinf(y) or y <= 0:
             continue
         total += 1.0 / y
     return total
+
+
+def group_rates_batch(groups: Sequence[TPGroup], rates: Dict[int, float],
+                      cost_model: MalleusCostModel,
+                      micro_batch_size: int = 1) -> List[float]:
+    """Vectorized :func:`group_rate` over many groups (bit-identical).
+
+    Gathers every group's member rates through the episode's
+    :class:`~repro.core.costmodel.RateArray` index and reduces each
+    group's maximum with one ``np.maximum.reduceat`` pass; the final
+    ``y = rho_n * max(x)`` multiply is elementwise, so each value is the
+    same IEEE-754 product the scalar kernel computes (``rho * inf`` is
+    ``inf``, matching the scalar early return for failed GPUs).  Only the
+    per-group *values* are produced here — callers that reduce over them
+    (harmonic sums, warm-up sums) keep their own sequential float loops
+    so the reduction order stays identical to the reference kernels.
+
+    Falls back to the scalar loop without numpy or for tiny inputs.
+    """
+    if np is None or len(groups) < 16:
+        return [group_rate(group, rates, cost_model, micro_batch_size)
+                for group in groups]
+    ra = cost_model.rate_array(rates)
+    # The member-position gather only depends on the groups and the
+    # episode's id index, not on the rate values, so it is memoized on
+    # the groups' identity tuple (TPGroup is frozen; the cached entry
+    # pins the groups so the ids stay live).  Re-planning paths call
+    # this kernel dozens of times on the same group lists per episode.
+    cache_key = tuple(map(id, groups))
+    entry = ra.gather_cache.get(cache_key)
+    if entry is None:
+        members = [g for group in groups for g in group.gpu_ids]
+        positions = np.searchsorted(
+            ra.ids, np.asarray(members, dtype=np.int64)
+        )
+        sizes = [group.size for group in groups]
+        offsets = np.zeros(len(groups), dtype=np.int64)
+        np.cumsum(np.asarray(sizes[:-1], dtype=np.int64), out=offsets[1:])
+        if len(ra.gather_cache) >= 256:
+            ra.gather_cache.clear()
+        ra.gather_cache[cache_key] = (tuple(groups), positions, offsets,
+                                      sizes)
+    else:
+        _, positions, offsets, sizes = entry
+    maxima = np.maximum.reduceat(ra.values[positions], offsets)
+    rho_by_size = {
+        size: cost_model.rho(size, micro_batch_size) for size in set(sizes)
+    }
+    factors = np.asarray([rho_by_size[s] for s in sizes], dtype=np.float64)
+    return (factors * maxima).tolist()
 
 
 # ----------------------------------------------------------------------
@@ -311,35 +371,149 @@ def group_gpus(
     micro_batch_size: int = 1,
     straggler_threshold: float = 1.05,
     enable_splitting: bool = True,
+    kernels: Optional[str] = None,
 ) -> GroupingResult:
     """Run the full GPU-grouping process for one candidate TP degree.
 
     TP groups never span nodes (TP communication needs intra-node bandwidth),
     so each node is partitioned independently and the per-node results are
     concatenated.
+
+    ``kernels`` selects the backend (default: the cost model's own
+    ``kernels`` knob).  The ``"numpy"`` path vectorizes the common case —
+    straggler-free nodes of a uniform-size cluster, which is almost every
+    node even mid-event — and only walks the python Theorem-2 splitting
+    machinery for the handful of nodes that actually contain stragglers.
+    Results are bit-identical to the python loop.
     """
-    if tp_limit not in (1, 2, 4, 8) and tp_limit > 0:
-        # Non-standard TP degrees are allowed but must divide the node size.
-        pass
+    start_time = time.perf_counter()
+    try:
+        if kernels is None:
+            kernels = getattr(cost_model, "kernels", "python")
+        if kernels == "numpy" and np is not None:
+            result = _group_gpus_numpy(
+                cluster, rates, cost_model, tp_limit, micro_batch_size,
+                straggler_threshold, enable_splitting,
+            )
+            if result is not None:
+                return result
+        groups: List[TPGroup] = []
+        isolated: List[int] = []
+        for node in cluster.nodes:
+            node_gpu_ids = node.gpu_ids()
+            if enable_splitting:
+                node_groups, node_isolated = split_node_groups(
+                    node_gpu_ids, rates, cost_model, tp_limit,
+                    micro_batch_size, straggler_threshold,
+                )
+            else:
+                group_size = min(tp_limit, len(node_gpu_ids))
+                node_groups = even_partition(node_gpu_ids, rates, group_size)
+                node_isolated = []
+            groups.extend(node_groups)
+            isolated.extend(node_isolated)
+        throughput = harmonic_throughput(groups, rates, cost_model,
+                                         micro_batch_size)
+        return GroupingResult(
+            tp_limit=tp_limit,
+            groups=groups,
+            isolated_gpus=sorted(isolated),
+            harmonic_throughput=throughput,
+        )
+    finally:
+        kernel_timing.add("grouping", time.perf_counter() - start_time)
+
+
+def _group_gpus_numpy(
+    cluster: Cluster,
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    tp_limit: int,
+    micro_batch_size: int,
+    straggler_threshold: float,
+    enable_splitting: bool,
+) -> Optional[GroupingResult]:
+    """Array-world :func:`group_gpus` fast path (``None`` = not applicable).
+
+    Requires a uniform cluster grid (same GPU count per node, divisible by
+    the group size).  All straggler-free rows are partitioned in one
+    vectorized pass: ``np.lexsort`` over ``(id asc, rate desc)`` replicates
+    :func:`even_partition`'s ``(-rate, g)`` sort key exactly, and the
+    per-group rate maxima fall out of a reshape.  Rows with stragglers go
+    through :func:`split_node_groups` unchanged.  The final Theorem-2
+    harmonic sum runs sequentially in python over the per-group ``y``
+    values in group order, so it performs the identical float additions
+    as the reference loop.
+    """
+    nodes = cluster.nodes
+    if not nodes:
+        return None
+    id_rows = [node.gpu_ids() for node in nodes]
+    per_node = len(id_rows[0])
+    if per_node == 0 or any(len(row) != per_node for row in id_rows):
+        return None
+    group_size = min(tp_limit, per_node)
+    if group_size <= 0 or per_node % group_size != 0:
+        return None  # the python path raises the canonical error
+
+    ids_grid = np.asarray(id_rows, dtype=np.int64)
+    vals_grid = np.asarray(
+        [[rates[g] for g in row] for row in id_rows], dtype=np.float64
+    )
+    # A node needs the python splitting machinery only when it hosts a
+    # straggler (strict >, matching split_node_groups) and splitting can
+    # actually trigger (group_size > 1).
+    needs_python = np.zeros(len(nodes), dtype=bool)
+    if enable_splitting and group_size > 1:
+        needs_python = (vals_grid > straggler_threshold).any(axis=1)
+
+    # Vectorized Theorem-1 partition of every healthy row: order GPUs by
+    # (-rate, id) and chunk.  lexsort's last key is primary.
+    order = np.lexsort((ids_grid, -vals_grid), axis=1)
+    sorted_ids = np.take_along_axis(ids_grid, order, axis=1)
+    sorted_vals = np.take_along_axis(vals_grid, order, axis=1)
+    groups_per_node = per_node // group_size
+    chunk_maxima = sorted_vals.reshape(
+        len(nodes), groups_per_node, group_size
+    ).max(axis=2)
+    rho = cost_model.rho(group_size, micro_batch_size)
+
     groups: List[TPGroup] = []
+    ys: List[float] = []
     isolated: List[int] = []
-    for node in cluster.nodes:
-        node_gpu_ids = node.gpu_ids()
-        if enable_splitting:
+    id_lists = sorted_ids.tolist()
+    maxima_lists = chunk_maxima.tolist()
+    for row_index, node in enumerate(nodes):
+        if needs_python[row_index]:
             node_groups, node_isolated = split_node_groups(
-                node_gpu_ids, rates, cost_model, tp_limit,
+                id_rows[row_index], rates, cost_model, tp_limit,
                 micro_batch_size, straggler_threshold,
             )
-        else:
-            group_size = min(tp_limit, len(node_gpu_ids))
-            node_groups = even_partition(node_gpu_ids, rates, group_size)
-            node_isolated = []
-        groups.extend(node_groups)
-        isolated.extend(node_isolated)
-    throughput = harmonic_throughput(groups, rates, cost_model, micro_batch_size)
+            groups.extend(node_groups)
+            isolated.extend(node_isolated)
+            ys.extend(
+                group_rate(group, rates, cost_model, micro_batch_size)
+                for group in node_groups
+            )
+            continue
+        row_ids = id_lists[row_index]
+        row_maxima = maxima_lists[row_index]
+        for chunk in range(groups_per_node):
+            start = chunk * group_size
+            groups.append(
+                TPGroup(gpu_ids=tuple(row_ids[start:start + group_size]))
+            )
+            worst = row_maxima[chunk]
+            ys.append(math.inf if math.isinf(worst) else rho * worst)
+
+    total = 0.0
+    for y in ys:
+        if math.isinf(y) or y <= 0:
+            continue
+        total += 1.0 / y
     return GroupingResult(
         tp_limit=tp_limit,
         groups=groups,
         isolated_gpus=sorted(isolated),
-        harmonic_throughput=throughput,
+        harmonic_throughput=total,
     )

@@ -1,0 +1,47 @@
+"""Process-local per-kernel wall-time accumulator.
+
+The hot-path benchmark wants to attribute planning time to the three
+solver kernels (pipeline division, min-max assignment, TP grouping)
+rather than report one opaque total.  The kernels are called from deep
+inside the sweep — including from pool workers in the process backend —
+so threading a timing object through every signature would be invasive.
+Instead each kernel adds its wall time to this process-local
+accumulator, and the sweep drains it around every candidate evaluation
+(:func:`repro.core.sweep.evaluate_candidate`) so the numbers ship back
+to the parent inside ``CandidateTiming`` and are merged into
+``PlanningTimeBreakdown.kernels``.
+
+Not thread-safe by design: the sweep engine is process-parallel, never
+thread-parallel, and each worker process owns its own module globals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Kernel names tracked in ``PlanningTimeBreakdown.kernels``.
+KERNELS = ("division", "minmax", "grouping")
+
+_accumulator: Dict[str, float] = {}
+
+
+def add(kernel: str, seconds: float) -> None:
+    """Charge ``seconds`` of wall time to ``kernel``."""
+    _accumulator[kernel] = _accumulator.get(kernel, 0.0) + seconds
+
+
+def peek(kernel: str) -> float:
+    """Current accumulated wall time of ``kernel`` without resetting it.
+
+    Lets an enclosing kernel subtract the time its nested kernels already
+    charged (the division solver runs min-max solves inside its own
+    window), keeping the buckets additive instead of overlapping.
+    """
+    return _accumulator.get(kernel, 0.0)
+
+
+def drain() -> Dict[str, float]:
+    """Return the accumulated per-kernel times and reset the accumulator."""
+    out = dict(_accumulator)
+    _accumulator.clear()
+    return out

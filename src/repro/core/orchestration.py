@@ -25,7 +25,7 @@ from ..parallel.plan import TPGroup
 from ..solvers.division import DivisionProblem, solve_pipeline_division
 from .assignment import assign_layers
 from .costmodel import MalleusCostModel
-from .grouping import group_rate
+from .grouping import group_rate, group_rates_batch
 
 
 @dataclass
@@ -53,17 +53,30 @@ def classify_groups(
     cost_model: MalleusCostModel,
     micro_batch_size: int = 1,
     tolerance: float = 0.02,
+    kernels: Optional[str] = None,
 ) -> Tuple[List[TPGroup], float, List[Tuple[TPGroup, float]]]:
     """Split groups into majority-rate "fast" groups and individual "slow" ones.
 
     The majority rate is the most common group straggling rate (within a
     relative ``tolerance``); the paper leverages the fact that most GPUs are
     healthy so most groups share the same rate.
+
+    ``kernels`` selects the rate-evaluation backend (default: the cost
+    model's knob); the ``"numpy"`` path batches the per-group rates
+    through :func:`repro.core.grouping.group_rates_batch`.  The modal
+    clustering and the fast-rate mean stay sequential python either way,
+    so the classification is bit-identical across backends.
     """
-    rated = [
-        (group, group_rate(group, rates, cost_model, micro_batch_size))
-        for group in groups
-    ]
+    if kernels is None:
+        kernels = getattr(cost_model, "kernels", "python")
+    if kernels == "numpy":
+        ys = group_rates_batch(groups, rates, cost_model, micro_batch_size)
+        rated = list(zip(groups, ys))
+    else:
+        rated = [
+            (group, group_rate(group, rates, cost_model, micro_batch_size))
+            for group in groups
+        ]
     finite = [(g, y) for g, y in rated if not math.isinf(y)]
     if not finite:
         return [], 1.0, [(g, y) for g, y in rated]
@@ -81,9 +94,13 @@ def classify_groups(
     majority = max(clusters, key=len)
     fast_groups = [g for g, _ in majority]
     fast_rate = sum(y for _, y in majority) / len(majority)
+    # Identity-based membership: groups within a grouping are disjoint GPU
+    # sets, so object identity and value equality coincide — and the set
+    # lookup replaces the quadratic ``g not in fast_groups`` list scan.
+    fast_ids = {id(g) for g in fast_groups}
     slow = [
         (g, y) for g, y in rated
-        if g not in fast_groups
+        if id(g) not in fast_ids
     ]
     return fast_groups, fast_rate, slow
 
@@ -98,6 +115,7 @@ def divide_pipelines(
     min_groups_per_pipeline: int = 1,
     legacy_kernels: bool = False,
     warm_start: Optional[Sequence[Sequence[float]]] = None,
+    kernels: Optional[str] = None,
 ) -> OrchestrationResult:
     """Assign TP groups to ``dp_degree`` pipelines by solving Eq. 4.
 
@@ -106,17 +124,27 @@ def divide_pipelines(
     rate buckets (see :func:`repro.solvers.division.solve_pipeline_division`;
     callers that retain a previous :class:`DivisionSolution` pass its
     ``slow_groups`` to start the fallback local search from the incumbent
-    division instead of from scratch).
+    division instead of from scratch).  ``kernels`` selects the backend
+    for the rate evaluation and the division solver (default: the cost
+    model's knob).
     """
-    usable = [
-        group for group in groups
-        if not math.isinf(group_rate(group, rates, cost_model, micro_batch_size))
-    ]
+    if kernels is None:
+        kernels = getattr(cost_model, "kernels", "python")
+    if kernels == "numpy":
+        all_ys = group_rates_batch(groups, rates, cost_model, micro_batch_size)
+        usable = [g for g, y in zip(groups, all_ys) if not math.isinf(y)]
+    else:
+        usable = [
+            group for group in groups
+            if not math.isinf(
+                group_rate(group, rates, cost_model, micro_batch_size)
+            )
+        ]
     if len(usable) < dp_degree * min_groups_per_pipeline:
         return OrchestrationResult(dp_degree=dp_degree, feasible=False)
 
     fast_groups, fast_rate, slow = classify_groups(
-        usable, rates, cost_model, micro_batch_size
+        usable, rates, cost_model, micro_batch_size, kernels=kernels
     )
     slow_rates = [y for _, y in slow]
     problem = DivisionProblem(
@@ -132,6 +160,7 @@ def divide_pipelines(
         problem, legacy_kernels=legacy_kernels,
         use_minmax_cache=use_cache and not legacy_kernels,
         warm_start=warm_start,
+        kernels=kernels,
     )
 
     # Map the abstract division back onto concrete TPGroup objects.
@@ -190,13 +219,22 @@ def order_pipeline_groups(
     if len(groups) <= 1:
         return groups
 
+    if getattr(cost_model, "kernels", "python") == "numpy":
+        batch_ys = group_rates_batch(groups, rates, cost_model,
+                                     micro_batch_size)
+        y_by_id = {id(g): y for g, y in zip(groups, batch_ys)}
+
+        def rate_of(g: TPGroup) -> float:
+            return y_by_id[id(g)]
+    else:
+        def rate_of(g: TPGroup) -> float:
+            return group_rate(g, rates, cost_model, micro_batch_size)
+
     bundles: Dict[int, List[TPGroup]] = {}
     for group in groups:
         bundles.setdefault(group.size, []).append(group)
     for size in bundles:
-        bundles[size].sort(
-            key=lambda g: -group_rate(g, rates, cost_model, micro_batch_size)
-        )
+        bundles[size].sort(key=lambda g: -rate_of(g))
 
     if len(bundles) == 1:
         # Theorem 3 applies directly: descending straggling rate.
@@ -208,8 +246,21 @@ def order_pipeline_groups(
         ordered: List[TPGroup] = []
         for size in permutation:
             ordered.extend(bundles[size])
+        # The incumbent bottleneck is forwarded as the layer ILP's prune
+        # threshold, tightened by the solver's own optimality tolerance
+        # (its improve loop stops once ``obj * (1 - 1e-12) - 1e-9`` is
+        # infeasible).  An ordering that only ties the incumbent — the
+        # common case, since permuted bundles share the weight multiset —
+        # is pruned after a single probe instead of a full solve; one
+        # that beats the incumbent by more than the tolerance still
+        # solves fully and wins the strict comparison below.
+        prune = None
+        if math.isfinite(best_score):
+            prune = best_score * (1.0 - 1e-12) - 1e-9
         result = assign_layers(
-            ordered, rates, cost_model, num_layers, micro_batch_size, dp_degree
+            ordered, rates, cost_model, num_layers, micro_batch_size,
+            dp_degree,
+            prune_above=prune,
         )
         if not result.feasible:
             continue

@@ -85,9 +85,11 @@ from ..parallel.migration import (
     layout_from_candidate,
     transition_time_lower_bound,
 )
+from ..compat import require_numpy
 from ..parallel.plan import ParallelizationPlan, TPGroup
+from . import kernel_timing
 from .assignment import PlanCandidate, sorted_divisors
-from .costmodel import CostModelConfig, MalleusCostModel
+from .costmodel import KERNEL_BACKENDS, CostModelConfig, MalleusCostModel
 from .grouping import GroupingResult, group_gpus
 from .sweep import (
     CandidateRecord,
@@ -231,6 +233,13 @@ class MalleusPlanner:
         Use the pre-overhaul division kernels and materialize a plan for
         every improving lower-level candidate (the hot-path benchmark's
         "before" configuration).
+    kernels:
+        Solver-kernel backend — ``"python"`` (the reference scalar
+        kernels), ``"numpy"`` (vectorized division/min-max/grouping
+        kernels, bit-identical plans) or ``"legacy"`` (the pre-overhaul
+        division kernels).  ``None`` (the default) inherits the cost
+        model's knob, so the backend is normally chosen once on
+        :class:`~repro.core.costmodel.MalleusCostModel`.
     transition_config:
         Transition-aware planning knobs (:class:`TransitionConfig`); a
         disabled config — pure step-time planning, bit-identical to the
@@ -254,6 +263,7 @@ class MalleusPlanner:
         enable_splitting: bool = True,
         enable_pruning: bool = True,
         legacy_kernels: bool = False,
+        kernels: Optional[str] = None,
         transition_config: Optional[TransitionConfig] = None,
         sweep_config: Optional[SweepConfig] = None,
     ):
@@ -268,6 +278,16 @@ class MalleusPlanner:
         self.enable_splitting = enable_splitting
         self.enable_pruning = enable_pruning
         self.legacy_kernels = legacy_kernels
+        if kernels is None:
+            kernels = getattr(self.cost_model, "kernels", "python")
+        if kernels not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend: {kernels!r} "
+                f"(expected one of {KERNEL_BACKENDS})"
+            )
+        if kernels == "numpy":
+            require_numpy("kernels='numpy'")
+        self.kernels = kernels
         self.transition_config = transition_config or TransitionConfig()
         self.sweep_config = sweep_config or SweepConfig()
         self.sweep_executor = SweepExecutor(self.sweep_config)
@@ -322,12 +342,36 @@ class MalleusPlanner:
         With transitions disabled (the default) ``previous`` is ignored and
         the sweep is bit-identical to the transition-unaware planner.
         """
+        # Pin the rate map for the whole episode: thousands of kernel
+        # calls below share this one frozen mapping, so the cost model's
+        # RateArray can skip the per-call dict re-read (see pin_rates).
+        pin = getattr(self.cost_model, "pin_rates", None)
+        release = pin(rates) if pin is not None else None
+        try:
+            return self._plan_impl(rates, dp, micro_batch_candidates,
+                                   previous)
+        finally:
+            if release is not None:
+                release()
+
+    def _plan_impl(
+        self,
+        rates: Dict[int, float],
+        dp: Optional[int],
+        micro_batch_candidates: Optional[Sequence[int]],
+        previous: Optional[PlanContext],
+    ) -> PlanningResult:
         # Self-heal after in-place calibration edits (the caches are keyed
         # on arguments only); see MalleusCostModel.refresh_if_config_changed.
         refresh = getattr(self.cost_model, "refresh_if_config_changed", None)
         if refresh is not None:
             refresh()
 
+        # Reset the process-local kernel accumulator so per-kernel times
+        # attribute to *this* plan (see repro.core.kernel_timing); the
+        # sweep drains it per evaluation, and the tail drain below sweeps
+        # up whatever ran outside the sweep (phase-1 grouping).
+        kernel_timing.drain()
         breakdown = PlanningTimeBreakdown()
         all_gpu_ids = self.cluster.gpu_ids()
         prune = self.enable_pruning
@@ -397,6 +441,7 @@ class MalleusPlanner:
             all_gpu_ids=tuple(all_gpu_ids),
             enable_pruning=prune,
             legacy_kernels=self.legacy_kernels,
+            kernels=self.kernels,
         )
         outcome = run_sweep(
             entries, ctx, self.sweep_executor,
@@ -432,6 +477,7 @@ class MalleusPlanner:
                 estimated_step_time=best_time,
                 groupings=groupings,
             )
+        breakdown.merge_kernels(kernel_timing.drain())
         return PlanningResult(
             plan=best_plan,
             estimated_step_time=best_time,

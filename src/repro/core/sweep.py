@@ -34,9 +34,10 @@ owner:
   expensive pipeline-division solve entirely — its kept division is
   re-ordered and the lower level re-solved, exactly the repair the replan
   engine has always applied to the incumbent pair, now available to
-  *every* candidate.  An **infeasibility memo** keyed on the grouping's
-  rate-independent *capacity fingerprint* additionally handles candidates
-  whose last full-depth solve hit the memory wall: an unchanged capacity
+  *every* candidate.  An **infeasibility memo** stratified on
+  ``(num_groups, dp)`` and guarded by the grouping's rate-independent
+  *capacity fingerprint* additionally handles candidates whose last
+  full-depth solve hit the memory wall: an unchanged capacity
   structure skips the candidate outright, a changed one (group change,
   recovery) re-checks it freshly under the current rates but without the
   min-groups retry loop the memo proved futile; at 64-GPU scale — where
@@ -103,8 +104,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..compat import np
 from ..models.spec import TrainingTask
 from ..parallel.plan import ParallelizationPlan, TPGroup
+from . import kernel_timing
 from .assignment import (
     PlanCandidate,
     candidate_step_time_bound,
@@ -131,6 +134,13 @@ class PlanningTimeBreakdown:
     division: float = 0.0
     ordering: float = 0.0
     assignment: float = 0.0
+    #: Wall seconds spent inside the three solver kernels (``division``,
+    #: ``minmax``, ``grouping`` — see :mod:`repro.core.kernel_timing`).
+    #: Orthogonal to the four phase buckets: the phases partition the
+    #: planner's wall clock, the kernels attribute the solver fraction of
+    #: it (``kernels["minmax"]`` time is *inside* ``assignment`` and
+    #: ``division``).  Not included in :attr:`total`.
+    kernels: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -145,6 +155,7 @@ class PlanningTimeBreakdown:
             "ordering": self.ordering,
             "assignment": self.assignment,
             "total": self.total,
+            "kernels": dict(self.kernels),
         }
 
     def merge(self, other: "PlanningTimeBreakdown") -> None:
@@ -153,6 +164,12 @@ class PlanningTimeBreakdown:
         self.division += other.division
         self.ordering += other.ordering
         self.assignment += other.assignment
+        self.merge_kernels(other.kernels)
+
+    def merge_kernels(self, kernels: Dict[str, float]) -> None:
+        """Accumulate per-kernel solver seconds into :attr:`kernels`."""
+        for kernel, seconds in kernels.items():
+            self.kernels[kernel] = self.kernels.get(kernel, 0.0) + seconds
 
 
 @dataclass
@@ -219,6 +236,23 @@ class SweepConfig:
     #: only hide a better candidate when the staleness alone exceeds the
     #: margin.  0 disables the pass (pure warm representatives).
     resolve_margin: float = 0.10
+    #: Publish the per-batch rate map once through a
+    #: ``multiprocessing.shared_memory`` block ([n int64 GPU ids |
+    #: n float64 rates], both in the dict's insertion order) instead of
+    #: re-pickling the full dict into every worker batch.  Process
+    #: backend with numpy only (silently ignored otherwise);
+    #: byte-identical results — workers rebuild the exact same dict,
+    #: insertion order included, from the block.
+    shared_rates: bool = False
+    #: Collapse the warm and cold rounds of the static sweep into one
+    #: combined submission with per-spec granularity, so free workers pull
+    #: cold candidates as soon as warm results drain instead of idling at
+    #: the warm barrier.  Cold candidates are then pruned against the
+    #: *starting* incumbent rather than the post-warm one — pruning stays
+    #: sound and the fold stays entry-ordered, so the winner matches the
+    #: barrier schedule except in sub-1e-12 step-time tie corners (more
+    #: candidates are solved exactly, never fewer).  Process backend only.
+    overlap: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "process"):
@@ -262,6 +296,11 @@ class EvalContext:
     all_gpu_ids: Tuple[int, ...]
     enable_pruning: bool = True
     legacy_kernels: bool = False
+    #: Solver-kernel backend override (see ``MalleusCostModel.kernels``);
+    #: ``None`` inherits the cost model's knob.  Threaded into the
+    #: division solve and carried by the worker pool token so a knob
+    #: change rebuilds the pool.
+    kernels: Optional[str] = None
 
 
 @dataclass
@@ -297,6 +336,10 @@ class CandidateTiming:
     division: float = 0.0
     ordering: float = 0.0
     assignment: float = 0.0
+    #: Per-kernel solver seconds drained from the evaluating process's
+    #: :mod:`repro.core.kernel_timing` accumulator — this is how kernel
+    #: attribution crosses the process boundary back to the parent.
+    kernels: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -375,14 +418,21 @@ def evaluate_candidate(ctx: EvalContext,
     """
     if spec.warm_pipelines is not None:
         result = _evaluate_warm(ctx, spec)
-        if result is not None:
-            return result
-        # Warm solve memory-infeasible: the stale division is no longer a
-        # valid representative; re-solve the candidate cold (deterministic,
-        # so the solve set stays worker-count independent).
-        cold = _evaluate_cold(ctx, spec)
-        return cold
-    return _evaluate_cold(ctx, spec)
+        if result is None:
+            # Warm solve memory-infeasible: the stale division is no longer
+            # a valid representative; re-solve the candidate cold
+            # (deterministic, so the solve set stays worker-count
+            # independent).
+            result = _evaluate_cold(ctx, spec)
+    else:
+        result = _evaluate_cold(ctx, spec)
+    # Ship the per-kernel solver seconds this evaluation accumulated back
+    # to the parent (the fold merges them into the planning breakdown).
+    # The drain may also sweep up time charged since the previous drain in
+    # this process — the caller's enclosing drain discipline (plan()
+    # drains before the sweep) keeps the aggregate exact.
+    result.timing.kernels = kernel_timing.drain()
+    return result
 
 
 def _base_result(spec: CandidateSpec) -> CandidateResult:
@@ -468,6 +518,7 @@ def _evaluate_cold(ctx: EvalContext, spec: CandidateSpec) -> CandidateResult:
             min_groups_per_pipeline=min_groups,
             legacy_kernels=ctx.legacy_kernels,
             warm_start=spec.division_seed,
+            kernels=ctx.kernels,
         )
         result.timing.division += time.perf_counter() - start
         if not division.feasible:
@@ -527,9 +578,54 @@ class _WorkerState:
     all_gpu_ids: Tuple[int, ...]
     enable_pruning: bool
     legacy_kernels: bool
+    kernels: Optional[str] = None
 
 
 _WORKER: Optional[_WorkerState] = None
+
+#: Worker-side cache of the last attached shared-rates block:
+#: ``(name, generation) -> rates dict``, at most one entry.  The dict is
+#: rebuilt only when the parent publishes a new generation; in between,
+#: every batch referencing the same block costs a ~60-byte descriptor
+#: instead of a full rate-map pickle.
+_SHM_RATES: Dict[Tuple[str, int], Dict[int, float]] = {}
+
+
+def _attach_shared_rates(descriptor) -> Dict[int, float]:
+    """Rebuild the rate map from a parent-published shared-memory block.
+
+    ``descriptor`` is ``("shm", name, n, generation)``.  The attachment is
+    closed as soon as the dict is rebuilt — workers never hold a mapping
+    between batches.  Attaching must not register the block with the
+    ``resource_tracker`` (Python < 3.13 has no ``track=False``): the
+    block is parent-owned, and a worker-side registration would either
+    double-unlink it at worker exit (spawn — private tracker) or, worse,
+    pair with an ``unregister`` that strips the parent's own registration
+    (fork — the tracker is shared).  Suppressing ``register`` during the
+    attach is the one workaround correct under both start methods.
+    """
+    _, name, n, generation = descriptor
+    cached = _SHM_RATES.get((name, generation))
+    if cached is not None:
+        return cached
+    from multiprocessing import resource_tracker, shared_memory
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+    ids = np.frombuffer(shm.buf, dtype=np.int64, count=n)
+    values = np.frombuffer(shm.buf, dtype=np.float64, count=n, offset=n * 8)
+    rates = dict(zip(ids.tolist(), values.tolist()))
+    # Drop the array views before closing: an mmap with live buffer
+    # exports cannot be unmapped.
+    del ids, values
+    shm.close()
+    _SHM_RATES.clear()
+    _SHM_RATES[(name, generation)] = rates
+    return rates
 
 
 def _init_worker(state: _WorkerState) -> None:
@@ -541,13 +637,18 @@ def _worker_evaluate(batch) -> List[CandidateResult]:
     """Evaluate one batch of specs inside a pool worker.
 
     ``batch`` is ``(rates, micro_batch_candidates, config_vars, specs)``;
-    ``config_vars`` lets a worker self-heal after an in-place calibration
-    edit in the parent, mirroring ``refresh_if_config_changed``.
+    ``rates`` is either the plain dict or a shared-memory descriptor
+    (``("shm", name, n, generation)``) when the executor publishes rates
+    out of band; ``config_vars`` lets a worker self-heal after an in-place
+    calibration edit in the parent, mirroring
+    ``refresh_if_config_changed``.
     """
     rates, b_candidates, config_vars, specs = batch
     state = _WORKER
     if state is None:  # pragma: no cover - defensive
         raise RuntimeError("sweep worker used before initialization")
+    if isinstance(rates, tuple) and rates and rates[0] == "shm":
+        rates = _attach_shared_rates(rates)
     cost_model = state.cost_model
     if config_vars != vars(cost_model.config):
         for key, value in config_vars.items():
@@ -561,6 +662,7 @@ def _worker_evaluate(batch) -> List[CandidateResult]:
         all_gpu_ids=state.all_gpu_ids,
         enable_pruning=state.enable_pruning,
         legacy_kernels=state.legacy_kernels,
+        kernels=state.kernels,
     )
     return [evaluate_candidate(ctx, spec) for spec in specs]
 
@@ -582,6 +684,14 @@ class SweepExecutor:
         self.config = config or SweepConfig()
         self._pool = None
         self._pool_token = None
+        #: Shared-rates publication state: the live block, its capacity in
+        #: rate entries, a strong reference to the rates object currently
+        #: published (identity gates re-publication) and the generation
+        #: counter workers key their rebuilt-dict cache on.
+        self._shm = None
+        self._shm_capacity = 0
+        self._shm_rates = None
+        self._shm_generation = 0
         #: Pool crashes absorbed so far (drives the retry budget).
         self._pool_faults = 0
         #: Fault diagnostics: pool crashes/hangs seen, batches retried on a
@@ -601,6 +711,25 @@ class SweepExecutor:
         leave a half-dead pool behind for the next batch.
         """
         self._teardown_pool(dead=False)
+        self._release_shm()
+
+    def _release_shm(self) -> None:
+        """Close and unlink the shared-rates block (idempotent).
+
+        Unlinking only removes the name — a worker that already attached
+        keeps a valid mapping until it drops its own reference, so a
+        teardown racing a straggling batch is safe.
+        """
+        shm, self._shm = self._shm, None
+        self._shm_rates = None
+        self._shm_capacity = 0
+        if shm is None:
+            return
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:  # pragma: no cover - already gone
+            pass
 
     def close(self) -> None:
         """Alias of :meth:`shutdown` (idempotent, exception-safe)."""
@@ -640,9 +769,14 @@ class SweepExecutor:
             pass
 
     # -- execution -----------------------------------------------------
-    def run(self, ctx: EvalContext,
-            specs: Sequence[CandidateSpec]) -> List[CandidateResult]:
+    def run(self, ctx: EvalContext, specs: Sequence[CandidateSpec],
+            *, fine: bool = False) -> List[CandidateResult]:
         """Evaluate ``specs``, returning results in spec order.
+
+        ``fine=True`` submits one spec per future instead of one chunk
+        per worker: the pool's internal queue then load-balances, which
+        the overlapped sweep uses to let free workers pull cold
+        candidates while slower warm ones are still being solved.
 
         The process backend is fault-tolerant: a batch that dies with the
         pool (a crashed worker) or exceeds ``SweepConfig.batch_timeout``
@@ -662,7 +796,7 @@ class SweepExecutor:
             if pool is None:
                 break
             try:
-                return self._run_batch(pool, ctx, specs)
+                return self._run_batch(pool, ctx, specs, fine=fine)
             except Exception:
                 self.fault_stats["pool_failures"] += 1
                 self._pool_faults += 1
@@ -674,16 +808,65 @@ class SweepExecutor:
                 break
         return [evaluate_candidate(ctx, spec) for spec in specs]
 
+    def _shared_rates_payload(self, rates: Dict[int, float]):
+        """Publish ``rates`` into the shared block; return its descriptor.
+
+        The block is reused while the *same* rates object is being swept
+        (a sweep never mutates its rate map mid-run; the strong reference
+        makes identity aliasing impossible) and while its capacity
+        suffices; each re-publication bumps the generation so workers
+        know to rebuild their cached dict.  Returns ``None`` when shared
+        memory or numpy is unavailable — the caller falls back to
+        pickling the dict, so the knob can never cost a plan.
+        """
+        if np is None or not rates:
+            return None
+        n = len(rates)
+        if self._shm is not None and self._shm_rates is rates:
+            return ("shm", self._shm.name, n, self._shm_generation)
+        try:
+            from multiprocessing import shared_memory
+
+            if self._shm is None or self._shm_capacity < n:
+                self._release_shm()
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=n * 16)
+                self._shm_capacity = n
+            ids = np.frombuffer(self._shm.buf, dtype=np.int64, count=n)
+            values = np.frombuffer(self._shm.buf, dtype=np.float64,
+                                   count=n, offset=n * 8)
+            # Insertion order, not sorted: the worker-side dict must be
+            # indistinguishable from the pickled original, iteration
+            # order included.
+            ids[:] = list(rates)
+            values[:] = list(rates.values())
+            del ids, values
+            self._shm_rates = rates
+            self._shm_generation += 1
+            return ("shm", self._shm.name, n, self._shm_generation)
+        except Exception:  # pragma: no cover - no /dev/shm support
+            self._release_shm()
+            return None
+
     def _run_batch(self, pool, ctx: EvalContext,
-                   specs: Sequence[CandidateSpec]) -> List[CandidateResult]:
+                   specs: Sequence[CandidateSpec],
+                   fine: bool = False) -> List[CandidateResult]:
         workers = self.config.resolved_workers()
-        chunks: List[List[CandidateSpec]] = [[] for _ in range(workers)]
-        for i, spec in enumerate(specs):
-            chunks[i % workers].append(spec)
+        if fine:
+            chunks: List[List[CandidateSpec]] = [[spec] for spec in specs]
+        else:
+            chunks = [[] for _ in range(workers)]
+            for i, spec in enumerate(specs):
+                chunks[i % workers].append(spec)
         config_vars = dict(vars(ctx.cost_model.config))
+        rates_payload = ctx.rates
+        if self.config.shared_rates:
+            descriptor = self._shared_rates_payload(ctx.rates)
+            if descriptor is not None:
+                rates_payload = descriptor
         futures = [
             pool.submit(_worker_evaluate,
-                        (ctx.rates, ctx.micro_batch_candidates,
+                        (rates_payload, ctx.micro_batch_candidates,
                          config_vars, chunk))
             for chunk in chunks if chunk
         ]
@@ -701,7 +884,7 @@ class SweepExecutor:
         # the references keep those instances alive so a freed address can
         # never alias a new object onto a stale pool.
         token = (ctx.task, ctx.cost_model, ctx.all_gpu_ids,
-                 ctx.enable_pruning, ctx.legacy_kernels,
+                 ctx.enable_pruning, ctx.legacy_kernels, ctx.kernels,
                  self.config.resolved_workers())
         if self._pool is not None and self._pool_token is not None and \
                 self._pool_token[0] is token[0] and \
@@ -721,6 +904,7 @@ class SweepExecutor:
                 all_gpu_ids=ctx.all_gpu_ids,
                 enable_pruning=ctx.enable_pruning,
                 legacy_kernels=ctx.legacy_kernels,
+                kernels=ctx.kernels,
             )
             self._pool = ProcessPoolExecutor(
                 max_workers=self.config.resolved_workers(),
@@ -795,8 +979,13 @@ class SolutionCache:
     def __init__(self):
         self._entries: Dict[Tuple[int, int], _CacheEntry] = {}
         #: Candidates whose last full-depth solve was memory-infeasible:
-        #: ``(tp, dp) -> (uses since, capacity fingerprint at mark time)``
-        #: (see :meth:`check_infeasible`).
+        #: ``(num_groups, dp) -> (uses since, capacity fingerprint at mark
+        #: time)`` (see :meth:`check_infeasible`).  Stratified on the
+        #: *group count*, not the tp limit: memory feasibility depends on
+        #: the per-group capacity structure, and two tp limits whose
+        #: groupings degenerate to the same group count expose the same
+        #: division space — one infeasible shape prunes the whole
+        #: (num_groups, dp) stratum instead of being re-proved per tp.
         self._infeasible: Dict[Tuple[int, int],
                                Tuple[int, Optional[tuple]]] = {}
         self._config_fingerprint: Optional[tuple] = None
@@ -912,10 +1101,10 @@ class SolutionCache:
         return tuple(warm), entry.slow_groups
 
     # -- infeasibility memo --------------------------------------------
-    def check_infeasible(self, tp_limit: int, dp_degree: int,
+    def check_infeasible(self, num_groups: int, dp_degree: int,
                          max_warm_age: int,
                          capacities: Optional[tuple] = None):
-        """How a remembered memory-infeasible candidate may be treated.
+        """How a remembered memory-infeasible stratum may be treated.
 
         Returns ``"skip"`` (the candidate need not be solved at all),
         ``"shallow"`` (re-check cold but without the min-groups retry
@@ -939,27 +1128,40 @@ class SolutionCache:
         depth (ages advance deterministically, keeping the re-check
         schedule worker-count independent).
         """
-        memo = self._infeasible.get((tp_limit, dp_degree))
+        key = (num_groups, dp_degree)
+        memo = self._infeasible.get(key)
         if memo is None:
-            return None
+            # Nearest-stratum fallback: a group-count drift of a few (an
+            # event re-formed some groups) does not invalidate the
+            # "deeper retries were futile" hint for the same dp, but it
+            # always demotes the verdict to a shallow re-check — the
+            # candidate is still freshly solved under the current rates,
+            # just without the retry depth.  A capacity fingerprint has
+            # one entry per group, so a cross-stratum "skip" (exact
+            # capacity match under a different count) is impossible.
+            same_dp = [k for k in self._infeasible if k[1] == dp_degree]
+            if not same_dp:
+                return None
+            key = min(same_dp, key=lambda k: (abs(k[0] - num_groups), k[0]))
+            memo = self._infeasible[key]
         age, marked_capacities = memo
         if max_warm_age > 0 and age >= max_warm_age:
-            del self._infeasible[(tp_limit, dp_degree)]
+            del self._infeasible[key]
             self._counters["expirations"] += 1
             return None
-        self._infeasible[(tp_limit, dp_degree)] = (age + 1, marked_capacities)
+        self._infeasible[key] = (age + 1, marked_capacities)
         self._counters["infeasible_skips"] += 1
         if capacities is not None and capacities == marked_capacities:
             return "skip"
         return "shallow"
 
-    def mark_infeasible(self, tp_limit: int, dp_degree: int,
+    def mark_infeasible(self, num_groups: int, dp_degree: int,
                         capacities: Optional[tuple] = None) -> None:
         """Remember that a full-depth solve hit memory infeasibility."""
-        self._infeasible[(tp_limit, dp_degree)] = (0, capacities)
+        self._infeasible[(num_groups, dp_degree)] = (0, capacities)
 
-    def clear_infeasible(self, tp_limit: int, dp_degree: int) -> None:
-        self._infeasible.pop((tp_limit, dp_degree), None)
+    def clear_infeasible(self, num_groups: int, dp_degree: int) -> None:
+        self._infeasible.pop((num_groups, dp_degree), None)
 
     def store(self, tp_limit: int, dp_degree: int, fingerprint: tuple,
               pipelines_groups: Sequence[Sequence[TPGroup]],
@@ -1240,6 +1442,7 @@ class _SweepState:
         self.breakdown.division += timing.division
         self.breakdown.ordering += timing.ordering
         self.breakdown.assignment += timing.assignment
+        self.breakdown.merge_kernels(timing.kernels)
         record = CandidateRecord(
             tp_limit=result.tp_limit,
             dp_degree=result.dp_degree,
@@ -1261,13 +1464,13 @@ class _SweepState:
                 # memo, so its age keeps advancing toward the full-depth
                 # re-check.
                 self.cache.mark_infeasible(
-                    result.tp_limit, result.dp_degree,
+                    result.num_groups, result.dp_degree,
                     capacities=capacity_fingerprint(entry.grouping,
                                                     self.ctx.cost_model),
                 )
             return
         if self.cache_on:
-            self.cache.clear_infeasible(result.tp_limit, result.dp_degree)
+            self.cache.clear_infeasible(result.num_groups, result.dp_degree)
             self.cache.store(
                 result.tp_limit, result.dp_degree,
                 grouping_fingerprint(entry.grouping),
@@ -1442,7 +1645,7 @@ def run_sweep(
                 # candidates' cost); the memo ages out after max_warm_age
                 # uses, forcing a periodic full-depth re-solve.
                 verdict = cache.check_infeasible(
-                    entry.grouping.tp_limit, entry.dp_degree,
+                    entry.grouping.num_groups(), entry.dp_degree,
                     config.max_warm_age,
                     capacities=capacity_fp_of(entry.grouping),
                 )
@@ -1480,7 +1683,8 @@ def run_sweep(
             division_seed=division_seed,
         )))
 
-    def run_round(batch: List[Tuple[SweepEntry, CandidateSpec]]):
+    def run_round(batch: List[Tuple[SweepEntry, CandidateSpec]],
+                  fine: bool = False):
         cutoff = state.cutoff()
         survivors: List[Tuple[SweepEntry, CandidateSpec]] = []
         for entry, spec in batch:
@@ -1489,31 +1693,55 @@ def run_sweep(
                 continue
             spec.incumbent = cutoff
             survivors.append((entry, spec))
-        results = executor.run(ctx, [spec for _, spec in survivors])
+        results = executor.run(ctx, [spec for _, spec in survivors],
+                               fine=fine)
         folded = []
         for (entry, _), result in zip(survivors, results):
             state.fold(entry, result)
             folded.append((entry, result))
         return folded
 
-    warm_folded = run_round(warm_round)
-    if prune and math.isinf(state.cutoff()) and cold_entries:
-        # Pilot: establish an incumbent with the lowest-bound candidate so
-        # the cold round keeps the sweep's pruning power.
-        pilot, pilot_seed, pilot_shallow = cold_entries.pop(0)
-        run_round([(pilot, CandidateSpec(
-            entry_index=pilot.entry_index, dp_degree=pilot.dp_degree,
-            grouping=pilot.grouping, division_seed=pilot_seed,
-            shallow=pilot_shallow,
-        ))])
-    run_round([
-        (entry, CandidateSpec(
-            entry_index=entry.entry_index, dp_degree=entry.dp_degree,
-            grouping=entry.grouping, division_seed=seed_buckets,
-            shallow=shallow,
-        ))
-        for entry, seed_buckets, shallow in cold_entries
-    ])
+    overlapped = config.overlap and config.backend == "process" and \
+        not executor.fault_stats["serial_fallback"]
+    if overlapped:
+        # One combined warm+cold round at per-spec granularity: free
+        # workers pull cold candidates the moment warm ones drain instead
+        # of idling at the warm barrier (and the pilot is subsumed — its
+        # only purpose was tightening the cold round's cutoff, which the
+        # combined round forgoes by design).  Every spec is pruned against
+        # the *starting* incumbent and the results fold in entry order,
+        # so the round stays run-to-run deterministic.
+        warm_folded = run_round(
+            list(warm_round) + [
+                (entry, CandidateSpec(
+                    entry_index=entry.entry_index,
+                    dp_degree=entry.dp_degree,
+                    grouping=entry.grouping, division_seed=seed_buckets,
+                    shallow=shallow,
+                ))
+                for entry, seed_buckets, shallow in cold_entries
+            ],
+            fine=True,
+        )
+    else:
+        warm_folded = run_round(warm_round)
+        if prune and math.isinf(state.cutoff()) and cold_entries:
+            # Pilot: establish an incumbent with the lowest-bound
+            # candidate so the cold round keeps the sweep's pruning power.
+            pilot, pilot_seed, pilot_shallow = cold_entries.pop(0)
+            run_round([(pilot, CandidateSpec(
+                entry_index=pilot.entry_index, dp_degree=pilot.dp_degree,
+                grouping=pilot.grouping, division_seed=pilot_seed,
+                shallow=pilot_shallow,
+            ))])
+        run_round([
+            (entry, CandidateSpec(
+                entry_index=entry.entry_index, dp_degree=entry.dp_degree,
+                grouping=entry.grouping, division_seed=seed_buckets,
+                shallow=shallow,
+            ))
+            for entry, seed_buckets, shallow in cold_entries
+        ])
 
     # Contender re-solve: a warm representative whose step time lands
     # within the resolve margin of the best step seen could owe its rank

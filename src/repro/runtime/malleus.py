@@ -134,6 +134,12 @@ class MalleusSystem:
         default — serial, warm cache off — plans bit-identically to the
         pre-engine system.  Per-event engine activity is reported on
         ``Adjustment.sweep_stats`` / ``ReplanEvent.sweep_stats``.
+    kernels:
+        Solver-kernel backend (``"python"``/``"numpy"``/``"legacy"``, see
+        :class:`~repro.core.costmodel.MalleusCostModel`); threaded into
+        the default cost model and planner when those are built here
+        (``None`` — the default — keeps the reference python kernels, or
+        whatever a caller-supplied cost model already selects).
     """
 
     task: TrainingTask
@@ -148,15 +154,18 @@ class MalleusSystem:
     shift_threshold: Optional[float] = None
     transition_config: Optional[TransitionConfig] = None
     sweep_config: Optional[SweepConfig] = None
+    kernels: Optional[str] = None
     restart_config: RestartCostConfig = field(default_factory=RestartCostConfig)
     name: str = "Malleus"
 
     def __post_init__(self) -> None:
         self.cost_model = self.cost_model or MalleusCostModel(
-            self.task.model, self.cluster
+            self.task.model, self.cluster,
+            kernels=self.kernels or "python",
         )
         self.planner = self.planner or MalleusPlanner(
             self.task, self.cluster, self.cost_model,
+            kernels=self.kernels,
             transition_config=self.transition_config,
             sweep_config=self.sweep_config,
         )

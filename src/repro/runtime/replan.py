@@ -78,6 +78,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..compat import np
 from ..core.assignment import (
     LayerAssignmentResult,
     PlanCandidate,
@@ -94,6 +95,7 @@ from ..core.grouping import (
     group_rate,
     regroup_delta,
 )
+from ..core import kernel_timing
 from ..core.orchestration import order_pipeline_groups
 from ..core.planner import (
     CandidateRecord,
@@ -197,17 +199,35 @@ class ReplanEngine:
         old = previous.rates
         touched: List[int] = []
         membership = False
-        for gpu_id, rate in rates.items():
-            prior = old.get(gpu_id)
-            if prior is None:
+        keys = tuple(rates)
+        if np is not None and len(keys) >= 1024 and keys == tuple(old):
+            # Same GPUs in the same insertion order: the id-by-id python
+            # walk collapses to two array comparisons.  ``touched`` keeps
+            # the dict iteration order (ascending mask indices), and the
+            # membership / shift predicates are the exact scalar ones —
+            # an infinity flip is membership, a same-finiteness value
+            # change is a touch (``inf != inf`` is false either way).
+            new_vals = np.fromiter(rates.values(), dtype=np.float64,
+                                   count=len(keys))
+            old_vals = np.fromiter(old.values(), dtype=np.float64,
+                                   count=len(keys))
+            new_inf = np.isinf(new_vals)
+            old_inf = np.isinf(old_vals)
+            membership = bool((new_inf != old_inf).any())
+            shifted = (new_vals != old_vals) & (new_inf == old_inf)
+            touched = [keys[i] for i in np.flatnonzero(shifted).tolist()]
+        else:
+            for gpu_id, rate in rates.items():
+                prior = old.get(gpu_id)
+                if prior is None:
+                    membership = True
+                    continue
+                if math.isinf(rate) != math.isinf(prior):
+                    membership = True
+                elif rate != prior:
+                    touched.append(gpu_id)
+            if set(old) - set(rates):
                 membership = True
-                continue
-            if math.isinf(rate) != math.isinf(prior):
-                membership = True
-            elif rate != prior:
-                touched.append(gpu_id)
-        if set(old) - set(rates):
-            membership = True
         if membership:
             return EVENT_MEMBERSHIP_CHANGE, touched, None
         if not touched:
@@ -259,6 +279,19 @@ class ReplanEngine:
         under ``rebalance_only``).  Only an exception from the full
         planner itself propagates.
         """
+        # Same episode-scoped rate pin as MalleusPlanner.plan: every
+        # kernel call in the repair tiers shares this one frozen mapping.
+        pin = getattr(self.planner.cost_model, "pin_rates", None)
+        release = pin(rates) if pin is not None else None
+        try:
+            return self._repair_impl(previous, rates, dp, rebalance_only)
+        finally:
+            if release is not None:
+                release()
+
+    def _repair_impl(self, previous: PlanContext, rates: Dict[int, float],
+                     dp: Optional[int],
+                     rebalance_only: bool) -> RepairOutcome:
         start = time.perf_counter()
         # Same self-heal as MalleusPlanner.plan: repairs call the cost
         # model directly, so an in-place config edit since the last plan
@@ -268,6 +301,10 @@ class ReplanEngine:
         if refresh is not None:
             refresh()
         pre = PlanningTimeBreakdown()
+        # Discard kernel-timing samples from earlier, unrelated work so the
+        # per-kernel wall times attributed to this repair are its own (the
+        # full-planner fallback drains again on entry for the same reason).
+        kernel_timing.drain()
         if not self.config.enabled:
             if rebalance_only:
                 return self._deferred(EVENT_NO_CHANGE, [], start,
@@ -356,6 +393,7 @@ class ReplanEngine:
                 result = None
                 tier_errors.append(f"{tier} solve: {exc!r}")
             if result is not None:
+                result.breakdown.merge_kernels(kernel_timing.drain())
                 outcome = RepairOutcome(
                     event_kind=kind, repair_tier=tier, result=result,
                     touched_gpus=list(touched),
@@ -682,6 +720,7 @@ class ReplanEngine:
             all_gpu_ids=tuple(all_gpu_ids),
             enable_pruning=planner.enable_pruning,
             legacy_kernels=planner.legacy_kernels,
+            kernels=getattr(planner, "kernels", None),
         )
         seed = SweepSeed(
             step_time=best_time,

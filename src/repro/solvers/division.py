@@ -49,9 +49,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import kernel_timing
 from .minmax import solve_minmax_assignment
 
 
@@ -173,6 +175,179 @@ def _waterfill_fast_groups(problem: DivisionProblem,
         count += 1
         counts[idx] = count
         heapq.heappush(heap, (base_speed[idx] + count / fast_rate, count, idx))
+    return counts
+
+
+#: Below this many fast groups the heap fill is already cheap and the
+#: closed-form machinery would only add overhead.
+_CLOSED_FORM_MIN_REMAINING = 64
+
+
+def _waterfill_fast_groups_closed(problem: DivisionProblem,
+                                  slow_assignment: Sequence[Sequence[float]],
+                                  base_speed: Optional[Sequence[float]] = None,
+                                  ) -> List[int]:
+    """Closed-form water-filling, bit-identical to the heap kernel.
+
+    The heap greedy takes the ``R`` smallest keys ``(base_i + t / y_hat,
+    t, i)`` from the union of the per-pipeline key sequences (strictly
+    increasing in ``t`` even on float plateaus, because the integer count
+    is part of the tuple).  Instead of popping them one at a time — the
+    single hottest loop of an 8k+-GPU plan — this kernel:
+
+    1. estimates the relaxed water level ``L`` over the starting speeds
+       (progressive k-active formula, floats, approximation is fine);
+    2. bulk-claims a deliberate *under*-estimate ``e_i`` of each
+       pipeline's share (4 groups of slack per pipeline);
+    3. proves the claim sound: per pipeline, the largest claimed key
+       must rank within the ``R`` smallest overall, counted exactly by
+       per-pipeline binary search with the same float tuple comparisons
+       the heap would perform.  A pipeline that fails the check forfeits
+       its claim (``e_i = 0``) — correctness never rests on the
+       estimate, only on this check;
+    4. finishes the remaining steps with the original heap greedy,
+       which by construction picks up exactly where the claimed prefix
+       ends.
+
+    Group caps fall back to the heap kernel (claimed prefixes are not
+    downward-closed once pipelines drop out at their cap), as do small
+    fills where the heap is already cheap.
+    """
+    dp = problem.num_pipelines
+    fast = problem.fast_group_count
+    fast_rate = problem.fast_group_rate
+    if base_speed is None:
+        base_speed = [sum(1.0 / r for r in slow_assignment[i])
+                      for i in range(dp)]
+    counts = [0] * dp
+    for i in range(dp):
+        need = problem.min_groups_per_pipeline - len(slow_assignment[i])
+        if need > 0:
+            counts[i] = need
+    placed = sum(counts)
+    if placed > fast:
+        return []
+    remaining = fast - placed
+    if remaining == 0:
+        return counts
+    if problem.max_groups_per_pipeline is not None or \
+            remaining < _CLOSED_FORM_MIN_REMAINING:
+        return _waterfill_fast_groups(problem, slow_assignment, base_speed)
+
+    # 1. Relaxed water level over the starting speeds.
+    start_speeds = sorted(base_speed[i] + counts[i] / fast_rate
+                          for i in range(dp))
+    budget = remaining / fast_rate
+    level = start_speeds[0] + budget
+    prefix = 0.0
+    for k in range(1, dp + 1):
+        prefix += start_speeds[k - 1]
+        level = (prefix + budget) / k
+        if k < dp and level > start_speeds[k]:
+            continue
+        break
+
+    # 2. Under-estimated bulk claim, clamped to the step budget.
+    claims = [0] * dp
+    for i in range(dp):
+        est = math.floor((level - base_speed[i]) * fast_rate) - counts[i] - 4
+        if est > 0:
+            claims[i] = est
+    total_claimed = sum(claims)
+    while total_claimed > remaining:
+        j = max(range(dp), key=lambda i: claims[i])
+        give_back = min(claims[j], total_claimed - remaining)
+        claims[j] -= give_back
+        total_claimed -= give_back
+
+    # 3. Soundness check: the largest claimed key of every pipeline must
+    # rank within the R smallest keys of the union.  Keys are strictly
+    # increasing per pipeline, so the rank is a sum of per-pipeline
+    # boundary searches using the heap's exact float tuple order.  Each
+    # search is seeded from the float estimate ``(key_speed - base_j) *
+    # y_hat`` of the boundary and galloped outward with exact comparisons:
+    # the estimate is off by at most a few units of float rounding, so the
+    # gallop typically settles in 2-4 key evaluations instead of the ~12 a
+    # blind binary search over ``remaining`` keys performs — and because
+    # every probe uses the identical tuple comparison, the returned rank
+    # is exact no matter how wrong the seed is.
+    def rank_below(key_speed: float, key_count: int, key_idx: int) -> int:
+        below = 0
+        for j in range(dp):
+            lo, hi = counts[j], counts[j] + remaining
+            base_j = base_speed[j]
+            est = int((key_speed - base_j) * fast_rate)
+            if est < lo:
+                est = lo
+            elif est > hi:
+                est = hi
+            # Find the first k in [lo, hi) whose key is NOT below the
+            # probe key; the predicate is monotone (true then false).
+            cursor, step = est, 1
+            if cursor < hi and \
+                    (base_j + cursor / fast_rate, cursor, j) \
+                    < (key_speed, key_count, key_idx):
+                # Boundary is above the seed: gallop upward.
+                lo = cursor + 1
+                cursor += step
+                while cursor < hi and \
+                        (base_j + cursor / fast_rate, cursor, j) \
+                        < (key_speed, key_count, key_idx):
+                    lo = cursor + 1
+                    step *= 2
+                    cursor += step
+                if cursor < hi:
+                    hi = cursor
+            else:
+                # Boundary is at or below the seed: gallop downward.
+                hi = cursor
+                cursor -= step
+                while cursor >= lo and not (
+                        (base_j + cursor / fast_rate, cursor, j)
+                        < (key_speed, key_count, key_idx)):
+                    hi = cursor
+                    step *= 2
+                    cursor -= step
+                if cursor >= lo:
+                    lo = cursor + 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                speed = base_j + mid / fast_rate
+                if (speed, mid, j) < (key_speed, key_count, key_idx):
+                    lo = mid + 1
+                else:
+                    hi = mid
+            below += lo - counts[j]
+            if below >= remaining:
+                return below
+        return below
+
+    for i in range(dp):
+        if claims[i] <= 0:
+            continue
+        top = counts[i] + claims[i] - 1
+        if rank_below(base_speed[i] + top / fast_rate, top, i) > remaining - 1:
+            total_claimed -= claims[i]
+            claims[i] = 0
+
+    for i in range(dp):
+        counts[i] += claims[i]
+
+    # 4. Heap greedy for the unclaimed tail (no caps on this path).
+    tail = remaining - total_claimed
+    if tail > 0:
+        heap = [
+            (base_speed[i] + counts[i] / fast_rate, counts[i], i)
+            for i in range(dp)
+        ]
+        heapq.heapify(heap)
+        for _ in range(tail):
+            _, count, idx = heapq.heappop(heap)
+            count += 1
+            counts[idx] = count
+            heapq.heappush(
+                heap, (base_speed[idx] + count / fast_rate, count, idx)
+            )
     return counts
 
 
@@ -523,6 +698,89 @@ def _local_search_slow(problem: DivisionProblem,
     return buckets
 
 
+def _local_search_slow_prefix(problem: DivisionProblem,
+                              slow_assignment: List[List[float]],
+                              fast_counts: List[int],
+                              waterfill=_waterfill_fast_groups_closed,
+                              ) -> List[List[float]]:
+    """Array-world variant of :func:`_local_search_slow` (bit-identical).
+
+    Two refinements over the in-place kernel, both provably exact:
+
+    * the source bucket's harmonic speed after popping element ``idx`` is
+      resumed from a per-bucket prefix-sum array — the float chain
+      ``((0 + a_0) + a_1) + ...`` restarted at ``prefix[idx]`` performs
+      the identical sequence of additions as the reference's full
+      re-derivation, and is computed once per ``(src, idx)`` instead of
+      once per ``(src, idx, dst)``;
+    * the destination bucket appends at the end, so its new speed is the
+      single addition ``old + 1/rate`` — the same last step the reference
+      chain would perform, given the invariant that ``base_speed`` always
+      holds the sequential sum of its bucket.
+
+    Water-filling results are memoised on ``(base_speed, bucket lengths)``
+    for the duration of the search: the fill reads the buckets only
+    through those two vectors (the problem instance is fixed), so a cache
+    hit returns the exact list a fresh call would — and after the first
+    sweep almost every candidate move re-visits a state the previous
+    sweep already filled.
+    """
+    dp = problem.num_pipelines
+    buckets = [list(b) for b in slow_assignment]
+    base_speed = [sum(1.0 / r for r in b) for b in buckets]
+    scorer = _RemainderScorer(problem)
+    best = scorer.score(base_speed, fast_counts)
+    fill_memo: Dict[Tuple[Tuple[float, ...], Tuple[int, ...]], List[int]] = {}
+
+    def memo_waterfill() -> List[int]:
+        key = (tuple(base_speed), tuple(len(b) for b in buckets))
+        counts = fill_memo.get(key)
+        if counts is None:
+            counts = waterfill(problem, buckets, base_speed)
+            fill_memo[key] = counts
+        return counts
+
+    improved = True
+    while improved:
+        improved = False
+        for src in range(dp):
+            bucket_src = buckets[src]
+            prefix = [0.0]
+            for r in bucket_src:
+                prefix.append(prefix[-1] + 1.0 / r)
+            for idx in range(len(bucket_src)):
+                popped_speed = prefix[idx]
+                for k in range(idx + 1, len(bucket_src)):
+                    popped_speed += 1.0 / bucket_src[k]
+                for dst in range(dp):
+                    if dst == src:
+                        continue
+                    rate = bucket_src.pop(idx)
+                    buckets[dst].append(rate)
+                    old_src, old_dst = base_speed[src], base_speed[dst]
+                    base_speed[src] = popped_speed
+                    base_speed[dst] = old_dst + 1.0 / rate
+                    counts = memo_waterfill()
+                    feasible = bool(counts) or problem.fast_group_count == 0
+                    if problem.fast_group_count == 0:
+                        counts = [0] * dp
+                    if feasible:
+                        score = scorer.score(base_speed, counts,
+                                             threshold=best)
+                        if score < best - 1e-12:
+                            best = score
+                            improved = True
+                            break  # keep the move
+                    buckets[dst].pop()
+                    bucket_src.insert(idx, rate)
+                    base_speed[src], base_speed[dst] = old_src, old_dst
+                if improved:
+                    break
+            if improved:
+                break
+    return buckets
+
+
 def _local_search_slow_legacy(problem: DivisionProblem,
                               slow_assignment: List[List[float]],
                               fast_counts: List[int]) -> List[List[float]]:
@@ -637,8 +895,39 @@ def solve_pipeline_division(problem: DivisionProblem,
                             use_minmax_cache: bool = True,
                             warm_start: Optional[Sequence[Sequence[float]]]
                             = None,
-                            enable_bound_pruning: bool = True
+                            enable_bound_pruning: bool = True,
+                            kernels: str = "python",
                             ) -> DivisionSolution:
+    """Timing wrapper around :func:`_solve_pipeline_division`.
+
+    Charges the solve's wall time to the ``division`` bucket of
+    :mod:`repro.core.kernel_timing`, minus whatever the nested min-max
+    solves already charged to ``minmax`` — the per-kernel breakdown stays
+    additive.  See the wrapped function for the solver documentation.
+    """
+    start = time.perf_counter()
+    nested = kernel_timing.peek("minmax")
+    try:
+        return _solve_pipeline_division(
+            problem, enumeration_limit, refine_top_k, legacy_kernels,
+            use_minmax_cache, warm_start, enable_bound_pruning, kernels,
+        )
+    finally:
+        elapsed = time.perf_counter() - start
+        nested = kernel_timing.peek("minmax") - nested
+        kernel_timing.add("division", max(0.0, elapsed - nested))
+
+
+def _solve_pipeline_division(problem: DivisionProblem,
+                             enumeration_limit: int = 2000,
+                             refine_top_k: int = 4,
+                             legacy_kernels: bool = False,
+                             use_minmax_cache: bool = True,
+                             warm_start: Optional[Sequence[Sequence[float]]]
+                             = None,
+                             enable_bound_pruning: bool = True,
+                             kernels: str = "python",
+                             ) -> DivisionSolution:
     """Solve the pipeline-division MINLP.
 
     The solver enumerates symmetry-reduced slow-group assignments (falling
@@ -674,11 +963,24 @@ def solve_pipeline_division(problem: DivisionProblem,
     ``legacy_kernels=True`` selects the pre-overhaul reference kernels
     (rescanning water-filling, deep-copy local search, uncached min-max
     solves); the hot-path benchmark uses it as the "before" configuration.
+
+    ``kernels`` is the planner-wide backend knob.  ``"numpy"`` selects the
+    array-world kernels: the closed-form water-filling
+    (:func:`_waterfill_fast_groups_closed` — the division solver's win is
+    replacing the heap's one-group-at-a-time loop with a proven bulk
+    claim; the per-pipeline speed vectors stay python lists because
+    ``dp <= 8``) and the prefix-sum local search.  Both are bit-identical
+    to the python reference kernels.  ``"legacy"`` is equivalent to
+    ``legacy_kernels=True``.
     """
     dp = problem.num_pipelines
+    if kernels == "legacy":
+        legacy_kernels = True
     if legacy_kernels:
         waterfill = _waterfill_fast_groups_legacy
         use_minmax_cache = False
+    elif kernels == "numpy":
+        waterfill = _waterfill_fast_groups_closed
     else:
         waterfill = _waterfill_fast_groups
     if warm_start is not None and not _matches_problem(problem, warm_start):
@@ -704,6 +1006,10 @@ def solve_pipeline_division(problem: DivisionProblem,
             if legacy_kernels:
                 greedy = _local_search_slow_legacy(
                     problem, greedy, counts or [0] * dp
+                )
+            elif kernels == "numpy":
+                greedy = _local_search_slow_prefix(
+                    problem, greedy, counts or [0] * dp, waterfill=waterfill
                 )
             else:
                 greedy = _local_search_slow(
@@ -810,6 +1116,27 @@ class PartialDivisionSolution:
 
 
 def repair_pipeline_division(
+    kept_speeds: Sequence[float],
+    pool_rates: Sequence[float],
+    touched: Sequence[int],
+    total_micro_batches: int,
+    use_minmax_cache: bool = True,
+) -> PartialDivisionSolution:
+    """Timing wrapper around :func:`_repair_pipeline_division` (see there)."""
+    start = time.perf_counter()
+    nested = kernel_timing.peek("minmax")
+    try:
+        return _repair_pipeline_division(
+            kept_speeds, pool_rates, touched, total_micro_batches,
+            use_minmax_cache,
+        )
+    finally:
+        elapsed = time.perf_counter() - start
+        nested = kernel_timing.peek("minmax") - nested
+        kernel_timing.add("division", max(0.0, elapsed - nested))
+
+
+def _repair_pipeline_division(
     kept_speeds: Sequence[float],
     pool_rates: Sequence[float],
     touched: Sequence[int],

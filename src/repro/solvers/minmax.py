@@ -37,9 +37,18 @@ ordering and once per micro-batch size), so two optimisations apply:
 
 from __future__ import annotations
 
+import heapq
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
+
+from ..compat import np
+from ..core import kernel_timing
+
+#: Below this problem size the ndarray round-trip costs more than the
+#: python loop it replaces, so the numpy backend delegates to python.
+_NUMPY_MIN_SIZE = 32
 
 
 @dataclass
@@ -93,6 +102,8 @@ def solve_minmax_assignment(
     caps: Optional[Sequence[float]] = None,
     min_values: Optional[Sequence[int]] = None,
     use_cache: bool = False,
+    kernels: str = "python",
+    prune_above: Optional[float] = None,
 ) -> MinMaxSolution:
     """Solve ``min max_j w_j v_j  s.t.  sum v_j = total, 0 <= v_j <= cap_j``.
 
@@ -111,6 +122,27 @@ def solve_minmax_assignment(
     use_cache:
         Memoize the solution keyed on the argument values.  Safe because the
         solver is a pure function; callers receive a fresh ``values`` list.
+        The key deliberately excludes ``kernels``: the backends are
+        bit-identical, so structurally identical solves share one entry
+        regardless of backend.
+    kernels:
+        ``"numpy"`` vectorizes the parametric feasibility test and the
+        final snap over ndarrays (bit-identical to the python loops —
+        the arithmetic per element is the same IEEE-754 expression, and
+        the demand comparison is done in exact int64).  Any other value
+        keeps the pure-python reference loops.  Small problems always
+        use python regardless.
+    prune_above:
+        Optional threshold from a caller that only cares about solutions
+        with objective at or below it (e.g. the stage-ordering search's
+        incumbent bottleneck).  When one parametric feasibility probe
+        proves the optimum exceeds the threshold, the solve is abandoned
+        and an infeasible sentinel returned — provably the same outcome
+        the caller's "does it beat the incumbent?" comparison would
+        reach, at the cost of one probe instead of a full bisection.
+        Pruned outcomes are never cached (the memo only ever holds full
+        solutions), and a cache hit returns the full solution regardless
+        of the threshold.
 
     Returns
     -------
@@ -131,14 +163,27 @@ def solve_minmax_assignment(
                                   objective=cached.objective,
                                   feasible=cached.feasible)
         _CACHE_STATS["misses"] += 1
-        solution = _solve_minmax(weights, total, caps, min_values)
+        start = time.perf_counter()
+        solution = _solve_minmax(weights, total, caps, min_values, kernels,
+                                 prune_above)
+        kernel_timing.add("minmax", time.perf_counter() - start)
+        if solution is None:
+            return MinMaxSolution(values=[0] * len(weights),
+                                  objective=math.inf, feasible=False)
         if len(_SOLUTION_CACHE) >= _SOLUTION_CACHE_LIMIT:
             _SOLUTION_CACHE.clear()
         _SOLUTION_CACHE[key] = MinMaxSolution(values=list(solution.values),
                                               objective=solution.objective,
                                               feasible=solution.feasible)
         return solution
-    return _solve_minmax(weights, total, caps, min_values)
+    start = time.perf_counter()
+    solution = _solve_minmax(weights, total, caps, min_values, kernels,
+                             prune_above)
+    kernel_timing.add("minmax", time.perf_counter() - start)
+    if solution is None:
+        return MinMaxSolution(values=[0] * len(weights), objective=math.inf,
+                              feasible=False)
+    return solution
 
 
 def _solve_minmax(
@@ -146,7 +191,9 @@ def _solve_minmax(
     total: int,
     caps: Optional[Sequence[float]] = None,
     min_values: Optional[Sequence[int]] = None,
-) -> MinMaxSolution:
+    kernels: str = "python",
+    prune_above: Optional[float] = None,
+) -> Optional[MinMaxSolution]:
     n = len(weights)
     if n == 0:
         return MinMaxSolution(values=[], objective=0.0, feasible=total == 0)
@@ -157,109 +204,247 @@ def _solve_minmax(
     if len(caps) != n or len(mins) != n:
         raise ValueError("caps/min_values must match the number of weights")
 
-    finite_weights: List[float] = []
-    for weight, cap, low in zip(weights, caps, mins):
-        if low < 0:
-            raise ValueError("min_values must be non-negative")
-        if not math.isinf(cap) and cap < low:
-            return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)
-        if math.isinf(weight):
-            if low > 0:
+    use_np = kernels == "numpy" and np is not None and n >= _NUMPY_MIN_SIZE
+    if use_np:
+        # Vectorized twin of the sequential validation below, preserving
+        # its first-violation semantics: the loop reacts to the *earliest*
+        # offending element, and within an element checks the negative
+        # minimum (raise) before the cap/weight conditions (infeasible).
+        w_arr0 = np.asarray(weights, dtype=np.float64)
+        cap_arr0 = np.asarray(caps, dtype=np.float64)
+        mins_arr0 = np.asarray(mins, dtype=np.float64)
+        w_inf = np.isinf(w_arr0)
+        neg_min = mins_arr0 < 0
+        trigger = neg_min \
+            | (~np.isinf(cap_arr0) & (cap_arr0 < mins_arr0)) \
+            | (w_inf & (mins_arr0 > 0))
+        if bool(trigger.any()):
+            if neg_min[int(np.argmax(trigger))]:
+                raise ValueError("min_values must be non-negative")
+            return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                  feasible=False)
+
+        if sum(mins) > total:
+            return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                  feasible=False)
+
+        eff_caps_arr = np.where(w_inf, 0.0, cap_arr0)
+        # The reference accumulates eff_caps sequentially; a different
+        # summation order is only observable through the ``< total``
+        # comparison when the sum is non-integral and lands within
+        # rounding distance of ``total`` — integral caps (the planner's
+        # layer caps always are) sum exactly in any order.
+        if bool((np.floor(eff_caps_arr[np.isfinite(eff_caps_arr)])
+                 == eff_caps_arr[np.isfinite(eff_caps_arr)]).all()):
+            max_total = float(eff_caps_arr.sum())
+        else:
+            max_total = 0.0
+            for cap in eff_caps_arr.tolist():
+                max_total += cap
+                if math.isinf(max_total):
+                    break
+        if max_total < total:
+            return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                  feasible=False)
+        if total == 0:
+            if bool((mins_arr0 > 0).any()):
                 return MinMaxSolution(values=[0] * n, objective=math.inf,
                                       feasible=False)
-            continue
-        finite_weights.append(weight)
-
-    if sum(mins) > total:
-        # The exact-sum constraint is unsatisfiable: the lower bounds alone
-        # exceed the amount to distribute.
-        return MinMaxSolution(values=[0] * n, objective=math.inf,
-                              feasible=False)
-
-    # Effective capacity: infinite-weight variables can only take their minimum
-    # (which must be zero, checked above).
-    eff_caps = []
-    for weight, cap in zip(weights, caps):
-        if math.isinf(weight):
-            eff_caps.append(0.0)
-        else:
-            eff_caps.append(cap)
-
-    max_total = 0.0
-    for cap in eff_caps:
-        max_total += cap
-        if math.isinf(max_total):
-            break
-    if max_total < total:
-        return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)
-    if total == 0:
-        if any(m > 0 for m in mins):
-            # All-zero is forced by total == 0 but minimums require more.
-            return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)
-        return MinMaxSolution(values=[0] * n, objective=0.0, feasible=True)
-
-    # Candidate objective values are w_j * k for k in [1, total]; binary search
-    # over k per weight is equivalent to a binary search on the sorted union.
-    lo, hi = 0.0, max(w for w in weights if not math.isinf(w)) * total
-
-    # The fused closures below divide by the weights directly, so the
-    # legacy positive-weight contract (_max_assignable's ValueError) must
-    # be enforced before the search starts.
-    for weight in weights:
-        if weight <= 0:
+            return MinMaxSolution(values=[0] * n, objective=0.0,
+                                  feasible=True)
+        if bool((w_arr0 <= 0).any()):
             raise ValueError("weights must be positive")
+        finite_w = w_arr0[~w_inf]
+        if finite_w.size == 0:
+            raise ValueError("max() arg is an empty sequence")
+        lo, hi = 0.0, float(finite_w.max()) * total
+        eff_caps = eff_caps_arr  # consumed by the numpy closures only
+        trivial_mins = not bool(mins_arr0.any())
+    else:
+        for weight, cap, low in zip(weights, caps, mins):
+            if low < 0:
+                raise ValueError("min_values must be non-negative")
+            if not math.isinf(cap) and cap < low:
+                return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                      feasible=False)
+            if math.isinf(weight) and low > 0:
+                return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                      feasible=False)
+
+        if sum(mins) > total:
+            # The exact-sum constraint is unsatisfiable: the lower bounds
+            # alone exceed the amount to distribute.
+            return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                  feasible=False)
+
+        # Effective capacity: infinite-weight variables can only take their
+        # minimum (which must be zero, checked above).
+        eff_caps = []
+        for weight, cap in zip(weights, caps):
+            if math.isinf(weight):
+                eff_caps.append(0.0)
+            else:
+                eff_caps.append(cap)
+
+        max_total = 0.0
+        for cap in eff_caps:
+            max_total += cap
+            if math.isinf(max_total):
+                break
+        if max_total < total:
+            return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                  feasible=False)
+        if total == 0:
+            if any(m > 0 for m in mins):
+                # All-zero is forced by total == 0 but minimums require more.
+                return MinMaxSolution(values=[0] * n, objective=math.inf,
+                                      feasible=False)
+            return MinMaxSolution(values=[0] * n, objective=0.0,
+                                  feasible=True)
+
+        # Candidate objective values are w_j * k for k in [1, total]; binary
+        # search over k per weight is equivalent to a binary search on the
+        # sorted union.
+        lo, hi = 0.0, max(w for w in weights if not math.isinf(w)) * total
+
+        # The fused closures below divide by the weights directly, so the
+        # legacy positive-weight contract (_max_assignable's ValueError)
+        # must be enforced before the search starts.
+        for weight in weights:
+            if weight <= 0:
+                raise ValueError("weights must be positive")
+        trivial_mins = not any(mins)
 
     # Fused feasibility test: single pass, no trial-assignment list, early
     # exit once the running total covers the demand.  The arithmetic matches
     # _max_assignable exactly so the snap below sees consistent floors.
-    pairs = list(zip(weights, eff_caps))
     floor = math.floor
-    trivial_mins = not any(mins)
 
-    if trivial_mins:
-        def feasible_for(bound: float) -> bool:
-            assigned = 0
-            for weight, cap in pairs:
-                allowed = floor(bound / weight + 1e-9)
-                if allowed > cap:
-                    allowed = int(cap)
-                if allowed > 0:
-                    assigned += allowed
-                    if assigned >= total:
-                        return True
-            return assigned >= total
-    else:
-        def feasible_for(bound: float) -> bool:
-            assigned = 0
-            for (weight, cap), low in zip(pairs, mins):
-                allowed = floor(bound / weight + 1e-9)
-                if allowed > cap:
-                    allowed = int(cap)
-                if allowed < 0:
-                    allowed = 0
-                if allowed < low:
+    if use_np:
+        # Vectorized twins of the python closures below.  Per element the
+        # float arithmetic is the exact same IEEE-754 expression
+        # (``floor(bound / w + 1e-9)`` then the cap clamp — for the
+        # non-negative caps that survive validation ``int(cap)`` equals
+        # ``floor(cap)``, and an integral ``allowed <= cap`` iff
+        # ``allowed <= floor(cap)``).  The demand comparison clips each
+        # element to ``total`` first — any single element >= total decides
+        # the comparison on its own — so the sum fits int64 exactly even
+        # when near-zero weights blow individual floors up to ~1e16.
+        w_arr = w_arr0
+        cap_arr = np.floor(eff_caps_arr)
+        mins_arr = mins_arr0
+        total_f = float(total)
+        # One scratch buffer shared by the ~64 bisection probes: every op
+        # below writes through ``out=``, so a probe allocates nothing.
+        # After the 0/total clip each element is an integral float bounded
+        # by ``total``, so the float sum is exact (n * total << 2**53) and
+        # compares to ``total`` exactly like the int64 cast-and-sum did.
+        scratch = np.empty_like(w_arr)
+
+        if trivial_mins:
+            def feasible_for(bound: float) -> bool:
+                np.divide(bound, w_arr, out=scratch)
+                np.add(scratch, 1e-9, out=scratch)
+                np.floor(scratch, out=scratch)
+                np.minimum(scratch, cap_arr, out=scratch)
+                np.maximum(scratch, 0.0, out=scratch)
+                np.minimum(scratch, total_f, out=scratch)
+                return float(scratch.sum()) >= total
+        else:
+            def feasible_for(bound: float) -> bool:
+                np.divide(bound, w_arr, out=scratch)
+                np.add(scratch, 1e-9, out=scratch)
+                np.floor(scratch, out=scratch)
+                np.minimum(scratch, cap_arr, out=scratch)
+                np.maximum(scratch, 0.0, out=scratch)
+                if bool((scratch < mins_arr).any()):
                     return False
-                assigned += allowed
-            return assigned >= total
+                np.minimum(scratch, total_f, out=scratch)
+                return float(scratch.sum()) >= total
+
+        def max_assignable(bound: float) -> List[int]:
+            allowed = np.floor(bound / w_arr + 1e-9)
+            np.minimum(allowed, cap_arr, out=allowed)
+            np.maximum(allowed, 0.0, out=allowed)
+            return allowed.astype(np.int64).tolist()
+    else:
+        pairs = list(zip(weights, eff_caps))
+        if trivial_mins:
+            def feasible_for(bound: float) -> bool:
+                assigned = 0
+                for weight, cap in pairs:
+                    allowed = floor(bound / weight + 1e-9)
+                    if allowed > cap:
+                        allowed = int(cap)
+                    if allowed > 0:
+                        assigned += allowed
+                        if assigned >= total:
+                            return True
+                return assigned >= total
+        else:
+            def feasible_for(bound: float) -> bool:
+                assigned = 0
+                for (weight, cap), low in zip(pairs, mins):
+                    allowed = floor(bound / weight + 1e-9)
+                    if allowed > cap:
+                        allowed = int(cap)
+                    if allowed < 0:
+                        allowed = 0
+                    if allowed < low:
+                        return False
+                    assigned += allowed
+                return assigned >= total
+
+        def max_assignable(bound: float) -> List[int]:
+            return _max_assignable(weights, eff_caps, bound)
 
     if not feasible_for(hi):
         return MinMaxSolution(values=[0] * n, objective=math.inf, feasible=False)
 
+    # Threshold probe: any assignment achieving objective ``o`` satisfies
+    # ``v_j <= floor(o / w_j) <= floor(o / w_j + 1e-9)``, so an infeasible
+    # probe at ``prune_above`` proves every achievable objective exceeds
+    # it — the full bisection cannot produce a winner below the caller's
+    # threshold and is skipped wholesale (``None``, not cached).
+    if prune_above is not None and prune_above > 0 \
+            and not feasible_for(prune_above):
+        return None
+
     # Binary search on the continuous bound, then snap to the exact discrete
-    # optimum (the bound only matters through floor(bound / w_j)).
+    # optimum (the bound only matters through floor(bound / w_j)).  Once a
+    # midpoint reproduces the endpoint it would replace, the interval is a
+    # float fixed point: every further iteration recomputes the same mid
+    # and rewrites the same endpoint, so breaking is bit-identical to
+    # finishing all 64 rounds.
     for _ in range(64):
         mid = (lo + hi) / 2.0
         if feasible_for(mid):
+            if hi == mid:
+                break
             hi = mid
         else:
+            if lo == mid:
+                break
             lo = mid
 
+    if use_np:
+        def snap_objective(vals: List[int]) -> float:
+            # w * float(v) is the same IEEE-754 product the scalar
+            # expression computes, and max over the positive entries is
+            # order-independent — bit-identical to the genexpr twin.
+            v_arr = np.asarray(vals, dtype=np.float64)
+            costs = w_arr[v_arr > 0] * v_arr[v_arr > 0]
+            return float(costs.max()) if costs.size else 0.0
+    else:
+        def snap_objective(vals: List[int]) -> float:
+            return max(
+                (w * v for w, v in zip(weights, vals) if v > 0), default=0.0
+            )
+
     # Snap: the achieved objective is determined by the actual assignment.
-    values = _max_assignable(weights, eff_caps, hi)
+    values = max_assignable(hi)
     values = _trim_to_total(values, weights, mins, total)
-    objective = max(
-        (w * v for w, v in zip(weights, values) if v > 0), default=0.0
-    )
+    objective = snap_objective(values)
 
     # The objective of the final integral assignment can be slightly below the
     # searched bound; re-verify optimality by trying to beat it.
@@ -270,11 +455,9 @@ def _solve_minmax(
         if tighter <= 0:
             break
         if feasible_for(tighter - 1e-9):
-            candidate = _max_assignable(weights, eff_caps, tighter - 1e-9)
+            candidate = max_assignable(tighter - 1e-9)
             candidate = _trim_to_total(candidate, weights, mins, total)
-            cand_obj = max(
-                (w * v for w, v in zip(weights, candidate) if v > 0), default=0.0
-            )
+            cand_obj = snap_objective(candidate)
             if cand_obj < objective - 1e-12:
                 values, objective = candidate, cand_obj
                 improved = True
@@ -288,13 +471,49 @@ def _trim_to_total(values: List[int], weights: Sequence[float],
     Excess units are removed from the variables whose *current* cost
     (``w_j * v_j``) is largest, which never increases the max and keeps the
     assignment balanced.  Lower bounds are respected.
+
+    Selection runs on a max-heap keyed ``(-cost, index)``: each pop yields
+    the largest current cost, earliest index on exact float ties — the same
+    variable the reference linear scan (strict ``>`` keeps the first
+    maximum) would pick, so the removal sequence and the final values are
+    bit-identical while the per-unit work drops from O(n) to O(log n).
+    Only the popped variable's cost changes between removals, so every
+    entry still in the heap remains current.
     """
     values = list(values)
     excess = sum(values) - total
     if excess < 0:
         raise ValueError("assignment does not cover the total")
+    if excess == 0:
+        return values
+    heap = []
+    for idx, (weight, value) in enumerate(zip(weights, values)):
+        if value <= mins[idx]:
+            continue
+        cost = weight * value if not math.isinf(weight) else math.inf
+        heap.append((-cost, idx))
+    heapq.heapify(heap)
     while excess > 0:
-        # Pick the variable with the largest current cost that can still shrink.
+        if not heap:
+            raise RuntimeError("cannot trim assignment to the requested total")
+        _, idx = heapq.heappop(heap)
+        values[idx] -= 1
+        excess -= 1
+        if values[idx] > mins[idx]:
+            weight = weights[idx]
+            cost = weight * values[idx] if not math.isinf(weight) else math.inf
+            heapq.heappush(heap, (-cost, idx))
+    return values
+
+
+def _trim_to_total_reference(values: List[int], weights: Sequence[float],
+                             mins: Sequence[int], total: int) -> List[int]:
+    """Pre-overhaul linear-scan trim, kept as the equivalence-test oracle."""
+    values = list(values)
+    excess = sum(values) - total
+    if excess < 0:
+        raise ValueError("assignment does not cover the total")
+    while excess > 0:
         best_idx, best_cost = -1, -1.0
         for idx, (weight, value) in enumerate(zip(weights, values)):
             if value <= mins[idx]:

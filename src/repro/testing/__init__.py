@@ -1,10 +1,16 @@
-"""Deterministic fault-injection utilities for the planning service.
+"""Test-support utilities that ship with the package.
 
-Test-support code that ships with the package (so examples and
-benchmarks can use it too), not test cases themselves — those live under
-``tests/``.
+Deterministic fault injection for the planning service (``faults``) and
+old-vs-new kernel comparison assertions (``comparison``) — support code
+that examples and benchmarks can use too, not test cases themselves;
+those live under ``tests/``.
 """
 
+from .comparison import (
+    assert_kernel_equivalent,
+    assert_plans_identical,
+    plan_signature,
+)
 from .faults import (
     FAULT_CACHE_CORRUPTION,
     FAULT_CLOCK_SKEW,
@@ -23,6 +29,9 @@ from .faults import (
 )
 
 __all__ = [
+    "assert_kernel_equivalent",
+    "assert_plans_identical",
+    "plan_signature",
     "FAULT_KINDS",
     "FAULT_WORKER_CRASH",
     "FAULT_PLANNER_EXCEPTION",

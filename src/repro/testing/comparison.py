@@ -1,0 +1,199 @@
+"""Old-vs-new comparison assertions for kernel-backend equivalence.
+
+The PR-7 array-world kernels are only acceptable if they are *bit-identical*
+to the reference python kernels: every plan field, every float.  These
+helpers centralize that check with readable diffs so equivalence tests and
+benchmarks stop re-implementing ad-hoc signature tuples.
+
+``assert_plans_identical`` compares two materialized plans field by field
+and raises one AssertionError listing every mismatch.  ``assert_kernel
+_equivalent`` goes one level up: it plans the same (rates, tp, dp) instance
+once per kernel backend and asserts the outcomes match exactly — including
+the case where every backend agrees the instance is infeasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..cluster.topology import Cluster, make_cluster
+from ..core.costmodel import KERNEL_BACKENDS, MalleusCostModel
+from ..models.presets import paper_task
+from ..models.spec import TrainingTask
+
+__all__ = [
+    "assert_kernel_equivalent",
+    "assert_plans_identical",
+    "plan_signature",
+]
+
+
+def plan_signature(plan) -> tuple:
+    """Canonical structural fingerprint of a plan.
+
+    Stage GPU sets are sorted (membership, not wire order, is what the
+    solvers decide); everything else — layer counts, micro-batch shares,
+    pipeline order — is taken verbatim.  Two plans with equal signatures
+    describe the same parallelization.
+    """
+    return (
+        plan.micro_batch_size,
+        tuple(
+            (
+                pipeline.num_micro_batches,
+                tuple(
+                    (tuple(sorted(stage.group.gpu_ids)), stage.num_layers)
+                    for stage in pipeline.stages
+                ),
+            )
+            for pipeline in plan.pipelines
+        ),
+        tuple(sorted(plan.removed_gpus)),
+    )
+
+
+def _diff_plans(actual, expected, actual_label: str,
+                expected_label: str) -> List[str]:
+    """Collect human-readable field mismatches between two plans."""
+    diffs: List[str] = []
+
+    def check(field: str, a, b) -> None:
+        if a != b:
+            diffs.append(f"{field}: {actual_label}={a!r} "
+                         f"{expected_label}={b!r}")
+
+    check("micro_batch_size", actual.micro_batch_size,
+          expected.micro_batch_size)
+    check("num_layers", actual.num_layers, expected.num_layers)
+    check("global_batch_size", actual.global_batch_size,
+          expected.global_batch_size)
+    check("dp_degree", actual.dp_degree, expected.dp_degree)
+    check("removed_gpus", sorted(actual.removed_gpus),
+          sorted(expected.removed_gpus))
+    # Exact float comparison on purpose: the kernel contract is
+    # bit-identity, not tolerance.
+    check("estimated_step_time", actual.estimated_step_time,
+          expected.estimated_step_time)
+    common = min(len(actual.pipelines), len(expected.pipelines))
+    for i in range(common):
+        pa, pe = actual.pipelines[i], expected.pipelines[i]
+        check(f"pipelines[{i}].num_micro_batches",
+              pa.num_micro_batches, pe.num_micro_batches)
+        stages = min(len(pa.stages), len(pe.stages))
+        if len(pa.stages) != len(pe.stages):
+            check(f"pipelines[{i}].pp_degree",
+                  len(pa.stages), len(pe.stages))
+        for j in range(stages):
+            sa, se = pa.stages[j], pe.stages[j]
+            check(f"pipelines[{i}].stages[{j}].num_layers",
+                  sa.num_layers, se.num_layers)
+            check(f"pipelines[{i}].stages[{j}].gpu_ids",
+                  tuple(sorted(sa.group.gpu_ids)),
+                  tuple(sorted(se.group.gpu_ids)))
+    return diffs
+
+
+def assert_plans_identical(actual, expected, actual_label: str = "actual",
+                           expected_label: str = "expected") -> None:
+    """Assert two :class:`ParallelizationPlan` objects match exactly.
+
+    On mismatch raises a single AssertionError listing *every* differing
+    field (``pipelines[i].stages[j].…`` paths included), so a failing
+    equivalence test shows the whole divergence at once instead of the
+    first unequal tuple element.
+    """
+    if actual is None and expected is None:
+        return
+    if actual is None or expected is None:
+        raise AssertionError(
+            f"plan presence differs: {actual_label}="
+            f"{'None' if actual is None else 'plan'} "
+            f"{expected_label}={'None' if expected is None else 'plan'}"
+        )
+    diffs = _diff_plans(actual, expected, actual_label, expected_label)
+    if diffs:
+        listing = "\n  ".join(diffs)
+        raise AssertionError(
+            f"plans differ ({actual_label} vs {expected_label}):\n  {listing}"
+        )
+
+
+def assert_kernel_equivalent(
+    rates: Mapping[int, float],
+    tp: int,
+    dp: Optional[int],
+    *,
+    backends: Sequence[str] = ("python", "numpy"),
+    task: Optional[TrainingTask] = None,
+    cluster: Optional[Cluster] = None,
+    global_batch_size: int = 16,
+    model: str = "32b",
+    micro_batch_candidates: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Plan one instance per kernel backend and assert identical outcomes.
+
+    ``rates`` maps GPU id to straggling rate; when ``cluster`` is omitted
+    the ids must be the contiguous range ``0..len(rates)-1`` and a cluster
+    of ``tp``-GPU nodes is synthesized around them.  ``dp=None`` lets each
+    planner sweep its own DP candidates — the sweeps must still agree.
+
+    All backends must agree on feasibility; when feasible, the plans must
+    be identical field by field (:func:`assert_plans_identical`) and the
+    step-time estimates exactly equal.  Returns the per-backend
+    :class:`~repro.core.planner.PlanningResult` map for further checks.
+    """
+    from ..core.planner import MalleusPlanner
+
+    for backend in backends:
+        if backend not in KERNEL_BACKENDS:
+            raise ValueError(f"unknown kernel backend {backend!r}; "
+                             f"expected one of {KERNEL_BACKENDS}")
+    if cluster is None:
+        ids = sorted(rates)
+        if ids != list(range(len(ids))):
+            raise ValueError(
+                "rates must cover the contiguous GPU ids 0..n-1 when no "
+                "cluster is supplied"
+            )
+        if len(ids) % tp != 0:
+            raise ValueError(
+                f"{len(ids)} GPUs do not divide into nodes of {tp}"
+            )
+        cluster = make_cluster(num_nodes=len(ids) // tp, gpus_per_node=tp)
+    if task is None:
+        task = paper_task(model, global_batch_size=global_batch_size)
+
+    results: Dict[str, object] = {}
+    for backend in backends:
+        legacy = backend == "legacy"
+        cost_model = MalleusCostModel(task.model, cluster, kernels=backend)
+        planner = MalleusPlanner(
+            task, cluster, cost_model=cost_model, tp_candidates=(tp,),
+            legacy_kernels=legacy, kernels=backend,
+        )
+        results[backend] = planner.plan(
+            dict(rates), dp=dp,
+            micro_batch_candidates=micro_batch_candidates,
+        )
+
+    reference = backends[0]
+    ref = results[reference]
+    for backend in backends[1:]:
+        res = results[backend]
+        if res.feasible != ref.feasible:
+            raise AssertionError(
+                f"feasibility differs: {reference}={ref.feasible} "
+                f"{backend}={res.feasible} for tp={tp} dp={dp} "
+                f"n={len(rates)}"
+            )
+        if not ref.feasible:
+            continue
+        if res.estimated_step_time != ref.estimated_step_time:
+            raise AssertionError(
+                f"estimated_step_time differs: {reference}="
+                f"{ref.estimated_step_time!r} {backend}="
+                f"{res.estimated_step_time!r} for tp={tp} dp={dp}"
+            )
+        assert_plans_identical(res.plan, ref.plan, actual_label=backend,
+                               expected_label=reference)
+    return results

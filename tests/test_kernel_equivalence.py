@@ -1,0 +1,216 @@
+"""Kernel-backend bit-identity: numpy array kernels vs python reference.
+
+The PR-7 array-world kernels (``kernels="numpy"``) promise *bit-identical*
+results to the reference python kernels on every input, not approximate
+agreement — the planner's determinism guarantees (tie-breaking, warm-start
+cache keys, cross-backend reproducibility) all rest on it.  This suite
+drives randomized and degenerate inputs through each optimized kernel next
+to its reference twin, and through whole planner episodes per backend,
+using the shipped :mod:`repro.testing.comparison` helpers.
+
+Select with ``-m kernels``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from strategies import division_instances, rate_maps
+from repro.cluster.topology import make_cluster
+from repro.compat import np
+from repro.core.costmodel import MalleusCostModel
+from repro.core.grouping import group_rate, group_rates_batch
+from repro.parallel.plan import TPGroup
+from repro.solvers.division import (
+    _greedy_slow_assignment,
+    _waterfill_fast_groups,
+    _waterfill_fast_groups_closed,
+    solve_pipeline_division,
+)
+from repro.solvers.minmax import (
+    _trim_to_total,
+    _trim_to_total_reference,
+    solve_minmax_assignment,
+)
+from repro.testing import assert_kernel_equivalent, assert_plans_identical
+
+pytestmark = [
+    pytest.mark.kernels,
+    pytest.mark.skipif(np is None, reason="numpy kernels need numpy"),
+]
+
+
+def _assert_solutions_equal(a, b) -> None:
+    assert a.feasible == b.feasible
+    if a.feasible:
+        assert a.values == b.values
+        assert a.objective == b.objective
+
+
+# ----------------------------------------------------------------------
+# Min-max layer solver
+# ----------------------------------------------------------------------
+@given(
+    weights=st.lists(st.floats(min_value=0.05, max_value=12.53),
+                     min_size=1, max_size=64),
+    total=st.integers(min_value=0, max_value=96),
+    with_caps=st.booleans(),
+    data=st.data(),
+)
+@settings(max_examples=200, deadline=None)
+def test_minmax_kernels_bit_identical(weights, total, with_caps, data):
+    caps = None
+    if with_caps:
+        caps = data.draw(st.lists(
+            st.integers(min_value=0, max_value=24),
+            min_size=len(weights), max_size=len(weights)))
+        caps = [float(c) for c in caps]
+    ref = solve_minmax_assignment(weights, total, caps=caps,
+                                  use_cache=False, kernels="python")
+    opt = solve_minmax_assignment(weights, total, caps=caps,
+                                  use_cache=False, kernels="numpy")
+    _assert_solutions_equal(opt, ref)
+
+
+@pytest.mark.parametrize("weights,total,caps", [
+    ([1.0], 5, None),                        # single variable
+    ([1.0] * 40, 40, None),                  # all-equal weights, n >= numpy floor
+    ([1e-12] + [1.0] * 39, 30, None),        # one near-zero weight
+    ([2.5] * 48, 0, None),                   # nothing to assign
+    ([1.0] * 36, 100, [2.0] * 36),           # caps bind hard
+    ([0.5, 3.0] * 20, 37, [5.0, 1.0] * 20),  # alternating weights and caps
+])
+def test_minmax_kernels_degenerate_shapes(weights, total, caps):
+    ref = solve_minmax_assignment(weights, total, caps=caps,
+                                  use_cache=False, kernels="python")
+    opt = solve_minmax_assignment(weights, total, caps=caps,
+                                  use_cache=False, kernels="numpy")
+    _assert_solutions_equal(opt, ref)
+
+
+@given(
+    weights=st.lists(st.floats(min_value=0.05, max_value=8.0),
+                     min_size=1, max_size=32),
+    data=st.data(),
+)
+@settings(max_examples=200, deadline=None)
+def test_trim_heap_matches_reference(weights, data):
+    n = len(weights)
+    mins = data.draw(st.lists(st.integers(min_value=0, max_value=4),
+                              min_size=n, max_size=n))
+    extras = data.draw(st.lists(st.integers(min_value=0, max_value=6),
+                                min_size=n, max_size=n))
+    values = [m + e for m, e in zip(mins, extras)]
+    excess = data.draw(st.integers(min_value=0, max_value=sum(extras)))
+    total = sum(values) - excess
+    heap = _trim_to_total(list(values), weights, mins, total)
+    reference = _trim_to_total_reference(list(values), weights, mins, total)
+    assert heap == reference
+
+
+# ----------------------------------------------------------------------
+# Pipeline-division solver
+# ----------------------------------------------------------------------
+@given(problem=division_instances())
+@settings(max_examples=150, deadline=None)
+def test_waterfill_closed_matches_heap(problem):
+    slow = _greedy_slow_assignment(
+        problem.slow_group_rates, problem.num_pipelines)
+    closed = _waterfill_fast_groups_closed(problem, slow)
+    heap = _waterfill_fast_groups(problem, slow)
+    assert closed == heap
+
+
+@given(problem=division_instances())
+@settings(max_examples=100, deadline=None)
+def test_division_kernels_bit_identical(problem):
+    ref = solve_pipeline_division(problem, use_minmax_cache=False,
+                                  kernels="python")
+    opt = solve_pipeline_division(problem, use_minmax_cache=False,
+                                  kernels="numpy")
+    assert opt.fast_groups == ref.fast_groups
+    assert opt.slow_groups == ref.slow_groups
+    assert opt.micro_batches == ref.micro_batches
+    assert opt.objective == ref.objective
+
+
+# ----------------------------------------------------------------------
+# Grouping kernels
+# ----------------------------------------------------------------------
+@given(
+    rates=rate_maps(gpu_ids=range(32), straggler_fraction=0.4),
+    micro_batch_size=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=100, deadline=None)
+def test_group_rates_batch_bit_identical(rates, micro_batch_size):
+    cluster = make_cluster(num_nodes=4, gpus_per_node=8)
+    cost_model = MalleusCostModel(cluster=cluster, model=_tiny_model(),
+                                  kernels="numpy")
+    groups = [TPGroup(gpu_ids=tuple(range(base, base + size)))
+              for base, size in zip(range(0, 32, 2), [2, 1, 2, 4] * 4)
+              if base + size <= 32]
+    batch = group_rates_batch(groups, rates, cost_model, micro_batch_size)
+    scalar = [group_rate(g, rates, cost_model, micro_batch_size)
+              for g in groups]
+    assert batch == scalar
+
+
+def _tiny_model():
+    from repro.models.presets import get_model
+    return get_model("32b")
+
+
+# ----------------------------------------------------------------------
+# Whole-planner equivalence across backends
+# ----------------------------------------------------------------------
+@given(
+    rates=rate_maps(gpu_ids=range(16), straggler_fraction=0.4),
+    tp=st.sampled_from([1, 2, 4]),
+    pin_dp=st.booleans(),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_planner_backends_bit_identical(rates, tp, pin_dp):
+    dp = 2 if pin_dp else None
+    assert_kernel_equivalent(rates, tp, dp,
+                             backends=("python", "numpy", "legacy"),
+                             global_batch_size=16)
+
+
+@pytest.mark.parametrize("rates,tp,dp", [
+    ({0: 1.0}, 1, 1),                                   # single GPU
+    ({i: 1.0 for i in range(8)}, 2, 2),                 # all-equal rates
+    ({i: (1e-9 if i == 3 else 1.0) for i in range(8)},  # one near-zero rate
+     2, 2),
+    ({i: (float("inf") if i == 5 else 1.0)              # one failed GPU
+      for i in range(8)}, 2, None),
+])
+def test_planner_backends_degenerate_shapes(rates, tp, dp):
+    assert_kernel_equivalent(rates, tp, dp,
+                             backends=("python", "numpy", "legacy"),
+                             global_batch_size=8)
+
+
+def test_assert_plans_identical_reports_readable_diff():
+    res = assert_kernel_equivalent(
+        {i: 1.0 + 0.5 * (i % 4 == 0) for i in range(16)}, 2, 2,
+        backends=("python", "numpy"))
+    plan = res["python"].plan
+    assert plan is not None
+    other = res["numpy"].plan
+    assert_plans_identical(plan, other)  # sanity: identical passes
+    mutated = type(plan)(
+        pipelines=plan.pipelines,
+        micro_batch_size=plan.micro_batch_size * 2,
+        num_layers=plan.num_layers,
+        global_batch_size=plan.global_batch_size,
+        removed_gpus=list(plan.removed_gpus),
+        estimated_step_time=plan.estimated_step_time,
+    )
+    with pytest.raises(AssertionError) as err:
+        assert_plans_identical(mutated, plan)
+    assert "micro_batch_size" in str(err.value)
