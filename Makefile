@@ -8,6 +8,8 @@
 #   make sweep     - the candidate-sweep engine suite (executors + warm cache)
 #   make service   - the planning-service suite (admission control, deadlines,
 #                    fault injection)
+#   make speculative - the speculative pre-solving suite (hit bit-identity,
+#                    staleness invalidation, fault isolation)
 #   make gate      - run the planner hot-path benchmark and gate it against
 #                    the committed baseline (one-liner perf gate)
 #   make gate-update - refresh the committed baseline from a fresh run
@@ -26,17 +28,25 @@
 #   make gate-service - run the planning-service latency benchmark and gate
 #                    its deterministic fields against the committed baseline
 #   make gate-service-update - refresh the service-latency baseline
+#   make gate-speculative - run the service-latency benchmark and gate only
+#                    its speculative arm (hit rate, repairs served from the
+#                    speculation cache, spec p50/p99) against the baseline
+#   make gate-speculative-update - refresh the same baseline (shared with
+#                    gate-service; one benchmark feeds both gates)
 #   make gate-all  - every committed gate (hotpath incl. the 16384-GPU
-#                    rows, transition, scenarios,
-#                    Table-5 presets, service latency) plus the fast tier-1 run
+#                    rows, transition, scenarios, Table-5 presets, service
+#                    latency incl. the speculative arm) plus the fast
+#                    tier-1 run
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench replan migration scenarios sweep service gate gate-update \
+.PHONY: test bench replan migration scenarios sweep service speculative \
+	gate gate-update \
 	gate-hotpath-16k gate-transition gate-transition-update gate-scenarios \
 	gate-scenarios-update gate-presets gate-presets-update \
-	gate-service gate-service-update gate-all
+	gate-service gate-service-update gate-speculative \
+	gate-speculative-update gate-all
 
 test:
 	$(PYTHON) -m pytest -x -q -m "not bench"
@@ -58,6 +68,9 @@ sweep:
 
 service:
 	$(PYTHON) -m pytest -q -m "service and not bench"
+
+speculative:
+	$(PYTHON) -m pytest -q -m "speculative and not bench"
 
 gate:
 	$(PYTHON) -m repro.experiments.planner_hotpath --gate
@@ -92,4 +105,11 @@ gate-service:
 gate-service-update:
 	$(PYTHON) -m repro.experiments.service_latency --update
 
-gate-all: gate gate-transition gate-scenarios gate-presets gate-service test
+gate-speculative:
+	$(PYTHON) -m repro.experiments.service_latency --gate --speculative
+
+gate-speculative-update:
+	$(PYTHON) -m repro.experiments.service_latency --update
+
+gate-all: gate gate-transition gate-scenarios gate-presets gate-service \
+	gate-speculative test

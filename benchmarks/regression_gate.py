@@ -23,9 +23,13 @@ regression within epsilon of a cold plan) plus exact baseline agreement
 ``BENCH_service_latency.json`` (written by ``pytest
 benchmarks/test_bench_service_latency.py``) adds the planning-service
 gate: deterministic fields (repair counts, coalesce ratios, plan
-equality, queue waits, service counters) must agree with the committed
-baseline exactly, wall-clock latency percentiles within the timing
-tolerance (``python -m repro.experiments.service_latency --gate``).
+equality, queue waits, service counters, and the speculative arm's hit
+rate / served-repair counts / plan bit-identity) must agree with the
+committed baseline exactly, wall-clock latency percentiles — including
+the speculative arm's served p50/p99 — within the timing tolerance
+(``python -m repro.experiments.service_latency --gate``; the
+speculative slice alone gates via ``--gate --speculative``, see
+``make gate-speculative``).
 
 The comparison logic lives in
 :func:`repro.experiments.planner_hotpath.gate_against_baseline`; this

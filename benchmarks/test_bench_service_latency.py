@@ -9,7 +9,10 @@ Runs the service-latency benchmark
 * the service's final plan equals what directly processing its coalesced
   deltas produces (the queueing machinery changes *when* planning runs,
   never *what* is planned);
-* no planning episode raised and every admitted event settled.
+* no planning episode raised and every admitted event settled;
+* the speculative arm (PR 8) serves at least half of its repairs from
+  the speculation cache, with a served p50 at least 10x below the plain
+  service arm's and a final plan bit-identical to it.
 
 Writes ``BENCH_service_latency.json`` so ``benchmarks/regression_gate.py``
 (or ``make gate-service``) can compare the deterministic fields against
@@ -23,13 +26,16 @@ import pytest
 
 from repro.experiments.service_latency import (
     RATIO_BOUND,
+    SPEC_HIT_BOUND,
+    SPEC_SPEEDUP_BOUND,
     check_service_invariants,
     format_service_latency,
     run_service_latency,
     write_service_json,
 )
 
-pytestmark = [pytest.mark.bench, pytest.mark.service]
+pytestmark = [pytest.mark.bench, pytest.mark.service,
+              pytest.mark.speculative]
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 FRESH_PATH = os.path.join(HERE, "BENCH_service_latency.json")
@@ -64,6 +70,15 @@ def test_every_event_settles_without_a_fault(latency_result):
         assert stats["repairs"] + stats["no_ops"] == stats["episodes"] - \
             stats["deferrals"]
         assert stats["submitted"] == row.num_events
+
+
+def test_speculative_arm_serves_majority_from_cache(latency_result):
+    for row in latency_result.rows:
+        assert row.spec_repairs > 0
+        assert row.spec_hit_rate >= SPEC_HIT_BOUND
+        assert row.spec_plans_match
+        assert row.spec_latency_p50 * SPEC_SPEEDUP_BOUND <= row.latency_p50
+        assert row.spec_stats["spec_hits"] == row.spec_served
 
 
 def test_report_renders(latency_result, capsys):

@@ -17,6 +17,11 @@ that:
    deadline with a scripted fault schedule (a raising planner episode and
    a deadline overrun): every fault ends as a *recorded degradation* on
    the service's counters and the job never loses its plan.
+4. **Speculative pre-solving** — the storm once more with
+   ``ServiceConfig(speculate=True)``: idle steps pre-solve the likely
+   next events and matching real events are served from the speculation
+   cache (see ``examples/speculative_service.py`` for the full story);
+   the counters land in ``MalleusSystem.cache_stats()``.
 
 Run with ``python examples/planning_service.py``.
 """
@@ -107,6 +112,31 @@ def main() -> None:
     print(f"  queue drained: {faulty.pending == 0}, "
           f"plan alive: {system.plan is not None}")
     assert faulty.pending == 0 and system.plan is not None
+
+    # -- 4. speculative pre-solving -------------------------------------
+    system = fresh_system(cluster, task)
+    speculative = PlanningService(
+        system,
+        ServiceConfig(coalesce=True, debounce_window=2.0, debounce_limit=6.0,
+                      speculate=True),
+    )
+    speculative.setup(states[0])
+    for index, state in enumerate(states[1:]):
+        speculative.submit(state, now=float(index))
+        speculative.pump(now=float(index))
+    tick = len(states) - 1
+    while speculative.pending and tick < len(states) + 32:
+        speculative.pump(now=float(tick))  # idle pumps keep pre-solving
+        tick += 1
+    speculative.drain(now=float(tick))
+    stats = speculative.stats
+    speculation = system.cache_stats()["speculation"]
+    print("\nwith speculative pre-solving (speculate=True):")
+    print(f"  repairs={stats.repairs} served-from-cache={stats.spec_hits} "
+          f"pre-solves={stats.spec_presolves} "
+          f"cancelled={stats.spec_cancelled} stale={stats.spec_stale} "
+          f"wasted={stats.spec_wasted} faults={stats.spec_faults}")
+    print(f"  cache_stats()['speculation'] = {speculation}")
 
 
 if __name__ == "__main__":

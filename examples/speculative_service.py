@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Speculative repair: priors -> idle pre-solve -> microsecond hit.
+
+The PR-6 planning service made planning an always-on loop; PR 8 uses the
+loop's *idle* steps.  A flapping GPU's next submission is predictable —
+it bounces between the same rates, and the service's own debounced queue
+literally holds the delta the next pump will process — so the service
+pre-solves those likely next events while nothing else is due.  A real
+event that matches a prediction is served by materializing the stored
+winner: same plan, bit for bit, minus the solve latency.
+
+This example walks the three stages on the ``flapping`` storm preset:
+
+1. **Priors** — seed a :class:`repro.runtime.SpeculationPolicy` from the
+   preset's generative process mix
+   (:func:`repro.cluster.scenarios.degradation_priors`) and show how the
+   observed event stream builds per-GPU transition maps.
+2. **Pre-solve** — drive the service tick by tick and watch idle steps
+   fill the speculation cache with pre-solved repairs.
+3. **Hit** — compare each repair's event-to-new-plan latency against a
+   plain (speculation-off) service twin on the identical storm, and
+   check the final plans are bit-identical.
+
+Run with ``python examples/speculative_service.py``.
+"""
+
+from repro import MalleusCostModel, MalleusSystem, ServiceConfig
+from repro.models.presets import paper_task
+from repro.cluster.scenarios import degradation_priors, scenario_preset
+from repro.cluster.topology import paper_cluster
+from repro.runtime import PlanningService, SpeculationPolicy
+from repro.testing.faults import storm_states
+
+REPAIR_KINDS = ("migrate", "replan", "restart")
+
+
+def fresh_system(cluster, task):
+    return MalleusSystem(task, cluster,
+                         MalleusCostModel(task.model, cluster))
+
+
+def drive(service, events):
+    """The always-on loop: per-tick submit+pump, then idle tail pumps."""
+    for index, state in enumerate(events):
+        service.submit(state, now=float(index))
+        service.pump(now=float(index))
+    tick = len(events)
+    while service.pending and tick < len(events) + 32:
+        service.pump(now=float(tick))
+        tick += 1
+    service.drain(now=float(tick))
+
+
+def main() -> None:
+    task = paper_task("32b")
+    cluster = paper_cluster(32)
+    seed = 1
+    states = storm_states(cluster, "flapping", seed=seed)
+    events = states[1:]
+
+    # -- 1. priors from the generative scenario processes ---------------
+    scenario = scenario_preset("flapping", seed=seed)
+    priors = degradation_priors(scenario)
+    policy = SpeculationPolicy.from_scenario(scenario)
+    print("flapping preset priors:", {k: round(v, 2)
+                                      for k, v in priors.items()})
+    print(f"-> policy biases: recovery={policy.recovery_bias:.2f} "
+          f"relapse={policy.relapse_bias:.2f}\n")
+
+    # -- 2+3. speculative service vs plain twin on the same storm -------
+    plain_system = fresh_system(cluster, task)
+    plain = PlanningService(plain_system, ServiceConfig(
+        coalesce=True, debounce_window=2.0, debounce_limit=6.0))
+    plain.setup(states[0])
+    drive(plain, events)
+
+    spec_system = fresh_system(cluster, task)
+    speculative = PlanningService(
+        spec_system,
+        ServiceConfig(coalesce=True, debounce_window=2.0,
+                      debounce_limit=6.0, speculate=True),
+        speculation_policy=policy,
+    )
+    speculative.setup(states[0])
+    drive(speculative, events)
+
+    # A flapping GPU's transition map after the storm (the learned half
+    # of the priors; seeded biases rank the prior-driven guesses).
+    flapper = max(policy.priors, key=lambda g: policy.priors[g].flips)
+    prior = policy.priors[flapper]
+    transitions = {
+        round(rate, 2): {round(nxt, 2): count for nxt, count in nexts.items()}
+        for rate, nexts in prior.successors.items()
+    }
+    print(f"GPU {flapper} learned transitions (flips={prior.flips}): "
+          f"rate -> {{next: count}} = {transitions}")
+
+    plain_repairs = [r for r in plain.records
+                     if r.adjustment.kind in REPAIR_KINDS]
+    spec_repairs = [r for r in speculative.records
+                    if r.adjustment.kind in REPAIR_KINDS]
+    served = [r for r in spec_repairs if r.adjustment.speculative]
+    print(f"\nplain service:       {len(plain_repairs)} repairs, "
+          f"latencies {[f'{r.latency * 1e3:.1f}ms' for r in plain_repairs]}")
+    print(f"speculative service: {len(spec_repairs)} repairs, "
+          f"{len(served)} served from the speculation cache, "
+          f"latencies {[f'{r.latency * 1e3:.2f}ms' for r in spec_repairs]}")
+    stats = speculative.stats
+    print(f"  pre-solves={stats.spec_presolves} "
+          f"cancelled={stats.spec_cancelled} hits={stats.spec_hits} "
+          f"stale={stats.spec_stale} wasted={stats.spec_wasted}")
+    print(f"  engine snapshot: "
+          f"{spec_system.cache_stats()['speculation']}")
+
+    identical = spec_system.plan == plain_system.plan
+    print(f"\nfinal plans bit-identical: {identical}")
+    assert identical and served, \
+        "speculation must serve hits without changing any plan"
+
+
+if __name__ == "__main__":
+    main()

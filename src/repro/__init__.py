@@ -49,7 +49,12 @@ from .core import (
 )
 from .models import TrainingTask, TransformerModelSpec, get_model, paper_task
 from .parallel import ParallelizationPlan, TPGroup, uniform_megatron_plan
-from .runtime import MalleusSystem, PlanningService, ServiceConfig
+from .runtime import (
+    MalleusSystem,
+    PlanningService,
+    ServiceConfig,
+    SpeculationPolicy,
+)
 from .simulator import ExecutionSimulator, run_trace, theoretic_optimal_step_time
 
 __version__ = "1.0.0"
@@ -73,6 +78,7 @@ __all__ = [
     "Profiler",
     "ServiceConfig",
     "SolutionCache",
+    "SpeculationPolicy",
     "StragglerSpec",
     "StragglerTrace",
     "SweepConfig",

@@ -327,6 +327,50 @@ def scenario_preset(name: str, seed: Optional[int] = None,
     return replace(base, **overrides)
 
 
+def degradation_priors(config: ScenarioConfig) -> Dict[str, float]:
+    """Prior degradation structure implied by a scenario's process mix.
+
+    Returns the normalized per-kind spawn shares (keys from
+    :data:`PROCESS_KINDS`) plus two derived biases the speculation policy
+    (:class:`~repro.runtime.speculate.SpeculationPolicy`) uses to weight
+    its guesses:
+
+    ``recovery_bias``
+        Mass of processes whose generative shape *ends healthy soon* —
+        transient blips vanish after one situation, flapping profiles
+        alternate back to 1.0, thermal ramps decay — so a currently
+        degraded GPU is likely to recover.
+
+    ``relapse_bias``
+        Mass of processes that re-degrade or hold a degraded rate —
+        flapping alternates back up, persistent/node processes hold for
+        their whole duration, thermal ramps climb again — so a recently
+        recovered GPU is likely to relapse to its last degraded rate.
+
+    Churn (GPU death) contributes to neither: failures bypass the repair
+    engine entirely, so speculating on them is wasted work.
+    """
+    weights = config.weights()
+    total = sum(weights)
+    if total <= 0:
+        shares = {kind: 0.0 for kind in PROCESS_KINDS}
+    else:
+        shares = {
+            kind: weight / total
+            for kind, weight in zip(PROCESS_KINDS, weights)
+        }
+    priors = dict(shares)
+    priors["recovery_bias"] = (
+        shares["transient"] + shares["flapping"] + 0.5 * shares["thermal"]
+    )
+    priors["relapse_bias"] = (
+        shares["flapping"] + shares["persistent"] + shares["node"]
+        + 0.5 * shares["thermal"]
+    )
+    priors["failure_bias"] = shares["churn"]
+    return priors
+
+
 def generate_trace(cluster: Cluster,
                    config: Union[str, ScenarioConfig, None] = None,
                    seed: Optional[int] = None,

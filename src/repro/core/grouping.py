@@ -283,7 +283,7 @@ class RegroupDelta:
 
 
 def _membership(groups: Sequence[TPGroup]) -> set:
-    return {frozenset(group.gpu_ids) for group in groups}
+    return {group.id_set for group in groups}
 
 
 def regroup_delta(
@@ -343,10 +343,10 @@ def regroup_delta(
         if old_sets != new_sets:
             changed_nodes.append(node.node_id)
             removed.extend(
-                g for g in old_groups if frozenset(g.gpu_ids) not in new_sets
+                g for g in old_groups if g.id_set not in new_sets
             )
             added.extend(
-                g for g in node_groups if frozenset(g.gpu_ids) not in old_sets
+                g for g in node_groups if g.id_set not in old_sets
             )
     throughput = harmonic_throughput(groups, rates, cost_model, micro_batch_size)
     grouping = GroupingResult(

@@ -735,6 +735,22 @@ class SweepExecutor:
         """Alias of :meth:`shutdown` (idempotent, exception-safe)."""
         self.shutdown()
 
+    def idle_capacity(self) -> int:
+        """Workers available for background work between real sweeps.
+
+        The speculation engine pre-solves likely next events during idle
+        service steps; this reports how much parallel slack the backend
+        has for that (the whole pool — idle steps by definition carry no
+        real sweep).  Serial backends report 1.  Advisory only: callers
+        that must stay deterministic across machines (the service's
+        exact-gated counters) budget by configured ``top_k``, never by
+        this number.
+        """
+        if self.config.backend != "process" or \
+                self.fault_stats.get("serial_fallback"):
+            return 1
+        return max(1, self.config.resolved_workers())
+
     def _teardown_pool(self, dead: bool) -> None:
         pool, self._pool, self._pool_token = self._pool, None, None
         if pool is None:
@@ -931,8 +947,7 @@ def grouping_fingerprint(grouping: GroupingResult) -> tuple:
     :class:`~repro.parallel.plan.TPGroup` — rates, capacity, ordering —
     treats it as a set).
     """
-    return tuple(sorted(tuple(sorted(group.gpu_ids))
-                        for group in grouping.groups))
+    return tuple(sorted(group.sorted_ids for group in grouping.groups))
 
 
 def capacity_fingerprint(grouping: GroupingResult,
@@ -1082,7 +1097,7 @@ class SolutionCache:
             self._counters["misses"] += 1
             return None, entry.slow_groups
         by_members: Dict[frozenset, TPGroup] = {
-            frozenset(group.gpu_ids): group for group in grouping.groups
+            group.id_set: group for group in grouping.groups
         }
         warm = []
         for pipeline in entry.shapes:
@@ -1176,7 +1191,7 @@ class SolutionCache:
         the entry's warm age toward ``SweepConfig.max_warm_age``.
         """
         shapes = tuple(
-            tuple(tuple(group.gpu_ids) for group in pipeline)
+            tuple(group.gpu_ids for group in pipeline)
             for pipeline in pipelines_groups
         )
         previous = self._entries.get((tp_limit, dp_degree))

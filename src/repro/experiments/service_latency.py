@@ -22,13 +22,23 @@ arms run over the *identical* seeded trace:
     The captured episode states are replayed through a fresh system
     directly.  Its final plan must equal the service's — the queueing
     machinery must be invisible apart from *which* states get planned.
+``speculative`` (PR 8)
+    The same trace through a service with ``ServiceConfig(speculate=
+    True)`` and a :class:`~repro.runtime.speculate.SpeculationPolicy`
+    seeded from the preset's scenario priors.  The service is driven as
+    an always-on loop (idle pumps between and after the storm, so idle
+    steps can pre-solve), and the arm reports how many repairs were
+    served from the speculation cache, the hit rate, and the served
+    p50/p99 — the microsecond-response headline.  Its final plan must be
+    bit-identical to the plain service arm's.
 
 Determinism: everything except wall-clock latency (event counts, repair
 counts, coalesce ratios, plan equality, sim-time queue waits, the
-service's counters) is seeded and analytic, so the gate compares those
-against the committed baseline exactly.  Wall-clock p50/p99 episode
-latency is machine-dependent and is gated like the hot-path benchmark —
-a relative regression tolerance plus absolute slack.
+service's counters, speculation hit counts) is seeded and analytic, so
+the gate compares those against the committed baseline exactly.
+Wall-clock p50/p99 episode latency is machine-dependent and is gated
+like the hot-path benchmark — a relative regression tolerance plus
+absolute slack.
 """
 
 from __future__ import annotations
@@ -38,9 +48,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..cluster.scenarios import scenario_preset
 from ..cluster.stragglers import ClusterState
 from ..runtime.malleus import MalleusSystem
 from ..runtime.service import PlanningService, ServiceConfig, percentile
+from ..runtime.speculate import SpeculationPolicy
 from ..testing.faults import storm_states
 from .common import format_table, paper_workload
 
@@ -52,6 +64,17 @@ REPAIR_KINDS = ("migrate", "replan", "restart")
 
 #: The acceptance bound: service repairs <= RATIO_BOUND * raw repairs.
 RATIO_BOUND = 0.5
+
+#: Speculation acceptance: at least this share of coalesced repairs must
+#: be served from the speculation cache on every preset...
+SPEC_HIT_BOUND = 0.5
+#: ...and the speculative arm's p50 event-to-new-plan latency must be at
+#: least this many times lower than the plain service arm's.
+SPEC_SPEEDUP_BOUND = 10.0
+
+#: Idle pumps granted after the storm before the queue is force-drained
+#: (the always-on loop; debounced tails settle within a few ticks).
+SPEC_TAIL_TICKS = 64
 
 
 @dataclass
@@ -81,6 +104,18 @@ class ServiceLatencyRow:
     latency_p99: float
     #: The service's lifetime counters (all deterministic).
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Speculative arm (PR 8; defaults keep pre-PR-8 baselines loadable):
+    #: repairs it performed, how many were served from the speculation
+    #: cache, the hit rate, whether its final plan is bit-identical to
+    #: the plain service arm's, its wall-clock episode latency, and the
+    #: speculative service's lifetime counters.
+    spec_repairs: int = 0
+    spec_served: int = 0
+    spec_hit_rate: float = 0.0
+    spec_plans_match: bool = True
+    spec_latency_p50: float = 0.0
+    spec_latency_p99: float = 0.0
+    spec_stats: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict:
         return {
@@ -97,6 +132,13 @@ class ServiceLatencyRow:
             "latency_p50": self.latency_p50,
             "latency_p99": self.latency_p99,
             "stats": dict(self.stats),
+            "spec_repairs": self.spec_repairs,
+            "spec_served": self.spec_served,
+            "spec_hit_rate": self.spec_hit_rate,
+            "spec_plans_match": self.spec_plans_match,
+            "spec_latency_p50": self.spec_latency_p50,
+            "spec_latency_p99": self.spec_latency_p99,
+            "spec_stats": dict(self.spec_stats),
         }
 
 
@@ -143,12 +185,34 @@ def _plan_signature(system: MalleusSystem):
             tuple(sorted(plan.active_gpus)))
 
 
+def _drive_storm(service: PlanningService,
+                 events: Sequence[ClusterState]) -> None:
+    """Drive a service through a storm as an always-on loop.
+
+    One submission + pump per sim tick during the storm, then idle pumps
+    until the debounced tail settles on its own schedule (idle steps are
+    where the speculative arm pre-solves), and a terminal drain as a
+    backstop.  Both service arms use the *same* loop so their episode
+    sequences are identical and the speculative arm's final plan can be
+    compared bit-for-bit against the plain arm's.
+    """
+    for index, state in enumerate(events):
+        now = float(index)
+        service.submit(state, now=now)
+        service.pump(now=now)
+    tick = len(events)
+    while service.pending and tick < len(events) + SPEC_TAIL_TICKS:
+        service.pump(now=float(tick))
+        tick += 1
+    service.drain(now=float(tick))
+
+
 def run_service_latency(model_name: str = "32b",
                         presets: Sequence[str] = DEFAULT_PRESETS,
                         seed: int = 1,
                         debounce_window: float = 2.0,
                         debounce_limit: float = 6.0) -> ServiceLatencyResult:
-    """Run the three arms over every storm preset.
+    """Run the four arms over every storm preset.
 
     The sim clock ticks one second per generated event, so a debounce
     window of 2.0 means "the GPU went two events without moving again".
@@ -188,11 +252,7 @@ def run_service_latency(model_name: str = "32b",
             return _inner(state, rebalance_only=rebalance_only, force=force)
 
         system.on_situation_change = capture
-        for index, state in enumerate(events):
-            now = float(index)
-            service.submit(state, now=now)
-            service.pump(now=now)
-        service.drain(now=float(len(events)) + debounce_window)
+        _drive_storm(service, events)
         system.on_situation_change = inner
 
         # -- replay arm: the coalesced deltas, processed directly ------
@@ -201,6 +261,27 @@ def run_service_latency(model_name: str = "32b",
         replay.setup(states[0])
         for state in episode_states:
             replay.on_situation_change(state)
+
+        # -- speculative arm: idle-step pre-solving (PR 8) -------------
+        spec_system = MalleusSystem(workload.task, workload.cluster,
+                                    workload.cost_model)
+        spec_service = PlanningService(
+            spec_system,
+            ServiceConfig(coalesce=True, debounce_window=debounce_window,
+                          debounce_limit=debounce_limit, speculate=True),
+            speculation_policy=SpeculationPolicy.from_scenario(
+                scenario_preset(preset, seed=seed)),
+        )
+        spec_service.setup(states[0])
+        _drive_storm(spec_service, events)
+        spec_repair_records = [
+            record for record in spec_service.records
+            if record.adjustment.kind in REPAIR_KINDS
+        ]
+        spec_served = sum(
+            1 for record in spec_repair_records if record.adjustment.speculative
+        )
+        spec_latencies = spec_service.latency_percentiles()
 
         latencies = service.latency_percentiles()
         waits = service.queue_wait_percentiles()
@@ -220,6 +301,15 @@ def run_service_latency(model_name: str = "32b",
             latency_p50=latencies["p50"],
             latency_p99=latencies["p99"],
             stats=service.stats.as_dict(),
+            spec_repairs=len(spec_repair_records),
+            spec_served=spec_served,
+            spec_hit_rate=(spec_served / len(spec_repair_records)
+                           if spec_repair_records else 0.0),
+            spec_plans_match=(spec_system.plan == system.plan
+                              and spec_system.plan is not None),
+            spec_latency_p50=spec_latencies["p50"],
+            spec_latency_p99=spec_latencies["p99"],
+            spec_stats=spec_service.stats.as_dict(),
         ))
     return result
 
@@ -228,7 +318,7 @@ def format_service_latency(result: ServiceLatencyResult) -> str:
     """Render the per-preset comparison plus aggregates."""
     headers = ["Preset", "Events", "Raw repairs", "Episodes",
                "Svc repairs", "Ratio", "Plans", "Wait p99",
-               "Latency p50", "Latency p99"]
+               "Latency p50", "Latency p99", "Spec hits", "Spec p50"]
     rows = []
     for row in result.rows:
         rows.append([
@@ -238,10 +328,13 @@ def format_service_latency(result: ServiceLatencyResult) -> str:
             f"{row.episodes}",
             f"{row.service_repairs}",
             f"{row.coalesce_ratio:.2f}",
-            "match" if row.plans_match else "DIVERGED",
+            "match" if row.plans_match and row.spec_plans_match
+            else "DIVERGED",
             f"{row.queue_wait_p99:.1f}s",
             f"{row.latency_p50 * 1e3:.1f}ms",
             f"{row.latency_p99 * 1e3:.1f}ms",
+            f"{row.spec_served}/{row.spec_repairs}",
+            f"{row.spec_latency_p50 * 1e3:.2f}ms",
         ])
     table = format_table(
         headers, rows,
@@ -307,29 +400,72 @@ def check_service_invariants(result: ServiceLatencyResult) -> List[str]:
             failures.append(f"{row.preset}: bad queue-wait p99 "
                             f"{row.queue_wait_p99!r}")
         for label, value in (("latency_p50", row.latency_p50),
-                             ("latency_p99", row.latency_p99)):
+                             ("latency_p99", row.latency_p99),
+                             ("spec_latency_p50", row.spec_latency_p50),
+                             ("spec_latency_p99", row.spec_latency_p99)):
             if not math.isfinite(value) or value < 0:
                 failures.append(f"{row.preset}: bad {label} {value!r}")
+        # Speculation acceptance (PR 8), only once the speculative arm
+        # has run (pre-PR-8 baselines carry empty spec_stats).
+        if row.spec_stats:
+            if row.spec_hit_rate < SPEC_HIT_BOUND - 1e-9:
+                failures.append(
+                    f"{row.preset}: speculation hit rate "
+                    f"{row.spec_hit_rate:.2f} below {SPEC_HIT_BOUND:.0%} "
+                    f"({row.spec_served}/{row.spec_repairs} repairs served)"
+                )
+            if not row.spec_plans_match:
+                failures.append(
+                    f"{row.preset}: speculative arm's final plan diverged "
+                    f"from the plain service arm's"
+                )
+            if row.spec_latency_p50 * SPEC_SPEEDUP_BOUND > row.latency_p50:
+                failures.append(
+                    f"{row.preset}: speculative p50 "
+                    f"{row.spec_latency_p50 * 1e3:.2f}ms not "
+                    f"{SPEC_SPEEDUP_BOUND:.0f}x below the service arm's "
+                    f"{row.latency_p50 * 1e3:.2f}ms"
+                )
+            served_counted = row.spec_stats.get("spec_hits", 0)
+            if served_counted != row.spec_served:
+                failures.append(
+                    f"{row.preset}: spec_hits counter {served_counted} "
+                    f"disagrees with served repairs {row.spec_served}"
+                )
     return failures
 
 
 #: Deterministic per-row fields compared exactly against the baseline.
 EXACT_FIELDS = ("num_events", "raw_repairs", "episodes", "service_repairs",
                 "coalesce_ratio", "plans_match", "queue_wait_p50",
-                "queue_wait_p99")
+                "queue_wait_p99", "spec_repairs", "spec_served",
+                "spec_hit_rate", "spec_plans_match")
+
+
+#: The speculative arm's slice of the gate (``--speculative``).
+SPEC_EXACT_FIELDS = ("spec_repairs", "spec_served", "spec_hit_rate",
+                     "spec_plans_match")
 
 
 def gate_against_baseline(fresh_path: str, baseline_path: str,
                           tolerance: float = 0.5,
-                          min_delta: float = 0.05) -> int:
+                          min_delta: float = 0.05,
+                          speculative_only: bool = False) -> int:
     """Compare a fresh run against the committed baseline.
 
     Deterministic fields (event/repair counts, coalesce ratios, plan
-    equality, sim-time queue waits, service counters) must agree exactly;
-    wall-clock latency percentiles may regress by at most ``tolerance``
-    relative plus ``min_delta`` absolute seconds (timer jitter on
-    millisecond rows must not trip the gate).
+    equality, sim-time queue waits, service counters, speculation hit
+    counts) must agree exactly; wall-clock latency percentiles may
+    regress by at most ``tolerance`` relative plus ``min_delta`` absolute
+    seconds (timer jitter on millisecond rows must not trip the gate).
+    ``speculative_only`` narrows the comparison to the speculative arm's
+    fields (``make gate-speculative``); the invariants always run.
     """
+    exact_fields = SPEC_EXACT_FIELDS if speculative_only else EXACT_FIELDS
+    latency_fields = (("spec_latency_p50", "spec_latency_p99")
+                      if speculative_only
+                      else ("latency_p50", "latency_p99",
+                            "spec_latency_p50", "spec_latency_p99"))
     fresh = read_service_json(fresh_path)
     baseline = read_service_json(baseline_path)
     failures = check_service_invariants(fresh)
@@ -340,7 +476,7 @@ def gate_against_baseline(fresh_path: str, baseline_path: str,
         except KeyError:
             failures.append(f"{base_row.preset}: missing from fresh run")
             continue
-        for name in EXACT_FIELDS:
+        for name in exact_fields:
             fresh_value = getattr(fresh_row, name)
             base_value = getattr(base_row, name)
             matches = (
@@ -357,12 +493,18 @@ def gate_against_baseline(fresh_path: str, baseline_path: str,
                     f"{base_row.preset}: {name} drifted "
                     f"({fresh_value} vs committed {base_value})"
                 )
-        if fresh_row.stats != base_row.stats:
+        if not speculative_only and fresh_row.stats != base_row.stats:
             failures.append(
                 f"{base_row.preset}: service counters drifted "
                 f"({fresh_row.stats} vs committed {base_row.stats})"
             )
-        for name in ("latency_p50", "latency_p99"):
+        if fresh_row.spec_stats != base_row.spec_stats:
+            failures.append(
+                f"{base_row.preset}: speculation counters drifted "
+                f"({fresh_row.spec_stats} vs committed "
+                f"{base_row.spec_stats})"
+            )
+        for name in latency_fields:
             fresh_value = getattr(fresh_row, name)
             base_value = getattr(base_row, name)
             limit = base_value * (1.0 + tolerance) + min_delta
@@ -403,6 +545,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="compare the fresh run against the baseline")
     parser.add_argument("--update", action="store_true",
                         help="refresh the baseline from the fresh run")
+    parser.add_argument("--speculative", action="store_true",
+                        help="gate only the speculative arm's fields "
+                             "(hit rate, served repairs, spec p50/p99)")
     parser.add_argument("--fresh",
                         default="benchmarks/BENCH_service_latency.json",
                         help="where to write the fresh run "
@@ -431,7 +576,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not os.path.exists(args.baseline):
             print(f"no baseline at {args.baseline}; seed it with --update")
             return 1
-        return gate_against_baseline(args.fresh, args.baseline)
+        return gate_against_baseline(args.fresh, args.baseline,
+                                     speculative_only=args.speculative)
     invariants = check_service_invariants(result)
     for failure in invariants:
         print(f"invariant FAILED: {failure}")

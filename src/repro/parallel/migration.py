@@ -377,7 +377,7 @@ class TransitionEstimate:
 def layout_from_plan(plan: ParallelizationPlan) -> PlanLayout:
     """Extract the migration-relevant layout of a materialized plan."""
     return [
-        [(tuple(stage.gpu_ids), stage.num_layers) for stage in pipeline.stages]
+        [(stage.gpu_ids, stage.num_layers) for stage in pipeline.stages]
         for pipeline in plan.pipelines
     ]
 
@@ -401,7 +401,7 @@ def layout_from_candidate(candidate) -> PlanLayout:
         if m_i <= 0:
             continue
         stages = [
-            (tuple(group.gpu_ids), layers)
+            (group.gpu_ids, layers)
             for group, layers in zip(groups, layer_result.layers)
             if layers > 0
         ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -36,6 +37,17 @@ class TPGroup:
     def size(self) -> int:
         """TP degree of the group."""
         return len(self.gpu_ids)
+
+    @cached_property
+    def sorted_ids(self) -> Tuple[int, ...]:
+        """Sorted GPU ids, cached: fingerprints recompute this per call
+        otherwise and groups are immutable."""
+        return tuple(sorted(self.gpu_ids))
+
+    @cached_property
+    def id_set(self) -> frozenset:
+        """Frozenset of GPU ids, cached for membership tests."""
+        return frozenset(self.gpu_ids)
 
     def max_rate(self, rates: Dict[int, float]) -> float:
         """Worst straggling rate inside the group (TP is synchronous)."""

@@ -24,6 +24,12 @@ from .service import (
     ServiceRecord,
     ServiceStats,
 )
+from .speculate import (
+    RepairHint,
+    SpeculationEngine,
+    SpeculationPolicy,
+    canonical_delta,
+)
 
 __all__ = [
     "MalleusSystem",
@@ -35,6 +41,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceRecord",
     "ServiceStats",
+    "SpeculationPolicy",
+    "SpeculationEngine",
+    "RepairHint",
+    "canonical_delta",
     "MODE_FULL",
     "MODE_REBALANCE_ONLY",
     "MODE_SKIPPED",

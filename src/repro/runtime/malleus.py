@@ -47,6 +47,7 @@ from .replan import (
     ReplanConfig,
     ReplanEngine,
 )
+from .speculate import outcomes_equal
 
 
 @dataclass
@@ -71,6 +72,9 @@ class ReplanEvent:
     #: Candidate-sweep engine diagnostics for this event (backend, worker
     #: count, evaluated/pruned candidates, warm-cache hits).
     sweep_stats: Optional[Dict[str, object]] = None
+    #: True when the repair was served from the speculation cache (the
+    #: solve ran during an idle service step, before the event arrived).
+    speculative: bool = False
 
 
 @dataclass
@@ -195,6 +199,16 @@ class MalleusSystem:
         }
         self.replan_events: List[ReplanEvent] = []
         self._dp_degree: Optional[int] = None
+        #: One-shot speculative repair hint
+        #: (:class:`~repro.runtime.speculate.RepairHint`), installed by
+        #: the planning service immediately before an episode's
+        #: ``on_situation_change`` call.  A field rather than a keyword
+        #: argument so instance-level wrappers (the fault harness arms one)
+        #: keep working unchanged.
+        self._repair_hint = None
+        #: The planning service's speculation engine, when one is attached
+        #: (surfaced through :meth:`cache_stats`).
+        self.speculation = None
 
     # ------------------------------------------------------------------
     # TrainingFramework protocol
@@ -234,6 +248,8 @@ class MalleusSystem:
         first, deferred attempt), which would otherwise drop the event.
         """
         assert self.plan is not None
+        hint = self._repair_hint
+        self._repair_hint = None
         report = self.profiler.measure(state)
         if not report.changed and not force:
             self.current_rates = dict(report.rates)
@@ -246,11 +262,35 @@ class MalleusSystem:
         event_kind = ""
         repair_tier = TIER_FULL
         tier_errors: List[str] = []
+        served = False
         if self.incremental and self.plan_context is not None:
-            outcome = self.replan_engine.repair(
-                self.plan_context, report.rates, dp=dp,
-                rebalance_only=rebalance_only,
-            )
+            outcome = None
+            if hint is not None and hint.claim(
+                    self.plan_context, report.rates, dp, rebalance_only,
+                    self.cost_model):
+                # A speculative pre-solve of exactly this repair call
+                # exists: serve the stored winner.  The claim validated
+                # every input of the solve, so this *is* the on-demand
+                # repair, minus the solve latency (bit-identity by
+                # construction; ``speculate_verify`` additionally
+                # re-solves and compares).
+                outcome = hint.outcome
+                served = True
+                if hint.verify:
+                    fresh = self.replan_engine.repair(
+                        self.plan_context, report.rates, dp=dp,
+                        rebalance_only=rebalance_only,
+                    )
+                    if not outcomes_equal(outcome, fresh):
+                        hint.served = False
+                        hint.discarded = "verify mismatch"
+                        outcome = fresh
+                        served = False
+            if outcome is None:
+                outcome = self.replan_engine.repair(
+                    self.plan_context, report.rates, dp=dp,
+                    rebalance_only=rebalance_only,
+                )
             event_kind = outcome.event_kind
             repair_tier = outcome.repair_tier
             tier_errors = list(outcome.tier_errors)
@@ -262,6 +302,7 @@ class MalleusSystem:
                     kind="none", event_kind=event_kind,
                     repair_tier=repair_tier,
                     tier_errors=tier_errors,
+                    speculative=served,
                     description="delta does not touch the incumbent plan",
                 )
             if outcome.repair_tier == TIER_DEFERRED:
@@ -278,7 +319,9 @@ class MalleusSystem:
                     or "rebalance-only repair deferred",
                 )
             result = outcome.result
-            planning_time = outcome.repair_seconds
+            # A served hint's solve ran during an idle step, before the
+            # event arrived: nothing is charged to this episode.
+            planning_time = 0.0 if served else outcome.repair_seconds
         elif rebalance_only:
             # Without an incumbent repair context (or with the repair
             # engine disabled) the only remaining tool is the full
@@ -318,15 +361,12 @@ class MalleusSystem:
         migration_bytes = 0.0
         hidden_time = 0.0
         if plan_changed:
-            migration = plan_migration(
-                self.plan, result.plan, self.cluster,
-                layer_param_bytes=self.task.model.layer_param_bytes(),
-                layer_optimizer_bytes=self.task.model.params_per_layer()
-                * self.cost_model.config.optimizer_bytes_per_param,
-            )
-            charge = self.simulator.migration_downtime(
-                migration, hideable_seconds=self._overlap_window(report.rates)
-            )
+            # A served hint pre-computed this charge during the idle step
+            # (same incumbent plan — the claim pinned its identity — same
+            # repaired plan, same rates: a pure function of validated
+            # inputs, so reusing it is bit-identical).
+            charge = hint.charge if served and hint.charge is not None \
+                else self.migration_charge(result.plan, report.rates)
             migration_time = charge.total_seconds
             migration_bytes = charge.total_bytes
             hidden_time = charge.hidden_seconds
@@ -357,6 +397,7 @@ class MalleusSystem:
                 migration_bytes=migration_bytes,
                 hidden_migration_time=hidden_time,
                 sweep_stats=sweep_stats,
+                speculative=served,
             )
         )
         return Adjustment(
@@ -370,8 +411,30 @@ class MalleusSystem:
             migration_bytes=migration_bytes,
             hidden_migration_time=hidden_time,
             sweep_stats=sweep_stats,
+            speculative=served,
             description="asynchronous re-planning"
             if self.async_replanning else "synchronous re-planning",
+        )
+
+    def migration_charge(self, new_plan: ParallelizationPlan,
+                         rates: Dict[int, float]):
+        """Downtime charge of migrating the incumbent plan to ``new_plan``.
+
+        A pure function of (incumbent plan, new plan, rates): the
+        migration layout diff plus the simulator's topology-aware drain
+        charge (with the overlap window under ``rates`` when transition
+        overlap is on).  Factored out so the speculation engine can
+        pre-compute the charge during an idle step and a served hit pays
+        none of it on the event's critical path.
+        """
+        migration = plan_migration(
+            self.plan, new_plan, self.cluster,
+            layer_param_bytes=self.task.model.layer_param_bytes(),
+            layer_optimizer_bytes=self.task.model.params_per_layer()
+            * self.cost_model.config.optimizer_bytes_per_param,
+        )
+        return self.simulator.migration_downtime(
+            migration, hideable_seconds=self._overlap_window(rates)
         )
 
     def _overlap_window(self, rates: Dict[int, float]) -> float:
@@ -444,5 +507,12 @@ class MalleusSystem:
                                                   or self.current_rates)
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Planner-level cache diagnostics (cost model + sweep solutions)."""
-        return self.planner.cache_stats()
+        """Planner-level cache diagnostics (cost model + sweep solutions).
+
+        When a planning service with speculation is attached, its
+        engine's counters appear under a ``"speculation"`` key.
+        """
+        stats = self.planner.cache_stats()
+        if self.speculation is not None:
+            stats["speculation"] = self.speculation.snapshot()
+        return stats

@@ -518,15 +518,78 @@ class ReplanEngine:
     # ------------------------------------------------------------------
     # Tier preparation: which pipelines change, and how
     # ------------------------------------------------------------------
+    def _touched_pipelines(self, pipelines: Sequence[Sequence[TPGroup]],
+                           touched_set: set,
+                           rates: Dict[int, float]) -> List[int]:
+        """Indices of pipelines hosting at least one touched GPU.
+
+        The scalar membership walk is the reference contract; with numpy
+        available and enough hosted members the pass collapses onto the
+        episode's :class:`~repro.core.costmodel.RateArray` index — one
+        boolean gather plus one ``np.logical_or.reduceat`` — with the
+        member-position gather memoized per (pipelines, index) on the
+        array's gather cache, mirroring
+        :func:`~repro.core.grouping.group_rates_batch`.
+        """
+        def scalar() -> List[int]:
+            return [
+                i for i, groups in enumerate(pipelines)
+                if any(g in touched_set
+                       for group in groups for g in group.gpu_ids)
+            ]
+
+        total = sum(group.size for groups in pipelines for group in groups)
+        if np is None or total < 64:
+            return scalar()
+        ra = self.planner.cost_model.rate_array(rates)
+        sizes = tuple(
+            sum(group.size for group in groups) for groups in pipelines
+        )
+        key = ("touched_pipelines", sizes, tuple(
+            id(group) for groups in pipelines for group in groups))
+        entry = ra.gather_cache.get(key)
+        if entry is None:
+            hosted = [i for i, groups in enumerate(pipelines) if groups]
+            members = np.asarray(
+                [g for i in hosted for group in pipelines[i]
+                 for g in group.gpu_ids],
+                dtype=np.int64,
+            )
+            positions = np.searchsorted(ra.ids, members)
+            in_index = np.minimum(positions, len(ra.ids) - 1)
+            if not np.array_equal(ra.ids[in_index], members):
+                # A hosted GPU is outside the rate index: keep the scalar
+                # contract rather than guess.
+                return scalar()
+            counts = [sizes[i] for i in hosted]
+            offsets = np.zeros(len(hosted), dtype=np.int64)
+            np.cumsum(np.asarray(counts[:-1], dtype=np.int64),
+                      out=offsets[1:])
+            pinned = tuple(
+                group for groups in pipelines for group in groups
+            )
+            if len(ra.gather_cache) >= 256:
+                ra.gather_cache.clear()
+            ra.gather_cache[key] = (pinned, positions, offsets, hosted)
+        else:
+            _, positions, offsets, hosted = entry
+        try:
+            rows = [ra.position[g] for g in touched_set]
+        except KeyError:
+            return scalar()
+        flags = np.zeros(len(ra.ids), dtype=bool)
+        flags[rows] = True
+        hit = np.logical_or.reduceat(flags[positions], offsets)
+        return [hosted[j] for j in np.flatnonzero(hit).tolist()]
+
     def _prepare_minor(self, previous: PlanContext, rates: Dict[int, float],
                        touched: Sequence[int]):
         """Minor shift: keep grouping and division, flag touched pipelines."""
         touched_set = set(touched)
         pipelines = [list(groups) for groups in previous.pipelines_groups]
-        touched_pipelines = [
-            i for i, groups in enumerate(pipelines)
-            if any(g in touched_set for group in groups for g in group.gpu_ids)
-        ]
+        touched_pipelines = self._touched_pipelines(
+            pipelines, touched_set, rates
+        )
         if not touched_pipelines:
             # Only GPUs outside every pipeline moved (and none crossed a
             # grouping boundary): the incumbent plan is untouched.
@@ -543,18 +606,20 @@ class ReplanEngine:
         cost_model = self.planner.cost_model
         b_ref = task.micro_batch_size
         touched_set = set(touched)
-        removed = {frozenset(g.gpu_ids) for g in delta.removed_groups}
+        removed = {g.id_set for g in delta.removed_groups}
 
         pipelines: List[List[TPGroup]] = []
         structure_touched: List[int] = []
-        rate_touched: List[int] = []
         for i, groups in enumerate(previous.pipelines_groups):
-            kept = [g for g in groups if frozenset(g.gpu_ids) not in removed]
+            kept = [g for g in groups if g.id_set not in removed]
             pipelines.append(kept)
             if len(kept) != len(groups):
                 structure_touched.append(i)
-            elif any(g in touched_set for group in kept for g in group.gpu_ids):
-                rate_touched.append(i)
+        structure_set = set(structure_touched)
+        rate_touched = [
+            i for i in self._touched_pipelines(pipelines, touched_set, rates)
+            if i not in structure_set
+        ]
         dp = len(pipelines)
         if not structure_touched:
             # Groups changed only among GPUs no pipeline hosts (e.g. a

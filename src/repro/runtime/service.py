@@ -12,9 +12,10 @@ failure-tolerant service:
 Every submission is reduced to a per-GPU delta against the service's
 latest observed view; deltas touching the same GPU supersede each other
 inside one queued entry (the disjointness invariant: each GPU appears in
-at most one entry, entries touching overlapping GPU sets are merged), a
-debounce window holds an entry back until its GPU stops flapping (with a
-hard age limit so a permanently-flapping GPU still gets repaired), and a
+at most one *open* entry, entries touching overlapping GPU sets are
+merged), a debounce window holds an entry back until its GPU stops
+flapping (with a hard age limit so a permanently-flapping GPU still gets
+repaired — an entry past the limit is sealed against further merges), and a
 bounded queue sheds backlog deterministically by merging its two oldest
 entries — shedding loses *entries*, never rates.  Failure deltas are
 urgent and bypass the debounce entirely.
@@ -55,6 +56,7 @@ from ..cluster.stragglers import ClusterState
 from ..simulator.session import Adjustment
 from .malleus import MalleusSystem
 from .replan import TIER_DEFERRED
+from .speculate import RepairHint, SpeculationEngine, SpeculationPolicy
 
 #: How an episode was allowed to plan (the degradation ladder, §-less).
 MODE_FULL = "full"
@@ -111,6 +113,30 @@ class ServiceConfig:
     ``ewma_alpha``
         Smoothing of the per-tier duration estimate that drives the
         degradation ladder (1.0 = trust only the latest episode).
+
+    Speculative pre-solving (see :mod:`repro.runtime.speculate`):
+
+    ``speculate``
+        Master switch: pre-solve likely next events during idle service
+        steps and serve matching real events from the speculation cache
+        (bit-identical to the on-demand repair, validated per claim).
+        Requires ``coalesce`` — speculation predicts *deltas*, which only
+        exist under coalescing admission.
+    ``speculate_top_k``
+        Pre-solve budget per idle step (also the deterministic stand-in
+        for the pool's idle capacity, so the exact-gated counters never
+        depend on the machine's worker count).
+    ``speculate_cache``
+        Cache capacity in pre-solved hints; the oldest entry is evicted
+        (and counted as wasted work) beyond it.
+    ``speculate_decay``
+        EWMA decay of the per-GPU degradation priors built from the
+        observed event stream (only used when no explicit
+        :class:`~repro.runtime.speculate.SpeculationPolicy` is supplied).
+    ``speculate_verify``
+        Belt-and-braces mode: re-solve every served hint on demand and
+        compare; a mismatch discards the hint (the fresh solve wins) and
+        is recorded on the engine.  Defeats the latency win — for tests.
     """
 
     coalesce: bool = False
@@ -123,6 +149,11 @@ class ServiceConfig:
     retry_backoff: float = 1.0
     backoff_factor: float = 2.0
     ewma_alpha: float = 0.5
+    speculate: bool = False
+    speculate_top_k: int = 4
+    speculate_cache: int = 16
+    speculate_decay: float = 0.5
+    speculate_verify: bool = False
 
     def __post_init__(self) -> None:
         if self.debounce_window < 0:
@@ -141,6 +172,16 @@ class ServiceConfig:
             raise ValueError("backoff_factor must be >= 1")
         if not 0.0 < self.ewma_alpha <= 1.0:
             raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.speculate and not self.coalesce:
+            raise ValueError("speculate requires coalesce (speculation "
+                             "predicts deltas, which only exist under "
+                             "coalescing admission)")
+        if self.speculate_top_k < 1:
+            raise ValueError("speculate_top_k must be >= 1")
+        if self.speculate_cache < 1:
+            raise ValueError("speculate_cache must be >= 1")
+        if not 0.0 < self.speculate_decay <= 1.0:
+            raise ValueError("speculate_decay must be in (0, 1]")
 
 
 @dataclass
@@ -212,6 +253,17 @@ class ServiceStats:
     overruns: int = 0
     tier_faults: int = 0
     faults: int = 0
+    #: Speculation (see repro.runtime.speculate): repairs pre-solved
+    #: during idle steps, pending predictions preempted by a real
+    #: submission, real events served from the cache, hints discarded
+    #: stale (plan/config changed or claim validation failed), pre-solved
+    #: work that was never served, and speculative solves that raised.
+    spec_presolves: int = 0
+    spec_cancelled: int = 0
+    spec_hits: int = 0
+    spec_stale: int = 0
+    spec_wasted: int = 0
+    spec_faults: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -230,15 +282,33 @@ class PlanningService:
     clock:
         Wall-clock source for planner budgets/latency measurement.
         Injectable so the fault harness can script deadline overruns.
+    speculation_policy:
+        Optional pre-seeded :class:`~repro.runtime.speculate.SpeculationPolicy`
+        (e.g. built with ``SpeculationPolicy.from_scenario``); only
+        consulted when ``config.speculate`` is on.  A default policy with
+        ``config.speculate_decay`` is built otherwise.
     """
 
     def __init__(self, system: MalleusSystem,
                  config: Optional[ServiceConfig] = None,
-                 clock: Callable[[], float] = time.perf_counter):
+                 clock: Callable[[], float] = time.perf_counter,
+                 speculation_policy: Optional[SpeculationPolicy] = None):
         self.system = system
         self.config = config or ServiceConfig()
         self.clock = clock
         self.stats = ServiceStats()
+        self.speculator: Optional[SpeculationEngine] = None
+        if self.config.speculate:
+            self.speculator = SpeculationEngine(
+                system, self.stats,
+                policy=speculation_policy or SpeculationPolicy(
+                    decay=self.config.speculate_decay),
+                top_k=self.config.speculate_top_k,
+                capacity=self.config.speculate_cache,
+                verify=self.config.speculate_verify,
+                clock=clock,
+            )
+            system.speculation = self.speculator
         self.records: List[ServiceRecord] = []
         self._queue: List[_PendingEvent] = []
         self._seq = 0
@@ -292,9 +362,26 @@ class PlanningService:
         self._seen.update(rates)
         if not delta:
             return
+        if self.speculator is not None:
+            # Feed the priors and preempt pending speculative work — a
+            # real event always wins the pool.
+            self.speculator.observe_submission(delta)
         urgent = any(math.isinf(rate) for rate in delta.values())
         touched = set(delta)
         overlapping = [e for e in self._queue if touched & set(e.delta)]
+        limit = self.config.debounce_limit
+        if limit > 0:
+            # An entry older than the hard age cap is already *due*: the
+            # very next pump is committed to processing it.  Merging a
+            # fresh burst into it would mutate that batch at the last
+            # instant (and grant the new delta a repair it has not aged
+            # into), so sealed entries stop accepting merges and the new
+            # delta opens its own entry.  The disjointness invariant is
+            # kept among *open* entries; a sealed entry always carries a
+            # lower seq, so it still processes first.
+            overlapping = [
+                e for e in overlapping if now - e.first_submit < limit
+            ]
         if overlapping:
             target = min(overlapping, key=lambda e: e.seq)
             for other in overlapping:
@@ -363,6 +450,18 @@ class PlanningService:
             if not self._eligible(entry, now):
                 continue
             produced.append(self._process(entry, now))
+        if self.speculator is not None and \
+                not any(self._eligible(e, now) for e in self._queue):
+            # The step is idle (nothing left to plan right now): spend it
+            # pre-solving likely next events.  Debounced entries still in
+            # the queue are the best predictions of all — their deltas
+            # (and flap-toggled variants) are what the next pumps will
+            # process.
+            self.speculator.idle_step([
+                dict(e.delta)
+                for e in sorted(self._queue, key=lambda e: e.seq)
+                if not e.urgent
+            ])
         return produced
 
     def drain(self, now: float = 0.0) -> List[ServiceRecord]:
@@ -445,6 +544,17 @@ class PlanningService:
         else:
             force = entry.attempts > 1
             began = self.clock()
+            hint: Optional[RepairHint] = None
+            if self.speculator is not None and mode == MODE_FULL \
+                    and entry.state is None:
+                # Degraded (rebalance-only) episodes never claim: hints
+                # are pre-solved with the full engine, and the claim's
+                # input validation would reject the mismatch anyway.
+                # Inside the timed window — the cache lookup is part of
+                # the event's true latency.
+                hint = self.speculator.hint_for(state.rate_map())
+            if hint is not None:
+                self.system._repair_hint = hint
             try:
                 adjustment = self.system.on_situation_change(
                     state, rebalance_only=(mode == MODE_REBALANCE_ONLY),
@@ -461,7 +571,11 @@ class PlanningService:
                     tier_errors=[f"episode raised: {exc!r}"],
                     description=f"planning episode raised: {exc!r}",
                 )
+            finally:
+                self.system._repair_hint = None
             latency = max(0.0, self.clock() - began)
+            if hint is not None:
+                self.speculator.note_outcome(hint)
             self._observe_duration(mode, latency)
             deadline = self.config.deadline
             overrun = deadline > 0 and latency > deadline

@@ -1,0 +1,539 @@
+"""Speculative repair: idle-step pre-solving of likely next events.
+
+The PR-6 :class:`~repro.runtime.service.PlanningService` made planning a
+long-lived service, but every event still pays its full solve *after* it
+arrives.  Production straggler streams are predictable enough to do
+better: the same GPU flaps between the same two rates for minutes, a
+recovered thermal throttler relapses, and the service's own debounced
+queue literally holds the deltas it is about to process.  This module
+pre-solves those likely next events during idle service steps so a real
+event that matches a prediction is served in microseconds-to-low-ms by
+*materializing* the stored winner instead of re-solving.
+
+Three pieces:
+
+:class:`SpeculationPolicy`
+    Per-GPU degradation priors fed by the observed event stream (every
+    admitted delta) and optionally seeded from the generative scenario
+    processes (:func:`~repro.cluster.scenarios.degradation_priors`).
+    ``predict`` ranks candidate next deltas: the queued entries
+    themselves, per-GPU *toggled* variants of them (a flapping GPU's
+    next submission flips the rate the queue currently holds — the
+    debounce limit processes such entries the same tick their delta
+    flips, so only the toggled prediction can hit), and prior-driven
+    single-GPU recovery/relapse deltas.
+
+:class:`RepairHint`
+    One pre-solved repair, keyed on the canonicalized delta against the
+    rates it was solved from and anchored to the *identity* of the
+    incumbent :class:`~repro.core.planner.PlanContext` plus the cost
+    model's config fingerprint.  ``claim`` re-validates every input of
+    the solve — same context object, same full rate map, same ``dp``
+    constraint, same ``rebalance_only`` flag, same config — so a served
+    hint is *by construction* the same
+    :class:`~repro.runtime.replan.ReplanEngine` call the on-demand
+    repair would have made (the engine is deterministic in those inputs;
+    the PR-5 warm-cache contract guarantees cache state only changes
+    speed, never the chosen plan).  Anything less than full validation
+    discards the hint and the event solves normally.
+
+:class:`SpeculationEngine`
+    The cache + scheduler: invalidates stale hints on every applied plan
+    or config change, regenerates predictions from the current incumbent
+    and the service queue, pre-solves up to ``top_k`` per idle step, and
+    hands hints to the service's episode path.  Real submissions preempt
+    the speculative queue (pending predictions are cancelled, never a
+    real event's solve).
+
+Everything here is driven by the service's deterministic sim clock and
+counts integer events only, so the speculative arm of the service-latency
+benchmark gates bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Canonical delta: sorted ``(gpu, rate)`` pairs that differ from a base.
+DeltaKey = Tuple[Tuple[int, float], ...]
+
+SOURCE_QUEUED = "queued"
+SOURCE_ADVANCE = "advance"
+SOURCE_TOGGLE = "toggle"
+SOURCE_RECOVERY = "recovery"
+SOURCE_RELAPSE = "relapse"
+
+
+def canonical_delta(base: Dict[int, float],
+                    rates: Dict[int, float]) -> DeltaKey:
+    """Canonical per-GPU delta of ``rates`` against ``base``.
+
+    Only GPUs whose rate actually differs appear (a flap back to the base
+    rate cancels out), sorted by GPU id so equal effective deltas compare
+    equal regardless of submission order.  A GPU present in ``base`` but
+    missing from ``rates`` is a membership change; it is encoded as an
+    infinite entry so such keys can never match a speculative prediction
+    (predictions never carry infinities).
+    """
+    items = [
+        (gpu, rate) for gpu, rate in rates.items()
+        if base.get(gpu) != rate
+    ]
+    for gpu in base:
+        if gpu not in rates:
+            items.append((gpu, math.inf))
+    items.sort()
+    return tuple(items)
+
+
+def outcomes_equal(a, b) -> bool:
+    """Bit-identity of two :class:`~repro.runtime.replan.RepairOutcome`\\ s.
+
+    Used by the opt-in verify mode: the served outcome must match a fresh
+    on-demand repair in kind, tier, feasibility, chosen plan (structural
+    dataclass equality, which bottoms out in exact float compares) and
+    estimated step time.
+    """
+    if (a.event_kind, a.repair_tier) != (b.event_kind, b.repair_tier):
+        return False
+    ra, rb = a.result, b.result
+    if ra is None or rb is None:
+        return ra is rb
+    if ra.feasible != rb.feasible:
+        return False
+    if ra.plan is None or rb.plan is None:
+        return ra.plan is rb.plan
+    return (
+        ra.plan == rb.plan
+        and ra.estimated_step_time == rb.estimated_step_time
+    )
+
+
+@dataclass
+class GpuPrior:
+    """Degradation history of one GPU (fed by the admitted delta stream)."""
+
+    #: Recency-decayed event mass (EWMA bump per observed delta).
+    weight: float = 0.0
+    #: Raw deltas observed for this GPU.
+    events: int = 0
+    #: Healthy <-> degraded direction changes (flap evidence).
+    flips: int = 0
+    #: Last finite degraded rate seen (> 1), for relapse/toggle guesses.
+    last_degraded: Optional[float] = None
+    #: "healthy" / "degraded" / "failed" — last observed direction.
+    last_direction: str = ""
+    #: Most recently observed rate (transition-map bookkeeping).
+    last_rate: Optional[float] = None
+    #: The distinct rate observed before :attr:`last_rate` — a flapping
+    #: GPU's next rate is usually the one it just left.
+    prev_rate: Optional[float] = None
+    #: Observed rate transitions: rate -> {next rate -> count}.  A
+    #: flapping GPU's stream is near-deterministic here (1.9 -> 1.0 ->
+    #: 1.9 -> ...), including flaps between two *degraded* rates that a
+    #: plain healthy/degraded toggle cannot express.
+    successors: Dict[float, Dict[float, int]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One ranked candidate next event."""
+
+    key: DeltaKey
+    score: float
+    source: str
+
+
+class SpeculationPolicy:
+    """Ranks likely next events from priors + the live service queue.
+
+    ``recovery_bias`` / ``relapse_bias`` scale the prior-driven guesses;
+    :meth:`from_scenario` seeds them from a generative scenario config's
+    process mix (:func:`~repro.cluster.scenarios.degradation_priors`).
+    All ranking is deterministic: candidates sort by ``(-score, key)``.
+    """
+
+    def __init__(self, decay: float = 0.5, recovery_bias: float = 1.0,
+                 relapse_bias: float = 1.0):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = decay
+        self.recovery_bias = recovery_bias
+        self.relapse_bias = relapse_bias
+        self.priors: Dict[int, GpuPrior] = {}
+
+    @classmethod
+    def from_scenario(cls, config, decay: float = 0.5) -> "SpeculationPolicy":
+        """Seed the recovery/relapse biases from a scenario's process mix."""
+        from ..cluster.scenarios import degradation_priors
+
+        priors = degradation_priors(config)
+        return cls(
+            decay=decay,
+            recovery_bias=priors["recovery_bias"],
+            relapse_bias=priors["relapse_bias"],
+        )
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+    def observe(self, delta: Dict[int, float]) -> None:
+        """Fold one admitted per-GPU delta into the priors."""
+        for gpu, rate in delta.items():
+            prior = self.priors.setdefault(gpu, GpuPrior())
+            prior.events += 1
+            prior.weight = prior.weight * self.decay + 1.0
+            if math.isinf(rate):
+                prior.last_direction = "failed"
+                prior.last_rate = None
+                prior.prev_rate = None
+                continue
+            if prior.last_rate is not None and prior.last_rate != rate:
+                nexts = prior.successors.setdefault(prior.last_rate, {})
+                nexts[rate] = nexts.get(rate, 0) + 1
+                prior.prev_rate = prior.last_rate
+            prior.last_rate = rate
+            direction = "degraded" if rate > 1.0 else "healthy"
+            if rate > 1.0:
+                prior.last_degraded = rate
+            if prior.last_direction in ("healthy", "degraded") \
+                    and direction != prior.last_direction:
+                prior.flips += 1
+            prior.last_direction = direction
+
+    def toggle(self, gpu: int, rate: float) -> Optional[float]:
+        """The flap counterpart of ``rate`` for this GPU, if known."""
+        if rate > 1.0:
+            return 1.0
+        prior = self.priors.get(gpu)
+        return prior.last_degraded if prior is not None else None
+
+    def predicted_next(self, gpu: int, rate: float) -> Optional[float]:
+        """Most likely next rate of this GPU given it currently runs at
+        ``rate``: the most frequent observed successor (ties broken by
+        the smaller rate, deterministically), falling back to the
+        healthy/degraded toggle when no transition was ever recorded."""
+        prior = self.priors.get(gpu)
+        if prior is not None:
+            nexts = prior.successors.get(rate)
+            if nexts:
+                return min(nexts.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+            if prior.prev_rate is not None and prior.prev_rate != rate:
+                # No transition out of this rate ever observed (first
+                # visit): a flapper most likely bounces back to the rate
+                # it just left.
+                return prior.prev_rate
+        return self.toggle(gpu, rate)
+
+    # ------------------------------------------------------------------
+    # Ranking
+    # ------------------------------------------------------------------
+    def predict(self, base: Dict[int, float],
+                queued_deltas: Sequence[Dict[int, float]],
+                limit: int) -> List[Prediction]:
+        """Top-``limit`` candidate next deltas against ``base``.
+
+        Queued entries score highest (they *will* be processed), their
+        toggled flap variants next, prior-driven recovery/relapse guesses
+        last (scaled by the decayed per-GPU weight and the scenario
+        biases).  Deltas carrying infinities never qualify — failures
+        bypass the repair engine entirely.
+        """
+        candidates: Dict[DeltaKey, Prediction] = {}
+
+        def consider(delta: Dict[int, float], score: float,
+                     source: str) -> None:
+            if any(math.isinf(rate) for rate in delta.values()):
+                return
+            merged = dict(base)
+            merged.update(delta)
+            key = canonical_delta(base, merged)
+            if not key:
+                return
+            best = candidates.get(key)
+            if best is None or score > best.score:
+                candidates[key] = Prediction(key=key, score=score,
+                                             source=source)
+
+        for delta in queued_deltas:
+            consider(delta, 100.0, SOURCE_QUEUED)
+            # Advance variant: every GPU in the delta steps to its most
+            # likely next rate *simultaneously*.  Generated flap processes
+            # share epoch parity, so co-flapping GPUs flip together — the
+            # debounce limit then processes the entry the same tick its
+            # delta flips, and only this variant can hit.
+            advanced = {}
+            for gpu, rate in delta.items():
+                nxt = None if math.isinf(rate) \
+                    else self.predicted_next(gpu, rate)
+                advanced[gpu] = rate if nxt is None else nxt
+            consider(advanced, 95.0, SOURCE_ADVANCE)
+            for gpu, rate in sorted(delta.items()):
+                if math.isinf(rate):
+                    continue
+                flipped = self.predicted_next(gpu, rate)
+                if flipped is None or flipped == rate:
+                    continue
+                variant = dict(delta)
+                variant[gpu] = flipped
+                consider(variant, 90.0, SOURCE_TOGGLE)
+        for gpu, prior in sorted(self.priors.items()):
+            if prior.last_direction == "failed" or prior.weight <= 0.0:
+                continue
+            current = base.get(gpu)
+            if current is None:
+                continue
+            if current > 1.0 and not math.isinf(current):
+                consider({gpu: 1.0}, self.recovery_bias * prior.weight,
+                         SOURCE_RECOVERY)
+            elif current == 1.0 and prior.last_degraded is not None:
+                consider({gpu: prior.last_degraded},
+                         self.relapse_bias * prior.weight, SOURCE_RELAPSE)
+        ordered = sorted(candidates.values(),
+                         key=lambda p: (-p.score, p.key))
+        return ordered[:limit]
+
+
+@dataclass
+class RepairHint:
+    """One pre-solved repair awaiting (or past) its matching real event."""
+
+    key: DeltaKey
+    #: Identity anchor: the incumbent PlanContext the repair was solved
+    #: against.  Compared with ``is`` — any applied plan replaces the
+    #: context object, which is exactly the staleness signal.
+    context: object
+    #: The full rate map the repair was solved from.
+    rates: Dict[int, float]
+    dp: Optional[int]
+    rebalance_only: bool
+    config_fingerprint: tuple
+    #: The stored :class:`~repro.runtime.replan.RepairOutcome` winner.
+    outcome: object
+    #: Pre-computed migration downtime charge for the repaired plan
+    #: (``None`` when the repair keeps the incumbent plan).  A pure
+    #: function of the incumbent plan (pinned by :attr:`context`), the
+    #: repaired plan and :attr:`rates`, so a served hit reuses it instead
+    #: of paying the migration diff on the event's critical path.
+    charge: object = None
+    presolve_seconds: float = 0.0
+    verify: bool = False
+    source: str = ""
+    score: float = 0.0
+    served: bool = False
+    discarded: str = ""
+
+    def claim(self, context, rates: Dict[int, float], dp: Optional[int],
+              rebalance_only: bool, cost_model) -> bool:
+        """Validate every input of the solve; serve only on exact match.
+
+        This is the bit-identity contract: a claim succeeds exactly when
+        the on-demand call ``repair(context, rates, dp, rebalance_only)``
+        the caller is about to make has the same inputs as the
+        speculative call that produced :attr:`outcome` — the engine is
+        deterministic in those inputs, so serving the stored outcome *is*
+        the on-demand repair, minus the solve latency.
+        """
+        if context is not self.context:
+            self.discarded = "incumbent context changed"
+        elif dp != self.dp:
+            self.discarded = "dp constraint changed"
+        elif rebalance_only != self.rebalance_only:
+            self.discarded = "rebalance_only mismatch"
+        elif cost_model.config_fingerprint() != self.config_fingerprint:
+            self.discarded = "cost-model config changed"
+        elif rates != self.rates:
+            self.discarded = "rates mismatch"
+        else:
+            self.served = True
+            return True
+        return False
+
+
+class SpeculationEngine:
+    """Speculation cache + idle-step scheduler for one wrapped system.
+
+    Owned by the :class:`~repro.runtime.service.PlanningService`; shares
+    its :class:`~repro.runtime.service.ServiceStats` so the counters land
+    in the same exact-gated dict as the rest of the service telemetry.
+    """
+
+    def __init__(self, system, stats, policy: Optional[SpeculationPolicy]
+                 = None, top_k: int = 4, capacity: int = 16,
+                 verify: bool = False,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.system = system
+        self.stats = stats
+        self.policy = policy or SpeculationPolicy()
+        self.top_k = top_k
+        self.capacity = capacity
+        self.verify = verify
+        self.clock = clock
+        #: Wall seconds spent pre-solving (off the event critical path).
+        self.presolve_seconds = 0.0
+        #: Keys whose served outcome failed the opt-in verify re-solve.
+        self.verify_failures: List[DeltaKey] = []
+        self._cache: Dict[DeltaKey, RepairHint] = {}
+        self._pending: List[Prediction] = []
+
+    # ------------------------------------------------------------------
+    # Event-stream hooks
+    # ------------------------------------------------------------------
+    def observe_submission(self, delta: Dict[int, float]) -> None:
+        """A real submission arrived: learn from it, preempt speculation."""
+        self.policy.observe(delta)
+        if self._pending:
+            self.stats.spec_cancelled += len(self._pending)
+            self._pending = []
+
+    def invalidate_stale(self) -> None:
+        """Drop hints solved against a superseded incumbent or config."""
+        context = self.system.plan_context
+        fingerprint = self.system.cost_model.config_fingerprint()
+        stale = [
+            key for key, hint in self._cache.items()
+            if hint.context is not context
+            or hint.config_fingerprint != fingerprint
+        ]
+        for key in stale:
+            del self._cache[key]
+            self.stats.spec_stale += 1
+            self.stats.spec_wasted += 1
+
+    # ------------------------------------------------------------------
+    # Idle pre-solving
+    # ------------------------------------------------------------------
+    def idle_step(self, queued_deltas: Sequence[Dict[int, float]]) -> int:
+        """One idle service step: refresh predictions, pre-solve a few.
+
+        At most ``top_k`` repairs are solved per call (an idle step must
+        stay short — the next pump may carry a real event); predictions
+        beyond the budget stay pending and are cancelled by the next real
+        submission.  Returns the number of pre-solves issued.
+        """
+        system = self.system
+        if not system.incremental or system.plan_context is None:
+            return 0
+        self.invalidate_stale()
+        base = system.current_rates
+        predictions = self.policy.predict(
+            base, queued_deltas, limit=max(self.capacity, self.top_k),
+        )
+        fresh = [p for p in predictions if p.key not in self._cache]
+        solved = 0
+        for prediction in fresh:
+            if solved >= self.top_k:
+                break
+            solved += 1
+            hint = self._presolve(prediction, base)
+            if hint is not None:
+                self._store(hint)
+        self._pending = fresh[solved:]
+        return solved
+
+    def _presolve(self, prediction: Prediction,
+                  base: Dict[int, float]) -> Optional[RepairHint]:
+        system = self.system
+        rates = dict(base)
+        rates.update(dict(prediction.key))
+        dp = system._dp_degree if system.keep_dp_degree else None
+        context = system.plan_context
+        fingerprint = system.cost_model.config_fingerprint()
+        self.stats.spec_presolves += 1
+        began = self.clock()
+        try:
+            outcome = system.replan_engine.repair(
+                context, rates, dp=dp, rebalance_only=False,
+            )
+        except Exception:
+            # A speculative solve is allowed to die (injected fault,
+            # solver bug): no real event depends on it yet, so the only
+            # effect is a counter — never a lost or corrupted plan.
+            self.stats.spec_faults += 1
+            return None
+        charge = self._precompute_charge(outcome, rates)
+        seconds = max(0.0, self.clock() - began)
+        self.presolve_seconds += seconds
+        return RepairHint(
+            key=prediction.key, context=context, rates=rates, dp=dp,
+            rebalance_only=False, config_fingerprint=fingerprint,
+            outcome=outcome, charge=charge, presolve_seconds=seconds,
+            verify=self.verify, source=prediction.source,
+            score=prediction.score,
+        )
+
+    def _precompute_charge(self, outcome, rates: Dict[int, float]):
+        """Migration charge of the pre-solved plan, when it would migrate.
+
+        Mirrors the plan-changed predicate of ``on_situation_change``
+        exactly; the charge itself comes from the system's own
+        ``migration_charge`` so serving reuses the identical pure
+        computation.
+        """
+        system = self.system
+        result = getattr(outcome, "result", None)
+        if result is None or not result.feasible or result.plan is None \
+                or system.plan is None:
+            return None
+        plan = system.plan
+        changed = (
+            result.plan.stage_shape() != plan.stage_shape()
+            or result.plan.micro_batches() != plan.micro_batches()
+            or result.plan.active_gpus != plan.active_gpus
+        )
+        if not changed:
+            return None
+        try:
+            return system.migration_charge(result.plan, rates)
+        except Exception:
+            # Charge pre-computation is an optimisation only: the served
+            # episode recomputes it when missing.
+            self.stats.spec_faults += 1
+            return None
+
+    def _store(self, hint: RepairHint) -> None:
+        self._cache[hint.key] = hint
+        while len(self._cache) > self.capacity:
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+            self.stats.spec_wasted += 1
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def hint_for(self, rates: Dict[int, float]) -> Optional[RepairHint]:
+        """Pop the hint matching ``rates``'s effective delta, if cached."""
+        key = canonical_delta(self.system.current_rates, rates)
+        if not key:
+            return None
+        return self._cache.pop(key, None)
+
+    def note_outcome(self, hint: RepairHint) -> None:
+        """Account for a popped hint after its episode ran."""
+        if hint.served:
+            self.stats.spec_hits += 1
+        else:
+            self.stats.spec_stale += 1
+            self.stats.spec_wasted += 1
+            if hint.discarded == "verify mismatch":
+                self.verify_failures.append(hint.key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Deterministic integer counters (safe to gate exactly)."""
+        return {
+            "cached": len(self._cache),
+            "pending": len(self._pending),
+            "presolves": self.stats.spec_presolves,
+            "cancelled": self.stats.spec_cancelled,
+            "hits": self.stats.spec_hits,
+            "stale": self.stats.spec_stale,
+            "wasted": self.stats.spec_wasted,
+            "faults": self.stats.spec_faults,
+            "verify_failures": len(self.verify_failures),
+        }

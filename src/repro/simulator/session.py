@@ -49,6 +49,11 @@ class Adjustment:
     #: :class:`repro.core.sweep.SweepStats`); ``None`` for frameworks
     #: without the sweep engine or when no sweep ran.
     sweep_stats: Optional[Dict[str, object]] = None
+    #: True when the repair was served from the planning service's
+    #: speculation cache (pre-solved during an idle step): the plan is
+    #: bit-identical to the on-demand repair, only the solve latency
+    #: left the event's critical path.
+    speculative: bool = False
 
 
 class TrainingFramework(Protocol):

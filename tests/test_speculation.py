@@ -1,0 +1,419 @@
+"""Speculative repair correctness (PR 8).
+
+The contracts under test:
+
+* **bit identity** — a speculation hit serves a plan bit-identical to
+  what the on-demand repair of the same event would have produced
+  (checked three ways: structural plan equality against a plain-service
+  twin driven through the identical storm, the opt-in
+  ``speculate_verify`` re-solve, and property-based random flap traces);
+* **staleness** — every applied plan invalidates hints solved against
+  the superseded incumbent: a stale hint is never served, the event
+  solves normally, and the discard is counted;
+* **fault isolation** — a speculative solve that dies (injected planner
+  exception, corrupted warm cache, a full fault-injection storm) never
+  loses or corrupts a real event's plan; the only trace is a counter.
+
+Rides along: the PR-8 satellite contracts for the cached
+``TPGroup.sorted_ids``/``id_set`` derivations and the vectorized
+``ReplanEngine._touched_pipelines`` membership pass (numpy backend vs
+the scalar python reference).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.stragglers import ClusterState
+from repro.cluster.topology import make_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.models.spec import TrainingTask, TransformerModelSpec
+from repro.runtime.malleus import MalleusSystem
+from repro.runtime.service import PlanningService, ServiceConfig
+from repro.runtime.speculate import (
+    SpeculationPolicy,
+    canonical_delta,
+)
+from repro.testing.faults import (
+    FaultInjector,
+    FaultSchedule,
+    corrupt_solution_cache,
+    storm_states,
+)
+
+pytestmark = [pytest.mark.service, pytest.mark.speculative]
+
+REPAIR_KINDS = ("migrate", "replan", "restart")
+
+
+def tiny_workload():
+    model = TransformerModelSpec(
+        name="tiny", num_layers=8, hidden_size=1024, ffn_hidden_size=2816,
+        num_attention_heads=16, num_kv_heads=16, vocab_size=32000,
+        seq_length=512,
+    )
+    task = TrainingTask(model=model, global_batch_size=32, micro_batch_size=1)
+    cluster = make_cluster(num_nodes=2, gpus_per_node=8, memory_gib=16.0,
+                           peak_tflops=100.0, name="tiny-spec")
+    return task, cluster
+
+
+def fresh_system():
+    task, cluster = tiny_workload()
+    system = MalleusSystem(task, cluster,
+                           MalleusCostModel(task.model, cluster))
+    system.setup(healthy_state(cluster))
+    return system
+
+
+def healthy_state(cluster, overrides=None):
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates.update(overrides or {})
+    return ClusterState(cluster, rates)
+
+
+def spec_config(**overrides):
+    kwargs = dict(coalesce=True, debounce_window=2.0, debounce_limit=6.0,
+                  speculate=True)
+    kwargs.update(overrides)
+    return ServiceConfig(**kwargs)
+
+
+def drive(service, states, tail=32):
+    """The benchmark's always-on loop: per-tick submit+pump, idle tail."""
+    for index, state in enumerate(states):
+        service.submit(state, now=float(index))
+        service.pump(now=float(index))
+    tick = len(states)
+    while service.pending and tick < len(states) + tail:
+        service.pump(now=float(tick))
+        tick += 1
+    service.drain(now=float(tick))
+
+
+def flap_states(cluster, gpu, degraded=2.0, ticks=10):
+    """One GPU flapping healthy <-> degraded every tick."""
+    return [
+        healthy_state(cluster,
+                      {gpu: degraded} if index % 2 else None)
+        for index in range(ticks)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Canonical delta keys
+# ----------------------------------------------------------------------
+class TestCanonicalDelta:
+    @given(
+        base=st.dictionaries(st.integers(0, 15),
+                             st.sampled_from([1.0, 1.5, 2.0, 4.0]),
+                             max_size=8),
+        rates=st.dictionaries(st.integers(0, 15),
+                              st.sampled_from([1.0, 1.5, 2.0, 4.0]),
+                              max_size=8),
+    )
+    def test_key_is_canonical(self, base, rates):
+        key = canonical_delta(base, rates)
+        assert list(key) == sorted(key)
+        as_map = dict(key)
+        # Exactly the differing GPUs appear; missing-from-rates GPUs are
+        # encoded as infinities (membership change, never predictable).
+        for gpu, rate in rates.items():
+            if base.get(gpu) != rate:
+                assert as_map[gpu] == rate
+            else:
+                assert gpu not in as_map
+        for gpu in base:
+            if gpu not in rates:
+                assert math.isinf(as_map[gpu])
+
+    @given(
+        base=st.dictionaries(st.integers(0, 15),
+                             st.sampled_from([1.0, 2.0]), max_size=8),
+        rates=st.lists(
+            st.tuples(st.integers(0, 15), st.sampled_from([1.0, 2.0])),
+            max_size=8),
+    )
+    def test_key_ignores_insertion_order(self, base, rates):
+        forward = dict(rates)
+        backward = dict(reversed(rates))
+        if forward != backward:  # later duplicates supersede differently
+            return
+        assert canonical_delta(base, forward) == \
+            canonical_delta(base, backward)
+
+
+# ----------------------------------------------------------------------
+# (a) Hits are bit-identical to the on-demand repair
+# ----------------------------------------------------------------------
+class TestHitBitIdentity:
+    def test_flap_hit_matches_plain_service_twin(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        states = flap_states(cluster, gpu)
+
+        plain = fresh_system()
+        plain_service = PlanningService(plain,
+                                        spec_config(speculate=False))
+        drive(plain_service, states)
+
+        spec = fresh_system()
+        spec_service = PlanningService(spec, spec_config())
+        drive(spec_service, states)
+
+        served = [
+            r for r in spec_service.records
+            if r.adjustment.kind in REPAIR_KINDS and r.adjustment.speculative
+        ]
+        assert served, "the flap storm must produce at least one hit"
+        assert spec_service.stats.spec_hits == len(served)
+        # Identical storm, identical episode sequence: the speculative
+        # twin's final plan must be bit-identical (dataclass equality
+        # bottoms out in exact float compares).
+        assert spec.plan == plain.plan
+        assert spec.plan.estimated_step_time == \
+            plain.plan.estimated_step_time
+
+    def test_verify_mode_confirms_every_hit(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        system = fresh_system()
+        service = PlanningService(system,
+                                  spec_config(speculate_verify=True))
+        drive(service, flap_states(cluster, gpu))
+        assert service.stats.spec_hits > 0
+        # Verify mode re-solves every served hint on demand and compares:
+        # any divergence would be recorded (and the fresh solve would win).
+        assert service.speculator.verify_failures == []
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        degraded=st.sampled_from([1.5, 2.0, 3.0]),
+        period=st.integers(1, 2),
+        ticks=st.integers(6, 12),
+    )
+    def test_random_flap_traces_stay_bit_identical(self, degraded, period,
+                                                   ticks):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[-1]
+        states = [
+            healthy_state(
+                cluster,
+                {gpu: degraded} if (index // period) % 2 else None)
+            for index in range(ticks)
+        ]
+
+        plain = fresh_system()
+        drive(PlanningService(plain, spec_config(speculate=False)), states)
+
+        spec = fresh_system()
+        service = PlanningService(spec, spec_config())
+        drive(service, states)
+
+        assert spec.plan == plain.plan
+        stats = service.stats
+        assert stats.spec_hits <= stats.spec_presolves
+        assert stats.spec_wasted >= stats.spec_stale
+
+
+# ----------------------------------------------------------------------
+# (b) Applied plans invalidate stale hints
+# ----------------------------------------------------------------------
+class TestStaleInvalidation:
+    def test_stale_hint_is_discarded_and_event_solves_normally(self):
+        task, cluster = tiny_workload()
+        gpu_a, gpu_b = cluster.gpu_ids()[0], cluster.gpu_ids()[8]
+        system = fresh_system()
+        service = PlanningService(system, spec_config())
+        # Two disjoint entries debounce while the idle steps pre-solve
+        # both queued deltas against the *same* incumbent context.
+        service.submit(healthy_state(cluster, {gpu_a: 2.0}), now=0.0)
+        service.pump(now=0.0)
+        service.submit(healthy_state(cluster, {gpu_a: 2.0, gpu_b: 3.0}),
+                       now=1.0)
+        service.pump(now=1.0)
+        assert service.speculator.snapshot()["cached"] >= 2
+        # t=3: both entries pass the debounce window.  The first episode
+        # applies a new plan, which makes the second entry's hint stale —
+        # its claim must fail on context identity and the event must
+        # solve normally.
+        records = service.pump(now=3.0)
+        assert len(records) == 2
+        stats = service.stats
+        assert stats.spec_hits == 1
+        assert stats.spec_stale >= 1
+        kinds = [r.adjustment.kind for r in records]
+        assert all(k in REPAIR_KINDS for k in kinds)
+        # Only the first episode may be speculative.
+        assert records[0].adjustment.speculative
+        assert not records[1].adjustment.speculative
+
+        # The normally-solved second event is bit-identical to a direct
+        # replay of the same two coalesced states.
+        replay = fresh_system()
+        replay.on_situation_change(healthy_state(cluster, {gpu_a: 2.0}))
+        replay.on_situation_change(
+            healthy_state(cluster, {gpu_a: 2.0, gpu_b: 3.0}))
+        assert system.plan == replay.plan
+
+    def test_invalidation_counts_every_superseded_hint(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        system = fresh_system()
+        service = PlanningService(system, spec_config())
+        service.submit(healthy_state(cluster, {gpu: 2.0}), now=0.0)
+        service.pump(now=0.0)  # idle: pre-solves the queued delta
+        engine = service.speculator
+        assert engine.snapshot()["cached"] >= 1
+        # Apply a plan behind the speculator's back (config/plan change).
+        system.on_situation_change(healthy_state(cluster, {gpu: 4.0}))
+        engine.invalidate_stale()
+        snapshot = engine.snapshot()
+        assert snapshot["cached"] == 0
+        assert snapshot["stale"] >= 1
+        assert snapshot["wasted"] >= snapshot["stale"]
+
+
+# ----------------------------------------------------------------------
+# (c) Faults during speculation never touch a real event's plan
+# ----------------------------------------------------------------------
+class TestFaultIsolation:
+    def test_presolve_exception_is_contained(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        system = fresh_system()
+        service = PlanningService(system, spec_config())
+        engine = service.speculator
+
+        real_repair = system.replan_engine.repair
+        state = {"poison": True}
+
+        def flaky_repair(*args, **kwargs):
+            if state["poison"]:
+                raise RuntimeError("injected speculative-solve fault")
+            return real_repair(*args, **kwargs)
+
+        system.replan_engine.repair = flaky_repair
+        try:
+            # Every idle pre-solve dies; the service must shrug.
+            service.submit(healthy_state(cluster, {gpu: 2.0}), now=0.0)
+            service.pump(now=0.0)
+            assert service.stats.spec_faults > 0
+            assert engine.snapshot()["cached"] == 0
+            # The real event solves on a healthy engine, unaffected.
+            state["poison"] = False
+            records = service.pump(now=3.0)
+        finally:
+            system.replan_engine.repair = real_repair
+        assert len(records) == 1
+        assert records[0].adjustment.kind in REPAIR_KINDS
+        assert not records[0].adjustment.speculative
+
+        replay = fresh_system()
+        replay.on_situation_change(healthy_state(cluster, {gpu: 2.0}))
+        assert system.plan == replay.plan
+
+    def test_cache_corruption_between_presolve_and_serve(self):
+        task, cluster = tiny_workload()
+        gpu = cluster.gpu_ids()[0]
+        states = flap_states(cluster, gpu)
+
+        plain = fresh_system()
+        drive(PlanningService(plain, spec_config(speculate=False)), states)
+
+        spec = fresh_system()
+        service = PlanningService(spec, spec_config())
+        for index, state in enumerate(states):
+            service.submit(state, now=float(index))
+            # Damage the warm solution cache after every pump: pre-solved
+            # hints must stay valid (they store the outcome, not cache
+            # pointers) and fresh solves must degrade to cold misses with
+            # identical plans.
+            service.pump(now=float(index))
+            corrupt_solution_cache(spec.planner.solution_cache)
+        tick = len(states)
+        while service.pending and tick < len(states) + 32:
+            service.pump(now=float(tick))
+            corrupt_solution_cache(spec.planner.solution_cache)
+            tick += 1
+        service.drain(now=float(tick))
+
+        assert service.stats.spec_hits > 0
+        assert spec.plan == plain.plan
+
+    def test_fault_injection_storm_never_loses_an_event(self):
+        task, cluster = tiny_workload()
+        states = storm_states(cluster, "flapping", seed=3)
+        system = fresh_system()
+        service = PlanningService(system, spec_config())
+        schedule = FaultSchedule.random(seed=7, episodes=12)
+        with FaultInjector(service, schedule):
+            drive(service, states[1:])
+        assert service.pending == 0
+        settled = service.stats.repairs + service.stats.no_ops
+        assert service.stats.episodes >= settled
+        # Planner exceptions defer-and-retry; nothing propagates and the
+        # system still holds a live plan.
+        assert system.plan is not None
+
+
+# ----------------------------------------------------------------------
+# Satellite contracts riding along
+# ----------------------------------------------------------------------
+class TestSatelliteDerivedIdCaches:
+    def test_tpgroup_id_caches_are_derived_and_cached(self):
+        system = fresh_system()
+        groups = [g for pipe in system.plan_context.pipelines_groups
+                  for g in pipe]
+        assert groups
+        for group in groups:
+            assert group.sorted_ids == tuple(sorted(group.gpu_ids))
+            assert group.id_set == frozenset(group.gpu_ids)
+            # functools.cached_property: second access returns the same
+            # object (no re-materialization per call site).
+            assert group.sorted_ids is group.sorted_ids
+            assert group.id_set is group.id_set
+
+
+class TestSatelliteTouchedPipelinesVectorized:
+    @pytest.fixture(scope="class")
+    def big_system(self):
+        model = TransformerModelSpec(
+            name="tiny64", num_layers=8, hidden_size=1024,
+            ffn_hidden_size=2816, num_attention_heads=16, num_kv_heads=16,
+            vocab_size=32000, seq_length=512,
+        )
+        task = TrainingTask(model=model, global_batch_size=64,
+                            micro_batch_size=1)
+        cluster = make_cluster(num_nodes=8, gpus_per_node=8,
+                               memory_gib=16.0, peak_tflops=100.0,
+                               name="tiny-spec-64")
+        system = MalleusSystem(task, cluster,
+                               MalleusCostModel(task.model, cluster))
+        rates = {g: 1.0 for g in cluster.gpu_ids()}
+        system.setup(ClusterState(cluster, rates))
+        return system
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_matches_scalar_reference(self, big_system, data):
+        system = big_system
+        engine = system.replan_engine
+        pipelines = [list(groups)
+                     for groups in system.plan_context.pipelines_groups]
+        total = sum(len(g.gpu_ids) for groups in pipelines for g in groups)
+        assert total >= 64, "fixture must engage the vectorized path"
+        gpu_ids = sorted(system.current_rates)
+        touched = set(data.draw(st.lists(st.sampled_from(gpu_ids),
+                                         max_size=6)))
+        rates = dict(system.current_rates)
+        for gpu in touched:
+            rates[gpu] = data.draw(st.sampled_from([1.0, 1.5, 2.0]))
+        expected = [
+            i for i, groups in enumerate(pipelines)
+            if any(gpu in touched for g in groups for gpu in g.gpu_ids)
+        ]
+        assert engine._touched_pipelines(pipelines, touched, rates) == \
+            expected
