@@ -10,6 +10,8 @@
 #                    fault injection)
 #   make speculative - the speculative pre-solving suite (hit bit-identity,
 #                    staleness invalidation, fault isolation)
+#   make whatif    - the what-if replay suite (session recording, edit
+#                    replays, leave-one-out attribution)
 #   make gate      - run the planner hot-path benchmark and gate it against
 #                    the committed baseline (one-liner perf gate)
 #   make gate-update - refresh the committed baseline from a fresh run
@@ -33,20 +35,25 @@
 #                    speculation cache, spec p50/p99) against the baseline
 #   make gate-speculative-update - refresh the same baseline (shared with
 #                    gate-service; one benchmark feeds both gates)
+#   make gate-whatif - record the two what-if preset sessions, verify the
+#                    no-edit replays are bit-identical, and gate the
+#                    leave-one-out attribution rankings against the
+#                    committed (deterministic) baseline
+#   make gate-whatif-update - refresh the what-if baseline
 #   make gate-all  - every committed gate (hotpath incl. the 16384-GPU
 #                    rows, transition, scenarios, Table-5 presets, service
-#                    latency incl. the speculative arm) plus the fast
-#                    tier-1 run
+#                    latency incl. the speculative arm, what-if replay)
+#                    plus the fast tier-1 run
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test bench replan migration scenarios sweep service speculative \
-	gate gate-update \
+	whatif gate gate-update \
 	gate-hotpath-16k gate-transition gate-transition-update gate-scenarios \
 	gate-scenarios-update gate-presets gate-presets-update \
 	gate-service gate-service-update gate-speculative \
-	gate-speculative-update gate-all
+	gate-speculative-update gate-whatif gate-whatif-update gate-all
 
 test:
 	$(PYTHON) -m pytest -x -q -m "not bench"
@@ -71,6 +78,9 @@ service:
 
 speculative:
 	$(PYTHON) -m pytest -q -m "speculative and not bench"
+
+whatif:
+	$(PYTHON) -m pytest -q -m "whatif and not bench"
 
 gate:
 	$(PYTHON) -m repro.experiments.planner_hotpath --gate
@@ -111,5 +121,11 @@ gate-speculative:
 gate-speculative-update:
 	$(PYTHON) -m repro.experiments.service_latency --update
 
+gate-whatif:
+	$(PYTHON) -m repro.experiments.whatif --gate
+
+gate-whatif-update:
+	$(PYTHON) -m repro.experiments.whatif --update
+
 gate-all: gate gate-transition gate-scenarios gate-presets gate-service \
-	gate-speculative test
+	gate-speculative gate-whatif test

@@ -29,7 +29,13 @@ committed baseline exactly, wall-clock latency percentiles — including
 the speculative arm's served p50/p99 — within the timing tolerance
 (``python -m repro.experiments.service_latency --gate``; the
 speculative slice alone gates via ``--gate --speculative``, see
-``make gate-speculative``).
+``make gate-speculative``).  A fresh ``BENCH_whatif.json`` (written by
+``pytest benchmarks/test_bench_whatif.py``) adds the what-if replay
+gate: each recorded preset session's no-edit replay must be
+bit-identical to the live run, and the leave-one-out culprit/event
+rankings — GPU identities exactly, lost seconds to 1e-6 — must agree
+with the committed baseline (``python -m repro.experiments.whatif
+--gate``, see ``make gate-whatif``).
 
 The comparison logic lives in
 :func:`repro.experiments.planner_hotpath.gate_against_baseline`; this
@@ -53,6 +59,7 @@ change.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import shutil
 import sys
@@ -70,6 +77,9 @@ from repro.experiments.service_latency import (  # noqa: E402
 from repro.experiments.transition_study import (  # noqa: E402
     gate_against_baseline as gate_transition_study,
 )
+from repro.experiments.whatif import (  # noqa: E402
+    gate_against_baseline as gate_whatif,
+)
 
 DEFAULT_FRESH = os.path.join(HERE, "BENCH_planner_hotpath.json")
 DEFAULT_BASELINE = os.path.join(HERE, "baselines",
@@ -83,6 +93,36 @@ SCENARIO_BASELINE = os.path.join(HERE, "baselines",
 SERVICE_FRESH = os.path.join(HERE, "BENCH_service_latency.json")
 SERVICE_BASELINE = os.path.join(HERE, "baselines",
                                 "BENCH_service_latency.json")
+WHATIF_FRESH = os.path.join(HERE, "BENCH_whatif.json")
+WHATIF_BASELINE = os.path.join(HERE, "baselines", "BENCH_whatif.json")
+
+
+def reject_non_finite_json(paths) -> int:
+    """Fail on gate files carrying the invalid-JSON ``NaN``/``Infinity``.
+
+    ``json.dump`` emits those tokens for non-finite floats unless told
+    otherwise (empty-sample percentiles are ``math.nan``), and strict
+    parsers reject the file.  The experiment writers sanitize such values
+    to ``null``; any baseline that still contains the tokens predates the
+    fix and must be regenerated, so the gate refuses to compare it.
+    """
+    status = 0
+    for path in paths:
+        if not os.path.exists(path):
+            continue
+
+        def _reject(token, _path=path):
+            raise ValueError(
+                f"{_path} contains the non-JSON token {token!r}; "
+                "regenerate it with the current writers (--update)")
+
+        try:
+            with open(path) as handle:
+                json.load(handle, parse_constant=_reject)
+        except ValueError as exc:
+            print(f"regression_gate: {exc}")
+            status = 1
+    return status
 
 
 def main(argv=None) -> int:
@@ -116,6 +156,15 @@ def main(argv=None) -> int:
         print(f"regression_gate: no baseline at {args.baseline}; "
               "seed it with --update")
         return 1
+    status = reject_non_finite_json([
+        args.fresh, args.baseline,
+        TRANSITION_FRESH, TRANSITION_BASELINE,
+        SCENARIO_FRESH, SCENARIO_BASELINE,
+        SERVICE_FRESH, SERVICE_BASELINE,
+        WHATIF_FRESH, WHATIF_BASELINE,
+    ])
+    if status:
+        return status
     status = gate_against_baseline(args.fresh, args.baseline,
                                    args.tolerance, args.min_delta)
     if os.path.exists(TRANSITION_FRESH) and \
@@ -130,6 +179,8 @@ def main(argv=None) -> int:
             os.path.exists(SERVICE_BASELINE):
         status = max(status, gate_service_latency(SERVICE_FRESH,
                                                   SERVICE_BASELINE))
+    if os.path.exists(WHATIF_FRESH) and os.path.exists(WHATIF_BASELINE):
+        status = max(status, gate_whatif(WHATIF_FRESH, WHATIF_BASELINE))
     return status
 
 

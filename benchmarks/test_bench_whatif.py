@@ -1,0 +1,76 @@
+"""What-if replay benchmark: record, replay bit-identically, attribute.
+
+Runs the deterministic two-preset what-if benchmark
+(:mod:`repro.experiments.whatif`) and asserts its contract:
+
+* the no-edit replay of each recorded session is bit-identical to the
+  live run (plan fingerprints, step times, deterministic adjustment
+  fields);
+* leave-one-out attribution ranks the seeded persistent degrader as the
+  top culprit on the ``persistent-degraders`` preset — degraded across
+  multiple episodes with a strictly positive cost;
+* culprit and event rankings are sorted by lost seconds.
+
+Writes ``BENCH_whatif.json`` so ``benchmarks/regression_gate.py`` (or
+``make gate-whatif``) can compare the fully deterministic rankings
+against the committed baseline exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.whatif import (
+    check_whatif_invariants,
+    format_whatif,
+    run_whatif_report,
+    write_whatif_json,
+)
+
+pytestmark = [pytest.mark.bench, pytest.mark.whatif, pytest.mark.scenario]
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FRESH_PATH = os.path.join(HERE, "BENCH_whatif.json")
+
+
+@pytest.fixture(scope="module")
+def whatif_result():
+    result = run_whatif_report()
+    write_whatif_json(result, FRESH_PATH)
+    return result
+
+
+def test_contract_invariants_hold(whatif_result):
+    failures = check_whatif_invariants(whatif_result)
+    assert not failures, "\n".join(failures)
+
+
+def test_no_edit_replay_is_bit_identical(whatif_result):
+    for row in whatif_result.rows:
+        assert row.replay_matches, \
+            f"{row.preset}: replay diverged from the recording"
+
+
+def test_persistent_degrader_is_top_culprit(whatif_result):
+    row = whatif_result.row("persistent-degraders")
+    assert row.culprits, "no culprits attributed"
+    top = row.culprits[0]
+    assert top["lost_seconds"] > 0.0
+    assert top["degraded_events"] >= 2
+    # Leave-one-out dominance: strictly worse than every other candidate.
+    for other in row.culprits[1:]:
+        assert top["lost_seconds"] >= other["lost_seconds"]
+
+
+def test_rankings_sorted_by_loss(whatif_result):
+    for row in whatif_result.rows:
+        losses = [c["lost_seconds"] for c in row.culprits]
+        assert losses == sorted(losses, reverse=True)
+        event_losses = [e["lost_seconds"] for e in row.events]
+        assert event_losses == sorted(event_losses, reverse=True)
+
+
+def test_report_renders(whatif_result, capsys):
+    print()
+    print(format_whatif(whatif_result))
+    assert "What-if replay" in capsys.readouterr().out

@@ -56,6 +56,13 @@ from .runtime import (
     SpeculationPolicy,
 )
 from .simulator import ExecutionSimulator, run_trace, theoretic_optimal_step_time
+from .whatif import (
+    SessionRecorder,
+    SessionTrace,
+    WhatIfEngine,
+    attribute,
+    record_session,
+)
 
 __version__ = "1.0.0"
 
@@ -77,6 +84,8 @@ __all__ = [
     "PlanningService",
     "Profiler",
     "ServiceConfig",
+    "SessionRecorder",
+    "SessionTrace",
     "SolutionCache",
     "SpeculationPolicy",
     "StragglerSpec",
@@ -86,11 +95,14 @@ __all__ = [
     "TrainingTask",
     "TransitionConfig",
     "TransformerModelSpec",
+    "WhatIfEngine",
+    "attribute",
     "get_model",
     "make_cluster",
     "paper_cluster",
     "paper_task",
     "paper_trace",
+    "record_session",
     "run_trace",
     "theoretic_optimal_step_time",
     "uniform_megatron_plan",

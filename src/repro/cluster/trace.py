@@ -8,6 +8,8 @@ being a set of straggler specs held for a number of training iterations.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -42,6 +44,31 @@ class StragglerSituation:
         """How many GPUs are straggling in this situation."""
         return len(self.stragglers)
 
+    def as_dict(self) -> Dict[str, object]:
+        """Strict-JSON representation (``inf`` rates as ``"inf"``)."""
+        stragglers = []
+        for spec in self.stragglers:
+            rate = spec.rate
+            if rate is not None and math.isinf(rate):
+                rate = "inf"
+            stragglers.append(
+                {"gpu_id": spec.gpu_id, "level": spec.level, "rate": rate})
+        return {"name": self.name, "duration_steps": self.duration_steps,
+                "stragglers": stragglers}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StragglerSituation":
+        """Inverse of :meth:`as_dict` (lossless round-trip)."""
+        stragglers = []
+        for entry in payload.get("stragglers", []):
+            rate = entry.get("rate")
+            if rate == "inf":
+                rate = math.inf
+            stragglers.append(StragglerSpec(
+                gpu_id=entry["gpu_id"], level=entry.get("level"), rate=rate))
+        return cls(name=payload["name"], stragglers=stragglers,
+                   duration_steps=payload.get("duration_steps", 100))
+
 
 @dataclass
 class StragglerTrace:
@@ -74,6 +101,37 @@ class StragglerTrace:
         for prev, cur in zip(self.situations, self.situations[1:]):
             pairs.append((prev.name, cur.name))
         return pairs
+
+    # ------------------------------------------------------------------
+    # Persistence: situations only — the cluster is supplied on load (the
+    # session-trace format of repro.whatif carries the cluster itself).
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """Strict-JSON representation of the situation sequence."""
+        return {"name": self.name,
+                "situations": [s.as_dict() for s in self.situations]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object],
+                  cluster: Cluster) -> "StragglerTrace":
+        """Inverse of :meth:`as_dict`, bound to ``cluster``."""
+        situations = [StragglerSituation.from_dict(entry)
+                      for entry in payload.get("situations", [])]
+        return cls(cluster=cluster, situations=situations,
+                   name=payload.get("name", "trace"))
+
+    def save(self, path: str) -> None:
+        """Persist the situation sequence as JSON (lossless round-trip)."""
+        with open(path, "w") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True,
+                      allow_nan=False)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str, cluster: Cluster) -> "StragglerTrace":
+        """Load a trace saved with :meth:`save` onto ``cluster``."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle), cluster)
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,8 @@ that renders the same rows/series the paper reports.  Benchmarks under
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -73,6 +75,36 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
             "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
         )
     return "\n".join(lines)
+
+
+def json_sanitize(value: object) -> object:
+    """Replace non-finite floats with ``None``, recursively.
+
+    ``json.dump`` happily serializes ``math.nan`` as the invalid-JSON
+    token ``NaN`` (empty-sample percentiles from
+    :func:`repro.runtime.service.percentile` are the usual source), which
+    then poisons committed baselines.  Benchmark writers pass their
+    payloads through here so those values land as ``null`` instead.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_sanitize(item) for item in value]
+    return value
+
+
+def dump_bench_json(payload: object, handle) -> None:
+    """Write a benchmark payload with the repo's JSON conventions.
+
+    Sanitizes non-finite floats to ``null`` (with ``allow_nan=False`` as
+    a backstop so a leak fails loudly rather than writing invalid JSON),
+    sorts keys, indents by two, and ends the file with a newline.
+    """
+    json.dump(json_sanitize(payload), handle, indent=2, sort_keys=True,
+              allow_nan=False)
+    handle.write("\n")
 
 
 def geometric_mean(values: Sequence[float]) -> float:

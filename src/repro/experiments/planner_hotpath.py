@@ -58,7 +58,7 @@ from ..models.presets import paper_task
 from ..models.spec import TrainingTask
 from ..runtime.replan import ReplanEngine
 from ..solvers.minmax import clear_minmax_cache
-from .common import format_table, paper_workload
+from .common import dump_bench_json, format_table, paper_workload
 from .planning_scalability import _scaled_straggler_rates
 
 
@@ -479,8 +479,7 @@ def write_hotpath_json(result: PlannerHotpathResult, path: str) -> None:
     """Persist a run for the regression gate."""
     payload = {"rows": [row.as_dict() for row in result.rows]}
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        dump_bench_json(payload, handle)
 
 
 def read_hotpath_json(path: str) -> PlannerHotpathResult:

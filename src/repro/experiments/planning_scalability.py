@@ -44,7 +44,7 @@ from ..core.sweep import SweepConfig
 from ..models.presets import paper_task
 from ..runtime.replan import ReplanEngine
 from ..solvers.minmax import clear_minmax_cache
-from .common import format_table, paper_workload
+from .common import dump_bench_json, format_table, paper_workload
 
 
 @dataclass
@@ -360,8 +360,7 @@ def write_preset_json(result: PresetScalabilityResult, path: str) -> None:
     """Persist a run for the deterministic gate."""
     payload = {"rows": [row.as_dict() for row in result.rows]}
     with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        dump_bench_json(payload, handle)
 
 
 def read_preset_json(path: str) -> PresetScalabilityResult:

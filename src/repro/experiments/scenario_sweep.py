@@ -43,7 +43,7 @@ from ..cluster.scenarios import generate_trace
 from ..core.planner import MalleusPlanner, TransitionConfig
 from ..runtime.malleus import MalleusSystem
 from ..simulator.session import Adjustment
-from .common import format_table, paper_workload
+from .common import dump_bench_json, format_table, paper_workload
 
 #: Presets the sweep runs by default; the first two carry the strict
 #: downtime-reduction requirement of the gate.
@@ -287,8 +287,7 @@ def format_scenario_sweep(result: ScenarioSweepResult) -> str:
 def write_sweep_json(result: ScenarioSweepResult, path: str) -> None:
     """Persist a run for the regression gate."""
     with open(path, "w") as handle:
-        json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        dump_bench_json(result.as_dict(), handle)
 
 
 def read_sweep_json(path: str) -> ScenarioSweepResult:

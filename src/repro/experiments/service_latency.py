@@ -54,7 +54,7 @@ from ..runtime.malleus import MalleusSystem
 from ..runtime.service import PlanningService, ServiceConfig, percentile
 from ..runtime.speculate import SpeculationPolicy
 from ..testing.faults import storm_states
-from .common import format_table, paper_workload
+from .common import dump_bench_json, format_table, paper_workload
 
 #: Storm presets the service must tame (the acceptance criteria's pair).
 DEFAULT_PRESETS = ("flapping", "frequent-small-events")
@@ -356,12 +356,18 @@ def format_service_latency(result: ServiceLatencyResult) -> str:
 def write_service_json(result: ServiceLatencyResult, path: str) -> None:
     """Persist a run for the regression gate."""
     with open(path, "w") as handle:
-        json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        dump_bench_json(result.as_dict(), handle)
+
+
+#: Percentile fields that are ``null`` on disk when the sample was empty
+#: (``percentile([])`` is ``math.nan``; the writer sanitizes it).
+PERCENTILE_FIELDS = ("queue_wait_p50", "queue_wait_p99",
+                     "latency_p50", "latency_p99",
+                     "spec_latency_p50", "spec_latency_p99")
 
 
 def read_service_json(path: str) -> ServiceLatencyResult:
-    """Load a persisted run."""
+    """Load a persisted run (``null`` percentiles come back as NaN)."""
     with open(path) as handle:
         payload = json.load(handle)
     result = ServiceLatencyResult(
@@ -370,6 +376,10 @@ def read_service_json(path: str) -> ServiceLatencyResult:
         debounce_limit=payload["debounce_limit"],
     )
     for entry in payload["rows"]:
+        entry = dict(entry)
+        for name in PERCENTILE_FIELDS:
+            if entry.get(name) is None:
+                entry[name] = math.nan
         result.rows.append(ServiceLatencyRow(**entry))
     return result
 

@@ -33,7 +33,7 @@ from ..cluster.trace import paper_trace
 from ..core.planner import TransitionConfig
 from ..runtime.malleus import MalleusSystem
 from ..simulator.session import run_trace
-from .common import format_table, paper_workload
+from .common import dump_bench_json, format_table, paper_workload
 
 
 @dataclass
@@ -206,8 +206,7 @@ def format_transition_study(result: TransitionStudyResult) -> str:
 def write_study_json(result: TransitionStudyResult, path: str) -> None:
     """Persist a run for the regression gate."""
     with open(path, "w") as handle:
-        json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+        dump_bench_json(result.as_dict(), handle)
 
 
 def read_study_json(path: str) -> TransitionStudyResult:

@@ -1,0 +1,463 @@
+"""What-if replay benchmark + operator CLI.
+
+Two entry points share this module:
+
+* The **deterministic benchmark/gate** (no ``--trace``): record one
+  session per scenario preset, verify the no-edit replay is bit-identical
+  to the live run, run leave-one-out attribution, and compare the top-k
+  culprit/event rankings (GPU ids exactly, lost-seconds to 1e-6) against
+  the committed baseline — ``python -m repro.experiments.whatif --gate``
+  (see ``make gate-whatif``).
+
+* The **operator CLI** (with ``--trace``): load a recorded session
+  (``--record PRESET --out FILE`` writes one), optionally apply edits
+  (``--edit heal:14 --edit remove-node:0 ...``) and/or print the
+  attribution report (``--report``), with ``--json`` for machine-readable
+  output::
+
+      python -m repro.experiments.whatif --record flapping --out run.jsonl
+      python -m repro.experiments.whatif --trace run.jsonl --edit heal:14
+      python -m repro.experiments.whatif --trace run.jsonl --report
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.scenarios import generate_trace
+from ..runtime.malleus import MalleusSystem
+from ..whatif import (
+    FreezePlan,
+    ScaleGpuRate,
+    SessionTrace,
+    SuppressEvent,
+    RemoveNode,
+    WhatIfEngine,
+    attribute,
+    heal,
+    record_session,
+)
+from .common import dump_bench_json, format_table, paper_workload
+
+#: Presets the benchmark records and attributes (the gate's coverage).
+DEFAULT_PRESETS = ("persistent-degraders", "flapping")
+
+#: Leave-one-out candidates per preset (caps replay count, not ranking
+#: quality for the top-k — the prior only prunes the long tail).
+MAX_CANDIDATES = 10
+
+DEFAULT_TOP_K = 5
+
+
+@dataclass
+class WhatIfRow:
+    """One preset's recorded-replay-attribute outcome."""
+
+    preset: str
+    seed: int
+    num_events: int
+    #: The no-edit replay reproduced the live run bit-identically.
+    replay_matches: bool
+    baseline_total: float
+    #: Top-k culprit GPUs (leave-one-out heal), worst first.
+    culprits: List[Dict[str, object]] = field(default_factory=list)
+    #: Top-k events (suppress-one-event), worst first.
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "preset": self.preset,
+            "seed": self.seed,
+            "num_events": self.num_events,
+            "replay_matches": self.replay_matches,
+            "baseline_total": self.baseline_total,
+            "culprits": [dict(c) for c in self.culprits],
+            "events": [dict(e) for e in self.events],
+        }
+
+
+@dataclass
+class WhatIfResult:
+    """Benchmark-wide outcome."""
+
+    model: str
+    top_k: int
+    rows: List[WhatIfRow] = field(default_factory=list)
+
+    def row(self, preset: str) -> WhatIfRow:
+        for row in self.rows:
+            if row.preset == preset:
+                return row
+        raise KeyError(f"preset '{preset}' not in benchmark")
+
+    @property
+    def all_replays_match(self) -> bool:
+        return all(row.replay_matches for row in self.rows)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "top_k": self.top_k,
+            "rows": [row.as_dict() for row in self.rows],
+            "all_replays_match": self.all_replays_match,
+        }
+
+
+def run_whatif_report(model_name: str = "32b",
+                      presets: Sequence[str] = DEFAULT_PRESETS,
+                      seed: int = 1,
+                      top_k: int = DEFAULT_TOP_K,
+                      max_candidates: int = MAX_CANDIDATES) -> WhatIfResult:
+    """Record, replay and attribute one session per preset."""
+    workload = paper_workload(model_name)
+    result = WhatIfResult(model=model_name, top_k=top_k)
+    for preset in presets:
+        trace = generate_trace(workload.cluster, preset, seed=seed)
+        system = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model)
+        _, session = record_session(
+            system, trace, metadata={"preset": preset, "seed": seed})
+        report = attribute(session, top_k=top_k,
+                           max_candidates=max_candidates)
+        result.rows.append(WhatIfRow(
+            preset=preset,
+            seed=seed,
+            num_events=session.num_events,
+            replay_matches=report.baseline_matches_recording,
+            baseline_total=report.baseline_total,
+            culprits=[c.as_dict() for c in report.top_culprits()],
+            events=[e.as_dict() for e in report.top_events()],
+        ))
+    return result
+
+
+def format_whatif(result: WhatIfResult) -> str:
+    """Render the benchmark rows."""
+    rows = []
+    for row in result.rows:
+        top_culprit = row.culprits[0] if row.culprits else None
+        rows.append((
+            row.preset,
+            row.num_events,
+            "yes" if row.replay_matches else "NO",
+            f"{row.baseline_total:.2f}",
+            f"x{top_culprit['gpu']}" if top_culprit else "-",
+            f"{top_culprit['lost_seconds']:+.2f}" if top_culprit else "-",
+        ))
+    return format_table(
+        ["preset", "events", "replay ==", "total (s)",
+         "top culprit", "lost (s)"],
+        rows,
+        title=f"What-if replay + attribution ({result.model}, "
+              f"top-{result.top_k})")
+
+
+# ----------------------------------------------------------------------
+# Persistence + regression gate
+# ----------------------------------------------------------------------
+def write_whatif_json(result: WhatIfResult, path: str) -> None:
+    """Persist a run for the deterministic gate."""
+    with open(path, "w") as handle:
+        dump_bench_json(result.as_dict(), handle)
+
+
+def read_whatif_json(path: str) -> WhatIfResult:
+    """Load a persisted run."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    result = WhatIfResult(model=payload["model"], top_k=payload["top_k"])
+    for entry in payload["rows"]:
+        result.rows.append(WhatIfRow(
+            preset=entry["preset"], seed=entry["seed"],
+            num_events=entry["num_events"],
+            replay_matches=entry["replay_matches"],
+            baseline_total=entry["baseline_total"],
+            culprits=entry.get("culprits", []),
+            events=entry.get("events", []),
+        ))
+    return result
+
+
+def check_whatif_invariants(result: WhatIfResult) -> List[str]:
+    """The what-if acceptance contract; returns failure messages."""
+    failures = []
+    for row in result.rows:
+        if not row.replay_matches:
+            failures.append(
+                f"{row.preset}: no-edit replay diverged from the recording")
+        losses = [c["lost_seconds"] for c in row.culprits]
+        if losses != sorted(losses, reverse=True):
+            failures.append(f"{row.preset}: culprits not ranked by loss")
+        event_losses = [e["lost_seconds"] for e in row.events]
+        if event_losses != sorted(event_losses, reverse=True):
+            failures.append(f"{row.preset}: events not ranked by loss")
+    for row in result.rows:
+        if not row.preset.startswith("persistent"):
+            continue
+        # The seeded persistent degrader must surface as the top culprit:
+        # a GPU degraded across multiple episodes with a strictly
+        # positive leave-one-out cost.
+        if not row.culprits:
+            failures.append(f"{row.preset}: no culprits attributed")
+            continue
+        top = row.culprits[0]
+        if top["lost_seconds"] <= 0.0:
+            failures.append(
+                f"{row.preset}: top culprit x{top['gpu']} has non-positive "
+                f"loss {top['lost_seconds']:.4f}s")
+        if top["degraded_events"] < 2:
+            failures.append(
+                f"{row.preset}: top culprit x{top['gpu']} degraded in only "
+                f"{top['degraded_events']} episode(s) — not the persistent "
+                "degrader")
+    return failures
+
+
+def gate_against_baseline(fresh_path: str, baseline_path: str,
+                          tolerance: float = 1e-6) -> int:
+    """Compare a fresh run against the committed baseline.
+
+    The whole pipeline is deterministic (seeded generation, analytic
+    simulation, seeded profiler), so culprit/event *identities* must
+    match exactly and every lost-seconds figure to ``tolerance`` — any
+    drift means recording, replay or attribution changed behaviour and
+    needs a deliberate ``--update``.
+    """
+    fresh = read_whatif_json(fresh_path)
+    baseline = read_whatif_json(baseline_path)
+    failures = check_whatif_invariants(fresh)
+
+    def close(a: float, b: float) -> bool:
+        return math.isclose(a, b, rel_tol=tolerance, abs_tol=tolerance)
+
+    for base_row in baseline.rows:
+        try:
+            fresh_row = fresh.row(base_row.preset)
+        except KeyError:
+            failures.append(f"{base_row.preset}: missing from the fresh run")
+            continue
+        checks = [
+            ("num_events", fresh_row.num_events, base_row.num_events),
+            ("replay_matches", fresh_row.replay_matches,
+             base_row.replay_matches),
+            ("culprit gpus", [c["gpu"] for c in fresh_row.culprits],
+             [c["gpu"] for c in base_row.culprits]),
+            ("event indices", [e["index"] for e in fresh_row.events],
+             [e["index"] for e in base_row.events]),
+        ]
+        for label, fresh_value, base_value in checks:
+            status = "ok" if fresh_value == base_value else "CHANGED"
+            print(f"{base_row.preset:>22} {label:>14}: {status}")
+            if fresh_value != base_value:
+                failures.append(
+                    f"{base_row.preset}: {label} drifted: {fresh_value!r} "
+                    f"vs committed {base_value!r}")
+        numeric = [("baseline_total", fresh_row.baseline_total,
+                    base_row.baseline_total)]
+        numeric += [
+            (f"culprit x{bc['gpu']} loss", fc["lost_seconds"],
+             bc["lost_seconds"])
+            for fc, bc in zip(fresh_row.culprits, base_row.culprits)
+            if fc["gpu"] == bc["gpu"]
+        ]
+        numeric += [
+            (f"event {be['index']} loss", fe["lost_seconds"],
+             be["lost_seconds"])
+            for fe, be in zip(fresh_row.events, base_row.events)
+            if fe["index"] == be["index"]
+        ]
+        for label, fresh_value, base_value in numeric:
+            if not close(fresh_value, base_value):
+                failures.append(
+                    f"{base_row.preset}: {label} drifted: {fresh_value:.6f} "
+                    f"vs committed {base_value:.6f}")
+    if failures:
+        print("whatif gate: FAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("whatif gate: OK")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Operator CLI helpers
+# ----------------------------------------------------------------------
+def parse_edit(spec: str):
+    """Parse one ``--edit`` spec into a what-if edit.
+
+    Formats: ``heal:GPU``, ``scale:GPU:FACTOR``, ``remove-node:NODE``,
+    ``freeze:AFTER_EVENT``, ``suppress:EVENT``.
+    """
+    parts = spec.split(":")
+    kind, args = parts[0], parts[1:]
+    try:
+        if kind == "heal" and len(args) == 1:
+            return heal(int(args[0]))
+        if kind == "scale" and len(args) == 2:
+            return ScaleGpuRate(gpu=int(args[0]), factor=float(args[1]))
+        if kind == "remove-node" and len(args) == 1:
+            return RemoveNode(node=int(args[0]))
+        if kind == "freeze" and len(args) == 1:
+            return FreezePlan(after_event=int(args[0]))
+        if kind == "suppress" and len(args) == 1:
+            return SuppressEvent(index=int(args[0]))
+    except ValueError as exc:
+        raise ValueError(f"bad --edit {spec!r}: {exc}") from None
+    raise ValueError(
+        f"bad --edit {spec!r}; expected heal:GPU, scale:GPU:FACTOR, "
+        "remove-node:NODE, freeze:AFTER_EVENT or suppress:EVENT")
+
+
+def record_preset_session(preset: str, out_path: str,
+                          model_name: str = "32b", seed: int = 1) -> None:
+    """Record one preset session and save it as a session trace."""
+    workload = paper_workload(model_name)
+    trace = generate_trace(workload.cluster, preset, seed=seed)
+    system = MalleusSystem(workload.task, workload.cluster,
+                           workload.cost_model)
+    _, session = record_session(
+        system, trace, metadata={"preset": preset, "seed": seed})
+    session.save(out_path)
+    print(f"recorded {session.num_events} episodes of '{preset}' "
+          f"(seed {seed}, {model_name}) to {out_path}")
+
+
+def _run_trace_cli(args) -> int:
+    """The ``--trace`` path: replay with edits and/or attribute."""
+    session = SessionTrace.load(args.trace)
+    engine = WhatIfEngine()
+    payload: Dict[str, object] = {"trace": args.trace}
+    status = 0
+    if args.edit:
+        edits = [parse_edit(spec) for spec in args.edit]
+        baseline = engine.replay(session)
+        edited = engine.replay(session, edits)
+        delta = edited.total_time - baseline.total_time
+        print(f"baseline total: {baseline.total_time:.2f} s")
+        print(f"edited total:   {edited.total_time:.2f} s "
+              f"({delta:+.2f} s under {', '.join(args.edit)})")
+        rows = [
+            (event.index, event.situation or "-",
+             f"{recorded.step_time:.4f}", f"{event.step_time:.4f}",
+             f"{event.adjustment.downtime:.2f}",
+             event.adjustment.kind)
+            for recorded, event in zip(session.events, edited.events)
+        ]
+        print(format_table(
+            ["event", "situation", "recorded step", "edited step",
+             "downtime", "kind"], rows, title="Edited replay"))
+        payload["edits"] = list(args.edit)
+        payload["baseline_total"] = baseline.total_time
+        payload["edited_total"] = edited.total_time
+    else:
+        replay = engine.replay(session)
+        mismatches = replay.mismatches()
+        print(f"replay of {args.trace}: {len(replay.events)} episodes, "
+              f"total {replay.total_time:.2f} s, "
+              f"{'bit-identical to the recording' if not mismatches else 'DIVERGED'}")
+        for line in mismatches[:10]:
+            print(f"  - {line}")
+        payload["total"] = replay.total_time
+        payload["matches_recording"] = not mismatches
+        status = 1 if mismatches else 0
+    if args.report:
+        report = attribute(session, top_k=args.top_k,
+                           max_candidates=args.max_candidates)
+        print()
+        print(report.format())
+        payload["report"] = report.as_dict()
+    if args.json:
+        with open(args.json, "w") as handle:
+            dump_bench_json(payload, handle)
+        print(f"json report written to {args.json}")
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: what-if replay over recorded sessions.
+
+    Without ``--trace``/``--record``: run the deterministic two-preset
+    benchmark and optionally gate (``--gate``) or re-baseline
+    (``--update``) it — see ``make gate-whatif``.  With ``--record``:
+    record a preset session to ``--out``.  With ``--trace``: replay a
+    recorded session under ``--edit`` specs and/or print the
+    leave-one-out attribution report (``--report``).
+    """
+    import argparse
+    import os
+    import shutil
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--trace", help="recorded session trace to analyse")
+    parser.add_argument("--edit", action="append", default=[],
+                        help="what-if edit (repeatable): heal:GPU, "
+                             "scale:GPU:FACTOR, remove-node:NODE, "
+                             "freeze:AFTER_EVENT, suppress:EVENT")
+    parser.add_argument("--report", action="store_true",
+                        help="print the leave-one-out attribution report")
+    parser.add_argument("--json", help="write machine-readable output here")
+    parser.add_argument("--record", metavar="PRESET",
+                        help="record a scenario-preset session instead")
+    parser.add_argument("--out", default="session.jsonl",
+                        help="output path for --record "
+                             "(default: %(default)s)")
+    parser.add_argument("--top-k", type=int, default=DEFAULT_TOP_K,
+                        help="attribution depth (default: %(default)s)")
+    parser.add_argument("--max-candidates", type=int, default=MAX_CANDIDATES,
+                        help="leave-one-out candidate cap "
+                             "(default: %(default)s)")
+    parser.add_argument("--gate", action="store_true",
+                        help="compare the fresh run against the baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="refresh the baseline from the fresh run")
+    parser.add_argument("--fresh",
+                        default="benchmarks/BENCH_whatif.json",
+                        help="where to write the fresh run "
+                             "(default: %(default)s)")
+    parser.add_argument("--baseline",
+                        default="benchmarks/baselines/BENCH_whatif.json",
+                        help="committed baseline (default: %(default)s)")
+    parser.add_argument("--model", default="32b",
+                        help="paper workload (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="trace-generation seed (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    if args.record:
+        record_preset_session(args.record, args.out,
+                              model_name=args.model, seed=args.seed)
+        return 0
+    if args.trace:
+        return _run_trace_cli(args)
+
+    result = run_whatif_report(model_name=args.model, seed=args.seed,
+                               top_k=args.top_k,
+                               max_candidates=args.max_candidates)
+    print(format_whatif(result))
+    os.makedirs(os.path.dirname(args.fresh) or ".", exist_ok=True)
+    write_whatif_json(result, args.fresh)
+    print(f"fresh run written to {args.fresh}")
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline updated at {args.baseline}")
+        return 0
+    if args.gate:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; seed it with --update")
+            return 1
+        return gate_against_baseline(args.fresh, args.baseline)
+    invariants = check_whatif_invariants(result)
+    for failure in invariants:
+        print(f"invariant FAILED: {failure}")
+    return 1 if invariants else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make
+    import sys
+
+    sys.exit(main())

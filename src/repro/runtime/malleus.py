@@ -161,6 +161,13 @@ class MalleusSystem:
     kernels: Optional[str] = None
     restart_config: RestartCostConfig = field(default_factory=RestartCostConfig)
     name: str = "Malleus"
+    #: Optional session recorder (:class:`repro.whatif.SessionRecorder`):
+    #: when attached, every ``setup`` / ``on_situation_change`` call is
+    #: taped — state, flags, resulting adjustment, plan fingerprint and
+    #: simulated step time — so the session can be saved and replayed
+    #: under edited conditions by the what-if engine.  ``None`` (the
+    #: default) records nothing and changes nothing.
+    recorder: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.cost_model = self.cost_model or MalleusCostModel(
@@ -224,6 +231,8 @@ class MalleusSystem:
         self.current_rates = dict(report.rates)
         self._dp_degree = result.plan.dp_degree
         self.profiler.mark_standby(result.plan.removed_gpus)
+        if self.recorder is not None:
+            self.recorder.record_setup(self, state)
 
     def on_situation_change(self, state: ClusterState,
                             rebalance_only: bool = False,
@@ -247,6 +256,20 @@ class MalleusSystem:
         profiler has already observed (its shift detector advanced on the
         first, deferred attempt), which would otherwise drop the event.
         """
+        adjustment = self._handle_situation_change(
+            state, rebalance_only=rebalance_only, force=force
+        )
+        if self.recorder is not None:
+            self.recorder.record_event(
+                self, state, adjustment,
+                rebalance_only=rebalance_only, force=force,
+            )
+        return adjustment
+
+    def _handle_situation_change(self, state: ClusterState,
+                                 rebalance_only: bool = False,
+                                 force: bool = False) -> Adjustment:
+        """The actual episode logic behind :meth:`on_situation_change`."""
         assert self.plan is not None
         hint = self._repair_hint
         self._repair_hint = None

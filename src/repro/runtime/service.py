@@ -292,10 +292,16 @@ class PlanningService:
     def __init__(self, system: MalleusSystem,
                  config: Optional[ServiceConfig] = None,
                  clock: Callable[[], float] = time.perf_counter,
-                 speculation_policy: Optional[SpeculationPolicy] = None):
+                 speculation_policy: Optional[SpeculationPolicy] = None,
+                 recorder=None):
         self.system = system
         self.config = config or ServiceConfig()
         self.clock = clock
+        if recorder is not None:
+            # Tape every planning episode the service drives (see
+            # repro.whatif): the recorder hooks the wrapped system's
+            # taps; the service only adds queue metadata per episode.
+            recorder.attach(system)
         self.stats = ServiceStats()
         self.speculator: Optional[SpeculationEngine] = None
         if self.config.speculate:
@@ -533,6 +539,8 @@ class PlanningService:
         entry.attempts += 1
         self.stats.episodes += 1
         state = self._entry_state(entry)
+        recorder = self.system.recorder
+        taped_before = recorder.num_events if recorder is not None else 0
         overrun = False
         latency = 0.0
         if mode == MODE_SKIPPED:
@@ -623,6 +631,10 @@ class PlanningService:
             adjustment=adjustment,
         )
         self.records.append(record)
+        if recorder is not None and recorder.num_events > taped_before:
+            # Only annotate when the episode actually reached the system
+            # (skipped episodes and raising episodes tape nothing).
+            recorder.note_service_record(record)
         return record
 
     # ------------------------------------------------------------------

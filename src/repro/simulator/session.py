@@ -99,16 +99,57 @@ class TraceRunResult:
         """End-to-end wall-clock time of the trace."""
         return sum(result.total_time for result in self.situations)
 
-    def step_time(self, situation: str) -> float:
-        """Average step time measured in one situation."""
-        for result in self.situations:
-            if result.situation == situation:
-                return result.avg_step_time
-        raise KeyError(f"situation '{situation}' not in results")
+    def situation_result(self, key: "int | str") -> SituationResult:
+        """Look up one situation's result by index (preferred) or name.
+
+        Generated scenario traces may repeat situation names, so the
+        canonical key is the 0-based position in the trace.  Name lookup
+        is kept for hand-written traces with unique names (the historic
+        API) but raises ``KeyError`` when the name is ambiguous instead
+        of silently returning the first match.
+        """
+        if isinstance(key, int) and not isinstance(key, bool):
+            try:
+                return self.situations[key]
+            except IndexError:
+                raise KeyError(
+                    f"situation index {key} not in results "
+                    f"(have {len(self.situations)})") from None
+        matches = [r for r in self.situations if r.situation == key]
+        if not matches:
+            raise KeyError(f"situation '{key}' not in results")
+        if len(matches) > 1:
+            raise KeyError(
+                f"situation name '{key}' appears {len(matches)} times in the "
+                "trace; look it up by index instead")
+        return matches[0]
+
+    def step_time(self, situation: "int | str") -> float:
+        """Average step time measured in one situation.
+
+        Accepts a situation index or — deprecated, for traces with
+        unique situation names only — a name (``KeyError`` on repeats).
+        """
+        return self.situation_result(situation).avg_step_time
 
     def as_dict(self) -> Dict[str, float]:
-        """Situation -> average step time mapping."""
-        return {result.situation: result.avg_step_time for result in self.situations}
+        """Situation -> average step time mapping.
+
+        Unique situation names map as-is; a name the trace repeats gets a
+        ``#<index>`` suffix on *every* occurrence so no entry shadows
+        another (``step_time`` and ``as_dict`` used to disagree on which
+        duplicate won).
+        """
+        counts: Dict[str, int] = {}
+        for result in self.situations:
+            counts[result.situation] = counts.get(result.situation, 0) + 1
+        mapping: Dict[str, float] = {}
+        for index, result in enumerate(self.situations):
+            if counts[result.situation] == 1:
+                mapping[result.situation] = result.avg_step_time
+            else:
+                mapping[f"{result.situation}#{index}"] = result.avg_step_time
+        return mapping
 
 
 def run_trace(

@@ -1,0 +1,59 @@
+"""What-if analysis over recorded Malleus sessions.
+
+Record a live run into a replayable session trace
+(:class:`SessionRecorder` / :func:`record_session`), save and reload it
+losslessly (:class:`SessionTrace`), replay it through the real
+planner/simulator under composable edits (:class:`WhatIfEngine`), and
+attribute lost throughput to culprit GPUs and events via leave-one-out
+replays (:func:`attribute`).
+
+CLI: ``python -m repro.experiments.whatif --trace ... --edit ... --report``.
+"""
+
+from .attribution import (
+    AttributionReport,
+    CulpritImpact,
+    EventImpact,
+    attribute,
+)
+from .engine import (
+    FreezePlan,
+    OverrideConfig,
+    RemoveNode,
+    ReplayEvent,
+    ReplayResult,
+    ScaleGpuRate,
+    SuppressEvent,
+    WhatIfEdit,
+    WhatIfEngine,
+    heal,
+)
+from .record import (
+    RecordedEvent,
+    SessionRecorder,
+    SessionTrace,
+    plan_fingerprint,
+    record_session,
+)
+
+__all__ = [
+    "AttributionReport",
+    "CulpritImpact",
+    "EventImpact",
+    "FreezePlan",
+    "OverrideConfig",
+    "RecordedEvent",
+    "RemoveNode",
+    "ReplayEvent",
+    "ReplayResult",
+    "ScaleGpuRate",
+    "SessionRecorder",
+    "SessionTrace",
+    "SuppressEvent",
+    "WhatIfEdit",
+    "WhatIfEngine",
+    "attribute",
+    "heal",
+    "plan_fingerprint",
+    "record_session",
+]

@@ -1,0 +1,194 @@
+"""Lost-throughput attribution via leave-one-out what-if replays.
+
+"Which GPU's degradation cost the most training time?" is answered the
+only honest way: replay the recorded session with that GPU healed
+(:func:`~repro.whatif.engine.heal`) and charge it the difference in
+end-to-end time.  Unlike a static severity ranking, this accounts for
+everything the planner would have done differently — repairs that never
+trigger, migrations that never happen, pipelines that stay balanced.
+Per-event attribution works the same way with
+:class:`~repro.whatif.engine.SuppressEvent` replays.
+
+Replays are deterministic, so the resulting ranking is exact and can be
+gated in CI (see ``repro.experiments.whatif``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..experiments.common import format_table
+from .engine import SuppressEvent, WhatIfEngine, heal
+from .record import SessionTrace
+
+
+@dataclass
+class CulpritImpact:
+    """One GPU's leave-one-out cost over the session."""
+
+    gpu: int
+    #: End-to-end seconds the session would have saved had this GPU
+    #: never degraded (negative means the degradation accidentally
+    #: helped, e.g. by steering the planner to a better plan).
+    lost_seconds: float
+    #: Episodes in which the GPU was degraded, and its worst rate.
+    degraded_events: int
+    peak_rate: float
+    #: Total time of the healed replay (baseline minus ``lost_seconds``).
+    healed_total: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "gpu": self.gpu,
+            "lost_seconds": self.lost_seconds,
+            "degraded_events": self.degraded_events,
+            "peak_rate": "inf" if math.isinf(self.peak_rate)
+            else self.peak_rate,
+            "healed_total": self.healed_total,
+        }
+
+
+@dataclass
+class EventImpact:
+    """One event's suppress-it cost over the session."""
+
+    index: int
+    situation: str
+    lost_seconds: float
+    suppressed_total: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "situation": self.situation,
+            "lost_seconds": self.lost_seconds,
+            "suppressed_total": self.suppressed_total,
+        }
+
+
+@dataclass
+class AttributionReport:
+    """Ranked lost-throughput attribution for one recorded session."""
+
+    trace_name: str
+    baseline_total: float
+    baseline_matches_recording: bool
+    top_k: int
+    culprits: List[CulpritImpact] = field(default_factory=list)
+    events: List[EventImpact] = field(default_factory=list)
+
+    def top_culprits(self) -> List[CulpritImpact]:
+        return self.culprits[: self.top_k]
+
+    def top_events(self) -> List[EventImpact]:
+        return self.events[: self.top_k]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": self.trace_name,
+            "baseline_total": self.baseline_total,
+            "baseline_matches_recording": self.baseline_matches_recording,
+            "top_k": self.top_k,
+            "culprits": [c.as_dict() for c in self.culprits],
+            "events": [e.as_dict() for e in self.events],
+        }
+
+    def format(self) -> str:
+        """Human-readable report (culprit table + event table)."""
+        lines = [
+            f"What-if attribution: {self.trace_name}",
+            f"  baseline total: {self.baseline_total:.2f} s  "
+            f"(replay {'matches' if self.baseline_matches_recording else 'DIVERGES FROM'} the recording)",
+            "",
+        ]
+        culprit_rows = [
+            (f"x{c.gpu}",
+             f"{c.lost_seconds:+.2f}",
+             f"{100.0 * c.lost_seconds / self.baseline_total:.1f}%"
+             if self.baseline_total else "-",
+             c.degraded_events,
+             "inf" if math.isinf(c.peak_rate) else f"{c.peak_rate:.2f}")
+            for c in self.top_culprits()
+        ]
+        lines.append(format_table(
+            ["gpu", "lost (s)", "share", "events", "peak rate"],
+            culprit_rows,
+            title=f"Top-{self.top_k} culprit GPUs (leave-one-out heal)"))
+        if self.events:
+            lines.append("")
+            event_rows = [
+                (e.index, e.situation or "-", f"{e.lost_seconds:+.2f}")
+                for e in self.top_events()
+            ]
+            lines.append(format_table(
+                ["event", "situation", "lost (s)"],
+                event_rows,
+                title=f"Top-{self.top_k} events (suppress-one-event)"))
+        return "\n".join(lines)
+
+
+def _candidate_gpus(trace: SessionTrace,
+                    max_candidates: int) -> List[int]:
+    """Degraded GPUs worth a leave-one-out replay, worst priors first.
+
+    The cumulative-excess prior only *caps how many* replays run; the
+    ranking that comes out is pure leave-one-out.
+    """
+    excess = trace.degraded_gpus()
+    ranked = sorted(excess, key=lambda gpu: (-excess[gpu], gpu))
+    return ranked[:max_candidates]
+
+
+def attribute(trace: SessionTrace, top_k: int = 5,
+              engine: Optional[WhatIfEngine] = None,
+              include_events: bool = True,
+              max_candidates: int = 12) -> AttributionReport:
+    """Leave-one-out lost-throughput attribution for a recorded session.
+
+    Replays the session once unedited (the baseline; also verifies the
+    tape against the recording), once per candidate GPU with that GPU
+    healed, and — when ``include_events`` — once per event with the
+    event suppressed.  Rankings are by ``lost_seconds`` descending.
+    """
+    engine = engine or WhatIfEngine()
+    baseline = engine.replay(trace)
+    report = AttributionReport(
+        trace_name=trace.name,
+        baseline_total=baseline.total_time,
+        baseline_matches_recording=baseline.matches_recording,
+        top_k=top_k,
+    )
+
+    degraded_counts: Dict[int, int] = {}
+    peak_rates: Dict[int, float] = {}
+    for event in trace.events:
+        for gpu, rate in event.rates.items():
+            if rate > 1.0 + 1e-9:
+                degraded_counts[gpu] = degraded_counts.get(gpu, 0) + 1
+                peak_rates[gpu] = max(peak_rates.get(gpu, 0.0), rate)
+
+    for gpu in _candidate_gpus(trace, max_candidates):
+        healed = engine.replay(trace, [heal(gpu)])
+        report.culprits.append(CulpritImpact(
+            gpu=gpu,
+            lost_seconds=baseline.total_time - healed.total_time,
+            degraded_events=degraded_counts.get(gpu, 0),
+            peak_rate=peak_rates.get(gpu, 1.0),
+            healed_total=healed.total_time,
+        ))
+    report.culprits.sort(key=lambda c: (-c.lost_seconds, c.gpu))
+
+    if include_events:
+        for event in trace.events[1:]:
+            suppressed = engine.replay(trace, [SuppressEvent(event.index)])
+            report.events.append(EventImpact(
+                index=event.index,
+                situation=event.situation,
+                lost_seconds=baseline.total_time - suppressed.total_time,
+                suppressed_total=suppressed.total_time,
+            ))
+        report.events.sort(key=lambda e: (-e.lost_seconds, e.index))
+
+    return report

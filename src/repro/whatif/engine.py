@@ -1,0 +1,373 @@
+"""What-if replay: re-run a recorded session under edited conditions.
+
+:class:`WhatIfEngine` rebuilds the recorded system from a
+:class:`~repro.whatif.record.SessionTrace` header — same model, cluster
+and every config knob — and drives the *real* planner/simulator through
+the taped episode sequence.  With no edits the replay reproduces the
+live run bit-identically (same plans, same step times, same downtime);
+with edits it answers counterfactuals:
+
+* :class:`ScaleGpuRate` — what if GPU ``g``'s degradation had been
+  ``factor`` times as severe (``factor=0`` heals it outright)?
+* :class:`RemoveNode` — what if node ``n`` had been lost for the whole
+  session?
+* :class:`SuppressEvent` — what if event ``k`` had never happened
+  (its rates stay at the previous episode's)?
+* :class:`FreezePlan` — what if re-planning had stopped after event
+  ``k`` (the incumbent plan rides out the rest of the session)?
+* :class:`OverrideConfig` — what if the system had run with different
+  transition/sweep/replan knobs?
+
+Edits compose: they are applied in order, each seeing the previous
+edits' result.  Replays are deterministic given the recorded seed (the
+profiler's RNG is part of the header), so what-if deltas are exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.profiler import ProfilerConfig
+from ..cluster.stragglers import state_from_rates
+from ..cluster.topology import Cluster, make_cluster
+from ..core.costmodel import CostModelConfig, MalleusCostModel
+from ..core.planner import TransitionConfig
+from ..core.sweep import SweepConfig
+from ..models.spec import TrainingTask, TransformerModelSpec
+from ..runtime.malleus import MalleusSystem
+from ..runtime.replan import ReplanConfig
+from ..simulator.restart import RestartCostConfig
+from ..simulator.session import Adjustment
+from .record import (
+    DETERMINISTIC_ADJUSTMENT_FIELDS,
+    SessionTrace,
+    plan_fingerprint,
+)
+
+
+# ----------------------------------------------------------------------
+# Rebuilding the recorded system
+# ----------------------------------------------------------------------
+def build_cluster(header: Dict[str, object]) -> Cluster:
+    """Reconstruct the recorded (homogeneous) cluster."""
+    return make_cluster(**header["cluster"])
+
+
+def build_task(header: Dict[str, object]) -> TrainingTask:
+    """Reconstruct the recorded training task."""
+    model = TransformerModelSpec(**header["model"])
+    return TrainingTask(model=model, **header["task"])
+
+
+def system_kwargs(header: Dict[str, object]) -> Dict[str, object]:
+    """MalleusSystem constructor kwargs recorded in the header.
+
+    Config dicts come back as their dataclasses; ``None`` stays ``None``
+    (the corresponding default is then bit-identical to the recording).
+    """
+    knobs = header["system"]
+
+    def config(cls, key):
+        payload = knobs.get(key)
+        return None if payload is None else cls(**payload)
+
+    return {
+        "keep_dp_degree": knobs["keep_dp_degree"],
+        "async_replanning": knobs["async_replanning"],
+        "incremental": knobs["incremental"],
+        "shift_threshold": knobs["shift_threshold"],
+        "kernels": knobs["kernels"],
+        "profiler_config": config(ProfilerConfig, "profiler_config"),
+        "replan_config": config(ReplanConfig, "replan_config"),
+        "transition_config": config(TransitionConfig, "transition_config"),
+        "sweep_config": config(SweepConfig, "sweep_config"),
+        "restart_config": config(RestartCostConfig, "restart_config")
+        or RestartCostConfig(),
+        "cost_config": config(CostModelConfig, "cost_config"),
+    }
+
+
+def build_system(header: Dict[str, object],
+                 kwargs: Optional[Dict[str, object]] = None) -> MalleusSystem:
+    """Rebuild the recorded system (optionally with edited kwargs)."""
+    kwargs = dict(kwargs if kwargs is not None else system_kwargs(header))
+    task = build_task(header)
+    cluster = build_cluster(header)
+    cost_config = kwargs.pop("cost_config", None)
+    cost_model = MalleusCostModel(
+        task.model, cluster, cost_config,
+        kernels=kwargs.get("kernels") or "python",
+    )
+    return MalleusSystem(task, cluster, cost_model=cost_model,
+                         name=str(header.get("framework", "Malleus")),
+                         **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Edits
+# ----------------------------------------------------------------------
+class WhatIfEdit:
+    """Base class of composable what-if edits (identity by default)."""
+
+    def apply_rates(self, sequence: List[Dict[int, float]],
+                    header: Dict[str, object]) -> None:
+        """Mutate the per-event rate maps in place."""
+
+    def apply_system(self, kwargs: Dict[str, object]) -> None:
+        """Mutate the system-construction kwargs in place."""
+
+    def freeze_after(self) -> Optional[int]:
+        """Event index after which re-planning stops (``None``: never)."""
+        return None
+
+
+@dataclass(frozen=True)
+class ScaleGpuRate(WhatIfEdit):
+    """Scale one GPU's straggling severity across the whole session.
+
+    The *excess* over the healthy rate is what scales: ``factor=0``
+    heals the GPU outright (a failure heals to 1.0 too), ``factor=2``
+    doubles the slowdown beyond 1.0, and a failed GPU stays failed for
+    any positive factor.  Rates never drop below the healthy 1.0.
+    """
+
+    gpu: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 0.0:
+            raise ValueError("factor must be >= 0")
+
+    def apply_rates(self, sequence, header) -> None:
+        for rates in sequence:
+            rate = rates.get(self.gpu)
+            if rate is None:
+                continue
+            if math.isinf(rate):
+                rates[self.gpu] = math.inf if self.factor > 0.0 else 1.0
+            else:
+                rates[self.gpu] = 1.0 + max(0.0, rate - 1.0) * self.factor
+
+
+def heal(gpu: int) -> ScaleGpuRate:
+    """The leave-one-out edit: GPU ``gpu`` never degrades."""
+    return ScaleGpuRate(gpu=gpu, factor=0.0)
+
+
+@dataclass(frozen=True)
+class RemoveNode(WhatIfEdit):
+    """Fail every GPU of one node for the entire session."""
+
+    node: int
+
+    def apply_rates(self, sequence, header) -> None:
+        gpus_per_node = int(header["cluster"]["gpus_per_node"])
+        num_nodes = int(header["cluster"]["num_nodes"])
+        if not 0 <= self.node < num_nodes:
+            raise ValueError(
+                f"node {self.node} not in the recorded cluster "
+                f"(0..{num_nodes - 1})")
+        gpus = range(self.node * gpus_per_node,
+                     (self.node + 1) * gpus_per_node)
+        for rates in sequence:
+            for gpu in gpus:
+                if gpu in rates:
+                    rates[gpu] = math.inf
+
+
+@dataclass(frozen=True)
+class SuppressEvent(WhatIfEdit):
+    """Pretend event ``index`` never happened.
+
+    The episode still runs (the tape's structure is preserved) but with
+    the previous episode's rates, so the planner sees no delta there;
+    later episodes keep their own recorded (possibly edited) rate maps.
+    """
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("cannot suppress the setup episode (index 0)")
+
+    def apply_rates(self, sequence, header) -> None:
+        if self.index >= len(sequence):
+            raise ValueError(
+                f"event {self.index} not in the session "
+                f"(have {len(sequence)})")
+        sequence[self.index] = dict(sequence[self.index - 1])
+
+
+@dataclass(frozen=True)
+class FreezePlan(WhatIfEdit):
+    """Stop re-planning after event ``after_event``.
+
+    Later episodes keep the incumbent plan (no planner, no migration,
+    no downtime) and only their simulated step times change — the
+    counterfactual cost of *not* adapting.
+    """
+
+    after_event: int
+
+    def freeze_after(self) -> Optional[int]:
+        return self.after_event
+
+
+@dataclass(frozen=True)
+class OverrideConfig(WhatIfEdit):
+    """Replay under different system knobs (``None`` keeps recorded)."""
+
+    transition_config: Optional[TransitionConfig] = None
+    sweep_config: Optional[SweepConfig] = None
+    replan_config: Optional[ReplanConfig] = None
+    incremental: Optional[bool] = None
+    keep_dp_degree: Optional[bool] = None
+    shift_threshold: Optional[float] = None
+    kernels: Optional[str] = None
+
+    def apply_system(self, kwargs) -> None:
+        for name in ("transition_config", "sweep_config", "replan_config",
+                     "incremental", "keep_dp_degree", "shift_threshold",
+                     "kernels"):
+            value = getattr(self, name)
+            if value is not None:
+                kwargs[name] = value
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayEvent:
+    """One replayed episode, mirroring the recorded one."""
+
+    index: int
+    situation: str
+    num_steps: int
+    rates: Dict[int, float]
+    adjustment: Adjustment
+    plan: Optional[Dict[str, object]]
+    step_time: float
+    frozen: bool = False
+
+    @property
+    def total_time(self) -> float:
+        return self.step_time * self.num_steps + self.adjustment.downtime
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a session trace under edits."""
+
+    trace: SessionTrace
+    edits: Tuple[WhatIfEdit, ...]
+    events: List[ReplayEvent] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end time of the replayed session."""
+        return sum(event.total_time for event in self.events)
+
+    def mismatches(self) -> List[str]:
+        """Differences against the recording's deterministic fields.
+
+        Empty for a faithful replay; an edited replay reports what
+        changed.  Compares plan fingerprints, simulated step times and
+        the deterministic adjustment fields (downtime only when planning
+        was asynchronous — synchronous downtime includes wall-clock
+        planning time, which no replay can reproduce).
+        """
+        diffs: List[str] = []
+        compare_downtime = bool(
+            self.trace.header.get("system", {}).get("async_replanning", True))
+        for recorded, replayed in zip(self.trace.events, self.events):
+            where = f"event {recorded.index}"
+            if recorded.situation:
+                where += f" ({recorded.situation})"
+            if recorded.plan != replayed.plan:
+                diffs.append(f"{where}: plan fingerprint differs")
+            if recorded.step_time != replayed.step_time:
+                diffs.append(
+                    f"{where}: step time {recorded.step_time!r} -> "
+                    f"{replayed.step_time!r}")
+            if recorded.kind == "setup":
+                continue
+            for name in DETERMINISTIC_ADJUSTMENT_FIELDS:
+                recorded_value = recorded.adjustment.get(name)
+                replayed_value = getattr(replayed.adjustment, name)
+                if recorded_value != replayed_value:
+                    diffs.append(
+                        f"{where}: adjustment.{name} {recorded_value!r} -> "
+                        f"{replayed_value!r}")
+            if compare_downtime:
+                recorded_downtime = recorded.adjustment.get("downtime", 0.0)
+                if recorded_downtime != replayed.adjustment.downtime:
+                    diffs.append(
+                        f"{where}: downtime {recorded_downtime!r} -> "
+                        f"{replayed.adjustment.downtime!r}")
+        if len(self.trace.events) != len(self.events):
+            diffs.append(
+                f"episode count {len(self.trace.events)} -> "
+                f"{len(self.events)}")
+        return diffs
+
+    @property
+    def matches_recording(self) -> bool:
+        """True when the replay is bit-identical to the recording."""
+        return not self.mismatches()
+
+
+class WhatIfEngine:
+    """Replays :class:`SessionTrace` tapes through the real system."""
+
+    def replay(self, trace: SessionTrace,
+               edits: Sequence[WhatIfEdit] = ()) -> ReplayResult:
+        """Re-run the recorded episode sequence under ``edits``."""
+        edits = tuple(edits)
+        header = trace.header
+        kwargs = system_kwargs(header)
+        for edit in edits:
+            edit.apply_system(kwargs)
+        sequence = [dict(event.rates) for event in trace.events]
+        for edit in edits:
+            edit.apply_rates(sequence, header)
+        freeze_points = [edit.freeze_after() for edit in edits
+                         if edit.freeze_after() is not None]
+        freeze = min(freeze_points) if freeze_points else None
+
+        system = build_system(header, kwargs)
+        cluster = system.cluster
+        result = ReplayResult(trace=trace, edits=edits)
+        try:
+            for event, rates in zip(trace.events, sequence):
+                state = state_from_rates(cluster, rates)
+                frozen = False
+                if event.kind == "setup":
+                    system.setup(state)
+                    adjustment = Adjustment(kind="setup")
+                elif freeze is not None and event.index > freeze:
+                    frozen = True
+                    adjustment = Adjustment(
+                        kind="frozen",
+                        description="re-planning frozen by a what-if edit",
+                    )
+                else:
+                    adjustment = system.on_situation_change(
+                        state, rebalance_only=event.rebalance_only,
+                        force=event.force,
+                    )
+                result.events.append(ReplayEvent(
+                    index=event.index,
+                    situation=event.situation,
+                    num_steps=event.num_steps,
+                    rates=dict(rates),
+                    adjustment=adjustment,
+                    plan=plan_fingerprint(system.plan),
+                    step_time=system.step_time(state),
+                    frozen=frozen,
+                ))
+        finally:
+            system.planner.sweep_executor.close()
+        return result

@@ -1,0 +1,377 @@
+"""Session recording: a lossless, replayable tape of a Malleus run.
+
+A :class:`SessionRecorder` attaches to a :class:`~repro.runtime.malleus.
+MalleusSystem` (directly, or through the planning service) and tapes every
+``setup`` / ``on_situation_change`` episode: the observed rate map, the
+admission flags (``rebalance_only`` / ``force``), the resulting
+:class:`~repro.simulator.session.Adjustment`, the post-episode plan
+fingerprint and the simulated step time.  Together with a header that
+captures everything needed to rebuild the system — model spec, cluster
+shape, every config knob — the tape is a :class:`SessionTrace`: a
+versioned JSON-lines file with a lossless round-trip
+(:meth:`SessionTrace.save` / :meth:`SessionTrace.load`) that the what-if
+engine (:mod:`repro.whatif.engine`) can replay under edited conditions.
+
+Recording is strictly observational: the recorder never mutates the
+system, so a recorded run is bit-identical to an unrecorded one.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster.stragglers import ClusterState
+from ..cluster.topology import GIB, Cluster
+from ..cluster.trace import StragglerTrace
+from ..simulator.session import Adjustment, TraceRunResult, run_trace
+
+#: On-disk format marker + schema version of the JSON-lines tape.
+TRACE_FORMAT = "repro-session-trace"
+TRACE_VERSION = 1
+
+#: Adjustment fields that are pure functions of the recorded inputs and
+#: therefore must reproduce bit-identically on replay.  Wall-clock fields
+#: (``planning_time``), engine diagnostics (``sweep_stats``,
+#: ``tier_errors``) and the speculation flag (a latency optimisation that
+#: is plan-neutral by contract) are recorded but not compared.
+DETERMINISTIC_ADJUSTMENT_FIELDS = (
+    "kind", "event_kind", "repair_tier",
+    "migration_bytes", "hidden_migration_time",
+)
+
+
+def plan_fingerprint(plan) -> Optional[Dict[str, object]]:
+    """JSON-safe identity of a parallelization plan.
+
+    Covers everything two plans can differ in at the scheduling level:
+    per-pipeline stage shapes (tp degree x layer count), micro-batch
+    apportioning, micro-batch size, DP degree, and the active/removed GPU
+    sets.  ``None`` for "no plan yet".
+    """
+    if plan is None:
+        return None
+    return {
+        "stage_shape": [[list(stage) for stage in pipeline]
+                        for pipeline in plan.stage_shape()],
+        "micro_batches": list(plan.micro_batches()),
+        "micro_batch_size": plan.micro_batch_size,
+        "dp_degree": plan.dp_degree,
+        "active_gpus": sorted(plan.active_gpus),
+        "removed_gpus": sorted(plan.removed_gpus),
+    }
+
+
+def encode_rates(rates: Dict[int, float]) -> Dict[str, object]:
+    """Rate map -> strict-JSON object (``inf`` as the string ``"inf"``)."""
+    return {
+        str(gpu): ("inf" if math.isinf(rate) else rate)
+        for gpu, rate in sorted(rates.items())
+    }
+
+
+def decode_rates(payload: Dict[str, object]) -> Dict[int, float]:
+    """Inverse of :func:`encode_rates`."""
+    return {
+        int(gpu): (math.inf if rate == "inf" else float(rate))
+        for gpu, rate in payload.items()
+    }
+
+
+@dataclass
+class RecordedEvent:
+    """One taped planning episode (or the initial ``setup``)."""
+
+    index: int
+    kind: str  # "setup" or "event"
+    rates: Dict[int, float]
+    adjustment: Dict[str, object]
+    plan: Optional[Dict[str, object]]
+    step_time: float
+    #: Admission flags of the episode (the planning service's degraded
+    #: modes); replay passes them back verbatim so service-driven
+    #: sessions — deferrals, forced retries — reproduce exactly.
+    rebalance_only: bool = False
+    force: bool = False
+    #: Situation name / duration from the driving straggler trace
+    #: (annotated by :func:`record_session`; empty/0 for raw service
+    #: recordings, where episodes do not map 1:1 to situations).
+    situation: str = ""
+    num_steps: int = 0
+    #: Queue metadata of the service episode that produced this event
+    #: (``None`` for direct recordings).
+    service: Optional[Dict[str, object]] = None
+
+    @property
+    def total_time(self) -> float:
+        """Training time plus adjustment downtime for this episode."""
+        return self.step_time * self.num_steps + \
+            float(self.adjustment.get("downtime", 0.0))
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["rates"] = encode_rates(self.rates)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RecordedEvent":
+        data = dict(payload)
+        data["rates"] = decode_rates(data["rates"])
+        return cls(**data)
+
+
+@dataclass
+class SessionTrace:
+    """A recorded session: rebuild header plus the taped episodes."""
+
+    header: Dict[str, object]
+    events: List[RecordedEvent] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return str(self.header.get("name", "session"))
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    def event(self, index: int) -> RecordedEvent:
+        return self.events[index]
+
+    def total_time(self) -> float:
+        """End-to-end time of the recorded run (needs annotated steps)."""
+        return sum(event.total_time for event in self.events)
+
+    def degraded_gpus(self) -> Dict[int, float]:
+        """GPUs that ever straggled/failed -> cumulative excess rate.
+
+        The excess is ``sum((rate - 1) * num_steps)`` over the session
+        (an unannotated episode counts one step; a failure counts as the
+        paper's maximum observed rate) — a cheap severity prior used to
+        pre-rank leave-one-out candidates, not a substitute for replay.
+        """
+        excess: Dict[int, float] = {}
+        for event in self.events:
+            steps = max(1, event.num_steps)
+            for gpu, rate in event.rates.items():
+                capped = 12.53 if math.isinf(rate) else rate
+                if capped > 1.0 + 1e-9:
+                    excess[gpu] = excess.get(gpu, 0.0) + \
+                        (capped - 1.0) * steps
+        return excess
+
+    # ------------------------------------------------------------------
+    # Persistence (versioned JSON lines: header line, then one per event)
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.header, handle, sort_keys=True, allow_nan=False)
+            handle.write("\n")
+            for event in self.events:
+                json.dump(event.as_dict(), handle, sort_keys=True,
+                          allow_nan=False)
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SessionTrace":
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        if not lines:
+            raise ValueError(f"{path}: empty session trace")
+        header = json.loads(lines[0])
+        if header.get("format") != TRACE_FORMAT:
+            raise ValueError(
+                f"{path}: not a {TRACE_FORMAT} file "
+                f"(format={header.get('format')!r})")
+        if header.get("version") != TRACE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')!r}"
+                f" (supported: {TRACE_VERSION})")
+        events = [RecordedEvent.from_dict(json.loads(line))
+                  for line in lines[1:]]
+        return cls(header=header, events=events)
+
+
+def _require_homogeneous(cluster: Cluster) -> Dict[str, object]:
+    """Serializable parameters of a homogeneous cluster (or raise)."""
+    gpus = list(cluster.iter_gpus())
+    first = gpus[0]
+    nodes = cluster.nodes
+    if any(gpu.memory_bytes != first.memory_bytes
+           or gpu.peak_tflops != first.peak_tflops for gpu in gpus) or \
+            any(node.num_gpus != nodes[0].num_gpus
+                or node.intra_node_bandwidth != nodes[0].intra_node_bandwidth
+                for node in nodes):
+        raise ValueError(
+            "session traces currently support homogeneous clusters only")
+    return {
+        "num_nodes": cluster.num_nodes,
+        "gpus_per_node": cluster.gpus_per_node,
+        "memory_gib": first.memory_bytes / GIB,
+        "peak_tflops": first.peak_tflops,
+        "intra_node_bandwidth": nodes[0].intra_node_bandwidth,
+        "inter_node_bandwidth": cluster.inter_node_bandwidth,
+        "name": cluster.name,
+    }
+
+
+def _config_dict(config) -> Optional[Dict[str, object]]:
+    return None if config is None else asdict(config)
+
+
+def build_header(system, name: str = "session",
+                 metadata: Optional[Dict[str, object]] = None
+                 ) -> Dict[str, object]:
+    """Everything the what-if engine needs to rebuild ``system``."""
+    task = system.task
+    return {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "name": name,
+        "framework": system.name,
+        "model": asdict(task.model),
+        "task": {
+            "global_batch_size": task.global_batch_size,
+            "micro_batch_size": task.micro_batch_size,
+        },
+        "cluster": _require_homogeneous(system.cluster),
+        "system": {
+            "keep_dp_degree": system.keep_dp_degree,
+            "async_replanning": system.async_replanning,
+            "incremental": system.incremental,
+            "shift_threshold": system.shift_threshold,
+            "kernels": system.kernels,
+            "profiler_config": _config_dict(system.profiler_config),
+            "replan_config": _config_dict(system.replan_config),
+            "transition_config": _config_dict(system.transition_config),
+            "sweep_config": _config_dict(system.sweep_config),
+            "restart_config": _config_dict(system.restart_config),
+            "cost_config": _config_dict(system.cost_model.config),
+        },
+        "metadata": dict(metadata or {}),
+    }
+
+
+class SessionRecorder:
+    """Tape every planning episode of one system into a session trace.
+
+    Attach with :meth:`attach` (sets ``system.recorder``); the system's
+    ``setup`` / ``on_situation_change`` taps call back into
+    :meth:`record_setup` / :meth:`record_event`.  The planning service
+    additionally annotates each taped episode with its queue metadata
+    (:meth:`note_service_record`).
+    """
+
+    def __init__(self, name: str = "session",
+                 metadata: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.metadata = dict(metadata or {})
+        self.header: Optional[Dict[str, object]] = None
+        self.events: List[RecordedEvent] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, system) -> "SessionRecorder":
+        """Start taping ``system`` (header snapshots its configs now)."""
+        if self.header is None:
+            self.header = build_header(system, name=self.name,
+                                       metadata=self.metadata)
+        system.recorder = self
+        return self
+
+    def detach(self, system) -> None:
+        if system.recorder is self:
+            system.recorder = None
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def trace(self) -> SessionTrace:
+        if self.header is None:
+            raise RuntimeError("recorder was never attached to a system")
+        return SessionTrace(header=self.header, events=list(self.events))
+
+    # ------------------------------------------------------------------
+    # Taps (called by MalleusSystem / PlanningService)
+    # ------------------------------------------------------------------
+    def record_setup(self, system, state: ClusterState) -> None:
+        self._record(system, state, Adjustment(kind="setup"),
+                     kind="setup")
+
+    def record_event(self, system, state: ClusterState,
+                     adjustment: Adjustment,
+                     rebalance_only: bool = False,
+                     force: bool = False) -> None:
+        self._record(system, state, adjustment, kind="event",
+                     rebalance_only=rebalance_only, force=force)
+
+    def note_service_record(self, record) -> None:
+        """Annotate the just-taped episode with service queue metadata."""
+        if not self.events:
+            return
+        self.events[-1].service = {
+            "processed_at": record.processed_at,
+            "queue_wait": record.queue_wait,
+            "submissions": record.submissions,
+            "mode": record.mode,
+            "attempt": record.attempt,
+            "forced": record.forced,
+            "deferred": record.deferred,
+        }
+
+    def _record(self, system, state: ClusterState, adjustment: Adjustment,
+                kind: str, rebalance_only: bool = False,
+                force: bool = False) -> None:
+        self.events.append(RecordedEvent(
+            index=len(self.events),
+            kind=kind,
+            rates=dict(state.rate_map()),
+            adjustment=asdict(adjustment),
+            plan=plan_fingerprint(system.plan),
+            step_time=system.step_time(state),
+            rebalance_only=rebalance_only,
+            force=force,
+        ))
+
+    # ------------------------------------------------------------------
+    # Annotation
+    # ------------------------------------------------------------------
+    def annotate_from_trace(self, trace: StragglerTrace,
+                            steps_per_situation: Optional[int] = None
+                            ) -> None:
+        """Stamp situation names/durations onto a ``run_trace`` recording."""
+        if len(self.events) != len(trace.situations):
+            raise ValueError(
+                f"recorded {len(self.events)} episodes for "
+                f"{len(trace.situations)} situations; the recording was "
+                "not a 1:1 run_trace drive")
+        for event, situation in zip(self.events, trace.situations):
+            event.situation = situation.name
+            event.num_steps = steps_per_situation or situation.duration_steps
+
+
+def record_session(system, trace: StragglerTrace,
+                   steps_per_situation: Optional[int] = None,
+                   name: Optional[str] = None,
+                   metadata: Optional[Dict[str, object]] = None):
+    """Drive ``system`` through ``trace`` while taping every episode.
+
+    Returns ``(TraceRunResult, SessionTrace)`` — the live run's result
+    (bit-identical to an unrecorded :func:`~repro.simulator.session.
+    run_trace`) and the replayable session trace, annotated with the
+    driving trace's situation names and durations.
+    """
+    recorder = SessionRecorder(name=name or trace.name, metadata=metadata)
+    recorder.attach(system)
+    try:
+        result: TraceRunResult = run_trace(
+            system, trace, steps_per_situation=steps_per_situation)
+    finally:
+        recorder.detach(system)
+    recorder.annotate_from_trace(trace, steps_per_situation)
+    return result, recorder.trace

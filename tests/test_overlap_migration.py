@@ -217,6 +217,70 @@ class TestRuntimeOverlap:
         assert migrated > 0, "trace produced no migrations to overlap"
         assert overlap_run.total_time < default_run.total_time
 
+    def test_run_trace_charges_only_exposed_downtime(self):
+        # Regression: run_trace folds adjustment.downtime into
+        # wall_clock_time; under overlap that downtime must be the
+        # *exposed* tail of the drain only — never the full drain
+        # (double-charging the hidden portion).  Pin every migrating
+        # situation's wall clock against a hand-computed exposure.
+        overlap_steps = 1.0
+        config = TransitionConfig(enabled=False, overlap=True,
+                                  overlap_steps=overlap_steps)
+        workload = paper_workload("32b")
+        trace = generate_trace(workload.cluster, "persistent-degraders",
+                               seed=2, num_situations=8)
+        simulator = ExecutionSimulator(workload.cost_model)
+
+        # Manual lockstep drive capturing the pre-event plan per event.
+        shadow = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model,
+                               transition_config=config)
+        expected = []  # (drain, old_step) per situation, None for setup
+        for index, situation in enumerate(trace.situations):
+            state = situation.as_state(workload.cluster)
+            if index == 0:
+                shadow.setup(state)
+                expected.append(None)
+                continue
+            old_plan = shadow.plan
+            adjustment = shadow.on_situation_change(state)
+            if adjustment.kind != "migrate":
+                expected.append(None)
+                continue
+            migration = plan_migration(
+                old_plan, shadow.plan, workload.cluster,
+                layer_param_bytes=workload.task.model.layer_param_bytes(),
+                layer_optimizer_bytes=workload.task.model.params_per_layer()
+                * workload.cost_model.config.optimizer_bytes_per_param,
+            )
+            drain = simulator.migration_downtime(migration).drain_seconds
+            old_step = simulator.simulate_step(
+                old_plan, state.rate_map(), check_memory=False).step_time
+            expected.append((drain, old_step))
+
+        # The run under test: identical system driven through run_trace.
+        system = MalleusSystem(workload.task, workload.cluster,
+                               workload.cost_model,
+                               transition_config=config)
+        result = run_trace(system, trace)
+        migrated = 0
+        for index, situation_result in enumerate(result.situations):
+            adjustment = situation_result.adjustment
+            if expected[index] is None:
+                continue
+            migrated += 1
+            drain, old_step = expected[index]
+            exposure = max(0.0, drain - overlap_steps * old_step)
+            # Exposed-only downtime, with the hidden part accounted
+            # separately (hidden + exposed == drain, no double charge).
+            assert adjustment.downtime == pytest.approx(exposure, abs=1e-9)
+            assert adjustment.downtime + adjustment.hidden_migration_time \
+                == pytest.approx(drain, abs=1e-9)
+            assert situation_result.wall_clock_time == pytest.approx(
+                situation_result.avg_step_time
+                * situation_result.num_steps + exposure, abs=1e-9)
+        assert migrated > 0, "trace produced no migrations to pin"
+
     def test_default_charge_has_no_hidden_time(self):
         workload = paper_workload("32b")
         trace = generate_trace(workload.cluster, "persistent-degraders",

@@ -339,3 +339,68 @@ class TestDeadlineLadder:
         settled = [r for r in service.records if r.settled]
         assert service.stats.repairs + service.stats.no_ops == len(settled)
         assert service.stats.episodes == len(service.records)
+
+
+class TestNanSafeBenchJson:
+    """Empty-sample percentiles must reach disk as ``null``, never ``NaN``."""
+
+    def test_zero_event_service_has_nan_percentiles(self):
+        service = PlanningService(fresh_system(), ServiceConfig())
+        # The zero-event arm: nothing submitted, nothing settled.
+        assert math.isnan(service.latency_percentiles()["p50"])
+        assert math.isnan(service.queue_wait_percentiles()["p99"])
+
+    def test_zero_event_row_round_trips_as_null(self, tmp_path):
+        import json
+
+        from repro.experiments.service_latency import (
+            ServiceLatencyResult,
+            ServiceLatencyRow,
+            read_service_json,
+            write_service_json,
+        )
+
+        row = ServiceLatencyRow(
+            preset="empty", seed=0, num_events=0, raw_repairs=0,
+            episodes=0, service_repairs=0, coalesce_ratio=0.0,
+            plans_match=True,
+            queue_wait_p50=math.nan, queue_wait_p99=math.nan,
+            latency_p50=math.nan, latency_p99=math.nan,
+            spec_latency_p50=math.nan, spec_latency_p99=math.nan,
+        )
+        result = ServiceLatencyResult(model="tiny", debounce_window=0.0,
+                                      debounce_limit=0.0, rows=[row])
+        path = str(tmp_path / "BENCH_service_latency.json")
+        write_service_json(result, path)
+        text = open(path).read()
+        assert "NaN" not in text
+        assert "null" in text
+
+        def reject(token):
+            raise AssertionError(f"non-JSON token {token!r} on disk")
+
+        json.loads(text, parse_constant=reject)  # strict parse passes
+        loaded = read_service_json(path)
+        assert math.isnan(loaded.rows[0].latency_p50)
+        assert math.isnan(loaded.rows[0].queue_wait_p99)
+        assert loaded.rows[0].num_events == 0
+
+    def test_regression_gate_rejects_nan_tokens(self, tmp_path):
+        import importlib.util
+        import os
+
+        spec = importlib.util.spec_from_file_location(
+            "regression_gate",
+            os.path.join(os.path.dirname(__file__), os.pardir,
+                         "benchmarks", "regression_gate.py"),
+        )
+        gate = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(gate)
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"latency_p50": NaN}\n')
+        good = tmp_path / "good.json"
+        good.write_text('{"latency_p50": null}\n')
+        missing = tmp_path / "missing.json"
+        assert gate.reject_non_finite_json([str(bad)]) == 1
+        assert gate.reject_non_finite_json([str(good), str(missing)]) == 0

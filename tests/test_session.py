@@ -82,6 +82,45 @@ class TestRunTrace:
         with pytest.raises(KeyError):
             result.step_time("missing")
 
+    def test_repeated_situation_names_no_shadowing(self):
+        # Generated scenario traces repeat names; step_time() used to
+        # return the first match while as_dict() kept the last.
+        cluster = paper_cluster(16)
+        situations = [
+            StragglerSituation(name="Normal", stragglers=[], duration_steps=5),
+            StragglerSituation(name="E1", stragglers=[], duration_steps=5),
+            StragglerSituation(name="E1", stragglers=[], duration_steps=5),
+        ]
+        trace = StragglerTrace(cluster=cluster, situations=situations)
+        framework = RecordingFramework({0: 1.0})
+        result = run_trace(framework, trace)
+        result.situations[1].avg_step_time = 2.0
+        result.situations[2].avg_step_time = 3.0
+        # Index lookup is exact; ambiguous name lookup raises instead of
+        # silently picking a winner.
+        assert result.step_time(1) == pytest.approx(2.0)
+        assert result.step_time(2) == pytest.approx(3.0)
+        with pytest.raises(KeyError, match="appears 2 times"):
+            result.step_time("E1")
+        with pytest.raises(KeyError):
+            result.step_time(99)
+        # as_dict disambiguates every repeated occurrence; unique names
+        # keep their historic keys.
+        mapping = result.as_dict()
+        assert mapping == {
+            "Normal": pytest.approx(1.0),
+            "E1#1": pytest.approx(2.0),
+            "E1#2": pytest.approx(3.0),
+        }
+
+    def test_unique_names_keep_historic_as_dict_keys(self):
+        cluster = paper_cluster(32)
+        trace = paper_trace(cluster, include_trailing_normal=True)
+        framework = RecordingFramework({0: 1.0})
+        result = run_trace(framework, trace)
+        assert set(result.as_dict()) == set(trace.names())
+        assert result.situation_result(0).situation == "Normal"
+
 
 class TestTheoreticOptimum:
     def test_no_stragglers_equals_normal(self):

@@ -1,0 +1,459 @@
+"""What-if replay: recording, lossless round-trip, edits, attribution.
+
+The contracts under test:
+
+* recording is strictly observational — a recorded run is bit-identical
+  to an unrecorded one, and the tape's totals equal the live result's;
+* ``SessionTrace.save`` / ``load`` is a lossless round-trip (strict
+  JSON, ``inf`` rates survive, header and events byte-for-byte);
+* a no-edit :class:`WhatIfEngine` replay reproduces the recording
+  bit-identically — plan fingerprints, step times, deterministic
+  adjustment fields — including sessions driven through the planning
+  service (deferred events, forced retries, speculation-served repairs);
+* each edit means what it says (heal/scale/remove-node/suppress/freeze);
+* leave-one-out attribution verifies its own baseline and ranks by
+  lost seconds.
+"""
+
+import json
+import math
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+
+import strategies
+from repro.cluster.scenarios import generate_trace
+from repro.cluster.stragglers import ClusterState
+from repro.cluster.topology import make_cluster
+from repro.core.costmodel import MalleusCostModel
+from repro.models.spec import TrainingTask, TransformerModelSpec
+from repro.runtime.malleus import MalleusSystem
+from repro.runtime.service import MODE_SKIPPED, PlanningService, ServiceConfig
+from repro.testing.faults import FakeClock
+from repro.whatif import (
+    FreezePlan,
+    OverrideConfig,
+    RemoveNode,
+    ScaleGpuRate,
+    SessionTrace,
+    SuppressEvent,
+    WhatIfEngine,
+    attribute,
+    heal,
+    record_session,
+)
+from repro.whatif.engine import system_kwargs
+from repro.whatif.record import TRACE_FORMAT
+from repro.simulator.session import run_trace
+
+pytestmark = pytest.mark.whatif
+
+
+def tiny_workload():
+    model = TransformerModelSpec(
+        name="tiny", num_layers=8, hidden_size=1024, ffn_hidden_size=2816,
+        num_attention_heads=16, num_kv_heads=16, vocab_size=32000,
+        seq_length=512,
+    )
+    task = TrainingTask(model=model, global_batch_size=32, micro_batch_size=1)
+    cluster = make_cluster(num_nodes=2, gpus_per_node=8, memory_gib=16.0,
+                           peak_tflops=100.0, name="tiny-whatif")
+    return task, cluster
+
+
+def fresh_system():
+    task, cluster = tiny_workload()
+    return MalleusSystem(task, cluster,
+                         MalleusCostModel(task.model, cluster)), cluster
+
+
+def tiny_trace(preset="persistent-degraders", seed=7, num_situations=5):
+    _, cluster = tiny_workload()
+    return generate_trace(cluster, preset, seed=seed,
+                          num_situations=num_situations), cluster
+
+
+def recorded_session(**kwargs):
+    trace, _ = tiny_trace(**kwargs)
+    system, _ = fresh_system()
+    return record_session(system, trace)
+
+
+def save_load(session):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "session.jsonl")
+        session.save(path)
+        return SessionTrace.load(path)
+
+
+def healthy_state(cluster, overrides=None):
+    rates = {g: 1.0 for g in cluster.gpu_ids()}
+    rates.update(overrides or {})
+    return ClusterState(cluster, rates)
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+class TestRecording:
+    def test_recording_is_observational(self):
+        # The recorded run must be bit-identical to an unrecorded one.
+        trace, _ = tiny_trace()
+        bare, _ = fresh_system()
+        unrecorded = run_trace(bare, trace)
+        taped, _ = fresh_system()
+        recorded, session = record_session(taped, trace)
+        assert recorded.total_time == unrecorded.total_time
+        for base, rec in zip(unrecorded.situations, recorded.situations):
+            assert rec.avg_step_time == base.avg_step_time
+            assert rec.adjustment.kind == base.adjustment.kind
+            assert rec.adjustment.downtime == base.adjustment.downtime
+        assert session.num_events == len(trace.situations)
+
+    def test_recorder_detaches_after_record_session(self):
+        trace, _ = tiny_trace()
+        system, _ = fresh_system()
+        record_session(system, trace)
+        assert system.recorder is None
+
+    def test_trace_totals_match_the_live_result(self):
+        result, session = recorded_session()
+        assert session.total_time() == pytest.approx(result.total_time,
+                                                     rel=1e-12)
+
+    def test_events_are_annotated_with_situations(self):
+        trace, _ = tiny_trace()
+        system, _ = fresh_system()
+        _, session = record_session(system, trace)
+        assert [e.situation for e in session.events] == \
+            [s.name for s in trace.situations]
+        assert session.events[0].kind == "setup"
+        assert all(e.kind == "event" for e in session.events[1:])
+        assert all(e.num_steps > 0 for e in session.events)
+
+
+# ----------------------------------------------------------------------
+# Persistence round-trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_save_load_is_lossless(self):
+        _, session = recorded_session()
+        loaded = save_load(session)
+        assert loaded.header == session.header
+        assert len(loaded.events) == len(session.events)
+        for original, back in zip(session.events, loaded.events):
+            assert back.as_dict() == original.as_dict()
+            assert back.rates == original.rates
+
+    def test_infinite_rates_survive_the_round_trip(self):
+        trace, _ = tiny_trace(preset="flapping", seed=3)
+        system, _ = fresh_system()
+        _, session = recorded_session(preset="flapping", seed=3)
+        loaded = save_load(session)
+        for original, back in zip(session.events, loaded.events):
+            assert back.rates == original.rates
+
+    def test_saved_file_is_strict_json_lines(self):
+        _, session = recorded_session()
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "session.jsonl")
+            session.save(path)
+
+            def reject(token):
+                raise AssertionError(f"non-strict token {token!r}")
+
+            with open(path) as handle:
+                for line in handle:
+                    json.loads(line, parse_constant=reject)
+
+    def test_load_rejects_foreign_and_future_files(self):
+        _, session = recorded_session()
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bad.jsonl")
+            with open(path, "w") as handle:
+                handle.write(json.dumps({"format": "something-else"}) + "\n")
+            with pytest.raises(ValueError, match="not a"):
+                SessionTrace.load(path)
+            future = dict(session.header, version=99)
+            with open(path, "w") as handle:
+                handle.write(json.dumps(future) + "\n")
+            with pytest.raises(ValueError, match="unsupported trace version"):
+                SessionTrace.load(path)
+            assert TRACE_FORMAT in repr(session.header["format"])
+
+    def test_heterogeneous_clusters_are_rejected(self):
+        import dataclasses
+
+        from repro.cluster.topology import Cluster
+
+        task, uniform = tiny_workload()
+        first = uniform.nodes[0]
+        fast = dataclasses.replace(first.gpus[0],
+                                   peak_tflops=first.gpus[0].peak_tflops * 2)
+        nodes = [dataclasses.replace(first,
+                                     gpus=(fast,) + first.gpus[1:])] + \
+            uniform.nodes[1:]
+        cluster = Cluster(nodes=nodes,
+                          inter_node_bandwidth=uniform.inter_node_bandwidth,
+                          name=uniform.name)
+        system = MalleusSystem(task, cluster,
+                               MalleusCostModel(task.model, cluster))
+        from repro.whatif.record import build_header
+
+        with pytest.raises(ValueError, match="homogeneous"):
+            build_header(system)
+
+    @settings(max_examples=5, deadline=None)
+    @given(trace=strategies.scenario_traces(
+        cluster=make_cluster(num_nodes=2, gpus_per_node=8, memory_gib=16.0,
+                             peak_tflops=100.0, name="tiny-whatif"),
+        presets=("persistent-degraders", "frequent-small-events", "flapping"),
+        num_situations=4,
+    ))
+    def test_generated_sessions_round_trip_and_replay(self, trace):
+        # Any generated session records, saves, loads and replays
+        # bit-identically — the whole pipeline, property-tested.
+        system, _ = fresh_system()
+        result, session = record_session(system, trace)
+        loaded = save_load(session)
+        assert loaded.header == session.header
+        assert [e.as_dict() for e in loaded.events] == \
+            [e.as_dict() for e in session.events]
+        replay = WhatIfEngine().replay(loaded)
+        assert replay.mismatches() == []
+        assert replay.total_time == pytest.approx(result.total_time,
+                                                  rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# No-edit replay
+# ----------------------------------------------------------------------
+class TestNoEditReplay:
+    def test_replay_is_bit_identical(self):
+        result, session = recorded_session()
+        replay = WhatIfEngine().replay(session)
+        assert replay.mismatches() == []
+        assert replay.matches_recording
+        assert replay.total_time == pytest.approx(result.total_time,
+                                                  rel=1e-12)
+
+    def test_replay_detects_a_tampered_tape(self):
+        _, session = recorded_session()
+        session.events[2].step_time *= 1.5
+        replay = WhatIfEngine().replay(session)
+        assert any("step time" in diff for diff in replay.mismatches())
+
+
+# ----------------------------------------------------------------------
+# Edits
+# ----------------------------------------------------------------------
+class TestEdits:
+    def test_heal_removes_all_degradation(self):
+        _, session = recorded_session()
+        gpu = max(session.degraded_gpus(),
+                  key=lambda g: session.degraded_gpus()[g])
+        healed = WhatIfEngine().replay(session, [heal(gpu)])
+        for event in healed.events:
+            assert event.rates[gpu] == 1.0
+
+    def test_scale_semantics_on_excess_and_failures(self):
+        sequence = [{0: 1.0, 1: 3.0, 2: math.inf}]
+        ScaleGpuRate(gpu=1, factor=2.0).apply_rates(sequence, {})
+        assert sequence[0][1] == pytest.approx(5.0)  # 1 + 2*(3-1)
+        ScaleGpuRate(gpu=2, factor=0.5).apply_rates(sequence, {})
+        assert math.isinf(sequence[0][2])  # failed stays failed
+        ScaleGpuRate(gpu=2, factor=0.0).apply_rates(sequence, {})
+        assert sequence[0][2] == 1.0  # factor 0 heals a failure
+        ScaleGpuRate(gpu=0, factor=4.0).apply_rates(sequence, {})
+        assert sequence[0][0] == 1.0  # healthy stays healthy
+        with pytest.raises(ValueError, match=">= 0"):
+            ScaleGpuRate(gpu=0, factor=-1.0)
+
+    def test_remove_node_fails_its_gpus_everywhere(self):
+        _, session = recorded_session()
+        replay = WhatIfEngine().replay(session, [RemoveNode(node=1)])
+        for event in replay.events:
+            for gpu in range(8, 16):
+                assert math.isinf(event.rates[gpu])
+            for gpu in range(0, 8):
+                assert not math.isinf(event.rates[gpu])
+
+    def test_remove_node_validates_the_node_index(self):
+        _, session = recorded_session()
+        with pytest.raises(ValueError, match="not in the recorded cluster"):
+            WhatIfEngine().replay(session, [RemoveNode(node=9)])
+
+    def test_suppress_event_copies_the_previous_rates(self):
+        _, session = recorded_session()
+        index = 2
+        replay = WhatIfEngine().replay(session, [SuppressEvent(index)])
+        assert replay.events[index].rates == replay.events[index - 1].rates
+        # Later events keep their own recorded rates.
+        assert replay.events[index + 1].rates == \
+            session.events[index + 1].rates
+        with pytest.raises(ValueError, match="setup"):
+            SuppressEvent(0)
+
+    def test_freeze_plan_stops_replanning(self):
+        _, session = recorded_session()
+        replay = WhatIfEngine().replay(session, [FreezePlan(after_event=1)])
+        incumbent = replay.events[1].plan
+        for event in replay.events[2:]:
+            assert event.frozen
+            assert event.adjustment.kind == "frozen"
+            assert event.adjustment.downtime == 0.0
+            assert event.plan == incumbent
+        assert not replay.events[0].frozen
+        assert not replay.events[1].frozen
+
+    def test_override_config_rewrites_system_kwargs(self):
+        _, session = recorded_session()
+        kwargs = system_kwargs(session.header)
+        OverrideConfig(shift_threshold=0.5, incremental=False,
+                       kernels="python").apply_system(kwargs)
+        assert kwargs["shift_threshold"] == 0.5
+        assert kwargs["incremental"] is False
+        assert kwargs["kernels"] == "python"
+        # None fields keep the recorded values.
+        untouched = system_kwargs(session.header)
+        OverrideConfig().apply_system(untouched)
+        assert untouched == system_kwargs(session.header)
+
+    def test_edits_compose_in_order(self):
+        _, session = recorded_session()
+        gpu = next(iter(session.degraded_gpus()))
+        replay = WhatIfEngine().replay(
+            session, [ScaleGpuRate(gpu=gpu, factor=3.0), heal(gpu)])
+        for event in replay.events:
+            assert event.rates[gpu] == 1.0  # the later heal wins
+
+
+# ----------------------------------------------------------------------
+# Attribution
+# ----------------------------------------------------------------------
+class TestAttribution:
+    @pytest.fixture(scope="class")
+    def report_and_session(self):
+        _, session = recorded_session(seed=11, num_situations=5)
+        report = attribute(session, top_k=3, max_candidates=3)
+        return report, session
+
+    def test_baseline_verifies_the_tape(self, report_and_session):
+        report, session = report_and_session
+        assert report.baseline_matches_recording
+        assert report.baseline_total == pytest.approx(session.total_time(),
+                                                      rel=1e-12)
+
+    def test_culprits_are_degraded_and_ranked(self, report_and_session):
+        report, session = report_and_session
+        degraded = session.degraded_gpus()
+        losses = [c.lost_seconds for c in report.culprits]
+        assert losses == sorted(losses, reverse=True)
+        for culprit in report.culprits:
+            assert culprit.gpu in degraded
+            assert culprit.degraded_events >= 1
+            assert culprit.healed_total == pytest.approx(
+                report.baseline_total - culprit.lost_seconds, rel=1e-9)
+
+    def test_event_impacts_cover_every_event(self, report_and_session):
+        report, session = report_and_session
+        assert len(report.events) == session.num_events - 1
+        losses = [e.lost_seconds for e in report.events]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_report_formats(self, report_and_session):
+        report, _ = report_and_session
+        text = report.format()
+        assert "What-if attribution" in text
+        assert "leave-one-out" in text
+        payload = report.as_dict()
+        json.dumps(payload, allow_nan=False)  # JSON-safe, strict
+
+
+# ----------------------------------------------------------------------
+# Service-driven sessions
+# ----------------------------------------------------------------------
+class TestServiceRecording:
+    def service_session(self, config, clock=None, states=(), tail=16):
+        from repro.whatif import SessionRecorder
+
+        task, cluster = tiny_workload()
+        system = MalleusSystem(task, cluster,
+                               MalleusCostModel(task.model, cluster))
+        recorder = SessionRecorder(name="service-session")
+        service = PlanningService(system, config,
+                                  clock=clock or FakeClock(tick=0.0),
+                                  recorder=recorder)
+        system.setup(healthy_state(cluster))
+        for index, overrides in enumerate(states):
+            service.submit(healthy_state(cluster, overrides),
+                           now=float(index))
+            service.pump(now=float(index))
+        tick = len(states)
+        while service.pending and tick < len(states) + tail:
+            service.pump(now=float(tick))
+            tick += 1
+        service.drain(now=float(tick))
+        return recorder.trace, service, cluster
+
+    def test_deferred_and_forced_episodes_replay_bit_identically(self):
+        # The deadline ladder defers (taping nothing for skipped
+        # episodes) and finally forces the event through; the tape must
+        # still replay exactly via the recorded admission flags.
+        gpus = list(range(16))
+        session, service, _ = self.service_session(
+            ServiceConfig(coalesce=True, deadline=1.0, max_retries=1,
+                          retry_backoff=1.0),
+            clock=FakeClock(tick=3.0),
+            states=[{gpus[0]: 2.6}, {gpus[0]: 2.6, gpus[9]: 3.4},
+                    {gpus[0]: 2.6, gpus[9]: 3.4, gpus[12]: 2.2}],
+        )
+        skipped = [r for r in service.records if r.mode == MODE_SKIPPED]
+        assert skipped, "ladder produced no deferral"
+        # Skipped episodes tape nothing; settled ones carry metadata.
+        taped = [e for e in session.events if e.kind == "event"]
+        assert len(taped) == len([r for r in service.records
+                                  if r.mode != MODE_SKIPPED])
+        assert any(e.service and e.service["forced"] for e in taped)
+        replay = WhatIfEngine().replay(session)
+        assert replay.mismatches() == []
+
+    def test_speculation_served_repairs_replay_bit_identically(self):
+        # Speculation is plan-neutral by contract: a session whose
+        # repairs were served from the speculation cache replays exactly
+        # on a speculation-free rebuilt system.
+        gpu = 3
+        states = [{gpu: 2.0} if index % 2 else None for index in range(8)]
+        session, service, _ = self.service_session(
+            ServiceConfig(coalesce=True, speculate=True),
+            states=states,
+        )
+        assert session.num_events > 1
+        replay = WhatIfEngine().replay(session)
+        assert replay.mismatches() == []
+
+    def test_service_metadata_survives_the_round_trip(self):
+        session, _, _ = self.service_session(
+            ServiceConfig(coalesce=True),
+            states=[{5: 2.5}, {5: 2.5, 11: 3.0}],
+        )
+        loaded = save_load(session)
+        for original, back in zip(session.events, loaded.events):
+            assert back.service == original.service
+
+
+# ----------------------------------------------------------------------
+# Straggler-trace persistence (satellite: scenario round-trip)
+# ----------------------------------------------------------------------
+class TestStragglerTracePersistence:
+    def test_save_load_round_trip(self):
+        trace, cluster = tiny_trace(preset="flapping", seed=9)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "trace.json")
+            trace.save(path)
+            loaded = type(trace).load(path, cluster)
+        assert loaded.as_dict() == trace.as_dict()
+        for original, back in zip(trace.situations, loaded.situations):
+            assert back.rate_map(cluster) == original.rate_map(cluster)
