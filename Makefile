@@ -18,6 +18,11 @@
 #   make gate-hotpath-16k - only the 16384-GPU rows of the hot-path gate
 #                    (numpy kernels: cold plan < 1s, repair < 50ms,
 #                    plans bit-identical to the python reference)
+#   make gate-hotpath-64k - only the 65536-GPU rows of the hot-path gate
+#                    (numpy kernels: cold plan < 5s, repair < 150ms;
+#                    the python reference arm is skipped above
+#                    --reference-max-gpus, so these rows gate on the
+#                    absolute ceilings alone)
 #   make gate-transition - run the transition study and gate it against the
 #                    committed (deterministic) baseline
 #   make gate-transition-update - refresh the transition-study baseline
@@ -40,17 +45,18 @@
 #                    leave-one-out attribution rankings against the
 #                    committed (deterministic) baseline
 #   make gate-whatif-update - refresh the what-if baseline
-#   make gate-all  - every committed gate (hotpath incl. the 16384-GPU
-#                    rows, transition, scenarios, Table-5 presets, service
-#                    latency incl. the speculative arm, what-if replay)
-#                    plus the fast tier-1 run
+#   make gate-all  - every committed gate (hotpath incl. the 16384- and
+#                    65536-GPU rows, transition, scenarios, Table-5
+#                    presets, service latency incl. the speculative arm,
+#                    what-if replay) plus the fast tier-1 run
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test bench replan migration scenarios sweep service speculative \
 	whatif gate gate-update \
-	gate-hotpath-16k gate-transition gate-transition-update gate-scenarios \
+	gate-hotpath-16k gate-hotpath-64k gate-transition \
+	gate-transition-update gate-scenarios \
 	gate-scenarios-update gate-presets gate-presets-update \
 	gate-service gate-service-update gate-speculative \
 	gate-speculative-update gate-whatif gate-whatif-update gate-all
@@ -91,6 +97,9 @@ gate-update:
 gate-hotpath-16k:
 	$(PYTHON) -m repro.experiments.planner_hotpath --gate --only 16384
 
+gate-hotpath-64k:
+	$(PYTHON) -m repro.experiments.planner_hotpath --gate --only 65536
+
 gate-transition:
 	$(PYTHON) -m repro.experiments.transition_study --gate
 
@@ -127,5 +136,5 @@ gate-whatif:
 gate-whatif-update:
 	$(PYTHON) -m repro.experiments.whatif --update
 
-gate-all: gate gate-transition gate-scenarios gate-presets gate-service \
-	gate-speculative gate-whatif test
+gate-all: gate gate-hotpath-64k gate-transition gate-scenarios \
+	gate-presets gate-service gate-speculative gate-whatif test

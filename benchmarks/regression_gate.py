@@ -6,7 +6,12 @@ Compares a fresh ``BENCH_planner_hotpath.json`` (written by
 baseline under ``benchmarks/baselines/`` and fails when the overhauled
 planner's time regresses by more than ``--tolerance`` (default 20%) on any
 scenario, or when a run reports non-identical plans (for the incremental
-rows: a repair outside the engine's epsilon).
+rows: a repair outside the engine's epsilon).  The 16384- and 65536-GPU
+kernel rows additionally carry absolute latency ceilings (see
+``repro.experiments.planner_hotpath.ABSOLUTE_CEILINGS``); pass
+``--only 65536`` to gate just the 64k rows, matching
+``make gate-hotpath-64k`` (above ``--reference-max-gpus`` the python
+reference arm is skipped, so those rows gate on the ceilings alone).
 
 When a fresh ``BENCH_transition_study.json`` exists (written by ``pytest
 benchmarks/test_bench_transition_study.py``), the transition-study gate
@@ -139,6 +144,10 @@ def main(argv=None) -> int:
                              "so timer jitter on millisecond-scale rows "
                              "does not trip the relative gate "
                              "(default: %(default)ss)")
+    parser.add_argument("--only", default=None,
+                        help="restrict the hot-path gate to baseline "
+                             "scenarios containing this substring "
+                             "(e.g. 65536 for the 64k-GPU rows)")
     parser.add_argument("--update", action="store_true",
                         help="copy the fresh run over the baseline and exit")
     args = parser.parse_args(argv)
@@ -166,7 +175,8 @@ def main(argv=None) -> int:
     if status:
         return status
     status = gate_against_baseline(args.fresh, args.baseline,
-                                   args.tolerance, args.min_delta)
+                                   args.tolerance, args.min_delta,
+                                   only=args.only)
     if os.path.exists(TRANSITION_FRESH) and \
             os.path.exists(TRANSITION_BASELINE):
         status = max(status, gate_transition_study(TRANSITION_FRESH,

@@ -21,6 +21,16 @@ path matters more than latency.  The equivalence is testable on *your*
 workload with :func:`repro.testing.assert_kernel_equivalent`, which plans
 the same scenario once per backend and asserts the plans are identical.
 
+Profiling the planner: ``python -m repro.experiments.planner_hotpath
+--profile`` prints the per-kernel wall-time table (grouping, division,
+minmax, and the unattributed remainder) next to the before/after rows,
+sourced from ``PlanningTimeBreakdown.kernels`` — the same clocks every
+plan result carries in ``result.breakdown``.  That table is how the
+scalar tails get found before they get vectorized; pair it with
+``--reference-max-gpus`` to profile scales (e.g. the gated 65536-GPU
+rows, ``make gate-hotpath-64k``) where the python reference arm is too
+slow to run.
+
 Run with ``python examples/kernel_backends.py``.
 """
 

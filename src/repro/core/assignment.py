@@ -39,6 +39,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..compat import np
 from ..parallel.plan import (
     ParallelizationPlan,
     PipelinePlan,
@@ -276,6 +277,113 @@ def candidate_step_time_bound(
         if dp_term > bound:
             bound = dp_term
     return cost_model.tau(micro_batch_size) * bound
+
+
+#: Relative slack of the vectorized bound screen.  The batched harmonic
+#: sums use numpy's pairwise reduction, whose float chain differs from the
+#: reference's sequential left-to-right accumulation by at most ``~n *
+#: 2^-53`` relative (positive terms, condition number 1 — about ``4e-12``
+#: at 32k groups).  Scaling the batched values down by this factor makes
+#: them provably *never exceed* the exact sequential bound for any
+#: realistic group count (sound up to ~10^6 groups, three orders of
+#: magnitude of margin at the 64k-GPU scale), so they are safe to reject
+#: with; anything within the band pays the exact bound.
+BATCH_BOUND_EPSILON = 1e-9
+
+
+def candidate_step_time_bound_batch(
+    pipelines_groups: Sequence[Sequence[TPGroup]],
+    rates: Dict[int, float],
+    cost_model: MalleusCostModel,
+    num_layers: int,
+    global_batch_size: int,
+    micro_batch_sizes: Sequence[int],
+    dp_degree: Optional[int] = None,
+    epsilon: float = BATCH_BOUND_EPSILON,
+) -> Optional[List[float]]:
+    """Relaxed-by-``epsilon`` sound screen of :func:`candidate_step_time_bound`.
+
+    One numpy pass over the episode's :class:`~repro.core.costmodel.RateArray`
+    evaluates the total-work/harmonic-speed bound (dp-aware term included)
+    for *every* micro-batch size at once: the per-group member maxima are
+    gathered and reduced once (they do not depend on ``b``), then each
+    ``b`` only costs an elementwise ``rho``-scale, a vectorized reciprocal
+    sum and a min.
+
+    Because the reduction order of the harmonic sum is observable in the
+    exact bound (sweep entries are sorted and pruned on the value), the
+    vectorized sums cannot replace it bit-for-bit; instead every returned
+    value is scaled down by ``epsilon`` so that it provably never exceeds
+    the exact sequential bound.  Callers use the screen **only to
+    reject** — a candidate whose relaxed bound already exceeds a cutoff
+    would also exceed it exactly — and pay the exact sequential bound for
+    anything within the epsilon band (see
+    :func:`repro.core.sweep.candidate_bound`).
+
+    Returns one relaxed lower bound per entry of ``micro_batch_sizes``, or
+    ``None`` when numpy is unavailable or the cost model is not on the
+    ``numpy`` backend (callers fall back to the exact loop).
+    """
+    if np is None or getattr(cost_model, "kernels", "python") != "numpy":
+        return None
+    flat_groups = [g for groups in pipelines_groups for g in groups]
+    if not flat_groups:
+        return None
+    ra = cost_model.rate_array(rates)
+    # Same member-position gather (and the same memo) as the batched
+    # group-rate kernel: positions are rate-value independent.
+    cache_key = tuple(map(id, flat_groups))
+    entry = ra.gather_cache.get(cache_key)
+    if entry is None:
+        members = [g for group in flat_groups for g in group.gpu_ids]
+        positions = np.searchsorted(
+            ra.ids, np.asarray(members, dtype=np.int64)
+        )
+        sizes = [group.size for group in flat_groups]
+        offsets = np.zeros(len(flat_groups), dtype=np.int64)
+        np.cumsum(np.asarray(sizes[:-1], dtype=np.int64), out=offsets[1:])
+        if len(ra.gather_cache) >= 256:
+            ra.gather_cache.clear()
+        ra.gather_cache[cache_key] = (tuple(flat_groups), positions, offsets,
+                                      sizes)
+    else:
+        _, positions, offsets, sizes = entry
+    maxima = np.maximum.reduceat(ra.values[positions], offsets)
+    unique_sizes = sorted(set(sizes))
+    if len(unique_sizes) > 1:
+        sizes_arr = np.asarray(sizes, dtype=np.int64)
+    relax = 1.0 - epsilon
+    out: List[float] = []
+    for b in micro_batch_sizes:
+        total_micro_batches = global_batch_size // b
+        if total_micro_batches <= 0:
+            out.append(math.inf)
+            continue
+        if len(unique_sizes) == 1:
+            ys = cost_model.rho(unique_sizes[0], b) * maxima
+        else:
+            factors = np.empty(len(sizes), dtype=np.float64)
+            for size in unique_sizes:
+                factors[sizes_arr == size] = cost_model.rho(size, b)
+            ys = factors * maxima
+        usable = ys[np.isfinite(ys) & (ys > 0.0)]
+        if usable.size == 0:
+            out.append(math.inf)
+            continue
+        harmonic = float(np.sum(np.reciprocal(usable)))
+        if harmonic <= 0.0:
+            out.append(math.inf)
+            continue
+        bound = total_micro_batches * num_layers / harmonic
+        if dp_degree is not None and dp_degree > 0:
+            y_min = float(usable.min())
+            m_max = -(-total_micro_batches // dp_degree)  # ceil
+            dp_term = ((m_max - 1) * num_layers / harmonic
+                       + num_layers * y_min)
+            if dp_term > bound:
+                bound = dp_term
+        out.append(cost_model.tau(b) * bound * relax)
+    return out
 
 
 def exact_step_time(

@@ -180,6 +180,8 @@ class MalleusCostModel:
         self._capacity_cache: Dict[tuple, float] = {}
         self._max_layers_cache: Dict[tuple, int] = {}
         self._stage_caps_cache: Dict[tuple, tuple] = {}
+        self._capacity_vec_cache: Dict[tuple, tuple] = {}
+        self._munu_vec_cache: Dict[tuple, tuple] = {}
         self._cache_counters: Dict[str, int] = {}
         self._config_snapshot = self._snapshot_config()
 
@@ -196,6 +198,8 @@ class MalleusCostModel:
             "capacity": self._capacity_cache,
             "max_layers": self._max_layers_cache,
             "stage_caps": self._stage_caps_cache,
+            "capacity_vec": self._capacity_vec_cache,
+            "munu_vec": self._munu_vec_cache,
         }
 
     def _snapshot_config(self) -> tuple:
@@ -607,24 +611,82 @@ class MalleusCostModel:
                 )
                 for stage_index, group in enumerate(groups, start=1)
             ]
-        key = (tuple(map(id, groups)), pp_degree, micro_batch_size,
-               dp_degree)
+        ids_key = tuple(map(id, groups))
+        key = (ids_key, pp_degree, micro_batch_size, dp_degree)
         cached = self._stage_caps_cache.get(key)
         if cached is not None:
             self._count("stage_caps_hits")
             return list(cached[1])
         self._count("stage_caps_misses")
-        caps = [
-            self.max_layers_for_stage(
-                group.gpu_ids, pp_degree, stage_index, micro_batch_size,
-                dp_degree,
-            )
-            for stage_index, group in enumerate(groups, start=1)
-        ]
+        caps = self._stage_caps_numpy(groups, ids_key, pp_degree,
+                                      micro_batch_size, dp_degree)
+        if caps is None:
+            caps = [
+                self.max_layers_for_stage(
+                    group.gpu_ids, pp_degree, stage_index, micro_batch_size,
+                    dp_degree,
+                )
+                for stage_index, group in enumerate(groups, start=1)
+            ]
         if len(self._stage_caps_cache) >= 4096:
             self._stage_caps_cache.clear()
         self._stage_caps_cache[key] = (tuple(groups), tuple(caps))
         return list(caps)
+
+    def _stage_caps_numpy(self, groups: Sequence, ids_key: tuple,
+                          pp_degree: int, micro_batch_size: int,
+                          dp_degree: int) -> Optional[List[int]]:
+        """One-pass :meth:`stage_caps` for the numpy backend.
+
+        ``cap_i = floor((C_i - nu_i) / mu_i + 1e-9)`` is elementwise —
+        no reductions, so the IEEE operations match the scalar path
+        exactly and the caps are **bit-identical** to the python loop
+        (asserted by the kernel-equivalence suite).  The two inputs are
+        vector-memoized on their true dependencies: the capacity vector
+        on the groups' identity tuple (groups are frozen; the cache
+        entry pins them), the mu/nu vectors on ``(pp, b, dp)`` alone —
+        so a long pipeline's 2k-stage scalar loop collapses into two
+        dict hits and one array expression.  Returns ``None`` (caller
+        falls back to the scalar loop) off the numpy backend, for short
+        pipelines where the loop is cheaper, or when a degenerate
+        ``mu <= 0`` would need the scalar error path.
+        """
+        if np is None or self.kernels != "numpy" or len(groups) < 16:
+            return None
+        entry = self._capacity_vec_cache.get(ids_key)
+        if entry is None:
+            capacity = np.asarray(
+                [self.group_capacity(group.gpu_ids) for group in groups],
+                dtype=np.float64,
+            )
+            if len(self._capacity_vec_cache) >= 4096:
+                self._capacity_vec_cache.clear()
+            self._capacity_vec_cache[ids_key] = (tuple(groups), capacity)
+        else:
+            capacity = entry[1]
+        munu_key = (pp_degree, len(groups), micro_batch_size, dp_degree)
+        munu = self._munu_vec_cache.get(munu_key)
+        if munu is None:
+            mu = np.asarray(
+                [self.mu(pp_degree, stage_index, micro_batch_size, dp_degree)
+                 for stage_index in range(1, len(groups) + 1)],
+                dtype=np.float64,
+            )
+            nu = np.asarray(
+                [self.nu(pp_degree, stage_index, micro_batch_size, dp_degree)
+                 for stage_index in range(1, len(groups) + 1)],
+                dtype=np.float64,
+            )
+            if len(self._munu_vec_cache) >= 4096:
+                self._munu_vec_cache.clear()
+            self._munu_vec_cache[munu_key] = munu = (mu, nu)
+        mu, nu = munu
+        if not bool(np.all(mu > 0.0)):
+            return None
+        usable = capacity - nu
+        caps = np.floor(usable / mu + 1e-9).astype(np.int64)
+        caps[usable <= 0.0] = 0
+        return [int(cap) for cap in caps]
 
     def stage_memory_bytes(self, gpu_ids: Sequence[int], num_layers: int,
                            pp_degree: int, stage_index: int,

@@ -109,8 +109,10 @@ from ..models.spec import TrainingTask
 from ..parallel.plan import ParallelizationPlan, TPGroup
 from . import kernel_timing
 from .assignment import (
+    BATCH_BOUND_EPSILON,
     PlanCandidate,
     candidate_step_time_bound,
+    candidate_step_time_bound_batch,
     solve_lower_level,
 )
 from .costmodel import MalleusCostModel
@@ -239,10 +241,16 @@ class SweepConfig:
     #: Publish the per-batch rate map once through a
     #: ``multiprocessing.shared_memory`` block ([n int64 GPU ids |
     #: n float64 rates], both in the dict's insertion order) instead of
-    #: re-pickling the full dict into every worker batch.  Process
-    #: backend with numpy only (silently ignored otherwise);
-    #: byte-identical results — workers rebuild the exact same dict,
-    #: insertion order included, from the block.
+    #: re-pickling the full dict into every worker batch — and, since
+    #: PR 10, the batch's grouping state too: a second block carries
+    #: each distinct grouping's per-group member-id tables (the
+    #: partition fingerprint), isolated ids, harmonic throughput and a
+    #: crc32 integrity fingerprint per slot, while the specs themselves
+    #: ship as slot references (warm pipelines as group indices).
+    #: Process backend with numpy only (silently ignored otherwise);
+    #: byte-identical results — workers rebuild the exact same objects,
+    #: insertion order and within-batch identity included, from the
+    #: blocks.
     shared_rates: bool = False
     #: Collapse the warm and cold rounds of the static sweep into one
     #: combined submission with per-spec granularity, so free workers pull
@@ -383,10 +391,21 @@ class CandidateResult:
     timing: CandidateTiming = field(default_factory=CandidateTiming)
 
 
+#: Reject band of the batched bound screen, as a multiple of
+#: :data:`~repro.core.assignment.BATCH_BOUND_EPSILON`.  A micro-batch
+#: candidate whose relaxed bound exceeds the relaxed minimum by more than
+#: ``(1 + band)`` provably cannot attain the exact minimum — with
+#: ``band = 4 * eps``, ``(1 + band)(1 - eps) >= 1 + 2*eps`` while the
+#: relaxed-vs-exact drift is below ``eps`` on both sides — so only the
+#: in-band candidates pay the exact sequential bound.
+_BATCH_SCREEN_BAND = 4.0 * BATCH_BOUND_EPSILON
+
+
 def candidate_bound(grouping: GroupingResult, rates: Dict[int, float],
                     cost_model: MalleusCostModel, num_layers: int,
                     global_batch_size: int, b_candidates: Sequence[int],
-                    dp_degree: Optional[int] = None) -> float:
+                    dp_degree: Optional[int] = None,
+                    cutoff: Optional[float] = None) -> float:
     """Lower bound on the step time any division of ``grouping`` allows.
 
     :func:`~repro.core.assignment.candidate_step_time_bound` (total work
@@ -394,9 +413,47 @@ def candidate_bound(grouping: GroupingResult, rates: Dict[int, float],
     ``dp_degree`` is given) applied to the grouping's full group list — a
     superset of any pipeline division's groups — minimised over the
     micro-batch candidates, since the lower level picks the best ``b``.
+
+    On the numpy backend a relaxed-by-epsilon batched screen
+    (:func:`~repro.core.assignment.candidate_step_time_bound_batch`)
+    evaluates every micro-batch candidate in one vectorized pass first and
+    only the candidates within the epsilon band of the screened minimum
+    pay the exact sequential bound — the returned value is bit-identical
+    to the plain loop (the screen provably never hides the exact argmin).
+
+    With a finite ``cutoff`` (an incumbent step time the caller's sweep
+    will prune against), a candidate whose *relaxed* minimum already
+    clears the cutoff by more than the epsilon band skips the exact bound
+    entirely and returns the relaxed value: it is a sound lower bound, and
+    both it and the exact bound exceed the cutoff, so the sweep's
+    pruning decision — and therefore every solved candidate and the final
+    plan — is identical; only the pruned entry's recorded diagnostic bound
+    differs (by less than one part in 10^9).
     """
+    screened = candidate_step_time_bound_batch(
+        [grouping.groups], rates, cost_model, num_layers,
+        global_batch_size, b_candidates, dp_degree=dp_degree,
+    )
+    if screened is not None:
+        screened_min = min(screened, default=math.inf)
+        if math.isfinite(screened_min):
+            if cutoff is not None and \
+                    screened_min > cutoff * (1.0 + _BATCH_SCREEN_BAND) + 1e-9:
+                # Every micro-batch size's exact bound is at least its
+                # relaxed screen value, hence above the cutoff: the sweep
+                # prunes this candidate either way.
+                return screened_min
+            limit = screened_min * (1.0 + _BATCH_SCREEN_BAND)
+            survivors: Sequence[int] = [
+                b for b, value in zip(b_candidates, screened)
+                if value <= limit
+            ]
+        else:
+            survivors = b_candidates
+    else:
+        survivors = b_candidates
     bound = math.inf
-    for b in b_candidates:
+    for b in survivors:
         value = candidate_step_time_bound(
             [grouping.groups], rates, cost_model, num_layers,
             global_batch_size, b, dp_degree=dp_degree,
@@ -628,6 +685,135 @@ def _attach_shared_rates(descriptor) -> Dict[int, float]:
     return rates
 
 
+@dataclass
+class _SpecRef:
+    """A :class:`CandidateSpec` with its grouping state factored out.
+
+    Ships in place of the full spec when the executor publishes the
+    batch's grouping tables through shared memory: ``grouping_slot``
+    indexes the block's slot table, and ``warm_group_indices`` (when the
+    warm pipelines' groups are all drawn from the grouping itself, the
+    common case) encodes each warm pipeline as group indices instead of
+    re-pickling every ``TPGroup``.  ``warm_pipelines`` stays as the
+    pickled fallback for warm groups foreign to the grouping.
+    """
+
+    entry_index: int
+    dp_degree: int
+    grouping_slot: int
+    incumbent: float = math.inf
+    warm_group_indices: Optional[Tuple[Tuple[int, ...], ...]] = None
+    warm_pipelines: Optional[Tuple[Tuple[TPGroup, ...], ...]] = None
+    division_seed: Optional[Tuple[Tuple[float, ...], ...]] = None
+    shallow: bool = False
+
+
+#: Worker-side cache of the last attached shared-groupings block:
+#: ``(name, generation) -> decoded GroupingResult slots``, at most one
+#: entry.  Decoding runs once per published generation per worker; every
+#: later batch (including the fine-grained one-spec futures of the
+#: overlapped sweep, which all reference the same block) pays a ~70-byte
+#: descriptor and a dict hit instead of a full grouping pickle.
+_SHM_GROUPINGS: Dict[Tuple[str, int], List[GroupingResult]] = {}
+
+
+def _attach_shared_groupings(descriptor) -> List[GroupingResult]:
+    """Decode the parent-published grouping block into result slots.
+
+    ``descriptor`` is ``("shmg", name, n_int, num_slots, generation)``.
+    The block is ``[n_int int64 | num_slots float64]``: per slot a
+    header ``[crc32, tp_limit, num_groups, num_isolated]``, the group
+    sizes, the per-group member id tables (in group order — the
+    partition fingerprint *is* this table), and the isolated ids; the
+    float section carries each slot's ``harmonic_throughput`` bit-exact.
+    The crc32 integrity fingerprint of each slot's payload is verified
+    on decode — a mismatch (torn write, stale attach) raises, which the
+    executor's fault budget turns into a retry or serial fallback, never
+    a wrong plan.  Attachment suppresses ``resource_tracker.register``
+    exactly like :func:`_attach_shared_rates` (the block is
+    parent-owned).
+    """
+    import zlib
+
+    _, name, n_int, num_slots, generation = descriptor
+    cached = _SHM_GROUPINGS.get((name, generation))
+    if cached is not None:
+        return cached
+    from multiprocessing import resource_tracker, shared_memory
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+    ints = np.frombuffer(shm.buf, dtype=np.int64, count=n_int)
+    floats = np.frombuffer(shm.buf, dtype=np.float64, count=num_slots,
+                           offset=n_int * 8)
+    values = ints.tolist()
+    throughputs = floats.tolist()
+    del ints, floats
+    shm.close()
+
+    slots: List[GroupingResult] = []
+    position = 0
+    for slot in range(num_slots):
+        crc, tp_limit, num_groups, num_isolated = \
+            values[position:position + 4]
+        position += 4
+        start = position
+        sizes = values[position:position + num_groups]
+        position += num_groups
+        groups: List[TPGroup] = []
+        for size in sizes:
+            groups.append(TPGroup(
+                gpu_ids=tuple(values[position:position + size])))
+            position += size
+        isolated = list(values[position:position + num_isolated])
+        position += num_isolated
+        payload = np.asarray(values[start:position], dtype=np.int64)
+        if zlib.crc32(payload.tobytes()) != crc:
+            raise RuntimeError(
+                "shared grouping block failed its integrity fingerprint")
+        slots.append(GroupingResult(
+            tp_limit=tp_limit,
+            groups=groups,
+            isolated_gpus=isolated,
+            harmonic_throughput=throughputs[slot],
+        ))
+    _SHM_GROUPINGS.clear()
+    _SHM_GROUPINGS[(name, generation)] = slots
+    return slots
+
+
+def _resolve_spec_ref(ref: _SpecRef,
+                      slots: List[GroupingResult]) -> CandidateSpec:
+    """Rebuild the full :class:`CandidateSpec` from a shipped ref.
+
+    Warm pipelines encoded as group indices resolve to the *same*
+    ``TPGroup`` objects as the grouping's — exactly the identity pickle
+    would have preserved — so worker-side identity-keyed memos behave
+    identically to the pickled protocol.
+    """
+    grouping = slots[ref.grouping_slot]
+    warm = ref.warm_pipelines
+    if ref.warm_group_indices is not None:
+        groups = grouping.groups
+        warm = tuple(
+            tuple(groups[index] for index in pipeline)
+            for pipeline in ref.warm_group_indices
+        )
+    return CandidateSpec(
+        entry_index=ref.entry_index,
+        dp_degree=ref.dp_degree,
+        grouping=grouping,
+        incumbent=ref.incumbent,
+        warm_pipelines=warm,
+        division_seed=ref.division_seed,
+        shallow=ref.shallow,
+    )
+
+
 def _init_worker(state: _WorkerState) -> None:
     global _WORKER
     _WORKER = state
@@ -636,19 +822,28 @@ def _init_worker(state: _WorkerState) -> None:
 def _worker_evaluate(batch) -> List[CandidateResult]:
     """Evaluate one batch of specs inside a pool worker.
 
-    ``batch`` is ``(rates, micro_batch_candidates, config_vars, specs)``;
-    ``rates`` is either the plain dict or a shared-memory descriptor
-    (``("shm", name, n, generation)``) when the executor publishes rates
-    out of band; ``config_vars`` lets a worker self-heal after an in-place
-    calibration edit in the parent, mirroring
-    ``refresh_if_config_changed``.
+    ``batch`` is ``(rates, micro_batch_candidates, config_vars, specs,
+    groupings)``; ``rates`` is either the plain dict or a shared-memory
+    descriptor (``("shm", name, n, generation)``) when the executor
+    publishes rates out of band; ``groupings`` is ``None`` or the
+    grouping-block descriptor (``("shmg", ...)``) whose slots resolve
+    the batch's :class:`_SpecRef` entries; ``config_vars`` lets a worker
+    self-heal after an in-place calibration edit in the parent,
+    mirroring ``refresh_if_config_changed``.
     """
-    rates, b_candidates, config_vars, specs = batch
+    rates, b_candidates, config_vars, specs, groupings = batch
     state = _WORKER
     if state is None:  # pragma: no cover - defensive
         raise RuntimeError("sweep worker used before initialization")
     if isinstance(rates, tuple) and rates and rates[0] == "shm":
         rates = _attach_shared_rates(rates)
+    if groupings is not None:
+        slots = _attach_shared_groupings(groupings)
+        specs = [
+            _resolve_spec_ref(spec, slots)
+            if isinstance(spec, _SpecRef) else spec
+            for spec in specs
+        ]
     cost_model = state.cost_model
     if config_vars != vars(cost_model.config):
         for key, value in config_vars.items():
@@ -692,6 +887,18 @@ class SweepExecutor:
         self._shm_capacity = 0
         self._shm_rates = None
         self._shm_generation = 0
+        #: Shared-groupings publication state, mirroring the rates block:
+        #: the live block, its capacity in int64 slots, the identity key
+        #: of the distinct groupings currently published (plus strong
+        #: references pinning them, so a freed address can never alias a
+        #: new grouping onto a stale slot), the encoded descriptor, and
+        #: the generation workers key their decoded-slot cache on.
+        self._shm_groupings = None
+        self._shm_groupings_capacity = 0
+        self._shm_groupings_key = None
+        self._shm_groupings_refs = None
+        self._shm_groupings_descriptor = None
+        self._shm_groupings_generation = 0
         #: Pool crashes absorbed so far (drives the retry budget).
         self._pool_faults = 0
         #: Fault diagnostics: pool crashes/hangs seen, batches retried on a
@@ -723,13 +930,19 @@ class SweepExecutor:
         shm, self._shm = self._shm, None
         self._shm_rates = None
         self._shm_capacity = 0
-        if shm is None:
-            return
-        try:
-            shm.close()
-            shm.unlink()
-        except Exception:  # pragma: no cover - already gone
-            pass
+        groupings, self._shm_groupings = self._shm_groupings, None
+        self._shm_groupings_key = None
+        self._shm_groupings_refs = None
+        self._shm_groupings_descriptor = None
+        self._shm_groupings_capacity = 0
+        for block in (shm, groupings):
+            if block is None:
+                continue
+            try:
+                block.close()
+                block.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
 
     def close(self) -> None:
         """Alias of :meth:`shutdown` (idempotent, exception-safe)."""
@@ -741,13 +954,18 @@ class SweepExecutor:
         The speculation engine pre-solves likely next events during idle
         service steps; this reports how much parallel slack the backend
         has for that (the whole pool — idle steps by definition carry no
-        real sweep).  Serial backends report 1.  Advisory only: callers
+        real sweep).  Serial backends report 1.  A process backend that
+        degraded to serial *permanently* (the pool fault budget ran out)
+        reports 0: its every evaluation now runs inline on the service
+        thread, so there is no background slack at all and a future pool
+        hook must not schedule work against it.  Advisory only: callers
         that must stay deterministic across machines (the service's
         exact-gated counters) budget by configured ``top_k``, never by
         this number.
         """
-        if self.config.backend != "process" or \
-                self.fault_stats.get("serial_fallback"):
+        if self.fault_stats.get("serial_fallback"):
+            return 0
+        if self.config.backend != "process":
             return 1
         return max(1, self.config.resolved_workers())
 
@@ -864,9 +1082,128 @@ class SweepExecutor:
             self._release_shm()
             return None
 
+    def _shared_groupings_payload(self, specs: Sequence[CandidateSpec]):
+        """Publish the batch's grouping tables; return ``(descriptor,
+        refs)``.
+
+        Encodes every distinct grouping among ``specs`` (distinct by
+        identity — the sweep builds one :class:`GroupingResult` per TP
+        limit and every spec aliases it) into one shared block, and
+        replaces each spec with a :class:`_SpecRef` holding the slot
+        index, so the per-batch pickle cost no longer scales with the
+        cluster size.  The block is reused while the same grouping
+        objects are being swept (warm round, cold round, retries and the
+        per-spec futures of the overlapped sweep all hit the same
+        publication).  Returns ``(None, specs)`` unchanged when shared
+        memory or numpy is unavailable, mirroring the rates block — the
+        knob can never cost a plan.
+        """
+        if np is None or not specs:
+            return None, specs
+        import zlib
+
+        distinct: List[GroupingResult] = []
+        slot_by_id: Dict[int, int] = {}
+        for spec in specs:
+            if id(spec.grouping) not in slot_by_id:
+                slot_by_id[id(spec.grouping)] = len(distinct)
+                distinct.append(spec.grouping)
+        key = tuple(slot_by_id)
+        descriptor = self._shm_groupings_descriptor
+        if descriptor is None or self._shm_groupings_key != key:
+            try:
+                from multiprocessing import shared_memory
+
+                values: List[int] = []
+                throughputs: List[float] = []
+                for grouping in distinct:
+                    payload: List[int] = [
+                        group.size for group in grouping.groups
+                    ] + [
+                        gpu for group in grouping.groups
+                        for gpu in group.gpu_ids
+                    ] + list(grouping.isolated_gpus)
+                    crc = zlib.crc32(
+                        np.asarray(payload, dtype=np.int64).tobytes())
+                    values.extend([crc, grouping.tp_limit,
+                                   len(grouping.groups),
+                                   len(grouping.isolated_gpus)])
+                    values.extend(payload)
+                    throughputs.append(grouping.harmonic_throughput)
+                n_int = len(values)
+                needed = n_int + len(distinct)
+                if self._shm_groupings is None or \
+                        self._shm_groupings_capacity < needed:
+                    groupings, self._shm_groupings = \
+                        self._shm_groupings, None
+                    if groupings is not None:
+                        groupings.close()
+                        groupings.unlink()
+                    self._shm_groupings = shared_memory.SharedMemory(
+                        create=True, size=needed * 8)
+                    self._shm_groupings_capacity = needed
+                ints = np.frombuffer(self._shm_groupings.buf,
+                                     dtype=np.int64, count=n_int)
+                floats = np.frombuffer(self._shm_groupings.buf,
+                                       dtype=np.float64,
+                                       count=len(distinct),
+                                       offset=n_int * 8)
+                ints[:] = values
+                floats[:] = throughputs
+                del ints, floats
+                self._shm_groupings_generation += 1
+                descriptor = ("shmg", self._shm_groupings.name, n_int,
+                              len(distinct),
+                              self._shm_groupings_generation)
+                self._shm_groupings_key = key
+                self._shm_groupings_refs = distinct
+                self._shm_groupings_descriptor = descriptor
+            except Exception:  # pragma: no cover - no /dev/shm support
+                self._shm_groupings_key = None
+                self._shm_groupings_refs = None
+                self._shm_groupings_descriptor = None
+                return None, specs
+
+        refs: List[_SpecRef] = []
+        for spec in specs:
+            warm_indices = None
+            warm_pipelines = spec.warm_pipelines
+            if warm_pipelines is not None:
+                index_by_id = {
+                    id(group): index
+                    for index, group in enumerate(spec.grouping.groups)
+                }
+                if all(id(group) in index_by_id
+                       for pipeline in warm_pipelines
+                       for group in pipeline):
+                    warm_indices = tuple(
+                        tuple(index_by_id[id(group)] for group in pipeline)
+                        for pipeline in warm_pipelines
+                    )
+                    warm_pipelines = None
+            refs.append(_SpecRef(
+                entry_index=spec.entry_index,
+                dp_degree=spec.dp_degree,
+                grouping_slot=slot_by_id[id(spec.grouping)],
+                incumbent=spec.incumbent,
+                warm_group_indices=warm_indices,
+                warm_pipelines=warm_pipelines,
+                division_seed=spec.division_seed,
+                shallow=spec.shallow,
+            ))
+        return descriptor, refs
+
     def _run_batch(self, pool, ctx: EvalContext,
                    specs: Sequence[CandidateSpec],
                    fine: bool = False) -> List[CandidateResult]:
+        config_vars = dict(vars(ctx.cost_model.config))
+        rates_payload = ctx.rates
+        groupings_payload = None
+        if self.config.shared_rates:
+            descriptor = self._shared_rates_payload(ctx.rates)
+            if descriptor is not None:
+                rates_payload = descriptor
+            groupings_payload, specs = self._shared_groupings_payload(specs)
         workers = self.config.resolved_workers()
         if fine:
             chunks: List[List[CandidateSpec]] = [[spec] for spec in specs]
@@ -874,16 +1211,10 @@ class SweepExecutor:
             chunks = [[] for _ in range(workers)]
             for i, spec in enumerate(specs):
                 chunks[i % workers].append(spec)
-        config_vars = dict(vars(ctx.cost_model.config))
-        rates_payload = ctx.rates
-        if self.config.shared_rates:
-            descriptor = self._shared_rates_payload(ctx.rates)
-            if descriptor is not None:
-                rates_payload = descriptor
         futures = [
             pool.submit(_worker_evaluate,
                         (rates_payload, ctx.micro_batch_candidates,
-                         config_vars, chunk))
+                         config_vars, chunk, groupings_payload))
             for chunk in chunks if chunk
         ]
         timeout = self.config.batch_timeout or None

@@ -46,6 +46,7 @@ from .oobleck_compare import (
 from .optimality import OptimalityResult, format_optimality, run_optimality
 from .planner_hotpath import (
     PlannerHotpathResult,
+    format_kernel_profile,
     format_planner_hotpath,
     gate_against_baseline,
     read_hotpath_json,
@@ -109,6 +110,7 @@ __all__ = [
     "format_end_to_end",
     "format_grouping_validation",
     "format_incremental_comparison",
+    "format_kernel_profile",
     "format_oobleck_comparison",
     "format_optimality",
     "format_planner_hotpath",

@@ -768,9 +768,15 @@ class ReplanEngine:
                     # keeps winning ties either way.
                     continue
                 start = time.perf_counter()
+                # The warm repair supplies a live incumbent, so the
+                # batched screen can reject clearly-worse candidates
+                # without paying the exact sequential bound (transition
+                # sweeps relax the pruning cutoff to the epsilon window,
+                # so they keep exact bounds throughout).
                 bound = candidate_bound(
                     grouping, rates, cost_model, num_layers,
                     task.global_batch_size, b_candidates, dp_degree,
+                    cutoff=best_time if scorer is None else None,
                 )
                 breakdown.division += time.perf_counter() - start
                 entries.append(SweepEntry(bound, index, grouping, dp_degree))

@@ -53,6 +53,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..compat import np
 from ..core import kernel_timing
 from .minmax import solve_minmax_assignment
 
@@ -632,6 +633,33 @@ def _enumerate_slow_assignments(rates: Sequence[float], dp: int,
     return assignments, truncated
 
 
+def _base_speed_vector(slow_assignment: Sequence[Sequence[float]],
+                       kernels: str) -> List[float]:
+    """Per-bucket harmonic speeds for the bound screens, bit-identical.
+
+    The reference is ``[sum(1.0 / r for r in bucket) for bucket in
+    slow_assignment]``.  On the numpy backend the reciprocals are taken
+    in one elementwise pass (``np.reciprocal`` performs the identical
+    IEEE division per element) and each bucket is still summed with
+    python's sequential left-to-right ``sum`` — same values, same
+    addition order, so the screens downstream prune exactly the same
+    candidates as the python reference.
+    """
+    if np is not None and kernels == "numpy":
+        flat = [r for bucket in slow_assignment for r in bucket]
+        if len(flat) >= 64:
+            inverse = np.reciprocal(
+                np.asarray(flat, dtype=np.float64)).tolist()
+            speeds: List[float] = []
+            position = 0
+            for bucket in slow_assignment:
+                end = position + len(bucket)
+                speeds.append(sum(inverse[position:end]))
+                position = end
+            return speeds
+    return [sum(1.0 / r for r in bucket) for bucket in slow_assignment]
+
+
 def _greedy_slow_assignment(rates: Sequence[float], dp: int) -> List[List[float]]:
     """LPT-style greedy: put each slow group on the pipeline with the least
     accumulated harmonic speed contribution (so slow groups spread out)."""
@@ -724,16 +752,25 @@ def _local_search_slow_prefix(problem: DivisionProblem,
     hit returns the exact list a fresh call would — and after the first
     sweep almost every candidate move re-visits a state the previous
     sweep already filled.
+
+    PR 10 shaves the two remaining scalar tails the 64k profile blamed,
+    both exactness-preserving: the per-element reciprocals are hoisted
+    out of the O(n²) suffix-resume loop (``1.0 / r`` is a single IEEE
+    division either way — precomputing it changes no value and no
+    addition order), and the memo key's bucket-length tuple is
+    maintained incrementally across the pop/append/revert of each probe
+    instead of being re-derived per candidate move.
     """
     dp = problem.num_pipelines
     buckets = [list(b) for b in slow_assignment]
     base_speed = [sum(1.0 / r for r in b) for b in buckets]
+    lengths = [len(b) for b in buckets]
     scorer = _RemainderScorer(problem)
     best = scorer.score(base_speed, fast_counts)
     fill_memo: Dict[Tuple[Tuple[float, ...], Tuple[int, ...]], List[int]] = {}
 
     def memo_waterfill() -> List[int]:
-        key = (tuple(base_speed), tuple(len(b) for b in buckets))
+        key = (tuple(base_speed), tuple(lengths))
         counts = fill_memo.get(key)
         if counts is None:
             counts = waterfill(problem, buckets, base_speed)
@@ -745,13 +782,14 @@ def _local_search_slow_prefix(problem: DivisionProblem,
         improved = False
         for src in range(dp):
             bucket_src = buckets[src]
+            inverse = [1.0 / r for r in bucket_src]
             prefix = [0.0]
-            for r in bucket_src:
-                prefix.append(prefix[-1] + 1.0 / r)
+            for inv in inverse:
+                prefix.append(prefix[-1] + inv)
             for idx in range(len(bucket_src)):
                 popped_speed = prefix[idx]
                 for k in range(idx + 1, len(bucket_src)):
-                    popped_speed += 1.0 / bucket_src[k]
+                    popped_speed += inverse[k]
                 for dst in range(dp):
                     if dst == src:
                         continue
@@ -759,7 +797,9 @@ def _local_search_slow_prefix(problem: DivisionProblem,
                     buckets[dst].append(rate)
                     old_src, old_dst = base_speed[src], base_speed[dst]
                     base_speed[src] = popped_speed
-                    base_speed[dst] = old_dst + 1.0 / rate
+                    base_speed[dst] = old_dst + inverse[idx]
+                    lengths[src] -= 1
+                    lengths[dst] += 1
                     counts = memo_waterfill()
                     feasible = bool(counts) or problem.fast_group_count == 0
                     if problem.fast_group_count == 0:
@@ -774,6 +814,8 @@ def _local_search_slow_prefix(problem: DivisionProblem,
                     buckets[dst].pop()
                     bucket_src.insert(idx, rate)
                     base_speed[src], base_speed[dst] = old_src, old_dst
+                    lengths[src] += 1
+                    lengths[dst] -= 1
                 if improved:
                     break
             if improved:
@@ -1032,8 +1074,7 @@ def _solve_pipeline_division(problem: DivisionProblem,
     for slow_assignment in assignments:
         base_speed = None
         if prune_bounds:
-            base_speed = [sum(1.0 / r for r in bucket)
-                          for bucket in slow_assignment]
+            base_speed = _base_speed_vector(slow_assignment, kernels)
             if len(worst_of_best) >= top_k and \
                     division_candidate_bound(problem, base_speed) \
                     > -worst_of_best[0] + 1e-9:
@@ -1072,8 +1113,7 @@ def _solve_pipeline_division(problem: DivisionProblem,
     refinements_pruned = 0
     for _, slow_assignment, fast_counts in scored[:refine_top_k]:
         if prune_bounds and best is not None:
-            base_speed = [sum(1.0 / r for r in bucket)
-                          for bucket in slow_assignment]
+            base_speed = _base_speed_vector(slow_assignment, kernels)
             if division_candidate_bound(problem, base_speed) \
                     > best.objective - 1e-12:
                 refinements_pruned += 1

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..experiments.common import format_table
 from .engine import SuppressEvent, WhatIfEngine, heal
@@ -141,16 +141,82 @@ def _candidate_gpus(trace: SessionTrace,
     return ranked[:max_candidates]
 
 
+#: Per-process state of the attribution pool workers, set once by the
+#: pool initializer so each work item ships as a tiny ``(kind, key)``
+#: tuple instead of re-pickling the trace per replay.
+_ATTRIBUTION_STATE: Optional[Tuple[SessionTrace, WhatIfEngine]] = None
+
+
+def _attribution_worker_init(trace: SessionTrace,
+                             engine: WhatIfEngine) -> None:
+    global _ATTRIBUTION_STATE
+    _ATTRIBUTION_STATE = (trace, engine)
+
+
+def _attribution_replay(job: Tuple[str, int],
+                        trace: Optional[SessionTrace] = None,
+                        engine: Optional[WhatIfEngine] = None,
+                        ) -> Tuple[str, int, float]:
+    """Run one leave-one-out replay; ``("heal", gpu)`` or
+    ``("suppress", event_index)`` in, ``(kind, key, total_time)`` out."""
+    if trace is None:
+        trace, engine = _ATTRIBUTION_STATE
+    kind, key = job
+    edit = heal(key) if kind == "heal" else SuppressEvent(key)
+    return kind, key, engine.replay(trace, [edit]).total_time
+
+
+def _replay_totals(trace: SessionTrace, engine: WhatIfEngine,
+                   heal_gpus: List[int], suppress_indices: List[int],
+                   workers: int) -> Dict[Tuple[str, int], float]:
+    """Total replay time of every leave-one-out / suppress-one edit.
+
+    The replays are embarrassingly parallel and deterministic, so with
+    ``workers > 1`` they run on a process pool (fork-preferred, same
+    pattern as the sweep executor) and the totals — hence the rankings
+    assembled from them — are bit-identical to the serial path.  Any
+    pool failure falls back to serial silently: attribution is a
+    reporting tool and must never die to a multiprocessing quirk.
+    """
+    jobs: List[Tuple[str, int]] = (
+        [("heal", gpu) for gpu in heal_gpus]
+        + [("suppress", index) for index in suppress_indices]
+    )
+    if workers > 1 and len(jobs) > 1:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-posix platforms
+            context = multiprocessing.get_context()
+        try:
+            with context.Pool(min(workers, len(jobs)),
+                              initializer=_attribution_worker_init,
+                              initargs=(trace, engine)) as pool:
+                results = pool.map(_attribution_replay, jobs)
+            return {(kind, key): total for kind, key, total in results}
+        except Exception:  # pragma: no cover - pool setup/teardown faults
+            pass
+    return {(kind, key): total
+            for kind, key, total in (_attribution_replay(job, trace, engine)
+                                     for job in jobs)}
+
+
 def attribute(trace: SessionTrace, top_k: int = 5,
               engine: Optional[WhatIfEngine] = None,
               include_events: bool = True,
-              max_candidates: int = 12) -> AttributionReport:
+              max_candidates: int = 12,
+              workers: int = 1) -> AttributionReport:
     """Leave-one-out lost-throughput attribution for a recorded session.
 
     Replays the session once unedited (the baseline; also verifies the
     tape against the recording), once per candidate GPU with that GPU
     healed, and — when ``include_events`` — once per event with the
     event suppressed.  Rankings are by ``lost_seconds`` descending.
+
+    ``workers > 1`` runs the (independent, deterministic) what-if
+    replays on a process pool; the report is bit-identical to the
+    serial one, just faster on long tapes.
     """
     engine = engine or WhatIfEngine()
     baseline = engine.replay(trace)
@@ -169,25 +235,31 @@ def attribute(trace: SessionTrace, top_k: int = 5,
                 degraded_counts[gpu] = degraded_counts.get(gpu, 0) + 1
                 peak_rates[gpu] = max(peak_rates.get(gpu, 0.0), rate)
 
-    for gpu in _candidate_gpus(trace, max_candidates):
-        healed = engine.replay(trace, [heal(gpu)])
+    candidates = _candidate_gpus(trace, max_candidates)
+    suppress_indices = ([event.index for event in trace.events[1:]]
+                        if include_events else [])
+    totals = _replay_totals(trace, engine, candidates, suppress_indices,
+                            workers)
+
+    for gpu in candidates:
+        healed_total = totals[("heal", gpu)]
         report.culprits.append(CulpritImpact(
             gpu=gpu,
-            lost_seconds=baseline.total_time - healed.total_time,
+            lost_seconds=baseline.total_time - healed_total,
             degraded_events=degraded_counts.get(gpu, 0),
             peak_rate=peak_rates.get(gpu, 1.0),
-            healed_total=healed.total_time,
+            healed_total=healed_total,
         ))
     report.culprits.sort(key=lambda c: (-c.lost_seconds, c.gpu))
 
     if include_events:
         for event in trace.events[1:]:
-            suppressed = engine.replay(trace, [SuppressEvent(event.index)])
+            suppressed_total = totals[("suppress", event.index)]
             report.events.append(EventImpact(
                 index=event.index,
                 situation=event.situation,
-                lost_seconds=baseline.total_time - suppressed.total_time,
-                suppressed_total=suppressed.total_time,
+                lost_seconds=baseline.total_time - suppressed_total,
+                suppressed_total=suppressed_total,
             ))
         report.events.sort(key=lambda e: (-e.lost_seconds, e.index))
 

@@ -14,17 +14,23 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.topology import paper_cluster
+from repro.compat import np
 from repro.core.assignment import (
+    BATCH_BOUND_EPSILON,
     candidate_step_time_bound,
+    candidate_step_time_bound_batch,
     solve_lower_level,
     sorted_divisors,
 )
+from repro.core.grouping import GroupingResult
+from repro.core.sweep import candidate_bound
 from repro.core.costmodel import MalleusCostModel
 from repro.core.planner import MalleusPlanner
 from repro.models.presets import llama2_32b, paper_task
 from repro.parallel.plan import TPGroup
 from repro.solvers.division import (
     DivisionProblem,
+    _base_speed_vector,
     _waterfill_fast_groups,
     _waterfill_fast_groups_legacy,
     brute_force_division,
@@ -36,6 +42,14 @@ from repro.solvers.division import (
 @pytest.fixture(scope="module")
 def cost_model():
     return MalleusCostModel(llama2_32b(), paper_cluster(32))
+
+
+@pytest.fixture(scope="module")
+def numpy_cost_model():
+    if np is None:
+        pytest.skip("numpy unavailable")
+    return MalleusCostModel(llama2_32b(), paper_cluster(32),
+                            kernels="numpy")
 
 
 def tp4_groups(start, count):
@@ -219,3 +233,214 @@ class TestKernelEquivalence:
         )
         assert not solution.feasible
         assert math.isinf(solution.objective)
+
+
+def degenerate_rate_maps():
+    """The 64k-regime degenerate shapes, shrunk onto the 32-GPU cluster.
+
+    All-equal rates (the healthy steady state), a single straggler (the
+    smallest possible event) and a failed 8-GPU node (whole-node infinite
+    rates) are the shapes where vectorized kernels classically diverge
+    from scalar references (empty masks, all-identical reductions,
+    non-finite filtering), so every PR-10 kernel is checked on each.
+    """
+    all_equal = {g: 1.0 for g in range(32)}
+    single_straggler = dict(all_equal)
+    single_straggler[5] = 4.2
+    failed_node = dict(all_equal)
+    for gpu in range(8, 16):
+        failed_node[gpu] = math.inf
+    return [
+        ("all-equal", all_equal),
+        ("single-straggler", single_straggler),
+        ("failed-node", failed_node),
+    ]
+
+
+class TestBatchedBoundScreen:
+    """Soundness of the relaxed-by-epsilon vectorized candidate screen.
+
+    The sweep uses :func:`candidate_step_time_bound_batch` only to
+    *reject* candidates, which is safe iff every relaxed value is at most
+    the exact sequential bound (a candidate the exact bound keeps is then
+    never screened out).  The tightness bound (relaxed value no more than
+    ``2 * epsilon`` below exact) in turn proves the epsilon band used by
+    :func:`repro.core.sweep.candidate_bound` always retains the exact
+    argmin among the survivors.
+    """
+
+    B_CANDIDATES = sorted_divisors(64)
+
+    def pipelines(self):
+        return [tp4_groups(0, 4), tp4_groups(16, 4)]
+
+    def assert_screen_sound(self, pipelines, rates, numpy_cost_model,
+                            cost_model, dp_degree):
+        screened = candidate_step_time_bound_batch(
+            pipelines, rates, numpy_cost_model, 60, 64, self.B_CANDIDATES,
+            dp_degree=dp_degree,
+        )
+        assert screened is not None
+        assert len(screened) == len(self.B_CANDIDATES)
+        for b, relaxed in zip(self.B_CANDIDATES, screened):
+            exact = candidate_step_time_bound(
+                pipelines, rates, cost_model, 60, 64, b,
+                dp_degree=dp_degree,
+            )
+            # The exact bound itself is backend bit-identical.
+            assert exact == candidate_step_time_bound(
+                pipelines, rates, numpy_cost_model, 60, 64, b,
+                dp_degree=dp_degree,
+            ), (b, dp_degree)
+            if math.isinf(exact):
+                assert math.isinf(relaxed), (b, dp_degree)
+                continue
+            assert relaxed <= exact, (b, dp_degree)
+            assert relaxed >= exact * (1.0 - 2.0 * BATCH_BOUND_EPSILON), \
+                (b, dp_degree)
+
+    @pytest.mark.parametrize("name,rates", degenerate_rate_maps())
+    @pytest.mark.parametrize("dp_degree", [None, 1, 2, 8])
+    def test_screen_sound_on_degenerate_shapes(self, name, rates, dp_degree,
+                                               numpy_cost_model, cost_model):
+        self.assert_screen_sound(self.pipelines(), dict(rates),
+                                 numpy_cost_model, cost_model, dp_degree)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        raw=st.lists(st.floats(min_value=1.0, max_value=8.0),
+                     min_size=32, max_size=32),
+        failed=st.sets(st.integers(min_value=0, max_value=31), max_size=8),
+        dp_degree=st.sampled_from([None, 1, 2, 4, 8]),
+    )
+    def test_screen_soundness_property(self, raw, failed, dp_degree,
+                                       numpy_cost_model, cost_model):
+        rates = {g: (math.inf if g in failed else raw[g]) for g in range(32)}
+        self.assert_screen_sound(self.pipelines(), rates, numpy_cost_model,
+                                 cost_model, dp_degree)
+
+    @pytest.mark.parametrize("name,rates", degenerate_rate_maps())
+    def test_candidate_bound_bit_identical_across_backends(
+            self, name, rates, numpy_cost_model, cost_model):
+        grouping = GroupingResult(tp_limit=4, groups=tp4_groups(0, 8),
+                                  isolated_gpus=[])
+        for dp_degree in (None, 2, 8):
+            exact = candidate_bound(grouping, dict(rates), cost_model,
+                                    60, 64, self.B_CANDIDATES,
+                                    dp_degree=dp_degree)
+            batched = candidate_bound(grouping, dict(rates),
+                                      numpy_cost_model, 60, 64,
+                                      self.B_CANDIDATES,
+                                      dp_degree=dp_degree)
+            assert batched == exact, (name, dp_degree)
+
+    def test_candidate_bound_cutoff_fastpath_is_sound(
+            self, numpy_cost_model, cost_model):
+        grouping = GroupingResult(tp_limit=4, groups=tp4_groups(0, 8),
+                                  isolated_gpus=[])
+        rates = {g: 1.0 for g in range(32)}
+        rates[3] = 2.6
+        exact = candidate_bound(grouping, dict(rates), cost_model,
+                                60, 64, self.B_CANDIDATES, dp_degree=2)
+        assert math.isfinite(exact) and exact > 0.0
+        # A cutoff far below the bound triggers the screen's reject
+        # fast-path: the returned diagnostic is the relaxed minimum, but
+        # the pruning decision (bound > cutoff) is identical.
+        cutoff = exact * 0.5
+        relaxed = candidate_bound(grouping, dict(rates), numpy_cost_model,
+                                  60, 64, self.B_CANDIDATES, dp_degree=2,
+                                  cutoff=cutoff)
+        assert relaxed <= exact
+        assert relaxed >= exact * (1.0 - 2.0 * BATCH_BOUND_EPSILON)
+        assert relaxed > cutoff and exact > cutoff
+        # A cutoff the bound cannot clear takes the exact path: the
+        # returned bound is bit-identical across backends.
+        generous = candidate_bound(grouping, dict(rates), numpy_cost_model,
+                                   60, 64, self.B_CANDIDATES, dp_degree=2,
+                                   cutoff=exact * 2.0)
+        assert generous == exact
+
+
+class TestVectorizedKernels64kShapes:
+    """Bit-identity of the PR-10 scalar-tail vectorizations."""
+
+    @staticmethod
+    def group_sequence(sizes):
+        groups = []
+        start = 0
+        for size in sizes:
+            groups.append(TPGroup(gpu_ids=tuple(range(start, start + size))))
+            start += size
+        return groups
+
+    @pytest.mark.parametrize("sizes", [
+        [1] * 32,            # 32 stages, trips the >= 16 vector gate
+        [2] * 16,            # uniform TP2
+        [2] * 8 + [1] * 16,  # mixed group sizes (capacity varies per stage)
+        [4] * 4,             # short pipeline: scalar path, same contract
+    ])
+    def test_stage_caps_numpy_matches_python(self, sizes, numpy_cost_model,
+                                             cost_model):
+        groups = self.group_sequence(sizes)
+        pp_degree = len(groups)
+        for micro_batch_size in (1, 2, 4):
+            for dp_degree in (1, 2):
+                assert numpy_cost_model.stage_caps(
+                    groups, pp_degree, micro_batch_size, dp_degree,
+                ) == cost_model.stage_caps(
+                    groups, pp_degree, micro_batch_size, dp_degree,
+                ), (sizes, micro_batch_size, dp_degree)
+        if len(groups) >= 16:
+            # The vectorized path actually ran (no silent fallback).
+            assert numpy_cost_model._capacity_vec_cache
+            assert numpy_cost_model._munu_vec_cache
+
+    def test_base_speed_vector_bit_identical_on_degenerate_shapes(self):
+        cases = [
+            [[2.0] * 32 for _ in range(4)],                 # all-equal
+            [[2.0] * 16, [2.0] * 15 + [5.42],
+             [2.0] * 16, [2.0] * 17],                       # one straggler
+            [[1.0 + 0.01 * i for i in range(70)]],          # one long bucket
+            [[3.0] * 8, [], [3.0] * 60],                    # empty bucket
+            [[2.0] * 8],                                    # short: scalar path
+        ]
+        for buckets in cases:
+            reference = [sum(1.0 / r for r in bucket) for bucket in buckets]
+            assert _base_speed_vector(buckets, "numpy") == reference
+            assert _base_speed_vector(buckets, "python") == reference
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        buckets=st.lists(
+            st.lists(st.floats(min_value=1.0, max_value=9.0),
+                     min_size=0, max_size=40),
+            min_size=1, max_size=6),
+        pad=st.booleans(),
+    )
+    def test_base_speed_vector_property(self, buckets, pad):
+        if pad:  # force the >= 64-element numpy path half the time
+            buckets = [[2.0] * 64] + buckets
+        reference = [sum(1.0 / r for r in bucket) for bucket in buckets]
+        assert _base_speed_vector(buckets, "numpy") == reference
+
+    @pytest.mark.parametrize("name,slow", [
+        ("all-equal", [2.0] * 32),
+        ("single-straggler", [2.0] * 31 + [6.0]),
+        ("spread", [1.5 + 0.125 * i for i in range(32)]),
+    ])
+    def test_division_greedy_path_bit_identical_across_backends(self, name,
+                                                                slow):
+        # 32 slow groups exceed the enumeration budget, forcing the greedy
+        # + local-search fallback the 64k cold path lives on.
+        problem = DivisionProblem(
+            num_pipelines=4, total_micro_batches=64,
+            fast_group_count=16, fast_group_rate=0.4,
+            slow_group_rates=list(slow),
+        )
+        python = solve_pipeline_division(problem, kernels="python")
+        numpy_run = solve_pipeline_division(problem, kernels="numpy")
+        assert python.used_fallback and numpy_run.used_fallback
+        assert numpy_run.objective == python.objective
+        assert numpy_run.fast_groups == python.fast_groups
+        assert numpy_run.slow_groups == python.slow_groups
+        assert numpy_run.micro_batches == python.micro_batches

@@ -193,6 +193,32 @@ class TestProcessBackend:
             assert result.sweep_stats["workers"] == workers
             planner.close()
 
+    def test_shared_rates_and_groupings_identical_to_serial(self):
+        # PR 10: shared_rates publishes both the rate map and the
+        # grouping tables through shared memory and ships _SpecRef slot
+        # references instead of pickled groupings — winners, repairs and
+        # warm-cache behavior must all be indistinguishable from serial.
+        task, cluster = tiny_workload()
+        first = healthy_rates(cluster, {0: 3.8, 12: 2.6})
+        second = healthy_rates(cluster, {0: 3.8, 12: 2.6, 5: 2.2})
+        serial = MalleusPlanner(task, cluster,
+                                MalleusCostModel(task.model, cluster),
+                                sweep_config=SweepConfig(warm_cache=True))
+        planner = MalleusPlanner(
+            task, cluster, MalleusCostModel(task.model, cluster),
+            sweep_config=SweepConfig(backend="process", workers=2,
+                                     shared_rates=True, warm_cache=True),
+        )
+        for rates in (first, second):  # second sweep exercises the
+            reference = serial.plan(rates)  # warm_pipelines index path
+            result = planner.plan(rates)
+            assert winner_signature(result) == winner_signature(reference)
+        executor = planner.sweep_executor
+        assert executor.fault_stats["serial_fallback"] is False
+        planner.close()
+        assert executor._shm is None
+        assert executor._shm_groupings is None
+
     def test_executor_survives_reuse_and_shutdown(self):
         task, cluster = tiny_workload()
         rates = healthy_rates(cluster, {5: 2.6})
@@ -555,6 +581,23 @@ class TestExecutorFaultTolerance:
         assert winner_signature(planner.plan(third)) == \
             winner_signature(serial.plan(third))
         planner.close()
+
+    def test_idle_capacity_reflects_backend_health(self):
+        # PR 10: idle_capacity() is how speculation's future pool hook
+        # budgets background work — it must go to zero the moment the
+        # executor degrades to permanent serial fallback.
+        task, cluster = tiny_workload()
+        serial = MalleusPlanner(task, cluster,
+                                MalleusCostModel(task.model, cluster))
+        assert serial.sweep_executor.idle_capacity() == 1
+        planner = self.process_planner(task, cluster)
+        executor = planner.sweep_executor
+        assert executor.idle_capacity() == \
+            executor.config.resolved_workers()
+        executor.fault_stats["serial_fallback"] = True
+        assert executor.idle_capacity() == 0
+        planner.close()
+        serial.close()
 
     def test_hung_worker_times_out_and_the_batch_recovers(self):
         from repro.testing.faults import hang_sweep_worker

@@ -371,6 +371,16 @@ class TestAttribution:
         payload = report.as_dict()
         json.dumps(payload, allow_nan=False)  # JSON-safe, strict
 
+    @pytest.mark.parametrize("preset", ["persistent-degraders", "flapping"])
+    def test_parallel_workers_bit_identical_to_serial(self, preset):
+        # The gated presets: the pool path must reproduce the serial
+        # rankings exactly — same culprits, same losses, same order.
+        _, session = recorded_session(preset=preset, seed=1,
+                                      num_situations=4)
+        serial = attribute(session, top_k=3, max_candidates=4)
+        pooled = attribute(session, top_k=3, max_candidates=4, workers=2)
+        assert pooled.as_dict() == serial.as_dict()
+
 
 # ----------------------------------------------------------------------
 # Service-driven sessions
